@@ -1,0 +1,18 @@
+package spine
+
+import "github.com/spine-index/spine/internal/seq"
+
+// Alphabet maps sequence letters to dense codes; it drives the bit-packed
+// character storage of the compact layout (2 bits per DNA base, 5 per
+// protein residue).
+type Alphabet = seq.Alphabet
+
+// DNA is the four-letter nucleotide alphabet {a, c, g, t}, case-folded.
+var DNA = seq.DNA
+
+// Protein is the twenty-letter amino-acid alphabet, case-folded.
+var Protein = seq.Protein
+
+// NewAlphabet builds an alphabet over the given distinct letters; see
+// Alphabet. It panics on empty or duplicate letter sets.
+func NewAlphabet(letters []byte) *Alphabet { return seq.NewAlphabet(letters) }

@@ -1,0 +1,51 @@
+package spine
+
+import "github.com/spine-index/spine/internal/core"
+
+// Distance selects the error model for approximate search.
+type Distance = core.Distance
+
+const (
+	// Hamming counts substitutions only.
+	Hamming = core.Hamming
+	// Edit counts substitutions, insertions and deletions (Levenshtein).
+	Edit = core.Edit
+)
+
+// FindAllWithin returns the start offsets of every substring of the
+// indexed text within distance k of p under the given model, in increasing
+// order without duplicates. k = 0 degenerates to FindAll. Cost grows with
+// alphabet^k; intended for small budgets (k <= 3), the seed-and-extend
+// regime.
+func (x *Index) FindAllWithin(p []byte, k int, model Distance) []int {
+	return x.c.FindAllWithin(p, k, model)
+}
+
+// CountWithin returns the number of start offsets within distance k of p.
+func (x *Index) CountWithin(p []byte, k int, model Distance) int {
+	return x.c.CountWithin(p, k, model)
+}
+
+// LongestRepeatedSubstring returns the longest substring of the indexed
+// text occurring at least twice (possibly overlapping) and its first two
+// occurrence offsets. SPINE answers this with a single scan of its LEL
+// labels.
+func (x *Index) LongestRepeatedSubstring() (s []byte, first, second int) {
+	return x.c.LongestRepeatedSubstring()
+}
+
+// LongestCommonSubstring returns the longest string occurring in both the
+// indexed text and other, with one occurrence offset in each (nil, -1, -1
+// when disjoint). One streaming pass over other.
+func (x *Index) LongestCommonSubstring(other []byte) (s []byte, textPos, otherPos int) {
+	return x.c.LongestCommonSubstring(other)
+}
+
+// RepeatProfile returns, per text position, the length of the longest
+// suffix ending there that also occurs earlier (the LEL array) — a repeat
+// density profile of the text.
+func (x *Index) RepeatProfile() []int32 { return x.c.RepeatProfile() }
+
+// Verify exhaustively checks the index's structural invariants against its
+// own text, returning the first violation. Intended for tools and tests.
+func (x *Index) Verify() error { return x.c.Verify() }

@@ -1,0 +1,36 @@
+package spine
+
+import "testing"
+
+func TestApproxAPI(t *testing.T) {
+	idx := Build([]byte("gggggggacgaacgtggggggg"))
+	p := []byte("acgtacgt")
+	if got := idx.FindAllWithin(p, 0, Hamming); len(got) != 0 {
+		t.Fatalf("k=0: %v", got)
+	}
+	got := idx.FindAllWithin(p, 1, Hamming)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("k=1: %v, want [7]", got)
+	}
+	if n := idx.CountWithin(p, 1, Edit); n < 1 {
+		t.Fatalf("CountWithin Edit = %d", n)
+	}
+}
+
+func TestUtilitiesAPI(t *testing.T) {
+	idx := Build([]byte("banana"))
+	lrs, first, second := idx.LongestRepeatedSubstring()
+	if string(lrs) != "ana" || first != 1 || second != 3 {
+		t.Fatalf("LRS = %q (%d, %d)", lrs, first, second)
+	}
+	lcs, tp, op := idx.LongestCommonSubstring([]byte("panama"))
+	if string(lcs) != "ana" || tp < 0 || op < 0 {
+		t.Fatalf("LCS = %q (%d, %d)", lcs, tp, op)
+	}
+	if prof := idx.RepeatProfile(); len(prof) != 6 || prof[5] != 3 {
+		t.Fatalf("RepeatProfile = %v", prof)
+	}
+	if err := idx.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}

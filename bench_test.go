@@ -1,0 +1,472 @@
+package spine
+
+// One benchmark per table and figure of the paper's evaluation (see
+// DESIGN.md §2). Each benchmark regenerates its artifact through the
+// internal/bench harness and prints the table once; `go test -bench=.`
+// runs everything at a reduced scale (sequence lengths divided by
+// benchDivide), `cmd/spinebench -divide 1` runs paper scale.
+//
+// Plus micro-benchmarks of the core operations (construction, search,
+// matching) with allocation figures, and ablation benches for the design
+// choices DESIGN.md calls out.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/spine-index/spine/internal/bench"
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/match"
+	"github.com/spine-index/spine/internal/pager"
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/seqgen"
+	"github.com/spine-index/spine/internal/suffixarray"
+	"github.com/spine-index/spine/internal/suffixtree"
+)
+
+// benchDivide scales the paper's sequence lengths down so the full bench
+// suite completes on a laptop (eco: 3.5M -> ~35k, hc19: 57.5M -> ~575k).
+const benchDivide = 100
+
+// diskDivide scales further for the disk experiments, which pay per-page
+// I/O costs.
+const diskDivide = 500
+
+var (
+	corpusOnce sync.Once
+	corpus     *bench.Corpus
+	diskCorpus *bench.Corpus
+	printed    sync.Map
+)
+
+func getCorpus() *bench.Corpus {
+	corpusOnce.Do(func() {
+		corpus = bench.NewCorpus(benchDivide)
+		diskCorpus = bench.NewCorpus(diskDivide)
+	})
+	return corpus
+}
+
+// printOnce emits a regenerated table a single time per process so bench
+// output contains each artifact exactly once.
+func printOnce(t bench.Table) {
+	if _, loaded := printed.LoadOrStore(t.ID, true); !loaded {
+		t.Fprint(os.Stdout)
+	}
+}
+
+func BenchmarkTable2NodeContent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Table2NodeContent()
+		printOnce(t)
+	}
+}
+
+func BenchmarkTable3LabelValues(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table3LabelValues(c, seqgen.SuiteNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkTable4RibDistribution(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table4RibDistribution(c, seqgen.SuiteNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkFig6ConstructInMemory(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig6ConstructInMemory(c, seqgen.SuiteNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkTable5MatchInMemory(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table5MatchInMemory(c, bench.Table5Pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkTable6NodesChecked(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table6NodesChecked(c, bench.Table6Pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkFig7ConstructOnDisk(b *testing.B) {
+	getCorpus()
+	cfg := bench.DiskConfig{Policy: pager.TopRetention}
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig7ConstructOnDisk(diskCorpus, []string{"eco", "cel", "hc21"}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkFig8LinkDistribution(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Fig8LinkDistribution(c, []string{"eco", "cel", "hc21"}, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkTable7MatchOnDisk(b *testing.B) {
+	getCorpus()
+	cfg := bench.DiskConfig{Policy: pager.TopRetention}
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table7MatchOnDisk(diskCorpus, bench.Table7Pairs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkBytesPerChar(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.BytesPerChar(c, seqgen.SuiteNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+func BenchmarkProteinSuite(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.ProteinSuite(c, seqgen.ProteinSuiteNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+// --- Micro-benchmarks: core operation costs with allocations ---
+
+func benchSequence(b *testing.B, name string) []byte {
+	b.Helper()
+	return getCorpus().MustGet(name)
+}
+
+func BenchmarkMicroSpineConstruct(b *testing.B) {
+	s := benchSequence(b, "eco")
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Build(s)
+	}
+}
+
+func BenchmarkMicroSuffixTreeConstruct(b *testing.B) {
+	s := benchSequence(b, "eco")
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suffixtree.Build(s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroSuffixArrayConstruct(b *testing.B) {
+	s := benchSequence(b, "eco")
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suffixarray.Build(s)
+	}
+}
+
+func BenchmarkMicroSpineSearch(b *testing.B) {
+	s := benchSequence(b, "eco")
+	idx := core.Build(s)
+	patterns := searchPatterns(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := patterns[i%len(patterns)]
+		if idx.Find(p) < 0 {
+			b.Fatal("pattern sampled from text not found")
+		}
+	}
+}
+
+func BenchmarkMicroCompactSearch(b *testing.B) {
+	s := benchSequence(b, "eco")
+	comp, err := core.Freeze(core.Build(s), seq.DNA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := searchPatterns(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := patterns[i%len(patterns)]
+		if comp.Find(p) < 0 {
+			b.Fatal("pattern sampled from text not found")
+		}
+	}
+}
+
+func BenchmarkMicroSuffixTreeSearch(b *testing.B) {
+	s := benchSequence(b, "eco")
+	st, err := suffixtree.Build(s, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := searchPatterns(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := patterns[i%len(patterns)]
+		if !st.Contains(p) {
+			b.Fatal("pattern sampled from text not found")
+		}
+	}
+}
+
+func BenchmarkMicroSuffixArraySearch(b *testing.B) {
+	s := benchSequence(b, "eco")
+	sa := suffixarray.Build(s)
+	patterns := searchPatterns(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := patterns[i%len(patterns)]
+		if !sa.Contains(p) {
+			b.Fatal("pattern sampled from text not found")
+		}
+	}
+}
+
+func searchPatterns(s []byte) [][]byte {
+	var out [][]byte
+	for off := 0; off+32 <= len(s) && len(out) < 256; off += len(s) / 256 {
+		out = append(out, s[off:off+32])
+	}
+	return out
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationBatchScan compares per-match occurrence scans against
+// the paper's single deferred backbone scan (§4).
+func BenchmarkAblationBatchScan(b *testing.B) {
+	s := benchSequence(b, "cel")
+	idx := core.Build(s)
+	// Collect match anchors once: maximal matches of a mutated fragment.
+	query := append([]byte{}, s[:len(s)/4]...)
+	for i := 0; i < len(query); i += 97 {
+		query[i] = 'a'
+	}
+	e := match.NewSpineEngine(idx)
+	rep, err := match.MaximalMatches(e, s, query, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var firsts, lens []int32
+	for _, m := range rep.Matches {
+		firsts = append(firsts, int32(m.DataStarts[0]+m.Len))
+		lens = append(lens, int32(m.Len))
+	}
+	if len(firsts) == 0 {
+		b.Fatal("no matches to scan")
+	}
+	b.Run("batched-single-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.ScanMany(firsts, lens)
+		}
+	})
+	b.Run("per-match-scans", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range firsts {
+				idx.ScanMany(firsts[j:j+1], lens[j:j+1])
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCompactVsReference measures the query-time cost of the
+// compact layout's indirection against the pointer-rich reference layout.
+func BenchmarkAblationCompactVsReference(b *testing.B) {
+	s := benchSequence(b, "eco")
+	idx := core.Build(s)
+	comp, err := core.Freeze(idx, seq.DNA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := searchPatterns(s)
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.FindAll(patterns[i%len(patterns)])
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp.FindAll(patterns[i%len(patterns)])
+		}
+	})
+}
+
+// BenchmarkFilterComparison runs E13: the §7 complete-vs-filter contrast
+// (SPINE against an MRS-style q-gram block filter).
+func BenchmarkFilterComparison(b *testing.B) {
+	c := getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.FilterComparison(c, "eco")
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+// BenchmarkAblationBufferPolicy quantifies the Figure 8 insight: the
+// top-retention policy against plain LRU for disk-SPINE matching.
+func BenchmarkAblationBufferPolicy(b *testing.B) {
+	getCorpus()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.BufferPolicyAblation(diskCorpus, "eco")
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(t)
+	}
+}
+
+// BenchmarkAblationDirectCompactBuild measures the paper's §5 note that
+// building straight into the table layout (rows moving between RTs as
+// fan-out grows) costs little over building the pointer layout and
+// freezing once.
+func BenchmarkAblationDirectCompactBuild(b *testing.B) {
+	s := benchSequence(b, "eco")
+	b.Run("build-then-freeze", func(b *testing.B) {
+		b.SetBytes(int64(len(s)))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Freeze(core.Build(s), seq.DNA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-compact", func(b *testing.B) {
+		b.SetBytes(int64(len(s)))
+		for i := 0; i < b.N; i++ {
+			cb, err := core.NewCompactBuilder(seq.DNA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ch := range s {
+				if err := cb.Append(ch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cb.Finish()
+		}
+	})
+}
+
+// BenchmarkAblationOnlinePrefix measures the marginal cost of online
+// appends (prefix partitioning means there is no rebuild).
+func BenchmarkAblationOnlinePrefix(b *testing.B) {
+	s := benchSequence(b, "eco")
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := core.New()
+		for _, c := range s {
+			idx.Append(c)
+		}
+	}
+}
+
+// BenchmarkShardedBuild measures the parallel-build speedup sharding buys
+// over SPINE's inherently sequential single-index construction.
+func BenchmarkShardedBuild(b *testing.B) {
+	s := benchSequence(b, "cel")
+	b.Run("single", func(b *testing.B) {
+		b.SetBytes(int64(len(s)))
+		for i := 0; i < b.N; i++ {
+			Build(s)
+		}
+	})
+	b.Run("sharded-8", func(b *testing.B) {
+		b.SetBytes(int64(len(s)))
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildSharded(s, (len(s)+7)/8, 64, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMicroApproxSearch measures k-mismatch search cost growth with
+// the error budget.
+func BenchmarkMicroApproxSearch(b *testing.B) {
+	s := benchSequence(b, "eco")
+	idx := core.Build(s)
+	patterns := searchPatterns(s)
+	for _, k := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				idx.FindAllWithin(patterns[i%len(patterns)], k, core.Hamming)
+			}
+		})
+	}
+}
+
+// BenchmarkMicroLongestRepeatedSubstring measures the LEL-scan LRS against
+// the classical suffix-array route.
+func BenchmarkMicroLongestRepeatedSubstring(b *testing.B) {
+	s := benchSequence(b, "eco")
+	idx := core.Build(s)
+	sa := suffixarray.Build(s)
+	b.Run("spine-lel-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.LongestRepeatedSubstring()
+		}
+	})
+	b.Run("suffix-array-lcp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sa.LongestRepeatedSubstring()
+		}
+	})
+}

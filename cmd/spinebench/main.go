@@ -1,0 +1,93 @@
+// Command spinebench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md §2 for the experiment index).
+//
+// Usage:
+//
+//	spinebench -exp all -divide 100        # every experiment at 1/100 scale
+//	spinebench -exp fig6,table5 -divide 16 # selected experiments, larger
+//	spinebench -exp fig7 -divide 1 -sync   # paper-scale disk build, O_SYNC
+//
+// At -divide 1 the corpus matches the paper's sequence lengths (eco 3.5M,
+// cel 15.5M, hc21 28.5M, hc19 57.5M characters); expect multi-hour runs
+// for the disk experiments with -sync.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/spine-index/spine/internal/bench"
+	"github.com/spine-index/spine/internal/pager"
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+func main() {
+	var (
+		exps     = flag.String("exp", "all", "comma-separated experiment ids: table2,table3,table4,fig6,table5,table6,fig7,fig8,table7,size,protein,policy,filter,linear or all")
+		divide   = flag.Int("divide", 100, "scale divisor for sequence lengths (1 = paper scale)")
+		sync     = flag.Bool("sync", false, "use synchronous page writes for disk experiments (paper methodology; slow)")
+		fraction = flag.Float64("buffer", 0.1, "disk buffer pool size as a fraction of the index footprint")
+	)
+	flag.Parse()
+	if err := run(*exps, *divide, *sync, *fraction); err != nil {
+		fmt.Fprintln(os.Stderr, "spinebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exps string, divide int, sync bool, fraction float64) error {
+	c := bench.NewCorpus(divide)
+	diskCfg := bench.DiskConfig{Sync: sync, BufferFraction: fraction, Policy: pager.TopRetention}
+
+	want := map[string]bool{}
+	all := exps == "all"
+	for _, e := range strings.Split(exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(id string) bool { return all || want[id] }
+
+	type experiment struct {
+		id  string
+		run func() (bench.Table, error)
+	}
+	plan := []experiment{
+		{"table2", func() (bench.Table, error) { return bench.Table2NodeContent(), nil }},
+		{"table3", func() (bench.Table, error) { return bench.Table3LabelValues(c, seqgen.SuiteNames) }},
+		{"table4", func() (bench.Table, error) { return bench.Table4RibDistribution(c, seqgen.SuiteNames) }},
+		{"fig6", func() (bench.Table, error) { return bench.Fig6ConstructInMemory(c, seqgen.SuiteNames) }},
+		{"table5", func() (bench.Table, error) { return bench.Table5MatchInMemory(c, bench.Table5Pairs) }},
+		{"table6", func() (bench.Table, error) { return bench.Table6NodesChecked(c, bench.Table6Pairs) }},
+		{"fig7", func() (bench.Table, error) {
+			return bench.Fig7ConstructOnDisk(c, []string{"eco", "cel", "hc21"}, diskCfg)
+		}},
+		{"fig8", func() (bench.Table, error) {
+			return bench.Fig8LinkDistribution(c, []string{"eco", "cel", "hc21"}, 6)
+		}},
+		{"table7", func() (bench.Table, error) { return bench.Table7MatchOnDisk(c, bench.Table7Pairs, diskCfg) }},
+		{"size", func() (bench.Table, error) { return bench.BytesPerChar(c, seqgen.SuiteNames) }},
+		{"protein", func() (bench.Table, error) { return bench.ProteinSuite(c, seqgen.ProteinSuiteNames) }},
+		{"policy", func() (bench.Table, error) { return bench.BufferPolicyAblation(c, "eco") }},
+		{"filter", func() (bench.Table, error) { return bench.FilterComparison(c, "eco") }},
+		{"linear", func() (bench.Table, error) { return bench.Linearity(c, "cel", 5) }},
+	}
+
+	fmt.Printf("spinebench: scale divisor %d (paper scale = 1), sync=%v\n\n", divide, sync)
+	ran := 0
+	for _, e := range plan {
+		if !sel(e.id) {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		t.Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", exps)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunSelectedExperiments(t *testing.T) {
+	// Tiny scale: just exercise the wiring of each selectable experiment id
+	// that doesn't need disk time.
+	if err := run("table2,table3,fig8,size", 2000, false, 0.1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMatchExperiments(t *testing.T) {
+	if err := run("table5,table6", 2000, false, 0.1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunDiskExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disk experiments skipped in -short")
+	}
+	if err := run("fig7,policy", 4000, false, 0.1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("tablez", 2000, false, 0.1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

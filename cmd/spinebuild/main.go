@@ -1,0 +1,127 @@
+// Command spinebuild constructs a SPINE index over a FASTA file or a
+// synthetic suite sequence and reports its structural statistics: the
+// per-genome measurements of Tables 3 and 4, the Figure 8 link
+// distribution, and the compact layout's bytes-per-character figure.
+//
+// Usage:
+//
+//	spinebuild -fasta genome.fa
+//	spinebuild -synthetic eco -divide 10
+//	spinebuild -synthetic ecoli-res -divide 10 -protein
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+func main() {
+	var (
+		fasta     = flag.String("fasta", "", "FASTA file to index (first record)")
+		synthetic = flag.String("synthetic", "", "synthetic suite sequence: eco, cel, hc21, hc19, ecoli-res, yeast-res, dros-res")
+		divide    = flag.Int("divide", 1, "scale divisor for synthetic sequences")
+		protein   = flag.Bool("protein", false, "treat input as protein residues (default DNA)")
+		buckets   = flag.Int("linkbuckets", 6, "segments for the link-destination histogram")
+		verify    = flag.Bool("verify", false, "run the full structural integrity check after building")
+	)
+	flag.Parse()
+	if err := run(*fasta, *synthetic, *divide, *protein, *buckets, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "spinebuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fasta, synthetic string, divide int, protein bool, buckets int, verify bool) error {
+	alpha := seq.DNA
+	if protein {
+		alpha = seq.Protein
+	}
+	var data []byte
+	var name string
+	switch {
+	case fasta != "":
+		f, err := os.Open(fasta)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		recs, err := seq.ReadFASTA(f)
+		if err != nil {
+			return err
+		}
+		name = recs[0].Header
+		data = alpha.Sanitize(recs[0].Seq)
+	case synthetic != "":
+		s, err := seqgen.SuiteSequence(synthetic, divide)
+		if err != nil {
+			return err
+		}
+		name = synthetic
+		data = s
+		if alphaOf(synthetic) == seq.Protein {
+			alpha = seq.Protein
+		}
+	default:
+		return fmt.Errorf("one of -fasta or -synthetic is required")
+	}
+
+	start := time.Now()
+	idx := core.Build(data)
+	buildDur := time.Since(start)
+	st := idx.ComputeStats()
+	comp, err := core.Freeze(idx, alpha)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sequence:        %s (%d characters)\n", name, len(data))
+	fmt.Printf("build time:      %v (%.0f ns/char)\n", buildDur, float64(buildDur.Nanoseconds())/float64(max(1, len(data))))
+	fmt.Printf("nodes:           %d (== length, plus root)\n", st.Length)
+	fmt.Printf("ribs / extribs:  %d / %d\n", st.RibCount, st.ExtribCount)
+	fmt.Printf("max labels:      LEL %d, PT %d, PRT %d (2-byte fields %v)\n",
+		st.MaxLEL, st.MaxPT, st.MaxPRT, st.MaxLEL < 65535 && st.MaxPT < 65535)
+	fmt.Printf("edge nodes:      %.1f%% of nodes have downstream edges\n", st.NodesWithEdgesPercent())
+	fmt.Printf("fan-out:         1:%.1f%% 2:%.1f%% 3:%.1f%% 4:%.1f%%\n",
+		st.FanoutPercent(1), st.FanoutPercent(2), st.FanoutPercent(3), st.FanoutPercent(4))
+	fmt.Printf("reference mem:   %d bytes (%.1f B/char)\n", idx.MemoryBytes(),
+		float64(idx.MemoryBytes())/float64(max(1, len(data))))
+	fmt.Printf("compact layout:  %d bytes (%.2f B/char)\n", comp.SizeBytes(), comp.BytesPerChar())
+	fmt.Printf("link histogram:  ")
+	for i, v := range idx.LinkHistogram(buckets) {
+		if i > 0 {
+			fmt.Printf(" ")
+		}
+		fmt.Printf("%.1f%%", v)
+	}
+	fmt.Println()
+	if verify {
+		start = time.Now()
+		if err := idx.Verify(); err != nil {
+			return fmt.Errorf("integrity check FAILED: %w", err)
+		}
+		fmt.Printf("integrity:       verified in %v\n", time.Since(start))
+	}
+	return nil
+}
+
+func alphaOf(name string) *seq.Alphabet {
+	for _, p := range seqgen.ProteinSuiteNames {
+		if p == name {
+			return seq.Protein
+		}
+	}
+	return seq.DNA
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFASTA(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.fa")
+	data := ">test genome\nacgtacgtacca\ncaacgtgg\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithFASTA(t *testing.T) {
+	if err := run(writeFASTA(t), "", 1, false, 4, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithSynthetic(t *testing.T) {
+	if err := run("", "eco", 1000, false, 4, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithProteinSynthetic(t *testing.T) {
+	if err := run("", "ecoli-res", 1000, false, 4, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsNoInput(t *testing.T) {
+	if err := run("", "", 1, false, 4, false); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestRunRejectsUnknownSynthetic(t *testing.T) {
+	if err := run("", "nope", 1, false, 4, false); err == nil {
+		t.Fatal("unknown synthetic accepted")
+	}
+}
+
+func TestRunRejectsMissingFile(t *testing.T) {
+	if err := run("/nonexistent/genome.fa", "", 1, false, 4, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,51 @@
+// Command spinefig emits Graphviz DOT renderings of the paper's structural
+// figures for any input string: the suffix trie (Figure 1), the suffix
+// tree with suffix links (Figure 2), and the SPINE index with all four
+// edge kinds and their numeric labels (Figure 3). With the default input
+// string aaccacaaca the output reproduces the paper's figures.
+//
+//	spinefig -fig 3 | dot -Tsvg > figure3.svg
+//	spinefig -fig 1 -text mississippi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/suffixtree"
+	"github.com/spine-index/spine/internal/trie"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 3, "figure to render: 1 (trie), 2 (suffix tree), 3 (SPINE)")
+		text = flag.String("text", "aaccacaaca", "string to index (the paper's example by default)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *fig, *text); err != nil {
+		fmt.Fprintln(os.Stderr, "spinefig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig int, text string) error {
+	if text == "" {
+		return fmt.Errorf("empty input string")
+	}
+	switch fig {
+	case 1:
+		return trie.Build([]byte(text)).WriteDot(w)
+	case 2:
+		st, err := suffixtree.Build([]byte(text), 0)
+		if err != nil {
+			return err
+		}
+		return st.WriteDot(w)
+	case 3:
+		return core.Build([]byte(text)).WriteDot(w)
+	}
+	return fmt.Errorf("unknown figure %d (want 1, 2 or 3)", fig)
+}

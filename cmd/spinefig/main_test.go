@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, fig int, text string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(&b, fig, text); err != nil {
+		t.Fatalf("run(fig=%d): %v", fig, err)
+	}
+	return b.String()
+}
+
+func TestFigure3ReproducesPaperEdges(t *testing.T) {
+	dot := render(t, 3, "aaccacaaca")
+	// The Figure 3 edges the paper calls out explicitly.
+	for _, want := range []string{
+		`n3 -> n5 [label="a(1)"`,                // rib from node 3, PT 1
+		`n5 -> n7 [style=dotted, label="1(2)"`,  // extrib 5->7, PRT 1, PT 2
+		`n7 -> n10 [style=dotted, label="1(3)"`, // extrib 7->10, PRT 1, PT 3
+		`n8 -> n2 [style=dashed`,                // "link from Node 8 to Node 2"
+		`n0 -> n1 [label="a"`,                   // first vertebra
+		`n9 -> n10 [label="a"`,                  // last vertebra
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Figure 3 DOT missing %q", want)
+		}
+	}
+	if !strings.HasPrefix(dot, "digraph spine {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("not a well-formed digraph")
+	}
+}
+
+func TestFigure1And2Render(t *testing.T) {
+	f1 := render(t, 1, "aaccacaaca")
+	if !strings.Contains(f1, "digraph trie") || strings.Count(f1, "->") < 30 {
+		t.Errorf("Figure 1 trie looks wrong (%d edges)", strings.Count(f1, "->"))
+	}
+	f2 := render(t, 2, "aaccacaaca")
+	if !strings.Contains(f2, "digraph suffixtree") {
+		t.Error("Figure 2 header missing")
+	}
+	if !strings.Contains(f2, "style=dashed") {
+		t.Error("Figure 2 has no suffix links")
+	}
+	if !strings.Contains(f2, "$") {
+		t.Error("Figure 2 terminal not displayed")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 9, "ac"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run(&b, 3, ""); err == nil {
+		t.Error("empty text accepted")
+	}
+}

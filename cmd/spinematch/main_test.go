@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFASTA(t *testing.T, name, seq string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(">"+name+"\n"+seq+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSpineEngine(t *testing.T) {
+	a := writeFASTA(t, "a.fa", "acaccgacgatacgagattacgagacgagaatacaacag")
+	b := writeFASTA(t, "b.fa", "catagagagacgattacgagaaaacgggaaagacgatcc")
+	if err := run(a, b, "", "", 1, 6, "spine", 10); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunTreeEngine(t *testing.T) {
+	a := writeFASTA(t, "a.fa", "acaccgacgatacgagattacgagacgagaatacaacag")
+	b := writeFASTA(t, "b.fa", "catagagagacgattacgagaaaacgggaaagacgatcc")
+	if err := run(a, b, "", "", 1, 6, "st", 10); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSynthetic(t *testing.T) {
+	if err := run("", "", "eco", "cel", 2000, 10, "spine", 5); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownEngine(t *testing.T) {
+	a := writeFASTA(t, "a.fa", "acgt")
+	b := writeFASTA(t, "b.fa", "acgt")
+	if err := run(a, b, "", "", 1, 3, "warp", 5); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestRunRejectsMissingSequences(t *testing.T) {
+	if err := run("", "", "", "", 1, 3, "spine", 5); err == nil {
+		t.Fatal("missing sequences accepted")
+	}
+}

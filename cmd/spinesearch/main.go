@@ -1,0 +1,103 @@
+// Command spinesearch builds a SPINE index over a sequence and answers
+// pattern queries: existence, first occurrence, and all occurrences.
+//
+// Usage:
+//
+//	spinesearch -fasta genome.fa -pattern acgtac -pattern ttga
+//	spinesearch -synthetic eco -divide 100 -pattern acca -all=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+type patterns []string
+
+func (p *patterns) String() string     { return strings.Join(*p, ",") }
+func (p *patterns) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var pats patterns
+	var (
+		fasta     = flag.String("fasta", "", "FASTA file to index (first record)")
+		synthetic = flag.String("synthetic", "", "synthetic suite sequence name")
+		divide    = flag.Int("divide", 1, "scale divisor for synthetic sequences")
+		all       = flag.Bool("all", true, "report all occurrences (not just the first)")
+		limit     = flag.Int("limit", 20, "max occurrences to print per pattern")
+	)
+	flag.Var(&pats, "pattern", "pattern to search (repeatable)")
+	flag.Parse()
+	if err := run(*fasta, *synthetic, *divide, pats, *all, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "spinesearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fasta, synthetic string, divide int, pats []string, all bool, limit int) error {
+	if len(pats) == 0 {
+		return fmt.Errorf("at least one -pattern is required")
+	}
+	var data []byte
+	switch {
+	case fasta != "":
+		f, err := os.Open(fasta)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		recs, err := seq.ReadFASTA(f)
+		if err != nil {
+			return err
+		}
+		data = seq.DNA.Sanitize(recs[0].Seq)
+	case synthetic != "":
+		s, err := seqgen.SuiteSequence(synthetic, divide)
+		if err != nil {
+			return err
+		}
+		data = s
+	default:
+		return fmt.Errorf("one of -fasta or -synthetic is required")
+	}
+
+	start := time.Now()
+	idx := core.Build(data)
+	fmt.Printf("indexed %d characters in %v\n", len(data), time.Since(start))
+
+	for _, p := range pats {
+		pb := []byte(p)
+		start = time.Now()
+		if !all {
+			pos := idx.Find(pb)
+			dur := time.Since(start)
+			if pos < 0 {
+				fmt.Printf("%-20q not found (%v)\n", p, dur)
+			} else {
+				fmt.Printf("%-20q first at %d (%v)\n", p, pos, dur)
+			}
+			continue
+		}
+		occ := idx.FindAll(pb)
+		dur := time.Since(start)
+		if len(occ) == 0 {
+			fmt.Printf("%-20q not found (%v)\n", p, dur)
+			continue
+		}
+		shown := occ
+		suffix := ""
+		if len(shown) > limit {
+			shown = shown[:limit]
+			suffix = fmt.Sprintf(" ... (%d total)", len(occ))
+		}
+		fmt.Printf("%-20q %d occurrences (%v): %v%s\n", p, len(occ), dur, shown, suffix)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFASTA(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.fa")
+	if err := os.WriteFile(path, []byte(">g\nacgtacgtacca\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFindsPatterns(t *testing.T) {
+	if err := run(writeFASTA(t), "", 1, []string{"acgt", "zz"}, true, 5); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFirstOnly(t *testing.T) {
+	if err := run(writeFASTA(t), "", 1, []string{"acca"}, false, 5); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSynthetic(t *testing.T) {
+	if err := run("", "eco", 1000, []string{"acgt"}, true, 3); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRequiresPattern(t *testing.T) {
+	if err := run(writeFASTA(t), "", 1, nil, true, 5); err == nil {
+		t.Fatal("missing pattern accepted")
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run("", "", 1, []string{"a"}, true, 5); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

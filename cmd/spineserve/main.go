@@ -1,0 +1,225 @@
+// Command spineserve serves substring queries over a SPINE index via
+// HTTP — the "integration with database engines" angle of §1: the index is
+// linear, serializable and read-concurrent, so a query service is a thin
+// layer.
+//
+//	spineserve -fasta genome.fa -addr :8080
+//	spineserve -synthetic eco -divide 100 -addr :8080
+//
+// Endpoints (all JSON):
+//
+//	GET  /stats                          index statistics
+//	GET  /contains?q=acgt                substring test
+//	GET  /find?q=acgt                    first occurrence
+//	GET  /findall?q=acgt&limit=100       all occurrences
+//	GET  /approx?q=acgt&k=1&model=hamming  approximate occurrences
+//	POST /match?minlen=20                maximal matches vs the body sequence
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+
+	"github.com/spine-index/spine"
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+func main() {
+	var (
+		fasta     = flag.String("fasta", "", "FASTA file to index (first record)")
+		synthetic = flag.String("synthetic", "", "synthetic suite sequence name")
+		divide    = flag.Int("divide", 1, "scale divisor for synthetic sequences")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	srv, err := newServer(*fasta, *synthetic, *divide)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spineserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("spineserve: indexed %d characters, listening on %s", srv.idx.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+}
+
+// server wraps a built index with HTTP handlers.
+type server struct {
+	idx *spine.Index
+}
+
+func newServer(fasta, synthetic string, divide int) (*server, error) {
+	var data []byte
+	switch {
+	case fasta != "":
+		f, err := os.Open(fasta)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		recs, err := seq.ReadFASTA(f)
+		if err != nil {
+			return nil, err
+		}
+		data = seq.DNA.Sanitize(recs[0].Seq)
+	case synthetic != "":
+		s, err := seqgen.SuiteSequence(synthetic, divide)
+		if err != nil {
+			return nil, err
+		}
+		data = s
+	default:
+		return nil, fmt.Errorf("one of -fasta or -synthetic is required")
+	}
+	return &server{idx: spine.Build(data)}, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /stats", s.handleStats)
+	m.HandleFunc("GET /contains", s.handleContains)
+	m.HandleFunc("GET /find", s.handleFind)
+	m.HandleFunc("GET /findall", s.handleFindAll)
+	m.HandleFunc("GET /approx", s.handleApprox)
+	m.HandleFunc("POST /match", s.handleMatch)
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; log-worthy in a real deployment.
+		return
+	}
+}
+
+func badRequest(w http.ResponseWriter, msg string) {
+	http.Error(w, msg, http.StatusBadRequest)
+}
+
+// pattern extracts and validates the q parameter.
+func pattern(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing q parameter")
+		return nil, false
+	}
+	if len(q) > 1<<20 {
+		badRequest(w, "pattern too long")
+		return nil, false
+	}
+	return []byte(q), true
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.idx.Stats()
+	writeJSON(w, map[string]any{
+		"length":      st.Length,
+		"ribs":        st.RibCount,
+		"extribs":     st.ExtribCount,
+		"maxLEL":      st.MaxLEL,
+		"maxPT":       st.MaxPT,
+		"memoryBytes": st.MemoryBytes,
+	})
+}
+
+func (s *server) handleContains(w http.ResponseWriter, r *http.Request) {
+	p, ok := pattern(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]any{"contains": s.idx.Contains(p)})
+}
+
+func (s *server) handleFind(w http.ResponseWriter, r *http.Request) {
+	p, ok := pattern(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]any{"position": s.idx.Find(p)})
+}
+
+func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
+	p, ok := pattern(w, r)
+	if !ok {
+		return
+	}
+	limit := 1000
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			badRequest(w, "bad limit")
+			return
+		}
+		limit = n
+	}
+	occ := s.idx.FindAll(p)
+	total := len(occ)
+	if len(occ) > limit {
+		occ = occ[:limit]
+	}
+	writeJSON(w, map[string]any{"total": total, "positions": occ})
+}
+
+func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
+	p, ok := pattern(w, r)
+	if !ok {
+		return
+	}
+	k := 1
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > 3 {
+			badRequest(w, "bad k (0..3)")
+			return
+		}
+		k = n
+	}
+	model := spine.Hamming
+	switch r.URL.Query().Get("model") {
+	case "", "hamming":
+	case "edit":
+		model = spine.Edit
+	default:
+		badRequest(w, "bad model (hamming|edit)")
+		return
+	}
+	writeJSON(w, map[string]any{"positions": s.idx.FindAllWithin(p, k, model)})
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	minLen := 20
+	if v := r.URL.Query().Get("minlen"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			badRequest(w, "bad minlen")
+			return
+		}
+		minLen = n
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		badRequest(w, "reading body")
+		return
+	}
+	if len(body) == 0 {
+		badRequest(w, "empty query sequence")
+		return
+	}
+	matches, info, err := s.idx.MaximalMatches(body, minLen)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"matches":      matches,
+		"pairs":        info.Pairs,
+		"nodesChecked": info.NodesChecked,
+		"elapsedNs":    info.Elapsed.Nanoseconds(),
+	})
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.fa")
+	if err := os.WriteFile(path, []byte(">g\naaccacaacaggtacca\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(path, "", 1)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]any
+	resp := getJSON(t, ts.URL+"/stats", &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out["length"].(float64) != 17 {
+		t.Fatalf("stats = %v", out)
+	}
+}
+
+func TestContainsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]any
+	getJSON(t, ts.URL+"/contains?q=cacaa", &out)
+	if out["contains"] != true {
+		t.Fatalf("contains(cacaa) = %v", out)
+	}
+	getJSON(t, ts.URL+"/contains?q=accaa", &out)
+	if out["contains"] != false {
+		t.Fatalf("contains(accaa) = %v (the paper's false positive!)", out)
+	}
+}
+
+func TestFindAllEndpointWithLimit(t *testing.T) {
+	ts := testServer(t)
+	var out struct {
+		Total     int   `json:"total"`
+		Positions []int `json:"positions"`
+	}
+	getJSON(t, ts.URL+"/findall?q=ac&limit=2", &out)
+	if out.Total != 4 || len(out.Positions) != 2 || out.Positions[0] != 1 {
+		t.Fatalf("findall = %+v", out)
+	}
+}
+
+func TestApproxEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var out struct {
+		Positions []int `json:"positions"`
+	}
+	getJSON(t, ts.URL+"/approx?q=acaaca&k=1&model=hamming", &out)
+	if len(out.Positions) == 0 {
+		t.Fatalf("approx found nothing: %+v", out)
+	}
+	resp := getJSON(t, ts.URL+"/approx?q=ac&k=9", &out)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized k accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestMatchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/match?minlen=4", "text/plain",
+		strings.NewReader("ttttccacaacagtttt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Pairs        int `json:"pairs"`
+		NodesChecked int `json:"nodesChecked"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Pairs == 0 || out.NodesChecked == 0 {
+		t.Fatalf("match result degenerate: %+v", out)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := testServer(t)
+	for _, url := range []string{"/contains", "/find", "/findall?q=a&limit=0"} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/match", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty match body: status %d", resp.StatusCode)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := newServer("", "", 1); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if _, err := newServer("/nonexistent.fa", "", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := newServer("", "eco", 2000); err != nil {
+		t.Fatalf("synthetic input failed: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+// Package spine implements the SPINE string index — "String Processing
+// INdexing Engine" — a horizontally compacted suffix trie (Neelapala,
+// Mittal & Haritsa, ICDE 2004).
+//
+// SPINE collapses the suffix trie of a string onto a linear backbone with
+// exactly one node per character. Forward edges (vertebras, ribs, extribs)
+// carry every suffix of the string; integer edge labels gate traversal so
+// that the index's valid paths are exactly the string's substrings.
+// Compared with suffix trees, SPINE needs about a third less space, is
+// prefix-partitionable, never stores the text separately, and processes
+// suffixes on a set basis during matching.
+//
+// # Quick start
+//
+//	idx := spine.Build([]byte("aaccacaaca"))
+//	idx.Contains([]byte("cacaa"))   // true
+//	idx.Find([]byte("ac"))          // 1 (first occurrence)
+//	idx.FindAll([]byte("ac"))       // [1 4 7]
+//
+// Construction is online: an Index extended with Append is always complete
+// for the characters seen so far, and the index of a prefix is the prefix
+// of the index.
+//
+// For long-lived, memory-tight deployments, freeze an Index into the
+// compact table layout (< 12 bytes per DNA character):
+//
+//	c, err := idx.Compact(spine.DNA)
+//
+// For genome-scale comparisons, MaximalMatches streams a query against the
+// index and reports all maximal matching substrings above a threshold —
+// the core of MUMmer-style alignment; Align chains reference-unique
+// matches into a global alignment skeleton.
+//
+// Disk-resident indexes (package-level OpenDisk/CreateDisk) run the same
+// structure through a paged buffer manager with the paper's top-retention
+// buffering policy.
+package spine

@@ -1,0 +1,75 @@
+package spine_test
+
+import (
+	"fmt"
+
+	"github.com/spine-index/spine"
+)
+
+// The paper's running example string (Figures 1-3).
+func Example() {
+	idx := spine.Build([]byte("aaccacaaca"))
+	fmt.Println(idx.Contains([]byte("cacaa")))
+	fmt.Println(idx.Contains([]byte("accaa"))) // the paper's false-positive example
+	fmt.Println(idx.FindAll([]byte("ac")))
+	// Output:
+	// true
+	// false
+	// [1 4 7]
+}
+
+func ExampleIndex_Append() {
+	idx := spine.New()
+	for _, c := range []byte("aaccac") {
+		idx.Append(c)
+	}
+	fmt.Println(idx.Find([]byte("cca")))
+	idx.AppendString([]byte("aaca"))
+	fmt.Println(idx.FindAll([]byte("ca")))
+	// Output:
+	// 2
+	// [3 5 8]
+}
+
+func ExampleIndex_MaximalMatches() {
+	data := []byte("acaccgacgatacgagattacgagacgagaatacaacag")
+	query := []byte("catagagagacgattacgagaaaacgggaaagacgatcc")
+	idx := spine.Build(data)
+	matches, _, _ := idx.MaximalMatches(query, 8)
+	for _, m := range matches {
+		fmt.Printf("%s at query %d, data %v\n",
+			query[m.QueryStart:m.QueryStart+m.Len], m.QueryStart, m.DataStarts)
+	}
+	// Output:
+	// gattacgaga at query 11, data [15]
+}
+
+func ExampleIndex_LongestRepeatedSubstring() {
+	idx := spine.Build([]byte("banana"))
+	s, first, second := idx.LongestRepeatedSubstring()
+	fmt.Printf("%s at %d and %d\n", s, first, second)
+	// Output:
+	// ana at 1 and 3
+}
+
+func ExampleIndex_FindAllWithin() {
+	idx := spine.Build([]byte("gggggggacgaacgtggggggg"))
+	fmt.Println(idx.FindAllWithin([]byte("acgtacgt"), 0, spine.Hamming))
+	fmt.Println(idx.FindAllWithin([]byte("acgtacgt"), 1, spine.Hamming))
+	// Output:
+	// []
+	// [7]
+}
+
+func ExampleBuildGeneralized() {
+	g, _ := spine.BuildGeneralized([][]byte{
+		[]byte("atgaccgattacgaga"),
+		[]byte("ccgattacgagattt"),
+	}, '#')
+	for _, loc := range g.FindAll([]byte("gattacgaga")) {
+		fmt.Printf("string %d offset %d\n", loc.StringID, loc.Offset)
+	}
+	// Output:
+	// string 0 offset 6
+	// string 1 offset 2
+}

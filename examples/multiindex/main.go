@@ -1,0 +1,48 @@
+// Multiindex: one SPINE index over many strings (the generalized index of
+// §1.1), used here as a tiny sequence database: index a set of gene
+// sequences once, then locate a probe across all of them.
+package main
+
+import (
+	"fmt"
+
+	"github.com/spine-index/spine"
+)
+
+func main() {
+	genes := map[string][]byte{
+		"geneA": []byte("atgaccgattacgagaaacctga"),
+		"geneB": []byte("atggcagattacgagatttcctaa"),
+		"geneC": []byte("atgttcggcgcatcgtag"),
+	}
+	names := []string{"geneA", "geneB", "geneC"}
+	texts := make([][]byte, len(names))
+	for i, n := range names {
+		texts[i] = genes[n]
+	}
+
+	// '#' never occurs in the sequences, so no match can span two genes.
+	g, err := spine.BuildGeneralized(texts, '#')
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("indexed %d sequences in one SPINE\n", g.Strings())
+
+	for _, probe := range []string{"gattacgaga", "atg", "cccccc"} {
+		locs := g.FindAll([]byte(probe))
+		if len(locs) == 0 {
+			fmt.Printf("probe %-12q not found\n", probe)
+			continue
+		}
+		fmt.Printf("probe %-12q found %d times:", probe, len(locs))
+		for _, l := range locs {
+			fmt.Printf(" %s@%d", names[l.StringID], l.Offset)
+		}
+		fmt.Println()
+	}
+
+	// A pattern overlapping a boundary is never matched: the separator
+	// keeps sequences distinct.
+	boundary := append(append([]byte{}, genes["geneA"][len(genes["geneA"])-3:]...), genes["geneB"][:3]...)
+	fmt.Printf("cross-boundary probe %q found: %v\n", boundary, g.Contains(boundary))
+}

@@ -1,0 +1,85 @@
+// Proteinindex: SPINE over the 20-letter amino-acid alphabet (§5.2 of the
+// paper) with the full production workflow: build online, freeze to the
+// compact 5-bit-per-residue layout, serialize to disk, reload, and run
+// exact and approximate motif queries.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"github.com/spine-index/spine"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	residues := []byte("ACDEFGHIKLMNPQRSTVWY")
+
+	// A synthetic proteome with duplicated (paralogous) domains.
+	const target = 50_000
+	proteome := make([]byte, 0, target)
+	domain := randomPeptide(rng, residues, 120)
+	for len(proteome) < target {
+		if rng.Float64() < 0.15 {
+			// Insert a mutated copy of the shared domain.
+			for _, r := range domain {
+				if rng.Float64() < 0.05 {
+					r = residues[rng.Intn(len(residues))]
+				}
+				proteome = append(proteome, r)
+			}
+		} else {
+			proteome = append(proteome, randomPeptide(rng, residues, 200)...)
+		}
+	}
+
+	idx := spine.Build(proteome)
+	st := idx.Stats()
+	fmt.Printf("proteome: %d residues; max label %d (2-byte fields ok: %v)\n",
+		st.Length, st.MaxLEL, st.MaxLEL < 65535)
+
+	// Freeze with the protein alphabet: 5 bits per residue.
+	compact, err := idx.Compact(spine.Protein)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("compact layout: %.2f bytes per residue\n", compact.BytesPerChar())
+
+	// Serialize and reload (what a service would ship to query nodes).
+	var blob bytes.Buffer
+	if err := compact.Save(&blob); err != nil {
+		panic(err)
+	}
+	blobSize := blob.Len()
+	loaded, err := spine.LoadCompact(&blob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("serialized: %d bytes; reloaded %d residues\n", blobSize, loaded.Len())
+
+	// Exact motif search on the reloaded index.
+	motif := domain[40:52]
+	hits := loaded.FindAll(motif)
+	fmt.Printf("exact motif %q: %d hits\n", motif, len(hits))
+
+	// Approximate search tolerates the paralog mutations (runs on the
+	// online index, which carries the approximate-search machinery).
+	approx := idx.FindAllWithin(motif, 1, spine.Hamming)
+	fmt.Printf("within 1 substitution:   %d hits\n", len(approx))
+	if len(approx) < len(hits) {
+		panic("approximate search found fewer hits than exact")
+	}
+
+	// The shared domain is the proteome's longest repeat.
+	lrs, first, second := idx.LongestRepeatedSubstring()
+	fmt.Printf("longest repeated segment: %d residues (at %d and %d)\n", len(lrs), first, second)
+}
+
+func randomPeptide(rng *rand.Rand, residues []byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = residues[rng.Intn(len(residues))]
+	}
+	return p
+}

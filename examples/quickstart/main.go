@@ -1,0 +1,43 @@
+// Quickstart: build a SPINE index, query it, and inspect its structure —
+// using the paper's running example string "aaccacaaca" (Figures 1-3).
+package main
+
+import (
+	"fmt"
+
+	"github.com/spine-index/spine"
+)
+
+func main() {
+	idx := spine.Build([]byte("aaccacaaca"))
+
+	// Substring queries: valid paths in the index are exactly the
+	// substrings of the text.
+	fmt.Println(`Contains("cacaa"):`, idx.Contains([]byte("cacaa"))) // true
+	fmt.Println(`Contains("accaa"):`, idx.Contains([]byte("accaa"))) // false: the paper's false-positive example, blocked by PT labels
+
+	// First and all occurrences (the paper's §4 walkthrough: target node
+	// buffer 3, 6, 9 -> starts 1, 4, 7).
+	fmt.Println(`Find("ac"):   `, idx.Find([]byte("ac")))
+	fmt.Println(`FindAll("ac"):`, idx.FindAll([]byte("ac")))
+
+	// SPINE is online: extend the index and query again.
+	idx.AppendString([]byte("ac"))
+	fmt.Println(`after append, FindAll("ac"):`, idx.FindAll([]byte("ac")))
+
+	// Structure: exactly one node per character, a third of nodes carry
+	// downstream edges, labels stay tiny.
+	st := idx.Stats()
+	fmt.Printf("nodes=%d ribs=%d extribs=%d maxLEL=%d\n",
+		st.Length, st.RibCount, st.ExtribCount, st.MaxLEL)
+
+	// Freeze into the compact layout for the paper's <12 B/char figure
+	// (tiny strings have fixed overheads; genome-scale strings land below
+	// 12).
+	c, err := idx.Compact(spine.DNA)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("compact: %d bytes total, FindAll(\"ac\") = %v\n",
+		c.SizeBytes(), c.FindAll([]byte("ac")))
+}

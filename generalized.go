@@ -1,0 +1,128 @@
+package spine
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/spine-index/spine/internal/core"
+)
+
+// Generalized is a single SPINE index over multiple strings (§1.1 of the
+// paper: "a single SPINE index can be used to index multiple different
+// strings, using techniques similar to those employed in Generalized
+// Suffix Trees"). The strings are joined by a separator character that
+// occurs in none of them, so no match can span two strings.
+type Generalized struct {
+	c         *core.Index
+	separator byte
+	// bounds[i] is the global start offset of string i in the joined text;
+	// bounds has one extra entry holding the total joined length + 1.
+	bounds []int
+}
+
+// Location is one occurrence inside a generalized index.
+type Location struct {
+	// StringID is the index of the containing string as passed to
+	// BuildGeneralized.
+	StringID int
+	// Offset is the occurrence's start offset within that string.
+	Offset int
+}
+
+// BuildGeneralized indexes every string in texts as one SPINE, joined by
+// separator. It fails if any text contains the separator byte.
+func BuildGeneralized(texts [][]byte, separator byte) (*Generalized, error) {
+	g := &Generalized{c: core.New(), separator: separator}
+	for i, t := range texts {
+		if bytes.IndexByte(t, separator) >= 0 {
+			return nil, fmt.Errorf("spine: string %d contains the separator byte %q", i, separator)
+		}
+		g.bounds = append(g.bounds, g.c.Len())
+		for _, c := range t {
+			g.c.Append(c)
+		}
+		if i < len(texts)-1 {
+			g.c.Append(separator)
+		}
+	}
+	g.bounds = append(g.bounds, g.c.Len()+1)
+	return g, nil
+}
+
+// Strings returns the number of indexed strings.
+func (g *Generalized) Strings() int { return len(g.bounds) - 1 }
+
+// Contains reports whether p occurs inside any indexed string. Patterns
+// containing the separator never occur.
+func (g *Generalized) Contains(p []byte) bool {
+	if bytes.IndexByte(p, g.separator) >= 0 {
+		return false
+	}
+	return g.c.Contains(p)
+}
+
+// FindAll returns every occurrence of p across all indexed strings in
+// (StringID, Offset) order.
+func (g *Generalized) FindAll(p []byte) []Location {
+	if bytes.IndexByte(p, g.separator) >= 0 {
+		return nil
+	}
+	glob := g.c.FindAll(p)
+	if len(p) == 0 {
+		// The empty pattern occurs at every in-string offset; enumerate
+		// per string rather than per joined position.
+		var out []Location
+		for id := 0; id < g.Strings(); id++ {
+			for off := 0; off <= g.lenOf(id); off++ {
+				out = append(out, Location{StringID: id, Offset: off})
+			}
+		}
+		return out
+	}
+	out := make([]Location, 0, len(glob))
+	for _, pos := range glob {
+		id := g.stringAt(pos)
+		out = append(out, Location{StringID: id, Offset: pos - g.bounds[id]})
+	}
+	return out
+}
+
+// lenOf returns the length of string id.
+func (g *Generalized) lenOf(id int) int {
+	end := g.bounds[id+1] - 1 // exclude the separator (or the +1 tail pad)
+	return end - g.bounds[id]
+}
+
+// stringAt locates the string containing global text offset pos.
+func (g *Generalized) stringAt(pos int) int {
+	lo, hi := 0, len(g.bounds)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if g.bounds[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ForEachOccurrence streams every occurrence of p across all indexed
+// strings in (StringID, Offset) order, stopping early if fn returns false.
+func (g *Generalized) ForEachOccurrence(p []byte, fn func(Location) bool) {
+	if bytes.IndexByte(p, g.separator) >= 0 {
+		return
+	}
+	if len(p) == 0 {
+		for _, loc := range g.FindAll(nil) {
+			if !fn(loc) {
+				return
+			}
+		}
+		return
+	}
+	g.c.ForEachOccurrence(p, func(pos int) bool {
+		id := g.stringAt(pos)
+		return fn(Location{StringID: id, Offset: pos - g.bounds[id]})
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/spine-index/spine
+
+go 1.22

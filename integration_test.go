@@ -1,0 +1,111 @@
+package spine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestEndToEndPipeline drives the full production workflow across modules:
+// synthesize a genome, build online, verify, freeze, serialize, reload,
+// cross-check against a disk-resident index that is closed and reopened,
+// then run matching and alignment against a mutated sample.
+func TestEndToEndPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	genome := randomDNA(rng, 20000)
+
+	// 1. Online build + integrity check.
+	idx := New()
+	idx.AppendString(genome)
+	if err := idx.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	// 2. Freeze, serialize, reload.
+	compact, err := idx.Compact(DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := compact.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCompact(&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Disk-resident build, close, reopen.
+	dir := t.TempDir()
+	disk, err := CreateDisk(dir, DiskOptions{BufferPages: 64, Policy: PolicyTopRetention})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.AppendString(genome); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenDisk(dir, DiskOptions{BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+
+	// 4. All four representations answer identically.
+	for q := 0; q < 200; q++ {
+		m := 4 + rng.Intn(16)
+		var p []byte
+		if q%2 == 0 {
+			off := rng.Intn(len(genome) - m)
+			p = genome[off : off+m]
+		} else {
+			p = randomDNA(rng, m)
+		}
+		want := idx.FindAll(p)
+		if got := loaded.FindAll(p); !sameInts(got, want) {
+			t.Fatalf("loaded compact FindAll(%q) = %v, want %v", p, got, want)
+		}
+		got, err := reopened.FindAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameInts(got, want) {
+			t.Fatalf("reopened disk FindAll(%q) = %v, want %v", p, got, want)
+		}
+	}
+
+	// 5. Matching + alignment against a mutated sample find the structure.
+	sample := append([]byte{}, genome[5000:15000]...)
+	for i := range sample {
+		if rng.Float64() < 0.01 {
+			sample[i] = "acgt"[rng.Intn(4)]
+		}
+	}
+	al, err := idx.Align(sample, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.QueryCoverage < 0.6 {
+		t.Fatalf("alignment coverage %.2f", al.QueryCoverage)
+	}
+	// The chain must map the sample back to its source region.
+	for _, a := range al.Chain {
+		if a.RStart < 4500 || a.RStart > 15500 {
+			t.Fatalf("anchor outside source region: %+v", a)
+		}
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

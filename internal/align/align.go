@@ -1,0 +1,148 @@
+// Package align builds a MUMmer-style global alignment skeleton on top of
+// the matching layer: extract anchor matches between a reference and a
+// query, then chain the longest consistent (colinear) subset. This is the
+// application §1 of the paper motivates ("performing global alignment
+// between a pair of genomes ... the core operation of which is searching
+// for maximal unique matches").
+package align
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spine-index/spine/internal/match"
+)
+
+// Anchor is a candidate alignment segment: query[QStart:QStart+Len] ==
+// ref[RStart:RStart+Len].
+type Anchor struct {
+	QStart, RStart, Len int
+}
+
+// Anchors extracts chainable anchors from a matching report: matches that
+// occur at exactly one reference position (reference-unique, the "U" of
+// MUM) of length >= minLen.
+func Anchors(rep match.Report, minLen int) []Anchor {
+	var out []Anchor
+	for _, m := range rep.Matches {
+		if m.Len >= minLen && len(m.DataStarts) == 1 {
+			out = append(out, Anchor{QStart: m.QueryStart, RStart: m.DataStarts[0], Len: m.Len})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].QStart != out[j].QStart {
+			return out[i].QStart < out[j].QStart
+		}
+		return out[i].RStart < out[j].RStart
+	})
+	return out
+}
+
+// Chain selects the heaviest colinear subset of anchors: strictly
+// increasing in both query and reference coordinates without overlap,
+// maximizing total anchored length (weighted LIS, O(k^2) dynamic program —
+// anchor counts are small relative to the genomes).
+func Chain(anchors []Anchor) []Anchor {
+	k := len(anchors)
+	if k == 0 {
+		return nil
+	}
+	sorted := append([]Anchor(nil), anchors...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].QStart != sorted[j].QStart {
+			return sorted[i].QStart < sorted[j].QStart
+		}
+		return sorted[i].RStart < sorted[j].RStart
+	})
+	best := make([]int, k) // best chain weight ending at i
+	prev := make([]int, k)
+	argBest := 0
+	for i := range sorted {
+		best[i] = sorted[i].Len
+		prev[i] = -1
+		for j := 0; j < i; j++ {
+			if sorted[j].QStart+sorted[j].Len <= sorted[i].QStart &&
+				sorted[j].RStart+sorted[j].Len <= sorted[i].RStart &&
+				best[j]+sorted[i].Len > best[i] {
+				best[i] = best[j] + sorted[i].Len
+				prev[i] = j
+			}
+		}
+		if best[i] > best[argBest] {
+			argBest = i
+		}
+	}
+	var chain []Anchor
+	for i := argBest; i >= 0; i = prev[i] {
+		chain = append(chain, sorted[i])
+		if prev[i] < 0 {
+			break
+		}
+	}
+	// Reverse into increasing order.
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	return chain
+}
+
+// Alignment summarizes a chained alignment.
+type Alignment struct {
+	// Chain is the selected colinear anchor chain.
+	Chain []Anchor
+	// Anchored is the total reference length covered by the chain.
+	Anchored int
+	// QueryCoverage and RefCoverage are the anchored fractions.
+	QueryCoverage, RefCoverage float64
+}
+
+// Align runs the full pipeline: maximal matches on the given engine,
+// reference-unique anchor extraction, and chaining.
+func Align(e match.Engine, ref, query []byte, minAnchor int) (Alignment, error) {
+	rep, err := match.MaximalMatches(e, ref, query, minAnchor)
+	if err != nil {
+		return Alignment{}, fmt.Errorf("align: matching: %w", err)
+	}
+	chain := Chain(Anchors(rep, minAnchor))
+	al := Alignment{Chain: chain}
+	for _, a := range chain {
+		al.Anchored += a.Len
+	}
+	if len(query) > 0 {
+		al.QueryCoverage = float64(al.Anchored) / float64(len(query))
+	}
+	if len(ref) > 0 {
+		al.RefCoverage = float64(al.Anchored) / float64(len(ref))
+	}
+	return al, nil
+}
+
+// AlignBothStrands aligns query and its reverse complement against the
+// reference — DNA aligners must consider both orientations (an inverted
+// segment matches only on the reverse strand). The engine is Reset between
+// passes. Reverse-strand anchor coordinates are mapped back to forward
+// query coordinates: a reverse anchor at QStart covers
+// query[QStart : QStart+Len] whose reverse complement equals the reference
+// at RStart.
+func AlignBothStrands(e match.Engine, ref, query []byte, minAnchor int, revComp func([]byte) []byte) (forward, reverse Alignment, err error) {
+	forward, err = Align(e, ref, query, minAnchor)
+	if err != nil {
+		return Alignment{}, Alignment{}, err
+	}
+	e.Reset()
+	rc := revComp(query)
+	reverse, err = Align(e, ref, rc, minAnchor)
+	if err != nil {
+		return Alignment{}, Alignment{}, err
+	}
+	// Map reverse-strand coordinates back onto the forward query.
+	for i, a := range reverse.Chain {
+		reverse.Chain[i].QStart = len(query) - a.QStart - a.Len
+	}
+	// The chain was colinear in rc-coordinates; in forward coordinates it
+	// runs backwards — re-sort for presentation.
+	sort.Slice(reverse.Chain, func(i, j int) bool {
+		return reverse.Chain[i].QStart < reverse.Chain[j].QStart
+	})
+	return forward, reverse, nil
+}

@@ -1,0 +1,173 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/match"
+	"github.com/spine-index/spine/internal/seq"
+)
+
+func TestChainSelectsColinearSubset(t *testing.T) {
+	anchors := []Anchor{
+		{QStart: 0, RStart: 0, Len: 5},
+		{QStart: 10, RStart: 2, Len: 4}, // conflicts with the 0/0 anchor's order? no: overlaps R
+		{QStart: 10, RStart: 10, Len: 6},
+		{QStart: 20, RStart: 20, Len: 3},
+		{QStart: 18, RStart: 5, Len: 2}, // backwards in R; breaks colinearity with 10/10
+	}
+	chain := Chain(anchors)
+	total := 0
+	for i, a := range chain {
+		total += a.Len
+		if i > 0 {
+			p := chain[i-1]
+			if p.QStart+p.Len > a.QStart || p.RStart+p.Len > a.RStart {
+				t.Fatalf("chain not colinear: %+v then %+v", p, a)
+			}
+		}
+	}
+	if total != 5+6+3 {
+		t.Fatalf("chain weight = %d, want 14 (anchors 0/0, 10/10, 20/20)", total)
+	}
+}
+
+func TestChainEmptyAndSingle(t *testing.T) {
+	if got := Chain(nil); got != nil {
+		t.Fatalf("Chain(nil) = %v", got)
+	}
+	one := []Anchor{{QStart: 3, RStart: 7, Len: 9}}
+	got := Chain(one)
+	if len(got) != 1 || got[0] != one[0] {
+		t.Fatalf("Chain(single) = %v", got)
+	}
+}
+
+func TestChainPrefersHeavierPath(t *testing.T) {
+	// A single long anchor outweighs two short colinear ones it conflicts
+	// with.
+	anchors := []Anchor{
+		{QStart: 0, RStart: 50, Len: 3},
+		{QStart: 5, RStart: 60, Len: 3},
+		{QStart: 2, RStart: 0, Len: 20},
+	}
+	chain := Chain(anchors)
+	if len(chain) != 1 || chain[0].Len != 20 {
+		t.Fatalf("chain = %+v, want the single 20-long anchor", chain)
+	}
+}
+
+func TestAnchorsFiltersUniqueOnly(t *testing.T) {
+	rep := match.Report{Matches: []match.Match{
+		{QueryStart: 0, Len: 10, DataStarts: []int{5}},
+		{QueryStart: 20, Len: 10, DataStarts: []int{5, 50}}, // repeated: not an anchor
+		{QueryStart: 40, Len: 3, DataStarts: []int{8}},      // below minLen
+	}}
+	got := Anchors(rep, 5)
+	if len(got) != 1 || got[0] != (Anchor{QStart: 0, RStart: 5, Len: 10}) {
+		t.Fatalf("Anchors = %+v", got)
+	}
+}
+
+// TestAlignRelatedGenomes aligns a mutated copy against its source: the
+// chain must cover most of the query, in order.
+func TestAlignRelatedGenomes(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	ref := make([]byte, 4000)
+	for i := range ref {
+		ref[i] = "acgt"[rng.Intn(4)]
+	}
+	query := append([]byte{}, ref...)
+	for i := range query {
+		if rng.Float64() < 0.01 { // 1% point mutations
+			query[i] = "acgt"[rng.Intn(4)]
+		}
+	}
+	e := match.NewSpineEngine(core.Build(ref))
+	al, err := Align(e, ref, query, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.QueryCoverage < 0.7 {
+		t.Fatalf("query coverage %.2f < 0.7 on 1%%-mutated copy (%d anchors)",
+			al.QueryCoverage, len(al.Chain))
+	}
+	for i := 1; i < len(al.Chain); i++ {
+		p, a := al.Chain[i-1], al.Chain[i]
+		if p.QStart+p.Len > a.QStart || p.RStart+p.Len > a.RStart {
+			t.Fatalf("chain not colinear at %d: %+v then %+v", i, p, a)
+		}
+	}
+}
+
+// TestAlignUnrelatedGenomesLowCoverage checks the converse: random
+// unrelated strings anchor almost nothing at a meaningful threshold.
+func TestAlignUnrelatedGenomesLowCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	ref := make([]byte, 4000)
+	query := make([]byte, 4000)
+	for i := range ref {
+		ref[i] = "acgt"[rng.Intn(4)]
+	}
+	for i := range query {
+		query[i] = "acgt"[rng.Intn(4)]
+	}
+	e := match.NewSpineEngine(core.Build(ref))
+	al, err := Align(e, ref, query, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.QueryCoverage > 0.05 {
+		t.Fatalf("unrelated strings anchored %.2f of the query", al.QueryCoverage)
+	}
+}
+
+func TestAlignEmptyInputs(t *testing.T) {
+	e := match.NewSpineEngine(core.Build([]byte("acgt")))
+	al, err := Align(e, []byte("acgt"), nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Chain) != 0 || al.QueryCoverage != 0 {
+		t.Fatalf("alignment of empty query: %+v", al)
+	}
+}
+
+// TestAlignBothStrandsFindsInversion plants an inverted segment: the
+// forward strand cannot anchor it, the reverse strand must.
+func TestAlignBothStrandsFindsInversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	ref := make([]byte, 6000)
+	for i := range ref {
+		ref[i] = "acgt"[rng.Intn(4)]
+	}
+	query := append([]byte{}, ref...)
+	// Invert (reverse-complement) the middle 2000 bp.
+	mid := seq.MustReverseComplement(query[2000:4000])
+	copy(query[2000:4000], mid)
+
+	e := match.NewSpineEngine(core.Build(ref))
+	fwd, rev, err := AlignBothStrands(e, ref, query, 20, seq.MustReverseComplement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward anchors cover the non-inverted two thirds.
+	if fwd.QueryCoverage < 0.5 || fwd.QueryCoverage > 0.75 {
+		t.Fatalf("forward coverage %.2f, want ~2/3", fwd.QueryCoverage)
+	}
+	// Reverse anchors cover the inverted third.
+	if rev.QueryCoverage < 0.2 || rev.QueryCoverage > 0.45 {
+		t.Fatalf("reverse coverage %.2f, want ~1/3", rev.QueryCoverage)
+	}
+	// Every reverse anchor sits inside the inverted window (allow edges).
+	for _, a := range rev.Chain {
+		if a.QStart < 1900 || a.QStart+a.Len > 4100 {
+			t.Fatalf("reverse anchor outside inversion: %+v", a)
+		}
+		rc := seq.MustReverseComplement(query[a.QStart : a.QStart+a.Len])
+		if string(rc) != string(ref[a.RStart:a.RStart+a.Len]) {
+			t.Fatalf("reverse anchor does not verify: %+v", a)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§6): workload acquisition,
+// parameter sweeps, timing/space/I/O measurement, and row/series printing
+// in the papers' own units. See DESIGN.md §2 for the experiment index.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+// Table is one formatted experiment result.
+type Table struct {
+	ID     string // experiment id, e.g. "fig6"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table to a string.
+func (t Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Corpus generates and caches the synthetic genome suite at a given scale
+// divisor (1 = paper scale; benches default to larger divisors).
+type Corpus struct {
+	divide int
+	cache  map[string][]byte
+}
+
+// NewCorpus returns a corpus at the given scale divisor (>= 1).
+func NewCorpus(divide int) *Corpus {
+	if divide < 1 {
+		divide = 1
+	}
+	return &Corpus{divide: divide, cache: make(map[string][]byte)}
+}
+
+// Divide returns the corpus scale divisor.
+func (c *Corpus) Divide() int { return c.divide }
+
+// Get generates (or returns the cached) sequence for a suite name.
+func (c *Corpus) Get(name string) ([]byte, error) {
+	if s, ok := c.cache[name]; ok {
+		return s, nil
+	}
+	s, err := seqgen.SuiteSequence(name, c.divide)
+	if err != nil {
+		return nil, err
+	}
+	c.cache[name] = s
+	return s, nil
+}
+
+// MustGet is Get for known-valid suite names; it panics on error.
+func (c *Corpus) MustGet(name string) []byte {
+	s, err := c.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+func fmtCount(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}

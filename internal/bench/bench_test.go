@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/spine-index/spine/internal/pager"
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+// A small corpus keeps harness tests fast while exercising every code
+// path; table shapes are asserted, absolute numbers are not.
+func testCorpus() *Corpus { return NewCorpus(400) }
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"A", "LongHeader"},
+		Rows:   [][]string{{"aaaa", "b"}},
+		Notes:  []string{"a note"},
+	}
+	s := tbl.String()
+	for _, want := range []string{"== x: demo ==", "LongHeader", "aaaa", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCorpusCachesAndScales(t *testing.T) {
+	c := NewCorpus(1000)
+	a := c.MustGet("eco")
+	b := c.MustGet("eco")
+	if &a[0] != &b[0] {
+		t.Error("corpus did not cache")
+	}
+	if len(a) != 3500 {
+		t.Errorf("eco/1000 length = %d, want 3500", len(a))
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Error("unknown sequence accepted")
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	tbl := Table2NodeContent()
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("Table 2 rows = %d, want 9", len(tbl.Rows))
+	}
+	if tbl.Rows[0][3] != "0.25" || tbl.Rows[4][3] != "12" {
+		t.Fatalf("Table 2 totals wrong: %v", tbl.Rows)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl, err := Table3LabelValues(testCorpus(), []string{"eco", "cel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "true" {
+			t.Fatalf("labels exceeded 2 bytes at test scale: %v", row)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tbl, err := Table4RibDistribution(testCorpus(), []string{"eco"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	// Decaying percentages: col1 >= col3.
+	if row[1] < row[3] && len(row[1]) == len(row[3]) {
+		t.Fatalf("fan-out percentages not decaying: %v", row)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tbl, err := Fig6ConstructInMemory(testCorpus(), seqgen.SuiteNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The budget scales with the corpus, so the paper's shape must hold at
+	// any scale: hc19 busts the ST model budget, eco fits.
+	if tbl.Rows[0][6] != "true" {
+		t.Fatalf("eco should fit the scaled budget: %v", tbl.Rows[0])
+	}
+	if tbl.Rows[3][6] != "false" || tbl.Rows[3][2] != "OOM(model)" {
+		t.Fatalf("hc19 should exhaust the ST model budget: %v", tbl.Rows[3])
+	}
+}
+
+func TestTable5And6Shape(t *testing.T) {
+	c := testCorpus()
+	pairs := []MatchPair{{"eco", "cel"}}
+	t5, err := Table5MatchInMemory(c, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 1 {
+		t.Fatalf("table5 rows = %d", len(t5.Rows))
+	}
+	t6, err := Table6NodesChecked(c, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t6.Rows[0][4]
+	if !strings.HasPrefix(ratio, "0.") {
+		t.Fatalf("SPINE/ST nodes-checked ratio %s not < 1 (Table 6 shape)", ratio)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tbl, err := Fig8LinkDistribution(testCorpus(), []string{"eco"}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows[0]) != 7 {
+		t.Fatalf("row = %v", tbl.Rows[0])
+	}
+}
+
+func TestBytesPerCharShape(t *testing.T) {
+	tbl, err := BytesPerChar(testCorpus(), []string{"eco"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpc := tbl.Rows[0][1]
+	if bpc >= "12" && len(bpc) >= 2 && bpc[1] != '.' {
+		t.Fatalf("compact SPINE B/char = %s, want < 12", bpc)
+	}
+}
+
+func TestProteinSuiteShape(t *testing.T) {
+	tbl, err := ProteinSuite(testCorpus(), []string{"ecoli-res"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig7AndTable7RunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disk experiments skipped in -short")
+	}
+	c := NewCorpus(2000)
+	cfg := DiskConfig{Policy: pager.TopRetention}
+	f7, err := Fig7ConstructOnDisk(c, []string{"eco"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7.Rows) != 1 {
+		t.Fatalf("fig7 rows = %d", len(f7.Rows))
+	}
+	t7, err := Table7MatchOnDisk(c, []MatchPair{{"cel", "eco"}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 1 {
+		t.Fatalf("table7 rows = %d", len(t7.Rows))
+	}
+}
+
+func TestBufferPolicyAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disk experiments skipped in -short")
+	}
+	tbl, err := BufferPolicyAblation(NewCorpus(2000), "eco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFilterComparisonShape(t *testing.T) {
+	tbl, err := FilterComparison(testCorpus(), "eco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestLinearityShape(t *testing.T) {
+	tbl, err := Linearity(testCorpus(), "cel", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}

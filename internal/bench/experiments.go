@@ -1,0 +1,472 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/match"
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/seqgen"
+	"github.com/spine-index/spine/internal/suffixtree"
+)
+
+// MatchThreshold is the minimum maximal-match length used by the matching
+// experiments (Tables 5-7); the paper's §4 example uses a small threshold,
+// production alignment tools use ~20.
+const MatchThreshold = 20
+
+// alphabetFor returns the alphabet of a suite sequence.
+func alphabetFor(name string) *seq.Alphabet {
+	for _, p := range seqgen.ProteinSuiteNames {
+		if p == name {
+			return seq.Protein
+		}
+	}
+	return seq.DNA
+}
+
+// Table2NodeContent reproduces Table 2: the naive per-node space budget
+// that motivates the §5 optimizations. It is a static audit, identical at
+// every scale.
+func Table2NodeContent() Table {
+	rows := [][]string{
+		{"CharacterLabel", "0.25", "1", "0.25"},
+		{"VertebraDest", "4", "1", "4"},
+		{"Link Dest", "4", "1", "4"},
+		{"Link LEL", "4", "1", "4"},
+		{"Rib Dest", "4", "3", "12"},
+		{"Rib PT", "4", "3", "12"},
+		{"ExtRib Dest", "4", "1", "4"},
+		{"ExtRib PT", "4", "1", "4"},
+		{"ExtRib PRT", "4", "1", "4"},
+	}
+	return Table{
+		ID:     "table2",
+		Title:  "Index node content, naive layout (bytes)",
+		Header: []string{"Field", "Space(B)", "Count", "Total(B)"},
+		Rows:   rows,
+		Notes: []string{
+			"worst-case naive node = 48.25 B; the optimized layout (table-size experiment) brings the average under 12 B/char",
+		},
+	}
+}
+
+// Table3LabelValues reproduces Table 3: maximum numeric label values per
+// genome stay far below 2^16, enabling 2-byte label fields.
+func Table3LabelValues(c *Corpus, names []string) (Table, error) {
+	t := Table{
+		ID:     "table3",
+		Title:  "Maximum numeric label values",
+		Header: []string{"Genome", "Length", "MaxLEL", "MaxPT", "MaxPRT", "Fits2B"},
+	}
+	for _, name := range names {
+		s, err := c.Get(name)
+		if err != nil {
+			return Table{}, err
+		}
+		st := core.Build(s).ComputeStats()
+		maxv := st.MaxLEL
+		if st.MaxPT > maxv {
+			maxv = st.MaxPT
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmtCount(int64(st.Length)),
+			fmt.Sprint(st.MaxLEL), fmt.Sprint(st.MaxPT), fmt.Sprint(st.MaxPRT),
+			fmt.Sprint(maxv < 65535),
+		})
+	}
+	if c.Divide() > 1 {
+		t.Notes = append(t.Notes, fmt.Sprintf("sequence lengths scaled by 1/%d; label maxima grow slowly with length", c.Divide()))
+	}
+	return t, nil
+}
+
+// Table4RibDistribution reproduces Table 4: the percentage of nodes with
+// 1..4 downstream edges, decaying with fan-out, totalling ~28-35%.
+func Table4RibDistribution(c *Corpus, names []string) (Table, error) {
+	t := Table{
+		ID:     "table4",
+		Title:  "Rib distribution across nodes (% of nodes by downstream-edge count)",
+		Header: []string{"Genome", "1", "2", "3", "4", "Total"},
+	}
+	for _, name := range names {
+		s, err := c.Get(name)
+		if err != nil {
+			return Table{}, err
+		}
+		st := core.Build(s).ComputeStats()
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.0f%%", st.FanoutPercent(1)),
+			fmt.Sprintf("%.0f%%", st.FanoutPercent(2)),
+			fmt.Sprintf("%.0f%%", st.FanoutPercent(3)),
+			fmt.Sprintf("%.0f%%", st.FanoutPercent(4)),
+			fmt.Sprintf("%.0f%%", st.NodesWithEdgesPercent()),
+		})
+	}
+	return t, nil
+}
+
+// Fig6ConstructInMemory reproduces Figure 6: in-memory construction times
+// for ST and SPINE, including the memory-budget result (ST exhausts the
+// paper's 1 GB on HC19 under its ~17 B/char model while SPINE at
+// <12 B/char fits; SPINE handles ~30% longer strings per budget).
+func Fig6ConstructInMemory(c *Corpus, names []string) (Table, error) {
+	t := Table{
+		ID:     "fig6",
+		Title:  "Index construction times (in memory)",
+		Header: []string{"Genome", "Length", "ST build", "SPINE build", "ST model mem", "SPINE mem", "ST fits 1GB?"},
+	}
+	// The paper's machine had 1 GB; scale the budget with the corpus. The
+	// ST footprint is its ~17 B/char index plus the retained text plus
+	// allocator overhead (~20 B/char total): at full scale that puts HC19
+	// (57.5M x 20 = 1.15 GB) — and only HC19 — past the budget, the
+	// paper's OOM result.
+	budget := int64(1<<30) / int64(c.Divide())
+	const stTotalBytesPerChar = suffixtree.ModelBytesPerChar + 3.0
+	for _, name := range names {
+		s, err := c.Get(name)
+		if err != nil {
+			return Table{}, err
+		}
+		stModel := int64(float64(len(s)) * stTotalBytesPerChar)
+		stFits := stModel <= budget
+
+		stBuild := "OOM(model)"
+		if stFits {
+			start := time.Now()
+			if _, err := suffixtree.Build(s, 0); err != nil {
+				return Table{}, err
+			}
+			stBuild = fmtDuration(time.Since(start))
+		}
+		start := time.Now()
+		idx := core.Build(s)
+		spineDur := time.Since(start)
+		comp, err := core.Freeze(idx, alphabetFor(name))
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmtCount(int64(len(s))),
+			stBuild, fmtDuration(spineDur),
+			fmtBytes(stModel), fmtBytes(comp.SizeBytes()),
+			fmt.Sprint(stFits),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("memory budget scaled to %s (paper: 1 GB at full scale); ST modelled at %.0f B/char index + text + overhead, SPINE measured",
+			fmtBytes(budget), suffixtree.ModelBytesPerChar),
+	)
+	return t, nil
+}
+
+// MatchPair names a (data, query) experiment pair.
+type MatchPair struct{ Data, Query string }
+
+// homologize implants mutated fragments of data into query, emulating the
+// conserved homologous segments real genome pairs share (independent
+// synthetic sequences would otherwise share no long exact matches, unlike
+// the paper's real genome pairs). About 3% of the query becomes
+// data-derived segments of 100-1000 characters carrying 3% point
+// mutations. Deterministic per pair.
+func homologize(data, query []byte, seed int64) []byte {
+	if len(data) == 0 || len(query) == 0 {
+		return query
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]byte(nil), query...)
+	letters := distinctLetters(data)
+	budget := len(out) * 3 / 100
+	for budget > 0 {
+		segLen := 100 + rng.Intn(900)
+		if segLen > len(data) {
+			segLen = len(data)
+		}
+		if segLen > len(out) {
+			segLen = len(out)
+		}
+		src := rng.Intn(len(data) - segLen + 1)
+		dst := rng.Intn(len(out) - segLen + 1)
+		for i := 0; i < segLen; i++ {
+			b := data[src+i]
+			if rng.Float64() < 0.03 {
+				b = letters[rng.Intn(len(letters))]
+			}
+			out[dst+i] = b
+		}
+		budget -= segLen
+	}
+	return out
+}
+
+func distinctLetters(s []byte) []byte {
+	seen := [256]bool{}
+	var out []byte
+	for _, b := range s {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Table5Pairs are the paper's Table 5 genome combinations.
+var Table5Pairs = []MatchPair{
+	{"eco", "cel"}, {"cel", "hc21"}, {"hc21", "cel"}, {"hc21", "hc19"}, {"hc19", "hc21"},
+}
+
+// Table6Pairs are the paper's Table 6 genome combinations.
+var Table6Pairs = []MatchPair{
+	{"cel", "eco"}, {"hc21", "eco"}, {"hc21", "cel"},
+}
+
+// Table5MatchInMemory reproduces Table 5: time to find all maximal
+// matching substrings (including repetitions) for genome pairs, ST vs
+// SPINE; the paper reports SPINE ~30% faster.
+func Table5MatchInMemory(c *Corpus, pairs []MatchPair) (Table, error) {
+	t := Table{
+		ID:     "table5",
+		Title:  fmt.Sprintf("Substring matching times, threshold %d (in memory)", MatchThreshold),
+		Header: []string{"Data", "Query", "ST", "SPINE", "SPINE/ST", "Pairs"},
+	}
+	for _, p := range pairs {
+		data, err := c.Get(p.Data)
+		if err != nil {
+			return Table{}, err
+		}
+		query, err := c.Get(p.Query)
+		if err != nil {
+			return Table{}, err
+		}
+		query = homologize(data, query, int64(len(data)+len(query)))
+		st, err := suffixtree.Build(data, 0)
+		if err != nil {
+			return Table{}, err
+		}
+		stRep, err := match.MaximalMatches(match.NewTreeEngine(st), data, query, MatchThreshold)
+		if err != nil {
+			return Table{}, err
+		}
+		idx := core.Build(data)
+		spRep, err := match.MaximalMatches(match.NewSpineEngine(idx), data, query, MatchThreshold)
+		if err != nil {
+			return Table{}, err
+		}
+		ratio := float64(spRep.Elapsed) / float64(stRep.Elapsed)
+		t.Rows = append(t.Rows, []string{
+			p.Data, p.Query,
+			fmtDuration(stRep.Elapsed), fmtDuration(spRep.Elapsed),
+			fmt.Sprintf("%.2f", ratio),
+			fmtCount(int64(spRep.Pairs)),
+		})
+	}
+	t.Notes = append(t.Notes, "paper shape: SPINE ~0.6-0.8x of ST")
+	return t, nil
+}
+
+// Table6NodesChecked reproduces Table 6: nodes examined during matching,
+// in thousands — SPINE's set-basis processing examines far fewer.
+func Table6NodesChecked(c *Corpus, pairs []MatchPair) (Table, error) {
+	t := Table{
+		ID:     "table6",
+		Title:  "Number of nodes checked during matching (in 1000s)",
+		Header: []string{"Data", "Query", "ST", "SPINE", "SPINE/ST"},
+	}
+	for _, p := range pairs {
+		data, err := c.Get(p.Data)
+		if err != nil {
+			return Table{}, err
+		}
+		query, err := c.Get(p.Query)
+		if err != nil {
+			return Table{}, err
+		}
+		query = homologize(data, query, int64(len(data)+len(query)))
+		st, err := suffixtree.Build(data, 0)
+		if err != nil {
+			return Table{}, err
+		}
+		te := match.NewTreeEngine(st)
+		if _, err := match.MaximalMatches(te, data, query, MatchThreshold); err != nil {
+			return Table{}, err
+		}
+		se := match.NewSpineEngine(core.Build(data))
+		if _, err := match.MaximalMatches(se, data, query, MatchThreshold); err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Data, p.Query,
+			fmt.Sprintf("%d", te.Checked()/1000),
+			fmt.Sprintf("%d", se.Checked()/1000),
+			fmt.Sprintf("%.2f", float64(se.Checked())/float64(te.Checked())),
+		})
+	}
+	t.Notes = append(t.Notes, "paper shape: SPINE checks ~0.55-0.62x of ST's nodes")
+	return t, nil
+}
+
+// Fig8LinkDistribution reproduces Figure 8: the percentage of links whose
+// destination falls in each backbone segment — top-heavy and decaying.
+func Fig8LinkDistribution(c *Corpus, names []string, buckets int) (Table, error) {
+	t := Table{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Link distribution over the backbone (%d equal segments, %% of links)", buckets),
+		Header: append([]string{"Genome"}, segmentHeaders(buckets)...),
+	}
+	for _, name := range names {
+		s, err := c.Get(name)
+		if err != nil {
+			return Table{}, err
+		}
+		h := core.Build(s).LinkHistogram(buckets)
+		row := []string{name}
+		for _, v := range h {
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper shape: monotone decay from the head segment; motivates top-retention buffering")
+	return t, nil
+}
+
+func segmentHeaders(buckets int) []string {
+	out := make([]string, buckets)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i+1)
+	}
+	return out
+}
+
+// BytesPerChar reproduces the §5/§8 space claims: compact SPINE below 12
+// B/char versus ~17 B/char for an engineered suffix tree (and the ~6
+// B/char suffix-array point from related work, measured on our own
+// implementation).
+func BytesPerChar(c *Corpus, names []string) (Table, error) {
+	t := Table{
+		ID:     "size",
+		Title:  "Index size (bytes per indexed character)",
+		Header: []string{"Genome", "SPINE compact", "ST model", "ST (Go impl)", "SuffixArray"},
+	}
+	for _, name := range names {
+		s, err := c.Get(name)
+		if err != nil {
+			return Table{}, err
+		}
+		idx := core.Build(s)
+		comp, err := core.Freeze(idx, alphabetFor(name))
+		if err != nil {
+			return Table{}, err
+		}
+		st, err := suffixtree.Build(s, 0)
+		if err != nil {
+			return Table{}, err
+		}
+		saBPC := 4.0 + 1.0 // int32 array + text byte
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", comp.BytesPerChar()),
+			fmt.Sprintf("%.1f", suffixtree.ModelBytesPerChar),
+			fmt.Sprintf("%.1f", st.BytesPerChar()),
+			fmt.Sprintf("%.1f", saBPC),
+		})
+	}
+	t.Notes = append(t.Notes, "paper shape: SPINE < 12 B/char vs ~17 B/char for engineered suffix trees")
+	return t, nil
+}
+
+// Linearity reproduces the §6.1 scaling claim: construction time grows
+// linearly with string length ("the indexes take less than two seconds
+// construction time per Mbp"). One genome family is built at a geometric
+// ladder of lengths; per-Mbp cost must stay flat.
+func Linearity(c *Corpus, name string, steps int) (Table, error) {
+	t := Table{
+		ID:     "linear",
+		Title:  "Construction-time linearity (per-Mbp cost across lengths)",
+		Header: []string{"Length", "SPINE build", "SPINE s/Mbp", "ST build", "ST s/Mbp"},
+	}
+	full, err := c.Get(name)
+	if err != nil {
+		return Table{}, err
+	}
+	if steps < 2 {
+		steps = 2
+	}
+	for i := steps; i >= 1; i-- {
+		n := len(full) >> uint(steps-i)
+		if n < 1000 {
+			continue
+		}
+		s := full[:n]
+		start := time.Now()
+		core.Build(s)
+		spineDur := time.Since(start)
+		start = time.Now()
+		if _, err := suffixtree.Build(s, 0); err != nil {
+			return Table{}, err
+		}
+		stDur := time.Since(start)
+		perMbp := func(d time.Duration) string {
+			return fmt.Sprintf("%.3f", d.Seconds()/(float64(n)/1e6))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtCount(int64(n)),
+			fmtDuration(spineDur), perMbp(spineDur),
+			fmtDuration(stDur), perMbp(stDur),
+		})
+	}
+	t.Notes = append(t.Notes, "paper claim (§6.1): <2 s/Mbp on 2004 hardware; linear scaling = flat s/Mbp column")
+	return t, nil
+}
+
+// ProteinSuite reproduces the §5.2 observations on proteomes: labels stay
+// small, under ~30% of nodes carry downstream edges, and construction
+// scales linearly.
+func ProteinSuite(c *Corpus, names []string) (Table, error) {
+	t := Table{
+		ID:     "protein",
+		Title:  "Protein-string behaviour (§5.2)",
+		Header: []string{"Proteome", "Length", "Build", "ns/char", "Search µs/q", "MaxLabel", "EdgeNodes%", "B/char"},
+	}
+	for _, name := range names {
+		s, err := c.Get(name)
+		if err != nil {
+			return Table{}, err
+		}
+		start := time.Now()
+		idx := core.Build(s)
+		dur := time.Since(start)
+		st := idx.ComputeStats()
+		comp, err := core.Freeze(idx, seq.Protein)
+		if err != nil {
+			return Table{}, err
+		}
+		maxv := st.MaxLEL
+		if st.MaxPT > maxv {
+			maxv = st.MaxPT
+		}
+		perChar := float64(dur.Nanoseconds()) / float64(len(s))
+		// §5.2: "the search times are independent of the data string
+		// length" — measure point queries sampled from the text.
+		const numQ = 200
+		start = time.Now()
+		for q := 0; q < numQ; q++ {
+			off := (q * 7919) % (len(s) - 24)
+			idx.Find(s[off : off+24])
+		}
+		searchPerQ := float64(time.Since(start).Microseconds()) / numQ
+		t.Rows = append(t.Rows, []string{
+			name, fmtCount(int64(len(s))), fmtDuration(dur),
+			fmt.Sprintf("%.0f", perChar),
+			fmt.Sprintf("%.2f", searchPerQ),
+			fmt.Sprint(maxv),
+			fmt.Sprintf("%.0f%%", st.NodesWithEdgesPercent()),
+			fmt.Sprintf("%.2f", comp.BytesPerChar()),
+		})
+	}
+	t.Notes = append(t.Notes, "paper shape: linear scaling (flat ns/char), length-independent search, <30% edge nodes")
+	return t, nil
+}

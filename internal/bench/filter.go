@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/qgram"
+	"github.com/spine-index/spine/internal/seq"
+)
+
+// FilterComparison is experiment E13: the §7 related-work contrast between
+// a complete index (SPINE) and a two-level filter index (MRS-style q-gram
+// blocks). The paper: "the performance improvement through complete
+// indexes is typically substantially more, albeit at the cost of increased
+// resource consumption." Measured here as size vs. query latency for exact
+// and 1-substitution search.
+func FilterComparison(c *Corpus, name string) (Table, error) {
+	t := Table{
+		ID:     "filter",
+		Title:  "Complete index (SPINE) vs q-gram filter index (MRS-style, §7)",
+		Header: []string{"Index", "B/char", "First (µs)", "All (µs)", "k=1 (µs)", "BlocksVerified"},
+	}
+	text, err := c.Get(name)
+	if err != nil {
+		return Table{}, err
+	}
+	// Patterns sampled from the text with occasional planted substitutions.
+	rng := rand.New(rand.NewSource(991))
+	const numQ = 200
+	patterns := make([][]byte, numQ)
+	for i := range patterns {
+		off := rng.Intn(len(text) - 24)
+		p := append([]byte(nil), text[off:off+24]...)
+		if i%2 == 1 {
+			p[rng.Intn(len(p))] = "acgt"[rng.Intn(4)]
+		}
+		patterns[i] = p
+	}
+
+	// SPINE (compact for the size figure, reference for queries).
+	idx := core.Build(text)
+	comp, err := core.Freeze(idx, seq.DNA)
+	if err != nil {
+		return Table{}, err
+	}
+	start := time.Now()
+	for _, p := range patterns {
+		idx.Find(p)
+	}
+	spineFirst := time.Since(start)
+	start = time.Now()
+	for _, p := range patterns {
+		idx.FindAll(p)
+	}
+	spineExact := time.Since(start)
+	start = time.Now()
+	for _, p := range patterns {
+		idx.FindAllWithin(p, 1, core.Hamming)
+	}
+	spineApprox := time.Since(start)
+	t.Rows = append(t.Rows, []string{
+		"SPINE (complete)",
+		fmt.Sprintf("%.2f", comp.BytesPerChar()),
+		fmt.Sprintf("%.2f", float64(spineFirst.Microseconds())/numQ),
+		fmt.Sprintf("%.1f", float64(spineExact.Microseconds())/numQ),
+		fmt.Sprintf("%.1f", float64(spineApprox.Microseconds())/numQ),
+		"-",
+	})
+
+	// q-gram filter, q tuned to the corpus size.
+	q := 6
+	for n := len(text); n > 50_000 && q < 12; n /= 4 {
+		q++
+	}
+	f, err := qgram.Build(text, seq.DNA, q, 256)
+	if err != nil {
+		return Table{}, err
+	}
+	start = time.Now()
+	for _, p := range patterns {
+		f.FindAll(p) // the filter has no cheaper first-occurrence path
+	}
+	filtFirst := time.Since(start)
+	start = time.Now()
+	for _, p := range patterns {
+		f.FindAll(p)
+	}
+	filtExact := time.Since(start)
+	start = time.Now()
+	for _, p := range patterns {
+		f.FindAllWithin(p, 1)
+	}
+	filtApprox := time.Since(start)
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("q-gram filter (q=%d)", q),
+		fmt.Sprintf("%.2f", float64(f.SizeBytes())/float64(len(text))),
+		fmt.Sprintf("%.2f", float64(filtFirst.Microseconds())/numQ),
+		fmt.Sprintf("%.1f", float64(filtExact.Microseconds())/numQ),
+		fmt.Sprintf("%.1f", float64(filtApprox.Microseconds())/numQ),
+		fmt.Sprint(f.CandidatesChecked()),
+	})
+	t.Notes = append(t.Notes,
+		"§7 shape: the complete index answers first-occurrence queries in O(pattern); the filter always pays block verification",
+		"SPINE's all-occurrence column includes its O(n) backbone scan, which batch workloads amortize into one pass (§4)")
+	return t, nil
+}

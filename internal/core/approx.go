@@ -1,0 +1,149 @@
+package core
+
+import "sort"
+
+// Approximate matching over the SPINE automaton. The valid-path transition
+// relation is deterministic per character, so approximate search is a
+// bounded-error DFS over (node, pathlen, pattern position) states: at each
+// state every traversable outgoing character is a branch, and mismatching
+// the pattern (or, for edit distance, inserting/deleting) spends error
+// budget. Suffix links are not needed — this is the "approximate matching"
+// capability §7 of the paper points out space-stripped indexes lose.
+//
+// Cost grows with alphabet^k; intended for the small error budgets (k <= 3)
+// used in seed-and-extend pipelines.
+
+// Distance selects the error model for approximate search.
+type Distance int
+
+const (
+	// Hamming counts substitutions only (pattern and match have equal
+	// length).
+	Hamming Distance = iota
+	// Edit counts substitutions, insertions and deletions (Levenshtein).
+	Edit
+)
+
+// edgeOut is one traversable outgoing edge at a (node, pathlen) state.
+type edgeOut struct {
+	c    byte
+	next int32
+}
+
+// successors enumerates every character traversable from node v at path
+// length pathlen, with its destination. At most one edge exists per
+// character (vertebra or resolved rib family member).
+func (idx *Index) successors(v, pathlen int32) []edgeOut {
+	var out []edgeOut
+	if int(v) < len(idx.text) {
+		out = append(out, edgeOut{idx.text[v], v + 1})
+	}
+	for _, r := range idx.Ribs(int(v)) {
+		if pathlen <= r.PT {
+			out = append(out, edgeOut{r.CL, r.Dest})
+			continue
+		}
+		// Fall through the extrib chain of r's family.
+		node := r.Dest
+		for {
+			x, ok := idx.findExtrib(node)
+			if !ok {
+				break
+			}
+			if x.ParentSrc == v && x.PRT == r.PT && x.PT >= pathlen {
+				out = append(out, edgeOut{r.CL, x.Dest})
+				break
+			}
+			node = x.Dest
+		}
+	}
+	return out
+}
+
+// FindAllWithin returns the start offsets of every substring of the
+// indexed text whose distance to p is at most k under the given model, in
+// increasing order without duplicates. k = 0 degenerates to FindAll.
+//
+// For Hamming, every reported window has length len(p); for Edit, windows
+// may be up to k shorter or longer, and each start offset is reported once
+// even when several window lengths match there.
+func (idx *Index) FindAllWithin(p []byte, k int, model Distance) []int {
+	if k < 0 {
+		return nil
+	}
+	if len(p) == 0 {
+		// Consistent with FindAll: the empty pattern matches everywhere
+		// (under Edit with budget k the windows are non-empty too, but the
+		// start set is the same).
+		return idx.FindAll(nil)
+	}
+	// Collect distinct end states (end node, matched length): each is the
+	// first-occurrence end of one matching variant string.
+	type endState struct{ node, length int32 }
+	ends := make(map[endState]bool)
+
+	type frame struct {
+		node, plen int32
+		i          int32 // pattern position consumed
+		errs       int32 // budget remaining
+	}
+	seen := make(map[frame]bool)
+	var dfs func(f frame)
+	dfs = func(f frame) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		if f.i == int32(len(p)) {
+			ends[endState{f.node, f.plen}] = true
+			if model == Hamming || f.errs == 0 {
+				return
+			}
+			// Edit: trailing insertions (text consumes extra characters).
+			for _, e := range idx.successors(f.node, f.plen) {
+				dfs(frame{e.next, f.plen + 1, f.i, f.errs - 1})
+			}
+			return
+		}
+		if model == Edit && f.errs > 0 {
+			// Deletion: skip a pattern character.
+			dfs(frame{f.node, f.plen, f.i + 1, f.errs - 1})
+		}
+		for _, e := range idx.successors(f.node, f.plen) {
+			if e.c == p[f.i] {
+				dfs(frame{e.next, f.plen + 1, f.i + 1, f.errs})
+			} else if f.errs > 0 {
+				// Substitution.
+				dfs(frame{e.next, f.plen + 1, f.i + 1, f.errs - 1})
+			}
+			if model == Edit && f.errs > 0 {
+				// Insertion: text consumes a character the pattern lacks.
+				dfs(frame{e.next, f.plen + 1, f.i, f.errs - 1})
+			}
+		}
+	}
+	dfs(frame{0, 0, 0, int32(k)})
+
+	// Resolve every variant's occurrences and merge start offsets.
+	starts := make(map[int]bool)
+	for es := range ends {
+		if es.length == 0 {
+			continue
+		}
+		for _, end := range idx.scanOccurrences(es.node, es.length) {
+			starts[int(end-es.length)] = true
+		}
+	}
+	out := make([]int, 0, len(starts))
+	for s := range starts {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CountWithin returns the number of distinct start offsets matching p
+// within distance k.
+func (idx *Index) CountWithin(p []byte, k int, model Distance) int {
+	return len(idx.FindAllWithin(p, k, model))
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteHamming returns start offsets where a length-len(p) window is
+// within k substitutions of p.
+func bruteHamming(s, p []byte, k int) []int {
+	var out []int
+	for i := 0; i+len(p) <= len(s); i++ {
+		d := 0
+		for j := range p {
+			if s[i+j] != p[j] {
+				d++
+			}
+		}
+		if d <= k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// bruteEdit returns start offsets i such that some window s[i:j] has edit
+// distance <= k to p. Computed per start with banded DP over window
+// lengths len(p)-k .. len(p)+k.
+func bruteEdit(s, p []byte, k int) []int {
+	m := len(p)
+	var out []int
+	for i := 0; i <= len(s); i++ {
+		maxW := m + k
+		if i+1 > len(s) && m > 0 {
+			// windows starting at len(s) can only match via deletions
+		}
+		if w := len(s) - i; maxW > w {
+			maxW = w
+		}
+		// dp[j] = edit distance between s[i:i+t] and p[:j] rolled over t.
+		prev := make([]int, m+1)
+		cur := make([]int, m+1)
+		for j := 0; j <= m; j++ {
+			prev[j] = j
+		}
+		matched := prev[m] <= k && m <= k // empty window
+		for t := 1; t <= maxW && !matched; t++ {
+			cur[0] = t
+			for j := 1; j <= m; j++ {
+				cost := 1
+				if s[i+t-1] == p[j-1] {
+					cost = 0
+				}
+				cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			}
+			if cur[m] <= k {
+				matched = true
+			}
+			prev, cur = cur, prev
+		}
+		if m <= k {
+			matched = true // empty window within budget
+		}
+		if matched && i < len(s)+1 {
+			out = append(out, i)
+		}
+	}
+	// Only starts with at least a nonempty match window inside s make
+	// sense for comparison; drop a trailing start == len(s) unless m <= k.
+	if len(out) > 0 && out[len(out)-1] == len(s) && m > k {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func TestFindAllWithinZeroEqualsExact(t *testing.T) {
+	s := []byte("aaccacaacaggtaccacaaca")
+	idx := Build(s)
+	for _, p := range []string{"ca", "acca", "caacag", "zz"} {
+		got := idx.FindAllWithin([]byte(p), 0, Hamming)
+		want := idx.FindAll([]byte(p))
+		if !equalInts(got, want) {
+			t.Fatalf("k=0 Hamming FindAllWithin(%q) = %v, FindAll = %v", p, got, want)
+		}
+		got = idx.FindAllWithin([]byte(p), 0, Edit)
+		if !equalInts(got, want) {
+			t.Fatalf("k=0 Edit FindAllWithin(%q) = %v, FindAll = %v", p, got, want)
+		}
+	}
+}
+
+func TestFindAllWithinHammingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomRepetitive(rng, []byte("acgt"), 40+rng.Intn(120))
+		idx := Build(s)
+		for q := 0; q < 20; q++ {
+			m := 3 + rng.Intn(8)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = "acgt"[rng.Intn(4)]
+			}
+			k := rng.Intn(3)
+			got := idx.FindAllWithin(p, k, Hamming)
+			want := bruteHamming(s, p, k)
+			if !equalInts(got, orEmpty(want)) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("s=%q p=%q k=%d: got %v, want %v", s, p, k, got, want)
+			}
+		}
+	}
+}
+
+func TestFindAllWithinEditMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	trials := 15
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomRepetitive(rng, []byte("acgt"), 30+rng.Intn(60))
+		idx := Build(s)
+		for q := 0; q < 10; q++ {
+			m := 4 + rng.Intn(6)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = "acgt"[rng.Intn(4)]
+			}
+			k := 1 + rng.Intn(2)
+			got := idx.FindAllWithin(p, k, Edit)
+			want := bruteEdit(s, p, k)
+			if !equalInts(got, orEmpty(want)) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("s=%q p=%q k=%d: got %v, want %v", s, p, k, got, want)
+			}
+		}
+	}
+}
+
+func TestFindAllWithinPlantedMutations(t *testing.T) {
+	// A pattern absent exactly but present with one substitution at a
+	// known position must be found at k=1 and not at k=0.
+	s := []byte("gggggggacgaacgtggggggg") // acgtacgt with one substitution (t->a) at offset 7
+	idx := Build(s)
+	p := []byte("acgtacgt")
+	if got := idx.FindAllWithin(p, 0, Hamming); len(got) != 0 {
+		t.Fatalf("k=0 found %v, want none", got)
+	}
+	got := idx.FindAllWithin(p, 1, Hamming)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("k=1 = %v, want [7]", got)
+	}
+	// With one deletion in the text, Edit finds it but Hamming cannot.
+	s2 := []byte("gggggggacgacgtggggggg") // acgtacgt minus one 't'
+	idx2 := Build(s2)
+	if got := idx2.FindAllWithin(p, 1, Hamming); len(got) != 0 {
+		t.Fatalf("Hamming k=1 on deleted text = %v, want none", got)
+	}
+	if got := idx2.FindAllWithin(p, 1, Edit); len(got) == 0 {
+		t.Fatal("Edit k=1 missed the single-deletion occurrence")
+	}
+}
+
+func TestFindAllWithinNegativeBudget(t *testing.T) {
+	idx := Build([]byte("acgt"))
+	if got := idx.FindAllWithin([]byte("a"), -1, Hamming); got != nil {
+		t.Fatalf("negative budget = %v, want nil", got)
+	}
+}
+
+func TestCountWithin(t *testing.T) {
+	idx := Build([]byte("acgtacgtacgt"))
+	if got := idx.CountWithin([]byte("acgt"), 0, Hamming); got != 3 {
+		t.Fatalf("CountWithin k=0 = %d, want 3", got)
+	}
+	if got := idx.CountWithin([]byte("acga"), 1, Hamming); got < 3 {
+		t.Fatalf("CountWithin k=1 = %d, want >= 3", got)
+	}
+}
+
+func orEmpty(v []int) []int {
+	if v == nil {
+		return []int{}
+	}
+	return v
+}

@@ -1,0 +1,51 @@
+package core
+
+// ScanMany resolves the occurrence end sets of many matches in one
+// sequential pass over the backbone — the §4 optimization: "we defer this
+// step until the first occurrences of all matches are found, and then, in
+// one single final sequential scan of the backbone, the repeated
+// occurrences of all matching patterns are concurrently found."
+//
+// firsts[i] is the first-occurrence end node of match i and lens[i] its
+// length; the result's i-th slice lists every end node of match i in
+// increasing order.
+func (idx *Index) ScanMany(firsts, lens []int32) [][]int32 {
+	return scanManyOn(idx, firsts, lens)
+}
+
+// ScanMany is the compact-layout variant; see Index.ScanMany.
+func (c *CompactIndex) ScanMany(firsts, lens []int32) [][]int32 {
+	return scanManyOn(c, firsts, lens)
+}
+
+func scanManyOn[S store](s S, firsts, lens []int32) [][]int32 {
+	out := make([][]int32, len(firsts))
+	if len(firsts) == 0 {
+		return out
+	}
+	// owners[node] lists the matches whose target buffer contains node.
+	owners := make(map[int32][]int32)
+	minFirst := firsts[0]
+	for i := range firsts {
+		out[i] = []int32{firsts[i]}
+		owners[firsts[i]] = append(owners[firsts[i]], int32(i))
+		if firsts[i] < minFirst {
+			minFirst = firsts[i]
+		}
+	}
+	n := s.textLen()
+	for j := minFirst + 1; j <= n; j++ {
+		link, lel := s.linkOf(j)
+		ms, ok := owners[link]
+		if !ok {
+			continue
+		}
+		for _, m := range ms {
+			if lel >= lens[m] && j > firsts[m] {
+				out[m] = append(out[m], j)
+				owners[j] = append(owners[j], m)
+			}
+		}
+	}
+	return out
+}

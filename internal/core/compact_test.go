@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/seqgen"
+	"github.com/spine-index/spine/internal/trie"
+)
+
+func mustFreeze(t *testing.T, s []byte, alpha *seq.Alphabet) *CompactIndex {
+	t.Helper()
+	c, err := Freeze(Build(s), alpha)
+	if err != nil {
+		t.Fatalf("Freeze(%q): %v", s, err)
+	}
+	return c
+}
+
+// TestCompactEquivalenceExhaustive replays the binary-string exhaustive
+// check on the compact layout: every query result must match both the
+// reference index and the oracle.
+func TestCompactEquivalenceExhaustive(t *testing.T) {
+	alpha := NewTestAlphabet(t, "ac")
+	maxLen := 10
+	if testing.Short() {
+		maxLen = 7
+	}
+	for n := 1; n <= maxLen; n++ {
+		s := make([]byte, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				checkCompactAgainstReference(t, s, alpha)
+				return
+			}
+			for _, c := range []byte("ac") {
+				s[i] = c
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// NewTestAlphabet builds an alphabet over the given letters for tests.
+func NewTestAlphabet(t *testing.T, letters string) *seq.Alphabet {
+	t.Helper()
+	return seq.NewAlphabet([]byte(letters))
+}
+
+func checkCompactAgainstReference(t *testing.T, s []byte, alpha *seq.Alphabet) {
+	t.Helper()
+	ref := Build(s)
+	c, err := Freeze(ref, alpha)
+	if err != nil {
+		t.Fatalf("Freeze(%q): %v", s, err)
+	}
+	o := trie.NewOracle(s)
+	for str := range o.SubstringSet(0) {
+		p := []byte(str)
+		if !c.Contains(p) {
+			t.Fatalf("s=%q: compact Contains(%q) = false", s, p)
+		}
+		if got, want := c.Find(p), ref.Find(p); got != want {
+			t.Fatalf("s=%q: compact Find(%q) = %d, ref %d", s, p, got, want)
+		}
+		if got, want := c.FindAll(p), ref.FindAll(p); !equalInts(got, want) {
+			t.Fatalf("s=%q: compact FindAll(%q) = %v, ref %v", s, p, got, want)
+		}
+		// Near-misses.
+		for _, x := range []byte("ac") {
+			probe := append(append([]byte{}, p...), x)
+			if c.Contains(probe) != ref.Contains(probe) {
+				t.Fatalf("s=%q: compact Contains(%q) disagrees with reference", s, probe)
+			}
+		}
+	}
+}
+
+func TestCompactEquivalenceRandomDNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomRepetitive(rng, []byte("acgt"), 30+rng.Intn(120))
+		ref := Build(s)
+		c, err := Freeze(ref, seq.DNA)
+		if err != nil {
+			t.Fatalf("Freeze: %v", err)
+		}
+		for q := 0; q < 200; q++ {
+			m := 1 + rng.Intn(10)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = "acgt"[rng.Intn(4)]
+			}
+			if got, want := c.Find(p), ref.Find(p); got != want {
+				t.Fatalf("s=%q: compact Find(%q)=%d ref=%d", s, p, got, want)
+			}
+			if got, want := c.FindAll(p), ref.FindAll(p); !equalInts(got, want) {
+				t.Fatalf("s=%q: compact FindAll(%q)=%v ref=%v", s, p, got, want)
+			}
+		}
+	}
+}
+
+func TestCompactCursorMatchesReferenceCursor(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 20; trial++ {
+		text := randomRepetitive(rng, []byte("acgt"), 200)
+		query := randomRepetitive(rng, []byte("acgt"), 100)
+		ref := Build(text)
+		c, err := Freeze(ref, seq.DNA)
+		if err != nil {
+			t.Fatalf("Freeze: %v", err)
+		}
+		rc := NewCursor(ref)
+		cc := NewCompactCursor(c)
+		for j, ch := range query {
+			rc.Advance(ch)
+			cc.Advance(ch)
+			if rc.Len != cc.Len || rc.Node != cc.Node {
+				t.Fatalf("trial %d pos %d: ref (node %d, len %d) vs compact (node %d, len %d)",
+					trial, j, rc.Node, rc.Len, cc.Node, cc.Len)
+			}
+		}
+	}
+}
+
+func TestCompactCursorForeignLetter(t *testing.T) {
+	c := mustFreeze(t, []byte("acgtacgt"), seq.DNA)
+	cur := NewCompactCursor(c)
+	cur.Advance('a')
+	cur.Advance('c')
+	if cur.Len != 2 {
+		t.Fatalf("Len = %d, want 2", cur.Len)
+	}
+	cur.Advance('x')
+	if cur.Len != 0 || cur.Node != 0 {
+		t.Fatalf("foreign letter: Len=%d Node=%d, want 0,0", cur.Len, cur.Node)
+	}
+}
+
+func TestCompactForeignPatternLetters(t *testing.T) {
+	c := mustFreeze(t, []byte("acgtacgt"), seq.DNA)
+	if c.Contains([]byte("acx")) {
+		t.Error("Contains with foreign letter = true")
+	}
+	if got := c.Find([]byte("nn")); got != -1 {
+		t.Errorf("Find with foreign letters = %d, want -1", got)
+	}
+	if got := c.FindAll([]byte("a-")); got != nil {
+		t.Errorf("FindAll with foreign letters = %v, want nil", got)
+	}
+}
+
+func TestCompactPaperExample(t *testing.T) {
+	alpha := NewTestAlphabet(t, "ac")
+	c := mustFreeze(t, []byte("aaccacaaca"), alpha)
+	if got := c.FindAll([]byte("ac")); !equalInts(got, []int{1, 4, 7}) {
+		t.Fatalf("FindAll(ac) = %v, want [1 4 7]", got)
+	}
+	if c.Contains([]byte("accaa")) {
+		t.Fatal("compact layout admitted the accaa false positive")
+	}
+	// Label round-trip through the 2-byte fields.
+	link, lel := c.linkOf(8)
+	if link != 2 || lel != 2 {
+		t.Fatalf("linkOf(8) = (%d, %d), want (2, 2)", link, lel)
+	}
+	x, ok := c.findExtrib(5)
+	if !ok || x != (Extrib{Dest: 7, PT: 2, PRT: 1, ParentSrc: 3}) {
+		t.Fatalf("findExtrib(5) = %+v (%v)", x, ok)
+	}
+}
+
+// TestCompactLabelOverflow forces LEL/PT values past the 2-byte sentinel
+// with a 70k-character run of a single letter and checks the overflow
+// table preserves exact values.
+func TestCompactLabelOverflow(t *testing.T) {
+	n := 70000
+	s := []byte(strings.Repeat("a", n))
+	ref := Build(s)
+	if ref.maxLEL < int32(labelSentinel) {
+		t.Fatalf("test needs LEL >= %d, got %d", labelSentinel, ref.maxLEL)
+	}
+	c, err := Freeze(ref, seq.DNA)
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if len(c.lelOverflow) == 0 {
+		t.Fatal("no LEL overflow entries despite huge labels")
+	}
+	// Every node's link/LEL must round-trip exactly.
+	for i := 1; i <= n; i++ {
+		wd, wl := ref.Link(i)
+		gd, gl := c.linkOf(int32(i))
+		if wd != gd || wl != gl {
+			t.Fatalf("node %d: compact link (%d,%d), ref (%d,%d)", i, gd, gl, wd, wl)
+		}
+	}
+	// And queries still work at both extremes.
+	if got := c.Find(s[:66000]); got != 0 {
+		t.Fatalf("Find(a^66000) = %d, want 0", got)
+	}
+	if got := len(c.FindAll([]byte("aaa"))); got != n-2 {
+		t.Fatalf("FindAll(aaa) count = %d, want %d", got, n-2)
+	}
+}
+
+// TestCompactProteinSpill exercises the spill table: protein alphabets can
+// give a node more than three ribs.
+func TestCompactProteinSpill(t *testing.T) {
+	// Root collects one rib per distinct first-occurring letter; with 20
+	// residues it spills.
+	s := []byte("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY")
+	ref := Build(s)
+	if got := len(ref.Ribs(0)); got <= maxInlineRibs {
+		t.Fatalf("root has %d ribs; test needs > %d", got, maxInlineRibs)
+	}
+	c, err := Freeze(ref, seq.Protein)
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if len(c.spill.ld) == 0 {
+		t.Fatal("spill table empty despite high-fanout node")
+	}
+	o := trie.NewOracle(s)
+	for str := range o.SubstringSet(6) {
+		if !c.Contains([]byte(str)) {
+			t.Fatalf("compact protein index misses %q", str)
+		}
+		if got, want := c.FindAll([]byte(str)), o.Occurrences([]byte(str)); !equalInts(got, want) {
+			t.Fatalf("FindAll(%q) = %v, want %v", str, got, want)
+		}
+	}
+}
+
+// TestCompactBytesPerChar verifies the headline §5 claim on a synthetic
+// genome: the compact layout stays under 12 bytes per indexed character
+// and beats the reference layout by a wide margin.
+func TestCompactBytesPerChar(t *testing.T) {
+	n := 400000
+	if testing.Short() {
+		n = 80000
+	}
+	s := seqgen.MustGenerate(seqgen.Spec{
+		Name: "t", Alphabet: seq.DNA, Length: n,
+		RepeatFraction: 0.30, MeanRepeatLen: 220, MutationRate: 0.02, Seed: 12,
+	})
+	ref := Build(s)
+	c, err := Freeze(ref, seq.DNA)
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	bpc := c.BytesPerChar()
+	if bpc >= 12 {
+		t.Fatalf("compact layout uses %.2f B/char, want < 12 (paper §5)", bpc)
+	}
+	if bpc <= 6 {
+		t.Fatalf("compact layout reports %.2f B/char; implausibly small, accounting bug?", bpc)
+	}
+	if c.SizeBytes() >= ref.MemoryBytes() {
+		t.Fatalf("compact (%d B) not smaller than reference (%d B)", c.SizeBytes(), ref.MemoryBytes())
+	}
+}
+
+func TestFreezeRejectsForeignText(t *testing.T) {
+	if _, err := Freeze(Build([]byte("acgx")), seq.DNA); err == nil {
+		t.Fatal("Freeze accepted text outside the alphabet")
+	}
+	if _, err := Freeze(Build([]byte("acg")), nil); err == nil {
+		t.Fatal("Freeze accepted nil alphabet")
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	c := mustFreeze(t, nil, seq.DNA)
+	if c.Len() != 0 || c.BytesPerChar() != 0 {
+		t.Fatalf("empty compact: Len=%d bpc=%v", c.Len(), c.BytesPerChar())
+	}
+	if !c.Contains(nil) {
+		t.Fatal("empty pattern not contained")
+	}
+	if c.Contains([]byte("a")) {
+		t.Fatal("letter contained in empty index")
+	}
+}
+
+func TestCompactTextRoundTrip(t *testing.T) {
+	s := []byte("aaccacaacaggtacca")
+	c := mustFreeze(t, s, seq.DNA)
+	if got := c.Text(); string(got) != string(s) {
+		t.Fatalf("Text() = %q, want %q", got, s)
+	}
+	// Also after serialization.
+	back := roundTrip(t, c)
+	if got := back.Text(); string(got) != string(s) {
+		t.Fatalf("round-tripped Text() = %q", got)
+	}
+}
+
+func TestCompactStatsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(261))
+	for trial := 0; trial < 10; trial++ {
+		s := randomRepetitive(rng, []byte("acgt"), 100+rng.Intn(400))
+		ref := Build(s)
+		c, err := Freeze(ref, seq.DNA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.ComputeStats()
+		got := c.ComputeStats()
+		if got.Length != want.Length || got.RibCount != want.RibCount ||
+			got.ExtribCount != want.ExtribCount ||
+			got.MaxLEL != want.MaxLEL || got.MaxPT != want.MaxPT || got.MaxPRT != want.MaxPRT {
+			t.Fatalf("s=%q:\ncompact %+v\nref     %+v", s, got, want)
+		}
+		for k := range want.FanoutNodes {
+			if got.FanoutNodes[k] != want.FanoutNodes[k] {
+				t.Fatalf("s=%q: fanout[%d] = %d, want %d", s, k, got.FanoutNodes[k], want.FanoutNodes[k])
+			}
+		}
+	}
+}
+
+func TestCompactStatsProteinSpill(t *testing.T) {
+	s := []byte("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY")
+	ref := Build(s)
+	c, err := Freeze(ref, seq.Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.ComputeStats()
+	got := c.ComputeStats()
+	if got.RibCount != want.RibCount || got.ExtribCount != want.ExtribCount {
+		t.Fatalf("compact %+v, ref %+v", got, want)
+	}
+}

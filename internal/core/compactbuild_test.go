@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+func buildDirect(t *testing.T, s []byte, alpha *seq.Alphabet) *CompactIndex {
+	t.Helper()
+	b, err := NewCompactBuilder(alpha)
+	if err != nil {
+		t.Fatalf("NewCompactBuilder: %v", err)
+	}
+	for _, c := range s {
+		if err := b.Append(c); err != nil {
+			t.Fatalf("Append(%q): %v", c, err)
+		}
+	}
+	return b.Finish()
+}
+
+// assertCompactEquivalent checks two compact indexes answer identically
+// over the full substring set plus near-misses.
+func assertCompactEquivalent(t *testing.T, s []byte, a, b *CompactIndex, alphabet []byte) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("s=%q: lengths %d vs %d", s, a.Len(), b.Len())
+	}
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j <= len(s) && j <= i+12; j++ {
+			p := s[i:j]
+			ga, gb := a.FindAll(p), b.FindAll(p)
+			if !equalInts(ga, gb) {
+				t.Fatalf("s=%q: FindAll(%q): %v vs %v", s, p, ga, gb)
+			}
+		}
+	}
+	for _, c := range alphabet {
+		probe := append(append([]byte{}, s...), c)
+		if a.Contains(probe) != b.Contains(probe) {
+			t.Fatalf("s=%q: Contains(%q) differs", s, probe)
+		}
+	}
+	for i := int32(1); i <= int32(a.Len()); i++ {
+		ad, al := a.linkOf(i)
+		bd, bl := b.linkOf(i)
+		if ad != bd || al != bl {
+			t.Fatalf("s=%q node %d: links (%d,%d) vs (%d,%d)", s, i, ad, al, bd, bl)
+		}
+	}
+}
+
+func TestDirectBuildEqualsFreezeExhaustive(t *testing.T) {
+	alpha := seq.NewAlphabet([]byte("ac"))
+	maxLen := 11
+	if testing.Short() {
+		maxLen = 8
+	}
+	for n := 1; n <= maxLen; n++ {
+		s := make([]byte, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				frozen, err := Freeze(Build(s), alpha)
+				if err != nil {
+					t.Fatalf("Freeze: %v", err)
+				}
+				direct := buildDirect(t, s, alpha)
+				assertCompactEquivalent(t, s, frozen, direct, []byte("ac"))
+				return
+			}
+			for _, c := range []byte("ac") {
+				s[i] = c
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func TestDirectBuildEqualsFreezeRandomDNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomRepetitive(rng, []byte("acgt"), 50+rng.Intn(300))
+		frozen, err := Freeze(Build(s), seq.DNA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := buildDirect(t, s, seq.DNA)
+		assertCompactEquivalent(t, s, frozen, direct, []byte("acgt"))
+	}
+}
+
+func TestDirectBuildProteinSpill(t *testing.T) {
+	s := []byte("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWYACDEFGHIKL")
+	frozen, err := Freeze(Build(s), seq.Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := buildDirect(t, s, seq.Protein)
+	if len(direct.spill.ld) == 0 {
+		t.Fatal("direct build did not exercise the spill table")
+	}
+	// Finish must have compacted: no dead rows remain referenced.
+	assertCompactEquivalent(t, s, frozen, direct, []byte("ACDEFGHIKLMNPQRSTVWY"))
+	if got, want := len(direct.spill.ld), len(frozen.spill.ld); got != want {
+		t.Fatalf("spill rows after compaction: %d, frozen has %d", got, want)
+	}
+}
+
+func TestDirectBuildOverflowLabels(t *testing.T) {
+	s := []byte(strings.Repeat("a", 70000))
+	direct := buildDirect(t, s, seq.DNA)
+	if len(direct.lelOverflow) == 0 {
+		t.Fatal("no overflow entries on a^70000")
+	}
+	if got := direct.Find(s[:66000]); got != 0 {
+		t.Fatalf("Find(a^66000) = %d", got)
+	}
+}
+
+func TestDirectBuildRejectsForeignLetter(t *testing.T) {
+	b, err := NewCompactBuilder(seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append('x'); err == nil {
+		t.Fatal("foreign letter accepted")
+	}
+	if _, err := NewCompactBuilder(nil); err == nil {
+		t.Fatal("nil alphabet accepted")
+	}
+}
+
+func TestDirectBuildSizeMatchesFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	s := randomRepetitive(rng, []byte("acgt"), 5000)
+	frozen, err := Freeze(Build(s), seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := buildDirect(t, s, seq.DNA)
+	fb, db := frozen.SizeBytes(), direct.SizeBytes()
+	// Identical logical content; allow slack for slice growth capacity
+	// (SizeBytes counts lengths, so they should match exactly).
+	if fb != db {
+		t.Fatalf("SizeBytes: frozen %d vs direct %d", fb, db)
+	}
+}
+
+// TestDirectBuildSerializationRoundTrip confirms direct-built indexes
+// serialize like frozen ones.
+func TestDirectBuildSerializationRoundTrip(t *testing.T) {
+	s := []byte("aaccacaacaggtaccacaacag")
+	direct := buildDirect(t, s, seq.DNA)
+	back := roundTrip(t, direct)
+	if got, want := back.FindAll([]byte("caa")), direct.FindAll([]byte("caa")); !equalInts(got, want) {
+		t.Fatalf("round trip FindAll = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+// TestConcurrentReaders hammers a built index (and its compact twin) from
+// many goroutines at once; run with -race to validate the documented
+// guarantee that completed indexes are safe for concurrent readers.
+func TestConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	text := randomRepetitive(rng, []byte("acgt"), 4000)
+	idx := Build(text)
+	comp, err := Freeze(idx, seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-generate per-goroutine workloads (rand.Rand is not thread-safe).
+	const workers = 8
+	patterns := make([][][]byte, workers)
+	for w := range patterns {
+		for q := 0; q < 50; q++ {
+			off := rng.Intn(len(text) - 10)
+			patterns[w] = append(patterns[w], text[off:off+4+rng.Intn(6)])
+		}
+	}
+	want := make([][]int, workers)
+	for w := range want {
+		want[w] = idx.FindAll(patterns[w][0])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur := NewCursor(idx)
+			for _, p := range patterns[w] {
+				if !idx.Contains(p) {
+					t.Errorf("worker %d: Contains(%q) = false", w, p)
+					return
+				}
+				if got := comp.FindAll(p); len(got) == 0 {
+					t.Errorf("worker %d: compact FindAll(%q) empty", w, p)
+					return
+				}
+				for _, c := range p {
+					cur.Advance(c)
+				}
+				cur.Reset()
+			}
+			if got := idx.FindAll(patterns[w][0]); !equalInts(got, want[w]) {
+				t.Errorf("worker %d: FindAll drifted", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,22 @@
+package core
+
+// Cursor implements streaming matching statistics over the index: feed it
+// the query string one character at a time and it maintains the longest
+// suffix of the consumed query that occurs in the indexed text, together
+// with that suffix's first-occurrence end node (field Node) and length
+// (field Len).
+//
+// This is SPINE's set-basis suffix processing (§4 and §4.1 of the paper):
+// on a mismatch, one hop up the link chain discards a whole set of suffix
+// lengths at once, where a suffix tree walks suffix links one suffix at a
+// time. The Checked field counts the nodes examined — the Table 6 metric.
+//
+// Advance consumes one query character: it extends the current match if
+// possible, otherwise shortens to the longest extendable suffix (possibly
+// empty). After Advance, Len is the matching statistic for the consumed
+// position. MatchEnds lists every end position of the current match.
+type Cursor = cursorState[*Index]
+
+// NewCursor returns a cursor over idx positioned at the root with an empty
+// match.
+func NewCursor(idx *Index) *Cursor { return &Cursor{st: idx} }

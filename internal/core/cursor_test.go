@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteMatchingStatistic returns, for each position j in query (1-based
+// end), the length of the longest suffix of query[:j] that occurs in text.
+func bruteMatchingStatistics(text, query []byte) []int {
+	ms := make([]int, len(query))
+	for j := 1; j <= len(query); j++ {
+		for l := j; l >= 1; l-- {
+			if bruteContains(text, query[j-l:j]) {
+				ms[j-1] = l
+				break
+			}
+		}
+	}
+	return ms
+}
+
+func bruteContains(text, p []byte) bool {
+	for i := 0; i+len(p) <= len(text); i++ {
+		if string(text[i:i+len(p)]) == string(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCursorMatchingStatisticsExact(t *testing.T) {
+	text := []byte("aaccacaaca")
+	query := []byte("ccacaacaacca")
+	idx := Build(text)
+	cur := NewCursor(idx)
+	want := bruteMatchingStatistics(text, query)
+	for j, c := range query {
+		cur.Advance(c)
+		if int(cur.Len) != want[j] {
+			t.Fatalf("query pos %d (%q): matched length %d, want %d", j, query[:j+1], cur.Len, want[j])
+		}
+		// The cursor must sit at the first-occurrence end of its match.
+		if cur.Len > 0 {
+			m := query[j+1-int(cur.Len) : j+1]
+			if got := idx.Find(m); got != int(cur.Node)-int(cur.Len) {
+				t.Fatalf("query pos %d: cursor node %d (start %d), Find(%q)=%d",
+					j, cur.Node, int(cur.Node)-int(cur.Len), m, got)
+			}
+		}
+	}
+}
+
+func TestCursorMatchingStatisticsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	letters := []byte("acgt")
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 20 + rng.Intn(80)
+		text := randomRepetitive(rng, letters, n)
+		// Query shares structure with text half the time so long matches occur.
+		var query []byte
+		if trial%2 == 0 {
+			query = randomRepetitive(rng, letters, 30)
+		} else {
+			query = append([]byte{}, text[rng.Intn(n/2):]...)
+			for i := range query {
+				if rng.Float64() < 0.1 {
+					query[i] = letters[rng.Intn(4)]
+				}
+			}
+		}
+		idx := Build(text)
+		cur := NewCursor(idx)
+		want := bruteMatchingStatistics(text, query)
+		for j, c := range query {
+			cur.Advance(c)
+			if int(cur.Len) != want[j] {
+				t.Fatalf("text=%q query=%q pos %d: matched %d, want %d",
+					text, query, j, cur.Len, want[j])
+			}
+		}
+	}
+}
+
+func TestCursorForeignCharacterResets(t *testing.T) {
+	idx := Build([]byte("acgtacgt"))
+	cur := NewCursor(idx)
+	for _, c := range []byte("acg") {
+		cur.Advance(c)
+	}
+	if cur.Len != 3 {
+		t.Fatalf("Len = %d, want 3", cur.Len)
+	}
+	cur.Advance('x') // never occurs
+	if cur.Len != 0 || cur.Node != 0 {
+		t.Fatalf("after foreign char: Len=%d Node=%d, want 0,0", cur.Len, cur.Node)
+	}
+	cur.Advance('a')
+	if cur.Len != 1 {
+		t.Fatalf("recovery failed: Len = %d, want 1", cur.Len)
+	}
+}
+
+func TestCursorMatchEnds(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	cur := NewCursor(idx)
+	for _, c := range []byte("ac") {
+		cur.Advance(c)
+	}
+	ends := cur.MatchEnds()
+	want := []int32{3, 6, 9}
+	if len(ends) != len(want) {
+		t.Fatalf("MatchEnds = %v, want %v", ends, want)
+	}
+	for i := range ends {
+		if ends[i] != want[i] {
+			t.Fatalf("MatchEnds = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestCursorMatchEndsEmpty(t *testing.T) {
+	cur := NewCursor(Build([]byte("acgt")))
+	if got := cur.MatchEnds(); got != nil {
+		t.Fatalf("MatchEnds on empty match = %v, want nil", got)
+	}
+}
+
+func TestCursorResetPreservesChecked(t *testing.T) {
+	cur := NewCursor(Build([]byte("acgtacgt")))
+	cur.Advance('a')
+	cur.Advance('c')
+	checked := cur.Checked
+	if checked == 0 {
+		t.Fatal("Checked stayed 0 after advances")
+	}
+	cur.Reset()
+	if cur.Len != 0 || cur.Node != 0 {
+		t.Fatal("Reset did not clear position")
+	}
+	if cur.Checked != checked {
+		t.Fatalf("Reset cleared Checked: %d -> %d", checked, cur.Checked)
+	}
+}
+
+// TestCursorChecksFewerNodesThanSuffixCount spot-checks the §4.1 claim at
+// small scale: processing suffixes on a set basis keeps the per-character
+// work bounded; total checks grow linearly, not quadratically.
+func TestCursorCheckedGrowsLinearly(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	letters := []byte("acgt")
+	text := randomRepetitive(rng, letters, 2000)
+	idx := Build(text)
+	query := randomRepetitive(rng, letters, 1000)
+	cur := NewCursor(idx)
+	for _, c := range query {
+		cur.Advance(c)
+	}
+	// Amortized bound: each Advance does O(1) amortized chain hops; allow a
+	// generous constant.
+	if cur.Checked > int64(len(query))*20 {
+		t.Fatalf("Checked = %d for %d query chars; set-basis processing broken?", cur.Checked, len(query))
+	}
+}
+
+func randomRepetitive(rng *rand.Rand, letters []byte, n int) []byte {
+	s := make([]byte, 0, n)
+	for len(s) < n {
+		if len(s) > 10 && rng.Float64() < 0.5 {
+			l := 1 + rng.Intn(10)
+			if l > len(s) {
+				l = len(s)
+			}
+			start := rng.Intn(len(s) - l + 1)
+			s = append(s, s[start:start+l]...)
+		} else {
+			s = append(s, letters[rng.Intn(len(letters))])
+		}
+	}
+	return s[:n]
+}

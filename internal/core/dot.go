@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the index as a Graphviz digraph in the style of the
+// paper's Figure 3: the backbone as a vertical chain of circled nodes with
+// character-labelled vertebras, ribs as solid curved edges labelled
+// "CL(PT)", extribs as dotted edges labelled "PRT(PT)", and links as
+// dashed upstream edges labelled with their LEL. Rendering
+// `dot -Tsvg` of the paper's example string aaccacaaca reproduces
+// Figure 3 edge for edge.
+func (idx *Index) WriteDot(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("digraph spine {\n")
+	ew.printf("  rankdir=TB;\n")
+	ew.printf("  node [shape=circle, fontsize=11, width=0.3, fixedsize=true];\n")
+	ew.printf("  edge [fontsize=9];\n")
+	n := idx.Len()
+	for i := 0; i <= n; i++ {
+		ew.printf("  n%d [label=\"%d\"];\n", i, i)
+	}
+	// Vertebras: the backbone chain.
+	for i := 0; i < n; i++ {
+		ew.printf("  n%d -> n%d [label=\"%c\", weight=100, penwidth=1.4];\n", i, i+1, idx.text[i])
+	}
+	// Links (dashed, upstream), ribs (solid, constraint-free so the
+	// backbone stays straight) and extribs (dotted).
+	for i := 1; i <= n; i++ {
+		dest, lel := idx.Link(i)
+		ew.printf("  n%d -> n%d [style=dashed, color=gray40, label=\"%d\", constraint=false];\n", i, dest, lel)
+	}
+	for i := 0; i <= n; i++ {
+		for _, r := range idx.Ribs(i) {
+			ew.printf("  n%d -> n%d [label=\"%c(%d)\", constraint=false];\n", i, r.Dest, r.CL, r.PT)
+		}
+		if x, ok := idx.ExtribAt(i); ok {
+			ew.printf("  n%d -> n%d [style=dotted, label=\"%d(%d)\", constraint=false];\n", i, x.Dest, x.PRT, x.PT)
+		}
+	}
+	ew.printf("}\n")
+	return ew.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

@@ -1,0 +1,170 @@
+package core
+
+// store is the storage abstraction the search engine runs over. Both the
+// reference layout (Index) and the §5 compact layout (CompactIndex)
+// implement it; the engine is instantiated per concrete type so the hot
+// loops devirtualize.
+//
+// Implementations operate on their native character representation: raw
+// letters for Index, dense alphabet codes for CompactIndex. Callers
+// translate patterns before invoking the engine.
+type store interface {
+	// textLen returns the indexed length n.
+	textLen() int32
+	// charAt returns the vertebra character label of node v (v < n).
+	charAt(v int32) byte
+	// findRib returns the rib labelled c at node t, if any.
+	findRib(t int32, c byte) (Rib, bool)
+	// findExtrib returns the extrib at node t, if any.
+	findExtrib(t int32) (Extrib, bool)
+	// linkOf returns (link, LEL) of node i in 1..n.
+	linkOf(i int32) (int32, int32)
+}
+
+// stepOn advances a valid path of length pathlen at node v by character c.
+// See Index.step for semantics.
+func stepOn[S store](s S, v, pathlen int32, c byte) (next int32, ok bool) {
+	if v < s.textLen() && s.charAt(v) == c {
+		return v + 1, true
+	}
+	r, ok := s.findRib(v, c)
+	if !ok {
+		return 0, false
+	}
+	if pathlen <= r.PT {
+		return r.Dest, true
+	}
+	node := r.Dest
+	for {
+		x, ok := s.findExtrib(node)
+		if !ok {
+			return 0, false
+		}
+		if x.ParentSrc == v && x.PRT == r.PT && x.PT >= pathlen {
+			return x.Dest, true
+		}
+		node = x.Dest
+	}
+}
+
+// endNodeOn locates the unique valid path spelling p.
+func endNodeOn[S store](s S, p []byte) (end int32, ok bool) {
+	v := int32(0)
+	for i, c := range p {
+		v, ok = stepOn(s, v, int32(i), c)
+		if !ok {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// scanOccurrencesOn performs the §4 target-node-buffer scan.
+func scanOccurrencesOn[S store](s S, first, patlen int32) []int32 {
+	buf := []int32{first}
+	n := s.textLen()
+	for j := first + 1; j <= n; j++ {
+		link, lel := s.linkOf(j)
+		if lel >= patlen && containsSorted(buf, link) {
+			buf = append(buf, j) // j > all current entries: stays sorted
+		}
+	}
+	return buf
+}
+
+// findAllOn returns all occurrence start offsets of p.
+func findAllOn[S store](s S, p []byte) []int {
+	if len(p) == 0 {
+		out := make([]int, s.textLen()+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	first, ok := endNodeOn(s, p)
+	if !ok {
+		return nil
+	}
+	ends := scanOccurrencesOn(s, first, int32(len(p)))
+	out := make([]int, len(ends))
+	for i, e := range ends {
+		out[i] = int(e) - len(p)
+	}
+	return out
+}
+
+// cursorState is the generic matching-statistics cursor; Cursor and
+// CompactCursor instantiate it. See Cursor for field semantics.
+type cursorState[S store] struct {
+	st S
+	// Node is the first-occurrence end node of the current match.
+	Node int32
+	// Len is the current matched length; the match is text[Node-Len:Node].
+	Len int32
+	// Checked counts nodes examined (chain hops, edge probes, extrib hops).
+	Checked int64
+}
+
+// Reset returns the cursor to the root with an empty match, preserving the
+// Checked counter.
+func (c *cursorState[S]) Reset() { c.Node, c.Len = 0, 0 }
+
+// Advance consumes one character (in the store's native representation).
+// See Cursor.Advance.
+func (c *cursorState[S]) Advance(ch byte) {
+	for {
+		c.Checked++
+		if next, matched, ok := c.bestExtension(ch); ok {
+			c.Node, c.Len = next, matched+1
+			return
+		}
+		if c.Node == 0 && c.Len == 0 {
+			return
+		}
+		c.Node, c.Len = c.st.linkOf(c.Node)
+	}
+}
+
+// bestExtension finds the longest length l <= c.Len such that the length-l
+// suffix of the current match extends by ch at this node. All candidate
+// lengths here exceed lel(Node), so a partial extension through the rib
+// family member with maximal PT < Len still beats anything further up the
+// chain.
+func (c *cursorState[S]) bestExtension(ch byte) (next, matched int32, ok bool) {
+	v := c.Node
+	if v < c.st.textLen() && c.st.charAt(v) == ch {
+		return v + 1, c.Len, true
+	}
+	r, found := c.st.findRib(v, ch)
+	if !found {
+		return 0, 0, false
+	}
+	if c.Len <= r.PT {
+		return r.Dest, c.Len, true
+	}
+	bestDest, bestPT := r.Dest, r.PT
+	node := r.Dest
+	for {
+		x, found := c.st.findExtrib(node)
+		if !found {
+			break
+		}
+		c.Checked++
+		if x.ParentSrc == v && x.PRT == r.PT {
+			if x.PT >= c.Len {
+				return x.Dest, c.Len, true
+			}
+			bestDest, bestPT = x.Dest, x.PT
+		}
+		node = x.Dest
+	}
+	return bestDest, bestPT, true
+}
+
+// MatchEnds returns every end position of the current match, increasing.
+func (c *cursorState[S]) MatchEnds() []int32 {
+	if c.Len == 0 {
+		return nil
+	}
+	return scanOccurrencesOn(c.st, c.Node, c.Len)
+}

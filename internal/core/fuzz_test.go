@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+// FuzzBuildAndQuery drives the full index lifecycle from fuzz inputs:
+// build, verify, query against brute force, freeze, and serialize.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzBuildAndQuery` mines.
+func FuzzBuildAndQuery(f *testing.F) {
+	f.Add([]byte("aaccacaaca"), []byte("ac"))
+	f.Add([]byte("abababab"), []byte("bab"))
+	f.Add([]byte(""), []byte("a"))
+	f.Add([]byte("accacacaaaacacacccaaacacacccaaccaaacaaaaaaaacaaccaaacacaaaaaacaacaacaaaccaaacaaaccaaacaaa"), []byte("caaacaac"))
+	f.Fuzz(func(t *testing.T, rawText, rawPat []byte) {
+		if len(rawText) > 2000 || len(rawPat) > 50 {
+			return
+		}
+		text := dnaFrom(rawText)
+		pat := dnaFrom(rawPat)
+		idx := Build(text)
+		if err := idx.Verify(); err != nil {
+			t.Fatalf("Verify(%q): %v", text, err)
+		}
+		if got, want := idx.Contains(pat), bruteContains(text, pat); got != want {
+			t.Fatalf("Contains(%q in %q) = %v, want %v", pat, text, got, want)
+		}
+		occ := idx.FindAll(pat)
+		for i, off := range occ {
+			if i > 0 && occ[i-1] >= off {
+				t.Fatalf("FindAll not strictly increasing: %v", occ)
+			}
+			if off < 0 || off+len(pat) > len(text) || string(text[off:off+len(pat)]) != string(pat) {
+				t.Fatalf("FindAll(%q in %q): bogus offset %d", pat, text, off)
+			}
+		}
+		comp, err := Freeze(idx, seq.DNA)
+		if err != nil {
+			t.Fatalf("Freeze(%q): %v", text, err)
+		}
+		if got := comp.FindAll(pat); !equalInts(got, occ) {
+			t.Fatalf("compact FindAll(%q) = %v, reference %v", pat, got, occ)
+		}
+		var buf bytes.Buffer
+		if err := comp.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		back, err := ReadCompact(&buf)
+		if err != nil {
+			t.Fatalf("ReadCompact: %v", err)
+		}
+		if got := back.FindAll(pat); !equalInts(got, occ) {
+			t.Fatalf("round-tripped FindAll(%q) = %v, want %v", pat, got, occ)
+		}
+	})
+}
+
+// FuzzReadCompact feeds arbitrary bytes to the deserializer: it must
+// reject or accept without panicking or over-allocating, never crash.
+func FuzzReadCompact(f *testing.F) {
+	// Seed with a genuine serialized index and simple garbage.
+	comp, err := Freeze(Build([]byte("aaccacaaca")), seq.DNA)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := comp.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SPNE"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCompact(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent enough to query.
+		c.Contains([]byte("a"))
+		c.FindAll([]byte("ac"))
+	})
+}

@@ -1,0 +1,116 @@
+package core
+
+// Index implements store over the reference layout.
+
+func (idx *Index) textLen() int32                      { return int32(len(idx.text)) }
+func (idx *Index) charAt(v int32) byte                 { return idx.text[v] }
+func (idx *Index) findRib(t int32, c byte) (Rib, bool) { return idx.ribAt(t, c) }
+func (idx *Index) linkOf(i int32) (int32, int32)       { return idx.link[i], idx.lel[i] }
+
+func (idx *Index) findExtrib(t int32) (Extrib, bool) {
+	if e := idx.edgesAt(t); e != nil && e.hasExt {
+		return e.ext, true
+	}
+	return Extrib{}, false
+}
+
+// step advances a valid path of length pathlen ending at node v by one
+// character c, returning the successor node. The transition relation is
+// deterministic: a vertebra is always traversable, a rib only when
+// pathlen <= PT, and a too-small rib falls through to the first extrib of
+// its family whose PT covers pathlen. ok is false when no valid extension
+// exists, which (by the no-false-negative property) means the extended
+// string is not a substring.
+func (idx *Index) step(v, pathlen int32, c byte) (next int32, ok bool) {
+	return stepOn(idx, v, pathlen, c)
+}
+
+// Contains reports whether p is a substring of the indexed text. The empty
+// pattern is always contained. Time is O(len(p)) plus extrib-chain hops.
+func (idx *Index) Contains(p []byte) bool {
+	_, ok := idx.EndNode(p)
+	return ok
+}
+
+// EndNode locates the unique valid path spelling p and returns its end
+// node, which is the end position of p's first occurrence. ok is false if
+// p does not occur. The empty pattern ends at the root.
+func (idx *Index) EndNode(p []byte) (end int32, ok bool) { return endNodeOn(idx, p) }
+
+// Find returns the start offset of the first occurrence of p, or -1 if p
+// does not occur. The empty pattern occurs at offset 0.
+func (idx *Index) Find(p []byte) int {
+	end, ok := idx.EndNode(p)
+	if !ok {
+		return -1
+	}
+	return int(end) - len(p)
+}
+
+// FindAll returns the start offsets of every occurrence of p (including
+// overlapping ones) in increasing order, or nil if p does not occur. The
+// empty pattern occurs at every offset 0..Len().
+//
+// Per §4 of the paper, the first occurrence comes from the valid-path
+// search; the remainder come from a single downstream scan of the backbone
+// that repeatedly extends a sorted target node buffer: node j is an
+// occurrence end iff lel(j) >= len(p) and link(j) is already in the buffer.
+func (idx *Index) FindAll(p []byte) []int { return findAllOn(idx, p) }
+
+// scanOccurrences performs the target-node-buffer scan: given the
+// first-occurrence end node and the pattern length, it returns every
+// occurrence end node in increasing order.
+func (idx *Index) scanOccurrences(first, patlen int32) []int32 {
+	return scanOccurrencesOn(idx, first, patlen)
+}
+
+// containsSorted reports membership of x in the ascending slice buf using
+// binary search (the paper's "binary fashion" target-buffer probe).
+func containsSorted(buf []int32, x int32) bool {
+	lo, hi := 0, len(buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if buf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(buf) && buf[lo] == x
+}
+
+// Count returns the number of occurrences of p.
+func (idx *Index) Count(p []byte) int { return len(idx.FindAll(p)) }
+
+// ForEachOccurrence streams every occurrence start offset of p in
+// increasing order to fn, stopping early if fn returns false. It performs
+// the same backbone scan as FindAll but only retains the target node
+// buffer, so enormous occurrence sets don't materialize a result slice.
+func (idx *Index) ForEachOccurrence(p []byte, fn func(start int) bool) {
+	if len(p) == 0 {
+		for i := 0; i <= idx.Len(); i++ {
+			if !fn(i) {
+				return
+			}
+		}
+		return
+	}
+	first, ok := idx.EndNode(p)
+	if !ok {
+		return
+	}
+	if !fn(int(first) - len(p)) {
+		return
+	}
+	buf := []int32{first}
+	m := int32(len(p))
+	n := int32(idx.Len())
+	for j := first + 1; j <= n; j++ {
+		if idx.lel[j] >= m && containsSorted(buf, idx.link[j]) {
+			buf = append(buf, j)
+			if !fn(int(j) - len(p)) {
+				return
+			}
+		}
+	}
+}

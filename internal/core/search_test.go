@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spine-index/spine/internal/trie"
+)
+
+// enumerateValidPaths walks the deterministic valid-path transition
+// relation from the root and returns every spelled string together with
+// its end node. This is the direct encoding of the paper's "valid paths
+// correspond exactly to the substrings" theorem.
+func enumerateValidPaths(idx *Index, alphabet []byte, maxLen int) map[string]int32 {
+	out := map[string]int32{"": 0}
+	type state struct {
+		node, plen int32
+		str        string
+	}
+	stack := []state{{0, 0, ""}}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if int(st.plen) >= maxLen {
+			continue
+		}
+		for _, c := range alphabet {
+			if next, ok := idx.step(st.node, st.plen, c); ok {
+				s := st.str + string(c)
+				if prev, seen := out[s]; seen && prev != next {
+					// A string must have exactly one valid path.
+					panic("duplicate valid path with different end node for " + s)
+				}
+				if _, seen := out[s]; !seen {
+					out[s] = next
+					stack = append(stack, state{next, st.plen + 1, s})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkAgainstOracle asserts full behavioural equivalence of the index and
+// the brute-force oracle on s: valid paths == substrings, end node ==
+// first-occurrence end, and FindAll == all occurrences, for every
+// substring and a set of near-miss patterns.
+func checkAgainstOracle(t *testing.T, s []byte, alphabet []byte) {
+	t.Helper()
+	idx := Build(s)
+	o := trie.NewOracle(s)
+
+	paths := enumerateValidPaths(idx, alphabet, len(s))
+	want := o.SubstringSet(0)
+	for str, end := range paths {
+		if str == "" {
+			continue
+		}
+		if !want[str] {
+			t.Fatalf("s=%q: false positive: valid path spells %q (ends at node %d)", s, str, end)
+		}
+		if first := o.First([]byte(str)); int(end) != first+len(str) {
+			t.Fatalf("s=%q: path for %q ends at node %d, want first-occurrence end %d",
+				s, str, end, first+len(str))
+		}
+	}
+	for str := range want {
+		if _, ok := paths[str]; !ok {
+			t.Fatalf("s=%q: false negative: substring %q has no valid path", s, str)
+		}
+		gotOcc := idx.FindAll([]byte(str))
+		wantOcc := o.Occurrences([]byte(str))
+		if !equalInts(gotOcc, wantOcc) {
+			t.Fatalf("s=%q: FindAll(%q) = %v, want %v", s, str, gotOcc, wantOcc)
+		}
+	}
+	// Near-miss patterns: every substring with one appended/substituted
+	// character must agree with the oracle too.
+	for str := range want {
+		for _, c := range alphabet {
+			probe := []byte(str + string(c))
+			if idx.Contains(probe) != o.Contains(probe) {
+				t.Fatalf("s=%q: Contains(%q) = %v, oracle %v", s, probe, idx.Contains(probe), o.Contains(probe))
+			}
+		}
+	}
+}
+
+// TestExhaustiveBinaryStrings validates every string over {a,c} up to
+// length 12 — 8190 indexes — against the oracle. Slow mode only checks a
+// sampled subset under -short.
+func TestExhaustiveBinaryStrings(t *testing.T) {
+	alphabet := []byte("ac")
+	maxLen := 12
+	if testing.Short() {
+		maxLen = 9
+	}
+	for n := 1; n <= maxLen; n++ {
+		s := make([]byte, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				checkAgainstOracle(t, s, alphabet)
+				return
+			}
+			for _, c := range alphabet {
+				s[i] = c
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// TestExhaustiveTernaryStrings validates every string over {a,c,g} up to
+// length 8.
+func TestExhaustiveTernaryStrings(t *testing.T) {
+	alphabet := []byte("acg")
+	maxLen := 8
+	if testing.Short() {
+		maxLen = 6
+	}
+	for n := 1; n <= maxLen; n++ {
+		s := make([]byte, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				checkAgainstOracle(t, s, alphabet)
+				return
+			}
+			for _, c := range alphabet {
+				s[i] = c
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// TestRandomDNAStringsAgainstOracle exercises longer random and
+// repeat-heavy strings over the full DNA alphabet.
+func TestRandomDNAStringsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []byte("acgt")
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 20 + rng.Intn(60)
+		s := make([]byte, n)
+		for i := range s {
+			if i > 10 && rng.Float64() < 0.5 {
+				// Re-copy an earlier segment to force repeat structure
+				// (ribs with growing PTs, deep extrib chains).
+				l := 1 + rng.Intn(8)
+				start := rng.Intn(i - l + 1)
+				copy(s[i:], s[start:start+l])
+			}
+			s[i] = alphabet[rng.Intn(4)]
+		}
+		checkAgainstOracle(t, s, alphabet)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// TestAdversarialRepetitiveStrings hits the structures known to stress
+// extrib chains: high-order repeats with small period.
+func TestAdversarialRepetitiveStrings(t *testing.T) {
+	cases := []string{
+		"aaaaaaaaaaaaaaaaaaaa",
+		"abababababababababab",
+		"aabaabaabaabaabaab",
+		"abcabcabcabcabcabc",
+		"aabbaabbaabbaabb",
+		"abaababaabaababaababa", // Fibonacci-like
+		"aacaacaaacaaacaaaacaaaa",
+		"atatacatatacgatatacgg",
+	}
+	for _, s := range cases {
+		alpha := distinctLetters(s)
+		checkAgainstOracle(t, []byte(s), alpha)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func distinctLetters(s string) []byte {
+	seen := map[byte]bool{}
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		if !seen[s[i]] {
+			seen[s[i]] = true
+			out = append(out, s[i])
+		}
+	}
+	return out
+}
+
+func TestFindAgreesWithOracleOnAbsentPatterns(t *testing.T) {
+	s := []byte("gattacagattacaagatta")
+	idx := Build(s)
+	o := trie.NewOracle(s)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 500; q++ {
+		m := 1 + rng.Intn(8)
+		p := make([]byte, m)
+		for i := range p {
+			p[i] = "acgt"[rng.Intn(4)]
+		}
+		if got, want := idx.Find(p), o.First(p); got != want {
+			t.Fatalf("Find(%q) = %d, oracle %d", p, got, want)
+		}
+	}
+}
+
+func TestFullTextIsItsOwnSubstring(t *testing.T) {
+	s := []byte("ccacaacgtgttaaccacaacag")
+	idx := Build(s)
+	if got := idx.Find(s); got != 0 {
+		t.Fatalf("Find(full text) = %d, want 0", got)
+	}
+	if got := idx.FindAll(s); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("FindAll(full text) = %v, want [0]", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	if got := idx.Count([]byte("ca")); got != 3 {
+		t.Fatalf("Count(ca) = %d, want 3", got)
+	}
+	if got := idx.Count([]byte("zz")); got != 0 {
+		t.Fatalf("Count(zz) = %d, want 0", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestForEachOccurrenceStreamsAndStops(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	var got []int
+	idx.ForEachOccurrence([]byte("ac"), func(start int) bool {
+		got = append(got, start)
+		return true
+	})
+	if !equalInts(got, []int{1, 4, 7}) {
+		t.Fatalf("streamed = %v", got)
+	}
+	// Early stop after the first hit.
+	count := 0
+	idx.ForEachOccurrence([]byte("ac"), func(int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Absent pattern: no calls.
+	idx.ForEachOccurrence([]byte("zz"), func(int) bool {
+		t.Fatal("callback for absent pattern")
+		return false
+	})
+	// Empty pattern: n+1 positions.
+	count = 0
+	idx.ForEachOccurrence(nil, func(int) bool { count++; return true })
+	if count != 11 {
+		t.Fatalf("empty pattern visited %d", count)
+	}
+}
+
+func TestForEachOccurrenceMatchesFindAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	s := randomRepetitive(rng, []byte("acgt"), 400)
+	idx := Build(s)
+	for q := 0; q < 100; q++ {
+		m := 1 + rng.Intn(6)
+		p := make([]byte, m)
+		for i := range p {
+			p[i] = "acgt"[rng.Intn(4)]
+		}
+		var got []int
+		idx.ForEachOccurrence(p, func(start int) bool { got = append(got, start); return true })
+		if want := idx.FindAll(p); !equalInts(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("ForEach(%q) = %v, FindAll = %v", p, got, want)
+		}
+	}
+}

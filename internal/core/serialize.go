@@ -1,0 +1,457 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+// Serialized compact-index format (little-endian):
+//
+//	magic "SPNE" | version u16 | alphabet: len u8 + letters |
+//	n u32 | packed: bits u8 + words u32 + u64 data |
+//	lel []u16 | ref []u32 |
+//	7 x shape table | spill table | 3 overflow maps |
+//	crc32 (IEEE) of everything before it
+//
+// Every length field is validated against sane bounds on load, and the
+// checksum is verified before any data is trusted.
+const (
+	serializeMagic   = "SPNE"
+	serializeVersion = uint16(1)
+)
+
+type countingWriter struct {
+	w   *bufio.Writer
+	sum hash.Hash32
+	err error
+}
+
+func (cw *countingWriter) bytes(b []byte) {
+	if cw.err != nil {
+		return
+	}
+	if _, err := cw.w.Write(b); err != nil {
+		cw.err = err
+		return
+	}
+	cw.sum.Write(b)
+}
+
+func (cw *countingWriter) u8(v uint8) { cw.bytes([]byte{v}) }
+func (cw *countingWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	cw.bytes(b[:])
+}
+func (cw *countingWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.bytes(b[:])
+}
+func (cw *countingWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	cw.bytes(b[:])
+}
+
+func (cw *countingWriter) u16s(vs []uint16) {
+	cw.u32(uint32(len(vs)))
+	for _, v := range vs {
+		cw.u16(v)
+	}
+}
+
+func (cw *countingWriter) u32s(vs []uint32) {
+	cw.u32(uint32(len(vs)))
+	for _, v := range vs {
+		cw.u32(v)
+	}
+}
+
+func (cw *countingWriter) byteSlice(vs []byte) {
+	cw.u32(uint32(len(vs)))
+	cw.bytes(vs)
+}
+
+// Save serializes the compact index to w; sizes are available via
+// SizeBytes.
+func (c *CompactIndex) Save(w io.Writer) error {
+	cw := &countingWriter{w: bufio.NewWriter(w), sum: crc32.NewIEEE()}
+	cw.bytes([]byte(serializeMagic))
+	cw.u16(serializeVersion)
+
+	letters := make([]byte, c.alpha.Size())
+	for i := range letters {
+		letters[i] = c.alpha.Letter(i)
+	}
+	cw.byteSlice(letters)
+
+	cw.u32(uint32(c.n))
+	cw.u8(uint8(c.chars.Bits()))
+	packed := c.chars.Unpack() // re-packed on load; simple and alphabet-safe
+	cw.byteSlice(packed)
+
+	cw.u16s(c.lel)
+	cw.u32s(c.ref)
+
+	for shape := 1; shape < numShapes; shape++ {
+		tb := &c.tables[shape]
+		cw.u32s(tb.ld)
+		cw.u32s(tb.ribRD)
+		cw.u16s(tb.ribPT)
+		cw.byteSlice(tb.ribCL)
+		cw.u32s(tb.extRD)
+		cw.u16s(tb.extPT)
+		cw.u16s(tb.extPRT)
+		cw.u32s(tb.extSrc)
+	}
+	sp := &c.spill
+	cw.u32s(sp.ld)
+	cw.u32s(sp.start)
+	cw.u32s(sp.ribRD)
+	cw.u16s(sp.ribPT)
+	cw.byteSlice(sp.ribCL)
+	cw.u32s(sp.extRD)
+	cw.u16s(sp.extPT)
+	cw.u16s(sp.extPRT)
+	cw.u32s(sp.extSrc)
+
+	cw.u32(uint32(len(c.lelOverflow)))
+	for k, v := range c.lelOverflow {
+		cw.u32(uint32(k))
+		cw.u32(uint32(v))
+	}
+	cw.u32(uint32(len(c.ptOverflow)))
+	for k, v := range c.ptOverflow {
+		cw.u64(k)
+		cw.u32(uint32(v))
+	}
+	cw.u32(uint32(len(c.extOverflow)))
+	for k, v := range c.extOverflow {
+		cw.u32(uint32(k))
+		cw.u32(uint32(v[0]))
+		cw.u32(uint32(v[1]))
+	}
+	if cw.err != nil {
+		return fmt.Errorf("core: serializing index: %w", cw.err)
+	}
+	// Checksum trailer (not itself summed).
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], cw.sum.Sum32())
+	if _, err := cw.w.Write(b[:]); err != nil {
+		return fmt.Errorf("core: serializing index: %w", err)
+	}
+	return cw.w.Flush()
+}
+
+type countingReader struct {
+	r   *bufio.Reader
+	sum hash.Hash32
+	err error
+}
+
+func (cr *countingReader) bytes(n int) []byte {
+	if cr.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(cr.r, b); err != nil {
+		cr.err = err
+		return nil
+	}
+	cr.sum.Write(b)
+	return b
+}
+
+func (cr *countingReader) u8() uint8 {
+	b := cr.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (cr *countingReader) u16() uint16 {
+	b := cr.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (cr *countingReader) u32() uint32 {
+	b := cr.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (cr *countingReader) u64() uint64 {
+	b := cr.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// lenCapped reads a length field and bounds it to keep a corrupt stream
+// from forcing huge allocations before the checksum is verified.
+func (cr *countingReader) lenCapped(max uint32, what string) int {
+	n := cr.u32()
+	if cr.err == nil && n > max {
+		cr.err = fmt.Errorf("implausible %s length %d", what, n)
+	}
+	return int(n)
+}
+
+const maxReasonable = 1 << 28 // 256M entries caps any one array
+
+// readChunk is the incremental allocation unit for array reads: a lying
+// length field in a corrupt stream fails at EOF after at most one chunk of
+// wasted work instead of committing gigabytes up front.
+const readChunk = 1 << 16
+
+func (cr *countingReader) u16s(what string) []uint16 {
+	n := cr.lenCapped(maxReasonable, what)
+	if cr.err != nil {
+		return nil
+	}
+	var out []uint16
+	for len(out) < n {
+		batch := n - len(out)
+		if batch > readChunk {
+			batch = readChunk
+		}
+		b := cr.bytes(batch * 2)
+		if cr.err != nil {
+			return nil
+		}
+		for i := 0; i < batch; i++ {
+			out = append(out, binary.LittleEndian.Uint16(b[i*2:]))
+		}
+	}
+	return out
+}
+
+func (cr *countingReader) u32s(what string) []uint32 {
+	n := cr.lenCapped(maxReasonable, what)
+	if cr.err != nil {
+		return nil
+	}
+	var out []uint32
+	for len(out) < n {
+		batch := n - len(out)
+		if batch > readChunk {
+			batch = readChunk
+		}
+		b := cr.bytes(batch * 4)
+		if cr.err != nil {
+			return nil
+		}
+		for i := 0; i < batch; i++ {
+			out = append(out, binary.LittleEndian.Uint32(b[i*4:]))
+		}
+	}
+	return out
+}
+
+func (cr *countingReader) byteSlice(what string) []byte {
+	n := cr.lenCapped(maxReasonable, what)
+	if cr.err != nil {
+		return nil
+	}
+	var out []byte
+	for len(out) < n {
+		batch := n - len(out)
+		if batch > readChunk {
+			batch = readChunk
+		}
+		b := cr.bytes(batch)
+		if cr.err != nil {
+			return nil
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+// ReadCompact deserializes a compact index written by WriteTo, verifying
+// magic, version, structural bounds, and the checksum.
+func ReadCompact(r io.Reader) (*CompactIndex, error) {
+	cr := &countingReader{r: bufio.NewReader(r), sum: crc32.NewIEEE()}
+	fail := func(err error) (*CompactIndex, error) {
+		return nil, fmt.Errorf("core: reading index: %w", err)
+	}
+	magic := cr.bytes(4)
+	if cr.err != nil {
+		return fail(cr.err)
+	}
+	if string(magic) != serializeMagic {
+		return fail(fmt.Errorf("bad magic %q", magic))
+	}
+	if v := cr.u16(); cr.err == nil && v != serializeVersion {
+		return fail(fmt.Errorf("unsupported version %d", v))
+	}
+	letters := cr.byteSlice("alphabet")
+	if cr.err != nil {
+		return fail(cr.err)
+	}
+	if len(letters) == 0 || len(letters) > 255 {
+		return fail(fmt.Errorf("alphabet size %d out of range", len(letters)))
+	}
+	seen := [256]bool{}
+	for _, l := range letters {
+		if seen[l] {
+			return fail(fmt.Errorf("alphabet letter %q duplicated", l))
+		}
+		seen[l] = true
+		if other := otherCaseByte(l); other != l && seen[other] {
+			return fail(fmt.Errorf("alphabet letters %q/%q collide after case folding", l, other))
+		}
+	}
+	alpha := seq.NewAlphabet(letters)
+
+	n := cr.u32()
+	bits := cr.u8()
+	codes := cr.byteSlice("packed codes")
+	if cr.err != nil {
+		return fail(cr.err)
+	}
+	if uint32(len(codes)) != n {
+		return fail(fmt.Errorf("code count %d != n %d", len(codes), n))
+	}
+	packed, err := seq.NewPacked(codes, uint(bits))
+	if err != nil {
+		return fail(err)
+	}
+
+	c := &CompactIndex{
+		alpha:       alpha,
+		chars:       packed,
+		n:           int32(n),
+		lelOverflow: make(map[int32]int32),
+		ptOverflow:  make(map[uint64]int32),
+		extOverflow: make(map[int32][2]int32),
+	}
+	c.lel = cr.u16s("lel")
+	c.ref = cr.u32s("ref")
+	for shape := 1; shape < numShapes; shape++ {
+		tb := &c.tables[shape]
+		tb.ribs = shape >> 1
+		tb.hasExt = shape&1 == 1
+		tb.ld = cr.u32s("ld")
+		tb.ribRD = cr.u32s("ribRD")
+		tb.ribPT = cr.u16s("ribPT")
+		tb.ribCL = cr.byteSlice("ribCL")
+		tb.extRD = cr.u32s("extRD")
+		tb.extPT = cr.u16s("extPT")
+		tb.extPRT = cr.u16s("extPRT")
+		tb.extSrc = cr.u32s("extSrc")
+	}
+	sp := &c.spill
+	sp.ld = cr.u32s("spill ld")
+	sp.start = cr.u32s("spill start")
+	sp.ribRD = cr.u32s("spill ribRD")
+	sp.ribPT = cr.u16s("spill ribPT")
+	sp.ribCL = cr.byteSlice("spill ribCL")
+	sp.extRD = cr.u32s("spill extRD")
+	sp.extPT = cr.u16s("spill extPT")
+	sp.extPRT = cr.u16s("spill extPRT")
+	sp.extSrc = cr.u32s("spill extSrc")
+
+	nLel := cr.lenCapped(maxReasonable, "lel overflow")
+	for i := 0; i < nLel && cr.err == nil; i++ {
+		k, v := cr.u32(), cr.u32()
+		c.lelOverflow[int32(k)] = int32(v)
+	}
+	nPT := cr.lenCapped(maxReasonable, "pt overflow")
+	for i := 0; i < nPT && cr.err == nil; i++ {
+		k, v := cr.u64(), cr.u32()
+		c.ptOverflow[k] = int32(v)
+	}
+	nExt := cr.lenCapped(maxReasonable, "ext overflow")
+	for i := 0; i < nExt && cr.err == nil; i++ {
+		k, v0, v1 := cr.u32(), cr.u32(), cr.u32()
+		c.extOverflow[int32(k)] = [2]int32{int32(v0), int32(v1)}
+	}
+	if cr.err != nil {
+		return fail(cr.err)
+	}
+
+	wantSum := cr.sum.Sum32()
+	var trailer [4]byte
+	if _, err := io.ReadFull(cr.r, trailer[:]); err != nil {
+		return fail(fmt.Errorf("missing checksum: %w", err))
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != wantSum {
+		return fail(fmt.Errorf("checksum mismatch: file %08x, computed %08x", got, wantSum))
+	}
+	if err := c.validate(); err != nil {
+		return fail(err)
+	}
+	return c, nil
+}
+
+func otherCaseByte(b byte) byte {
+	switch {
+	case b >= 'a' && b <= 'z':
+		return b - ('a' - 'A')
+	case b >= 'A' && b <= 'Z':
+		return b + ('a' - 'A')
+	}
+	return b
+}
+
+// validate cross-checks structural consistency after a load.
+func (c *CompactIndex) validate() error {
+	if len(c.lel) != int(c.n)+1 || len(c.ref) != int(c.n)+1 {
+		return fmt.Errorf("LT sizes (%d, %d) inconsistent with n=%d", len(c.lel), len(c.ref), c.n)
+	}
+	for shape := 1; shape < numShapes; shape++ {
+		tb := &c.tables[shape]
+		rows := len(tb.ld)
+		if len(tb.ribRD) != rows*tb.ribs || len(tb.ribPT) != rows*tb.ribs || len(tb.ribCL) != rows*tb.ribs {
+			return fmt.Errorf("shape %d rib arrays inconsistent", shape)
+		}
+		extRows := 0
+		if tb.hasExt {
+			extRows = rows
+		}
+		if len(tb.extRD) != extRows || len(tb.extPT) != extRows || len(tb.extPRT) != extRows || len(tb.extSrc) != extRows {
+			return fmt.Errorf("shape %d extrib arrays inconsistent", shape)
+		}
+	}
+	sp := &c.spill
+	if len(sp.start) != len(sp.ld)+1 {
+		return fmt.Errorf("spill CSR offsets inconsistent")
+	}
+	if len(sp.start) > 0 && int(sp.start[len(sp.start)-1]) != len(sp.ribRD) {
+		return fmt.Errorf("spill CSR tail inconsistent")
+	}
+	for i := int32(0); i <= c.n; i++ {
+		ref := c.ref[i]
+		if ref&refTag == 0 {
+			if ref > uint32(c.n) {
+				return fmt.Errorf("node %d: link destination %d beyond backbone", i, ref)
+			}
+			continue
+		}
+		shape := (ref >> refShapeShift) & 7
+		row := ref & refRowMask
+		if shape == 0 {
+			if int(row) >= len(sp.ld) {
+				return fmt.Errorf("node %d: spill row %d out of range", i, row)
+			}
+		} else if int(row) >= len(c.tables[shape].ld) {
+			return fmt.Errorf("node %d: shape %d row %d out of range", i, shape, row)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+func roundTrip(t *testing.T, c *CompactIndex) *CompactIndex {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := ReadCompact(&buf)
+	if err != nil {
+		t.Fatalf("ReadCompact: %v", err)
+	}
+	return back
+}
+
+func TestSerializeRoundTripPaperExample(t *testing.T) {
+	alpha := seq.NewAlphabet([]byte("ac"))
+	c := mustFreeze(t, []byte("aaccacaaca"), alpha)
+	back := roundTrip(t, c)
+	if back.Len() != 10 {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	if got := back.FindAll([]byte("ac")); !equalInts(got, []int{1, 4, 7}) {
+		t.Fatalf("FindAll(ac) = %v", got)
+	}
+	if back.Contains([]byte("accaa")) {
+		t.Fatal("round trip admitted the accaa false positive")
+	}
+}
+
+func TestSerializeRoundTripRandomQueriesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	text := randomRepetitive(rng, []byte("acgt"), 500)
+	c := mustFreeze(t, text, seq.DNA)
+	back := roundTrip(t, c)
+	for q := 0; q < 300; q++ {
+		m := 1 + rng.Intn(10)
+		p := make([]byte, m)
+		for i := range p {
+			p[i] = "acgt"[rng.Intn(4)]
+		}
+		if got, want := back.FindAll(p), c.FindAll(p); !equalInts(got, want) {
+			t.Fatalf("FindAll(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSerializeRoundTripOverflowLabels(t *testing.T) {
+	c := mustFreeze(t, []byte(strings.Repeat("a", 70000)), seq.DNA)
+	if len(c.lelOverflow) == 0 {
+		t.Fatal("test needs overflow entries")
+	}
+	back := roundTrip(t, c)
+	if len(back.lelOverflow) != len(c.lelOverflow) {
+		t.Fatalf("overflow entries lost: %d vs %d", len(back.lelOverflow), len(c.lelOverflow))
+	}
+	if got := back.Find(bytes.Repeat([]byte("a"), 66000)); got != 0 {
+		t.Fatalf("Find(a^66000) = %d", got)
+	}
+}
+
+func TestSerializeRoundTripProteinSpill(t *testing.T) {
+	c := mustFreeze(t, []byte("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY"), seq.Protein)
+	if len(c.spill.ld) == 0 {
+		t.Fatal("test needs spill rows")
+	}
+	back := roundTrip(t, c)
+	if got, want := back.FindAll([]byte("DEF")), c.FindAll([]byte("DEF")); !equalInts(got, want) {
+		t.Fatalf("FindAll(DEF) = %v, want %v", got, want)
+	}
+}
+
+func TestSerializeRoundTripEmpty(t *testing.T) {
+	c := mustFreeze(t, nil, seq.DNA)
+	back := roundTrip(t, c)
+	if back.Len() != 0 || back.Contains([]byte("a")) {
+		t.Fatal("empty index round trip broken")
+	}
+}
+
+func TestReadCompactRejectsBadMagic(t *testing.T) {
+	if _, err := ReadCompact(strings.NewReader("NOPExxxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadCompactRejectsTruncation(t *testing.T) {
+	c := mustFreeze(t, []byte("aaccacaaca"), seq.DNA)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 5, len(full) / 2, len(full) - 1} {
+		if _, err := ReadCompact(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadCompactRejectsBitFlips(t *testing.T) {
+	c := mustFreeze(t, []byte("aaccacaacaggtacca"), seq.DNA)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	rng := rand.New(rand.NewSource(142))
+	rejected := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		corrupt := append([]byte(nil), full...)
+		pos := rng.Intn(len(corrupt))
+		corrupt[pos] ^= 1 << uint(rng.Intn(8))
+		if _, err := ReadCompact(bytes.NewReader(corrupt)); err != nil {
+			rejected++
+		}
+	}
+	// Every single-bit flip lands either in summed content (checksum
+	// catches it) or in the checksum trailer itself (mismatch); all must
+	// be rejected.
+	if rejected != trials {
+		t.Fatalf("only %d/%d corruptions rejected", rejected, trials)
+	}
+}
+
+func TestReadCompactRejectsWrongVersion(t *testing.T) {
+	c := mustFreeze(t, []byte("ac"), seq.DNA)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	full[4] = 99 // version low byte
+	if _, err := ReadCompact(bytes.NewReader(full)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

@@ -1,0 +1,365 @@
+// Package core implements the SPINE index — the horizontally compacted
+// suffix trie of Neelapala, Mittal & Haritsa (ICDE 2004) — together with
+// the compact table layout of §5 of the paper.
+//
+// # Structure
+//
+// The index over a string s of length n consists of nodes 0..n on a linear
+// backbone. Node i sits below the length-i prefix B_i = s[0:i]. The edges:
+//
+//   - Vertebras: implicit forward edges i -> i+1 labelled s[i]. Because node
+//     creation order equals logical order, no destination is stored; the
+//     character labels are the text itself, which is why the data string
+//     need not be retained separately.
+//   - Links: one backward edge per node (except the root). link(i) is the
+//     termination node — the first-occurrence end — of the longest suffix
+//     of B_i that also occurs ending strictly before i; lel(i) is that
+//     suffix's length (the Longest Early-terminating suffix Length). A node
+//     whose every nonempty suffix is new links to the root with LEL 0.
+//   - Ribs: forward cross edges created to extend early-terminating
+//     suffixes. A rib t -> d with character label CL=c and Pathlength
+//     Threshold PT=p may be traversed by a search whose path length at t is
+//     <= p.
+//   - Extribs: extension ribs created when an existing rib's PT is too
+//     small. Extribs are chained starting at the rib's destination node
+//     (one outgoing extrib per node); each carries PT (its own threshold)
+//     and PRT (the parent rib's PT). An extrib represents the same single
+//     character as its parent rib.
+//
+// # Central invariant
+//
+// Every valid path (root-originated, all PT constraints respected) of
+// length l ending at node v spells exactly s[v-l:v], and each substring of
+// s has exactly one valid path, ending at its first-occurrence end node.
+// Consequently the valid paths are precisely the substrings of s: no false
+// positives and no false negatives. The exhaustive property tests in this
+// package check that equivalence directly against a brute-force oracle.
+//
+// # Deviation from the paper
+//
+// The paper identifies an extrib inside a shared chain by PRT alone. Two
+// parent ribs with equal PTs can come to share one chain (all extribs
+// created in one append step target the same tail node, merging chains),
+// at which point PRT is ambiguous — and the ambiguity is real: see
+// TestPaperPRTOnlyRuleCounterexample for a string on which the paper's
+// rule admits a false positive. Each extrib here additionally records its
+// parent rib's source node and is matched on (ParentSrc, PRT); see
+// DESIGN.md.
+//
+// # Layout
+//
+// Backbone labels (links, LELs) live in flat arrays. Downstream cross
+// edges are sparse (~a third of nodes, Table 4), so nodes carry a -1 /
+// edge-list index, and edge records inline up to three ribs — the DNA
+// worst case — spilling larger alphabets to a slice. The structure is
+// almost pointer-free, which keeps Go GC cost negligible at genome scale.
+package core
+
+import "fmt"
+
+// Rib is a forward cross edge from a backbone node.
+type Rib struct {
+	CL   byte  // character label
+	Dest int32 // destination node
+	PT   int32 // pathlength threshold: traversable iff pathlen <= PT
+}
+
+// Extrib is an extension rib. It hangs off the node it is stored at and
+// extends the rib family identified by (ParentSrc, PRT); it represents the
+// same character as its parent rib.
+type Extrib struct {
+	Dest      int32 // destination node
+	PT        int32 // new, larger pathlength threshold
+	PRT       int32 // parent rib's PT
+	ParentSrc int32 // parent rib's source node (disambiguation; see package doc)
+}
+
+// inlineRibs is the number of rib slots stored directly in an edge record:
+// the DNA worst case (alphabet size - 1). Larger alphabets spill.
+const inlineRibs = 3
+
+// nodeEdges holds the downstream cross edges of one backbone node.
+type nodeEdges struct {
+	ribs   [inlineRibs]Rib
+	more   []Rib // spill beyond inlineRibs (protein alphabets)
+	ribN   uint8
+	hasExt bool
+	ext    Extrib
+}
+
+// noEdges marks a node without downstream cross edges in Index.edgeID.
+const noEdges = int32(-1)
+
+// Index is an in-memory SPINE index over a byte string. The zero value is
+// not ready to use; call New or Build. An Index is safe for concurrent
+// readers once construction stops; it must not be appended to concurrently
+// with queries.
+type Index struct {
+	text   []byte      // backbone vertebra character labels
+	link   []int32     // link[i] for node i; link[0] unused
+	lel    []int32     // lel[i] for node i; lel[0] unused
+	edgeID []int32     // per node: index into edges, or noEdges
+	edges  []nodeEdges // records for nodes with downstream cross edges
+
+	// construction statistics, maintained online
+	maxLEL, maxPT, maxPRT int32
+	ribCount, extribCount int
+}
+
+// Build constructs the SPINE index for s in a single pass. The input is
+// copied; Build never aliases caller memory.
+func Build(s []byte) *Index {
+	idx := New()
+	idx.grow(len(s))
+	for _, c := range s {
+		idx.Append(c)
+	}
+	return idx
+}
+
+// New returns an empty index ready for online Append calls. SPINE
+// construction is online: the index over the first k appended characters is
+// always complete and queryable, and is byte-identical to the first-k
+// fragment of any longer index (prefix partitioning).
+func New() *Index {
+	return &Index{
+		link:   make([]int32, 1),
+		lel:    make([]int32, 1),
+		edgeID: []int32{noEdges},
+	}
+}
+
+// grow pre-allocates backbone storage for n more characters.
+func (idx *Index) grow(n int) {
+	need := len(idx.text) + n
+	if cap(idx.text) < need {
+		t := make([]byte, len(idx.text), need)
+		copy(t, idx.text)
+		idx.text = t
+	}
+	if cap(idx.link) < need+1 {
+		idx.link = growInt32(idx.link, need+1)
+		idx.lel = growInt32(idx.lel, need+1)
+		idx.edgeID = growInt32(idx.edgeID, need+1)
+	}
+	// Edge records cover roughly a third of nodes (Table 4).
+	if cap(idx.edges) < need/3 {
+		e := make([]nodeEdges, len(idx.edges), need/3)
+		copy(e, idx.edges)
+		idx.edges = e
+	}
+}
+
+func growInt32(s []int32, capacity int) []int32 {
+	out := make([]int32, len(s), capacity)
+	copy(out, s)
+	return out
+}
+
+// Len returns the number of indexed characters (== number of non-root
+// nodes).
+func (idx *Index) Len() int { return len(idx.text) }
+
+// Text returns the indexed string. SPINE stores it as the vertebra
+// character labels; the returned slice is the index's own storage and must
+// not be modified.
+func (idx *Index) Text() []byte { return idx.text }
+
+// Link returns the link destination and LEL of node i in 1..Len().
+func (idx *Index) Link(i int) (dest, lel int32) { return idx.link[i], idx.lel[i] }
+
+// edgesAt returns the edge record of node i, or nil.
+func (idx *Index) edgesAt(i int32) *nodeEdges {
+	id := idx.edgeID[i]
+	if id == noEdges {
+		return nil
+	}
+	return &idx.edges[id]
+}
+
+// ensureEdges returns the edge record of node i, allocating one if needed.
+func (idx *Index) ensureEdges(i int32) *nodeEdges {
+	if id := idx.edgeID[i]; id != noEdges {
+		return &idx.edges[id]
+	}
+	idx.edgeID[i] = int32(len(idx.edges))
+	idx.edges = append(idx.edges, nodeEdges{})
+	return &idx.edges[len(idx.edges)-1]
+}
+
+// Ribs returns a copy of the ribs emanating from node i in creation order
+// (nil if none).
+func (idx *Index) Ribs(i int) []Rib {
+	e := idx.edgesAt(int32(i))
+	if e == nil || e.ribN == 0 {
+		return nil
+	}
+	out := make([]Rib, 0, e.ribN)
+	inline := int(e.ribN)
+	if inline > inlineRibs {
+		inline = inlineRibs
+	}
+	out = append(out, e.ribs[:inline]...)
+	return append(out, e.more...)
+}
+
+// ExtribAt returns the extrib emanating from node i, if any.
+func (idx *Index) ExtribAt(i int) (Extrib, bool) {
+	if e := idx.edgesAt(int32(i)); e != nil && e.hasExt {
+		return e.ext, true
+	}
+	return Extrib{}, false
+}
+
+// ribAt returns the rib labelled c at node t, if present. At most one rib
+// per (node, character) exists, and never one duplicating the node's
+// vertebra label.
+func (idx *Index) ribAt(t int32, c byte) (Rib, bool) {
+	e := idx.edgesAt(t)
+	if e == nil {
+		return Rib{}, false
+	}
+	inline := int(e.ribN)
+	if inline > inlineRibs {
+		inline = inlineRibs
+	}
+	for j := 0; j < inline; j++ {
+		if e.ribs[j].CL == c {
+			return e.ribs[j], true
+		}
+	}
+	for _, r := range e.more {
+		if r.CL == c {
+			return r, true
+		}
+	}
+	return Rib{}, false
+}
+
+func (idx *Index) addRib(t int32, r Rib) {
+	e := idx.ensureEdges(t)
+	if int(e.ribN) < inlineRibs {
+		e.ribs[e.ribN] = r
+	} else {
+		e.more = append(e.more, r)
+	}
+	e.ribN++
+	idx.ribCount++
+	if r.PT > idx.maxPT {
+		idx.maxPT = r.PT
+	}
+}
+
+func (idx *Index) setExtrib(t int32, x Extrib) {
+	e := idx.ensureEdges(t)
+	if e.hasExt {
+		// The construction algorithm only creates an extrib at the end of a
+		// chain, i.e. at a node without one; anything else is a bug.
+		panic(fmt.Sprintf("core: node %d already has an extrib", t))
+	}
+	e.ext = x
+	e.hasExt = true
+	idx.extribCount++
+	if x.PT > idx.maxPT {
+		idx.maxPT = x.PT
+	}
+	if x.PRT > idx.maxPRT {
+		idx.maxPRT = x.PRT
+	}
+}
+
+// Append extends the index by one character, creating one backbone node
+// and whatever links, ribs and extribs the construction algorithm
+// (Figure 4 of the paper) requires. Cost is amortized O(chain length);
+// total construction is observed linear on genomic data.
+func (idx *Index) Append(c byte) {
+	k := int32(len(idx.text)) // current tail node
+	idx.text = append(idx.text, c)
+	idx.link = append(idx.link, 0)
+	idx.lel = append(idx.lel, 0)
+	idx.edgeID = append(idx.edgeID, noEdges)
+	newNode := k + 1
+
+	if k == 0 {
+		// First character: the only suffix is end-terminating; the link
+		// records the null suffix at the root.
+		return
+	}
+
+	// Walk the link chain of the previous tail. At each chain node t the
+	// suffix lengths (lel(t), L] of B_k still need their c-extension
+	// recorded; L is the LEL of the last link traversed.
+	t := idx.link[k]
+	L := idx.lel[k]
+	for {
+		// CASE 1 (paper line 11): a vertebra for c exists at t. The suffix
+		// set extends through it; all shorter suffixes were extended when
+		// that edge first appeared in this chain.
+		if idx.text[t] == c {
+			idx.setLink(newNode, t+1, L+1)
+			return
+		}
+		if r, ok := idx.ribAt(t, c); ok {
+			if L <= r.PT {
+				// CASE 2 (line 16): rib threshold suffices; already extended.
+				idx.setLink(newNode, r.Dest, L+1)
+				return
+			}
+			// CASE 4 (line 15): rib exists but its PT is too small; extend
+			// the rib family through its extrib chain.
+			idx.handleExtribs(t, r, L, newNode)
+			return
+		}
+		// CASE 3 (line 19): no edge for c; record the extension with a new
+		// rib to the tail and keep walking the chain for shorter suffixes.
+		idx.addRib(t, Rib{CL: c, Dest: newNode, PT: L})
+		if t == 0 {
+			// Line 24: chain exhausted; only the null suffix remains.
+			idx.setLink(newNode, 0, 0)
+			return
+		}
+		t, L = idx.link[t], idx.lel[t]
+	}
+}
+
+// handleExtribs implements the extrib arm of the construction: rib r at
+// node t failed the threshold test for required length L. Either an extrib
+// of r's family already covers L (stop), or a new extrib is appended at the
+// end of the chain pointing to the new tail node.
+func (idx *Index) handleExtribs(t int32, r Rib, L, newNode int32) {
+	// lastDest/lastPT track the family member with the largest PT < L; the
+	// rib itself is the first member.
+	lastDest, lastPT := r.Dest, r.PT
+	node := r.Dest
+	for {
+		e := idx.edgesAt(node)
+		if e == nil || !e.hasExt {
+			break
+		}
+		x := e.ext
+		if x.ParentSrc == t && x.PRT == r.PT {
+			if x.PT >= L {
+				// An existing extrib already records this extension; the
+				// suffix set terminates at its destination.
+				idx.setLink(newNode, x.Dest, L+1)
+				return
+			}
+			lastDest, lastPT = x.Dest, x.PT
+		}
+		node = x.Dest
+	}
+	// End of chain: create the new extrib there. Suffix lengths
+	// (lastPT, L] become end-terminating at the new node via it, so the
+	// longest early-terminating suffix of the new prefix has length
+	// lastPT+1, terminating at the previous family member's destination.
+	idx.setExtrib(node, Extrib{Dest: newNode, PT: L, PRT: r.PT, ParentSrc: t})
+	idx.setLink(newNode, lastDest, lastPT+1)
+}
+
+func (idx *Index) setLink(node, dest, lel int32) {
+	idx.link[node] = dest
+	idx.lel[node] = lel
+	if lel > idx.maxLEL {
+		idx.maxLEL = lel
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import "testing"
+
+// TestPaperExampleStructure checks the index for the paper's running
+// example "aaccacaaca" against every edge and label visible in Figure 3
+// and the construction walkthrough of §3.1.
+func TestPaperExampleStructure(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	if idx.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", idx.Len())
+	}
+
+	wantLinks := []struct{ node, dest, lel int32 }{
+		{1, 0, 0},  // first character links to root
+		{2, 1, 1},  // CASE 1 walkthrough: vertebra found, LEL 1
+		{3, 0, 0},  // CASE 3: chain exhausted at root
+		{4, 3, 1},  // CASE 2: rib with sufficient PT, LEL 1
+		{5, 1, 1},  // §2.2: LET-suffix of aacca is "a"
+		{6, 3, 2},  // "ac" first ends at node 3
+		{7, 5, 2},  // CASE 4: link to last family member, LEL 2
+		{8, 2, 2},  // Figure 3: "link from Node 8 to Node 2 has an LEL of 2"
+		{9, 3, 3},  // "aac" first ends at node 3
+		{10, 7, 3}, // "aca" first ends at node 7
+	}
+	for _, w := range wantLinks {
+		dest, lel := idx.Link(int(w.node))
+		if dest != w.dest || lel != w.lel {
+			t.Errorf("link(%d) = (%d, LEL %d), want (%d, LEL %d)", w.node, dest, lel, w.dest, w.lel)
+		}
+	}
+
+	// Figure 3 ribs: 1->3 (c, PT 1), 0->3 (c, PT 0), 3->5 (a, PT 1),
+	// 5->8 (a, PT 2).
+	wantRibs := []struct {
+		src int32
+		rib Rib
+	}{
+		{1, Rib{CL: 'c', Dest: 3, PT: 1}},
+		{0, Rib{CL: 'c', Dest: 3, PT: 0}},
+		{3, Rib{CL: 'a', Dest: 5, PT: 1}},
+		{5, Rib{CL: 'a', Dest: 8, PT: 2}},
+	}
+	for _, w := range wantRibs {
+		r, ok := idx.ribAt(w.src, w.rib.CL)
+		if !ok || r != w.rib {
+			t.Errorf("rib at %d for %q = %+v (ok=%v), want %+v", w.src, w.rib.CL, r, ok, w.rib)
+		}
+	}
+
+	// Figure 3 extrib chain 5 -> 7 -> 10 for parent rib (3, PT 1):
+	// "the extrib from Node 5 to Node 7 has a PRT of 1 and PT of 2".
+	x5, ok := idx.ExtribAt(5)
+	if !ok || x5 != (Extrib{Dest: 7, PT: 2, PRT: 1, ParentSrc: 3}) {
+		t.Errorf("extrib at 5 = %+v (ok=%v), want {Dest:7 PT:2 PRT:1 ParentSrc:3}", x5, ok)
+	}
+	x7, ok := idx.ExtribAt(7)
+	if !ok || x7 != (Extrib{Dest: 10, PT: 3, PRT: 1, ParentSrc: 3}) {
+		t.Errorf("extrib at 7 = %+v (ok=%v), want {Dest:10 PT:3 PRT:1 ParentSrc:3}", x7, ok)
+	}
+
+	st := idx.ComputeStats()
+	if st.RibCount != 4 || st.ExtribCount != 2 {
+		t.Errorf("rib/extrib counts = %d/%d, want 4/2", st.RibCount, st.ExtribCount)
+	}
+}
+
+// TestPaperFalsePositiveRejected reproduces the §2.1/§4 example: "accaa"
+// looks like a path in Figure 3 but the PT labels must reject it.
+func TestPaperFalsePositiveRejected(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	if idx.Contains([]byte("accaa")) {
+		t.Fatal(`Contains("accaa") = true; PT labelling failed to block the false positive`)
+	}
+	// The prefix "acca" is genuine and must still be found.
+	if !idx.Contains([]byte("acca")) {
+		t.Fatal(`Contains("acca") = false, want true`)
+	}
+}
+
+// TestPaperSearchExample reproduces the §4 all-occurrences walkthrough:
+// query "ac" on aaccacaaca fills the target node buffer with 3, 6, 9.
+func TestPaperSearchExample(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	end, ok := idx.EndNode([]byte("ac"))
+	if !ok || end != 3 {
+		t.Fatalf("EndNode(ac) = (%d, %v), want (3, true)", end, ok)
+	}
+	got := idx.FindAll([]byte("ac"))
+	want := []int{1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("FindAll(ac) = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("FindAll(ac) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNodeCountEqualsLength(t *testing.T) {
+	// §1.1: "the number of nodes is always equal to the string length"
+	// (plus the root), in contrast to suffix trees' up-to-2n nodes.
+	for _, s := range []string{"", "a", "aaaa", "abcabc", "aaccacaaca"} {
+		idx := Build([]byte(s))
+		if idx.Len() != len(s) {
+			t.Errorf("Build(%q).Len() = %d, want %d", s, idx.Len(), len(s))
+		}
+		if got := len(idx.link); got != len(s)+1 {
+			t.Errorf("Build(%q) has %d link slots, want %d", s, got, len(s)+1)
+		}
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := Build(nil)
+	if !idx.Contains(nil) {
+		t.Error("empty pattern not contained in empty index")
+	}
+	if idx.Contains([]byte("a")) {
+		t.Error(`Contains("a") on empty index = true`)
+	}
+	if got := idx.Find([]byte("a")); got != -1 {
+		t.Errorf("Find on empty index = %d, want -1", got)
+	}
+	if got := idx.FindAll(nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("FindAll(empty) on empty index = %v, want [0]", got)
+	}
+}
+
+func TestSingleAndRepeatedCharacter(t *testing.T) {
+	idx := Build([]byte("aaaaaa"))
+	if got := idx.FindAll([]byte("aa")); len(got) != 5 {
+		t.Fatalf("FindAll(aa in a^6) = %v, want 5 overlapping occurrences", got)
+	}
+	if got := idx.Find([]byte("aaaaaa")); got != 0 {
+		t.Fatalf("Find(full string) = %d, want 0", got)
+	}
+	if idx.Contains([]byte("aaaaaaa")) {
+		t.Fatal("Contains(a^7) in a^6 = true")
+	}
+}
+
+// TestLinkChainStrictlyDecreasingLEL checks the structural invariant the
+// construction relies on for termination: LELs strictly decrease along any
+// link chain, and links always point upstream.
+func TestLinkChainStrictlyDecreasingLEL(t *testing.T) {
+	for _, s := range testStrings() {
+		idx := Build([]byte(s))
+		for i := 1; i <= idx.Len(); i++ {
+			dest, lel := idx.Link(i)
+			if dest >= int32(i) {
+				t.Fatalf("s=%q: link(%d)=%d not upstream", s, i, dest)
+			}
+			if dest == 0 {
+				continue
+			}
+			_, destLEL := idx.Link(int(dest))
+			if destLEL >= lel {
+				t.Fatalf("s=%q: lel(link(%d))=%d >= lel(%d)=%d", s, i, destLEL, i, lel)
+			}
+		}
+	}
+}
+
+// TestLELMatchesDefinition verifies lel(i) is the length of the longest
+// suffix of s[:i] that also occurs ending strictly earlier, and link(i) is
+// that suffix's first-occurrence end.
+func TestLELMatchesDefinition(t *testing.T) {
+	for _, s := range testStrings() {
+		idx := Build([]byte(s))
+		for i := 1; i <= len(s); i++ {
+			wantLEL, wantEnd := 0, 0
+			for l := i - 1; l >= 1; l-- {
+				suf := s[i-l : i]
+				if p := firstOccurrenceEnd(s[:i-1], suf); p >= 0 {
+					wantLEL, wantEnd = l, p
+					break
+				}
+			}
+			dest, lel := idx.Link(i)
+			if int(lel) != wantLEL || int(dest) != wantEnd {
+				t.Fatalf("s=%q node %d: link=(%d, LEL %d), want (%d, LEL %d)",
+					s, i, dest, lel, wantEnd, wantLEL)
+			}
+		}
+	}
+}
+
+// firstOccurrenceEnd returns the end offset of the first occurrence of p
+// fully inside s[:limitEnd+len(p)]... specifically the first end position
+// e <= len(s) with s[e-len(p):e] == p, or -1. Here s is the prefix that may
+// contain the earlier occurrence.
+func firstOccurrenceEnd(s, p string) int {
+	for e := len(p); e <= len(s); e++ {
+		if s[e-len(p):e] == p {
+			return e
+		}
+	}
+	return -1
+}
+
+// TestRibPTExceedsSourceLEL checks the invariant the cursor's partial
+// extension relies on: every rib/extrib family threshold exceeds its
+// source node's LEL.
+func TestRibPTExceedsSourceLEL(t *testing.T) {
+	for _, s := range testStrings() {
+		idx := Build([]byte(s))
+		for i := 0; i <= idx.Len(); i++ {
+			var srcLEL int32
+			if i > 0 {
+				_, srcLEL = idx.Link(i)
+			}
+			for _, r := range idx.Ribs(i) {
+				if r.PT < srcLEL {
+					t.Fatalf("s=%q: rib %d->%d PT %d < lel(src) %d", s, i, r.Dest, r.PT, srcLEL)
+				}
+			}
+		}
+	}
+}
+
+// TestExtribFamilyPTsIncrease checks that within one parent-rib family,
+// extrib PTs strictly increase along the chain (first-fit == earliest
+// occurrence relies on this).
+func TestExtribFamilyPTsIncrease(t *testing.T) {
+	for _, s := range testStrings() {
+		idx := Build([]byte(s))
+		for i := 0; i <= idx.Len(); i++ {
+			for _, r := range idx.Ribs(i) {
+				lastPT := r.PT
+				node := r.Dest
+				for {
+					x, ok := idx.ExtribAt(int(node))
+					if !ok {
+						break
+					}
+					if x.ParentSrc == int32(i) && x.PRT == r.PT {
+						if x.PT <= lastPT {
+							t.Fatalf("s=%q: family (%d,PT %d): extrib PT %d <= previous %d",
+								s, i, r.PT, x.PT, lastPT)
+						}
+						lastPT = x.PT
+					}
+					node = x.Dest
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineEqualsOneShot verifies Append-at-a-time construction matches
+// Build exactly.
+func TestOnlineEqualsOneShot(t *testing.T) {
+	s := []byte("ccacaacgtgttaaccacaacaggtacca")
+	one := Build(s)
+	inc := New()
+	for _, c := range s {
+		inc.Append(c)
+	}
+	assertStructurallyEqual(t, one, inc)
+}
+
+// TestPrefixPartitioning verifies §2.7: the index for a prefix is exactly
+// the initial fragment of the index for the full string — identical links
+// and LELs, and identical cross edges once edges landing beyond the prefix
+// are discarded.
+func TestPrefixPartitioning(t *testing.T) {
+	s := []byte("aaccacaacaggtaccacaacag")
+	full := Build(s)
+	for k := 0; k <= len(s); k++ {
+		pre := Build(s[:k])
+		for i := 1; i <= k; i++ {
+			fd, fl := full.Link(i)
+			pd, pl := pre.Link(i)
+			if fd != pd || fl != pl {
+				t.Fatalf("k=%d node %d: full link (%d,%d) != prefix link (%d,%d)", k, i, fd, fl, pd, pl)
+			}
+		}
+		for i := 0; i <= k; i++ {
+			var fullRibs []Rib
+			for _, r := range full.Ribs(i) {
+				if int(r.Dest) <= k {
+					fullRibs = append(fullRibs, r)
+				}
+			}
+			preRibs := pre.Ribs(i)
+			if len(fullRibs) != len(preRibs) {
+				t.Fatalf("k=%d node %d: rib counts differ: full-restricted %v vs prefix %v", k, i, fullRibs, preRibs)
+			}
+			for j := range fullRibs {
+				if fullRibs[j] != preRibs[j] {
+					t.Fatalf("k=%d node %d rib %d: %+v != %+v", k, i, j, fullRibs[j], preRibs[j])
+				}
+			}
+			fx, fok := full.ExtribAt(i)
+			px, pok := pre.ExtribAt(i)
+			if fok && int(fx.Dest) > k {
+				fok = false
+			}
+			if fok != pok || (fok && fx != px) {
+				t.Fatalf("k=%d node %d: extribs differ: full %+v(%v) vs prefix %+v(%v)", k, i, fx, fok, px, pok)
+			}
+		}
+	}
+}
+
+func assertStructurallyEqual(t *testing.T, a, b *Index) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 1; i <= a.Len(); i++ {
+		ad, al := a.Link(i)
+		bd, bl := b.Link(i)
+		if ad != bd || al != bl {
+			t.Fatalf("node %d links differ: (%d,%d) vs (%d,%d)", i, ad, al, bd, bl)
+		}
+	}
+	for i := 0; i <= a.Len(); i++ {
+		ar, br := a.Ribs(i), b.Ribs(i)
+		if len(ar) != len(br) {
+			t.Fatalf("node %d rib counts differ", i)
+		}
+		for j := range ar {
+			if ar[j] != br[j] {
+				t.Fatalf("node %d rib %d differs: %+v vs %+v", i, j, ar[j], br[j])
+			}
+		}
+		ax, aok := a.ExtribAt(i)
+		bx, bok := b.ExtribAt(i)
+		if aok != bok || ax != bx {
+			t.Fatalf("node %d extribs differ: %+v(%v) vs %+v(%v)", i, ax, aok, bx, bok)
+		}
+	}
+}
+
+// testStrings returns a corpus of structurally adversarial strings:
+// repetitive, periodic, Fibonacci, and the paper's example.
+func testStrings() []string {
+	fib := []string{"a", "ab"}
+	for len(fib[len(fib)-1]) < 80 {
+		fib = append(fib, fib[len(fib)-1]+fib[len(fib)-2])
+	}
+	return []string{
+		"", "a", "aa", "ab", "aaa", "aba", "abab", "aabb",
+		"aaaaaaaaaa", "abababab", "aabaabaab",
+		"aaccacaaca",
+		"mississippi",
+		"abcabcabcabc",
+		"aabcbabcaabcba",
+		fib[len(fib)-1],
+		"acgtacgtacacgtgtacgt",
+		"ccacaacgtgttaaccacaacaggtacca",
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+// Stats summarizes the structural measurements the paper reports for a
+// built index: Table 3 (maximum numeric label values), Table 4 (rib
+// fan-out distribution) and Figure 8 (link-destination distribution).
+type Stats struct {
+	// Length is the indexed string length n (== node count excluding root).
+	Length int
+	// MaxLEL, MaxPT and MaxPRT are the largest numeric label values; the
+	// paper observes they stay below 2^16 on real genomes, enabling 2-byte
+	// label fields (Table 3).
+	MaxLEL, MaxPT, MaxPRT int32
+	// RibCount and ExtribCount are total downstream cross edges.
+	RibCount, ExtribCount int
+	// FanoutNodes[k] is the number of nodes with exactly k downstream cross
+	// edges (ribs + extrib), for k = 1..len-1; FanoutNodes[len-1]
+	// accumulates >= len-1. Index 0 is the count of nodes with none.
+	FanoutNodes []int
+}
+
+// ComputeStats measures the built index. Cost is O(n).
+func (idx *Index) ComputeStats() Stats {
+	st := Stats{
+		Length:      idx.Len(),
+		MaxLEL:      idx.maxLEL,
+		MaxPT:       idx.maxPT,
+		MaxPRT:      idx.maxPRT,
+		RibCount:    idx.ribCount,
+		ExtribCount: idx.extribCount,
+		FanoutNodes: make([]int, 6),
+	}
+	withEdges := 0
+	for i := range idx.edges {
+		e := &idx.edges[i]
+		fan := int(e.ribN)
+		if e.hasExt {
+			fan++
+		}
+		if fan > 0 {
+			withEdges++
+		}
+		if fan >= len(st.FanoutNodes) {
+			fan = len(st.FanoutNodes) - 1
+		}
+		st.FanoutNodes[fan]++
+	}
+	st.FanoutNodes[0] = idx.Len() + 1 - withEdges
+	return st
+}
+
+// FanoutPercent returns FanoutNodes[k] as a percentage of all nodes, the
+// unit Table 4 reports in.
+func (st Stats) FanoutPercent(k int) float64 {
+	if st.Length == 0 {
+		return 0
+	}
+	return 100 * float64(st.FanoutNodes[k]) / float64(st.Length+1)
+}
+
+// NodesWithEdgesPercent returns the percentage of nodes with at least one
+// downstream cross edge (the Table 4 "Total" column; ~28-35% on genomes).
+func (st Stats) NodesWithEdgesPercent() float64 {
+	if st.Length == 0 {
+		return 0
+	}
+	with := 0
+	for k := 1; k < len(st.FanoutNodes); k++ {
+		with += st.FanoutNodes[k]
+	}
+	return 100 * float64(with) / float64(st.Length+1)
+}
+
+// LinkHistogram buckets link destinations into the given number of equal
+// backbone segments and returns the percentage of links landing in each —
+// the Figure 8 measurement. The paper observes a top-heavy, monotonically
+// decaying distribution, which motivates the "retain the top of the link
+// table" buffering policy.
+func (idx *Index) LinkHistogram(buckets int) []float64 {
+	if buckets <= 0 || idx.Len() == 0 {
+		return nil
+	}
+	counts := make([]int, buckets)
+	n := idx.Len()
+	for i := 1; i <= n; i++ {
+		b := int(int64(idx.link[i]) * int64(buckets) / int64(n+1))
+		counts[b]++
+	}
+	out := make([]float64, buckets)
+	for i, c := range counts {
+		out[i] = 100 * float64(c) / float64(n)
+	}
+	return out
+}
+
+// Space model constants (bytes), following Table 2 of the paper for the
+// naive layout and §5 for the optimized one.
+const (
+	// NaiveNodeBytes is the worst-case per-node cost of the straightforward
+	// struct-of-fields layout in Table 2: 0.25 (packed CL) + 4 (vertebra
+	// dest) + 8 (link dest+LEL) + 3*8 (ribs dest+PT) + 12 (extrib
+	// dest+PT+PRT) = 48.25 bytes.
+	NaiveNodeBytes = 48.25
+	// STNodeBytesPerChar is the standard suffix-tree budget the paper cites
+	// for comparison (§8): about 17 bytes per indexed character.
+	STNodeBytesPerChar = 17.0
+)
+
+// MemoryBytes returns the actual heap footprint of this reference (clear,
+// pointer-rich) layout. The compact layout (CompactIndex) is the one that
+// realizes the paper's <12 bytes/char; this figure quantifies what the §5
+// optimizations save.
+func (idx *Index) MemoryBytes() int64 {
+	b := int64(len(idx.text))                                      // vertebra labels
+	b += int64(len(idx.link)) * 4                                  // link dests
+	b += int64(len(idx.lel)) * 4                                   // LELs
+	b += int64(len(idx.edgeID)) * 4                                // edge record ids
+	const edgeRecordBytes = int64(inlineRibs*12 + 24 + 2 + 16 + 6) // ribs + spill header + counts + extrib + pad
+	b += int64(len(idx.edges)) * edgeRecordBytes
+	for i := range idx.edges {
+		b += int64(len(idx.edges[i].more)) * 12
+	}
+	return b
+}

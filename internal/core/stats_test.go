@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+func TestStatsPaperExample(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	st := idx.ComputeStats()
+	if st.Length != 10 {
+		t.Fatalf("Length = %d", st.Length)
+	}
+	if st.MaxLEL != 3 || st.MaxPT != 3 || st.MaxPRT != 1 {
+		t.Fatalf("max labels = LEL %d, PT %d, PRT %d; want 3, 3, 1", st.MaxLEL, st.MaxPT, st.MaxPRT)
+	}
+	if st.RibCount != 4 || st.ExtribCount != 2 {
+		t.Fatalf("edges = %d ribs, %d extribs; want 4, 2", st.RibCount, st.ExtribCount)
+	}
+}
+
+func TestFanoutAccounting(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	st := idx.ComputeStats()
+	total := 0
+	for _, c := range st.FanoutNodes {
+		total += c
+	}
+	if total != st.Length+1 {
+		t.Fatalf("fanout counts sum to %d, want %d nodes", total, st.Length+1)
+	}
+	// Nodes 0,1 have one rib each; node 3 has rib; node 5 has rib+extrib
+	// (fanout 2); node 7 has extrib only.
+	if st.FanoutNodes[1] != 4 || st.FanoutNodes[2] != 1 {
+		t.Fatalf("fanout histogram = %v", st.FanoutNodes)
+	}
+	wantPct := 100 * 5.0 / 11.0
+	if math.Abs(st.NodesWithEdgesPercent()-wantPct) > 1e-9 {
+		t.Fatalf("NodesWithEdgesPercent = %v, want %v", st.NodesWithEdgesPercent(), wantPct)
+	}
+}
+
+func TestLinkHistogramSumsTo100(t *testing.T) {
+	s := seqgen.MustGenerate(seqgen.Spec{
+		Name: "t", Alphabet: dnaAlpha(), Length: 20000,
+		RepeatFraction: 0.35, MeanRepeatLen: 120, MutationRate: 0.02, Seed: 5,
+	})
+	idx := Build(s)
+	h := idx.LinkHistogram(10)
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-6 {
+		t.Fatalf("histogram sums to %v, want 100", sum)
+	}
+}
+
+// TestLinkHistogramTopHeavy checks the Figure 8 shape on a genome-like
+// synthetic string: the first bucket dominates and the overall trend
+// decays toward the tail.
+func TestLinkHistogramTopHeavy(t *testing.T) {
+	s := seqgen.MustGenerate(seqgen.Spec{
+		Name: "t", Alphabet: dnaAlpha(), Length: 200000,
+		RepeatFraction: 0.35, MeanRepeatLen: 250, MutationRate: 0.02, Seed: 6,
+	})
+	idx := Build(s)
+	h := idx.LinkHistogram(6)
+	if h[0] <= h[len(h)-1] {
+		t.Fatalf("link histogram not top-heavy: %v", h)
+	}
+	if h[0] < 25 {
+		t.Fatalf("first bucket only %.1f%%; expected dominant head: %v", h[0], h)
+	}
+}
+
+func TestLinkHistogramDegenerateInputs(t *testing.T) {
+	idx := Build(nil)
+	if got := idx.LinkHistogram(4); got != nil {
+		t.Fatalf("histogram of empty index = %v, want nil", got)
+	}
+	idx = Build([]byte("acgt"))
+	if got := idx.LinkHistogram(0); got != nil {
+		t.Fatalf("histogram with 0 buckets = %v, want nil", got)
+	}
+}
+
+// TestTable3ShapeOnSyntheticGenome verifies the Table 3 claim that label
+// values stay far below 2^16 on genome-scale repetitive data (the basis
+// for 2-byte label fields).
+func TestLabelValuesStayModest(t *testing.T) {
+	n := 300000
+	if testing.Short() {
+		n = 60000
+	}
+	s := seqgen.MustGenerate(seqgen.Spec{
+		Name: "t", Alphabet: dnaAlpha(), Length: n,
+		RepeatFraction: 0.30, MeanRepeatLen: 220, MutationRate: 0.02, Seed: 7,
+	})
+	st := Build(s).ComputeStats()
+	if st.MaxLEL <= 0 || st.MaxPT <= 0 {
+		t.Fatal("degenerate label maxima")
+	}
+	if st.MaxLEL >= 65536 || st.MaxPT >= 65536 {
+		t.Fatalf("labels exceeded 2 bytes on %d-char genome: LEL %d PT %d", n, st.MaxLEL, st.MaxPT)
+	}
+}
+
+// TestTable4ShapeOnSyntheticGenome verifies the rib-distribution shape:
+// the fraction of nodes with downstream edges is around a third, and the
+// histogram decays with fan-out.
+func TestRibDistributionShape(t *testing.T) {
+	n := 300000
+	if testing.Short() {
+		n = 60000
+	}
+	s := seqgen.MustGenerate(seqgen.Spec{
+		Name: "t", Alphabet: dnaAlpha(), Length: n,
+		RepeatFraction: 0.30, MeanRepeatLen: 220, MutationRate: 0.02, Seed: 8,
+	})
+	st := Build(s).ComputeStats()
+	pct := st.NodesWithEdgesPercent()
+	if pct < 15 || pct > 55 {
+		t.Fatalf("nodes with downstream edges = %.1f%%, outside genome-like range", pct)
+	}
+	if st.FanoutPercent(1) <= st.FanoutPercent(3) {
+		t.Fatalf("fan-out histogram not decaying: 1:%.1f%% 2:%.1f%% 3:%.1f%%",
+			st.FanoutPercent(1), st.FanoutPercent(2), st.FanoutPercent(3))
+	}
+}
+
+func TestMemoryBytesPositiveAndOrdered(t *testing.T) {
+	small := Build([]byte("acgtacgt")).MemoryBytes()
+	big := Build(seqgen.MustGenerate(seqgen.Spec{
+		Name: "t", Alphabet: dnaAlpha(), Length: 5000,
+		RepeatFraction: 0.3, MeanRepeatLen: 100, MutationRate: 0.02, Seed: 9,
+	})).MemoryBytes()
+	if small <= 0 || big <= small {
+		t.Fatalf("MemoryBytes not monotone: small=%d big=%d", small, big)
+	}
+}
+
+func dnaAlpha() *seq.Alphabet { return seq.DNA }

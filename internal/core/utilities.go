@@ -1,0 +1,67 @@
+package core
+
+// String utilities that fall directly out of the SPINE structure: the LEL
+// labels are, by construction, the lengths of the longest repeated
+// suffixes at every prefix, so classic stringology queries reduce to scans
+// over the link table.
+
+// LongestRepeatedSubstring returns the longest substring occurring at
+// least twice (possibly overlapping), together with the start offsets of
+// its first two occurrences. The LEL array answers this directly: a suffix
+// of length lel(i) ending at i also occurred ending at link(i), so the
+// global maximum LEL is the answer. Empty text or no repeats return nil.
+func (idx *Index) LongestRepeatedSubstring() (s []byte, first, second int) {
+	bestNode, bestLEL := int32(0), int32(0)
+	for i := int32(1); i <= int32(idx.Len()); i++ {
+		if idx.lel[i] > bestLEL {
+			bestNode, bestLEL = i, idx.lel[i]
+		}
+	}
+	if bestNode == 0 {
+		return nil, 0, 0
+	}
+	l := idx.lel[bestNode]
+	return idx.text[bestNode-l : bestNode], int(idx.link[bestNode] - l), int(bestNode - l)
+}
+
+// LongestCommonSubstring returns the longest string occurring both in the
+// indexed text and in other, with one occurrence position in each (-1s and
+// nil when the strings share nothing). One streaming cursor pass: O(|other|)
+// amortized.
+func (idx *Index) LongestCommonSubstring(other []byte) (s []byte, textPos, otherPos int) {
+	cur := NewCursor(idx)
+	bestLen, bestNode, bestEnd := int32(0), int32(0), 0
+	for j, c := range other {
+		cur.Advance(c)
+		if cur.Len > bestLen {
+			bestLen, bestNode, bestEnd = cur.Len, cur.Node, j+1
+		}
+	}
+	if bestLen == 0 {
+		return nil, -1, -1
+	}
+	return idx.text[bestNode-bestLen : bestNode], int(bestNode - bestLen), bestEnd - int(bestLen)
+}
+
+// DistinctSubstrings returns the number of distinct nonempty substrings of
+// the indexed text. It falls straight out of the construction: appending
+// character i creates exactly i - lel(i) substrings never seen before (the
+// suffixes of B_i longer than its longest repeated suffix), so the count
+// is sum(i - lel(i)) — one O(n) scan, no extra space.
+func (idx *Index) DistinctSubstrings() int64 {
+	var total int64
+	for i := int64(1); i <= int64(idx.Len()); i++ {
+		total += i - int64(idx.lel[i])
+	}
+	return total
+}
+
+// RepeatProfile returns, for every text position i in 1..n, the length of
+// the longest suffix of text[:i] that also occurs earlier — the raw LEL
+// array, useful for repeat-density analysis (and the quantity behind
+// Figure 8's locality). The returned slice is a copy.
+func (idx *Index) RepeatProfile() []int32 {
+	out := make([]int32, idx.Len())
+	copy(out, idx.lel[1:])
+	return out
+}

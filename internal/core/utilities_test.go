@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/spine-index/spine/internal/suffixarray"
+	"github.com/spine-index/spine/internal/trie"
+)
+
+// bruteLRS finds the longest repeated substring by brute force.
+func bruteLRS(s []byte) string {
+	best := ""
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j <= len(s); j++ {
+			sub := string(s[i:j])
+			if len(sub) <= len(best) {
+				continue
+			}
+			if strings.Contains(string(s[i+1:]), sub) {
+				best = sub
+			}
+		}
+	}
+	return best
+}
+
+func TestLongestRepeatedSubstringKnownCases(t *testing.T) {
+	cases := []struct {
+		s    string
+		want string
+	}{
+		{"banana", "ana"},
+		{"aaccacaaca", "caa"}, // "caa" ends at 8 (lel) — verify length vs brute force below
+		{"abcdefg", ""},
+		{"aaaa", "aaa"},
+		{"", ""},
+		{"mississippi", "issi"},
+	}
+	for _, c := range cases {
+		idx := Build([]byte(c.s))
+		got, first, second := idx.LongestRepeatedSubstring()
+		want := bruteLRS([]byte(c.s))
+		if len(got) != len(want) {
+			t.Fatalf("s=%q: LRS %q (len %d), brute force %q (len %d)", c.s, got, len(got), want, len(want))
+		}
+		if len(got) > 0 {
+			if first >= second {
+				t.Fatalf("s=%q: occurrence order wrong: %d, %d", c.s, first, second)
+			}
+			if string(c.s[first:first+len(got)]) != string(got) || string(c.s[second:second+len(got)]) != string(got) {
+				t.Fatalf("s=%q: reported occurrences do not hold %q", c.s, got)
+			}
+		}
+	}
+}
+
+func TestLongestRepeatedSubstringRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 25; trial++ {
+		s := randomRepetitive(rng, []byte("acg"), 10+rng.Intn(50))
+		got, _, _ := Build(s).LongestRepeatedSubstring()
+		want := bruteLRS(s)
+		if len(got) != len(want) {
+			t.Fatalf("s=%q: LRS length %d, want %d (%q vs %q)", s, len(got), len(want), got, want)
+		}
+	}
+}
+
+// bruteLCS finds the longest common substring of a and b.
+func bruteLCS(a, b []byte) string {
+	best := ""
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j <= len(a); j++ {
+			sub := string(a[i:j])
+			if len(sub) > len(best) && strings.Contains(string(b), sub) {
+				best = sub
+			}
+		}
+	}
+	return best
+}
+
+func TestLongestCommonSubstringKnownCases(t *testing.T) {
+	idx := Build([]byte("gattacagena"))
+	s, tp, op := idx.LongestCommonSubstring([]byte("xxtacagexx"))
+	if string(s) != "tacage" {
+		t.Fatalf("LCS = %q, want tacage", s)
+	}
+	if tp != 3 || op != 2 {
+		t.Fatalf("positions = (%d, %d), want (3, 2)", tp, op)
+	}
+}
+
+func TestLongestCommonSubstringDisjoint(t *testing.T) {
+	idx := Build([]byte("aaaa"))
+	s, tp, op := idx.LongestCommonSubstring([]byte("cccc"))
+	if s != nil || tp != -1 || op != -1 {
+		t.Fatalf("disjoint LCS = %q (%d, %d)", s, tp, op)
+	}
+}
+
+func TestLongestCommonSubstringRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	for trial := 0; trial < 25; trial++ {
+		a := randomRepetitive(rng, []byte("acgt"), 20+rng.Intn(60))
+		b := randomRepetitive(rng, []byte("acgt"), 20+rng.Intn(60))
+		idx := Build(a)
+		got, tp, op := idx.LongestCommonSubstring(b)
+		want := bruteLCS(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("a=%q b=%q: LCS length %d, want %d", a, b, len(got), len(want))
+		}
+		if len(got) > 0 {
+			if string(a[tp:tp+len(got)]) != string(got) || string(b[op:op+len(got)]) != string(got) {
+				t.Fatalf("a=%q b=%q: reported positions wrong for %q", a, b, got)
+			}
+		}
+	}
+}
+
+func TestRepeatProfile(t *testing.T) {
+	idx := Build([]byte("aaccacaaca"))
+	prof := idx.RepeatProfile()
+	want := []int32{0, 1, 0, 1, 1, 2, 2, 2, 3, 3}
+	if len(prof) != len(want) {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Fatalf("profile = %v, want %v", prof, want)
+		}
+	}
+	// Must be a copy, not an alias.
+	prof[0] = 99
+	if p2 := idx.RepeatProfile(); p2[0] == 99 {
+		t.Fatal("RepeatProfile aliases internal storage")
+	}
+}
+
+func TestDistinctSubstringsMatchesTrie(t *testing.T) {
+	for _, s := range []string{"", "a", "aa", "ab", "banana", "aaccacaaca", "mississippi", "abcabcabc"} {
+		idx := Build([]byte(s))
+		got := idx.DistinctSubstrings()
+		want := int64(len(trie.NewOracle([]byte(s)).SubstringSet(0)))
+		if got != want {
+			t.Fatalf("s=%q: DistinctSubstrings = %d, want %d", s, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(183))
+	for trial := 0; trial < 20; trial++ {
+		s := randomRepetitive(rng, []byte("acg"), 10+rng.Intn(80))
+		got := Build(s).DistinctSubstrings()
+		want := int64(len(trie.NewOracle(s).SubstringSet(0)))
+		if got != want {
+			t.Fatalf("s=%q: DistinctSubstrings = %d, want %d", s, got, want)
+		}
+	}
+}
+
+// TestArbitraryByteAlphabet confirms the core index is alphabet-agnostic:
+// any byte values, including 0x00 and 0xFF, index and query correctly.
+func TestArbitraryByteAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	letters := []byte{0x00, 0x01, 0x7F, 0xFE, 0xFF}
+	s := make([]byte, 300)
+	for i := range s {
+		s[i] = letters[rng.Intn(len(letters))]
+	}
+	idx := Build(s)
+	if err := idx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		off := rng.Intn(len(s) - 5)
+		p := s[off : off+5]
+		if got := idx.Find(p); got < 0 || string(s[got:got+5]) != string(p) {
+			t.Fatalf("Find over binary alphabet broken: %d", got)
+		}
+	}
+}
+
+// TestLRSCrossCheckWithSuffixArray validates the LEL-based longest
+// repeated substring against the classical suffix-array answer on larger
+// inputs than brute force can handle.
+func TestLRSCrossCheckWithSuffixArray(t *testing.T) {
+	rng := rand.New(rand.NewSource(185))
+	for trial := 0; trial < 5; trial++ {
+		s := randomRepetitive(rng, []byte("acgt"), 20000)
+		spineLRS, _, _ := Build(s).LongestRepeatedSubstring()
+		saLRS, _, _ := suffixarray.Build(s).LongestRepeatedSubstring()
+		if len(spineLRS) != len(saLRS) {
+			t.Fatalf("trial %d: SPINE LRS length %d, suffix array %d", trial, len(spineLRS), len(saLRS))
+		}
+	}
+}

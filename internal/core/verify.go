@@ -1,0 +1,123 @@
+package core
+
+import "fmt"
+
+// Verify checks every structural invariant of the index against its own
+// text and returns the first violation found. It is O(n + edges) plus one
+// brute-force check per link (O(n * maxLEL) worst case), intended for
+// tools (`spinebuild -verify`), tests and post-load validation — not for
+// hot paths.
+//
+// Invariants checked:
+//
+//  1. Links point strictly upstream, LELs fit their node (lel(i) <= link(i))
+//     and the LEL-long strings above node and link destination coincide.
+//  2. LELs strictly decrease along every link chain.
+//  3. At most one rib per (node, character); no rib duplicates the
+//     vertebra character; rib thresholds exceed the source node's LEL.
+//  4. Rib and extrib destinations are on the backbone and downstream of
+//     their sources.
+//  5. Extrib chains are acyclic (strictly increasing node ids) and within
+//     one parent family PTs strictly increase along the chain.
+//  6. The rib/extrib string property: for the maximal valid path length,
+//     the spelled extension matches the text at the destination.
+func (idx *Index) Verify() error {
+	n := int32(idx.Len())
+	for i := int32(1); i <= n; i++ {
+		dest, lel := idx.link[i], idx.lel[i]
+		if dest >= i {
+			return fmt.Errorf("node %d: link %d not upstream", i, dest)
+		}
+		if lel > dest {
+			return fmt.Errorf("node %d: LEL %d exceeds link destination %d", i, lel, dest)
+		}
+		if string(idx.text[i-lel:i]) != string(idx.text[dest-lel:dest]) {
+			return fmt.Errorf("node %d: LEL-string mismatch with link %d", i, dest)
+		}
+		if dest > 0 && idx.lel[dest] >= lel {
+			return fmt.Errorf("node %d: chain LEL not decreasing (%d -> %d)", i, lel, idx.lel[dest])
+		}
+		// Cross-consistency with search: the LEL-long suffix's valid path
+		// must end at the link destination (its first occurrence), and the
+		// one-longer suffix must first occur at i itself (LEL maximality).
+		if end, ok := idx.EndNode(idx.text[i-lel : i]); !ok || end != dest {
+			return fmt.Errorf("node %d: LEL suffix path ends at %d (ok=%v), want link %d", i, end, ok, dest)
+		}
+		if lel+1 <= i {
+			if end, ok := idx.EndNode(idx.text[i-lel-1 : i]); !ok || end != i {
+				return fmt.Errorf("node %d: LEL %d not maximal (longer suffix first ends at %d, ok=%v)", i, lel, end, ok)
+			}
+		}
+	}
+	for src := int32(0); src <= n; src++ {
+		ribs := idx.Ribs(int(src))
+		ext, hasExt := idx.ExtribAt(int(src))
+		var srcLEL int32
+		if src > 0 {
+			srcLEL = idx.lel[src]
+		}
+		seen := map[byte]bool{}
+		for _, r := range ribs {
+			if int(src) < len(idx.text) && idx.text[src] == r.CL {
+				return fmt.Errorf("node %d: rib duplicates vertebra character %q", src, r.CL)
+			}
+			if seen[r.CL] {
+				return fmt.Errorf("node %d: duplicate rib for %q", src, r.CL)
+			}
+			seen[r.CL] = true
+			if r.Dest <= src || r.Dest > n {
+				return fmt.Errorf("node %d: rib destination %d out of range", src, r.Dest)
+			}
+			if r.PT <= srcLEL && src > 0 {
+				return fmt.Errorf("node %d: rib PT %d does not exceed node LEL %d", src, r.PT, srcLEL)
+			}
+			// String property at the maximal traversable length.
+			l := r.PT
+			if l > src {
+				return fmt.Errorf("node %d: rib PT %d exceeds backbone depth", src, r.PT)
+			}
+			if string(idx.text[src-l:src])+string([]byte{r.CL}) != string(idx.text[r.Dest-l-1:r.Dest]) {
+				return fmt.Errorf("node %d: rib to %d spells wrong extension at PT %d", src, r.Dest, r.PT)
+			}
+			if err := idx.verifyChain(src, r, n); err != nil {
+				return err
+			}
+		}
+		if hasExt {
+			if ext.Dest <= src || ext.Dest > n {
+				return fmt.Errorf("node %d: extrib destination %d out of range", src, ext.Dest)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyChain walks the extrib chain of one parent rib and checks family
+// ordering, acyclicity and the string property of each family member.
+func (idx *Index) verifyChain(src int32, r Rib, n int32) error {
+	lastPT := r.PT
+	node := r.Dest
+	for {
+		x, ok := idx.findExtrib(node)
+		if !ok {
+			return nil
+		}
+		if x.Dest <= node {
+			return fmt.Errorf("extrib chain at node %d not strictly increasing (%d -> %d)", src, node, x.Dest)
+		}
+		if x.ParentSrc == src && x.PRT == r.PT {
+			if x.PT <= lastPT {
+				return fmt.Errorf("family (%d, PT %d): extrib PT %d not increasing past %d", src, r.PT, x.PT, lastPT)
+			}
+			lastPT = x.PT
+			l := x.PT
+			if l > src {
+				return fmt.Errorf("family (%d, PT %d): extrib PT %d exceeds backbone depth", src, r.PT, x.PT)
+			}
+			if string(idx.text[src-l:src])+string([]byte{r.CL}) != string(idx.text[x.Dest-l-1:x.Dest]) {
+				return fmt.Errorf("family (%d, PT %d): extrib to %d spells wrong extension", src, r.PT, x.Dest)
+			}
+		}
+		node = x.Dest
+	}
+}

@@ -1,0 +1,619 @@
+package diskindex
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/pager"
+	"github.com/spine-index/spine/internal/suffixtree"
+	"github.com/spine-index/spine/internal/trie"
+)
+
+func newSpine(t *testing.T, opts Options) *Spine {
+	t.Helper()
+	s, err := CreateSpine(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("CreateSpine: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func newTree(t *testing.T, opts Options) *Tree {
+	t.Helper()
+	tr, err := CreateTree(t.TempDir(), 0, opts)
+	if err != nil {
+		t.Fatalf("CreateTree: %v", err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// TestDiskSpineMatchesMemory cross-checks the disk implementation against
+// the in-memory reference on the paper example and random strings,
+// including under a tiny buffer pool that forces heavy eviction.
+func TestDiskSpineMatchesMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		var text []byte
+		if trial == 0 {
+			text = []byte("aaccacaaca")
+		} else {
+			text = randomRepetitive(rng, 100+rng.Intn(200))
+		}
+		for _, bufPages := range []int{2, 64} {
+			s, err := CreateSpine(t.TempDir(), Options{PageSize: 512, BufferPages: bufPages})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendAll(text); err != nil {
+				t.Fatalf("AppendAll: %v", err)
+			}
+			mem := core.Build(text)
+			o := trie.NewOracle(text)
+			for q := 0; q < 150; q++ {
+				m := 1 + rng.Intn(8)
+				p := make([]byte, m)
+				for i := range p {
+					p[i] = "acgt"[rng.Intn(4)]
+				}
+				got, err := s.Find(p)
+				if err != nil {
+					t.Fatalf("Find: %v", err)
+				}
+				if want := mem.Find(p); got != want {
+					t.Fatalf("buf=%d text=%q: disk Find(%q)=%d mem=%d", bufPages, text, p, got, want)
+				}
+				gotAll, err := s.FindAll(p)
+				if err != nil {
+					t.Fatalf("FindAll: %v", err)
+				}
+				if want := o.Occurrences(p); !equalInts(gotAll, want) && !(len(gotAll) == 0 && len(want) == 0) {
+					t.Fatalf("buf=%d text=%q: disk FindAll(%q)=%v want %v", bufPages, text, p, gotAll, want)
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+func TestDiskSpinePaperExample(t *testing.T) {
+	s := newSpine(t, Options{PageSize: 512, BufferPages: 8})
+	if err := s.AppendAll([]byte("aaccacaaca")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Contains([]byte("accaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("disk index admitted the accaa false positive")
+	}
+	all, err := s.FindAll([]byte("ac"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(all, []int{1, 4, 7}) {
+		t.Fatalf("FindAll(ac) = %v, want [1 4 7]", all)
+	}
+}
+
+func TestDiskSpineCursorMatchesMemoryCursor(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	text := randomRepetitive(rng, 300)
+	query := randomRepetitive(rng, 150)
+	s := newSpine(t, Options{PageSize: 512, BufferPages: 4})
+	if err := s.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	mem := core.Build(text)
+	mc := core.NewCursor(mem)
+	dc := s.NewCursor()
+	for j, c := range query {
+		mc.Advance(c)
+		if err := dc.Advance(c); err != nil {
+			t.Fatalf("disk Advance: %v", err)
+		}
+		if mc.Len != dc.Len || mc.Node != dc.Node {
+			t.Fatalf("pos %d: mem (node %d, len %d) vs disk (node %d, len %d)",
+				j, mc.Node, mc.Len, dc.Node, dc.Len)
+		}
+	}
+	memEnds := mc.MatchEnds()
+	diskEnds, err := dc.MatchEnds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memEnds) != len(diskEnds) {
+		t.Fatalf("MatchEnds lengths differ: %v vs %v", memEnds, diskEnds)
+	}
+	for i := range memEnds {
+		if memEnds[i] != diskEnds[i] {
+			t.Fatalf("MatchEnds differ: %v vs %v", memEnds, diskEnds)
+		}
+	}
+}
+
+// TestDiskSpineOverflowRibs exercises the overflow rib chain with a
+// high-fanout protein-like root node.
+func TestDiskSpineOverflowRibs(t *testing.T) {
+	text := []byte("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY")
+	s := newSpine(t, Options{PageSize: 512, BufferPages: 4})
+	if err := s.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	mem := core.Build(text)
+	o := trie.NewOracle(text)
+	for str := range o.SubstringSet(5) {
+		got, err := s.Find([]byte(str))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mem.Find([]byte(str)); got != want {
+			t.Fatalf("Find(%q) = %d, want %d", str, got, want)
+		}
+	}
+	if s.ovfN == 0 {
+		t.Fatal("no overflow ribs allocated; test did not exercise the chain")
+	}
+}
+
+func TestDiskSpineIOCountersMove(t *testing.T) {
+	s := newSpine(t, Options{PageSize: 512, BufferPages: 2})
+	rng := rand.New(rand.NewSource(93))
+	if err := s.AppendAll(randomRepetitive(rng, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.IOStats()
+	if st.Writes == 0 {
+		t.Fatal("no physical writes despite tiny pool")
+	}
+	if s.HitRate() <= 0 {
+		t.Fatal("hit rate not tracked")
+	}
+}
+
+func TestDiskSpineSyncOption(t *testing.T) {
+	s := newSpine(t, Options{PageSize: 512, BufferPages: 2, Sync: true})
+	if err := s.AppendAll([]byte("aaccacaaca")); err != nil {
+		t.Fatalf("sync build failed: %v", err)
+	}
+}
+
+func TestDiskSpineTopRetentionPolicy(t *testing.T) {
+	s := newSpine(t, Options{PageSize: 512, BufferPages: 4, Policy: pager.TopRetention})
+	rng := rand.New(rand.NewSource(94))
+	text := randomRepetitive(rng, 1500)
+	if err := s.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	mem := core.Build(text)
+	for q := 0; q < 50; q++ {
+		p := text[q : q+5]
+		got, err := s.Find(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mem.Find(p); got != want {
+			t.Fatalf("Find(%q) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// --- Disk suffix tree ---
+
+func TestDiskTreeMatchesMemoryTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 6; trial++ {
+		text := randomRepetitive(rng, 80+rng.Intn(200))
+		dt := newTree(t, Options{PageSize: 512, BufferPages: 8})
+		if err := dt.AppendAll(text); err != nil {
+			t.Fatal(err)
+		}
+		if err := dt.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		mt, err := suffixtree.Build(text, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dt.NodeCount() != mt.NodeCount() {
+			t.Fatalf("node counts differ: disk %d vs mem %d", dt.NodeCount(), mt.NodeCount())
+		}
+		o := trie.NewOracle(text)
+		for q := 0; q < 120; q++ {
+			m := 1 + rng.Intn(8)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = "acgt"[rng.Intn(4)]
+			}
+			got, err := dt.Contains(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := o.Contains(p); got != want {
+				t.Fatalf("text=%q: disk Contains(%q)=%v want %v", text, p, got, want)
+			}
+			gotAll, err := dt.FindAll(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := o.Occurrences(p); !equalInts(gotAll, want) && !(len(gotAll) == 0 && len(want) == 0) {
+				t.Fatalf("text=%q: disk FindAll(%q)=%v want %v", text, p, gotAll, want)
+			}
+		}
+	}
+}
+
+func TestDiskTreeCursorMatchesMemoryCursor(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	text := randomRepetitive(rng, 250)
+	query := randomRepetitive(rng, 120)
+	dt := newTree(t, Options{PageSize: 512, BufferPages: 4})
+	if err := dt.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := suffixtree.Build(text, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := suffixtree.NewCursor(mt)
+	dc := dt.NewCursor()
+	for j, c := range query {
+		mc.Advance(c)
+		if err := dc.Advance(c); err != nil {
+			t.Fatalf("disk Advance: %v", err)
+		}
+		if mc.Len() != dc.Len() {
+			t.Fatalf("pos %d: mem len %d vs disk len %d", j, mc.Len(), dc.Len())
+		}
+	}
+}
+
+func TestDiskTreeRejectsTerminalAndLateAppend(t *testing.T) {
+	dt := newTree(t, Options{PageSize: 512, BufferPages: 4})
+	if err := dt.Append(0); err == nil {
+		t.Fatal("terminal byte accepted")
+	}
+	if err := dt.AppendAll([]byte("acgt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Append('a'); err == nil {
+		t.Fatal("Append after Finish accepted")
+	}
+}
+
+func TestCreateRejectsTinyPages(t *testing.T) {
+	if _, err := CreateSpine(t.TempDir(), Options{PageSize: 32}); err == nil {
+		t.Fatal("CreateSpine accepted page smaller than a record")
+	}
+	if _, err := CreateTree(t.TempDir(), 0, Options{PageSize: 32}); err == nil {
+		t.Fatal("CreateTree accepted page smaller than a record")
+	}
+}
+
+func randomRepetitive(rng *rand.Rand, n int) []byte {
+	s := make([]byte, 0, n)
+	for len(s) < n {
+		if len(s) > 10 && rng.Float64() < 0.5 {
+			l := 1 + rng.Intn(10)
+			if l > len(s) {
+				l = len(s)
+			}
+			start := rng.Intn(len(s) - l + 1)
+			s = append(s, s[start:start+l]...)
+		} else {
+			s = append(s, "acgt"[rng.Intn(4)])
+		}
+	}
+	return s[:n]
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiskSpineSurfacesIOFaults injects pager faults and checks that
+// Append and queries return errors rather than panicking or silently
+// corrupting results.
+func TestDiskSpineSurfacesIOFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	text := randomRepetitive(rng, 3000)
+	// A 2-page pool over a ~430-page-record index: every query and append
+	// must go to disk.
+	s := newSpine(t, Options{PageSize: 512, BufferPages: 2})
+	if err := s.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(func(op string, page int32) error {
+		return errInjected
+	})
+	// FindAll scans the whole backbone: with a tiny pool it must fault.
+	if _, err := s.FindAll(text[:8]); err == nil {
+		t.Fatal("injected fault not surfaced by FindAll")
+	}
+	// Appends also surface faults (reads along the link chain or dirty
+	// evictions).
+	appendFailed := false
+	for i := 0; i < 100 && !appendFailed; i++ {
+		if err := s.Append("acgt"[i%4]); err != nil {
+			appendFailed = true
+		}
+	}
+	if !appendFailed {
+		t.Fatal("injected fault not surfaced by Append")
+	}
+	// After clearing the fault the index answers queries again.
+	s.SetFaultHook(nil)
+	occ, err := s.FindAll(text[:8])
+	if err != nil {
+		t.Fatalf("index unusable after fault cleared: %v", err)
+	}
+	if len(occ) == 0 || occ[0] != 0 {
+		t.Fatalf("results corrupted after fault: %v", occ)
+	}
+}
+
+var errInjected = errorString("injected I/O fault")
+
+// TestSpinePersistenceRoundTrip builds, closes, reopens and queries a disk
+// index, including the overflow file (protein fan-out).
+func TestSpinePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(98))
+	text := randomRepetitive(rng, 1200)
+	s, err := CreateSpine(dir, Options{PageSize: 512, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSpine(dir, Options{BufferPages: 4})
+	if err != nil {
+		t.Fatalf("OpenSpine: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != len(text) {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(text))
+	}
+	mem := core.Build(text)
+	for q := 0; q < 100; q++ {
+		off := rng.Intn(len(text) - 6)
+		p := text[off : off+6]
+		got, err := re.FindAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mem.FindAll(p)
+		if !equalInts(got, want) {
+			t.Fatalf("reopened FindAll(%q) = %v, want %v", p, got, want)
+		}
+	}
+	// The reopened index is still extendable online.
+	before := re.Len()
+	if err := re.AppendAll([]byte("acgtacgt")); err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != before+8 {
+		t.Fatalf("appended length = %d", re.Len())
+	}
+	mem2 := core.Build(append(append([]byte{}, text...), []byte("acgtacgt")...))
+	got, err := re.FindAll([]byte("acgtacgt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mem2.FindAll([]byte("acgtacgt")); !equalInts(got, want) {
+		t.Fatalf("post-append FindAll = %v, want %v", got, want)
+	}
+}
+
+func TestSpinePersistenceOverflow(t *testing.T) {
+	dir := t.TempDir()
+	text := []byte("ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY")
+	s, err := CreateSpine(dir, Options{PageSize: 512, BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	if s.ovfN == 0 {
+		t.Fatal("test needs overflow ribs")
+	}
+	wantOvf := s.ovfN
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenSpine(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.ovfN != wantOvf {
+		t.Fatalf("reopened ovfN = %d, want %d", re.ovfN, wantOvf)
+	}
+	pos, err := re.Find([]byte("WYA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 18 {
+		t.Fatalf("Find(WYA) = %d, want 18", pos)
+	}
+}
+
+func TestOpenSpineRejectsMissingOrCorruptMeta(t *testing.T) {
+	if _, err := OpenSpine(t.TempDir(), Options{}); err == nil {
+		t.Fatal("open of empty dir accepted")
+	}
+	dir := t.TempDir()
+	s, err := CreateSpine(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendAll([]byte("acgtacgt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	metaPath := dir + "/meta.spine"
+	raw, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xFF // corrupt n
+	if err := os.WriteFile(metaPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSpine(dir, Options{}); err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+}
+
+func TestSpinePersistenceEmptyIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateSpine(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenSpine(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenSpine(empty): %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 0 {
+		t.Fatalf("Len = %d", re.Len())
+	}
+	ok, err := re.Contains([]byte("a"))
+	if err != nil || ok {
+		t.Fatalf("Contains on empty = (%v, %v)", ok, err)
+	}
+}
+
+func TestTreePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(99))
+	text := randomRepetitive(rng, 800)
+	dt, err := CreateTree(dir, 0, Options{PageSize: 512, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	nodeCount := dt.NodeCount()
+	if err := dt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenTree(dir, Options{BufferPages: 6})
+	if err != nil {
+		t.Fatalf("OpenTree: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != len(text) || re.NodeCount() != nodeCount {
+		t.Fatalf("reopened Len=%d nodes=%d, want %d/%d", re.Len(), re.NodeCount(), len(text), nodeCount)
+	}
+	mem, err := suffixtree.Build(text, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 80; q++ {
+		off := rng.Intn(len(text) - 6)
+		p := text[off : off+6]
+		got, err := re.FindAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mem.FindAll(p); !equalInts(got, want) {
+			t.Fatalf("reopened FindAll(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestOpenTreeRejectsUnfinished(t *testing.T) {
+	dir := t.TempDir()
+	dt, err := CreateTree(dir, 0, Options{PageSize: 512, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.AppendAll([]byte("acgtacgt")); err != nil {
+		t.Fatal(err)
+	}
+	// No Finish: flush + close leaves an unfinished tree on disk.
+	if err := dt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTree(dir, Options{}); err == nil {
+		t.Fatal("unfinished tree accepted")
+	}
+}
+
+// TestReopenedSpineCursorMatching checks the matching cursor works on a
+// reopened index (the Table 7 path after persistence).
+func TestReopenedSpineCursorMatching(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(100))
+	text := randomRepetitive(rng, 600)
+	s, err := CreateSpine(dir, Options{PageSize: 512, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendAll(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenSpine(dir, Options{BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	mem := core.Build(text)
+	mc := core.NewCursor(mem)
+	dc := re.NewCursor()
+	query := randomRepetitive(rng, 300)
+	for j, c := range query {
+		mc.Advance(c)
+		if err := dc.Advance(c); err != nil {
+			t.Fatal(err)
+		}
+		if mc.Len != dc.Len || mc.Node != dc.Node {
+			t.Fatalf("pos %d: mem (%d,%d) vs reopened (%d,%d)", j, mc.Node, mc.Len, dc.Node, dc.Len)
+		}
+	}
+}

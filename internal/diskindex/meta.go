@@ -1,0 +1,108 @@
+package diskindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/spine-index/spine/internal/pager"
+)
+
+// Meta file for a disk SPINE index: the counters that cannot be recovered
+// from the page files alone. Written on Flush/Close, verified on Open.
+//
+//	magic "SPDM" | version u16 | pageSize u32 | n u32 | ovfN u32 | crc32
+const (
+	metaMagic   = "SPDM"
+	metaVersion = uint16(1)
+	metaSize    = 4 + 2 + 4 + 4 + 4 + 4
+	metaFile    = "meta.spine"
+)
+
+func (s *Spine) writeMeta() error {
+	buf := make([]byte, metaSize)
+	copy(buf, metaMagic)
+	binary.LittleEndian.PutUint16(buf[4:], metaVersion)
+	binary.LittleEndian.PutUint32(buf[6:], uint32(s.pageSize))
+	binary.LittleEndian.PutUint32(buf[10:], uint32(s.n))
+	binary.LittleEndian.PutUint32(buf[14:], uint32(s.ovfN))
+	binary.LittleEndian.PutUint32(buf[18:], crc32.ChecksumIEEE(buf[:18]))
+	tmp := filepath.Join(s.dir, metaFile+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("diskindex: writing meta: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, metaFile))
+}
+
+func readMeta(dir string) (pageSize int, n, ovfN int32, err error) {
+	buf, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("diskindex: reading meta: %w", err)
+	}
+	if len(buf) != metaSize || string(buf[:4]) != metaMagic {
+		return 0, 0, 0, fmt.Errorf("diskindex: %s is not a SPINE meta file", metaFile)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != metaVersion {
+		return 0, 0, 0, fmt.Errorf("diskindex: unsupported meta version %d", v)
+	}
+	if got, want := crc32.ChecksumIEEE(buf[:18]), binary.LittleEndian.Uint32(buf[18:]); got != want {
+		return 0, 0, 0, fmt.Errorf("diskindex: meta checksum mismatch")
+	}
+	return int(binary.LittleEndian.Uint32(buf[6:])),
+		int32(binary.LittleEndian.Uint32(buf[10:])),
+		int32(binary.LittleEndian.Uint32(buf[14:])),
+		nil
+}
+
+// OpenSpine opens a disk SPINE index previously built in dir and flushed
+// or closed. The page size is taken from the meta file; other options
+// (buffering, sync) come from opts.
+func OpenSpine(dir string, opts Options) (*Spine, error) {
+	pageSize, n, ovfN, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	popts := pager.Options{PageSize: pageSize, Sync: opts.Sync}
+	nf, err := pager.Open(filepath.Join(dir, "nodes.spine"), popts)
+	if err != nil {
+		return nil, err
+	}
+	of, err := pager.Open(filepath.Join(dir, "ovf.spine"), popts)
+	if err != nil {
+		nf.Close()
+		return nil, err
+	}
+	ovfPages := opts.bufferPages() / 8
+	if ovfPages < 4 {
+		ovfPages = 4
+	}
+	s := &Spine{
+		dir:      dir,
+		nodes:    nf,
+		ovf:      of,
+		pool:     pager.NewPool(nf, opts.bufferPages(), opts.Policy),
+		ovfPool:  pager.NewPool(of, ovfPages, opts.Policy),
+		pageSize: nf.PageSize(),
+		n:        n,
+		ovfN:     ovfN,
+		recsPP:   int32(nf.PageSize() / spineRecSize),
+		ovfPP:    int32(nf.PageSize() / ovfRecSize),
+	}
+	if s.recsPP == 0 {
+		s.nodes.Close()
+		s.ovf.Close()
+		return nil, fmt.Errorf("diskindex: page size %d smaller than record size %d", nf.PageSize(), spineRecSize)
+	}
+	// Sanity: the node file must cover all n+1 records (an empty index has
+	// no written pages; reads of unwritten pages return zeroes).
+	needPages := (n + 1 + s.recsPP - 1) / s.recsPP
+	if n > 0 && nf.Pages() < needPages {
+		s.nodes.Close()
+		s.ovf.Close()
+		return nil, fmt.Errorf("diskindex: node file has %d pages, need %d for %d nodes (index not flushed?)",
+			nf.Pages(), needPages, n+1)
+	}
+	return s, nil
+}

@@ -1,0 +1,430 @@
+// Package diskindex provides disk-resident SPINE and suffix-tree indexes
+// built on the pager substrate, reproducing the paper's §6.2 experiments:
+// on-disk construction under synchronous writes, disk search, and the
+// locality behaviour that gives SPINE its ~2x win (Figure 7, Table 7).
+//
+// Node records are fixed-size and page-packed, so a node access is one
+// buffer-pool probe. SPINE records hold up to three inline ribs (the DNA
+// worst case); larger fan-outs — possible on protein alphabets — chain
+// into an overflow file.
+package diskindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/spine-index/spine/internal/pager"
+)
+
+// SPINE disk record layout (little-endian, 72 bytes):
+//
+//	 0  link     int32
+//	 4  lel      int32
+//	 8  flags    byte (bit0: has extrib)
+//	 9  ribN     byte (inline rib count, 0..3)
+//	10  char     byte (vertebra label leaving this node)
+//	12  ribs     3 x { cl byte, pad3, dest int32, pt int32 } = 36
+//	48  ext      { dest int32, pt int32, prt int32, src int32 } = 16
+//	(overflow chain id lives in flags' sibling word; see ovfOff)
+const (
+	spineRecSize = 72
+	offLink      = 0
+	offLEL       = 4
+	offFlags     = 8
+	offRibN      = 9
+	offChar      = 10
+	offRibs      = 12 // 3 x 12 bytes
+	ribSlotSize  = 12
+	offExt       = 48
+	ovfOff       = 64 // overflow chain head (record id + 1; 0 = none)
+	flagHasExt   = 1 << 0
+	maxInline    = 3
+	ovfRecSize   = 16 // cl byte, pad3, dest int32, pt int32, next int32 (+1 encoded)
+)
+
+// Options configures a disk index.
+type Options struct {
+	// PageSize in bytes (0 = pager default).
+	PageSize int
+	// Sync forces synchronous page writes, the paper's methodology.
+	Sync bool
+	// BufferPages is the buffer-pool capacity in pages (0 = 1024).
+	BufferPages int
+	// Policy selects the replacement policy.
+	Policy pager.Policy
+}
+
+func (o Options) bufferPages() int {
+	if o.BufferPages <= 0 {
+		return 1024
+	}
+	return o.BufferPages
+}
+
+// Spine is a disk-resident SPINE index under construction or query.
+type Spine struct {
+	dir      string
+	nodes    *pager.File
+	ovf      *pager.File
+	pool     *pager.Pool
+	ovfPool  *pager.Pool
+	pageSize int
+	n        int32 // indexed characters
+	ovfN     int32 // overflow records allocated
+	recsPP   int32 // records per page
+	ovfPP    int32
+}
+
+// CreateSpine creates an empty disk SPINE index in dir (files nodes.spine
+// and ovf.spine).
+func CreateSpine(dir string, opts Options) (*Spine, error) {
+	nf, err := pager.Create(filepath.Join(dir, "nodes.spine"), pager.Options{PageSize: opts.PageSize, Sync: opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	of, err := pager.Create(filepath.Join(dir, "ovf.spine"), pager.Options{PageSize: opts.PageSize, Sync: opts.Sync})
+	if err != nil {
+		nf.Close()
+		return nil, err
+	}
+	// The overflow pool is small: overflow traffic is rare by design.
+	ovfPages := opts.bufferPages() / 8
+	if ovfPages < 4 {
+		ovfPages = 4
+	}
+	s := &Spine{
+		dir:      dir,
+		nodes:    nf,
+		ovf:      of,
+		pool:     pager.NewPool(nf, opts.bufferPages(), opts.Policy),
+		ovfPool:  pager.NewPool(of, ovfPages, opts.Policy),
+		pageSize: nf.PageSize(),
+		recsPP:   int32(nf.PageSize() / spineRecSize),
+		ovfPP:    int32(nf.PageSize() / ovfRecSize),
+	}
+	if s.recsPP == 0 {
+		nf.Close()
+		of.Close()
+		return nil, fmt.Errorf("diskindex: page size %d smaller than record size %d", nf.PageSize(), spineRecSize)
+	}
+	return s, nil
+}
+
+// Len returns the number of indexed characters.
+func (s *Spine) Len() int { return int(s.n) }
+
+// SetFaultHook installs a fault-injection hook on the node file (see
+// pager.File.SetFaultHook). For tests.
+func (s *Spine) SetFaultHook(h func(op string, page int32) error) { s.nodes.SetFaultHook(h) }
+
+// IOStats aggregates physical I/O over both files.
+func (s *Spine) IOStats() pager.IOStats {
+	ns, os_ := s.nodes.Stats(), s.ovf.Stats()
+	return pager.IOStats{Reads: ns.Reads + os_.Reads, Writes: ns.Writes + os_.Writes}
+}
+
+// HitRate returns the node-file buffer pool hit rate.
+func (s *Spine) HitRate() float64 { return s.pool.HitRate() }
+
+// Flush writes all dirty pages and the meta record to disk; after a Flush
+// the index can be reopened with OpenSpine.
+func (s *Spine) Flush() error {
+	if err := s.pool.Flush(); err != nil {
+		return err
+	}
+	if err := s.ovfPool.Flush(); err != nil {
+		return err
+	}
+	return s.writeMeta()
+}
+
+// Close flushes and closes the underlying files.
+func (s *Spine) Close() error {
+	flushErr := s.Flush()
+	err1 := s.nodes.Close()
+	err2 := s.ovf.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// RemoveFiles deletes the index files (after Close). Intended for
+// benchmarks that create throwaway indexes.
+func (s *Spine) RemoveFiles() error {
+	if err := os.Remove(filepath.Join(s.dir, "nodes.spine")); err != nil {
+		return err
+	}
+	return os.Remove(filepath.Join(s.dir, "ovf.spine"))
+}
+
+// withNode pins the record of node i, applies fn, and unpins, marking the
+// page dirty when write is set and fn succeeded.
+func (s *Spine) withNode(i int32, write bool, fn func(rec []byte) error) error {
+	page := i / s.recsPP
+	off := int(i%s.recsPP) * spineRecSize
+	data, err := s.pool.Get(page)
+	if err != nil {
+		return err
+	}
+	err = fn(data[off : off+spineRecSize])
+	s.pool.Unpin(page, write && err == nil)
+	return err
+}
+
+func (s *Spine) withOvf(id int32, write bool, fn func(rec []byte) error) error {
+	page := id / s.ovfPP
+	off := int(id%s.ovfPP) * ovfRecSize
+	data, err := s.ovfPool.Get(page)
+	if err != nil {
+		return err
+	}
+	err = fn(data[off : off+ovfRecSize])
+	s.ovfPool.Unpin(page, write && err == nil)
+	return err
+}
+
+func le32(b []byte) int32       { return int32(binary.LittleEndian.Uint32(b)) }
+func putLE32(b []byte, v int32) { binary.LittleEndian.PutUint32(b, uint32(v)) }
+
+type diskRib struct {
+	cl   byte
+	dest int32
+	pt   int32
+}
+
+type diskExt struct {
+	dest, pt, prt, src int32
+}
+
+// readNode decodes the parts of node i's record needed by the walk.
+func (s *Spine) readNode(i int32) (link, lel int32, ch byte, err error) {
+	err = s.withNode(i, false, func(rec []byte) error {
+		link, lel, ch = le32(rec[offLink:]), le32(rec[offLEL:]), rec[offChar]
+		return nil
+	})
+	return
+}
+
+// findRibAt returns the rib labelled c at node t, scanning inline slots
+// and, if needed, the overflow chain.
+func (s *Spine) findRibAt(t int32, c byte) (diskRib, bool, error) {
+	var out diskRib
+	found := false
+	var ovfHead int32
+	err := s.withNode(t, false, func(rec []byte) error {
+		n := int(rec[offRibN])
+		inline := n
+		if inline > maxInline {
+			inline = maxInline
+		}
+		for j := 0; j < inline; j++ {
+			slot := rec[offRibs+j*ribSlotSize:]
+			if slot[0] == c {
+				out = diskRib{cl: c, dest: le32(slot[4:]), pt: le32(slot[8:])}
+				found = true
+				return nil
+			}
+		}
+		ovfHead = le32(rec[ovfOff:])
+		return nil
+	})
+	if err != nil || found {
+		return out, found, err
+	}
+	for id := ovfHead; id != 0; {
+		var next int32
+		err := s.withOvf(id-1, false, func(rec []byte) error {
+			if rec[0] == c {
+				out = diskRib{cl: c, dest: le32(rec[4:]), pt: le32(rec[8:])}
+				found = true
+			}
+			next = le32(rec[12:])
+			return nil
+		})
+		if err != nil {
+			return out, false, err
+		}
+		if found {
+			return out, true, nil
+		}
+		id = next
+	}
+	return out, false, nil
+}
+
+// addRibAt appends a rib at node t, spilling to the overflow chain when
+// the inline slots are full.
+func (s *Spine) addRibAt(t int32, r diskRib) error {
+	needOvf := false
+	err := s.withNode(t, true, func(rec []byte) error {
+		n := int(rec[offRibN])
+		if n < maxInline {
+			slot := rec[offRibs+n*ribSlotSize:]
+			slot[0] = r.cl
+			putLE32(slot[4:], r.dest)
+			putLE32(slot[8:], r.pt)
+			rec[offRibN] = byte(n + 1)
+			return nil
+		}
+		needOvf = true
+		return nil
+	})
+	if err != nil || !needOvf {
+		return err
+	}
+	// Allocate an overflow record and push it at the chain head.
+	id := s.ovfN
+	s.ovfN++
+	if err := s.withOvf(id, true, func(rec []byte) error {
+		rec[0] = r.cl
+		putLE32(rec[4:], r.dest)
+		putLE32(rec[8:], r.pt)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return s.withNode(t, true, func(rec []byte) error {
+		oldHead := le32(rec[ovfOff:])
+		putLE32(rec[ovfOff:], id+1)
+		rec[offRibN]++
+		return s.withOvf(id, true, func(orec []byte) error {
+			putLE32(orec[12:], oldHead)
+			return nil
+		})
+	})
+}
+
+func (s *Spine) extribAt(t int32) (diskExt, bool, error) {
+	var out diskExt
+	has := false
+	err := s.withNode(t, false, func(rec []byte) error {
+		if rec[offFlags]&flagHasExt == 0 {
+			return nil
+		}
+		has = true
+		out = diskExt{
+			dest: le32(rec[offExt:]),
+			pt:   le32(rec[offExt+4:]),
+			prt:  le32(rec[offExt+8:]),
+			src:  le32(rec[offExt+12:]),
+		}
+		return nil
+	})
+	return out, has, err
+}
+
+func (s *Spine) setExtribAt(t int32, x diskExt) error {
+	return s.withNode(t, true, func(rec []byte) error {
+		if rec[offFlags]&flagHasExt != 0 {
+			return fmt.Errorf("diskindex: node %d already has an extrib", t)
+		}
+		rec[offFlags] |= flagHasExt
+		putLE32(rec[offExt:], x.dest)
+		putLE32(rec[offExt+4:], x.pt)
+		putLE32(rec[offExt+8:], x.prt)
+		putLE32(rec[offExt+12:], x.src)
+		return nil
+	})
+}
+
+func (s *Spine) setLinkOf(node, dest, lel int32) error {
+	return s.withNode(node, true, func(rec []byte) error {
+		putLE32(rec[offLink:], dest)
+		putLE32(rec[offLEL:], lel)
+		return nil
+	})
+}
+
+// Append extends the disk index by one character — the same construction
+// walk as the in-memory index (see internal/core), with every node access
+// routed through the buffer pool.
+func (s *Spine) Append(c byte) error {
+	k := s.n
+	s.n++
+	newNode := k + 1
+	// Record the vertebra label on node k.
+	if err := s.withNode(k, true, func(rec []byte) error {
+		rec[offChar] = c
+		return nil
+	}); err != nil {
+		return err
+	}
+	if k == 0 {
+		return s.setLinkOf(newNode, 0, 0)
+	}
+	t, L, _, err := s.readNode(k)
+	if err != nil {
+		return err
+	}
+	for {
+		_, _, ch, err := s.readNode(t)
+		if err != nil {
+			return err
+		}
+		if ch == c && t < k { // vertebra exists (t < k always holds on the chain)
+			return s.setLinkOf(newNode, t+1, L+1)
+		}
+		r, ok, err := s.findRibAt(t, c)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if L <= r.pt {
+				return s.setLinkOf(newNode, r.dest, L+1)
+			}
+			return s.handleExtribs(t, r, L, newNode)
+		}
+		if err := s.addRibAt(t, diskRib{cl: c, dest: newNode, pt: L}); err != nil {
+			return err
+		}
+		if t == 0 {
+			return s.setLinkOf(newNode, 0, 0)
+		}
+		link, lel, _, err := s.readNode(t)
+		if err != nil {
+			return err
+		}
+		t, L = link, lel
+	}
+}
+
+func (s *Spine) handleExtribs(t int32, r diskRib, L, newNode int32) error {
+	lastDest, lastPT := r.dest, r.pt
+	node := r.dest
+	for {
+		x, has, err := s.extribAt(node)
+		if err != nil {
+			return err
+		}
+		if !has {
+			break
+		}
+		if x.src == t && x.prt == r.pt {
+			if x.pt >= L {
+				return s.setLinkOf(newNode, x.dest, L+1)
+			}
+			lastDest, lastPT = x.dest, x.pt
+		}
+		node = x.dest
+	}
+	if err := s.setExtribAt(node, diskExt{dest: newNode, pt: L, prt: r.pt, src: t}); err != nil {
+		return err
+	}
+	return s.setLinkOf(newNode, lastDest, lastPT+1)
+}
+
+// AppendAll appends every byte of data.
+func (s *Spine) AppendAll(data []byte) error {
+	for _, c := range data {
+		if err := s.Append(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

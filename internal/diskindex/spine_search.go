@@ -1,0 +1,244 @@
+package diskindex
+
+// step advances a valid path (node v, length pathlen) by character c; the
+// disk analogue of the in-memory engine's transition.
+func (s *Spine) step(v, pathlen int32, c byte) (int32, bool, error) {
+	if v < s.n {
+		_, _, ch, err := s.readNode(v)
+		if err != nil {
+			return 0, false, err
+		}
+		if ch == c {
+			return v + 1, true, nil
+		}
+	}
+	r, ok, err := s.findRibAt(v, c)
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	if pathlen <= r.pt {
+		return r.dest, true, nil
+	}
+	node := r.dest
+	for {
+		x, has, err := s.extribAt(node)
+		if err != nil {
+			return 0, false, err
+		}
+		if !has {
+			return 0, false, nil
+		}
+		if x.src == v && x.prt == r.pt && x.pt >= pathlen {
+			return x.dest, true, nil
+		}
+		node = x.dest
+	}
+}
+
+// EndNode locates the valid path spelling p; found is false if p does not
+// occur.
+func (s *Spine) EndNode(p []byte) (end int32, found bool, err error) {
+	v := int32(0)
+	for i, c := range p {
+		v, found, err = s.step(v, int32(i), c)
+		if err != nil || !found {
+			return 0, false, err
+		}
+	}
+	return v, true, nil
+}
+
+// Contains reports whether p occurs in the indexed text.
+func (s *Spine) Contains(p []byte) (bool, error) {
+	_, ok, err := s.EndNode(p)
+	return ok, err
+}
+
+// Find returns the first-occurrence start of p, or -1.
+func (s *Spine) Find(p []byte) (int, error) {
+	end, ok, err := s.EndNode(p)
+	if err != nil || !ok {
+		return -1, err
+	}
+	return int(end) - len(p), nil
+}
+
+// FindAll returns every occurrence start of p in increasing order (nil if
+// absent): the first occurrence by valid-path search, the rest by the
+// backbone target-buffer scan.
+func (s *Spine) FindAll(p []byte) ([]int, error) {
+	if len(p) == 0 {
+		out := make([]int, s.n+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	first, ok, err := s.EndNode(p)
+	if err != nil || !ok {
+		return nil, err
+	}
+	buf := []int32{first}
+	m := int32(len(p))
+	for j := first + 1; j <= s.n; j++ {
+		link, lel, _, err := s.readNode(j)
+		if err != nil {
+			return nil, err
+		}
+		if lel >= m && containsSorted(buf, link) {
+			buf = append(buf, j)
+		}
+	}
+	out := make([]int, len(buf))
+	for i, e := range buf {
+		out[i] = int(e) - len(p)
+	}
+	return out, nil
+}
+
+func containsSorted(buf []int32, x int32) bool {
+	lo, hi := 0, len(buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if buf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(buf) && buf[lo] == x
+}
+
+// ScanMany resolves many matches' occurrence-end sets in one sequential
+// pass over the backbone — the §4 deferred enumeration, which matters most
+// on disk: one scan reads each node page once instead of once per match.
+// firsts[i] is match i's first-occurrence end node, lens[i] its length.
+func (s *Spine) ScanMany(firsts, lens []int32) ([][]int32, error) {
+	out := make([][]int32, len(firsts))
+	if len(firsts) == 0 {
+		return out, nil
+	}
+	owners := make(map[int32][]int32)
+	minFirst := firsts[0]
+	for i := range firsts {
+		out[i] = []int32{firsts[i]}
+		owners[firsts[i]] = append(owners[firsts[i]], int32(i))
+		if firsts[i] < minFirst {
+			minFirst = firsts[i]
+		}
+	}
+	for j := minFirst + 1; j <= s.n; j++ {
+		link, lel, _, err := s.readNode(j)
+		if err != nil {
+			return nil, err
+		}
+		ms, ok := owners[link]
+		if !ok {
+			continue
+		}
+		for _, m := range ms {
+			if lel >= lens[m] && j > firsts[m] {
+				out[m] = append(out[m], j)
+				owners[j] = append(owners[j], m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SpineCursor is the disk analogue of the in-memory matching-statistics
+// cursor (see internal/core.Cursor); every probe goes through the buffer
+// pool, so Checked also approximates the page-access pattern.
+type SpineCursor struct {
+	s *Spine
+	// Node and Len identify the current match: text[Node-Len:Node].
+	Node, Len int32
+	// Checked counts nodes examined.
+	Checked int64
+}
+
+// NewCursor returns a matching cursor over the disk index.
+func (s *Spine) NewCursor() *SpineCursor { return &SpineCursor{s: s} }
+
+// Advance consumes one query character.
+func (c *SpineCursor) Advance(ch byte) error {
+	for {
+		c.Checked++
+		next, matched, ok, err := c.bestExtension(ch)
+		if err != nil {
+			return err
+		}
+		if ok {
+			c.Node, c.Len = next, matched+1
+			return nil
+		}
+		if c.Node == 0 && c.Len == 0 {
+			return nil
+		}
+		link, lel, _, err := c.s.readNode(c.Node)
+		if err != nil {
+			return err
+		}
+		c.Node, c.Len = link, lel
+	}
+}
+
+func (c *SpineCursor) bestExtension(ch byte) (next, matched int32, ok bool, err error) {
+	s := c.s
+	v := c.Node
+	if v < s.n {
+		_, _, vch, err := s.readNode(v)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if vch == ch {
+			return v + 1, c.Len, true, nil
+		}
+	}
+	r, found, err := s.findRibAt(v, ch)
+	if err != nil || !found {
+		return 0, 0, false, err
+	}
+	if c.Len <= r.pt {
+		return r.dest, c.Len, true, nil
+	}
+	bestDest, bestPT := r.dest, r.pt
+	node := r.dest
+	for {
+		x, has, err := s.extribAt(node)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if !has {
+			break
+		}
+		c.Checked++
+		if x.src == v && x.prt == r.pt {
+			if x.pt >= c.Len {
+				return x.dest, c.Len, true, nil
+			}
+			bestDest, bestPT = x.dest, x.pt
+		}
+		node = x.dest
+	}
+	return bestDest, bestPT, true, nil
+}
+
+// MatchEnds returns every end position of the current match.
+func (c *SpineCursor) MatchEnds() ([]int32, error) {
+	if c.Len == 0 {
+		return nil, nil
+	}
+	s := c.s
+	buf := []int32{c.Node}
+	for j := c.Node + 1; j <= s.n; j++ {
+		link, lel, _, err := s.readNode(j)
+		if err != nil {
+			return nil, err
+		}
+		if lel >= c.Len && containsSorted(buf, link) {
+			buf = append(buf, j)
+		}
+	}
+	return buf, nil
+}

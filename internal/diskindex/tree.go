@@ -1,0 +1,640 @@
+package diskindex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/spine-index/spine/internal/pager"
+)
+
+// Suffix-tree disk record layout (little-endian, 48 bytes):
+//
+//	 0 start  int32 (edge label start into the text file)
+//	 4 end    int32 (exclusive; -1 = open leaf end)
+//	 8 slink  int32
+//	12 childN byte
+//	13 childs 5 x { char byte, ptr int32 } = 25
+//	38 ovf    int32 (child overflow chain head, id+1; 0 = none)
+const (
+	treeRecSize   = 48
+	tOffStart     = 0
+	tOffEnd       = 4
+	tOffSlink     = 8
+	tOffChildN    = 12
+	tOffChilds    = 13
+	childSlotSize = 5
+	maxChilds     = 5 // DNA alphabet + terminal fits inline
+	tOffOvf       = 38
+	leafEndMark   = int32(-1)
+	treeRoot      = int32(1)
+)
+
+// Tree is a disk-resident suffix tree (online Ukkonen through the buffer
+// pool), the ST side of the Figure 7 / Table 7 experiments.
+type Tree struct {
+	dir      string
+	nodes    *pager.File
+	text     *pager.File
+	ovf      *pager.File
+	pool     *pager.Pool
+	textPool *pager.Pool
+	ovfPool  *pager.Pool
+
+	term     byte
+	n        int32 // text length including terminal, after Finish
+	nodeN    int32 // allocated node records (ids 1..nodeN)
+	ovfN     int32
+	recsPP   int32
+	ovfPP    int32
+	distinct []byte
+
+	// Ukkonen active point.
+	activeNode, activeEdge, activeLen, remainder int32
+	finished                                     bool
+}
+
+// CreateTree creates an empty disk suffix tree in dir.
+func CreateTree(dir string, terminal byte, opts Options) (*Tree, error) {
+	nf, err := pager.Create(filepath.Join(dir, "nodes.st"), pager.Options{PageSize: opts.PageSize, Sync: opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	tf, err := pager.Create(filepath.Join(dir, "text.st"), pager.Options{PageSize: opts.PageSize, Sync: opts.Sync})
+	if err != nil {
+		nf.Close()
+		return nil, err
+	}
+	of, err := pager.Create(filepath.Join(dir, "ovf.st"), pager.Options{PageSize: opts.PageSize, Sync: opts.Sync})
+	if err != nil {
+		nf.Close()
+		tf.Close()
+		return nil, err
+	}
+	// Split the budget: the node file dominates accesses; text is
+	// sequential during build.
+	nodePages := opts.bufferPages() * 3 / 4
+	if nodePages < 4 {
+		nodePages = 4
+	}
+	side := opts.bufferPages() / 8
+	if side < 4 {
+		side = 4
+	}
+	t := &Tree{
+		dir:      dir,
+		nodes:    nf,
+		text:     tf,
+		ovf:      of,
+		pool:     pager.NewPool(nf, nodePages, opts.Policy),
+		textPool: pager.NewPool(tf, side, opts.Policy),
+		ovfPool:  pager.NewPool(of, side, opts.Policy),
+		term:     terminal,
+		recsPP:   int32(nf.PageSize() / treeRecSize),
+		ovfPP:    int32(nf.PageSize() / ovfRecSize),
+	}
+	if t.recsPP == 0 {
+		t.closeFiles()
+		return nil, fmt.Errorf("diskindex: page size %d smaller than tree record size %d", nf.PageSize(), treeRecSize)
+	}
+	t.nodeN = 1 // root
+	t.activeNode = treeRoot
+	return t, nil
+}
+
+func (t *Tree) closeFiles() {
+	t.nodes.Close()
+	t.text.Close()
+	t.ovf.Close()
+}
+
+// Len returns the number of data characters (terminal excluded).
+func (t *Tree) Len() int {
+	if t.finished {
+		return int(t.n) - 1
+	}
+	return int(t.n)
+}
+
+// NodeCount returns the number of allocated tree nodes.
+func (t *Tree) NodeCount() int { return int(t.nodeN) }
+
+// IOStats aggregates physical I/O across the three files.
+func (t *Tree) IOStats() pager.IOStats {
+	a, b, c := t.nodes.Stats(), t.text.Stats(), t.ovf.Stats()
+	return pager.IOStats{Reads: a.Reads + b.Reads + c.Reads, Writes: a.Writes + b.Writes + c.Writes}
+}
+
+// Flush writes all dirty pages and the meta record; a finished, flushed
+// tree can be reopened with OpenTree.
+func (t *Tree) Flush() error {
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	if err := t.textPool.Flush(); err != nil {
+		return err
+	}
+	if err := t.ovfPool.Flush(); err != nil {
+		return err
+	}
+	return t.writeMeta()
+}
+
+// Close flushes and closes the files.
+func (t *Tree) Close() error {
+	err := t.Flush()
+	t.closeFiles()
+	return err
+}
+
+// RemoveFiles deletes the index files (after Close).
+func (t *Tree) RemoveFiles() error {
+	for _, f := range []string{"nodes.st", "text.st", "ovf.st"} {
+		if err := os.Remove(filepath.Join(t.dir, f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) withNode(i int32, write bool, fn func(rec []byte) error) error {
+	page := i / t.recsPP
+	off := int(i%t.recsPP) * treeRecSize
+	data, err := t.pool.Get(page)
+	if err != nil {
+		return err
+	}
+	err = fn(data[off : off+treeRecSize])
+	t.pool.Unpin(page, write && err == nil)
+	return err
+}
+
+func (t *Tree) textAt(i int32) (byte, error) {
+	ps := int32(t.text.PageSize())
+	data, err := t.textPool.Get(i / ps)
+	if err != nil {
+		return 0, err
+	}
+	c := data[i%ps]
+	t.textPool.Unpin(i/ps, false)
+	return c, nil
+}
+
+func (t *Tree) writeText(i int32, c byte) error {
+	ps := int32(t.text.PageSize())
+	data, err := t.textPool.Get(i / ps)
+	if err != nil {
+		return err
+	}
+	data[i%ps] = c
+	t.textPool.Unpin(i/ps, true)
+	return nil
+}
+
+func (t *Tree) newNode(start, end int32) (int32, error) {
+	t.nodeN++
+	id := t.nodeN
+	err := t.withNode(id, true, func(rec []byte) error {
+		putLE32(rec[tOffStart:], start)
+		putLE32(rec[tOffEnd:], end)
+		putLE32(rec[tOffSlink:], 0)
+		rec[tOffChildN] = 0
+		putLE32(rec[tOffOvf:], 0)
+		return nil
+	})
+	return id, err
+}
+
+func (t *Tree) nodeStartEnd(i int32) (start, end int32, err error) {
+	err = t.withNode(i, false, func(rec []byte) error {
+		start, end = le32(rec[tOffStart:]), le32(rec[tOffEnd:])
+		return nil
+	})
+	if end == leafEndMark {
+		end = t.n
+	}
+	return
+}
+
+func (t *Tree) setStart(i, start int32) error {
+	return t.withNode(i, true, func(rec []byte) error {
+		putLE32(rec[tOffStart:], start)
+		return nil
+	})
+}
+
+func (t *Tree) slinkOf(i int32) (int32, error) {
+	var s int32
+	err := t.withNode(i, false, func(rec []byte) error {
+		s = le32(rec[tOffSlink:])
+		return nil
+	})
+	if s == 0 {
+		s = treeRoot
+	}
+	return s, err
+}
+
+func (t *Tree) setSlink(i, dest int32) error {
+	return t.withNode(i, true, func(rec []byte) error {
+		putLE32(rec[tOffSlink:], dest)
+		return nil
+	})
+}
+
+func (t *Tree) child(node int32, c byte) (int32, bool, error) {
+	var ptr int32
+	var ovfHead int32
+	err := t.withNode(node, false, func(rec []byte) error {
+		n := int(rec[tOffChildN])
+		inline := n
+		if inline > maxChilds {
+			inline = maxChilds
+		}
+		for j := 0; j < inline; j++ {
+			slot := rec[tOffChilds+j*childSlotSize:]
+			if slot[0] == c {
+				ptr = le32(slot[1:])
+				return nil
+			}
+		}
+		ovfHead = le32(rec[tOffOvf:])
+		return nil
+	})
+	if err != nil || ptr != 0 {
+		return ptr, ptr != 0, err
+	}
+	for id := ovfHead; id != 0; {
+		var next int32
+		err := t.withOvf(id-1, false, func(rec []byte) error {
+			if rec[0] == c {
+				ptr = le32(rec[4:])
+			}
+			next = le32(rec[12:])
+			return nil
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		if ptr != 0 {
+			return ptr, true, nil
+		}
+		id = next
+	}
+	return 0, false, nil
+}
+
+func (t *Tree) withOvf(id int32, write bool, fn func(rec []byte) error) error {
+	page := id / t.ovfPP
+	off := int(id%t.ovfPP) * ovfRecSize
+	data, err := t.ovfPool.Get(page)
+	if err != nil {
+		return err
+	}
+	err = fn(data[off : off+ovfRecSize])
+	t.ovfPool.Unpin(page, write && err == nil)
+	return err
+}
+
+// setChild inserts or replaces the child of node for character c.
+func (t *Tree) setChild(node int32, c byte, child int32) error {
+	replaced := false
+	full := false
+	var ovfHead int32
+	err := t.withNode(node, true, func(rec []byte) error {
+		n := int(rec[tOffChildN])
+		inline := n
+		if inline > maxChilds {
+			inline = maxChilds
+		}
+		for j := 0; j < inline; j++ {
+			slot := rec[tOffChilds+j*childSlotSize:]
+			if slot[0] == c {
+				putLE32(slot[1:], child)
+				replaced = true
+				return nil
+			}
+		}
+		if n < maxChilds {
+			slot := rec[tOffChilds+n*childSlotSize:]
+			slot[0] = c
+			putLE32(slot[1:], child)
+			rec[tOffChildN] = byte(n + 1)
+			replaced = true
+			return nil
+		}
+		full = true
+		ovfHead = le32(rec[tOffOvf:])
+		return nil
+	})
+	if err != nil || replaced {
+		return err
+	}
+	if full {
+		// Replace in the overflow chain if present.
+		for id := ovfHead; id != 0; {
+			var next int32
+			done := false
+			err := t.withOvf(id-1, true, func(rec []byte) error {
+				if rec[0] == c {
+					putLE32(rec[4:], child)
+					done = true
+				}
+				next = le32(rec[12:])
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			id = next
+		}
+		// Allocate a new overflow record at the chain head.
+		id := t.ovfN
+		t.ovfN++
+		if err := t.withOvf(id, true, func(rec []byte) error {
+			rec[0] = c
+			putLE32(rec[4:], child)
+			putLE32(rec[12:], ovfHead)
+			return nil
+		}); err != nil {
+			return err
+		}
+		return t.withNode(node, true, func(rec []byte) error {
+			putLE32(rec[tOffOvf:], id+1)
+			rec[tOffChildN]++
+			return nil
+		})
+	}
+	return nil
+}
+
+func (t *Tree) edgeLen(node int32) (int32, error) {
+	start, end, err := t.nodeStartEnd(node)
+	return end - start, err
+}
+
+// Append extends the tree by one data character.
+func (t *Tree) Append(c byte) error {
+	if t.finished {
+		return fmt.Errorf("diskindex: Append after Finish")
+	}
+	if c == t.term {
+		return fmt.Errorf("diskindex: input contains the terminal character %q", c)
+	}
+	return t.extend(c)
+}
+
+// AppendAll appends every byte of data.
+func (t *Tree) AppendAll(data []byte) error {
+	for _, c := range data {
+		if err := t.Append(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish appends the terminal and freezes the tree for queries.
+func (t *Tree) Finish() error {
+	if t.finished {
+		return nil
+	}
+	if err := t.extend(t.term); err != nil {
+		return err
+	}
+	t.finished = true
+	seen := [256]bool{}
+	for i := int32(0); i < t.n; i++ {
+		c, err := t.textAt(i)
+		if err != nil {
+			return err
+		}
+		if !seen[c] {
+			seen[c] = true
+			t.distinct = append(t.distinct, c)
+		}
+	}
+	return nil
+}
+
+func (t *Tree) extend(c byte) error {
+	i := t.n
+	if err := t.writeText(i, c); err != nil {
+		return err
+	}
+	t.n++
+	t.remainder++
+	lastCreated := int32(0)
+	for t.remainder > 0 {
+		if t.activeLen == 0 {
+			t.activeEdge = i
+		}
+		edgeChar, err := t.textAt(t.activeEdge)
+		if err != nil {
+			return err
+		}
+		next, ok, err := t.child(t.activeNode, edgeChar)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			leaf, err := t.newNode(i, leafEndMark)
+			if err != nil {
+				return err
+			}
+			if err := t.setChild(t.activeNode, edgeChar, leaf); err != nil {
+				return err
+			}
+			if lastCreated != 0 {
+				if err := t.setSlink(lastCreated, t.activeNode); err != nil {
+					return err
+				}
+				lastCreated = 0
+			}
+		} else {
+			el, err := t.edgeLen(next)
+			if err != nil {
+				return err
+			}
+			if t.activeLen >= el {
+				t.activeNode = next
+				t.activeEdge += el
+				t.activeLen -= el
+				continue
+			}
+			nextStart, _, err := t.nodeStartEnd(next)
+			if err != nil {
+				return err
+			}
+			edgeCh, err := t.textAt(nextStart + t.activeLen)
+			if err != nil {
+				return err
+			}
+			if edgeCh == c {
+				if lastCreated != 0 && t.activeNode != treeRoot {
+					if err := t.setSlink(lastCreated, t.activeNode); err != nil {
+						return err
+					}
+				}
+				t.activeLen++
+				break
+			}
+			split, err := t.newNode(nextStart, nextStart+t.activeLen)
+			if err != nil {
+				return err
+			}
+			if err := t.setChild(t.activeNode, edgeChar, split); err != nil {
+				return err
+			}
+			leaf, err := t.newNode(i, leafEndMark)
+			if err != nil {
+				return err
+			}
+			if err := t.setChild(split, c, leaf); err != nil {
+				return err
+			}
+			if err := t.setStart(next, nextStart+t.activeLen); err != nil {
+				return err
+			}
+			splitCh, err := t.textAt(nextStart + t.activeLen)
+			if err != nil {
+				return err
+			}
+			if err := t.setChild(split, splitCh, next); err != nil {
+				return err
+			}
+			if lastCreated != 0 {
+				if err := t.setSlink(lastCreated, split); err != nil {
+					return err
+				}
+			}
+			lastCreated = split
+		}
+		t.remainder--
+		if t.activeNode == treeRoot && t.activeLen > 0 {
+			t.activeLen--
+			t.activeEdge = i - t.remainder + 1
+		} else if t.activeNode != treeRoot {
+			sl, err := t.slinkOf(t.activeNode)
+			if err != nil {
+				return err
+			}
+			t.activeNode = sl
+		}
+	}
+	return nil
+}
+
+// Contains reports whether p occurs in the data string.
+func (t *Tree) Contains(p []byte) (bool, error) {
+	for _, c := range p {
+		if c == t.term {
+			return false, nil
+		}
+	}
+	_, _, _, ok, err := t.walk(p)
+	return ok, err
+}
+
+// walk descends from the root along p.
+func (t *Tree) walk(p []byte) (node, off, depth int32, ok bool, err error) {
+	node = treeRoot
+	for i := 0; i < len(p); {
+		el, err := t.edgeLen(node)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		if node == treeRoot || off == el {
+			next, found, err := t.child(node, p[i])
+			if err != nil {
+				return 0, 0, 0, false, err
+			}
+			if !found {
+				return node, off, depth, false, nil
+			}
+			node, off = next, 0
+		}
+		start, end, err := t.nodeStartEnd(node)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		for start+off < end && i < len(p) {
+			c, err := t.textAt(start + off)
+			if err != nil {
+				return 0, 0, 0, false, err
+			}
+			if c != p[i] {
+				return node, off, depth, false, nil
+			}
+			off++
+			depth++
+			i++
+		}
+	}
+	return node, off, depth, true, nil
+}
+
+// FindAll returns every occurrence start of p in increasing order.
+func (t *Tree) FindAll(p []byte) ([]int, error) {
+	for _, c := range p {
+		if c == t.term {
+			return nil, nil
+		}
+	}
+	if len(p) == 0 {
+		out := make([]int, t.Len()+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	node, off, depth, ok, err := t.walk(p)
+	if err != nil || !ok {
+		return nil, err
+	}
+	el, err := t.edgeLen(node)
+	if err != nil {
+		return nil, err
+	}
+	var occ []int
+	if err := t.collectLeaves(node, depth+(el-off), &occ); err != nil {
+		return nil, err
+	}
+	sort.Ints(occ)
+	return occ, nil
+}
+
+func (t *Tree) collectLeaves(node, depth int32, occ *[]int) error {
+	var end int32
+	if err := t.withNode(node, false, func(rec []byte) error {
+		end = le32(rec[tOffEnd:])
+		return nil
+	}); err != nil {
+		return err
+	}
+	if end == leafEndMark {
+		*occ = append(*occ, int(t.n-depth))
+		return nil
+	}
+	for _, c := range t.distinct {
+		ch, ok, err := t.child(node, c)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		el, err := t.edgeLen(ch)
+		if err != nil {
+			return err
+		}
+		if err := t.collectLeaves(ch, depth+el, occ); err != nil {
+			return err
+		}
+	}
+	return nil
+}

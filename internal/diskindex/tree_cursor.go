@@ -1,0 +1,204 @@
+package diskindex
+
+// TreeCursor is the disk analogue of the in-memory suffix-tree matching
+// cursor: per-suffix shortening via suffix links with skip/count descent,
+// every probe through the buffer pool.
+type TreeCursor struct {
+	t                  *Tree
+	parent, child, off int32
+	buf                []byte
+	// Checked counts nodes examined.
+	Checked int64
+}
+
+// NewCursor returns a matching cursor over the finished disk tree.
+func (t *Tree) NewCursor() *TreeCursor { return &TreeCursor{t: t, parent: treeRoot} }
+
+// Len returns the current matched length.
+func (c *TreeCursor) Len() int { return len(c.buf) }
+
+// Reset clears the match, keeping Checked.
+func (c *TreeCursor) Reset() {
+	c.parent, c.child, c.off = treeRoot, 0, 0
+	c.buf = c.buf[:0]
+}
+
+// Advance consumes one query character.
+func (c *TreeCursor) Advance(ch byte) error {
+	if ch == c.t.term {
+		c.Checked++
+		c.Reset()
+		return nil
+	}
+	for {
+		c.Checked++
+		ok, err := c.tryExtend(ch)
+		if err != nil {
+			return err
+		}
+		if ok {
+			c.buf = append(c.buf, ch)
+			return nil
+		}
+		if len(c.buf) == 0 {
+			return nil
+		}
+		if err := c.shortenByOne(); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *TreeCursor) tryExtend(ch byte) (bool, error) {
+	t := c.t
+	if c.child == 0 {
+		next, ok, err := t.child(c.parent, ch)
+		if err != nil || !ok {
+			return false, err
+		}
+		c.child, c.off = next, 1
+		return true, c.normalize()
+	}
+	start, _, err := t.nodeStartEnd(c.child)
+	if err != nil {
+		return false, err
+	}
+	cc, err := t.textAt(start + c.off)
+	if err != nil {
+		return false, err
+	}
+	if cc != ch {
+		return false, nil
+	}
+	c.off++
+	return true, c.normalize()
+}
+
+func (c *TreeCursor) normalize() error {
+	if c.child == 0 {
+		return nil
+	}
+	el, err := c.t.edgeLen(c.child)
+	if err != nil {
+		return err
+	}
+	if c.off == el {
+		c.parent, c.child, c.off = c.child, 0, 0
+	}
+	return nil
+}
+
+func (c *TreeCursor) shortenByOne() error {
+	t := c.t
+	c.buf = c.buf[1:]
+	if c.child == 0 {
+		c.Checked++
+		sl, err := t.slinkOf(c.parent)
+		if err != nil {
+			return err
+		}
+		c.parent = sl
+		return nil
+	}
+	fragStart, _, err := t.nodeStartEnd(c.child)
+	if err != nil {
+		return err
+	}
+	fragLen := c.off
+	if c.parent == treeRoot {
+		fragStart++
+		fragLen--
+	} else {
+		c.Checked++
+	}
+	n, err := t.slinkOf(c.parent)
+	if err != nil {
+		return err
+	}
+	c.parent, c.child, c.off = n, 0, 0
+	for fragLen > 0 {
+		c.Checked++
+		fc, err := t.textAt(fragStart)
+		if err != nil {
+			return err
+		}
+		next, ok, err := t.child(n, fc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errLostPath
+		}
+		el, err := t.edgeLen(next)
+		if err != nil {
+			return err
+		}
+		if fragLen >= el {
+			n = next
+			fragStart += el
+			fragLen -= el
+			c.parent = n
+			continue
+		}
+		c.child, c.off = next, fragLen
+		return nil
+	}
+	return nil
+}
+
+// errLostPath indicates tree corruption: a skip/count descent found no
+// edge where one must exist.
+var errLostPath = errorString("diskindex: skip/count descent lost its path")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Position snapshots the cursor's tree position for a later EndsAt call.
+func (c *TreeCursor) Position() (parent, child, off int32) { return c.parent, c.child, c.off }
+
+// MatchEnds returns every end position of the current match in the data
+// string, increasing.
+func (c *TreeCursor) MatchEnds() ([]int32, error) {
+	return c.t.EndsAt(c.parent, c.child, c.off, len(c.buf))
+}
+
+// EndsAt returns every end position of the length-matchLen match at tree
+// position (parent, child, off), as snapshotted by TreeCursor.Position.
+func (t *Tree) EndsAt(parent, child, off int32, matchLen int) ([]int32, error) {
+	if matchLen == 0 {
+		return nil, nil
+	}
+	var occ []int
+	var err error
+	if child != 0 {
+		el, e := t.edgeLen(child)
+		if e != nil {
+			return nil, e
+		}
+		err = t.collectLeaves(child, int32(matchLen)+(el-off), &occ)
+	} else {
+		err = t.collectLeaves(parent, int32(matchLen), &occ)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(occ))
+	for i, start := range occ {
+		out[i] = int32(start + matchLen)
+	}
+	sortI32(out)
+	return out, nil
+}
+
+func sortI32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i
+		for j > 0 && a[j-1] > v {
+			a[j] = a[j-1]
+			j--
+		}
+		a[j] = v
+	}
+}

@@ -1,0 +1,120 @@
+package diskindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/spine-index/spine/internal/pager"
+)
+
+// Meta file for a disk suffix tree, mirroring the SPINE meta:
+//
+//	magic "SPDT" | version u16 | pageSize u32 | term u8 | finished u8 |
+//	n u32 | nodeN u32 | ovfN u32 | distinct: len u8 + bytes | crc32
+const (
+	treeMetaMagic   = "SPDT"
+	treeMetaVersion = uint16(1)
+	treeMetaFile    = "meta.st"
+)
+
+func (t *Tree) writeMeta() error {
+	fixed := 4 + 2 + 4 + 1 + 1 + 4 + 4 + 4 + 1
+	buf := make([]byte, fixed+len(t.distinct)+4)
+	copy(buf, treeMetaMagic)
+	binary.LittleEndian.PutUint16(buf[4:], treeMetaVersion)
+	binary.LittleEndian.PutUint32(buf[6:], uint32(t.nodes.PageSize()))
+	buf[10] = t.term
+	if t.finished {
+		buf[11] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[12:], uint32(t.n))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(t.nodeN))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(t.ovfN))
+	buf[24] = byte(len(t.distinct))
+	copy(buf[25:], t.distinct)
+	sumAt := fixed + len(t.distinct)
+	binary.LittleEndian.PutUint32(buf[sumAt:], crc32.ChecksumIEEE(buf[:sumAt]))
+	tmp := filepath.Join(t.dir, treeMetaFile+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("diskindex: writing tree meta: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(t.dir, treeMetaFile))
+}
+
+// OpenTree opens a finished disk suffix tree previously built in dir.
+// Only finished (Finish-ed) trees can be reopened: Ukkonen's active point
+// is not persisted.
+func OpenTree(dir string, opts Options) (*Tree, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, treeMetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("diskindex: reading tree meta: %w", err)
+	}
+	if len(buf) < 29 || string(buf[:4]) != treeMetaMagic {
+		return nil, fmt.Errorf("diskindex: %s is not a suffix-tree meta file", treeMetaFile)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != treeMetaVersion {
+		return nil, fmt.Errorf("diskindex: unsupported tree meta version %d", v)
+	}
+	distinctLen := int(buf[24])
+	fixed := 25
+	if len(buf) != fixed+distinctLen+4 {
+		return nil, fmt.Errorf("diskindex: tree meta truncated")
+	}
+	sumAt := fixed + distinctLen
+	if got, want := crc32.ChecksumIEEE(buf[:sumAt]), binary.LittleEndian.Uint32(buf[sumAt:]); got != want {
+		return nil, fmt.Errorf("diskindex: tree meta checksum mismatch")
+	}
+	if buf[11] != 1 {
+		return nil, fmt.Errorf("diskindex: tree was not finished before closing")
+	}
+	pageSize := int(binary.LittleEndian.Uint32(buf[6:]))
+	popts := pager.Options{PageSize: pageSize, Sync: opts.Sync}
+	nf, err := pager.Open(filepath.Join(dir, "nodes.st"), popts)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := pager.Open(filepath.Join(dir, "text.st"), popts)
+	if err != nil {
+		nf.Close()
+		return nil, err
+	}
+	of, err := pager.Open(filepath.Join(dir, "ovf.st"), popts)
+	if err != nil {
+		nf.Close()
+		tf.Close()
+		return nil, err
+	}
+	nodePages := opts.bufferPages() * 3 / 4
+	if nodePages < 4 {
+		nodePages = 4
+	}
+	side := opts.bufferPages() / 8
+	if side < 4 {
+		side = 4
+	}
+	t := &Tree{
+		dir:      dir,
+		nodes:    nf,
+		text:     tf,
+		ovf:      of,
+		pool:     pager.NewPool(nf, nodePages, opts.Policy),
+		textPool: pager.NewPool(tf, side, opts.Policy),
+		ovfPool:  pager.NewPool(of, side, opts.Policy),
+		term:     buf[10],
+		n:        int32(binary.LittleEndian.Uint32(buf[12:])),
+		nodeN:    int32(binary.LittleEndian.Uint32(buf[16:])),
+		ovfN:     int32(binary.LittleEndian.Uint32(buf[20:])),
+		recsPP:   int32(pageSize / treeRecSize),
+		ovfPP:    int32(pageSize / ovfRecSize),
+		distinct: append([]byte(nil), buf[25:25+distinctLen]...),
+		finished: true,
+	}
+	if t.recsPP == 0 {
+		t.closeFiles()
+		return nil, fmt.Errorf("diskindex: page size %d smaller than tree record size %d", pageSize, treeRecSize)
+	}
+	return t, nil
+}

@@ -1,0 +1,184 @@
+package match
+
+import (
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/diskindex"
+	"github.com/spine-index/spine/internal/suffixtree"
+)
+
+// spinePos snapshots a SPINE cursor position.
+type spinePos struct{ node, l int32 }
+
+// SpineEngine adapts the in-memory SPINE index.
+type SpineEngine struct {
+	idx *core.Index
+	cur *core.Cursor
+}
+
+// NewSpineEngine returns a matching engine over idx.
+func NewSpineEngine(idx *core.Index) *SpineEngine {
+	return &SpineEngine{idx: idx, cur: core.NewCursor(idx)}
+}
+
+func (e *SpineEngine) Advance(c byte) error { e.cur.Advance(c); return nil }
+func (e *SpineEngine) Len() int             { return int(e.cur.Len) }
+func (e *SpineEngine) Mark() Pos            { return spinePos{e.cur.Node, e.cur.Len} }
+func (e *SpineEngine) Checked() int64       { return e.cur.Checked }
+func (e *SpineEngine) Reset()               { e.cur.Reset() }
+
+func (e *SpineEngine) EndsAt(p Pos) ([]int32, error) {
+	sp := p.(spinePos)
+	if sp.l == 0 {
+		return nil, nil
+	}
+	out := e.idx.ScanMany([]int32{sp.node}, []int32{sp.l})
+	return out[0], nil
+}
+
+// EndsAtBatch resolves every snapshot in one backbone scan (§4's deferred
+// concurrent enumeration).
+func (e *SpineEngine) EndsAtBatch(ps []Pos) ([][]int32, error) {
+	firsts := make([]int32, len(ps))
+	lens := make([]int32, len(ps))
+	for i, p := range ps {
+		sp := p.(spinePos)
+		firsts[i], lens[i] = sp.node, sp.l
+	}
+	return e.idx.ScanMany(firsts, lens), nil
+}
+
+// CompactSpineEngine adapts the compact-layout SPINE index.
+type CompactSpineEngine struct {
+	idx *core.CompactIndex
+	cur *core.CompactCursor
+}
+
+// NewCompactSpineEngine returns a matching engine over c.
+func NewCompactSpineEngine(c *core.CompactIndex) *CompactSpineEngine {
+	return &CompactSpineEngine{idx: c, cur: core.NewCompactCursor(c)}
+}
+
+func (e *CompactSpineEngine) Advance(c byte) error { e.cur.Advance(c); return nil }
+func (e *CompactSpineEngine) Len() int             { return int(e.cur.Len) }
+func (e *CompactSpineEngine) Mark() Pos            { return spinePos{e.cur.Node, e.cur.Len} }
+func (e *CompactSpineEngine) Checked() int64       { return e.cur.Checked }
+func (e *CompactSpineEngine) Reset()               { e.cur.Reset() }
+
+func (e *CompactSpineEngine) EndsAt(p Pos) ([]int32, error) {
+	sp := p.(spinePos)
+	if sp.l == 0 {
+		return nil, nil
+	}
+	out := e.idx.ScanMany([]int32{sp.node}, []int32{sp.l})
+	return out[0], nil
+}
+
+// EndsAtBatch resolves every snapshot in one backbone scan.
+func (e *CompactSpineEngine) EndsAtBatch(ps []Pos) ([][]int32, error) {
+	firsts := make([]int32, len(ps))
+	lens := make([]int32, len(ps))
+	for i, p := range ps {
+		sp := p.(spinePos)
+		firsts[i], lens[i] = sp.node, sp.l
+	}
+	return e.idx.ScanMany(firsts, lens), nil
+}
+
+// TreeEngine adapts the in-memory suffix tree. Suffix trees resolve
+// occurrence sets by subtree leaf collection, so no batch optimization
+// applies; each snapshot needs its own cursor replay, which TreeEngine
+// avoids by collecting ends eagerly at Mark time for pending candidates.
+type TreeEngine struct {
+	t   *suffixtree.Tree
+	cur *suffixtree.Cursor
+}
+
+// NewTreeEngine returns a matching engine over t.
+func NewTreeEngine(t *suffixtree.Tree) *TreeEngine {
+	return &TreeEngine{t: t, cur: suffixtree.NewCursor(t)}
+}
+
+type treePos struct{ parent, child, off, l int32 }
+
+func (e *TreeEngine) Advance(c byte) error { e.cur.Advance(c); return nil }
+func (e *TreeEngine) Len() int             { return e.cur.Len() }
+func (e *TreeEngine) Checked() int64       { return e.cur.Checked }
+func (e *TreeEngine) Reset()               { e.cur.Reset() }
+
+func (e *TreeEngine) Mark() Pos {
+	parent, child, off := e.cur.Position()
+	return treePos{parent, child, off, int32(e.cur.Len())}
+}
+
+func (e *TreeEngine) EndsAt(p Pos) ([]int32, error) {
+	tp := p.(treePos)
+	return e.t.EndsAt(tp.parent, tp.child, tp.off, int(tp.l)), nil
+}
+
+// DiskSpineEngine adapts the disk-resident SPINE index.
+type DiskSpineEngine struct {
+	s   *diskindex.Spine
+	cur *diskindex.SpineCursor
+}
+
+// NewDiskSpineEngine returns a matching engine over s.
+func NewDiskSpineEngine(s *diskindex.Spine) *DiskSpineEngine {
+	return &DiskSpineEngine{s: s, cur: s.NewCursor()}
+}
+
+func (e *DiskSpineEngine) Advance(c byte) error { return e.cur.Advance(c) }
+func (e *DiskSpineEngine) Len() int             { return int(e.cur.Len) }
+func (e *DiskSpineEngine) Mark() Pos            { return spinePos{e.cur.Node, e.cur.Len} }
+func (e *DiskSpineEngine) Checked() int64       { return e.cur.Checked }
+func (e *DiskSpineEngine) Reset()               { e.cur.Node, e.cur.Len = 0, 0 }
+
+func (e *DiskSpineEngine) EndsAt(p Pos) ([]int32, error) {
+	sp := p.(spinePos)
+	if sp.l == 0 {
+		return nil, nil
+	}
+	out, err := e.s.ScanMany([]int32{sp.node}, []int32{sp.l})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// EndsAtBatch resolves every snapshot in one backbone pass — on disk this
+// is the difference between reading each node page once and once per
+// match.
+func (e *DiskSpineEngine) EndsAtBatch(ps []Pos) ([][]int32, error) {
+	firsts := make([]int32, len(ps))
+	lens := make([]int32, len(ps))
+	for i, p := range ps {
+		sp := p.(spinePos)
+		firsts[i], lens[i] = sp.node, sp.l
+	}
+	return e.s.ScanMany(firsts, lens)
+}
+
+// DiskTreeEngine adapts the disk-resident suffix tree.
+type DiskTreeEngine struct {
+	t   *diskindex.Tree
+	cur *diskindex.TreeCursor
+}
+
+// NewDiskTreeEngine returns a matching engine over t.
+func NewDiskTreeEngine(t *diskindex.Tree) *DiskTreeEngine {
+	return &DiskTreeEngine{t: t, cur: t.NewCursor()}
+}
+
+func (e *DiskTreeEngine) Advance(c byte) error { return e.cur.Advance(c) }
+func (e *DiskTreeEngine) Len() int             { return e.cur.Len() }
+func (e *DiskTreeEngine) Checked() int64       { return e.cur.Checked }
+func (e *DiskTreeEngine) Reset()               { e.cur.Reset() }
+
+func (e *DiskTreeEngine) Mark() Pos {
+	parent, child, off := e.cur.Position()
+	return treePos{parent, child, off, int32(e.cur.Len())}
+}
+
+func (e *DiskTreeEngine) EndsAt(p Pos) ([]int32, error) {
+	tp := p.(treePos)
+	return e.t.EndsAt(tp.parent, tp.child, tp.off, int(tp.l))
+}

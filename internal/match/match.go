@@ -1,0 +1,152 @@
+// Package match implements the paper's §4 "complex matching operation":
+// given a data string S1 (indexed) and a query string S2, find all maximal
+// matching substrings between them — including repeated occurrences —
+// whose length reaches a threshold. This is the core of genome alignment
+// tools such as MUMmer, and the workload of Tables 5, 6 and 7.
+//
+// The operation runs over a pluggable Engine (SPINE reference, SPINE
+// compact, suffix tree, or their disk-resident variants), so the SPINE/ST
+// comparison is a pure engine swap. Engines expose the number of nodes
+// examined, the Table 6 metric that demonstrates SPINE's set-basis suffix
+// processing.
+package match
+
+import "time"
+
+// Pos is an engine-specific opaque snapshot of a match position, used to
+// resolve occurrence sets after the streaming pass (the paper defers
+// occurrence enumeration to a single final scan).
+type Pos interface{}
+
+// Engine is a streaming matching-statistics cursor over a data string.
+type Engine interface {
+	// Advance consumes one query character.
+	Advance(c byte) error
+	// Len returns the current matched length.
+	Len() int
+	// Mark snapshots the current match position for later EndsAt.
+	Mark() Pos
+	// EndsAt returns every end position (exclusive) in the data string of
+	// the match snapshotted by p, in increasing order.
+	EndsAt(p Pos) ([]int32, error)
+	// Checked returns the cumulative number of nodes examined.
+	Checked() int64
+	// Reset clears the match state (Checked is preserved).
+	Reset()
+}
+
+// BatchEngine is implemented by engines that can resolve many occurrence
+// sets in one pass (SPINE's single final backbone scan).
+type BatchEngine interface {
+	Engine
+	EndsAtBatch(ps []Pos) ([][]int32, error)
+}
+
+// A Match is one maximal matching substring between data and query.
+type Match struct {
+	// QueryStart is the match's start offset in the query.
+	QueryStart int
+	// Len is the match length.
+	Len int
+	// DataStarts lists every start offset in the data string at which this
+	// match occurs left- and right-maximally, in increasing order.
+	DataStarts []int
+}
+
+// Report is the outcome of one matching run.
+type Report struct {
+	Matches []Match
+	// Pairs counts (query position, data position) maximal pairs, i.e.
+	// the total number of reported occurrences.
+	Pairs int
+	// NodesChecked is the engine's cumulative node-examination count —
+	// the Table 6 metric.
+	NodesChecked int64
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+}
+
+// MaximalMatches finds all maximal matching substrings of length >= minLen
+// between the engine's data string and query. data must be the raw indexed
+// string (used for left-maximality checks). minLen must be >= 1.
+//
+// A reported (queryStart, dataStart, len) pair cannot be extended on
+// either side: the right side is guaranteed by matching statistics (the
+// streamed match could not absorb the next query character anywhere in the
+// data), and the left side is checked per data occurrence.
+func MaximalMatches(e Engine, data, query []byte, minLen int) (Report, error) {
+	start := time.Now()
+	if minLen < 1 {
+		minLen = 1
+	}
+	type cand struct {
+		qEnd, l int
+		pos     Pos
+	}
+	var cands []cand
+	prevLen := 0
+	var prevMark Pos
+	for j := 0; j < len(query); j++ {
+		if err := e.Advance(query[j]); err != nil {
+			return Report{}, err
+		}
+		cur := e.Len()
+		if prevLen >= minLen && cur <= prevLen {
+			// The match ending at query position j was right-maximal.
+			cands = append(cands, cand{qEnd: j, l: prevLen, pos: prevMark})
+		}
+		prevLen = cur
+		prevMark = e.Mark()
+	}
+	if prevLen >= minLen {
+		cands = append(cands, cand{qEnd: len(query), l: prevLen, pos: prevMark})
+	}
+
+	// Resolve occurrence sets — in one batch scan when the engine can.
+	endSets := make([][]int32, len(cands))
+	if be, ok := e.(BatchEngine); ok {
+		ps := make([]Pos, len(cands))
+		for i, c := range cands {
+			ps[i] = c.pos
+		}
+		var err error
+		endSets, err = be.EndsAtBatch(ps)
+		if err != nil {
+			return Report{}, err
+		}
+	} else {
+		for i, c := range cands {
+			ends, err := e.EndsAt(c.pos)
+			if err != nil {
+				return Report{}, err
+			}
+			endSets[i] = ends
+		}
+	}
+
+	rep := Report{NodesChecked: e.Checked()}
+	for i, c := range cands {
+		m := Match{QueryStart: c.qEnd - c.l, Len: c.l}
+		for _, end := range endSets[i] {
+			dStart := int(end) - c.l
+			if leftMaximal(data, query, dStart, m.QueryStart) {
+				m.DataStarts = append(m.DataStarts, dStart)
+			}
+		}
+		if len(m.DataStarts) > 0 {
+			rep.Matches = append(rep.Matches, m)
+			rep.Pairs += len(m.DataStarts)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// leftMaximal reports whether the pair starting at (dStart, qStart) cannot
+// be extended one character to the left.
+func leftMaximal(data, query []byte, dStart, qStart int) bool {
+	if dStart == 0 || qStart == 0 {
+		return true
+	}
+	return data[dStart-1] != query[qStart-1]
+}

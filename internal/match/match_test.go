@@ -1,0 +1,271 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/diskindex"
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/suffixtree"
+)
+
+// bruteReport computes the operation's specification directly: for every
+// query end e whose matching statistic is right-maximal and >= minLen,
+// report the matched string's left-maximal data occurrences.
+func bruteReport(data, query []byte, minLen int) []Match {
+	n := len(query)
+	ms := make([]int, n+1)
+	for e := 1; e <= n; e++ {
+		for l := e; l >= 1; l-- {
+			if bruteContains(data, query[e-l:e]) {
+				ms[e] = l
+				break
+			}
+		}
+	}
+	var out []Match
+	for e := 1; e <= n; e++ {
+		if ms[e] < minLen {
+			continue
+		}
+		if e < n && ms[e+1] > ms[e] {
+			continue // extended; not right-maximal
+		}
+		w := query[e-ms[e] : e]
+		m := Match{QueryStart: e - ms[e], Len: ms[e]}
+		for i := 0; i+len(w) <= len(data); i++ {
+			if string(data[i:i+len(w)]) == string(w) && leftMaximal(data, query, i, m.QueryStart) {
+				m.DataStarts = append(m.DataStarts, i)
+			}
+		}
+		if len(m.DataStarts) > 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func bruteContains(text, p []byte) bool {
+	for i := 0; i+len(p) <= len(text); i++ {
+		if string(text[i:i+len(p)]) == string(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// allEngines builds every engine variant over data.
+func allEngines(t *testing.T, data []byte) map[string]Engine {
+	t.Helper()
+	idx := core.Build(data)
+	compact, err := core.Freeze(idx, seq.DNA)
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	st, err := suffixtree.Build(data, 0)
+	if err != nil {
+		t.Fatalf("suffix tree Build: %v", err)
+	}
+	ds, err := diskindex.CreateSpine(t.TempDir(), diskindex.Options{PageSize: 512, BufferPages: 8})
+	if err != nil {
+		t.Fatalf("CreateSpine: %v", err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	if err := ds.AppendAll(data); err != nil {
+		t.Fatalf("disk AppendAll: %v", err)
+	}
+	dt, err := diskindex.CreateTree(t.TempDir(), 0, diskindex.Options{PageSize: 512, BufferPages: 8})
+	if err != nil {
+		t.Fatalf("CreateTree: %v", err)
+	}
+	t.Cleanup(func() { dt.Close() })
+	if err := dt.AppendAll(data); err != nil {
+		t.Fatalf("disk tree AppendAll: %v", err)
+	}
+	if err := dt.Finish(); err != nil {
+		t.Fatalf("disk tree Finish: %v", err)
+	}
+	return map[string]Engine{
+		"spine":      NewSpineEngine(idx),
+		"compact":    NewCompactSpineEngine(compact),
+		"tree":       NewTreeEngine(st),
+		"disk-spine": NewDiskSpineEngine(ds),
+		"disk-tree":  NewDiskTreeEngine(dt),
+	}
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].QueryStart != b[i].QueryStart || a[i].Len != b[i].Len ||
+			!reflect.DeepEqual(a[i].DataStarts, b[i].DataStarts) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllEnginesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		data := randomRepetitive(rng, 60+rng.Intn(120))
+		var query []byte
+		if trial%2 == 0 {
+			query = randomRepetitive(rng, 60)
+		} else {
+			query = append([]byte{}, data[rng.Intn(len(data)/2):]...)
+			for i := range query {
+				if rng.Float64() < 0.08 {
+					query[i] = "acgt"[rng.Intn(4)]
+				}
+			}
+		}
+		minLen := 1 + rng.Intn(5)
+		want := bruteReport(data, query, minLen)
+		for name, e := range allEngines(t, data) {
+			rep, err := MaximalMatches(e, data, query, minLen)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !matchesEqual(rep.Matches, want) {
+				t.Fatalf("%s: data=%q query=%q minLen=%d:\n got %+v\nwant %+v",
+					name, data, query, minLen, rep.Matches, want)
+			}
+		}
+	}
+}
+
+// TestPaperMatchingExample runs the §4 example: S1 and S2 with threshold
+// 6. The long shared substrings ("attacgaga", "gacgag"-family, etc.) must
+// be found at the right coordinates on every engine.
+func TestPaperMatchingExample(t *testing.T) {
+	s1 := []byte("acaccgacgatacgagattacgagacgagaatacaacag")
+	s2 := []byte("catagagagacgattacgagaaaacgggaaagacgatcc")
+	want := bruteReport(s1, s2, 6)
+	if len(want) == 0 {
+		t.Fatal("the paper example must contain matches of length >= 6")
+	}
+	// The flagship match: "attacgaga" (length >= 9) appears in both.
+	foundLong := false
+	for _, m := range want {
+		if m.Len >= 9 {
+			foundLong = true
+		}
+	}
+	if !foundLong {
+		t.Fatalf("expected a long (>=9) shared substring in the paper example; got %+v", want)
+	}
+	for name, e := range allEngines(t, s1) {
+		rep, err := MaximalMatches(e, s1, s2, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !matchesEqual(rep.Matches, want) {
+			t.Fatalf("%s: got %+v want %+v", name, rep.Matches, want)
+		}
+		if rep.Pairs == 0 || rep.Elapsed < 0 {
+			t.Fatalf("%s: implausible report: %+v", name, rep)
+		}
+	}
+}
+
+// TestSpineChecksFewerNodesThanTree verifies the §4.1 claim behind Table 6:
+// on repetitive data, SPINE's set-basis link chain examines fewer nodes
+// than the suffix tree's per-suffix walk.
+func TestSpineChecksFewerNodesThanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	data := randomRepetitive(rng, 4000)
+	query := randomRepetitive(rng, 2000)
+	idx := core.Build(data)
+	st, err := suffixtree.Build(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewSpineEngine(idx)
+	te := NewTreeEngine(st)
+	if _, err := MaximalMatches(se, data, query, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MaximalMatches(te, data, query, 20); err != nil {
+		t.Fatal(err)
+	}
+	if se.Checked() >= te.Checked() {
+		t.Fatalf("SPINE checked %d nodes >= suffix tree's %d; set-basis advantage missing",
+			se.Checked(), te.Checked())
+	}
+}
+
+func TestThresholdFilters(t *testing.T) {
+	data := []byte("acgtacgtaacc")
+	query := []byte("ttacgtaa")
+	e := NewSpineEngine(core.Build(data))
+	rep, err := MaximalMatches(e, data, query, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Matches {
+		if m.Len < 6 {
+			t.Fatalf("match below threshold reported: %+v", m)
+		}
+	}
+	// With an impossible threshold nothing is reported.
+	e2 := NewSpineEngine(core.Build(data))
+	rep, err = MaximalMatches(e2, data, query, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Matches) != 0 {
+		t.Fatalf("matches above impossible threshold: %+v", rep.Matches)
+	}
+}
+
+func TestDisjointStringsNoMatches(t *testing.T) {
+	data := []byte("aaaaaaaa")
+	query := []byte("cccccccc")
+	for name, e := range allEngines(t, data) {
+		rep, err := MaximalMatches(e, data, query, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Matches) != 0 {
+			t.Fatalf("%s: unexpected matches %+v", name, rep.Matches)
+		}
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	data := []byte("acgt")
+	e := NewSpineEngine(core.Build(data))
+	rep, err := MaximalMatches(e, data, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Matches) != 0 {
+		t.Fatalf("matches on empty query: %+v", rep.Matches)
+	}
+}
+
+func randomRepetitive(rng *rand.Rand, n int) []byte {
+	s := make([]byte, 0, n)
+	for len(s) < n {
+		if len(s) > 10 && rng.Float64() < 0.5 {
+			l := 1 + rng.Intn(10)
+			if l > len(s) {
+				l = len(s)
+			}
+			start := rng.Intn(len(s) - l + 1)
+			s = append(s, s[start:start+l]...)
+		} else {
+			s = append(s, "acgt"[rng.Intn(4)])
+		}
+	}
+	return s[:n]
+}

@@ -1,0 +1,176 @@
+package pager
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy selects eviction victims for the buffer pool.
+type Policy int
+
+const (
+	// LRU evicts the least recently used unpinned page.
+	LRU Policy = iota
+	// TopRetention protects the top (lowest-numbered) pages — up to half
+	// the pool — and runs LRU over the rest. This is the buffering
+	// strategy §6.2 derives from the link-destination distribution:
+	// "retain as much as possible of the top part of the Link Table in
+	// memory", while the actively growing tail still caches normally.
+	TopRetention
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case TopRetention:
+		return "top-retention"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+type frame struct {
+	id     int32
+	data   []byte
+	dirty  bool
+	pins   int
+	lruPos *list.Element // LRU bookkeeping, nil while pinned
+}
+
+// Pool is a pin/unpin buffer manager over a page File.
+type Pool struct {
+	file     *File
+	capacity int
+	policy   Policy
+	frames   map[int32]*frame
+	lru      *list.List // front = most recently used; unpinned frames only
+
+	hits, misses int64
+}
+
+// NewPool wraps file with a buffer pool holding up to capacity pages
+// (minimum 1).
+func NewPool(file *File, capacity int, policy Policy) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		file:     file,
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[int32]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Get pins page id and returns its in-memory bytes. The caller must call
+// Unpin (optionally marking the page dirty) when done; holding more pins
+// than the pool capacity is an error surfaced by the next miss.
+func (p *Pool) Get(id int32) ([]byte, error) {
+	if fr, ok := p.frames[id]; ok {
+		p.hits++
+		p.pin(fr)
+		return fr.data, nil
+	}
+	p.misses++
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{id: id, data: make([]byte, p.file.PageSize()), pins: 0}
+	if err := p.file.ReadPage(id, fr.data); err != nil {
+		return nil, err
+	}
+	p.frames[id] = fr
+	p.pin(fr)
+	return fr.data, nil
+}
+
+func (p *Pool) pin(fr *frame) {
+	if fr.lruPos != nil {
+		p.lru.Remove(fr.lruPos)
+		fr.lruPos = nil
+	}
+	fr.pins++
+}
+
+// Unpin releases one pin on page id, marking the page dirty if it was
+// modified.
+func (p *Pool) Unpin(id int32, dirty bool) {
+	fr, ok := p.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("pager: unpin of page %d that is not pinned", id))
+	}
+	if dirty {
+		fr.dirty = true
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.lruPos = p.lru.PushFront(fr)
+	}
+}
+
+func (p *Pool) evictOne() error {
+	var victim *frame
+	switch p.policy {
+	case TopRetention:
+		// Pages below the protect threshold hold the top of the node
+		// (link) table; evict the least recently used page outside that
+		// region, falling back to plain LRU if only head pages remain.
+		protect := int32(p.capacity / 2)
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			fr := e.Value.(*frame)
+			if fr.id >= protect {
+				victim = fr
+				break
+			}
+		}
+		if victim == nil {
+			if e := p.lru.Back(); e != nil {
+				victim = e.Value.(*frame)
+			}
+		}
+	default: // LRU
+		if e := p.lru.Back(); e != nil {
+			victim = e.Value.(*frame)
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("pager: buffer pool exhausted: all %d pages pinned", p.capacity)
+	}
+	if victim.dirty {
+		if err := p.file.WritePage(victim.id, victim.data); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(victim.lruPos)
+	delete(p.frames, victim.id)
+	return nil
+}
+
+// Flush writes every dirty resident page to disk (pages stay resident).
+func (p *Pool) Flush() error {
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := p.file.WritePage(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// HitRate returns the fraction of Get calls served from memory.
+func (p *Pool) HitRate() float64 {
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// Resident returns the number of pages currently buffered.
+func (p *Pool) Resident() int { return len(p.frames) }

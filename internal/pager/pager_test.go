@@ -1,0 +1,315 @@
+package pager
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newTempFile(t *testing.T, opts Options) *File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.db")
+	pf, err := Create(path, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func TestFileReadWriteRoundTrip(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 128})
+	out := make([]byte, 128)
+	for i := range out {
+		out[i] = byte(i)
+	}
+	if err := pf.WritePage(3, out); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	in := make([]byte, 128)
+	if err := pf.ReadPage(3, in); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if string(in) != string(out) {
+		t.Fatal("round trip mismatch")
+	}
+	if pf.Pages() != 4 {
+		t.Fatalf("Pages = %d, want 4", pf.Pages())
+	}
+}
+
+func TestFileReadBeyondEndIsZeroes(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	buf := make([]byte, 64)
+	buf[0] = 0xAA
+	if err := pf.ReadPage(10, buf); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+	if pf.Stats().Reads != 0 {
+		t.Fatal("read beyond end should not count as physical I/O")
+	}
+}
+
+func TestFileRejectsBadBufferAndID(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	if err := pf.ReadPage(0, make([]byte, 63)); err == nil {
+		t.Error("short read buffer accepted")
+	}
+	if err := pf.WritePage(-1, make([]byte, 64)); err == nil {
+		t.Error("negative page id accepted")
+	}
+}
+
+func TestFileStatsCount(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	buf := make([]byte, 64)
+	for i := int32(0); i < 5; i++ {
+		if err := pf.WritePage(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < 3; i++ {
+		if err := pf.ReadPage(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pf.Stats()
+	if st.Writes != 5 || st.Reads != 3 {
+		t.Fatalf("stats = %+v, want 5 writes, 3 reads", st)
+	}
+}
+
+func TestPoolCachesPages(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	pool := NewPool(pf, 4, LRU)
+	data, err := pool.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 42
+	pool.Unpin(0, true)
+	// Second access must come from memory.
+	data2, err := pool.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data2[0] != 42 {
+		t.Fatal("cached page lost modification")
+	}
+	pool.Unpin(0, false)
+	if pool.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", pool.HitRate())
+	}
+	if pf.Stats().Reads != 0 {
+		t.Fatal("page 0 never existed on disk; no physical read expected")
+	}
+}
+
+func TestPoolEvictsAndWritesBack(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	pool := NewPool(pf, 2, LRU)
+	for i := int32(0); i < 3; i++ {
+		data, err := pool.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = byte(i + 1)
+		pool.Unpin(i, true)
+	}
+	if pool.Resident() != 2 {
+		t.Fatalf("resident = %d, want 2", pool.Resident())
+	}
+	// Page 0 was LRU victim; it must have been written back and reload
+	// with its data intact.
+	if pf.Stats().Writes == 0 {
+		t.Fatal("dirty eviction did not write")
+	}
+	data, err := pool.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 1 {
+		t.Fatalf("reloaded page 0 byte = %d, want 1", data[0])
+	}
+	pool.Unpin(0, false)
+}
+
+func TestPoolLRUOrder(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	pool := NewPool(pf, 2, LRU)
+	get := func(id int32) {
+		if _, err := pool.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(id, false)
+	}
+	get(0)
+	get(1)
+	get(0) // 1 is now LRU
+	get(2) // evicts 1
+	_, ok0 := pool.frames[0]
+	_, ok1 := pool.frames[1]
+	if !ok0 || ok1 {
+		t.Fatalf("LRU eviction wrong: page0 resident=%v page1 resident=%v", ok0, ok1)
+	}
+}
+
+func TestPoolTopRetentionProtectsHeadPages(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	pool := NewPool(pf, 4, TopRetention)
+	get := func(id int32) {
+		if _, err := pool.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(id, false)
+	}
+	// Protect threshold = capacity/2 = 2: pages 0 and 1 are head pages.
+	get(0)
+	get(1)
+	get(9)
+	get(5)
+	get(7) // pool full: must evict 9 (oldest non-head), never 0 or 1
+	_, ok0 := pool.frames[0]
+	_, ok1 := pool.frames[1]
+	_, ok9 := pool.frames[9]
+	if !ok0 || !ok1 || ok9 {
+		t.Fatalf("top-retention eviction wrong: page0=%v page1=%v page9=%v", ok0, ok1, ok9)
+	}
+}
+
+func TestPoolTopRetentionFallsBackToLRU(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	pool := NewPool(pf, 4, TopRetention)
+	get := func(id int32) {
+		if _, err := pool.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(id, false)
+	}
+	// Only head pages resident (< protect threshold 2 is impossible for 4
+	// distinct ids, so use ids 0,1 twice over and force eviction among
+	// them with another head id).
+	get(0)
+	get(1)
+	if err := pool.evictOne(); err != nil {
+		t.Fatalf("fallback eviction failed: %v", err)
+	}
+	if pool.Resident() != 1 {
+		t.Fatalf("resident = %d, want 1", pool.Resident())
+	}
+	// LRU fallback: page 0 (older) went first.
+	if _, ok := pool.frames[0]; ok {
+		t.Fatal("LRU fallback should have evicted page 0")
+	}
+}
+
+func TestPoolAllPinnedFails(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	pool := NewPool(pf, 1, LRU)
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	// 0 still pinned: next miss cannot evict.
+	if _, err := pool.Get(1); err == nil {
+		t.Fatal("expected pool-exhausted error")
+	}
+	pool.Unpin(0, false)
+}
+
+func TestPoolUnpinUnknownPanics(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	pool := NewPool(pf, 1, LRU)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpin of unpinned page did not panic")
+		}
+	}()
+	pool.Unpin(7, false)
+}
+
+func TestPoolFlushPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	pf, err := Create(path, Options{PageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(pf, 4, LRU)
+	data, err := pool.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "hello")
+	pool.Unpin(2, true)
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 3*64 || string(raw[2*64:2*64+5]) != "hello" {
+		t.Fatal("flushed page not on disk")
+	}
+}
+
+func TestSyncOptionWrites(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64, Sync: true})
+	if err := pf.WritePage(0, make([]byte, 64)); err != nil {
+		t.Fatalf("sync write failed: %v", err)
+	}
+}
+
+func TestFaultHookInjectsErrors(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	if err := pf.WritePage(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	injected := errFault("injected fault")
+	pf.SetFaultHook(func(op string, page int32) error {
+		if op == "read" && page == 0 {
+			return injected
+		}
+		return nil
+	})
+	err := pf.ReadPage(0, make([]byte, 64))
+	if err == nil {
+		t.Fatal("injected read fault not surfaced")
+	}
+	pf.SetFaultHook(nil)
+	if err := pf.ReadPage(0, make([]byte, 64)); err != nil {
+		t.Fatalf("fault persisted after clearing hook: %v", err)
+	}
+}
+
+func TestPoolSurfacesEvictionWriteFault(t *testing.T) {
+	pf := newTempFile(t, Options{PageSize: 64})
+	pool := NewPool(pf, 1, LRU)
+	data, err := pool.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 1
+	pool.Unpin(0, true)
+	pf.SetFaultHook(func(op string, page int32) error { return errFault("disk full") })
+	// Miss on page 1 must evict dirty page 0; the write fault surfaces.
+	if _, err := pool.Get(1); err == nil {
+		t.Fatal("eviction write fault not surfaced")
+	}
+	// After clearing the fault the pool still works.
+	pf.SetFaultHook(nil)
+	if _, err := pool.Get(1); err != nil {
+		t.Fatalf("pool unusable after fault: %v", err)
+	}
+	pool.Unpin(1, false)
+}
+
+type errFault string
+
+func (e errFault) Error() string { return string(e) }

@@ -1,0 +1,226 @@
+// Package qgram implements a two-level filter index in the spirit of the
+// MRS-index the paper discusses in related work (§7, Kahveci & Singh,
+// VLDB 2001): a small first-level structure filters the data string down
+// to candidate regions, and a verification pass over just those regions
+// produces exact answers. Level one here is an inverted index from q-grams
+// to fixed-size text blocks, with q-gram-lemma thresholds.
+//
+// The trade-off this package exists to measure (experiment E13): the
+// filter index is several times smaller than any complete index, but
+// every query pays a verification scan whose cost grows with the
+// candidate-region volume — exactly the "performance improvement through
+// complete indexes is typically substantially more, albeit at the cost of
+// increased resource consumption" contrast drawn in §7.
+package qgram
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+// Index is a q-gram block filter over a text.
+type Index struct {
+	text      []byte
+	alpha     *seq.Alphabet
+	q         int
+	blockSize int
+	// postings maps a q-gram code to the sorted list of blocks in which it
+	// occurs (deduplicated).
+	postings map[uint64][]int32
+	blocks   int32
+
+	// Stats
+	candidatesChecked int64 // block-windows verified across all queries
+}
+
+// Build indexes text with the given q-gram length and block size. All text
+// bytes must be in the alphabet; q must satisfy alpha.Bits()*q <= 64.
+func Build(text []byte, alpha *seq.Alphabet, q, blockSize int) (*Index, error) {
+	if q < 1 || int(alpha.Bits())*q > 64 {
+		return nil, fmt.Errorf("qgram: q=%d out of range for alphabet with %d-bit codes", q, alpha.Bits())
+	}
+	if blockSize < q {
+		return nil, fmt.Errorf("qgram: block size %d smaller than q=%d", blockSize, q)
+	}
+	if !alpha.Contains(text) {
+		return nil, fmt.Errorf("qgram: text contains bytes outside the alphabet")
+	}
+	idx := &Index{
+		text:      append([]byte(nil), text...),
+		alpha:     alpha,
+		q:         q,
+		blockSize: blockSize,
+		postings:  make(map[uint64][]int32),
+		blocks:    int32((len(text) + blockSize - 1) / blockSize),
+	}
+	for i := 0; i+q <= len(text); i++ {
+		code, ok := idx.code(text[i : i+q])
+		if !ok {
+			return nil, fmt.Errorf("qgram: unreachable: unindexable gram at %d", i)
+		}
+		b := int32(i / blockSize)
+		lst := idx.postings[code]
+		if len(lst) == 0 || lst[len(lst)-1] != b {
+			idx.postings[code] = append(lst, b)
+		}
+		// A gram spanning into the next block belongs to both.
+		if nb := int32((i + q - 1) / blockSize); nb != b {
+			lst := idx.postings[code]
+			if lst[len(lst)-1] != nb {
+				idx.postings[code] = append(lst, nb)
+			}
+		}
+	}
+	return idx, nil
+}
+
+func (idx *Index) code(gram []byte) (uint64, bool) {
+	var c uint64
+	for _, b := range gram {
+		v := idx.alpha.Code(b)
+		if v < 0 {
+			return 0, false
+		}
+		c = c<<idx.alpha.Bits() | uint64(v)
+	}
+	return c, true
+}
+
+// Len returns the indexed text length.
+func (idx *Index) Len() int { return len(idx.text) }
+
+// SizeBytes approximates the filter's footprint: postings plus the
+// retained text (verification needs it).
+func (idx *Index) SizeBytes() int64 {
+	b := int64(len(idx.text))
+	for _, lst := range idx.postings {
+		b += 16 + int64(len(lst))*4
+	}
+	return b
+}
+
+// CandidatesChecked reports the cumulative number of candidate blocks
+// verified — the filter-quality metric.
+func (idx *Index) CandidatesChecked() int64 { return idx.candidatesChecked }
+
+// candidateBlocks returns the sorted blocks that could contain a window
+// matching p with at most k substitutions, by the q-gram lemma: such a
+// window shares at least len(p)-q+1-k*q of p's q-grams. When that bound is
+// non-positive the lemma gives no filtering power and every block is a
+// candidate (the filter degrades to a verified full scan, as filter
+// indexes do for short or high-error patterns).
+func (idx *Index) candidateBlocks(p []byte, k int) []int32 {
+	grams := len(p) - idx.q + 1
+	threshold := grams - k*idx.q
+	if grams <= 0 || threshold < 1 {
+		all := make([]int32, idx.blocks)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all
+	}
+	counts := make(map[int32]int)
+	for i := 0; i+idx.q <= len(p); i++ {
+		code, ok := idx.code(p[i : i+idx.q])
+		if !ok {
+			continue // foreign letters contribute no grams
+		}
+		for _, b := range idx.postings[code] {
+			counts[b]++
+		}
+	}
+	// An occurrence starting in block b can have all its gram support in b
+	// or in b+1 (windows straddle boundaries), so accept b whenever b and
+	// b+1 together reach the threshold — including blocks whose own count
+	// is zero but whose right neighbour carries the support.
+	accept := make(map[int32]bool)
+	for b, c := range counts {
+		if c+counts[b+1] >= threshold {
+			accept[b] = true
+		}
+		if b > 0 && counts[b-1]+c >= threshold {
+			accept[b-1] = true
+		}
+	}
+	out := make([]int32, 0, len(accept))
+	for b := range accept {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FindAll returns every exact occurrence start of p, in increasing order:
+// filter to candidate blocks, then verify by direct comparison.
+func (idx *Index) FindAll(p []byte) []int {
+	if len(p) == 0 {
+		out := make([]int, len(idx.text)+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	for _, b := range idx.candidateBlocks(p, 0) {
+		idx.candidatesChecked++
+		lo := int(b) * idx.blockSize
+		hi := lo + idx.blockSize + len(p) - 1
+		if hi > len(idx.text) {
+			hi = len(idx.text)
+		}
+		for i := lo; i+len(p) <= hi; i++ {
+			if string(idx.text[i:i+len(p)]) == string(p) {
+				out = append(out, i)
+			}
+		}
+	}
+	return dedupSorted(out)
+}
+
+// FindAllWithin returns every start whose length-len(p) window is within k
+// substitutions of p, increasing.
+func (idx *Index) FindAllWithin(p []byte, k int) []int {
+	if len(p) == 0 {
+		return idx.FindAll(p)
+	}
+	var out []int
+	for _, b := range idx.candidateBlocks(p, k) {
+		idx.candidatesChecked++
+		lo := int(b) * idx.blockSize
+		hi := lo + idx.blockSize + len(p) - 1
+		if hi > len(idx.text) {
+			hi = len(idx.text)
+		}
+		for i := lo; i+len(p) <= hi; i++ {
+			d := 0
+			for j := 0; j < len(p) && d <= k; j++ {
+				if idx.text[i+j] != p[j] {
+					d++
+				}
+			}
+			if d <= k {
+				out = append(out, i)
+			}
+		}
+	}
+	return dedupSorted(out)
+}
+
+// Contains reports whether p occurs exactly.
+func (idx *Index) Contains(p []byte) bool { return len(idx.FindAll(p)) > 0 || len(p) == 0 }
+
+func dedupSorted(v []int) []int {
+	if len(v) == 0 {
+		return nil
+	}
+	sort.Ints(v)
+	out := v[:1]
+	for _, x := range v[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

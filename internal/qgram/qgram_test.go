@@ -1,0 +1,181 @@
+package qgram
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/trie"
+)
+
+func build(t *testing.T, text string, q, block int) *Index {
+	t.Helper()
+	idx, err := Build([]byte(text), seq.DNA, q, block)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return idx
+}
+
+func TestFindAllMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(400)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = "acgt"[rng.Intn(4)]
+		}
+		idx, err := Build(text, seq.DNA, 4, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := trie.NewOracle(text)
+		for qn := 0; qn < 40; qn++ {
+			m := 1 + rng.Intn(12)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = "acgt"[rng.Intn(4)]
+			}
+			got := idx.FindAll(p)
+			want := o.Occurrences(p)
+			if len(got) != len(want) {
+				t.Fatalf("text len %d: FindAll(%q) = %v, want %v", n, p, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("FindAll(%q) = %v, want %v", p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFindAllWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	for trial := 0; trial < 20; trial++ {
+		n := 60 + rng.Intn(300)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = "acgt"[rng.Intn(4)]
+		}
+		idx, err := Build(text, seq.DNA, 3, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qn := 0; qn < 15; qn++ {
+			m := 5 + rng.Intn(10)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = "acgt"[rng.Intn(4)]
+			}
+			k := rng.Intn(3)
+			got := idx.FindAllWithin(p, k)
+			var want []int
+			for i := 0; i+m <= n; i++ {
+				d := 0
+				for j := 0; j < m; j++ {
+					if text[i+j] != p[j] {
+						d++
+					}
+				}
+				if d <= k {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("p=%q k=%d: got %v, want %v", p, k, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("p=%q k=%d: got %v, want %v", p, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternShorterThanQ(t *testing.T) {
+	idx := build(t, "acgtacgtacgt", 4, 8)
+	got := idx.FindAll([]byte("cg"))
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("FindAll(cg) = %v", got)
+	}
+}
+
+func TestCrossBlockOccurrences(t *testing.T) {
+	// Pattern straddling a block boundary must still be found.
+	text := "aaaaaaaagattacagaaaaaaaa" // block size 8: "gattaca" spans blocks 1-2
+	idx := build(t, text, 3, 8)
+	got := idx.FindAll([]byte("gattacag"))
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("FindAll(gattacag) = %v, want [8]", got)
+	}
+}
+
+func TestFilterActuallyFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	text := make([]byte, 20000)
+	for i := range text {
+		text[i] = "acgt"[rng.Intn(4)]
+	}
+	idx, err := Build(text, seq.DNA, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pattern sampled from the text: candidates must be a small fraction
+	// of all blocks.
+	p := text[5000:5020]
+	before := idx.CandidatesChecked()
+	if got := idx.FindAll(p); len(got) == 0 {
+		t.Fatal("planted pattern not found")
+	}
+	checked := idx.CandidatesChecked() - before
+	totalBlocks := int64((len(text) + 63) / 64)
+	if checked*10 > totalBlocks {
+		t.Fatalf("filter too weak: verified %d of %d blocks", checked, totalBlocks)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([]byte("acgt"), seq.DNA, 0, 8); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := Build([]byte("acgt"), seq.DNA, 40, 80); err == nil {
+		t.Error("q too large for 64-bit codes accepted")
+	}
+	if _, err := Build([]byte("acgt"), seq.DNA, 4, 2); err == nil {
+		t.Error("block smaller than q accepted")
+	}
+	if _, err := Build([]byte("acgn"), seq.DNA, 2, 8); err == nil {
+		t.Error("foreign text byte accepted")
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	idx := build(t, "acgt", 2, 4)
+	if got := idx.FindAll(nil); len(got) != 5 {
+		t.Fatalf("FindAll(empty) = %v", got)
+	}
+	if !idx.Contains(nil) {
+		t.Fatal("empty pattern not contained")
+	}
+}
+
+func TestSizeBytesSmallerThanComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(214))
+	text := make([]byte, 50000)
+	for i := range text {
+		text[i] = "acgt"[rng.Intn(4)]
+	}
+	// q tuned to the text size (4^6 = 4096 codes over 50k grams) so
+	// posting lists amortize the map overhead.
+	idx, err := Build(text, seq.DNA, 6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The filter (postings + text) should undercut even a suffix array
+	// (~5 B/char); generous bound to avoid flakiness.
+	if bpc := float64(idx.SizeBytes()) / float64(len(text)); bpc > 8 {
+		t.Fatalf("filter uses %.1f B/char; expected a small footprint", bpc)
+	}
+}

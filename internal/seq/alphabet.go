@@ -1,0 +1,144 @@
+// Package seq provides the sequence substrate used by all SPINE components:
+// alphabets over which indexes are built, packed (2-bit and 5-bit) character
+// coders that back the compact index layouts, and FASTA input/output.
+//
+// The paper's prototype indexes DNA genomes (alphabet size 4) and proteomes
+// (alphabet size 20); both are first-class here, and arbitrary byte
+// alphabets up to 255 symbols are supported for generality.
+package seq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Alphabet maps between raw sequence bytes (e.g. 'a', 'c', 'g', 't') and
+// dense symbol codes 0..Size()-1. A dense code space is what allows the
+// compact SPINE layout to store a character label in 2 bits (DNA) or
+// 5 bits (protein), per §5 of the paper.
+//
+// The zero value is not useful; construct with NewAlphabet, or use the
+// package-level DNA and Protein alphabets.
+type Alphabet struct {
+	letters []byte     // code -> letter, sorted ascending
+	codes   [256]int16 // letter -> code (case-folded), -1 if absent
+	bits    uint       // bits needed per symbol
+}
+
+// DNA is the four-letter nucleotide alphabet {a, c, g, t}. Lookups fold
+// ASCII case, so 'A' and 'a' share a code.
+var DNA = NewAlphabet([]byte("acgt"))
+
+// Protein is the twenty-letter amino-acid residue alphabet. Lookups fold
+// ASCII case.
+var Protein = NewAlphabet([]byte("ACDEFGHIKLMNPQRSTVWY"))
+
+// NewAlphabet builds an alphabet over the given distinct letters. Letters
+// are canonicalized to their given byte values, and upper/lower ASCII case
+// variants of each letter map to the same code. NewAlphabet panics if
+// letters is empty, longer than 255, or contains duplicates (after case
+// folding), because an invalid alphabet is a programming error, not a
+// runtime condition.
+func NewAlphabet(letters []byte) *Alphabet {
+	if len(letters) == 0 || len(letters) > 255 {
+		panic(fmt.Sprintf("seq: alphabet size %d out of range [1,255]", len(letters)))
+	}
+	a := &Alphabet{letters: make([]byte, len(letters))}
+	copy(a.letters, letters)
+	sort.Slice(a.letters, func(i, j int) bool { return a.letters[i] < a.letters[j] })
+	for i := range a.codes {
+		a.codes[i] = -1
+	}
+	for code, l := range a.letters {
+		if other := otherCase(l); other != l {
+			if a.codes[other] != -1 {
+				panic(fmt.Sprintf("seq: duplicate alphabet letter %q (case-folded)", l))
+			}
+			a.codes[other] = int16(code)
+		}
+		if a.codes[l] != -1 {
+			panic(fmt.Sprintf("seq: duplicate alphabet letter %q", l))
+		}
+		a.codes[l] = int16(code)
+	}
+	for a.bits = 1; 1<<a.bits < len(a.letters); a.bits++ {
+	}
+	return a
+}
+
+func otherCase(b byte) byte {
+	switch {
+	case b >= 'a' && b <= 'z':
+		return b - ('a' - 'A')
+	case b >= 'A' && b <= 'Z':
+		return b + ('a' - 'A')
+	}
+	return b
+}
+
+// Size returns the number of symbols in the alphabet.
+func (a *Alphabet) Size() int { return len(a.letters) }
+
+// Bits returns the number of bits needed to store one symbol code
+// (2 for DNA, 5 for the protein alphabet).
+func (a *Alphabet) Bits() uint { return a.bits }
+
+// Code returns the dense code of letter b, or -1 if b is not in the
+// alphabet.
+func (a *Alphabet) Code(b byte) int { return int(a.codes[b]) }
+
+// Letter returns the letter for symbol code c. It panics if c is out of
+// range.
+func (a *Alphabet) Letter(c int) byte { return a.letters[c] }
+
+// Contains reports whether every byte of s is an alphabet letter.
+func (a *Alphabet) Contains(s []byte) bool {
+	for _, b := range s {
+		if a.codes[b] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode translates raw letters to dense symbol codes. It returns an error
+// naming the first offending byte if s contains a letter outside the
+// alphabet.
+func (a *Alphabet) Encode(s []byte) ([]byte, error) {
+	out := make([]byte, len(s))
+	for i, b := range s {
+		c := a.codes[b]
+		if c == -1 {
+			return nil, fmt.Errorf("seq: byte %q at offset %d not in alphabet", b, i)
+		}
+		out[i] = byte(c)
+	}
+	return out, nil
+}
+
+// Decode translates dense symbol codes back to letters. It returns an
+// error if any code is out of range.
+func (a *Alphabet) Decode(codes []byte) ([]byte, error) {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		if int(c) >= len(a.letters) {
+			return nil, fmt.Errorf("seq: code %d at offset %d out of range for alphabet size %d", c, i, len(a.letters))
+		}
+		out[i] = a.letters[c]
+	}
+	return out, nil
+}
+
+// Sanitize returns a copy of s with every byte outside the alphabet
+// removed, folding case first. It is the lenient counterpart of Encode,
+// useful when ingesting FASTA files that contain ambiguity codes (e.g. 'N')
+// the index does not model.
+func (a *Alphabet) Sanitize(s []byte) []byte {
+	out := make([]byte, 0, len(s))
+	for _, b := range s {
+		if a.codes[b] != -1 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDNAAlphabetBasics(t *testing.T) {
+	if got := DNA.Size(); got != 4 {
+		t.Fatalf("DNA.Size() = %d, want 4", got)
+	}
+	if got := DNA.Bits(); got != 2 {
+		t.Fatalf("DNA.Bits() = %d, want 2", got)
+	}
+	want := map[byte]int{'a': 0, 'c': 1, 'g': 2, 't': 3}
+	for b, code := range want {
+		if got := DNA.Code(b); got != code {
+			t.Errorf("DNA.Code(%q) = %d, want %d", b, got, code)
+		}
+		if got := DNA.Letter(code); got != b {
+			t.Errorf("DNA.Letter(%d) = %q, want %q", code, got, b)
+		}
+	}
+}
+
+func TestDNAAlphabetCaseFolding(t *testing.T) {
+	for _, pair := range [][2]byte{{'a', 'A'}, {'c', 'C'}, {'g', 'G'}, {'t', 'T'}} {
+		lo, up := DNA.Code(pair[0]), DNA.Code(pair[1])
+		if lo != up {
+			t.Errorf("Code(%q)=%d != Code(%q)=%d", pair[0], lo, pair[1], up)
+		}
+	}
+}
+
+func TestProteinAlphabetBasics(t *testing.T) {
+	if got := Protein.Size(); got != 20 {
+		t.Fatalf("Protein.Size() = %d, want 20", got)
+	}
+	if got := Protein.Bits(); got != 5 {
+		t.Fatalf("Protein.Bits() = %d, want 5", got)
+	}
+	if Protein.Code('B') != -1 {
+		t.Errorf("Protein.Code('B') = %d, want -1 (not a residue)", Protein.Code('B'))
+	}
+	if Protein.Code('w') == -1 {
+		t.Errorf("Protein.Code('w') = -1, want case-folded residue code")
+	}
+}
+
+func TestCodeRejectsForeignBytes(t *testing.T) {
+	for _, b := range []byte{'n', 'N', '-', ' ', 0, 255} {
+		if got := DNA.Code(b); got != -1 {
+			t.Errorf("DNA.Code(%q) = %d, want -1", b, got)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []byte("acgtACGTacgt")
+	codes, err := DNA.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := DNA.Decode(codes)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// Decode canonicalizes to the declared (lower) case.
+	if string(out) != "acgtacgtacgt" {
+		t.Fatalf("round trip = %q, want %q", out, "acgtacgtacgt")
+	}
+}
+
+func TestEncodeRejectsForeignByte(t *testing.T) {
+	if _, err := DNA.Encode([]byte("acgnt")); err == nil {
+		t.Fatal("Encode accepted 'n', want error")
+	}
+}
+
+func TestDecodeRejectsOutOfRangeCode(t *testing.T) {
+	if _, err := DNA.Decode([]byte{0, 4}); err == nil {
+		t.Fatal("Decode accepted code 4 for a 4-letter alphabet, want error")
+	}
+}
+
+func TestSanitizeDropsForeignBytes(t *testing.T) {
+	got := DNA.Sanitize([]byte("ac-gN t\n"))
+	if string(got) != "acgt" {
+		t.Fatalf("Sanitize = %q, want %q", got, "acgt")
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !DNA.Contains([]byte("gattaca")) {
+		t.Error("Contains(gattaca) = false, want true")
+	}
+	if DNA.Contains([]byte("gattaxa")) {
+		t.Error("Contains(gattaxa) = true, want false")
+	}
+	if !DNA.Contains(nil) {
+		t.Error("Contains(nil) = false, want true (vacuous)")
+	}
+}
+
+func TestNewAlphabetPanicsOnDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAlphabet accepted duplicate letters, want panic")
+		}
+	}()
+	NewAlphabet([]byte("aA"))
+}
+
+func TestNewAlphabetPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAlphabet accepted empty letter set, want panic")
+		}
+	}()
+	NewAlphabet(nil)
+}
+
+func TestAlphabetBitsCoversSize(t *testing.T) {
+	cases := []struct {
+		letters string
+		bits    uint
+	}{
+		{"ab", 1}, {"abc", 2}, {"abcd", 2}, {"abcde", 3},
+		{"abcdefgh", 3}, {"abcdefghi", 4},
+	}
+	for _, c := range cases {
+		a := NewAlphabet([]byte(c.letters))
+		if a.Bits() != c.bits {
+			t.Errorf("Bits(%q) = %d, want %d", c.letters, a.Bits(), c.bits)
+		}
+	}
+}
+
+// Property: Encode then Decode is the identity on canonical-case strings.
+func TestQuickEncodeDecodeIdentity(t *testing.T) {
+	f := func(raw []byte) bool {
+		in := make([]byte, len(raw))
+		for i, b := range raw {
+			in[i] = DNA.Letter(int(b % 4))
+		}
+		codes, err := DNA.Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := DNA.Decode(codes)
+		if err != nil {
+			return false
+		}
+		return string(out) == string(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	got, err := ReverseComplement([]byte("acgt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "acgt" { // palindrome
+		t.Fatalf("RC(acgt) = %q", got)
+	}
+	got, err = ReverseComplement([]byte("aacg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "cgtt" {
+		t.Fatalf("RC(aacg) = %q, want cgtt", got)
+	}
+	// Case preserved per-base.
+	got, err = ReverseComplement([]byte("AacG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "CgtT" {
+		t.Fatalf("RC(AacG) = %q, want CgtT", got)
+	}
+	if _, err := ReverseComplement([]byte("acgn")); err == nil {
+		t.Fatal("foreign base accepted")
+	}
+	// Involution: RC(RC(x)) == x.
+	x := []byte("ggatccaatt")
+	if back := MustReverseComplement(MustReverseComplement(x)); string(back) != string(x) {
+		t.Fatalf("RC not an involution: %q", back)
+	}
+}

@@ -1,0 +1,41 @@
+package seq
+
+import "fmt"
+
+// complementTable maps each DNA letter to its Watson-Crick complement,
+// case-preserving; other bytes map to themselves.
+var complementTable = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = byte(i)
+	}
+	pairs := []struct{ a, b byte }{{'a', 't'}, {'c', 'g'}, {'A', 'T'}, {'C', 'G'}}
+	for _, p := range pairs {
+		t[p.a], t[p.b] = p.b, p.a
+	}
+	return t
+}()
+
+// ReverseComplement returns the reverse complement of a DNA sequence
+// (a<->t, c<->g, case-preserving). It returns an error if s contains a
+// byte outside the DNA alphabet.
+func ReverseComplement(s []byte) ([]byte, error) {
+	out := make([]byte, len(s))
+	for i, b := range s {
+		if DNA.Code(b) < 0 {
+			return nil, fmt.Errorf("seq: byte %q at offset %d is not a DNA base", b, i)
+		}
+		out[len(s)-1-i] = complementTable[b]
+	}
+	return out, nil
+}
+
+// MustReverseComplement is ReverseComplement for inputs known to be DNA;
+// it panics on foreign bytes.
+func MustReverseComplement(s []byte) []byte {
+	out, err := ReverseComplement(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Record is one FASTA record: a header (without the leading '>') and the
+// concatenated sequence letters.
+type Record struct {
+	Header string
+	Seq    []byte
+}
+
+// ReadFASTA parses every record from r. Sequence lines are concatenated
+// verbatim except for stripped whitespace; no alphabet filtering is applied
+// (use Alphabet.Sanitize for that). Data before the first '>' header is an
+// error, as is an empty input.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var recs []Record
+	var cur *Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if b[0] == '>' {
+			recs = append(recs, Record{Header: string(b[1:])})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seq: line %d: sequence data before first FASTA header", line)
+		}
+		cur.Seq = append(cur.Seq, b...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("seq: no FASTA records found")
+	}
+	return recs, nil
+}
+
+// WriteFASTA writes records to w with sequence lines wrapped at width
+// columns (width <= 0 means 70).
+func WriteFASTA(w io.Writer, recs []Record, width int) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Header); err != nil {
+			return err
+		}
+		for off := 0; off < len(rec.Seq); off += width {
+			end := off + width
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			if _, err := bw.Write(rec.Seq[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,85 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTASingleRecord(t *testing.T) {
+	in := ">chr1 test genome\nacgt\nACGT\n"
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if recs[0].Header != "chr1 test genome" {
+		t.Errorf("header = %q", recs[0].Header)
+	}
+	if string(recs[0].Seq) != "acgtACGT" {
+		t.Errorf("seq = %q, want %q", recs[0].Seq, "acgtACGT")
+	}
+}
+
+func TestReadFASTAMultipleRecordsAndBlankLines(t *testing.T) {
+	in := ">a\nac\n\ngt\n>b\n\ntt\n"
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if string(recs[0].Seq) != "acgt" || string(recs[1].Seq) != "tt" {
+		t.Errorf("seqs = %q, %q", recs[0].Seq, recs[1].Seq)
+	}
+}
+
+func TestReadFASTARejectsLeadingData(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("acgt\n>a\nac\n")); err == nil {
+		t.Fatal("accepted sequence data before first header, want error")
+	}
+}
+
+func TestReadFASTARejectsEmpty(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("")); err == nil {
+		t.Fatal("accepted empty input, want error")
+	}
+}
+
+func TestWriteFASTAWrapsAndRoundTrips(t *testing.T) {
+	recs := []Record{
+		{Header: "x", Seq: []byte("acgtacgtacgt")},
+		{Header: "y z", Seq: []byte("tt")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, recs, 5); err != nil {
+		t.Fatalf("WriteFASTA: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, ">x\nacgta\ncgtac\ngt\n") {
+		t.Errorf("unexpected wrapping:\n%s", out)
+	}
+	back, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatalf("ReadFASTA(round trip): %v", err)
+	}
+	if len(back) != 2 || string(back[0].Seq) != "acgtacgtacgt" || back[1].Header != "y z" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestWriteFASTADefaultWidth(t *testing.T) {
+	seq := bytes.Repeat([]byte("a"), 150)
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, []Record{{Header: "h", Seq: seq}}, 0); err != nil {
+		t.Fatalf("WriteFASTA: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 70 + 70 + 10
+	if len(lines) != 4 || len(lines[1]) != 70 || len(lines[3]) != 10 {
+		t.Fatalf("unexpected line layout: %d lines, lens %v", len(lines), lines)
+	}
+}

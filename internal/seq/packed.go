@@ -1,0 +1,89 @@
+package seq
+
+import "fmt"
+
+// Packed is a bit-packed sequence of dense symbol codes. It backs the
+// compact SPINE layout's character-label storage: 2 bits per DNA symbol or
+// 5 bits per protein residue (§5 of the paper), instead of one byte each.
+//
+// Packed stores codes, not letters; pair it with an Alphabet to go back to
+// text.
+type Packed struct {
+	bits uint
+	n    int
+	data []uint64
+}
+
+// NewPacked packs the given symbol codes at the given width. It returns an
+// error if any code does not fit in bits.
+func NewPacked(codes []byte, bits uint) (*Packed, error) {
+	if bits == 0 || bits > 8 {
+		return nil, fmt.Errorf("seq: packed width %d out of range [1,8]", bits)
+	}
+	p := &Packed{
+		bits: bits,
+		n:    len(codes),
+		data: make([]uint64, (uint(len(codes))*bits+63)/64),
+	}
+	limit := byte(1<<bits - 1)
+	for i, c := range codes {
+		if c > limit {
+			return nil, fmt.Errorf("seq: code %d at offset %d does not fit in %d bits", c, i, bits)
+		}
+		p.set(i, c)
+	}
+	return p, nil
+}
+
+func (p *Packed) set(i int, c byte) {
+	bit := uint(i) * p.bits
+	word, off := bit/64, bit%64
+	p.data[word] |= uint64(c) << off
+	if off+p.bits > 64 {
+		p.data[word+1] |= uint64(c) >> (64 - off)
+	}
+}
+
+// Len returns the number of symbols stored.
+func (p *Packed) Len() int { return p.n }
+
+// Bits returns the per-symbol width.
+func (p *Packed) Bits() uint { return p.bits }
+
+// At returns the symbol code at position i.
+func (p *Packed) At(i int) byte {
+	bit := uint(i) * p.bits
+	word, off := bit/64, bit%64
+	v := p.data[word] >> off
+	if off+p.bits > 64 {
+		v |= p.data[word+1] << (64 - off)
+	}
+	return byte(v) & byte(1<<p.bits-1)
+}
+
+// Unpack expands the packed codes back into one byte per symbol.
+func (p *Packed) Unpack() []byte {
+	out := make([]byte, p.n)
+	for i := range out {
+		out[i] = p.At(i)
+	}
+	return out
+}
+
+// SizeBytes returns the in-memory footprint of the packed payload in bytes.
+func (p *Packed) SizeBytes() int { return len(p.data) * 8 }
+
+// Append adds one symbol code at the end. It returns an error if c does
+// not fit the packed width.
+func (p *Packed) Append(c byte) error {
+	if c > byte(1<<p.bits-1) {
+		return fmt.Errorf("seq: code %d does not fit in %d bits", c, p.bits)
+	}
+	bit := uint(p.n+1) * p.bits
+	if need := int((bit + 63) / 64); need > len(p.data) {
+		p.data = append(p.data, 0)
+	}
+	p.set(p.n, c)
+	p.n++
+	return nil
+}

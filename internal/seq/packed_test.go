@@ -1,0 +1,141 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedRoundTrip2Bit(t *testing.T) {
+	codes := []byte{0, 1, 2, 3, 3, 2, 1, 0, 2}
+	p, err := NewPacked(codes, 2)
+	if err != nil {
+		t.Fatalf("NewPacked: %v", err)
+	}
+	if p.Len() != len(codes) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(codes))
+	}
+	for i, c := range codes {
+		if got := p.At(i); got != c {
+			t.Errorf("At(%d) = %d, want %d", i, got, c)
+		}
+	}
+	if got := p.Unpack(); string(got) != string(codes) {
+		t.Fatalf("Unpack = %v, want %v", got, codes)
+	}
+}
+
+func TestPackedRoundTrip5BitCrossesWordBoundary(t *testing.T) {
+	// 5-bit codes straddle 64-bit word boundaries every 64/gcd(5,64)
+	// symbols; use enough symbols to cross several boundaries.
+	codes := make([]byte, 300)
+	rng := rand.New(rand.NewSource(7))
+	for i := range codes {
+		codes[i] = byte(rng.Intn(20))
+	}
+	p, err := NewPacked(codes, 5)
+	if err != nil {
+		t.Fatalf("NewPacked: %v", err)
+	}
+	for i, c := range codes {
+		if got := p.At(i); got != c {
+			t.Fatalf("At(%d) = %d, want %d", i, got, c)
+		}
+	}
+}
+
+func TestPackedRejectsOversizeCode(t *testing.T) {
+	if _, err := NewPacked([]byte{4}, 2); err == nil {
+		t.Fatal("NewPacked accepted code 4 at width 2, want error")
+	}
+}
+
+func TestPackedRejectsBadWidth(t *testing.T) {
+	for _, bits := range []uint{0, 9} {
+		if _, err := NewPacked(nil, bits); err == nil {
+			t.Fatalf("NewPacked accepted width %d, want error", bits)
+		}
+	}
+}
+
+func TestPackedEmpty(t *testing.T) {
+	p, err := NewPacked(nil, 2)
+	if err != nil {
+		t.Fatalf("NewPacked: %v", err)
+	}
+	if p.Len() != 0 || p.SizeBytes() != 0 {
+		t.Fatalf("empty packed: Len=%d SizeBytes=%d, want 0,0", p.Len(), p.SizeBytes())
+	}
+}
+
+func TestPackedSizeBytes(t *testing.T) {
+	// 1000 DNA symbols at 2 bits = 2000 bits = 32 words (rounded up) = 256 B.
+	p, err := NewPacked(make([]byte, 1000), 2)
+	if err != nil {
+		t.Fatalf("NewPacked: %v", err)
+	}
+	if got := p.SizeBytes(); got != 256 {
+		t.Fatalf("SizeBytes = %d, want 256", got)
+	}
+}
+
+// Property: packing at any legal width round-trips.
+func TestQuickPackedRoundTrip(t *testing.T) {
+	f := func(raw []byte, widthSeed uint8) bool {
+		bits := uint(widthSeed%8) + 1
+		codes := make([]byte, len(raw))
+		for i, b := range raw {
+			codes[i] = b & byte(1<<bits-1)
+		}
+		p, err := NewPacked(codes, bits)
+		if err != nil {
+			return false
+		}
+		got := p.Unpack()
+		return string(got) == string(codes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedAppendMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, bits := range []uint{1, 2, 5, 8} {
+		codes := make([]byte, 500)
+		for i := range codes {
+			codes[i] = byte(rng.Intn(1 << bits))
+		}
+		bulk, err := NewPacked(codes, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := NewPacked(nil, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range codes {
+			if err := inc.Append(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if inc.Len() != bulk.Len() {
+			t.Fatalf("bits=%d: lengths differ", bits)
+		}
+		for i := range codes {
+			if inc.At(i) != bulk.At(i) {
+				t.Fatalf("bits=%d: At(%d) = %d, want %d", bits, i, inc.At(i), bulk.At(i))
+			}
+		}
+	}
+}
+
+func TestPackedAppendRejectsOversize(t *testing.T) {
+	p, err := NewPacked(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(4); err == nil {
+		t.Fatal("oversize code accepted")
+	}
+}

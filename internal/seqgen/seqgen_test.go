@@ -1,0 +1,157 @@
+package seqgen
+
+import (
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	sp := Spec{Name: "t", Alphabet: seq.DNA, Length: 5000, RepeatFraction: 0.3, MeanRepeatLen: 50, MutationRate: 0.02, Seed: 42}
+	a := MustGenerate(sp)
+	b := MustGenerate(sp)
+	if string(a) != string(b) {
+		t.Fatal("same spec produced different sequences")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	sp := Spec{Name: "t", Alphabet: seq.DNA, Length: 5000, RepeatFraction: 0.3, MeanRepeatLen: 50, MutationRate: 0.02, Seed: 1}
+	a := MustGenerate(sp)
+	sp.Seed = 2
+	b := MustGenerate(sp)
+	if string(a) == string(b) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestGenerateLengthAndAlphabet(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 1000, 20000} {
+		sp := Spec{Name: "t", Alphabet: seq.DNA, Length: n, RepeatFraction: 0.4, MeanRepeatLen: 30, MutationRate: 0.05, Seed: 9}
+		s := MustGenerate(sp)
+		if len(s) != n {
+			t.Fatalf("length %d: got %d", n, len(s))
+		}
+		if !seq.DNA.Contains(s) {
+			t.Fatalf("length %d: output leaves DNA alphabet", n)
+		}
+	}
+}
+
+func TestGenerateProteinAlphabet(t *testing.T) {
+	sp := Spec{Name: "p", Alphabet: seq.Protein, Length: 8000, RepeatFraction: 0.2, MeanRepeatLen: 60, MutationRate: 0.03, Seed: 5}
+	s := MustGenerate(sp)
+	if !seq.Protein.Contains(s) {
+		t.Fatal("output leaves protein alphabet")
+	}
+	// All 20 residues should appear in 8k characters.
+	seen := map[byte]bool{}
+	for _, b := range s {
+		seen[b] = true
+	}
+	if len(seen) < 15 {
+		t.Fatalf("only %d distinct residues in 8k chars; composition too degenerate", len(seen))
+	}
+}
+
+func TestGenerateRepeatsIncreaseSelfSimilarity(t *testing.T) {
+	// A repeat-heavy sequence must have many fewer distinct k-mers than a
+	// repeat-free one of the same length.
+	base := Spec{Name: "t", Alphabet: seq.DNA, Length: 60000, MeanRepeatLen: 200, MutationRate: 0.01, Seed: 77}
+	noRep := base
+	noRep.RepeatFraction = 0
+	rep := base
+	rep.RepeatFraction = 0.6
+
+	distinct := func(s []byte, k int) int {
+		m := map[string]bool{}
+		for i := 0; i+k <= len(s); i++ {
+			m[string(s[i:i+k])] = true
+		}
+		return len(m)
+	}
+	dn, dr := distinct(MustGenerate(noRep), 16), distinct(MustGenerate(rep), 16)
+	if dr >= dn {
+		t.Fatalf("repeat-heavy distinct 16-mers (%d) >= repeat-free (%d)", dr, dn)
+	}
+	if float64(dr) > 0.8*float64(dn) {
+		t.Fatalf("repeat structure too weak: %d vs %d distinct 16-mers", dr, dn)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Alphabet: nil, Length: 10}); err == nil {
+		t.Error("nil alphabet accepted")
+	}
+	if _, err := Generate(Spec{Alphabet: seq.DNA, Length: -1}); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := Generate(Spec{Alphabet: seq.DNA, Length: 10, RepeatFraction: 1.0}); err == nil {
+		t.Error("repeat fraction 1.0 accepted")
+	}
+}
+
+func TestSuiteSpecScaling(t *testing.T) {
+	full, err := SuiteSpec("eco", 1)
+	if err != nil {
+		t.Fatalf("SuiteSpec: %v", err)
+	}
+	if full.Length != 3_500_000 {
+		t.Fatalf("eco full length = %d", full.Length)
+	}
+	small, err := SuiteSpec("eco", 100)
+	if err != nil {
+		t.Fatalf("SuiteSpec: %v", err)
+	}
+	if small.Length != 35_000 {
+		t.Fatalf("eco /100 length = %d", small.Length)
+	}
+	if small.Seed != full.Seed || small.RepeatFraction != full.RepeatFraction {
+		t.Fatal("scaling changed non-length parameters")
+	}
+}
+
+func TestSuiteSpecErrors(t *testing.T) {
+	if _, err := SuiteSpec("nope", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := SuiteSpec("eco", 0); err == nil {
+		t.Error("divide 0 accepted")
+	}
+}
+
+func TestSuiteNamesResolve(t *testing.T) {
+	for _, n := range append(append([]string{}, SuiteNames...), ProteinSuiteNames...) {
+		s, err := SuiteSequence(n, 1000)
+		if err != nil {
+			t.Fatalf("SuiteSequence(%s): %v", n, err)
+		}
+		if len(s) == 0 {
+			t.Fatalf("SuiteSequence(%s) empty", n)
+		}
+	}
+}
+
+func TestIndelRateChangesCopiesButNotDeterminism(t *testing.T) {
+	base := Spec{Name: "t", Alphabet: seq.DNA, Length: 20000, RepeatFraction: 0.5,
+		MeanRepeatLen: 200, MutationRate: 0.01, Seed: 55}
+	noIndel := MustGenerate(base)
+	base.IndelRate = 0.02
+	withIndel1 := MustGenerate(base)
+	withIndel2 := MustGenerate(base)
+	if string(withIndel1) != string(withIndel2) {
+		t.Fatal("indel generation not deterministic")
+	}
+	if string(noIndel) == string(withIndel1) {
+		t.Fatal("indel rate had no effect")
+	}
+	if len(withIndel1) != base.Length {
+		t.Fatalf("length %d, want %d", len(withIndel1), base.Length)
+	}
+	// Zero indel rate must reproduce the historical stream exactly (no
+	// extra rng draws).
+	base.IndelRate = 0
+	if string(MustGenerate(base)) != string(noIndel) {
+		t.Fatal("IndelRate=0 changed the deterministic stream")
+	}
+}

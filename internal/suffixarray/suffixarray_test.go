@@ -1,0 +1,185 @@
+package suffixarray
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/spine-index/spine/internal/trie"
+)
+
+// naiveSA builds the suffix array by direct sorting, for cross-checking.
+func naiveSA(s []byte) []int32 {
+	sa := make([]int32, len(s))
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(i, j int) bool {
+		return string(s[sa[i]:]) < string(s[sa[j]:])
+	})
+	return sa
+}
+
+func TestSAMatchesNaiveConstruction(t *testing.T) {
+	cases := []string{
+		"banana", "mississippi", "aaccacaaca", "aaaa", "abab",
+		"a", "ab", "ba", "acgtacgtacgt", "zyxwv",
+	}
+	for _, s := range cases {
+		got := Build([]byte(s)).SA()
+		want := naiveSA([]byte(s))
+		if len(got) != len(want) {
+			t.Fatalf("s=%q: len %d, want %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("s=%q: sa = %v, want %v", s, got, want)
+			}
+		}
+	}
+}
+
+func TestSAMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rng.Intn(300)
+		alpha := []byte("ac")
+		if trial%3 == 1 {
+			alpha = []byte("acgt")
+		} else if trial%3 == 2 {
+			alpha = []byte("abcdefghij")
+		}
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = alpha[rng.Intn(len(alpha))]
+		}
+		got := Build(s).SA()
+		want := naiveSA(s)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("s=%q: sa mismatch at %d: %v vs %v", s, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSAEmpty(t *testing.T) {
+	a := Build(nil)
+	if a.Len() != 0 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if !a.Contains(nil) {
+		t.Fatal("empty pattern not contained")
+	}
+	if a.Contains([]byte("a")) {
+		t.Fatal("letter contained in empty array")
+	}
+	if got := a.Find(nil); got != 0 {
+		t.Fatalf("Find(empty) = %d", got)
+	}
+}
+
+func TestSAFindAllMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(100)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = "acgt"[rng.Intn(4)]
+		}
+		a := Build(s)
+		o := trie.NewOracle(s)
+		for q := 0; q < 100; q++ {
+			m := 1 + rng.Intn(7)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = "acgt"[rng.Intn(4)]
+			}
+			got := a.FindAll(p)
+			want := o.Occurrences(p)
+			if len(got) != len(want) {
+				t.Fatalf("s=%q FindAll(%q) = %v, want %v", s, p, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("s=%q FindAll(%q) = %v, want %v", s, p, got, want)
+				}
+			}
+			if gotF, wantF := a.Find(p), o.First(p); gotF != wantF {
+				t.Fatalf("s=%q Find(%q) = %d, want %d", s, p, gotF, wantF)
+			}
+		}
+	}
+}
+
+func TestSAPatternLongerThanText(t *testing.T) {
+	a := Build([]byte("ac"))
+	if a.Contains([]byte("acgt")) {
+		t.Fatal("pattern longer than text reported contained")
+	}
+}
+
+func TestSASizeBytes(t *testing.T) {
+	a := Build([]byte("acgtacgt"))
+	if got := a.SizeBytes(); got != 8*4+8 {
+		t.Fatalf("SizeBytes = %d, want 40", got)
+	}
+}
+
+// naiveLCP computes the LCP array directly.
+func naiveLCP(text []byte, sa []int32) []int32 {
+	lcp := make([]int32, len(sa))
+	for i := 1; i < len(sa); i++ {
+		a, b := text[sa[i-1]:], text[sa[i]:]
+		j := 0
+		for j < len(a) && j < len(b) && a[j] == b[j] {
+			j++
+		}
+		lcp[i] = int32(j)
+	}
+	return lcp
+}
+
+func TestLCPMatchesNaive(t *testing.T) {
+	cases := []string{"banana", "mississippi", "aaaa", "abcd", "a", "aaccacaaca"}
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = "acgt"[rng.Intn(4)]
+		}
+		cases = append(cases, string(s))
+	}
+	for _, c := range cases {
+		a := Build([]byte(c))
+		got := a.LCP()
+		want := naiveLCP(a.text, a.sa)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("s=%q: lcp[%d] = %d, want %d", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLCPEmpty(t *testing.T) {
+	if got := Build(nil).LCP(); len(got) != 0 {
+		t.Fatalf("LCP(empty) = %v", got)
+	}
+}
+
+func TestSALongestRepeatedSubstring(t *testing.T) {
+	a := Build([]byte("banana"))
+	s, p, q := a.LongestRepeatedSubstring()
+	if string(s) != "ana" || p != 1 || q != 3 {
+		t.Fatalf("LRS = %q (%d, %d)", s, p, q)
+	}
+	if s, _, _ := Build([]byte("abcd")).LongestRepeatedSubstring(); s != nil {
+		t.Fatalf("LRS of repeat-free string = %q", s)
+	}
+}

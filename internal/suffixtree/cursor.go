@@ -1,0 +1,164 @@
+package suffixtree
+
+import "sort"
+
+// Cursor implements streaming matching statistics over the suffix tree,
+// the classical Chang–Lawler walk: on a mismatch it repeatedly drops one
+// character from the front of the match — one suffix-link hop plus a
+// skip/count re-descent per dropped character — until the next character
+// extends. This per-suffix processing is exactly what §4.1 of the paper
+// contrasts with SPINE's set-basis link chain; the Checked counter makes
+// the difference measurable (Table 6).
+type Cursor struct {
+	t *Tree
+	// Position: at `parent` exactly when child == 0; otherwise off
+	// characters down the edge parent -> child (0 < off < edgeLen(child)).
+	parent, child, off int32
+	buf                []byte // current matched string
+	// Checked counts nodes examined (edge probes, suffix-link hops,
+	// skip/count descents).
+	Checked int64
+}
+
+// NewCursor returns a cursor at the root with an empty match.
+func NewCursor(t *Tree) *Cursor { return &Cursor{t: t, parent: root} }
+
+// Len returns the current matched length.
+func (c *Cursor) Len() int { return len(c.buf) }
+
+// Match returns the current matched string (aliased; do not modify).
+func (c *Cursor) Match() []byte { return c.buf }
+
+// Reset returns to the root with an empty match, preserving Checked.
+func (c *Cursor) Reset() {
+	c.parent, c.child, c.off = root, 0, 0
+	c.buf = c.buf[:0]
+}
+
+// Advance consumes one query character, updating the matched length to the
+// matching statistic for the consumed position.
+func (c *Cursor) Advance(ch byte) {
+	if ch == c.t.term {
+		// The terminal never occurs in the data string.
+		c.Checked++
+		c.Reset()
+		return
+	}
+	for {
+		c.Checked++
+		if c.tryExtend(ch) {
+			c.buf = append(c.buf, ch)
+			return
+		}
+		if len(c.buf) == 0 {
+			return // ch does not occur at all; skip it
+		}
+		c.shortenByOne()
+	}
+}
+
+func (c *Cursor) tryExtend(ch byte) bool {
+	t := c.t
+	if c.child == 0 {
+		next, ok := t.child(c.parent, ch)
+		if !ok {
+			return false
+		}
+		c.child, c.off = next, 1
+		c.normalize()
+		return true
+	}
+	if t.text[t.start[c.child]+c.off] != ch {
+		return false
+	}
+	c.off++
+	c.normalize()
+	return true
+}
+
+func (c *Cursor) normalize() {
+	if c.child != 0 && c.off == c.t.edgeLen(c.child) {
+		c.parent, c.child, c.off = c.child, 0, 0
+	}
+}
+
+// shortenByOne drops the first character of the match: suffix link from
+// the governing internal node, then skip/count back down.
+func (c *Cursor) shortenByOne() {
+	t := c.t
+	c.buf = c.buf[1:]
+	if c.child == 0 {
+		// Exactly at an internal node: its suffix link lands exactly one
+		// character shallower.
+		c.Checked++
+		c.parent = t.slinkOf(c.parent)
+		return
+	}
+	// Mid-edge: remember the edge fragment, hop from the parent, and
+	// skip/count the fragment back down.
+	fragStart, fragLen := t.start[c.child], c.off
+	if c.parent == root {
+		// Dropping the first character shortens the fragment itself.
+		fragStart++
+		fragLen--
+	} else {
+		c.Checked++
+	}
+	n := t.slinkOf(c.parent)
+	c.parent, c.child, c.off = n, 0, 0
+	for fragLen > 0 {
+		c.Checked++
+		next, ok := t.child(n, t.text[fragStart])
+		if !ok {
+			// Cannot happen on a well-formed tree; fail loudly in tests.
+			panic("suffixtree: skip/count descent lost its path")
+		}
+		el := t.edgeLen(next)
+		if fragLen >= el {
+			n = next
+			fragStart += el
+			fragLen -= el
+			c.parent = n
+			continue
+		}
+		c.child, c.off = next, fragLen
+		return
+	}
+}
+
+func (t *Tree) slinkOf(node int32) int32 {
+	if node == root || t.slink[node] == 0 {
+		return root
+	}
+	return t.slink[node]
+}
+
+// Position snapshots the cursor's tree position for a later EndsAt call.
+func (c *Cursor) Position() (parent, child, off int32) { return c.parent, c.child, c.off }
+
+// MatchEnds returns every end position of the current match in the data
+// string, in increasing order; nil for an empty match.
+func (c *Cursor) MatchEnds() []int32 {
+	return c.t.EndsAt(c.parent, c.child, c.off, len(c.buf))
+}
+
+// EndsAt returns every end position of the length-matchLen match whose
+// tree position is (parent, child, off) — as snapshotted by
+// Cursor.Position — in increasing order.
+func (t *Tree) EndsAt(parent, child, off int32, matchLen int) []int32 {
+	if matchLen == 0 {
+		return nil
+	}
+	var occ []int
+	if child != 0 {
+		t.collectLeaves(child, int32(matchLen)+(t.edgeLen(child)-off), &occ)
+	} else {
+		t.collectLeaves(parent, int32(matchLen), &occ)
+	}
+	out := make([]int32, len(occ))
+	for i, start := range occ {
+		out[i] = int32(start + matchLen)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,152 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func bruteMatchingStatistics(text, query []byte) []int {
+	ms := make([]int, len(query))
+	for j := 1; j <= len(query); j++ {
+		for l := j; l >= 1; l-- {
+			if bruteContains(text, query[j-l:j]) {
+				ms[j-1] = l
+				break
+			}
+		}
+	}
+	return ms
+}
+
+func bruteContains(text, p []byte) bool {
+	for i := 0; i+len(p) <= len(text); i++ {
+		if string(text[i:i+len(p)]) == string(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCursorMatchingStatisticsExact(t *testing.T) {
+	text := []byte("aaccacaaca")
+	query := []byte("ccacaacaacca")
+	tr := build(t, string(text))
+	cur := NewCursor(tr)
+	want := bruteMatchingStatistics(text, query)
+	for j, c := range query {
+		cur.Advance(c)
+		if cur.Len() != want[j] {
+			t.Fatalf("pos %d (%q): len %d, want %d", j, query[:j+1], cur.Len(), want[j])
+		}
+	}
+}
+
+func TestCursorMatchingStatisticsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		text := randomRepetitive(rng, 150)
+		var query []byte
+		if trial%2 == 0 {
+			query = randomRepetitive(rng, 80)
+		} else {
+			query = append([]byte{}, text[rng.Intn(len(text)/2):]...)
+			for i := range query {
+				if rng.Float64() < 0.1 {
+					query[i] = "acgt"[rng.Intn(4)]
+				}
+			}
+		}
+		tr, err := Build(text, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := NewCursor(tr)
+		want := bruteMatchingStatistics(text, query)
+		for j, c := range query {
+			cur.Advance(c)
+			if cur.Len() != want[j] {
+				t.Fatalf("text=%q query=%q pos %d: len %d, want %d",
+					text, query, j, cur.Len(), want[j])
+			}
+		}
+	}
+}
+
+func TestCursorMatchEnds(t *testing.T) {
+	tr := build(t, "aaccacaaca")
+	cur := NewCursor(tr)
+	cur.Advance('a')
+	cur.Advance('c')
+	ends := cur.MatchEnds()
+	want := []int32{3, 6, 9}
+	if len(ends) != len(want) {
+		t.Fatalf("MatchEnds = %v, want %v", ends, want)
+	}
+	for i := range ends {
+		if ends[i] != want[i] {
+			t.Fatalf("MatchEnds = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestCursorForeignCharacter(t *testing.T) {
+	tr := build(t, "acgtacgt")
+	cur := NewCursor(tr)
+	cur.Advance('a')
+	cur.Advance('c')
+	cur.Advance('x')
+	if cur.Len() != 0 {
+		t.Fatalf("after foreign char: Len = %d, want 0", cur.Len())
+	}
+	cur.Advance('g')
+	if cur.Len() != 1 {
+		t.Fatalf("recovery: Len = %d, want 1", cur.Len())
+	}
+}
+
+func TestCursorTerminalCharacterResets(t *testing.T) {
+	tr := build(t, "acgt")
+	cur := NewCursor(tr)
+	cur.Advance('a')
+	cur.Advance(0) // the terminal
+	if cur.Len() != 0 {
+		t.Fatalf("after terminal: Len = %d, want 0", cur.Len())
+	}
+}
+
+func TestCursorCheckedCountsWork(t *testing.T) {
+	tr := build(t, "acgtacgtacgt")
+	cur := NewCursor(tr)
+	for _, c := range []byte("acgtacgt") {
+		cur.Advance(c)
+	}
+	if cur.Checked == 0 {
+		t.Fatal("Checked stayed zero")
+	}
+	before := cur.Checked
+	cur.Reset()
+	if cur.Len() != 0 || cur.Checked != before {
+		t.Fatal("Reset must clear the match but keep Checked")
+	}
+}
+
+func randomRepetitive(rng *rand.Rand, n int) []byte {
+	s := make([]byte, 0, n)
+	for len(s) < n {
+		if len(s) > 10 && rng.Float64() < 0.5 {
+			l := 1 + rng.Intn(10)
+			if l > len(s) {
+				l = len(s)
+			}
+			start := rng.Intn(len(s) - l + 1)
+			s = append(s, s[start:start+l]...)
+		} else {
+			s = append(s, "acgt"[rng.Intn(4)])
+		}
+	}
+	return s[:n]
+}

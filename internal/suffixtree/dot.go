@@ -1,0 +1,62 @@
+package suffixtree
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the suffix tree as a Graphviz digraph — the paper's
+// Figure 2 for its example string: edge labels are the (possibly
+// multi-character) path labels of vertical compaction, and suffix links
+// are dashed.
+func (t *Tree) WriteDot(w io.Writer) error {
+	var err error
+	printf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	printf("digraph suffixtree {\n")
+	printf("  node [shape=circle, fontsize=9, width=0.25];\n")
+	printf("  edge [fontsize=10];\n")
+	var walk func(node int32)
+	walk = func(node int32) {
+		if t.end[node] == leafEnd {
+			printf("  n%d [shape=point];\n", node)
+			return
+		}
+		printf("  n%d [label=\"\"];\n", node)
+		for _, c := range t.distinct {
+			child, ok := t.child(node, c)
+			if !ok {
+				continue
+			}
+			label := string(t.text[t.start[child]:t.edgeEnd(child)])
+			label = sanitizeLabel(label, t.term)
+			printf("  n%d -> n%d [label=\"%s\"];\n", node, child, label)
+			walk(child)
+		}
+	}
+	walk(root)
+	// Suffix links, dashed.
+	for node := root + 1; node < int32(len(t.start)); node++ {
+		if t.end[node] != leafEnd && t.slink[node] != 0 {
+			printf("  n%d -> n%d [style=dashed, color=gray40, constraint=false];\n", node, t.slink[node])
+		}
+	}
+	printf("}\n")
+	return err
+}
+
+// sanitizeLabel replaces the terminal byte with '$' for display.
+func sanitizeLabel(s string, term byte) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == term {
+			out = append(out, '$')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,109 @@
+package suffixtree
+
+import "sort"
+
+// locus is a position in the tree: the node reached (or the node below the
+// current edge when mid-edge) plus how many characters of that node's
+// inbound edge are consumed.
+type locus struct {
+	node int32 // node at or below the position
+	off  int32 // characters matched on the edge into node (0 = at parent)
+	// depth is the total string depth of the position.
+	depth int32
+}
+
+// walk follows p from the root, returning the final locus and whether all
+// of p matched.
+func (t *Tree) walk(p []byte) (locus, bool) {
+	pos := locus{node: root}
+	for i := 0; i < len(p); {
+		if pos.off == 0 || pos.off == t.edgeLen(pos.node) {
+			next, ok := t.child(pos.node, p[i])
+			if !ok {
+				return pos, false
+			}
+			pos.node, pos.off = next, 0
+		}
+		edge := t.text[t.start[pos.node]+pos.off : t.edgeEnd(pos.node)]
+		for len(edge) > 0 && i < len(p) {
+			if edge[0] != p[i] {
+				return pos, false
+			}
+			edge = edge[1:]
+			i++
+			pos.off++
+			pos.depth++
+		}
+	}
+	return pos, true
+}
+
+// Contains reports whether p is a substring of the data string. The
+// terminal character never matches.
+func (t *Tree) Contains(p []byte) bool {
+	for _, c := range p {
+		if c == t.term {
+			return false
+		}
+	}
+	_, ok := t.walk(p)
+	return ok
+}
+
+// Find returns the start offset of the leftmost occurrence of p, or -1.
+// (Unlike SPINE, a suffix-tree locus does not identify the first occurrence
+// directly; the minimum leaf below it does.)
+func (t *Tree) Find(p []byte) int {
+	occ := t.FindAll(p)
+	if len(occ) == 0 {
+		if len(p) == 0 {
+			return 0
+		}
+		return -1
+	}
+	return occ[0]
+}
+
+// FindAll returns every start offset of p in increasing order, or nil if p
+// does not occur: the leaves below p's locus, each contributing the suffix
+// it represents.
+func (t *Tree) FindAll(p []byte) []int {
+	for _, c := range p {
+		if c == t.term {
+			return nil
+		}
+	}
+	if len(p) == 0 {
+		out := make([]int, t.Len()+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	pos, ok := t.walk(p)
+	if !ok {
+		return nil
+	}
+	var occ []int
+	t.collectLeaves(pos.node, pos.depth+(t.edgeLen(pos.node)-pos.off), &occ)
+	sort.Ints(occ)
+	return occ
+}
+
+// collectLeaves appends the suffix start offsets of all leaves in the
+// subtree of node, where depth is the string depth at node.
+func (t *Tree) collectLeaves(node, depth int32, occ *[]int) {
+	if t.end[node] == leafEnd {
+		// Suffix length = depth; text length includes the terminal.
+		*occ = append(*occ, len(t.text)-int(depth))
+		return
+	}
+	for _, c := range t.distinct {
+		if ch, ok := t.child(node, c); ok {
+			t.collectLeaves(ch, depth+t.edgeLen(ch), occ)
+		}
+	}
+}
+
+// Count returns the number of occurrences of p.
+func (t *Tree) Count(p []byte) int { return len(t.FindAll(p)) }

@@ -1,0 +1,206 @@
+// Package suffixtree implements an online suffix tree with suffix links
+// (Ukkonen's algorithm). It is the baseline the paper evaluates SPINE
+// against ("ST"), standing in for the MUMmer code base: linear-time online
+// construction, substring search, all-occurrence enumeration, and suffix-
+// link-driven matching statistics with per-suffix node-check accounting
+// (the §4.1/Table 6 comparison).
+//
+// Layout notes: nodes live in flat parallel arrays and children in a single
+// open-addressed-style Go map keyed by (node, first character), keeping the
+// structure light on pointers — GC cost is the known hazard of pointer-rich
+// suffix trees at genome scale.
+package suffixtree
+
+import "fmt"
+
+// leafEnd marks a leaf's open end ("grows with the text" during online
+// construction).
+const leafEnd = int32(-1)
+
+// Tree is a suffix tree over text+terminal. Build is the constructor.
+type Tree struct {
+	text []byte // data string with terminal appended
+	term byte
+
+	// Per-node arrays; node 0 is unused, node 1 is the root.
+	start []int32 // edge label start offset (into text) of the edge into the node
+	end   []int32 // edge label end offset (exclusive); leafEnd for leaves
+	slink []int32 // suffix link, internal nodes only
+
+	children map[uint64]int32 // (node<<8 | firstChar) -> child node
+
+	distinct []byte // distinct characters occurring in text+terminal
+
+	// Ukkonen active point.
+	activeNode int32
+	activeEdge int32
+	activeLen  int32
+	remainder  int32
+
+	leafCount int
+}
+
+// Build constructs the suffix tree for s with the given terminal character,
+// which must not occur in s (it guarantees every suffix ends at a leaf).
+// Pass 0 for a conventional NUL terminator.
+func Build(s []byte, terminal byte) (*Tree, error) {
+	t := New(terminal)
+	if err := t.AppendAll(s); err != nil {
+		return nil, err
+	}
+	t.Finish()
+	return t, nil
+}
+
+// New returns an empty tree ready for online extension with Append,
+// mirroring SPINE's online construction. Call Finish before querying.
+func New(terminal byte) *Tree {
+	t := &Tree{
+		term:     terminal,
+		children: make(map[uint64]int32),
+	}
+	// Node 0 unused; node 1 = root with an empty inbound edge.
+	t.start = append(t.start, 0, 0)
+	t.end = append(t.end, 0, 0)
+	t.slink = append(t.slink, 0, 0)
+	t.activeNode = 1
+	return t
+}
+
+const root = int32(1)
+
+func (t *Tree) newNode(start, end int32) int32 {
+	t.start = append(t.start, start)
+	t.end = append(t.end, end)
+	t.slink = append(t.slink, 0)
+	return int32(len(t.start) - 1)
+}
+
+func childKey(node int32, c byte) uint64 { return uint64(uint32(node))<<8 | uint64(c) }
+
+func (t *Tree) child(node int32, c byte) (int32, bool) {
+	v, ok := t.children[childKey(node, c)]
+	return v, ok
+}
+
+func (t *Tree) setChild(node int32, c byte, child int32) {
+	t.children[childKey(node, c)] = child
+}
+
+// edgeEnd returns the exclusive end of the edge into node, resolving open
+// leaf ends to the current text length.
+func (t *Tree) edgeEnd(node int32) int32 {
+	if t.end[node] == leafEnd {
+		return int32(len(t.text))
+	}
+	return t.end[node]
+}
+
+func (t *Tree) edgeLen(node int32) int32 { return t.edgeEnd(node) - t.start[node] }
+
+// Append extends the tree by one character (Ukkonen's single-phase
+// extension). The terminal character may not be appended directly.
+func (t *Tree) Append(c byte) error {
+	if c == t.term {
+		return fmt.Errorf("suffixtree: input contains the terminal character %q", c)
+	}
+	t.extend(c)
+	return nil
+}
+
+// AppendAll extends the tree by every byte of s.
+func (t *Tree) AppendAll(s []byte) error {
+	for _, c := range s {
+		if err := t.Append(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish appends the terminal character, completing the implicit tree into
+// the true suffix tree. The tree is queryable afterwards; Append must not
+// be called again.
+func (t *Tree) Finish() {
+	t.extend(t.term)
+	seen := [256]bool{}
+	for _, c := range t.text {
+		if !seen[c] {
+			seen[c] = true
+			t.distinct = append(t.distinct, c)
+		}
+	}
+}
+
+func (t *Tree) extend(c byte) {
+	t.text = append(t.text, c)
+	i := int32(len(t.text) - 1) // position of c
+	t.remainder++
+	lastCreated := int32(0)
+	for t.remainder > 0 {
+		if t.activeLen == 0 {
+			t.activeEdge = i
+		}
+		next, ok := t.child(t.activeNode, t.text[t.activeEdge])
+		if !ok {
+			// Rule 2: no edge — new leaf off activeNode.
+			leaf := t.newNode(i, leafEnd)
+			t.leafCount++
+			t.setChild(t.activeNode, t.text[t.activeEdge], leaf)
+			if lastCreated != 0 {
+				t.slink[lastCreated] = t.activeNode
+				lastCreated = 0
+			}
+		} else {
+			if el := t.edgeLen(next); t.activeLen >= el {
+				// Skip/count down the edge.
+				t.activeNode = next
+				t.activeEdge += el
+				t.activeLen -= el
+				continue
+			}
+			if t.text[t.start[next]+t.activeLen] == c {
+				// Rule 3: already present; showstopper for this phase.
+				if lastCreated != 0 && t.activeNode != root {
+					t.slink[lastCreated] = t.activeNode
+				}
+				t.activeLen++
+				break
+			}
+			// Rule 2 with split.
+			split := t.newNode(t.start[next], t.start[next]+t.activeLen)
+			t.setChild(t.activeNode, t.text[t.activeEdge], split)
+			leaf := t.newNode(i, leafEnd)
+			t.leafCount++
+			t.setChild(split, c, leaf)
+			t.start[next] += t.activeLen
+			t.setChild(split, t.text[t.start[next]], next)
+			if lastCreated != 0 {
+				t.slink[lastCreated] = split
+			}
+			lastCreated = split
+		}
+		t.remainder--
+		if t.activeNode == root && t.activeLen > 0 {
+			t.activeLen--
+			t.activeEdge = i - t.remainder + 1
+		} else if t.activeNode != root {
+			if t.slink[t.activeNode] != 0 {
+				t.activeNode = t.slink[t.activeNode]
+			} else {
+				t.activeNode = root
+			}
+		}
+	}
+}
+
+// Len returns the number of data characters (terminal excluded).
+func (t *Tree) Len() int { return len(t.text) - 1 }
+
+// NodeCount returns the number of tree nodes including the root and
+// leaves — between n+1 and ~2n, the contrast with SPINE's exactly n+1
+// (§1.1 of the paper).
+func (t *Tree) NodeCount() int { return len(t.start) - 1 }
+
+// LeafCount returns the number of leaves (== Len()+1 after Finish).
+func (t *Tree) LeafCount() int { return t.leafCount }

@@ -1,0 +1,200 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spine-index/spine/internal/trie"
+)
+
+func build(t *testing.T, s string) *Tree {
+	t.Helper()
+	tr, err := Build([]byte(s), 0)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", s, err)
+	}
+	return tr
+}
+
+func TestContainsPaperExample(t *testing.T) {
+	tr := build(t, "aaccacaaca")
+	for _, p := range []string{"", "a", "aacc", "cacaaca", "aaccacaaca", "acca"} {
+		if !tr.Contains([]byte(p)) {
+			t.Errorf("Contains(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"b", "accaa", "aaccacaacaa"} {
+		if tr.Contains([]byte(p)) {
+			t.Errorf("Contains(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestLeafCountEqualsSuffixCount(t *testing.T) {
+	for _, s := range []string{"a", "ab", "aaaa", "mississippi", "aaccacaaca", "abcabcabc"} {
+		tr := build(t, s)
+		if got := tr.LeafCount(); got != len(s)+1 {
+			t.Errorf("s=%q: LeafCount = %d, want %d (every suffix incl. empty)", s, got, len(s)+1)
+		}
+		if got := tr.NodeCount(); got > 2*(len(s)+1) {
+			t.Errorf("s=%q: NodeCount = %d exceeds 2(n+1)", s, got)
+		}
+	}
+}
+
+func TestFindAllMatchesOracleExhaustive(t *testing.T) {
+	maxLen := 11
+	if testing.Short() {
+		maxLen = 8
+	}
+	for n := 1; n <= maxLen; n++ {
+		s := make([]byte, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				checkTreeAgainstOracle(t, s)
+				return
+			}
+			for _, c := range []byte("ac") {
+				s[i] = c
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func checkTreeAgainstOracle(t *testing.T, s []byte) {
+	t.Helper()
+	tr, err := Build(s, 0)
+	if err != nil {
+		t.Fatalf("Build(%q): %v", s, err)
+	}
+	o := trie.NewOracle(s)
+	for str := range o.SubstringSet(0) {
+		p := []byte(str)
+		if !tr.Contains(p) {
+			t.Fatalf("s=%q: Contains(%q) = false", s, p)
+		}
+		if got, want := tr.FindAll(p), o.Occurrences(p); !equalInts(got, want) {
+			t.Fatalf("s=%q: FindAll(%q) = %v, want %v", s, p, got, want)
+		}
+		for _, x := range []byte("ac") {
+			probe := append(append([]byte{}, p...), x)
+			if tr.Contains(probe) != o.Contains(probe) {
+				t.Fatalf("s=%q: Contains(%q) = %v, oracle disagrees", s, probe, tr.Contains(probe))
+			}
+		}
+	}
+}
+
+func TestFindAllRandomDNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 30 + rng.Intn(150)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = "acgt"[rng.Intn(4)]
+		}
+		tr, err := Build(s, 0)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		o := trie.NewOracle(s)
+		for q := 0; q < 100; q++ {
+			m := 1 + rng.Intn(8)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = "acgt"[rng.Intn(4)]
+			}
+			if got, want := tr.FindAll(p), o.Occurrences(p); !equalInts(got, want) {
+				t.Fatalf("s=%q: FindAll(%q) = %v, want %v", s, p, got, want)
+			}
+			if got, want := tr.Find(p), o.First(p); got != want {
+				t.Fatalf("s=%q: Find(%q) = %d, want %d", s, p, got, want)
+			}
+		}
+	}
+}
+
+func TestOnlineAppendMatchesBuild(t *testing.T) {
+	s := []byte("ccacaacgtgttaaccacaacag")
+	one, err := Build(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := New(0)
+	for _, c := range s {
+		if err := inc.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc.Finish()
+	o := trie.NewOracle(s)
+	for str := range o.SubstringSet(0) {
+		if one.Contains([]byte(str)) != inc.Contains([]byte(str)) {
+			t.Fatalf("online/offline disagree on %q", str)
+		}
+	}
+	if one.NodeCount() != inc.NodeCount() {
+		t.Fatalf("node counts differ: %d vs %d", one.NodeCount(), inc.NodeCount())
+	}
+}
+
+func TestRejectsTerminalInInput(t *testing.T) {
+	if _, err := Build([]byte{'a', 0, 'c'}, 0); err == nil {
+		t.Fatal("accepted terminal byte inside input")
+	}
+}
+
+func TestTerminalNeverMatches(t *testing.T) {
+	tr := build(t, "acgt")
+	if tr.Contains([]byte{0}) {
+		t.Fatal("terminal byte reported as substring")
+	}
+	if got := tr.FindAll([]byte{'t', 0}); got != nil {
+		t.Fatalf("FindAll with terminal = %v, want nil", got)
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	tr := build(t, "")
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Contains(nil) {
+		t.Fatal("empty pattern not contained")
+	}
+	if tr.Contains([]byte("a")) {
+		t.Fatal("letter contained in empty tree")
+	}
+	if got := tr.Find(nil); got != 0 {
+		t.Fatalf("Find(empty) = %d, want 0", got)
+	}
+}
+
+func TestSpaceAccountingPositive(t *testing.T) {
+	tr := build(t, "acgtacgtacgtacgt")
+	if tr.SizeBytes() <= 0 || tr.BytesPerChar() <= 0 {
+		t.Fatalf("space accounting non-positive: %d bytes", tr.SizeBytes())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,41 @@
+package trie
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDot renders the suffix trie as a Graphviz digraph — the paper's
+// Figure 1 for its example string.
+func (t *Trie) WriteDot(w io.Writer) error {
+	var err error
+	printf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	printf("digraph trie {\n")
+	printf("  node [shape=point];\n")
+	printf("  edge [fontsize=10];\n")
+	id := 0
+	var walk func(v *Node) int
+	walk = func(v *Node) int {
+		my := id
+		id++
+		printf("  n%d;\n", my)
+		chars := make([]byte, 0, len(v.Children))
+		for c := range v.Children {
+			chars = append(chars, c)
+		}
+		sort.Slice(chars, func(i, j int) bool { return chars[i] < chars[j] })
+		for _, c := range chars {
+			child := walk(v.Children[c])
+			printf("  n%d -> n%d [label=\"%c\"];\n", my, child, c)
+		}
+		return my
+	}
+	walk(t.Root)
+	printf("}\n")
+	return err
+}

@@ -1,0 +1,154 @@
+// Package trie implements the uncompacted suffix trie that both the suffix
+// tree (vertical compaction) and SPINE (horizontal compaction) start from
+// (Figure 1 of the paper), plus a brute-force substring oracle.
+//
+// The trie is deliberately simple and memory-hungry: its role is to
+// motivate compaction (node counts grow quadratically in the worst case)
+// and to serve as ground truth for property tests of the compacted indexes.
+package trie
+
+import "sort"
+
+// Node is one suffix-trie node. Children are keyed by character.
+type Node struct {
+	Children map[byte]*Node
+	// Terminal reports that at least one suffix of the data string ends
+	// exactly here.
+	Terminal bool
+}
+
+// Trie is a suffix trie over a single data string.
+type Trie struct {
+	Root *Node
+	n    int // string length
+}
+
+// Build constructs the suffix trie holding every suffix of s.
+func Build(s []byte) *Trie {
+	t := &Trie{Root: &Node{}, n: len(s)}
+	for i := range s {
+		t.insert(s[i:])
+	}
+	t.insert(nil) // empty suffix: root is terminal
+	return t
+}
+
+func (t *Trie) insert(suffix []byte) {
+	v := t.Root
+	for _, c := range suffix {
+		if v.Children == nil {
+			v.Children = make(map[byte]*Node)
+		}
+		next := v.Children[c]
+		if next == nil {
+			next = &Node{}
+			v.Children[c] = next
+		}
+		v = next
+	}
+	v.Terminal = true
+}
+
+// Contains reports whether p labels a root-originated path, i.e. whether p
+// is a substring of the data string.
+func (t *Trie) Contains(p []byte) bool {
+	v := t.Root
+	for _, c := range p {
+		v = v.Children[c]
+		if v == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeCount returns the number of trie nodes including the root. For a
+// repetitive string this is far larger than SPINE's n+1 nodes and the
+// suffix tree's <= 2n nodes, which is the paper's motivation for
+// compaction.
+func (t *Trie) NodeCount() int {
+	count := 0
+	var walk func(*Node)
+	walk = func(v *Node) {
+		count++
+		for _, ch := range v.Children {
+			walk(ch)
+		}
+	}
+	walk(t.Root)
+	return count
+}
+
+// EdgeCount returns the number of trie edges.
+func (t *Trie) EdgeCount() int { return t.NodeCount() - 1 }
+
+// Len returns the data string length.
+func (t *Trie) Len() int { return t.n }
+
+// Substrings enumerates every distinct substring of the data string up to
+// maxLen characters (maxLen <= 0 means unbounded), in sorted order. It is
+// exponential in the worst case and intended only for small test inputs.
+func (t *Trie) Substrings(maxLen int) []string {
+	var out []string
+	var walk func(v *Node, prefix []byte)
+	walk = func(v *Node, prefix []byte) {
+		out = append(out, string(prefix))
+		if maxLen > 0 && len(prefix) >= maxLen {
+			return
+		}
+		for c, ch := range v.Children {
+			walk(ch, append(prefix, c))
+		}
+	}
+	walk(t.Root, nil)
+	sort.Strings(out)
+	return out
+}
+
+// Oracle answers substring queries about s by brute force; it is the
+// reference implementation every index is property-tested against.
+type Oracle struct{ s []byte }
+
+// NewOracle wraps s. The oracle aliases s; callers must not mutate it.
+func NewOracle(s []byte) *Oracle { return &Oracle{s: s} }
+
+// Contains reports whether p occurs in s.
+func (o *Oracle) Contains(p []byte) bool { return len(o.Occurrences(p)) > 0 }
+
+// First returns the start offset of the first occurrence of p in s, or -1.
+// The empty pattern occurs at offset 0.
+func (o *Oracle) First(p []byte) int {
+	occ := o.Occurrences(p)
+	if len(occ) == 0 {
+		return -1
+	}
+	return occ[0]
+}
+
+// Occurrences returns every start offset of p in s (including overlapping
+// occurrences), in increasing order. The empty pattern occurs at every
+// offset 0..len(s).
+func (o *Oracle) Occurrences(p []byte) []int {
+	occ := []int{}
+	for i := 0; i+len(p) <= len(o.s); i++ {
+		if string(o.s[i:i+len(p)]) == string(p) {
+			occ = append(occ, i)
+		}
+	}
+	return occ
+}
+
+// SubstringSet returns every distinct substring of s with length in
+// [1, maxLen] (maxLen <= 0 means unbounded). Intended for small inputs.
+func (o *Oracle) SubstringSet(maxLen int) map[string]bool {
+	set := make(map[string]bool)
+	for i := range o.s {
+		for j := i + 1; j <= len(o.s); j++ {
+			if maxLen > 0 && j-i > maxLen {
+				break
+			}
+			set[string(o.s[i:j])] = true
+		}
+	}
+	return set
+}

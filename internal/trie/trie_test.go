@@ -1,0 +1,137 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPaperExampleTrie(t *testing.T) {
+	// Figure 1 of the paper builds the trie for "aaccacaaca".
+	tr := Build([]byte("aaccacaaca"))
+	for _, p := range []string{"", "a", "aacc", "cacaaca", "aaccacaaca"} {
+		if !tr.Contains([]byte(p)) {
+			t.Errorf("Contains(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"b", "accaa", "caca c", "aaccacaacaa"} {
+		if tr.Contains([]byte(p)) {
+			t.Errorf("Contains(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestTrieEmptyString(t *testing.T) {
+	tr := Build(nil)
+	if !tr.Contains(nil) {
+		t.Error("empty pattern should be contained in empty string")
+	}
+	if tr.Contains([]byte("a")) {
+		t.Error("nonempty pattern contained in empty string")
+	}
+	if tr.NodeCount() != 1 {
+		t.Errorf("NodeCount = %d, want 1", tr.NodeCount())
+	}
+}
+
+func TestNodeCountDistinctSubstrings(t *testing.T) {
+	// Trie node count = number of distinct substrings + 1 (root/empty).
+	s := []byte("aaccacaaca")
+	tr := Build(s)
+	distinct := len(NewOracle(s).SubstringSet(0))
+	if got := tr.NodeCount(); got != distinct+1 {
+		t.Errorf("NodeCount = %d, want %d", got, distinct+1)
+	}
+	if got := tr.EdgeCount(); got != distinct {
+		t.Errorf("EdgeCount = %d, want %d", got, distinct)
+	}
+}
+
+func TestSubstringsEnumeration(t *testing.T) {
+	tr := Build([]byte("aab"))
+	got := tr.Substrings(0)
+	want := []string{"", "a", "aa", "aab", "ab", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("Substrings = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Substrings = %v, want %v", got, want)
+		}
+	}
+	if capped := tr.Substrings(1); len(capped) != 3 { // "", "a", "b"
+		t.Fatalf("Substrings(maxLen=1) = %v", capped)
+	}
+}
+
+func TestTrieMatchesOracleOnRandomStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	letters := []byte("acgt")
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = letters[rng.Intn(len(letters))]
+		}
+		tr := Build(s)
+		o := NewOracle(s)
+		for q := 0; q < 30; q++ {
+			m := rng.Intn(6)
+			p := make([]byte, m)
+			for i := range p {
+				p[i] = letters[rng.Intn(len(letters))]
+			}
+			if tr.Contains(p) != o.Contains(p) {
+				t.Fatalf("s=%q p=%q: trie=%v oracle=%v", s, p, tr.Contains(p), o.Contains(p))
+			}
+		}
+	}
+}
+
+func TestOracleOccurrences(t *testing.T) {
+	o := NewOracle([]byte("aaccacaaca"))
+	cases := []struct {
+		p    string
+		want []int
+	}{
+		{"a", []int{0, 1, 4, 6, 7, 9}},
+		{"ac", []int{1, 4, 7}},
+		{"aacc", []int{0}},
+		{"ca", []int{3, 5, 8}},
+		{"zz", []int{}},
+		{"aaccacaaca", []int{0}},
+	}
+	for _, c := range cases {
+		got := o.Occurrences([]byte(c.p))
+		if len(got) != len(c.want) {
+			t.Errorf("Occurrences(%q) = %v, want %v", c.p, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Occurrences(%q) = %v, want %v", c.p, got, c.want)
+				break
+			}
+		}
+	}
+	if got := o.First([]byte("ca")); got != 3 {
+		t.Errorf("First(ca) = %d, want 3", got)
+	}
+	if got := o.First([]byte("zz")); got != -1 {
+		t.Errorf("First(zz) = %d, want -1", got)
+	}
+}
+
+func TestOracleOverlappingOccurrences(t *testing.T) {
+	o := NewOracle([]byte("aaaa"))
+	got := o.Occurrences([]byte("aa"))
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("Occurrences(aa in aaaa) = %v, want [0 1 2]", got)
+	}
+}
+
+func TestOracleEmptyPattern(t *testing.T) {
+	o := NewOracle([]byte("ab"))
+	if got := o.Occurrences(nil); len(got) != 3 {
+		t.Fatalf("empty pattern occurrences = %v, want offsets 0..2", got)
+	}
+}

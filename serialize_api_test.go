@@ -1,0 +1,36 @@
+package spine
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCompactSaveLoadAPI(t *testing.T) {
+	idx := Build([]byte("acgtacgtaaccgg"))
+	c, err := idx.Compact(DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := LoadCompact(&buf)
+	if err != nil {
+		t.Fatalf("LoadCompact: %v", err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatal("lengths differ after round trip")
+	}
+	for _, p := range []string{"acgt", "cgg", "taa", "xyz"} {
+		if got, want := back.FindAll([]byte(p)), c.FindAll([]byte(p)); len(got) != len(want) {
+			t.Fatalf("FindAll(%q) differs after round trip: %v vs %v", p, got, want)
+		}
+	}
+}
+
+func TestLoadCompactRejectsGarbage(t *testing.T) {
+	if _, err := LoadCompact(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package spine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sharded is a SPINE index split into fixed-size shards that build and
+// query in parallel. SPINE construction is inherently sequential (each
+// node's link depends on the previous), so a single multi-gigabyte genome
+// builds on one core; sharding trades a bounded pattern length for
+// near-linear build speedup and parallel query fan-out.
+//
+// Each shard indexes its slice of the text plus an overlap of
+// maxPattern-1 characters from the next shard, so every occurrence of a
+// pattern up to maxPattern long lies entirely inside at least one shard.
+// Queries longer than maxPattern are rejected.
+type Sharded struct {
+	shards    []*Index
+	starts    []int // global start offset of each shard's slice
+	textLen   int
+	maxPat    int
+	shardSize int
+}
+
+// BuildSharded indexes text in parallel shards of shardSize characters,
+// supporting patterns up to maxPattern long. shardSize must be at least
+// maxPattern. workers <= 0 means one goroutine per shard.
+func BuildSharded(text []byte, shardSize, maxPattern, workers int) (*Sharded, error) {
+	if maxPattern < 1 {
+		return nil, fmt.Errorf("spine: maxPattern %d < 1", maxPattern)
+	}
+	if shardSize < maxPattern {
+		return nil, fmt.Errorf("spine: shard size %d smaller than maxPattern %d", shardSize, maxPattern)
+	}
+	s := &Sharded{textLen: len(text), maxPat: maxPattern, shardSize: shardSize}
+	for off := 0; off < len(text); off += shardSize {
+		end := off + shardSize + maxPattern - 1
+		if end > len(text) {
+			end = len(text)
+		}
+		s.starts = append(s.starts, off)
+		s.shards = append(s.shards, nil)
+		_ = end
+	}
+	if len(s.shards) == 0 {
+		s.starts = []int{0}
+		s.shards = []*Index{Build(nil)}
+		return s, nil
+	}
+	if workers <= 0 || workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				off := s.starts[i]
+				end := off + shardSize + maxPattern - 1
+				if end > len(text) {
+					end = len(text)
+				}
+				s.shards[i] = Build(text[off:end])
+			}
+		}()
+	}
+	for i := range s.shards {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return s, nil
+}
+
+// Len returns the total indexed length.
+func (s *Sharded) Len() int { return s.textLen }
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+func (s *Sharded) checkPattern(p []byte) error {
+	if len(p) > s.maxPat {
+		return fmt.Errorf("spine: pattern length %d exceeds the sharded index's maxPattern %d", len(p), s.maxPat)
+	}
+	return nil
+}
+
+// Contains reports whether p occurs anywhere in the sharded text.
+func (s *Sharded) Contains(p []byte) (bool, error) {
+	if err := s.checkPattern(p); err != nil {
+		return false, err
+	}
+	for _, sh := range s.shards {
+		if sh.Contains(p) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Find returns the first (global) occurrence offset of p, or -1.
+func (s *Sharded) Find(p []byte) (int, error) {
+	if err := s.checkPattern(p); err != nil {
+		return -1, err
+	}
+	for i, sh := range s.shards {
+		if pos := sh.Find(p); pos >= 0 {
+			return s.starts[i] + pos, nil
+		}
+	}
+	return -1, nil
+}
+
+// FindAll returns every global occurrence offset of p in increasing
+// order, querying shards in parallel and deduplicating overlap-region
+// hits.
+func (s *Sharded) FindAll(p []byte) ([]int, error) {
+	if err := s.checkPattern(p); err != nil {
+		return nil, err
+	}
+	if len(p) == 0 {
+		out := make([]int, s.textLen+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	perShard := make([][]int, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Only keep occurrences starting inside this shard's own
+			// slice; starts in the overlap belong to the next shard.
+			for _, pos := range s.shards[i].FindAll(p) {
+				if pos < s.shardSize || i == len(s.shards)-1 {
+					perShard[i] = append(perShard[i], s.starts[i]+pos)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var out []int
+	for _, hits := range perShard {
+		out = append(out, hits...)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Count returns the number of occurrences of p.
+func (s *Sharded) Count(p []byte) (int, error) {
+	occ, err := s.FindAll(p)
+	return len(occ), err
+}

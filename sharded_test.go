@@ -1,0 +1,135 @@
+package spine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomDNA(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		if i > 10 && rng.Float64() < 0.4 {
+			l := 1 + rng.Intn(8)
+			start := rng.Intn(i - l + 1)
+			copy(s[i:], s[start:start+l])
+		}
+		s[i] = "acgt"[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestShardedMatchesSingleIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	text := randomDNA(rng, 5000)
+	single := Build(text)
+	for _, workers := range []int{0, 1, 4} {
+		sh, err := BuildSharded(text, 700, 32, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.Len() != len(text) || sh.Shards() != 8 {
+			t.Fatalf("workers=%d: Len=%d Shards=%d", workers, sh.Len(), sh.Shards())
+		}
+		for q := 0; q < 300; q++ {
+			m := 1 + rng.Intn(20)
+			var p []byte
+			if q%2 == 0 {
+				off := rng.Intn(len(text) - m)
+				p = text[off : off+m]
+			} else {
+				p = randomDNA(rng, m)
+			}
+			got, err := sh.FindAll(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := single.FindAll(p)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d FindAll(%q): %v vs %v", workers, p, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d FindAll(%q): %v vs %v", workers, p, got, want)
+				}
+			}
+			gf, err := sh.Find(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wf := single.Find(p); gf != wf {
+				t.Fatalf("workers=%d Find(%q) = %d, want %d", workers, p, gf, wf)
+			}
+		}
+	}
+}
+
+func TestShardedBoundaryStraddlers(t *testing.T) {
+	// A pattern placed exactly across a shard boundary must be found once.
+	text := make([]byte, 2000)
+	for i := range text {
+		text[i] = "ac"[i%2]
+	}
+	copy(text[697:], "gggttttggg") // straddles the 700 boundary
+	sh, err := BuildSharded(text, 700, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.FindAll([]byte("gggttttggg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 697 {
+		t.Fatalf("straddler FindAll = %v, want [697]", got)
+	}
+}
+
+func TestShardedRejectsOversizePattern(t *testing.T) {
+	sh, err := BuildSharded([]byte("acgtacgtacgt"), 8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.FindAll([]byte("acgta")); err == nil {
+		t.Fatal("pattern longer than maxPattern accepted")
+	}
+	if _, err := sh.Contains([]byte("acgta")); err == nil {
+		t.Fatal("Contains oversize accepted")
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := BuildSharded([]byte("acgt"), 2, 4, 0); err == nil {
+		t.Fatal("shard smaller than maxPattern accepted")
+	}
+	if _, err := BuildSharded([]byte("acgt"), 8, 0, 0); err == nil {
+		t.Fatal("maxPattern 0 accepted")
+	}
+}
+
+func TestShardedEmptyText(t *testing.T) {
+	sh, err := BuildSharded(nil, 8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sh.Contains([]byte("a"))
+	if err != nil || ok {
+		t.Fatalf("Contains on empty = (%v, %v)", ok, err)
+	}
+	occ, err := sh.FindAll(nil)
+	if err != nil || len(occ) != 1 {
+		t.Fatalf("FindAll(empty) = %v, %v", occ, err)
+	}
+}
+
+func TestShardedCount(t *testing.T) {
+	sh, err := BuildSharded([]byte("aaccacaacaaaccacaaca"), 10, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sh.Count([]byte("ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Build([]byte("aaccacaacaaaccacaaca")).Count([]byte("ca")); n != want {
+		t.Fatalf("Count = %d, want %d", n, want)
+	}
+}
