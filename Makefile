@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test check vet race bench serve fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the race-enabled
+# test suite (covers the concurrent telemetry and server paths).
+check: vet race
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) run ./cmd/spinebench -exp all -divide 100
+
+serve:
+	$(GO) run ./cmd/spineserve -synthetic eco -divide 10 -addr :8080

@@ -7,6 +7,13 @@
 //	spinebench -exp fig6,table5 -divide 16 # selected experiments, larger
 //	spinebench -exp fig7 -divide 1 -sync   # paper-scale disk build, O_SYNC
 //
+// It doubles as a load generator for a running spineserve instance,
+// replaying a weighted query mix and reporting per-endpoint latency
+// histograms (the client-side view of the server's /metrics):
+//
+//	spinebench -load http://localhost:8080 -load-n 10000 -load-c 16 \
+//	    -load-mix contains:5,findall:2,count:1 -load-seq eco -load-plen 12
+//
 // At -divide 1 the corpus matches the paper's sequence lengths (eco 3.5M,
 // cel 15.5M, hc21 28.5M, hc19 57.5M characters); expect multi-hour runs
 // for the disk experiments with -sync.
@@ -16,7 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/spine-index/spine/internal/bench"
 	"github.com/spine-index/spine/internal/pager"
@@ -25,16 +34,85 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiment ids: table2,table3,table4,fig6,table5,table6,fig7,fig8,table7,size,protein,policy,filter,linear or all")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids: table2,table3,table4,fig6,table5,table6,fig7,fig8,table7,size,protein,policy,filter,linear,latency or all")
 		divide   = flag.Int("divide", 100, "scale divisor for sequence lengths (1 = paper scale)")
 		sync     = flag.Bool("sync", false, "use synchronous page writes for disk experiments (paper methodology; slow)")
 		fraction = flag.Float64("buffer", 0.1, "disk buffer pool size as a fraction of the index footprint")
+
+		loadURL  = flag.String("load", "", "spineserve base URL; switches to load-generator mode")
+		loadN    = flag.Int("load-n", 1000, "load mode: total requests")
+		loadC    = flag.Int("load-c", 8, "load mode: concurrent workers")
+		loadMix  = flag.String("load-mix", "", "load mode: weighted mix, e.g. contains:5,findall:2 (default: built-in blend)")
+		loadSeq  = flag.String("load-seq", "eco", "load mode: suite sequence to sample query patterns from")
+		loadPlen = flag.Int("load-plen", 12, "load mode: sampled pattern length")
+		loadTO   = flag.Duration("load-timeout", 30*time.Second, "load mode: per-request client timeout")
 	)
 	flag.Parse()
+	if *loadURL != "" {
+		if err := runLoad(*loadURL, *loadN, *loadC, *loadMix, *loadSeq, *loadPlen, *divide, *loadTO); err != nil {
+			fmt.Fprintln(os.Stderr, "spinebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exps, *divide, *sync, *fraction); err != nil {
 		fmt.Fprintln(os.Stderr, "spinebench:", err)
 		os.Exit(1)
 	}
+}
+
+// runLoad replays a query mix against a running spineserve and prints
+// the per-endpoint latency table.
+func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide int, timeout time.Duration) error {
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	c := bench.NewCorpus(divide)
+	text, err := c.Get(seqName)
+	if err != nil {
+		return err
+	}
+	patterns := bench.SamplePatterns(text, 256, plen)
+	if len(patterns) == 0 {
+		return fmt.Errorf("cannot sample %d-char patterns from %s at divisor %d (%d chars)",
+			plen, seqName, divide, len(text))
+	}
+	table, _, err := bench.RunLoad(bench.LoadConfig{
+		BaseURL:     strings.TrimRight(url, "/"),
+		Patterns:    patterns,
+		Mix:         mix,
+		Requests:    n,
+		Concurrency: workers,
+		Timeout:     timeout,
+	})
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	return nil
+}
+
+// parseMix parses "contains:5,findall:2" into mix entries; an empty spec
+// selects the built-in default blend.
+func parseMix(spec string) ([]bench.MixEntry, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var mix []bench.MixEntry
+	for _, part := range strings.Split(spec, ",") {
+		ep, ws, ok := strings.Cut(strings.TrimSpace(part), ":")
+		w := 1
+		if ok {
+			n, err := strconv.Atoi(ws)
+			if err != nil {
+				return nil, fmt.Errorf("bad mix weight in %q", part)
+			}
+			w = n
+		}
+		mix = append(mix, bench.MixEntry{Endpoint: ep, Weight: w})
+	}
+	return mix, nil
 }
 
 func run(exps string, divide int, sync bool, fraction float64) error {
@@ -71,6 +149,9 @@ func run(exps string, divide int, sync bool, fraction float64) error {
 		{"policy", func() (bench.Table, error) { return bench.BufferPolicyAblation(c, "eco") }},
 		{"filter", func() (bench.Table, error) { return bench.FilterComparison(c, "eco") }},
 		{"linear", func() (bench.Table, error) { return bench.Linearity(c, "cel", 5) }},
+		{"latency", func() (bench.Table, error) {
+			return bench.QueryLatency(c, "eco", []int{8, 16, 32, 64}, 64)
+		}},
 	}
 
 	fmt.Printf("spinebench: scale divisor %d (paper scale = 1), sync=%v\n\n", divide, sync)

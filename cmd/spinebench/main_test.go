@@ -1,12 +1,55 @@
 package main
 
-import "testing"
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
 
 func TestRunSelectedExperiments(t *testing.T) {
 	// Tiny scale: just exercise the wiring of each selectable experiment id
 	// that doesn't need disk time.
-	if err := run("table2,table3,fig8,size", 2000, false, 0.1); err != nil {
+	if err := run("table2,table3,fig8,size,latency", 2000, false, 0.1); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("contains:5, findall:2,count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[0].Weight != 5 || mix[1].Weight != 2 || mix[2].Weight != 1 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if mix[2].Endpoint != "count" {
+		t.Fatalf("bare endpoint parsed as %q", mix[2].Endpoint)
+	}
+	if _, err := parseMix("contains:x"); err == nil {
+		t.Fatal("bad weight accepted")
+	}
+	if mix, err := parseMix(""); err != nil || mix != nil {
+		t.Fatalf("empty spec: %v, %v", mix, err)
+	}
+}
+
+func TestRunLoadMode(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	if err := runLoad(ts.URL+"/", 12, 2, "contains:1", "eco", 8, 4000, time.Second); err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if hits.Load() != 12 {
+		t.Fatalf("hits = %d, want 12", hits.Load())
+	}
+	if err := runLoad(ts.URL, 12, 2, "contains:1", "eco", 1<<30, 4000, time.Second); err == nil {
+		t.Fatal("oversized pattern length accepted")
 	}
 }
 

@@ -1,30 +1,42 @@
-// Command spineserve serves substring queries over a SPINE index via
-// HTTP — the "integration with database engines" angle of §1: the index is
-// linear, serializable and read-concurrent, so a query service is a thin
-// layer.
+// Command spineserve is a production query service over a SPINE index —
+// the "integration with database engines" angle of §1 grown into a real
+// serving layer: any index flavor behind the unified spine.Querier API,
+// per-request deadlines that abort backbone scans mid-flight, load
+// shedding, panic recovery, structured request logs, /metrics telemetry
+// (latency histograms, nodes-checked aggregates), and graceful drain on
+// SIGINT/SIGTERM.
 //
 //	spineserve -fasta genome.fa -addr :8080
-//	spineserve -synthetic eco -divide 100 -addr :8080
+//	spineserve -synthetic eco -divide 100 -mode sharded -addr :8080
 //
 // Endpoints (all JSON):
 //
-//	GET  /stats                          index statistics
+//	GET  /healthz                        liveness + indexed length
+//	GET  /metrics                        telemetry snapshot (latency histograms, query stats)
+//	GET  /stats                          index structure statistics
 //	GET  /contains?q=acgt                substring test
 //	GET  /find?q=acgt                    first occurrence
-//	GET  /findall?q=acgt&limit=100       all occurrences
-//	GET  /approx?q=acgt&k=1&model=hamming  approximate occurrences
+//	GET  /findall?q=acgt&limit=100       occurrences (server-capped; "truncated" flags cut-off)
+//	GET  /count?q=acgt                   occurrence count
+//	GET  /approx?q=acgt&k=1&model=hamming  approximate occurrences (index mode only)
 //	POST /match?minlen=20                maximal matches vs the body sequence
+//	GET  /debug/vars, /debug/pprof/*     expvar + pprof
+//
+// Overload returns 429 with Retry-After; queries past -query-timeout
+// return 504 after aborting the index scan.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
-	"strconv"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/spine-index/spine"
 	"github.com/spine-index/spine/internal/seq"
@@ -33,27 +45,94 @@ import (
 
 func main() {
 	var (
-		fasta     = flag.String("fasta", "", "FASTA file to index (first record)")
-		synthetic = flag.String("synthetic", "", "synthetic suite sequence name")
-		divide    = flag.Int("divide", 1, "scale divisor for synthetic sequences")
-		addr      = flag.String("addr", ":8080", "listen address")
+		fasta      = flag.String("fasta", "", "FASTA file to index (first record)")
+		synthetic  = flag.String("synthetic", "", "synthetic suite sequence name")
+		divide     = flag.Int("divide", 1, "scale divisor for synthetic sequences")
+		mode       = flag.String("mode", "index", "index layout: index|compact|sharded")
+		shardSize  = flag.Int("shard-size", 1<<22, "shard slice length (sharded mode)")
+		maxPattern = flag.Int("max-pattern", 1<<16, "longest supported pattern (sharded mode)")
+		workers    = flag.Int("workers", 0, "shard build workers, 0 = one per shard (sharded mode)")
+		addr       = flag.String("addr", ":8080", "listen address")
+
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request index work deadline")
+		maxInFlight  = flag.Int("max-inflight", 64, "max concurrent query requests before shedding 429s; 0 = unlimited")
+		findAllCap   = flag.Int("findall-cap", 10000, "hard cap on /findall result size")
+		maxPatLen    = flag.Int("max-pattern-len", 1<<20, "max q parameter length in bytes")
+		maxBody      = flag.Int64("max-body", 256<<20, "max /match body size in bytes")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain deadline")
 	)
 	flag.Parse()
-	srv, err := newServer(*fasta, *synthetic, *divide)
+
+	q, err := buildQuerier(*fasta, *synthetic, *divide, *mode, *shardSize, *maxPattern, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spineserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("spineserve: indexed %d characters, listening on %s", srv.idx.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+	cfg := serverConfig{
+		queryTimeout:  *queryTimeout,
+		maxInFlight:   *maxInFlight,
+		maxPatternLen: *maxPatLen,
+		maxBodyBytes:  *maxBody,
+		findAllCap:    *findAllCap,
+		logger:        log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds),
+	}
+	app := newQueryServer(q, cfg)
+
+	srv := newHTTPServer(*addr, app.mux(), *queryTimeout)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spineserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("spineserve: mode=%s indexed %d characters, listening on %s", *mode, q.Len(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serveUntilDone(ctx, srv, ln, *drainTimeout); err != nil {
+		log.Fatal("spineserve: ", err)
+	}
+	log.Print("spineserve: drained, bye")
 }
 
-// server wraps a built index with HTTP handlers.
-type server struct {
-	idx *spine.Index
+// newHTTPServer hardens the listener: header/read/write/idle timeouts so
+// slow or stuck clients cannot pin connections forever. The write
+// timeout leaves headroom over the query deadline so a slow scan maps to
+// a clean 504 rather than a killed connection.
+func newHTTPServer(addr string, h http.Handler, queryTimeout time.Duration) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute, // /match bodies can be large
+		WriteTimeout:      queryTimeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 }
 
-func newServer(fasta, synthetic string, divide int) (*server, error) {
+// serveUntilDone serves until ctx is cancelled (SIGINT/SIGTERM), then
+// shuts down gracefully: the listener closes immediately, in-flight
+// requests drain up to drainTimeout, then remaining connections are cut.
+func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete after %v: %w", drainTimeout, err)
+	}
+	return nil
+}
+
+// buildQuerier loads the text and builds the requested index flavor
+// behind the unified Querier API.
+func buildQuerier(fasta, synthetic string, divide int, mode string, shardSize, maxPattern, workers int) (spine.Querier, error) {
 	var data []byte
 	switch {
 	case fasta != "":
@@ -76,150 +155,20 @@ func newServer(fasta, synthetic string, divide int) (*server, error) {
 	default:
 		return nil, fmt.Errorf("one of -fasta or -synthetic is required")
 	}
-	return &server{idx: spine.Build(data)}, nil
-}
-
-func (s *server) mux() *http.ServeMux {
-	m := http.NewServeMux()
-	m.HandleFunc("GET /stats", s.handleStats)
-	m.HandleFunc("GET /contains", s.handleContains)
-	m.HandleFunc("GET /find", s.handleFind)
-	m.HandleFunc("GET /findall", s.handleFindAll)
-	m.HandleFunc("GET /approx", s.handleApprox)
-	m.HandleFunc("POST /match", s.handleMatch)
-	return m
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Too late for a status change; log-worthy in a real deployment.
-		return
-	}
-}
-
-func badRequest(w http.ResponseWriter, msg string) {
-	http.Error(w, msg, http.StatusBadRequest)
-}
-
-// pattern extracts and validates the q parameter.
-func pattern(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		badRequest(w, "missing q parameter")
-		return nil, false
-	}
-	if len(q) > 1<<20 {
-		badRequest(w, "pattern too long")
-		return nil, false
-	}
-	return []byte(q), true
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.idx.Stats()
-	writeJSON(w, map[string]any{
-		"length":      st.Length,
-		"ribs":        st.RibCount,
-		"extribs":     st.ExtribCount,
-		"maxLEL":      st.MaxLEL,
-		"maxPT":       st.MaxPT,
-		"memoryBytes": st.MemoryBytes,
-	})
-}
-
-func (s *server) handleContains(w http.ResponseWriter, r *http.Request) {
-	p, ok := pattern(w, r)
-	if !ok {
-		return
-	}
-	writeJSON(w, map[string]any{"contains": s.idx.Contains(p)})
-}
-
-func (s *server) handleFind(w http.ResponseWriter, r *http.Request) {
-	p, ok := pattern(w, r)
-	if !ok {
-		return
-	}
-	writeJSON(w, map[string]any{"position": s.idx.Find(p)})
-}
-
-func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
-	p, ok := pattern(w, r)
-	if !ok {
-		return
-	}
-	limit := 1000
-	if v := r.URL.Query().Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			badRequest(w, "bad limit")
-			return
+	switch mode {
+	case "index", "":
+		return spine.Build(data), nil
+	case "compact":
+		return spine.Build(data).Compact(spine.DNA)
+	case "sharded":
+		if shardSize > len(data) && len(data) > 0 {
+			shardSize = len(data)
 		}
-		limit = n
-	}
-	occ := s.idx.FindAll(p)
-	total := len(occ)
-	if len(occ) > limit {
-		occ = occ[:limit]
-	}
-	writeJSON(w, map[string]any{"total": total, "positions": occ})
-}
-
-func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
-	p, ok := pattern(w, r)
-	if !ok {
-		return
-	}
-	k := 1
-	if v := r.URL.Query().Get("k"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 || n > 3 {
-			badRequest(w, "bad k (0..3)")
-			return
+		if maxPattern > shardSize {
+			maxPattern = shardSize
 		}
-		k = n
-	}
-	model := spine.Hamming
-	switch r.URL.Query().Get("model") {
-	case "", "hamming":
-	case "edit":
-		model = spine.Edit
+		return spine.BuildSharded(data, shardSize, maxPattern, workers)
 	default:
-		badRequest(w, "bad model (hamming|edit)")
-		return
+		return nil, fmt.Errorf("unknown -mode %q (index|compact|sharded)", mode)
 	}
-	writeJSON(w, map[string]any{"positions": s.idx.FindAllWithin(p, k, model)})
-}
-
-func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	minLen := 20
-	if v := r.URL.Query().Get("minlen"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			badRequest(w, "bad minlen")
-			return
-		}
-		minLen = n
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
-	if err != nil {
-		badRequest(w, "reading body")
-		return
-	}
-	if len(body) == 0 {
-		badRequest(w, "empty query sequence")
-		return
-	}
-	matches, info, err := s.idx.MaximalMatches(body, minLen)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, map[string]any{
-		"matches":      matches,
-		"pairs":        info.Pairs,
-		"nodesChecked": info.NodesChecked,
-		"elapsedNs":    info.Elapsed.Nanoseconds(),
-	})
 }

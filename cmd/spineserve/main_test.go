@@ -10,17 +10,24 @@ import (
 	"testing"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+// testQuerierFromFASTA builds the default (reference Index) querier over
+// a tiny genome file.
+func testApp(t *testing.T) *server {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "g.fa")
 	if err := os.WriteFile(path, []byte(">g\naaccacaacaggtacca\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(path, "", 1)
+	q, err := buildQuerier(path, "", 1, "index", 0, 0, 0)
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("buildQuerier: %v", err)
 	}
-	ts := httptest.NewServer(srv.mux())
+	return newQueryServer(q, defaultConfig())
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(testApp(t).mux())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -52,6 +59,15 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+func TestHealthzEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &out)
+	if resp.StatusCode != 200 || out["ok"] != true {
+		t.Fatalf("healthz: status %d, body %v", resp.StatusCode, out)
+	}
+}
+
 func TestContainsEndpoint(t *testing.T) {
 	ts := testServer(t)
 	var out map[string]any
@@ -68,12 +84,45 @@ func TestContainsEndpoint(t *testing.T) {
 func TestFindAllEndpointWithLimit(t *testing.T) {
 	ts := testServer(t)
 	var out struct {
-		Total     int   `json:"total"`
+		Count     int   `json:"count"`
 		Positions []int `json:"positions"`
+		Truncated bool  `json:"truncated"`
 	}
 	getJSON(t, ts.URL+"/findall?q=ac&limit=2", &out)
-	if out.Total != 4 || len(out.Positions) != 2 || out.Positions[0] != 1 {
+	if out.Count != 2 || len(out.Positions) != 2 || out.Positions[0] != 1 || !out.Truncated {
 		t.Fatalf("findall = %+v", out)
+	}
+	// Unlimited within the cap: all four occurrences, not truncated.
+	getJSON(t, ts.URL+"/findall?q=ac", &out)
+	if out.Count != 4 || out.Truncated {
+		t.Fatalf("uncapped findall = %+v", out)
+	}
+}
+
+func TestFindAllServerCap(t *testing.T) {
+	app := testApp(t)
+	app.cfg.findAllCap = 3
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+	var out struct {
+		Count     int  `json:"count"`
+		Truncated bool `json:"truncated"`
+	}
+	// "a" occurs 8 times; a limit above the cap is clamped to it.
+	getJSON(t, ts.URL+"/findall?q=a&limit=100000", &out)
+	if out.Count != 3 || !out.Truncated {
+		t.Fatalf("capped findall = %+v", out)
+	}
+}
+
+func TestCountEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var out struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/count?q=ac", &out)
+	if out.Count != 4 {
+		t.Fatalf("count = %+v", out)
 	}
 }
 
@@ -137,14 +186,86 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-func TestNewServerValidation(t *testing.T) {
-	if _, err := newServer("", "", 1); err == nil {
+func TestPatternLengthCap(t *testing.T) {
+	app := testApp(t)
+	app.cfg.maxPatternLen = 4
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/contains?q=aaaaaaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized pattern: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBuildQuerierValidation(t *testing.T) {
+	if _, err := buildQuerier("", "", 1, "index", 0, 0, 0); err == nil {
 		t.Fatal("missing input accepted")
 	}
-	if _, err := newServer("/nonexistent.fa", "", 1); err == nil {
+	if _, err := buildQuerier("/nonexistent.fa", "", 1, "index", 0, 0, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if _, err := newServer("", "eco", 2000); err != nil {
+	if _, err := buildQuerier("", "eco", 2000, "index", 0, 0, 0); err != nil {
 		t.Fatalf("synthetic input failed: %v", err)
+	}
+	if _, err := buildQuerier("", "eco", 2000, "martian", 0, 0, 0); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestServeAllQuerierModes is the acceptance check that spineserve
+// fronts reference, compact and sharded indexes through one API.
+func TestServeAllQuerierModes(t *testing.T) {
+	for _, mode := range []string{"index", "compact", "sharded"} {
+		q, err := buildQuerier("", "eco", 2000, mode, 512, 64, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		ts := httptest.NewServer(newQueryServer(q, defaultConfig()).mux())
+		var out struct {
+			Count     int   `json:"count"`
+			Positions []int `json:"positions"`
+		}
+		resp := getJSON(t, ts.URL+"/findall?q=ac&limit=5", &out)
+		if resp.StatusCode != 200 || out.Count == 0 {
+			t.Fatalf("%s: findall status %d, %+v", mode, resp.StatusCode, out)
+		}
+		var st map[string]any
+		if resp := getJSON(t, ts.URL+"/stats", &st); resp.StatusCode != 200 {
+			t.Fatalf("%s: stats status %d", mode, resp.StatusCode)
+		}
+		if st["ribs"].(float64) == 0 {
+			t.Fatalf("%s: stats missing structure: %v", mode, st)
+		}
+		// Approximate search is an Index-only capability: 501 elsewhere.
+		resp, err = http.Get(ts.URL + "/approx?q=ac&k=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		wantApprox := http.StatusOK
+		if mode != "index" {
+			wantApprox = http.StatusNotImplemented
+		}
+		if resp.StatusCode != wantApprox {
+			t.Fatalf("%s: approx status %d, want %d", mode, resp.StatusCode, wantApprox)
+		}
+		// Maximal matching works on index and compact, 501 on sharded.
+		resp, err = http.Post(ts.URL+"/match?minlen=4", "text/plain", strings.NewReader("acacacgtacgt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		wantMatch := http.StatusOK
+		if mode == "sharded" {
+			wantMatch = http.StatusNotImplemented
+		}
+		if resp.StatusCode != wantMatch {
+			t.Fatalf("%s: match status %d, want %d", mode, resp.StatusCode, wantMatch)
+		}
+		ts.Close()
 	}
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the response status for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the full middleware stack, outermost
+// first: panic recovery, metrics + structured logging, the concurrency
+// limiter (query endpoints only), and the per-request query deadline.
+func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.Handler {
+	ep := s.reg.Endpoint(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		ep.InFlight.Inc()
+		defer func() {
+			ep.InFlight.Dec()
+			// Panic recovery: convert to 500, log the stack, keep serving.
+			if rec := recover(); rec != nil {
+				s.cfg.logger.Printf("panic endpoint=%s err=%v\n%s", name, rec, debug.Stack())
+				if sr.status == 0 {
+					http.Error(sr, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			if sr.status == 0 {
+				sr.status = http.StatusOK // nothing written: net/http sends 200
+			}
+			elapsed := time.Since(start)
+			ep.ObserveRequest(sr.status, elapsed)
+			s.cfg.logger.Printf("method=%s path=%s endpoint=%s status=%d durUs=%d bytes=%d",
+				r.Method, r.URL.Path, name, sr.status, elapsed.Microseconds(), sr.bytes)
+		}()
+
+		if limited && s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				// Saturated: shed load instead of queueing unboundedly.
+				sr.Header().Set("Retry-After", "1")
+				http.Error(sr, "server saturated, retry later", http.StatusTooManyRequests)
+				return
+			}
+		}
+
+		if limited && s.cfg.queryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.queryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sr, r)
+	})
+}

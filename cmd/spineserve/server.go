@@ -1,0 +1,331 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/spine-index/spine"
+	"github.com/spine-index/spine/internal/telemetry"
+)
+
+// serverConfig tunes the robustness layer around the query handlers.
+type serverConfig struct {
+	// queryTimeout bounds each request's index work; expired deadlines
+	// abort backbone scans mid-flight and map to 504.
+	queryTimeout time.Duration
+	// maxInFlight caps concurrently executing query requests; excess
+	// load sheds with 429 + Retry-After. <= 0 disables the limiter.
+	maxInFlight int
+	// maxPatternLen caps the q parameter length (bytes).
+	maxPatternLen int
+	// maxBodyBytes caps the /match request body.
+	maxBodyBytes int64
+	// findAllCap is the largest (and default) /findall result limit.
+	findAllCap int
+	logger     *log.Logger
+}
+
+func defaultConfig() serverConfig {
+	return serverConfig{
+		queryTimeout:  10 * time.Second,
+		maxInFlight:   64,
+		maxPatternLen: 1 << 20,
+		maxBodyBytes:  256 << 20,
+		findAllCap:    10000,
+		logger:        log.New(io.Discard, "", 0),
+	}
+}
+
+// server wraps any spine.Querier with instrumented, hardened HTTP
+// handlers. Optional capabilities (stats, maximal matching, approximate
+// search) are discovered by interface assertion, so the same server
+// fronts reference, compact and sharded indexes.
+type server struct {
+	q   spine.Querier
+	reg *telemetry.Registry
+	cfg serverConfig
+	sem chan struct{} // concurrency limiter; nil when disabled
+}
+
+// Optional capabilities beyond the Querier surface.
+type (
+	statser interface {
+		Stats() spine.Stats
+	}
+	matcher interface {
+		MaximalMatchesContext(ctx context.Context, query []byte, minLen int) ([]spine.Match, spine.MatchInfo, error)
+	}
+	approxer interface {
+		FindAllWithin(p []byte, k int, model spine.Distance) []int
+	}
+)
+
+func newQueryServer(q spine.Querier, cfg serverConfig) *server {
+	if cfg.logger == nil {
+		cfg.logger = log.New(io.Discard, "", 0)
+	}
+	s := &server{q: q, reg: telemetry.NewRegistry(), cfg: cfg}
+	if cfg.maxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.maxInFlight)
+	}
+	s.reg.PublishExpvar("spine")
+	return s
+}
+
+// mux wires every endpoint through the middleware stack. Query
+// endpoints pass the concurrency limiter; operational endpoints
+// (health, metrics, debug) bypass it so they stay reachable under
+// saturation.
+func (s *server) mux() http.Handler {
+	m := http.NewServeMux()
+	m.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	m.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	m.Handle("GET /stats", s.instrument("stats", false, s.handleStats))
+	m.Handle("GET /contains", s.instrument("contains", true, s.handleContains))
+	m.Handle("GET /find", s.instrument("find", true, s.handleFind))
+	m.Handle("GET /findall", s.instrument("findall", true, s.handleFindAll))
+	m.Handle("GET /count", s.instrument("count", true, s.handleCount))
+	m.Handle("GET /approx", s.instrument("approx", true, s.handleApprox))
+	m.Handle("POST /match", s.instrument("match", true, s.handleMatch))
+	m.Handle("GET /debug/vars", expvar.Handler())
+	m.HandleFunc("GET /debug/pprof/", pprof.Index)
+	m.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to salvage mid-stream.
+		return
+	}
+}
+
+// statusFor maps a query error to its HTTP status: client errors
+// (oversized patterns) are 4xx, expired deadlines 504, everything else
+// 500. A cancelled context means the client went away — 503 records the
+// abort without pretending the work finished.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, spine.ErrPatternTooLong):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), statusFor(err))
+}
+
+// pattern extracts and validates the q parameter.
+func (s *server) pattern(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return nil, false
+	}
+	if len(q) > s.cfg.maxPatternLen {
+		s.writeError(w, fmt.Errorf("%w: %d bytes exceeds the server's %d-byte cap",
+			spine.ErrPatternTooLong, len(q), s.cfg.maxPatternLen))
+		return nil, false
+	}
+	return []byte(q), true
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"ok": true, "indexedChars": s.q.Len()})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.reg.Snapshot())
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st, ok := s.q.(statser)
+	if !ok {
+		writeJSON(w, map[string]any{"length": s.q.Len()})
+		return
+	}
+	stats := st.Stats()
+	writeJSON(w, map[string]any{
+		"length":      stats.Length,
+		"ribs":        stats.RibCount,
+		"extribs":     stats.ExtribCount,
+		"maxLEL":      stats.MaxLEL,
+		"maxPT":       stats.MaxPT,
+		"memoryBytes": stats.MemoryBytes,
+	})
+}
+
+func (s *server) handleContains(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.pattern(w, r)
+	if !ok {
+		return
+	}
+	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	found, err := s.q.ContainsContext(r.Context(), p)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"contains": found})
+}
+
+func (s *server) handleFind(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.pattern(w, r)
+	if !ok {
+		return
+	}
+	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	pos, err := s.q.FindContext(r.Context(), p)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"position": pos})
+}
+
+func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.pattern(w, r)
+	if !ok {
+		return
+	}
+	limit := s.cfg.findAllCap
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	res, err := s.q.FindAllLimitContext(r.Context(), p, limit)
+	s.reg.Query.NodesChecked.Add(res.NodesChecked)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.reg.Query.Occurrences.Add(int64(len(res.Positions)))
+	if res.Truncated {
+		s.reg.Query.Truncated.Inc()
+	}
+	writeJSON(w, map[string]any{
+		"count":     len(res.Positions),
+		"positions": res.Positions,
+		"truncated": res.Truncated,
+	})
+}
+
+func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.pattern(w, r)
+	if !ok {
+		return
+	}
+	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	n, err := s.q.CountContext(r.Context(), p)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.reg.Query.Occurrences.Add(int64(n))
+	writeJSON(w, map[string]any{"count": n})
+}
+
+func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
+	ap, capOK := s.q.(approxer)
+	if !capOK {
+		http.Error(w, "approximate search is not supported by this index type", http.StatusNotImplemented)
+		return
+	}
+	p, ok := s.pattern(w, r)
+	if !ok {
+		return
+	}
+	k := 1
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > 3 {
+			http.Error(w, "bad k (0..3)", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	model := spine.Hamming
+	switch r.URL.Query().Get("model") {
+	case "", "hamming":
+	case "edit":
+		model = spine.Edit
+	default:
+		http.Error(w, "bad model (hamming|edit)", http.StatusBadRequest)
+		return
+	}
+	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	positions := ap.FindAllWithin(p, k, model)
+	s.reg.Query.Occurrences.Add(int64(len(positions)))
+	writeJSON(w, map[string]any{"positions": positions})
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	mt, capOK := s.q.(matcher)
+	if !capOK {
+		http.Error(w, "maximal matching is not supported by this index type", http.StatusNotImplemented)
+		return
+	}
+	minLen := 20
+	if v := r.URL.Query().Get("minlen"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, "bad minlen", http.StatusBadRequest)
+			return
+		}
+		minLen = n
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, "query sequence too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty query sequence", http.StatusBadRequest)
+		return
+	}
+	s.reg.Query.PatternLen.Observe(int64(len(body)))
+	matches, info, err := mt.MaximalMatchesContext(r.Context(), body, minLen)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.reg.Query.NodesChecked.Add(info.NodesChecked)
+	s.reg.Query.Occurrences.Add(int64(info.Pairs))
+	writeJSON(w, map[string]any{
+		"matches":      matches,
+		"pairs":        info.Pairs,
+		"nodesChecked": info.NodesChecked,
+		"elapsedNs":    info.Elapsed.Nanoseconds(),
+	})
+}

@@ -1,0 +1,371 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spine-index/spine"
+)
+
+// blockingQuerier is a fake Querier whose FindAll path blocks until
+// released — the deterministic way to hold a request in-flight for the
+// saturation and drain tests.
+type blockingQuerier struct {
+	started chan struct{} // signaled when a FindAll enters
+	release chan struct{} // closed to let FindAlls finish
+	panicky bool
+}
+
+func newBlockingQuerier() *blockingQuerier {
+	return &blockingQuerier{started: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (f *blockingQuerier) ContainsContext(ctx context.Context, p []byte) (bool, error) {
+	return true, ctx.Err()
+}
+
+func (f *blockingQuerier) FindContext(ctx context.Context, p []byte) (int, error) {
+	return 0, ctx.Err()
+}
+
+func (f *blockingQuerier) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
+	res, err := f.FindAllLimitContext(ctx, p, 0)
+	return res.Positions, err
+}
+
+func (f *blockingQuerier) FindAllLimitContext(ctx context.Context, p []byte, limit int) (spine.QueryResult, error) {
+	if f.panicky {
+		panic("querier exploded")
+	}
+	select {
+	case f.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-f.release:
+	case <-ctx.Done():
+		return spine.QueryResult{}, ctx.Err()
+	}
+	return spine.QueryResult{Positions: []int{0}, NodesChecked: 1}, nil
+}
+
+func (f *blockingQuerier) CountContext(ctx context.Context, p []byte) (int, error) {
+	return 1, ctx.Err()
+}
+
+func (f *blockingQuerier) Len() int { return 1 }
+
+// TestSaturationSheds429 is the acceptance check: when the concurrency
+// limiter is full, further query requests shed with 429 + Retry-After
+// while operational endpoints stay reachable.
+func TestSaturationSheds429(t *testing.T) {
+	fq := newBlockingQuerier()
+	cfg := defaultConfig()
+	cfg.maxInFlight = 1
+	app := newQueryServer(fq, cfg)
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/findall?q=a")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-fq.started // the slot is now held
+
+	resp, err := http.Get(ts.URL + "/findall?q=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Health and metrics bypass the limiter.
+	for _, p := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s under saturation: %d", p, resp.StatusCode)
+		}
+	}
+	close(fq.release)
+	wg.Wait()
+
+	var m struct {
+		Endpoints map[string]struct {
+			Rejected int64 `json:"rejected"`
+		} `json:"endpoints"`
+	}
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Endpoints["findall"].Rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", m.Endpoints["findall"].Rejected)
+	}
+}
+
+// TestQueryTimeout504 verifies that an expired per-request deadline
+// aborts the scan and maps to 504.
+func TestQueryTimeout504(t *testing.T) {
+	app := testApp(t)
+	app.cfg.queryTimeout = time.Nanosecond
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/findall?q=ac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestCancellationMidScan verifies a client disconnect aborts the
+// backbone scan through the request context.
+func TestCancellationMidScan(t *testing.T) {
+	fq := newBlockingQuerier()
+	app := newQueryServer(fq, defaultConfig())
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/findall?q=a", nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		done <- err
+	}()
+	<-fq.started
+	cancel() // client goes away mid-scan; the fake returns ctx.Err()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("request unexpectedly succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request did not return promptly")
+	}
+}
+
+// TestPanicRecovery verifies a panicking handler converts to 500 and the
+// server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	fq := newBlockingQuerier()
+	fq.panicky = true
+	app := newQueryServer(fq, defaultConfig())
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/findall?q=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic status = %d, want 500", resp.StatusCode)
+	}
+	// Still alive afterwards.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("server dead after panic: %d", resp.StatusCode)
+	}
+	var m struct {
+		Endpoints map[string]struct {
+			Errors5xx int64 `json:"errors5xx"`
+		} `json:"endpoints"`
+	}
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Endpoints["findall"].Errors5xx != 1 {
+		t.Fatalf("5xx counter = %d, want 1", m.Endpoints["findall"].Errors5xx)
+	}
+}
+
+// TestGracefulShutdownDrains is the acceptance check: on shutdown the
+// listener closes, the in-flight request completes, and new connections
+// are refused.
+func TestGracefulShutdownDrains(t *testing.T) {
+	fq := newBlockingQuerier()
+	app := newQueryServer(fq, defaultConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer(ln.Addr().String(), app.mux(), time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serveUntilDone(ctx, srv, ln, 10*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/findall?q=a")
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	<-fq.started
+
+	cancel() // SIGTERM equivalent: begin draining
+	// The drain must wait for the in-flight request...
+	select {
+	case err := <-served:
+		t.Fatalf("shutdown finished with a request still in flight: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(fq.release)
+	if status := <-inflight; status != 200 {
+		t.Fatalf("in-flight request got %d, want 200", status)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveUntilDone: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not complete after drain")
+	}
+	// ...and the listener must already be closed to new connections.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("new connection accepted after shutdown")
+	}
+}
+
+// TestMetricsShapeAfterBurst is the acceptance check on /metrics: after
+// a query burst the latency histograms have non-zero counts and the
+// SPINE aggregates (nodes checked, pattern lengths) are populated.
+func TestMetricsShapeAfterBurst(t *testing.T) {
+	ts := testServer(t)
+	for i := 0; i < 10; i++ {
+		var out map[string]any
+		getJSON(t, ts.URL+"/findall?q=ac", &out)
+		getJSON(t, ts.URL+fmt.Sprintf("/contains?q=%s", strings.Repeat("a", 1+i%3)), &out)
+	}
+	resp, err := http.Post(ts.URL+"/match?minlen=4", "text/plain", strings.NewReader("ttttccacaacagtttt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var m struct {
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+		Endpoints     map[string]struct {
+			Requests  int64 `json:"requests"`
+			LatencyUs struct {
+				Count   int64 `json:"count"`
+				P50     int64 `json:"p50"`
+				Buckets []struct {
+					LE    int64 `json:"le"`
+					Count int64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"latencyUs"`
+		} `json:"endpoints"`
+		Query struct {
+			NodesChecked int64 `json:"nodesChecked"`
+			Occurrences  int64 `json:"occurrences"`
+			PatternLen   struct {
+				Count int64 `json:"count"`
+			} `json:"patternLen"`
+		} `json:"query"`
+	}
+	getJSON(t, ts.URL+"/metrics", &m)
+	fa := m.Endpoints["findall"]
+	if fa.Requests != 10 || fa.LatencyUs.Count != 10 || len(fa.LatencyUs.Buckets) == 0 {
+		t.Fatalf("findall metrics degenerate: %+v", fa)
+	}
+	if m.Query.NodesChecked == 0 {
+		t.Fatal("aggregate nodesChecked is zero after a burst")
+	}
+	if m.Query.Occurrences == 0 || m.Query.PatternLen.Count == 0 {
+		t.Fatalf("query aggregates degenerate: %+v", m.Query)
+	}
+	if m.Endpoints["match"].Requests != 1 {
+		t.Fatalf("match metrics missing: %+v", m.Endpoints["match"])
+	}
+}
+
+// TestConcurrentQueriesDuringMetricReads hammers query endpoints while
+// reading /metrics; run with -race to check the lock-free telemetry
+// path.
+func TestConcurrentQueriesDuringMetricReads(t *testing.T) {
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				resp, err := http.Get(ts.URL + "/findall?q=ac")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err == nil {
+					var s json.RawMessage
+					json.NewDecoder(resp.Body).Decode(&s)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var m struct {
+		Endpoints map[string]struct {
+			Requests int64 `json:"requests"`
+			InFlight int64 `json:"inFlight"`
+		} `json:"endpoints"`
+	}
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Endpoints["findall"].Requests != 120 {
+		t.Fatalf("requests = %d, want 120", m.Endpoints["findall"].Requests)
+	}
+	if m.Endpoints["findall"].InFlight != 0 {
+		t.Fatalf("inFlight = %d after quiesce", m.Endpoints["findall"].InFlight)
+	}
+}
+
+// TestDebugEndpoints spot-checks expvar and pprof are mounted.
+func TestDebugEndpoints(t *testing.T) {
+	ts := testServer(t)
+	for _, p := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", p, resp.StatusCode)
+		}
+	}
+}

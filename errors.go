@@ -1,0 +1,26 @@
+package spine
+
+import "errors"
+
+// Sentinel errors returned by the public API. Callers — in particular
+// query servers mapping failures to HTTP status classes — should test
+// with errors.Is: every error carrying details (lengths, indexes,
+// offending bytes) wraps one of these.
+var (
+	// ErrPatternTooLong reports a query pattern longer than the index
+	// supports (a Sharded index bounds patterns by its maxPattern; a
+	// server may impose a request cap). A client error: 4xx.
+	ErrPatternTooLong = errors.New("spine: pattern too long")
+
+	// ErrEmptyAlphabet reports a nil or empty alphabet where a compact
+	// layout needs one to bit-pack its character labels.
+	ErrEmptyAlphabet = errors.New("spine: alphabet is nil or empty")
+
+	// ErrBadShardConfig reports an invalid BuildSharded configuration
+	// (non-positive maxPattern, or a shard size smaller than maxPattern).
+	ErrBadShardConfig = errors.New("spine: bad shard configuration")
+
+	// ErrSeparatorInText reports that a string passed to BuildGeneralized
+	// contains the separator byte and so cannot be joined unambiguously.
+	ErrSeparatorInText = errors.New("spine: text contains the separator byte")
+)

@@ -35,7 +35,7 @@ func BuildGeneralized(texts [][]byte, separator byte) (*Generalized, error) {
 	g := &Generalized{c: core.New(), separator: separator}
 	for i, t := range texts {
 		if bytes.IndexByte(t, separator) >= 0 {
-			return nil, fmt.Errorf("spine: string %d contains the separator byte %q", i, separator)
+			return nil, fmt.Errorf("%w: string %d contains %q", ErrSeparatorInText, i, separator)
 		}
 		g.bounds = append(g.bounds, g.c.Len())
 		for _, c := range t {

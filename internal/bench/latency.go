@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"time"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/telemetry"
+)
+
+// QueryLatency profiles in-process query latency on both index layouts
+// across a ladder of pattern lengths, using the same log2 histograms the
+// server exports from /metrics. This is the serving-side companion to
+// the paper's §6 match benchmarks: instead of total batch time it shows
+// the per-query latency distribution an online service would observe.
+func QueryLatency(c *Corpus, name string, plens []int, queriesPerLen int) (Table, error) {
+	s, err := c.Get(name)
+	if err != nil {
+		return Table{}, err
+	}
+	idx := core.Build(s)
+	comp, err := core.Freeze(idx, alphabetFor(name))
+	if err != nil {
+		return Table{}, err
+	}
+	ctx := context.Background()
+
+	t := Table{
+		ID:    "latency",
+		Title: fmt.Sprintf("per-query FindAll latency on %s (%s chars, %d queries/row)", name, fmtCount(int64(len(s))), queriesPerLen),
+		Header: []string{"layout", "|P|", "p50(µs)", "p90(µs)", "p99(µs)", "max(µs)",
+			"mean nodes", "mean occs"},
+	}
+	type layout struct {
+		name    string
+		findAll func(ctx context.Context, p []byte, limit int) (core.ScanResult, error)
+	}
+	for _, lay := range []layout{
+		{"reference", idx.FindAllCtx},
+		{"compact", comp.FindAllCtx},
+	} {
+		for _, plen := range plens {
+			patterns := SamplePatterns(s, queriesPerLen, plen)
+			if len(patterns) == 0 {
+				continue
+			}
+			var hist telemetry.Histogram
+			var nodes, occs int64
+			for _, p := range patterns {
+				t0 := time.Now()
+				res, err := lay.findAll(ctx, p, 0)
+				if err != nil {
+					return Table{}, err
+				}
+				hist.ObserveDuration(time.Since(t0))
+				nodes += res.NodesChecked
+				occs += int64(len(res.Positions))
+			}
+			snap := hist.Snapshot()
+			n := int64(len(patterns))
+			t.Rows = append(t.Rows, []string{
+				lay.name,
+				fmt.Sprintf("%d", plen),
+				fmt.Sprintf("%d", snap.P50),
+				fmt.Sprintf("%d", snap.P90),
+				fmt.Sprintf("%d", snap.P99),
+				fmt.Sprintf("%d", snap.Max),
+				fmt.Sprintf("%d", nodes/n),
+				fmt.Sprintf("%d", occs/n),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"patterns are real occurrences sampled evenly across the sequence",
+		"quantiles are log2-bucket upper bounds, matching the server's /metrics histograms")
+	return t, nil
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/spine-index/spine/internal/telemetry"
+)
+
+// MixEntry is one weighted endpoint in a load-generator query mix.
+type MixEntry struct {
+	Endpoint string // contains | find | findall | count
+	Weight   int
+}
+
+// DefaultMix is a read-heavy production-ish blend: mostly membership
+// probes, some enumeration.
+var DefaultMix = []MixEntry{
+	{"contains", 5},
+	{"find", 2},
+	{"findall", 2},
+	{"count", 1},
+}
+
+// LoadConfig drives RunLoad against a running spineserve instance.
+type LoadConfig struct {
+	BaseURL      string        // e.g. "http://localhost:8080"
+	Patterns     [][]byte      // query patterns, cycled deterministically
+	Mix          []MixEntry    // weighted endpoints; nil = DefaultMix
+	Requests     int           // total requests to issue
+	Concurrency  int           // parallel workers; <= 0 means 1
+	Timeout      time.Duration // per-request client timeout; 0 = 30s
+	FindAllLimit int           // limit parameter for /findall; 0 omits it
+}
+
+// LoadResult aggregates one endpoint's outcomes during a load run.
+type LoadResult struct {
+	Endpoint string
+	Requests int64
+	Errors   int64 // transport failures + non-2xx responses
+	Rejected int64 // 429s, counted separately from Errors
+	Latency  telemetry.HistogramSnapshot
+}
+
+// RunLoad replays a weighted query mix against a spineserve base URL and
+// reports per-endpoint latency histograms. The schedule is deterministic:
+// request i uses mix entry schedule[i % len(schedule)] and pattern
+// i % len(patterns), so two runs with the same config issue the same
+// requests in the same per-worker order.
+func RunLoad(cfg LoadConfig) (Table, []LoadResult, error) {
+	if cfg.BaseURL == "" {
+		return Table{}, nil, fmt.Errorf("load: BaseURL is required")
+	}
+	if len(cfg.Patterns) == 0 {
+		return Table{}, nil, fmt.Errorf("load: at least one pattern is required")
+	}
+	if cfg.Requests <= 0 {
+		return Table{}, nil, fmt.Errorf("load: Requests must be positive")
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = DefaultMix
+	}
+	schedule, err := expandMix(mix)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+
+	type epStats struct {
+		requests telemetry.Counter
+		errors   telemetry.Counter
+		rejected telemetry.Counter
+		latency  telemetry.Histogram
+	}
+	stats := make(map[string]*epStats, len(mix))
+	for _, m := range mix {
+		if _, ok := stats[m.Endpoint]; !ok {
+			stats[m.Endpoint] = &epStats{}
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ep := schedule[i%len(schedule)]
+				p := cfg.Patterns[i%len(cfg.Patterns)]
+				st := stats[ep]
+				st.requests.Inc()
+				t0 := time.Now()
+				status, err := issue(client, cfg, ep, p)
+				st.latency.ObserveDuration(time.Since(t0))
+				switch {
+				case err != nil:
+					st.errors.Inc()
+				case status == http.StatusTooManyRequests:
+					st.rejected.Inc()
+				case status < 200 || status > 299:
+					st.errors.Inc()
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	results := make([]LoadResult, 0, len(names))
+	for _, name := range names {
+		st := stats[name]
+		results = append(results, LoadResult{
+			Endpoint: name,
+			Requests: st.requests.Value(),
+			Errors:   st.errors.Value(),
+			Rejected: st.rejected.Value(),
+			Latency:  st.latency.Snapshot(),
+		})
+	}
+
+	t := Table{
+		ID:     "load",
+		Title:  fmt.Sprintf("query replay vs %s (%d requests, %d workers)", cfg.BaseURL, cfg.Requests, workers),
+		Header: []string{"endpoint", "requests", "errors", "429s", "p50(µs)", "p90(µs)", "p99(µs)", "max(µs)"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Endpoint,
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%d", r.Errors),
+			fmt.Sprintf("%d", r.Rejected),
+			fmt.Sprintf("%d", r.Latency.P50),
+			fmt.Sprintf("%d", r.Latency.P90),
+			fmt.Sprintf("%d", r.Latency.P99),
+			fmt.Sprintf("%d", r.Latency.Max),
+		})
+	}
+	rps := float64(cfg.Requests) / elapsed.Seconds()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%.0f req/s over %s; quantiles are log2-bucket upper bounds (exact to 2x)", rps, fmtDuration(elapsed)))
+	return t, results, nil
+}
+
+// expandMix turns weighted entries into a deterministic round-robin
+// schedule: {contains:2, count:1} -> [contains contains count].
+func expandMix(mix []MixEntry) ([]string, error) {
+	var schedule []string
+	for _, m := range mix {
+		switch m.Endpoint {
+		case "contains", "find", "findall", "count":
+		default:
+			return nil, fmt.Errorf("load: unknown mix endpoint %q", m.Endpoint)
+		}
+		if m.Weight <= 0 {
+			return nil, fmt.Errorf("load: mix weight for %q must be positive", m.Endpoint)
+		}
+		for i := 0; i < m.Weight; i++ {
+			schedule = append(schedule, m.Endpoint)
+		}
+	}
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("load: empty mix")
+	}
+	return schedule, nil
+}
+
+// issue performs one GET and returns the status code; the body is
+// drained so connections are reused.
+func issue(client *http.Client, cfg LoadConfig, endpoint string, pattern []byte) (int, error) {
+	u := cfg.BaseURL + "/" + endpoint + "?q=" + url.QueryEscape(string(pattern))
+	if endpoint == "findall" && cfg.FindAllLimit > 0 {
+		u += fmt.Sprintf("&limit=%d", cfg.FindAllLimit)
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// SamplePatterns extracts n deterministic substrings of length plen from
+// the text, evenly strided so the samples cover the whole sequence.
+// Every sample is a real occurrence, mirroring §6's positive workloads.
+func SamplePatterns(text []byte, n, plen int) [][]byte {
+	if plen <= 0 || plen > len(text) || n <= 0 {
+		return nil
+	}
+	span := len(text) - plen
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		off := 0
+		if n > 1 {
+			off = span * i / (n - 1)
+		}
+		out = append(out, text[off:off+plen])
+	}
+	return out
+}

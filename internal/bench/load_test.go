@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSamplePatterns(t *testing.T) {
+	text := []byte("abcdefghij")
+	ps := SamplePatterns(text, 3, 4)
+	if len(ps) != 3 {
+		t.Fatalf("got %d patterns", len(ps))
+	}
+	want := []string{"abcd", "defg", "ghij"}
+	for i, p := range ps {
+		if string(p) != want[i] {
+			t.Errorf("pattern %d = %q, want %q", i, p, want[i])
+		}
+		if !bytes.Contains(text, p) {
+			t.Errorf("pattern %q not in text", p)
+		}
+	}
+	if SamplePatterns(text, 3, 0) != nil || SamplePatterns(text, 0, 4) != nil ||
+		SamplePatterns(text, 1, 11) != nil {
+		t.Fatal("degenerate inputs should return nil")
+	}
+}
+
+func TestExpandMix(t *testing.T) {
+	sched, err := expandMix([]MixEntry{{"contains", 2}, {"count", 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(sched, ","); got != "contains,contains,count" {
+		t.Fatalf("schedule = %s", got)
+	}
+	if _, err := expandMix([]MixEntry{{"bogus", 1}}); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if _, err := expandMix([]MixEntry{{"find", 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestRunLoad(t *testing.T) {
+	var contains, findall, errs atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/contains":
+			contains.Add(1)
+			w.Write([]byte(`{"contains":true}`))
+		case "/findall":
+			findall.Add(1)
+			if r.URL.Query().Get("limit") != "7" {
+				t.Errorf("findall limit = %q, want 7", r.URL.Query().Get("limit"))
+			}
+			w.Write([]byte(`{"count":0,"positions":[],"truncated":false}`))
+		case "/count":
+			errs.Add(1)
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+	}))
+	defer ts.Close()
+
+	table, results, err := RunLoad(LoadConfig{
+		BaseURL:      ts.URL,
+		Patterns:     [][]byte{[]byte("ac"), []byte("gt")},
+		Mix:          []MixEntry{{"contains", 2}, {"findall", 1}, {"count", 1}},
+		Requests:     40,
+		Concurrency:  4,
+		FindAllLimit: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains.Load() != 20 || findall.Load() != 10 || errs.Load() != 10 {
+		t.Fatalf("request split = %d/%d/%d, want 20/10/10",
+			contains.Load(), findall.Load(), errs.Load())
+	}
+	byEp := map[string]LoadResult{}
+	for _, r := range results {
+		byEp[r.Endpoint] = r
+	}
+	if r := byEp["contains"]; r.Requests != 20 || r.Errors != 0 || r.Latency.Count != 20 {
+		t.Fatalf("contains result = %+v", r)
+	}
+	if r := byEp["count"]; r.Requests != 10 || r.Errors != 10 {
+		t.Fatalf("count result = %+v", r)
+	}
+	if len(table.Rows) != 3 || len(table.Notes) == 0 {
+		t.Fatalf("table shape: %d rows, %d notes", len(table.Rows), len(table.Notes))
+	}
+	out := table.String()
+	if !strings.Contains(out, "p99(µs)") || !strings.Contains(out, "contains") {
+		t.Fatalf("rendered table missing columns:\n%s", out)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	base := LoadConfig{BaseURL: "http://x", Patterns: [][]byte{[]byte("a")}, Requests: 1}
+	bad := []LoadConfig{
+		{Patterns: base.Patterns, Requests: 1},         // no URL
+		{BaseURL: "http://x", Requests: 1},             // no patterns
+		{BaseURL: "http://x", Patterns: base.Patterns}, // no requests
+		{BaseURL: "http://x", Patterns: base.Patterns, Requests: 1, Mix: []MixEntry{{"nope", 1}}},
+	}
+	for i, cfg := range bad {
+		if _, _, err := RunLoad(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestQueryLatencyExperiment(t *testing.T) {
+	c := NewCorpus(4000) // ~875-char eco: fast but structured
+	table, err := QueryLatency(c, "eco", []int{4, 16}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 { // 2 layouts x 2 pattern lengths
+		t.Fatalf("rows = %d, want 4", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[6] == "0" {
+			t.Fatalf("mean nodes checked is zero: %v", row)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import "context"
+
+// Context-aware query variants. The backbone occurrence scan is O(n) per
+// query regardless of the occurrence count, so a production server needs
+// to abort scans whose request deadline has passed. The loops below
+// check ctx every cancelStride iterations — cheap enough to be free,
+// frequent enough that cancellation lands within tens of microseconds.
+
+// cancelStride is the number of backbone nodes scanned between
+// cancellation checkpoints.
+const cancelStride = 1 << 14
+
+// ScanResult carries the outcome of a context-aware occurrence query.
+type ScanResult struct {
+	// Positions lists occurrence start offsets in increasing order.
+	Positions []int
+	// Truncated reports that the scan stopped at the caller's limit;
+	// more occurrences may exist.
+	Truncated bool
+	// NodesChecked counts index nodes examined (descent steps plus
+	// backbone nodes scanned) — the paper's §4.1 work metric.
+	NodesChecked int64
+}
+
+// FindAllCtx is FindAll with cancellation and an optional result cap:
+// limit <= 0 means unlimited. It returns ctx.Err() if the context ends
+// mid-scan.
+func (idx *Index) FindAllCtx(ctx context.Context, p []byte, limit int) (ScanResult, error) {
+	return findAllOnCtx(ctx, idx, p, limit)
+}
+
+// FindAllCtx is the compact-layout variant; see Index.FindAllCtx.
+func (c *CompactIndex) FindAllCtx(ctx context.Context, p []byte, limit int) (ScanResult, error) {
+	codes, ok := c.encodePattern(p)
+	if !ok {
+		// A letter outside the alphabet occurs nowhere; the pattern walk
+		// is the only work done.
+		return ScanResult{NodesChecked: int64(len(p))}, ctx.Err()
+	}
+	return findAllOnCtx(ctx, c, codes, limit)
+}
+
+func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanResult, error) {
+	var res ScanResult
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if len(p) == 0 {
+		n := int(s.textLen()) + 1
+		if limit > 0 && n > limit {
+			n = limit
+			res.Truncated = true
+		}
+		res.Positions = make([]int, n)
+		for i := range res.Positions {
+			res.Positions[i] = i
+		}
+		return res, nil
+	}
+	first, ok := endNodeOn(s, p)
+	res.NodesChecked = int64(len(p))
+	if !ok {
+		return res, nil
+	}
+	res.Positions = append(res.Positions, int(first)-len(p))
+	if limit == 1 {
+		res.Truncated = true
+		return res, nil
+	}
+	buf := []int32{first}
+	m := int32(len(p))
+	n := s.textLen()
+	for j := first + 1; j <= n; j++ {
+		if (j-first)%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				res.NodesChecked += int64(j - first)
+				return ScanResult{NodesChecked: res.NodesChecked}, err
+			}
+		}
+		link, lel := s.linkOf(j)
+		if lel >= m && containsSorted(buf, link) {
+			buf = append(buf, j)
+			res.Positions = append(res.Positions, int(j)-len(p))
+			if limit > 0 && len(res.Positions) >= limit {
+				res.Truncated = j < n
+				res.NodesChecked += int64(j - first)
+				return res, nil
+			}
+		}
+	}
+	res.NodesChecked += int64(n - first)
+	return res, nil
+}
+
+// CountCtx is Count with cancellation.
+func (idx *Index) CountCtx(ctx context.Context, p []byte) (int, error) {
+	res, err := findAllOnCtx(ctx, idx, p, 0)
+	return len(res.Positions), err
+}
+
+// CountCtx is the compact-layout variant; see Index.CountCtx.
+func (c *CompactIndex) CountCtx(ctx context.Context, p []byte) (int, error) {
+	res, err := c.FindAllCtx(ctx, p, 0)
+	return len(res.Positions), err
+}
+
+// ScanManyCtx is ScanMany with cancellation checkpoints; see
+// Index.ScanMany for semantics.
+func (idx *Index) ScanManyCtx(ctx context.Context, firsts, lens []int32) ([][]int32, error) {
+	return scanManyOnCtx(ctx, idx, firsts, lens)
+}
+
+// ScanManyCtx is the compact-layout variant; see Index.ScanManyCtx.
+func (c *CompactIndex) ScanManyCtx(ctx context.Context, firsts, lens []int32) ([][]int32, error) {
+	return scanManyOnCtx(ctx, c, firsts, lens)
+}
+
+func scanManyOnCtx[S store](ctx context.Context, s S, firsts, lens []int32) ([][]int32, error) {
+	out := make([][]int32, len(firsts))
+	if len(firsts) == 0 {
+		return out, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	owners := make(map[int32][]int32)
+	minFirst := firsts[0]
+	for i := range firsts {
+		out[i] = []int32{firsts[i]}
+		owners[firsts[i]] = append(owners[firsts[i]], int32(i))
+		if firsts[i] < minFirst {
+			minFirst = firsts[i]
+		}
+	}
+	n := s.textLen()
+	for j := minFirst + 1; j <= n; j++ {
+		if (j-minFirst)%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		link, lel := s.linkOf(j)
+		ms, ok := owners[link]
+		if !ok {
+			continue
+		}
+		for _, m := range ms {
+			if lel >= lens[m] && j > firsts[m] {
+				out[m] = append(out[m], j)
+				owners[j] = append(owners[j], m)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,6 +1,8 @@
 package match
 
 import (
+	"context"
+
 	"github.com/spine-index/spine/internal/core"
 	"github.com/spine-index/spine/internal/diskindex"
 	"github.com/spine-index/spine/internal/suffixtree"
@@ -47,6 +49,18 @@ func (e *SpineEngine) EndsAtBatch(ps []Pos) ([][]int32, error) {
 	return e.idx.ScanMany(firsts, lens), nil
 }
 
+// EndsAtBatchCtx is EndsAtBatch with cancellation checkpoints in the
+// backbone scan.
+func (e *SpineEngine) EndsAtBatchCtx(ctx context.Context, ps []Pos) ([][]int32, error) {
+	firsts := make([]int32, len(ps))
+	lens := make([]int32, len(ps))
+	for i, p := range ps {
+		sp := p.(spinePos)
+		firsts[i], lens[i] = sp.node, sp.l
+	}
+	return e.idx.ScanManyCtx(ctx, firsts, lens)
+}
+
 // CompactSpineEngine adapts the compact-layout SPINE index.
 type CompactSpineEngine struct {
 	idx *core.CompactIndex
@@ -82,6 +96,18 @@ func (e *CompactSpineEngine) EndsAtBatch(ps []Pos) ([][]int32, error) {
 		firsts[i], lens[i] = sp.node, sp.l
 	}
 	return e.idx.ScanMany(firsts, lens), nil
+}
+
+// EndsAtBatchCtx is EndsAtBatch with cancellation checkpoints in the
+// backbone scan.
+func (e *CompactSpineEngine) EndsAtBatchCtx(ctx context.Context, ps []Pos) ([][]int32, error) {
+	firsts := make([]int32, len(ps))
+	lens := make([]int32, len(ps))
+	for i, p := range ps {
+		sp := p.(spinePos)
+		firsts[i], lens[i] = sp.node, sp.l
+	}
+	return e.idx.ScanManyCtx(ctx, firsts, lens)
 }
 
 // TreeEngine adapts the in-memory suffix tree. Suffix trees resolve

@@ -11,7 +11,10 @@
 // processing.
 package match
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Pos is an engine-specific opaque snapshot of a match position, used to
 // resolve occurrence sets after the streaming pass (the paper defers
@@ -40,6 +43,14 @@ type Engine interface {
 type BatchEngine interface {
 	Engine
 	EndsAtBatch(ps []Pos) ([][]int32, error)
+}
+
+// CtxBatchEngine is implemented by batch engines whose final scan honors
+// context cancellation — the scan is O(data length), so a server must be
+// able to abort it when a request deadline passes.
+type CtxBatchEngine interface {
+	BatchEngine
+	EndsAtBatchCtx(ctx context.Context, ps []Pos) ([][]int32, error)
 }
 
 // A Match is one maximal matching substring between data and query.
@@ -75,6 +86,18 @@ type Report struct {
 // streamed match could not absorb the next query character anywhere in the
 // data), and the left side is checked per data occurrence.
 func MaximalMatches(e Engine, data, query []byte, minLen int) (Report, error) {
+	return MaximalMatchesCtx(context.Background(), e, data, query, minLen)
+}
+
+// ctxStride is the number of query characters consumed between
+// cancellation checkpoints in the streaming pass.
+const ctxStride = 1 << 12
+
+// MaximalMatchesCtx is MaximalMatches with cancellation: the streaming
+// pass checks ctx every few thousand query characters, and the final
+// occurrence-resolution scan aborts through CtxBatchEngine when the
+// engine supports it. It returns ctx.Err() if the context ends mid-run.
+func MaximalMatchesCtx(ctx context.Context, e Engine, data, query []byte, minLen int) (Report, error) {
 	start := time.Now()
 	if minLen < 1 {
 		minLen = 1
@@ -87,6 +110,11 @@ func MaximalMatches(e Engine, data, query []byte, minLen int) (Report, error) {
 	prevLen := 0
 	var prevMark Pos
 	for j := 0; j < len(query); j++ {
+		if j%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Report{}, err
+			}
+		}
 		if err := e.Advance(query[j]); err != nil {
 			return Report{}, err
 		}
@@ -104,7 +132,18 @@ func MaximalMatches(e Engine, data, query []byte, minLen int) (Report, error) {
 
 	// Resolve occurrence sets — in one batch scan when the engine can.
 	endSets := make([][]int32, len(cands))
-	if be, ok := e.(BatchEngine); ok {
+	switch be := e.(type) {
+	case CtxBatchEngine:
+		ps := make([]Pos, len(cands))
+		for i, c := range cands {
+			ps[i] = c.pos
+		}
+		var err error
+		endSets, err = be.EndsAtBatchCtx(ctx, ps)
+		if err != nil {
+			return Report{}, err
+		}
+	case BatchEngine:
 		ps := make([]Pos, len(cands))
 		for i, c := range cands {
 			ps[i] = c.pos
@@ -114,8 +153,11 @@ func MaximalMatches(e Engine, data, query []byte, minLen int) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-	} else {
+	default:
 		for i, c := range cands {
+			if err := ctx.Err(); err != nil {
+				return Report{}, err
+			}
 			ends, err := e.EndsAt(c.pos)
 			if err != nil {
 				return Report{}, err

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-scaled histogram buckets. Bucket i
+// holds values v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i), so
+// the bucket upper bounds are 1, 2, 4, 8, ... — 2^47 µs is ~4.5 years,
+// far beyond any observable latency.
+const histBuckets = 48
+
+// Histogram is a lock-free log2-bucketed histogram of non-negative
+// int64 observations. The unit is caller-defined: request latencies are
+// recorded in microseconds (ObserveDuration), pattern lengths in
+// characters (Observe). The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // stored as value+1 so 0 means "unset"
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= v+1 {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a latency in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+func bucketOf(v int64) int {
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// HistogramBucket is one non-empty histogram bucket in a snapshot.
+type HistogramBucket struct {
+	// LE is the bucket's inclusive upper bound (2^i - 1); values in the
+	// bucket lie in (LE+1)/2 .. LE.
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Min     int64             `json:"min"`
+	Max     int64             `json:"max"`
+	Mean    float64           `json:"mean"`
+	P50     int64             `json:"p50"`
+	P90     int64             `json:"p90"`
+	P99     int64             `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe
+// calls may straddle the copy; totals are eventually consistent, which
+// is fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if mn := h.min.Load(); mn > 0 {
+		s.Min = mn - 1
+	}
+	if mx := h.max.Load(); mx > 0 {
+		s.Max = mx - 1
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	counts := make([]int64, histBuckets)
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50 = quantile(counts, total, 0.50)
+	s.P90 = quantile(counts, total, 0.90)
+	s.P99 = quantile(counts, total, 0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{LE: upperBound(i), Count: c})
+		}
+	}
+	return s
+}
+
+// upperBound returns the largest value stored in bucket i.
+func upperBound(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// quantile observation — a log-scaled estimate, exact to within 2x.
+func quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return upperBound(i)
+		}
+	}
+	return upperBound(len(counts) - 1)
+}

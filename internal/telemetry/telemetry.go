@@ -1,0 +1,181 @@
+// Package telemetry instruments the SPINE query path: lock-cheap
+// per-endpoint request counters, log-scaled latency histograms,
+// in-flight gauges, and aggregation of SPINE-specific query statistics
+// (nodes checked, occurrences reported, pattern-length distribution —
+// the §4.1 metrics of the paper). A Registry snapshots to a
+// JSON-friendly struct served at /metrics and published via expvar.
+//
+// Everything is built on sync/atomic: recording on the hot path is a
+// handful of uncontended atomic adds, no locks, no allocation.
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic up/down gauge (e.g. in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc increments the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Endpoint aggregates one HTTP endpoint's traffic.
+type Endpoint struct {
+	Requests  Counter   // completed requests, any status
+	Errors4xx Counter   // completed with a 4xx status
+	Errors5xx Counter   // completed with a 5xx status
+	Rejected  Counter   // shed with 429 by the concurrency limiter
+	InFlight  Gauge     // currently executing requests
+	Latency   Histogram // request latency, microseconds
+}
+
+// ObserveRequest records one completed request.
+func (e *Endpoint) ObserveRequest(status int, d time.Duration) {
+	e.Requests.Inc()
+	switch {
+	case status == 429:
+		e.Rejected.Inc()
+		e.Errors4xx.Inc()
+	case status >= 500:
+		e.Errors5xx.Inc()
+	case status >= 400:
+		e.Errors4xx.Inc()
+	}
+	e.Latency.ObserveDuration(d)
+}
+
+// QueryStats aggregates SPINE-specific query-path measurements across
+// all endpoints.
+type QueryStats struct {
+	// NodesChecked is the cumulative number of index nodes examined —
+	// the paper's §4.1 set-basis suffix processing metric.
+	NodesChecked Counter
+	// Occurrences is the cumulative number of occurrence positions
+	// reported to clients.
+	Occurrences Counter
+	// Truncated counts responses cut short by a result limit.
+	Truncated Counter
+	// PatternLen is the distribution of query pattern lengths.
+	PatternLen Histogram
+}
+
+// Registry is the process-wide metric store for a query service.
+type Registry struct {
+	start time.Time
+	Query QueryStats
+
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+}
+
+// NewRegistry returns an empty registry; the uptime clock starts now.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now(), endpoints: make(map[string]*Endpoint)}
+}
+
+// Endpoint returns the named endpoint's metrics, creating them on first
+// use. Lookups after creation take only an RLock.
+func (r *Registry) Endpoint(name string) *Endpoint {
+	r.mu.RLock()
+	e := r.endpoints[name]
+	r.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.endpoints[name]; e == nil {
+		e = &Endpoint{}
+		r.endpoints[name] = e
+	}
+	return e
+}
+
+// EndpointSnapshot is a point-in-time copy of one endpoint's metrics.
+type EndpointSnapshot struct {
+	Requests  int64             `json:"requests"`
+	Errors4xx int64             `json:"errors4xx"`
+	Errors5xx int64             `json:"errors5xx"`
+	Rejected  int64             `json:"rejected"`
+	InFlight  int64             `json:"inFlight"`
+	LatencyUs HistogramSnapshot `json:"latencyUs"`
+}
+
+// Snapshot is a point-in-time copy of the whole registry, shaped for
+// JSON encoding at /metrics.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptimeSeconds"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Query         QuerySnapshot               `json:"query"`
+}
+
+// QuerySnapshot is the snapshot of QueryStats.
+type QuerySnapshot struct {
+	NodesChecked int64             `json:"nodesChecked"`
+	Occurrences  int64             `json:"occurrences"`
+	Truncated    int64             `json:"truncated"`
+	PatternLen   HistogramSnapshot `json:"patternLen"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	eps := make(map[string]*Endpoint, len(r.endpoints))
+	for name, e := range r.endpoints {
+		eps[name] = e
+	}
+	r.mu.RUnlock()
+	s := Snapshot{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(eps)),
+		Query: QuerySnapshot{
+			NodesChecked: r.Query.NodesChecked.Value(),
+			Occurrences:  r.Query.Occurrences.Value(),
+			Truncated:    r.Query.Truncated.Value(),
+			PatternLen:   r.Query.PatternLen.Snapshot(),
+		},
+	}
+	for name, e := range eps {
+		s.Endpoints[name] = EndpointSnapshot{
+			Requests:  e.Requests.Value(),
+			Errors4xx: e.Errors4xx.Value(),
+			Errors5xx: e.Errors5xx.Value(),
+			Rejected:  e.Rejected.Value(),
+			InFlight:  e.InFlight.Value(),
+			LatencyUs: e.Latency.Snapshot(),
+		}
+	}
+	return s
+}
+
+// PublishExpvar exposes the registry under the given expvar name
+// (visible at /debug/vars). Publishing the same name twice panics in
+// expvar, so reuse is guarded: a second call with a taken name is a
+// no-op.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 7, 8, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d, want 0/1000", s.Min, s.Max)
+	}
+	if s.Sum != 0+1+2+3+7+8+1000+0 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+	// 0 lands in the le=0 bucket; 1000 in le=1023.
+	if s.Buckets[0].LE != 0 || s.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket = %+v", s.Buckets[0])
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.LE != 1023 || last.Count != 1 {
+		t.Fatalf("top bucket = %+v", last)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket le=15
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000) // bucket le=131071
+	}
+	s := h.Snapshot()
+	if s.P50 != 15 || s.P90 != 15 {
+		t.Fatalf("p50/p90 = %d/%d, want 15/15", s.P50, s.P90)
+	}
+	if s.P99 != 131071 {
+		t.Fatalf("p99 = %d, want 131071", s.P99)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Min != 3000 || s.Max != 3000 {
+		t.Fatalf("3ms observed as %d..%d µs", s.Min, s.Max)
+	}
+}
+
+func TestEndpointStatusClasses(t *testing.T) {
+	var e Endpoint
+	e.ObserveRequest(200, time.Millisecond)
+	e.ObserveRequest(404, time.Millisecond)
+	e.ObserveRequest(429, time.Millisecond)
+	e.ObserveRequest(500, time.Millisecond)
+	if e.Requests.Value() != 4 || e.Errors4xx.Value() != 2 ||
+		e.Errors5xx.Value() != 1 || e.Rejected.Value() != 1 {
+		t.Fatalf("counts: req=%d 4xx=%d 5xx=%d rej=%d",
+			e.Requests.Value(), e.Errors4xx.Value(), e.Errors5xx.Value(), e.Rejected.Value())
+	}
+	if e.Latency.Count() != 4 {
+		t.Fatalf("latency count = %d", e.Latency.Count())
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Endpoint("findall").ObserveRequest(200, 2*time.Millisecond)
+	r.Query.NodesChecked.Add(1234)
+	r.Query.Occurrences.Add(7)
+	r.Query.PatternLen.Observe(16)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Endpoints map[string]struct {
+			Requests  int64 `json:"requests"`
+			LatencyUs struct {
+				Count int64 `json:"count"`
+			} `json:"latencyUs"`
+		} `json:"endpoints"`
+		Query struct {
+			NodesChecked int64 `json:"nodesChecked"`
+			Occurrences  int64 `json:"occurrences"`
+		} `json:"query"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Endpoints["findall"].Requests != 1 || out.Endpoints["findall"].LatencyUs.Count != 1 {
+		t.Fatalf("endpoint snapshot wrong: %s", b)
+	}
+	if out.Query.NodesChecked != 1234 || out.Query.Occurrences != 7 {
+		t.Fatalf("query snapshot wrong: %s", b)
+	}
+}
+
+// TestConcurrentObserveAndSnapshot exercises concurrent recording and
+// reading; run with -race to verify lock-freedom is actually safe.
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := r.Endpoint("q")
+			for i := 0; i < 1000; i++ {
+				e.InFlight.Inc()
+				e.ObserveRequest(200, time.Duration(i)*time.Microsecond)
+				r.Query.NodesChecked.Add(3)
+				e.InFlight.Dec()
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Endpoints["q"].Requests != 8000 {
+		t.Fatalf("requests = %d, want 8000", s.Endpoints["q"].Requests)
+	}
+	if s.Query.NodesChecked != 24000 {
+		t.Fatalf("nodesChecked = %d, want 24000", s.Query.NodesChecked)
+	}
+	if s.Endpoints["q"].InFlight != 0 {
+		t.Fatalf("inFlight = %d, want 0", s.Endpoints["q"].InFlight)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.PublishExpvar("spine_test_metrics")
+	r.PublishExpvar("spine_test_metrics") // must not panic
+}

@@ -1,6 +1,7 @@
 package spine
 
 import (
+	"context"
 	"time"
 
 	"github.com/spine-index/spine/internal/align"
@@ -34,7 +35,14 @@ type MatchInfo struct {
 // first occurrence of each match comes from the valid-path search; the
 // repetitions are resolved in one deferred backbone scan.
 func (x *Index) MaximalMatches(query []byte, minLen int) ([]Match, MatchInfo, error) {
-	rep, err := match.MaximalMatches(match.NewSpineEngine(x.c), x.Text(), query, minLen)
+	return x.MaximalMatchesContext(context.Background(), query, minLen)
+}
+
+// MaximalMatchesContext is MaximalMatches with cancellation: both the
+// streaming pass and the final occurrence-resolution scan abort promptly
+// (returning ctx.Err()) once the context ends.
+func (x *Index) MaximalMatchesContext(ctx context.Context, query []byte, minLen int) ([]Match, MatchInfo, error) {
+	rep, err := match.MaximalMatchesCtx(ctx, match.NewSpineEngine(x.c), x.Text(), query, minLen)
 	if err != nil {
 		return nil, MatchInfo{}, err
 	}
@@ -42,9 +50,28 @@ func (x *Index) MaximalMatches(query []byte, minLen int) ([]Match, MatchInfo, er
 }
 
 // MaximalMatches is the compact-layout variant; see Index.MaximalMatches.
-// data must be the original indexed text (the compact layout stores it
-// bit-packed).
-func (x *Compact) MaximalMatches(data, query []byte, minLen int) ([]Match, MatchInfo, error) {
+// The compact layout stores the indexed text bit-packed; it is unpacked
+// lazily on first use and cached.
+func (x *Compact) MaximalMatches(query []byte, minLen int) ([]Match, MatchInfo, error) {
+	return x.MaximalMatchesContext(context.Background(), query, minLen)
+}
+
+// MaximalMatchesContext is MaximalMatches with cancellation; see
+// Index.MaximalMatchesContext.
+func (x *Compact) MaximalMatchesContext(ctx context.Context, query []byte, minLen int) ([]Match, MatchInfo, error) {
+	rep, err := match.MaximalMatchesCtx(ctx, match.NewCompactSpineEngine(x.c), x.data(), query, minLen)
+	if err != nil {
+		return nil, MatchInfo{}, err
+	}
+	return convertReport(rep)
+}
+
+// MaximalMatchesWithData is the old compact-layout entry point taking the
+// indexed text explicitly; data must equal the original indexed string.
+//
+// Deprecated: the index now unpacks its own text — use
+// Compact.MaximalMatches.
+func (x *Compact) MaximalMatchesWithData(data, query []byte, minLen int) ([]Match, MatchInfo, error) {
 	rep, err := match.MaximalMatches(match.NewCompactSpineEngine(x.c), data, query, minLen)
 	if err != nil {
 		return nil, MatchInfo{}, err

@@ -1,0 +1,130 @@
+package spine
+
+import "context"
+
+// Querier is the read-side query surface shared by every index flavor:
+// the reference Index, the frozen Compact layout, and the parallel
+// Sharded index all satisfy it, so servers and benchmark harnesses can
+// run against any of them interchangeably.
+//
+// The context governs cancellation: occurrence enumeration is an O(n)
+// backbone scan regardless of how many occurrences exist, and
+// implementations abort it promptly (returning ctx.Err()) once the
+// context ends. Contains/Find descend the pattern only and check the
+// context at entry.
+type Querier interface {
+	// ContainsContext reports whether p is a substring of the indexed text.
+	ContainsContext(ctx context.Context, p []byte) (bool, error)
+	// FindContext returns the start offset of p's first occurrence, or -1.
+	FindContext(ctx context.Context, p []byte) (int, error)
+	// FindAllContext returns every occurrence start offset in increasing
+	// order; nil if p does not occur.
+	FindAllContext(ctx context.Context, p []byte) ([]int, error)
+	// FindAllLimitContext returns at most limit occurrences (limit <= 0
+	// means unlimited), stopping the scan early once the cap is reached.
+	FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error)
+	// CountContext returns the number of occurrences of p.
+	CountContext(ctx context.Context, p []byte) (int, error)
+	// Len returns the number of indexed characters.
+	Len() int
+}
+
+// QueryResult is the outcome of a limited occurrence query.
+type QueryResult struct {
+	// Positions lists occurrence start offsets in increasing order.
+	Positions []int
+	// Truncated reports that the scan stopped at the limit; more
+	// occurrences may exist.
+	Truncated bool
+	// NodesChecked counts index nodes examined by the query — the
+	// paper's §4.1 work metric, aggregated by serving telemetry.
+	NodesChecked int64
+}
+
+// Compile-time checks: every index flavor is a Querier.
+var (
+	_ Querier = (*Index)(nil)
+	_ Querier = (*Compact)(nil)
+	_ Querier = (*Sharded)(nil)
+)
+
+// ContainsContext implements Querier; see Index.Contains.
+func (x *Index) ContainsContext(ctx context.Context, p []byte) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return x.c.Contains(p), nil
+}
+
+// FindContext implements Querier; see Index.Find.
+func (x *Index) FindContext(ctx context.Context, p []byte) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
+	return x.c.Find(p), nil
+}
+
+// FindAllContext implements Querier; see Index.FindAll.
+func (x *Index) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
+	res, err := x.c.FindAllCtx(ctx, p, 0)
+	return res.Positions, err
+}
+
+// FindAllLimitContext implements Querier.
+func (x *Index) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
+	res, err := x.c.FindAllCtx(ctx, p, limit)
+	return QueryResult(res), err
+}
+
+// FindAllLimit returns at most max occurrence start offsets of p in
+// increasing order, stopping the backbone scan as soon as the cap is
+// reached — FindAll that cannot materialize millions of offsets for a
+// low-complexity pattern. max <= 0 means unlimited.
+func (x *Index) FindAllLimit(p []byte, max int) []int {
+	res, _ := x.c.FindAllCtx(context.Background(), p, max)
+	return res.Positions
+}
+
+// CountContext implements Querier; see Index.Count.
+func (x *Index) CountContext(ctx context.Context, p []byte) (int, error) {
+	return x.c.CountCtx(ctx, p)
+}
+
+// ContainsContext implements Querier; see Compact.Contains.
+func (x *Compact) ContainsContext(ctx context.Context, p []byte) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return x.c.Contains(p), nil
+}
+
+// FindContext implements Querier; see Compact.Find.
+func (x *Compact) FindContext(ctx context.Context, p []byte) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
+	return x.c.Find(p), nil
+}
+
+// FindAllContext implements Querier; see Compact.FindAll.
+func (x *Compact) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
+	res, err := x.c.FindAllCtx(ctx, p, 0)
+	return res.Positions, err
+}
+
+// FindAllLimitContext implements Querier.
+func (x *Compact) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
+	res, err := x.c.FindAllCtx(ctx, p, limit)
+	return QueryResult(res), err
+}
+
+// FindAllLimit returns at most max occurrences; see Index.FindAllLimit.
+func (x *Compact) FindAllLimit(p []byte, max int) []int {
+	res, _ := x.c.FindAllCtx(context.Background(), p, max)
+	return res.Positions
+}
+
+// CountContext implements Querier; see Compact.Count.
+func (x *Compact) CountContext(ctx context.Context, p []byte) (int, error) {
+	return x.c.CountCtx(ctx, p)
+}

@@ -1,6 +1,7 @@
 package spine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,7 +16,7 @@ import (
 // Each shard indexes its slice of the text plus an overlap of
 // maxPattern-1 characters from the next shard, so every occurrence of a
 // pattern up to maxPattern long lies entirely inside at least one shard.
-// Queries longer than maxPattern are rejected.
+// Queries longer than maxPattern are rejected with ErrPatternTooLong.
 type Sharded struct {
 	shards    []*Index
 	starts    []int // global start offset of each shard's slice
@@ -26,23 +27,19 @@ type Sharded struct {
 
 // BuildSharded indexes text in parallel shards of shardSize characters,
 // supporting patterns up to maxPattern long. shardSize must be at least
-// maxPattern. workers <= 0 means one goroutine per shard.
+// maxPattern; invalid configurations return ErrBadShardConfig.
+// workers <= 0 means one goroutine per shard.
 func BuildSharded(text []byte, shardSize, maxPattern, workers int) (*Sharded, error) {
 	if maxPattern < 1 {
-		return nil, fmt.Errorf("spine: maxPattern %d < 1", maxPattern)
+		return nil, fmt.Errorf("%w: maxPattern %d < 1", ErrBadShardConfig, maxPattern)
 	}
 	if shardSize < maxPattern {
-		return nil, fmt.Errorf("spine: shard size %d smaller than maxPattern %d", shardSize, maxPattern)
+		return nil, fmt.Errorf("%w: shard size %d smaller than maxPattern %d", ErrBadShardConfig, shardSize, maxPattern)
 	}
 	s := &Sharded{textLen: len(text), maxPat: maxPattern, shardSize: shardSize}
 	for off := 0; off < len(text); off += shardSize {
-		end := off + shardSize + maxPattern - 1
-		if end > len(text) {
-			end = len(text)
-		}
 		s.starts = append(s.starts, off)
 		s.shards = append(s.shards, nil)
-		_ = end
 	}
 	if len(s.shards) == 0 {
 		s.starts = []int{0}
@@ -82,20 +79,32 @@ func (s *Sharded) Len() int { return s.textLen }
 // Shards returns the number of shards.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// MaxPattern returns the longest supported query pattern.
+func (s *Sharded) MaxPattern() int { return s.maxPat }
+
 func (s *Sharded) checkPattern(p []byte) error {
 	if len(p) > s.maxPat {
-		return fmt.Errorf("spine: pattern length %d exceeds the sharded index's maxPattern %d", len(p), s.maxPat)
+		return fmt.Errorf("%w: length %d exceeds the sharded index's maxPattern %d", ErrPatternTooLong, len(p), s.maxPat)
 	}
 	return nil
 }
 
 // Contains reports whether p occurs anywhere in the sharded text.
 func (s *Sharded) Contains(p []byte) (bool, error) {
+	return s.ContainsContext(context.Background(), p)
+}
+
+// ContainsContext implements Querier; see Contains.
+func (s *Sharded) ContainsContext(ctx context.Context, p []byte) (bool, error) {
 	if err := s.checkPattern(p); err != nil {
 		return false, err
 	}
 	for _, sh := range s.shards {
-		if sh.Contains(p) {
+		ok, err := sh.ContainsContext(ctx, p)
+		if err != nil {
+			return false, err
+		}
+		if ok {
 			return true, nil
 		}
 	}
@@ -104,11 +113,20 @@ func (s *Sharded) Contains(p []byte) (bool, error) {
 
 // Find returns the first (global) occurrence offset of p, or -1.
 func (s *Sharded) Find(p []byte) (int, error) {
+	return s.FindContext(context.Background(), p)
+}
+
+// FindContext implements Querier; see Find.
+func (s *Sharded) FindContext(ctx context.Context, p []byte) (int, error) {
 	if err := s.checkPattern(p); err != nil {
 		return -1, err
 	}
 	for i, sh := range s.shards {
-		if pos := sh.Find(p); pos >= 0 {
+		pos, err := sh.FindContext(ctx, p)
+		if err != nil {
+			return -1, err
+		}
+		if pos >= 0 {
 			return s.starts[i] + pos, nil
 		}
 	}
@@ -119,42 +137,123 @@ func (s *Sharded) Find(p []byte) (int, error) {
 // order, querying shards in parallel and deduplicating overlap-region
 // hits.
 func (s *Sharded) FindAll(p []byte) ([]int, error) {
+	return s.FindAllContext(context.Background(), p)
+}
+
+// FindAllContext implements Querier; see FindAll.
+func (s *Sharded) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
+	res, err := s.FindAllLimitContext(ctx, p, 0)
+	return res.Positions, err
+}
+
+// FindAllLimit returns at most max occurrences; see Index.FindAllLimit.
+func (s *Sharded) FindAllLimit(p []byte, max int) ([]int, error) {
+	res, err := s.FindAllLimitContext(context.Background(), p, max)
+	return res.Positions, err
+}
+
+// FindAllLimitContext implements Querier. Shards are scanned in
+// parallel; each fetches enough hits that the merged global prefix is
+// exact even though overlap-region starts are discarded.
+func (s *Sharded) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
+	var res QueryResult
 	if err := s.checkPattern(p); err != nil {
-		return nil, err
+		return res, err
 	}
 	if len(p) == 0 {
-		out := make([]int, s.textLen+1)
-		for i := range out {
-			out[i] = i
+		n := s.textLen + 1
+		if limit > 0 && n > limit {
+			n = limit
+			res.Truncated = true
 		}
-		return out, nil
+		res.Positions = make([]int, n)
+		for i := range res.Positions {
+			res.Positions[i] = i
+		}
+		return res, nil
 	}
-	perShard := make([][]int, len(s.shards))
+	// A shard's own slice is [0, shardSize); starts in the overlap belong
+	// to the next shard. The overlap holds at most maxPat-1 starts, so
+	// fetching limit+maxPat-1 raw hits guarantees at least limit own-slice
+	// hits whenever that many exist.
+	shardLimit := 0
+	if limit > 0 {
+		shardLimit = limit + s.maxPat - 1
+	}
+	perShard := make([]QueryResult, len(s.shards))
+	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
 	for i := range s.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			// Only keep occurrences starting inside this shard's own
-			// slice; starts in the overlap belong to the next shard.
-			for _, pos := range s.shards[i].FindAll(p) {
+			raw, err := s.shards[i].FindAllLimitContext(ctx, p, shardLimit)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			kept := QueryResult{Truncated: raw.Truncated, NodesChecked: raw.NodesChecked}
+			for _, pos := range raw.Positions {
 				if pos < s.shardSize || i == len(s.shards)-1 {
-					perShard[i] = append(perShard[i], s.starts[i]+pos)
+					kept.Positions = append(kept.Positions, s.starts[i]+pos)
 				}
 			}
+			perShard[i] = kept
 		}(i)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return QueryResult{}, err
+		}
+	}
 	var out []int
-	for _, hits := range perShard {
-		out = append(out, hits...)
+	for _, sh := range perShard {
+		out = append(out, sh.Positions...)
+		res.NodesChecked += sh.NodesChecked
+		res.Truncated = res.Truncated || sh.Truncated
 	}
 	sort.Ints(out)
-	return out, nil
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+		res.Truncated = true
+	}
+	res.Positions = out
+	return res, nil
 }
 
 // Count returns the number of occurrences of p.
 func (s *Sharded) Count(p []byte) (int, error) {
 	occ, err := s.FindAll(p)
 	return len(occ), err
+}
+
+// CountContext implements Querier; see Count.
+func (s *Sharded) CountContext(ctx context.Context, p []byte) (int, error) {
+	occ, err := s.FindAllContext(ctx, p)
+	return len(occ), err
+}
+
+// Stats aggregates the structural measurements of every shard: counts
+// are summed, label maxima taken, and fan-out buckets merged. Length is
+// the logical text length (shard overlaps excluded), so the sum of the
+// shard Lengths exceeds it.
+func (s *Sharded) Stats() Stats {
+	agg := Stats{Length: s.textLen}
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		agg.RibCount += st.RibCount
+		agg.ExtribCount += st.ExtribCount
+		agg.MemoryBytes += st.MemoryBytes
+		agg.MaxLEL = max(agg.MaxLEL, st.MaxLEL)
+		agg.MaxPT = max(agg.MaxPT, st.MaxPT)
+		agg.MaxPRT = max(agg.MaxPRT, st.MaxPRT)
+		for len(agg.FanoutNodes) < len(st.FanoutNodes) {
+			agg.FanoutNodes = append(agg.FanoutNodes, 0)
+		}
+		for i, n := range st.FanoutNodes {
+			agg.FanoutNodes[i] += n
+		}
+	}
+	return agg
 }

@@ -3,6 +3,7 @@ package spine
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/spine-index/spine/internal/core"
 	"github.com/spine-index/spine/internal/seq"
@@ -83,6 +84,9 @@ func (x *Index) LinkHistogram(buckets int) []float64 { return x.c.LinkHistogram(
 // per-fanout rib tables — under 12 bytes per DNA character. The alphabet
 // must cover every indexed character.
 func (x *Index) Compact(a *Alphabet) (*Compact, error) {
+	if a == nil || a.Size() == 0 {
+		return nil, ErrEmptyAlphabet
+	}
 	ci, err := core.Freeze(x.c, (*seq.Alphabet)(a))
 	if err != nil {
 		return nil, fmt.Errorf("spine: %w", err)
@@ -111,6 +115,19 @@ type Stats struct {
 // not occur.
 type Compact struct {
 	c *core.CompactIndex
+
+	// textOnce/text lazily unpack the bit-packed vertebra labels the
+	// first time an operation (MaximalMatches' left-maximality checks)
+	// needs the raw string; queries never touch it.
+	textOnce sync.Once
+	text     []byte
+}
+
+// data returns the indexed text, unpacking it from the compact layout on
+// first use and caching it for subsequent calls.
+func (x *Compact) data() []byte {
+	x.textOnce.Do(func() { x.text = x.c.Text() })
+	return x.text
 }
 
 // Len returns the number of indexed characters.
@@ -159,6 +176,9 @@ type CompactBuilder struct {
 
 // NewCompactBuilder returns an empty builder over the given alphabet.
 func NewCompactBuilder(a *Alphabet) (*CompactBuilder, error) {
+	if a == nil || a.Size() == 0 {
+		return nil, ErrEmptyAlphabet
+	}
 	b, err := core.NewCompactBuilder((*seq.Alphabet)(a))
 	if err != nil {
 		return nil, err

@@ -117,12 +117,20 @@ func TestMaximalMatchesAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cm, _, err := c.MaximalMatches(data, query, 6)
+	cm, _, err := c.MaximalMatches(query, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cm) != len(matches) {
 		t.Fatalf("compact found %d matches, reference %d", len(cm), len(matches))
+	}
+	// The deprecated explicit-data entry point must agree too.
+	cw, _, err := c.MaximalMatchesWithData(data, query, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw) != len(matches) {
+		t.Fatalf("MaximalMatchesWithData found %d matches, reference %d", len(cw), len(matches))
 	}
 }
 
