@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race bench serve fmt
+.PHONY: build test check vet race lint bench serve fmt
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: static analysis plus the race-enabled
-# test suite (covers the concurrent telemetry and server paths).
-check: vet race
+# lint fails on vet findings or unformatted files (gofmt prints the
+# offenders; the shell guard turns any output into a non-zero exit).
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# check is the pre-merge gate: lint plus the race-enabled test suite
+# (covers the concurrent telemetry, trace and server paths).
+check: lint race
 
 fmt:
 	gofmt -l -w .

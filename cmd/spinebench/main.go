@@ -14,6 +14,10 @@
 //	spinebench -load http://localhost:8080 -load-n 10000 -load-c 16 \
 //	    -load-mix contains:5,findall:2,count:1 -load-seq eco -load-plen 12
 //
+// With -load-prom the per-endpoint results are also written in
+// Prometheus text exposition format (spinebench_* families), ready to
+// diff against the server's /metrics?format=prom.
+//
 // At -divide 1 the corpus matches the paper's sequence lengths (eco 3.5M,
 // cel 15.5M, hc21 28.5M, hc19 57.5M characters); expect multi-hour runs
 // for the disk experiments with -sync.
@@ -46,10 +50,11 @@ func main() {
 		loadSeq  = flag.String("load-seq", "eco", "load mode: suite sequence to sample query patterns from")
 		loadPlen = flag.Int("load-plen", 12, "load mode: sampled pattern length")
 		loadTO   = flag.Duration("load-timeout", 30*time.Second, "load mode: per-request client timeout")
+		loadProm = flag.String("load-prom", "", `load mode: also write Prometheus text metrics to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 	if *loadURL != "" {
-		if err := runLoad(*loadURL, *loadN, *loadC, *loadMix, *loadSeq, *loadPlen, *divide, *loadTO); err != nil {
+		if err := runLoad(*loadURL, *loadN, *loadC, *loadMix, *loadSeq, *loadPlen, *divide, *loadTO, *loadProm); err != nil {
 			fmt.Fprintln(os.Stderr, "spinebench:", err)
 			os.Exit(1)
 		}
@@ -63,7 +68,7 @@ func main() {
 
 // runLoad replays a query mix against a running spineserve and prints
 // the per-endpoint latency table.
-func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide int, timeout time.Duration) error {
+func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide int, timeout time.Duration, promPath string) error {
 	mix, err := parseMix(mixSpec)
 	if err != nil {
 		return err
@@ -78,7 +83,7 @@ func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide i
 		return fmt.Errorf("cannot sample %d-char patterns from %s at divisor %d (%d chars)",
 			plen, seqName, divide, len(text))
 	}
-	table, _, err := bench.RunLoad(bench.LoadConfig{
+	table, results, err := bench.RunLoad(bench.LoadConfig{
 		BaseURL:     strings.TrimRight(url, "/"),
 		Patterns:    patterns,
 		Mix:         mix,
@@ -90,6 +95,20 @@ func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide i
 		return err
 	}
 	table.Fprint(os.Stdout)
+	if promPath != "" {
+		out := os.Stdout
+		if promPath != "-" {
+			f, err := os.Create(promPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteLoadPrometheus(out, results); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

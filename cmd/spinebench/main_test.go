@@ -3,6 +3,9 @@ package main
 import (
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -42,13 +45,21 @@ func TestRunLoadMode(t *testing.T) {
 		w.Write([]byte(`{}`))
 	}))
 	defer ts.Close()
-	if err := runLoad(ts.URL+"/", 12, 2, "contains:1", "eco", 8, 4000, time.Second); err != nil {
+	promFile := filepath.Join(t.TempDir(), "load.prom")
+	if err := runLoad(ts.URL+"/", 12, 2, "contains:1", "eco", 8, 4000, time.Second, promFile); err != nil {
 		t.Fatalf("runLoad: %v", err)
 	}
 	if hits.Load() != 12 {
 		t.Fatalf("hits = %d, want 12", hits.Load())
 	}
-	if err := runLoad(ts.URL, 12, 2, "contains:1", "eco", 1<<30, 4000, time.Second); err == nil {
+	prom, err := os.ReadFile(promFile)
+	if err != nil {
+		t.Fatalf("prom output not written: %v", err)
+	}
+	if !strings.Contains(string(prom), `spinebench_requests_total{endpoint="contains"} 12`) {
+		t.Fatalf("prom output missing request counter:\n%s", prom)
+	}
+	if err := runLoad(ts.URL, 12, 2, "contains:1", "eco", 1<<30, 4000, time.Second, ""); err == nil {
 		t.Fatal("oversized pattern length accepted")
 	}
 }

@@ -13,6 +13,7 @@
 //
 //	GET  /healthz                        liveness + indexed length
 //	GET  /metrics                        telemetry snapshot (latency histograms, query stats)
+//	GET  /metrics?format=prom            Prometheus text exposition of the same registry
 //	GET  /stats                          index structure statistics
 //	GET  /contains?q=acgt                substring test
 //	GET  /find?q=acgt                    first occurrence
@@ -20,10 +21,15 @@
 //	GET  /count?q=acgt                   occurrence count
 //	GET  /approx?q=acgt&k=1&model=hamming  approximate occurrences (index mode only)
 //	POST /match?minlen=20                maximal matches vs the body sequence
+//	GET  /debug/slowlog                  recent slow queries with per-stage breakdowns
 //	GET  /debug/vars, /debug/pprof/*     expvar + pprof
 //
 // Overload returns 429 with Retry-After; queries past -query-timeout
-// return 504 after aborting the index scan.
+// return 504 after aborting the index scan. Query requests carry a
+// per-query trace (sampled 1-in--trace-sample) whose stage spans feed
+// the per-stage/per-shard Prometheus series; requests at or above
+// -slowlog-threshold land in the /debug/slowlog ring with per-stage
+// durations and §4.1 node counters.
 package main
 
 import (
@@ -60,6 +66,10 @@ func main() {
 		maxPatLen    = flag.Int("max-pattern-len", 1<<20, "max q parameter length in bytes")
 		maxBody      = flag.Int64("max-body", 256<<20, "max /match body size in bytes")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain deadline")
+
+		slowlogThreshold = flag.Duration("slowlog-threshold", 250*time.Millisecond, "retain queries at least this slow in /debug/slowlog; 0 disables")
+		slowlogSize      = flag.Int("slowlog-size", 128, "slow-query ring capacity")
+		traceSample      = flag.Int("trace-sample", 1, "trace 1 in N query requests (1 = all, 0 = none)")
 	)
 	flag.Parse()
 
@@ -75,6 +85,10 @@ func main() {
 		maxBodyBytes:  *maxBody,
 		findAllCap:    *findAllCap,
 		logger:        log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds),
+
+		slowlogThreshold: *slowlogThreshold,
+		slowlogSize:      *slowlogSize,
+		traceSample:      *traceSample,
 	}
 	app := newQueryServer(q, cfg)
 

@@ -4,7 +4,10 @@ import (
 	"context"
 	"net/http"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
+
+	"github.com/spine-index/spine/internal/trace"
 )
 
 // statusRecorder captures the response status for logging and metrics.
@@ -32,12 +35,17 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 
 // instrument wraps a handler with the full middleware stack, outermost
 // first: panic recovery, metrics + structured logging, the concurrency
-// limiter (query endpoints only), and the per-request query deadline.
+// limiter (query endpoints only), the per-request query deadline, and —
+// for sampled query requests — a per-query trace whose spans feed the
+// per-stage/per-shard registry series and the slow-query log. The
+// handler goroutine carries a pprof endpoint label so CPU profiles
+// split by route.
 func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.Handler {
 	ep := s.reg.Endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w}
+		var tr *trace.Trace
 		ep.InFlight.Inc()
 		defer func() {
 			ep.InFlight.Dec()
@@ -53,6 +61,7 @@ func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.
 			}
 			elapsed := time.Since(start)
 			ep.ObserveRequest(sr.status, elapsed)
+			s.observeTrace(tr, name, sr.status, start, elapsed)
 			s.cfg.logger.Printf("method=%s path=%s endpoint=%s status=%d durUs=%d bytes=%d",
 				r.Method, r.URL.Path, name, sr.status, elapsed.Microseconds(), sr.bytes)
 		}()
@@ -69,11 +78,50 @@ func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.
 			}
 		}
 
+		ctx := r.Context()
 		if limited && s.cfg.queryTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.queryTimeout)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.queryTimeout)
 			defer cancel()
-			r = r.WithContext(ctx)
 		}
-		h(sr, r)
+		if limited && s.sampler.Sample() {
+			tr = trace.New()
+			tr.SetEndpoint(name)
+			ctx = trace.NewContext(ctx, tr)
+		}
+		r = r.WithContext(ctx)
+		// pprof.Do restores the goroutine's labels on return, which also
+		// cleans up any labels handlers add (e.g. plen_bucket).
+		pprof.Do(ctx, pprof.Labels("endpoint", name), func(context.Context) {
+			h(sr, r)
+		})
 	})
+}
+
+// observeTrace folds a finished query's spans into the registry's
+// per-stage and per-shard series and, past the threshold, appends the
+// query to the slow log with its full breakdown.
+func (s *server) observeTrace(tr *trace.Trace, name string, status int, start time.Time, elapsed time.Duration) {
+	if tr == nil {
+		return
+	}
+	for _, rec := range tr.Records() {
+		st := s.reg.Stage(rec.Stage)
+		st.Spans.Inc()
+		st.Nanos.Add(rec.Duration.Nanoseconds())
+		st.Nodes.Add(rec.Nodes)
+		st.RibHops.Add(rec.RibHops)
+		st.ExtribHops.Add(rec.ExtribHops)
+		if rec.Shard >= 0 {
+			sh := s.reg.Shard(rec.Shard)
+			sh.NodesChecked.Add(rec.Nodes)
+			if rec.Stage == trace.StageShard {
+				sh.Queries.Inc()
+				sh.Nanos.Add(rec.Duration.Nanoseconds())
+			}
+		}
+	}
+	if s.slowlog != nil && elapsed >= s.slowlog.Threshold() {
+		s.slowlog.Add(tr.Entry(start, name, status, elapsed))
+	}
 }

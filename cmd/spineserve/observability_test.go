@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spine-index/spine"
+)
+
+// slowlogResponse mirrors the /debug/slowlog JSON shape.
+type slowlogResponse struct {
+	Enabled     bool  `json:"enabled"`
+	ThresholdUs int64 `json:"thresholdUs"`
+	Total       int64 `json:"total"`
+	Entries     []struct {
+		Endpoint     string `json:"endpoint"`
+		Status       int    `json:"status"`
+		DurationUs   int64  `json:"durationUs"`
+		NodesChecked int64  `json:"nodesChecked"`
+		Pattern      struct {
+			Hash   string `json:"hash"`
+			Len    int    `json:"len"`
+			Prefix string `json:"prefix"`
+		} `json:"pattern"`
+		Stages []struct {
+			Stage      string `json:"stage"`
+			Shard      int    `json:"shard"`
+			Spans      int64  `json:"spans"`
+			DurationUs int64  `json:"durationUs"`
+			Nodes      int64  `json:"nodes"`
+		} `json:"stages"`
+	} `json:"entries"`
+}
+
+func observabilityServer(t *testing.T, q spine.Querier) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := defaultConfig()
+	cfg.slowlogThreshold = time.Nanosecond // every query is "slow"
+	cfg.traceSample = 1
+	app := newQueryServer(q, cfg)
+	ts := httptest.NewServer(app.mux())
+	t.Cleanup(ts.Close)
+	return app, ts
+}
+
+// TestSlowlogBreakdown is the acceptance check for slow-query
+// forensics: a query over the threshold appears at /debug/slowlog with
+// per-stage durations and node counters whose sum matches the query's
+// reported NodesChecked.
+func TestSlowlogBreakdown(t *testing.T) {
+	data := bytes.Repeat([]byte("acgtacgtttgcaacg"), 256)
+	sh, err := spine.BuildSharded(data, 1024, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, ts := observabilityServer(t, sh)
+
+	resp, err := http.Get(ts.URL + "/findall?q=acgtacg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("findall status = %d", resp.StatusCode)
+	}
+	wantNodes := app.reg.Query.NodesChecked.Value()
+	if wantNodes == 0 {
+		t.Fatal("query did no work; test is vacuous")
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sl slowlogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sl); err != nil {
+		t.Fatal(err)
+	}
+	if !sl.Enabled || sl.Total < 1 || len(sl.Entries) < 1 {
+		t.Fatalf("slowlog missing the query: %+v", sl)
+	}
+	e := sl.Entries[0]
+	if e.Endpoint != "findall" || e.Status != http.StatusOK {
+		t.Fatalf("entry identity wrong: %+v", e)
+	}
+	if e.Pattern.Prefix != "acgtacg" || e.Pattern.Len != 7 || e.Pattern.Hash == "" {
+		t.Fatalf("pattern fingerprint wrong: %+v", e.Pattern)
+	}
+	if len(e.Stages) == 0 {
+		t.Fatal("entry has no per-stage breakdown")
+	}
+	if e.NodesChecked != wantNodes {
+		t.Fatalf("entry NodesChecked = %d, want the query's reported %d", e.NodesChecked, wantNodes)
+	}
+	var stageNodes int64
+	stages := map[string]bool{}
+	shardAttributed := false
+	for _, st := range e.Stages {
+		stageNodes += st.Nodes
+		stages[st.Stage] = true
+		if st.Shard >= 0 {
+			shardAttributed = true
+		}
+	}
+	if stageNodes != e.NodesChecked {
+		t.Fatalf("stage node counters sum to %d, want NodesChecked %d", stageNodes, e.NodesChecked)
+	}
+	for _, want := range []string{"descend", "occurrences", "shard", "merge"} {
+		if !stages[want] {
+			t.Fatalf("breakdown missing stage %q: %+v", want, e.Stages)
+		}
+	}
+	if !shardAttributed {
+		t.Fatal("sharded query has no shard-attributed spans")
+	}
+}
+
+// TestSlowlogDisabledBySampling verifies that turning sampling off keeps
+// queries working and the slow log empty — the tracing-off path.
+func TestSlowlogDisabledBySampling(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.slowlogThreshold = time.Nanosecond
+	cfg.traceSample = 0
+	app := newQueryServer(spine.Build([]byte("abracadabra")), cfg)
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/findall?q=abra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("findall status = %d", resp.StatusCode)
+	}
+	entries, total := app.slowlog.Snapshot()
+	if total != 0 || len(entries) != 0 {
+		t.Fatalf("unsampled queries reached the slowlog: total=%d", total)
+	}
+}
+
+// promLineRe matches one sample line of the text exposition format.
+var promLineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$`)
+
+// TestMetricsPromFormat is the acceptance check for the Prometheus
+// endpoint: every line parses, the Content-Type is the exposition
+// format, and the trace-fed per-stage/per-shard series are present.
+// (Strict format validation lives in internal/telemetry's unit tests;
+// this exercises the HTTP surface end to end.)
+func TestMetricsPromFormat(t *testing.T) {
+	data := bytes.Repeat([]byte("acgtacgtttgcaacg"), 256)
+	sh, err := spine.BuildSharded(data, 1024, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := observabilityServer(t, sh)
+
+	for _, url := range []string{"/findall?q=acgtacg", "/contains?q=ttgc", "/count?q=acg"} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLineRe.MatchString(line) {
+			t.Fatalf("line %d not valid exposition format: %q", ln+1, line)
+		}
+	}
+	for _, want := range []string{
+		`spine_http_requests_total{endpoint="findall"} `,
+		`spine_stage_nodes_checked_total{stage="descend"} `,
+		`spine_shard_queries_total{shard="0"} `,
+		`le="+Inf"`,
+		"spine_goroutines ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q\n%s", want, body)
+		}
+	}
+
+	// The JSON shape must be unaffected by the format switch.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("default /metrics no longer JSON: %v", err)
+	}
+	if _, ok := snap["stages"]; !ok {
+		t.Fatal("JSON snapshot missing per-stage aggregates")
+	}
+}

@@ -10,11 +10,13 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	runtimepprof "runtime/pprof"
 	"strconv"
 	"time"
 
 	"github.com/spine-index/spine"
 	"github.com/spine-index/spine/internal/telemetry"
+	"github.com/spine-index/spine/internal/trace"
 )
 
 // serverConfig tunes the robustness layer around the query handlers.
@@ -31,17 +33,28 @@ type serverConfig struct {
 	maxBodyBytes int64
 	// findAllCap is the largest (and default) /findall result limit.
 	findAllCap int
-	logger     *log.Logger
+	// slowlogThreshold is the request duration at or above which a traced
+	// query is retained in the slow-query ring; <= 0 disables the log.
+	slowlogThreshold time.Duration
+	// slowlogSize is the slow-query ring capacity.
+	slowlogSize int
+	// traceSample traces 1 in N query requests (1 = every query, 0 =
+	// never). Untraced queries pay one context lookup and nothing else.
+	traceSample int
+	logger      *log.Logger
 }
 
 func defaultConfig() serverConfig {
 	return serverConfig{
-		queryTimeout:  10 * time.Second,
-		maxInFlight:   64,
-		maxPatternLen: 1 << 20,
-		maxBodyBytes:  256 << 20,
-		findAllCap:    10000,
-		logger:        log.New(io.Discard, "", 0),
+		queryTimeout:     10 * time.Second,
+		maxInFlight:      64,
+		maxPatternLen:    1 << 20,
+		maxBodyBytes:     256 << 20,
+		findAllCap:       10000,
+		slowlogThreshold: 250 * time.Millisecond,
+		slowlogSize:      128,
+		traceSample:      1,
+		logger:           log.New(io.Discard, "", 0),
 	}
 }
 
@@ -50,10 +63,12 @@ func defaultConfig() serverConfig {
 // search) are discovered by interface assertion, so the same server
 // fronts reference, compact and sharded indexes.
 type server struct {
-	q   spine.Querier
-	reg *telemetry.Registry
-	cfg serverConfig
-	sem chan struct{} // concurrency limiter; nil when disabled
+	q       spine.Querier
+	reg     *telemetry.Registry
+	cfg     serverConfig
+	sem     chan struct{} // concurrency limiter; nil when disabled
+	sampler *trace.Sampler
+	slowlog *trace.SlowLog // nil when the threshold disables it
 }
 
 // Optional capabilities beyond the Querier surface.
@@ -77,6 +92,10 @@ func newQueryServer(q spine.Querier, cfg serverConfig) *server {
 	if cfg.maxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.maxInFlight)
 	}
+	s.sampler = trace.NewSampler(cfg.traceSample)
+	if cfg.slowlogThreshold > 0 {
+		s.slowlog = trace.NewSlowLog(cfg.slowlogSize, cfg.slowlogThreshold)
+	}
 	s.reg.PublishExpvar("spine")
 	return s
 }
@@ -96,6 +115,7 @@ func (s *server) mux() http.Handler {
 	m.Handle("GET /count", s.instrument("count", true, s.handleCount))
 	m.Handle("GET /approx", s.instrument("approx", true, s.handleApprox))
 	m.Handle("POST /match", s.instrument("match", true, s.handleMatch))
+	m.Handle("GET /debug/slowlog", s.instrument("slowlog", false, s.handleSlowlog))
 	m.Handle("GET /debug/vars", expvar.Handler())
 	m.HandleFunc("GET /debug/pprof/", pprof.Index)
 	m.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -149,12 +169,61 @@ func (s *server) pattern(w http.ResponseWriter, r *http.Request) ([]byte, bool) 
 	return []byte(q), true
 }
 
+// observePattern records the pattern length in the registry, stamps the
+// fingerprint on the query's trace (if sampled), and labels the handler
+// goroutine with a low-cardinality pattern-length bucket so CPU
+// profiles split by query size. The middleware's pprof.Do restores the
+// labels when the handler returns.
+func (s *server) observePattern(r *http.Request, p []byte) {
+	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	trace.FromContext(r.Context()).SetPattern(p)
+	runtimepprof.SetGoroutineLabels(runtimepprof.WithLabels(r.Context(),
+		runtimepprof.Labels("plen_bucket", plenBucket(len(p)))))
+}
+
+// plenBucket buckets a pattern length for pprof labels.
+func plenBucket(n int) string {
+	switch {
+	case n <= 16:
+		return "0-16"
+	case n <= 64:
+		return "17-64"
+	case n <= 256:
+		return "65-256"
+	case n <= 1024:
+		return "257-1024"
+	default:
+		return "1025+"
+	}
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"ok": true, "indexedChars": s.q.Len()})
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		if err := s.reg.WritePrometheus(w); err != nil {
+			s.cfg.logger.Printf("metrics: prometheus write: %v", err)
+		}
+		return
+	}
 	writeJSON(w, s.reg.Snapshot())
+}
+
+func (s *server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	if s.slowlog == nil {
+		writeJSON(w, map[string]any{"enabled": false})
+		return
+	}
+	entries, total := s.slowlog.Snapshot()
+	writeJSON(w, map[string]any{
+		"enabled":     true,
+		"thresholdUs": s.slowlog.Threshold().Microseconds(),
+		"total":       total,
+		"entries":     entries,
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -179,7 +248,7 @@ func (s *server) handleContains(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	s.observePattern(r, p)
 	found, err := s.q.ContainsContext(r.Context(), p)
 	if err != nil {
 		s.writeError(w, err)
@@ -193,7 +262,7 @@ func (s *server) handleFind(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	s.observePattern(r, p)
 	pos, err := s.q.FindContext(r.Context(), p)
 	if err != nil {
 		s.writeError(w, err)
@@ -218,9 +287,12 @@ func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
 			limit = n
 		}
 	}
-	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	s.observePattern(r, p)
 	res, err := s.q.FindAllLimitContext(r.Context(), p, limit)
 	s.reg.Query.NodesChecked.Add(res.NodesChecked)
+	tr := trace.FromContext(r.Context())
+	tr.SetNodesChecked(res.NodesChecked)
+	tr.SetTruncated(res.Truncated)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -241,7 +313,7 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	s.observePattern(r, p)
 	n, err := s.q.CountContext(r.Context(), p)
 	if err != nil {
 		s.writeError(w, err)
@@ -279,7 +351,7 @@ func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad model (hamming|edit)", http.StatusBadRequest)
 		return
 	}
-	s.reg.Query.PatternLen.Observe(int64(len(p)))
+	s.observePattern(r, p)
 	positions := ap.FindAllWithin(p, k, model)
 	s.reg.Query.Occurrences.Add(int64(len(positions)))
 	writeJSON(w, map[string]any{"positions": positions})
@@ -314,13 +386,14 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty query sequence", http.StatusBadRequest)
 		return
 	}
-	s.reg.Query.PatternLen.Observe(int64(len(body)))
+	s.observePattern(r, body)
 	matches, info, err := mt.MaximalMatchesContext(r.Context(), body, minLen)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	s.reg.Query.NodesChecked.Add(info.NodesChecked)
+	trace.FromContext(r.Context()).SetNodesChecked(info.NodesChecked)
 	s.reg.Query.Occurrences.Add(int64(info.Pairs))
 	writeJSON(w, map[string]any{
 		"matches":      matches,

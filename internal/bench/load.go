@@ -166,6 +166,31 @@ func RunLoad(cfg LoadConfig) (Table, []LoadResult, error) {
 	return t, results, nil
 }
 
+// WriteLoadPrometheus renders per-endpoint load results in Prometheus
+// text exposition format — the client-side twin of the server's
+// /metrics?format=prom, under a spinebench_ prefix so the two scrape
+// sets diff cleanly side by side.
+func WriteLoadPrometheus(w io.Writer, results []LoadResult) error {
+	p := telemetry.NewPromWriter(w)
+	p.Family("spinebench_requests_total", "counter", "Requests issued by the load generator, by endpoint.")
+	for _, r := range results {
+		p.Sample("spinebench_requests_total", []telemetry.Label{{Name: "endpoint", Value: r.Endpoint}}, float64(r.Requests))
+	}
+	p.Family("spinebench_errors_total", "counter", "Transport failures and non-2xx responses, by endpoint.")
+	for _, r := range results {
+		p.Sample("spinebench_errors_total", []telemetry.Label{{Name: "endpoint", Value: r.Endpoint}}, float64(r.Errors))
+	}
+	p.Family("spinebench_rejected_total", "counter", "429 responses (server load shedding), by endpoint.")
+	for _, r := range results {
+		p.Sample("spinebench_rejected_total", []telemetry.Label{{Name: "endpoint", Value: r.Endpoint}}, float64(r.Rejected))
+	}
+	p.Family("spinebench_request_duration_seconds", "histogram", "Client-observed request latency by endpoint (log2 buckets).")
+	for _, r := range results {
+		p.Histogram("spinebench_request_duration_seconds", []telemetry.Label{{Name: "endpoint", Value: r.Endpoint}}, r.Latency, 1e-6)
+	}
+	return p.Err()
+}
+
 // expandMix turns weighted entries into a deterministic round-robin
 // schedule: {contains:2, count:1} -> [contains contains count].
 func expandMix(mix []MixEntry) ([]string, error) {

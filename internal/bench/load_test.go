@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"github.com/spine-index/spine/internal/telemetry"
 )
 
 func TestSamplePatterns(t *testing.T) {
@@ -129,6 +131,34 @@ func TestQueryLatencyExperiment(t *testing.T) {
 	for _, row := range table.Rows {
 		if row[6] == "0" {
 			t.Fatalf("mean nodes checked is zero: %v", row)
+		}
+	}
+}
+
+func TestWriteLoadPrometheus(t *testing.T) {
+	var lat telemetry.Histogram
+	lat.Observe(120)
+	lat.Observe(4500)
+	results := []LoadResult{
+		{Endpoint: "contains", Requests: 10, Errors: 1, Rejected: 2, Latency: lat.Snapshot()},
+		{Endpoint: "findall", Requests: 5},
+	}
+	var buf bytes.Buffer
+	if err := WriteLoadPrometheus(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`spinebench_requests_total{endpoint="contains"} 10`,
+		`spinebench_errors_total{endpoint="contains"} 1`,
+		`spinebench_rejected_total{endpoint="contains"} 2`,
+		`spinebench_requests_total{endpoint="findall"} 5`,
+		`spinebench_request_duration_seconds_count{endpoint="contains"} 2`,
+		`le="+Inf"`,
+		"# TYPE spinebench_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
 	}
 }

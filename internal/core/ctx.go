@@ -1,6 +1,11 @@
 package core
 
-import "context"
+import (
+	"context"
+	"time"
+
+	"github.com/spine-index/spine/internal/trace"
+)
 
 // Context-aware query variants. The backbone occurrence scan is O(n) per
 // query regardless of the occurrence count, so a production server needs
@@ -37,6 +42,9 @@ func (c *CompactIndex) FindAllCtx(ctx context.Context, p []byte, limit int) (Sca
 	if !ok {
 		// A letter outside the alphabet occurs nowhere; the pattern walk
 		// is the only work done.
+		if tr := trace.FromContext(ctx); tr != nil {
+			tr.Add(trace.StageDescend, 0, trace.Counters{Nodes: int64(len(p))})
+		}
 		return ScanResult{NodesChecked: int64(len(p))}, ctx.Err()
 	}
 	return findAllOnCtx(ctx, c, codes, limit)
@@ -59,7 +67,14 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 		}
 		return res, nil
 	}
-	first, ok := endNodeOn(s, p)
+	tr := trace.FromContext(ctx)
+	var first int32
+	var ok bool
+	if tr != nil {
+		first, ok = descendTracedOn(s, p, tr)
+	} else {
+		first, ok = endNodeOn(s, p)
+	}
 	res.NodesChecked = int64(len(p))
 	if !ok {
 		return res, nil
@@ -69,6 +84,19 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 		res.Truncated = true
 		return res, nil
 	}
+	// endScan attributes the backbone occurrence scan: scanned nodes is
+	// exactly what each exit path below adds to NodesChecked, so the
+	// trace's per-stage Nodes counters sum to the reported total.
+	var scanStart time.Time
+	if tr != nil {
+		scanStart = time.Now()
+	}
+	endScan := func(scanned int64) {
+		if tr != nil {
+			tr.Add(trace.StageOccurrences, time.Since(scanStart),
+				trace.Counters{Nodes: scanned, Links: scanned})
+		}
+	}
 	buf := []int32{first}
 	m := int32(len(p))
 	n := s.textLen()
@@ -76,6 +104,7 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 		if (j-first)%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
 				res.NodesChecked += int64(j - first)
+				endScan(int64(j - first))
 				return ScanResult{NodesChecked: res.NodesChecked}, err
 			}
 		}
@@ -86,11 +115,13 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 			if limit > 0 && len(res.Positions) >= limit {
 				res.Truncated = j < n
 				res.NodesChecked += int64(j - first)
+				endScan(int64(j - first))
 				return res, nil
 			}
 		}
 	}
 	res.NodesChecked += int64(n - first)
+	endScan(int64(n - first))
 	return res, nil
 }
 

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"github.com/spine-index/spine/internal/trace"
+)
+
+// Traced query paths. When the context carries a trace, descents run
+// through descendTracedOn — a counting twin of endNodeOn/stepOn that
+// attributes work to the trace's descend/ribs/extribs stages — and the
+// occurrence scan in findAllOnCtx records an occurrences span. When it
+// does not (the common case), queries take the untouched fast paths;
+// the only added cost is one context lookup per query.
+
+// descendOnCtx walks the valid path for p, tracing if ctx asks for it.
+func descendOnCtx[S store](ctx context.Context, s S, p []byte) (end int32, ok bool) {
+	if tr := trace.FromContext(ctx); tr != nil {
+		return descendTracedOn(s, p, tr)
+	}
+	return endNodeOn(s, p)
+}
+
+// descendTracedOn is endNodeOn with per-stage accounting: it records a
+// descend span whose Nodes equals len(p) (the §4.1 convention — one
+// node examined per pattern character, matching ScanResult.NodesChecked)
+// with rib/extrib hop counters, plus ribs/extribs spans isolating the
+// time spent off the backbone. The inner loop mirrors stepOn exactly;
+// clock reads happen only on the rib/extrib paths, which genomic
+// descents take rarely (most steps are vertebra extensions).
+func descendTracedOn[S store](s S, p []byte, tr *trace.Trace) (end int32, ok bool) {
+	sp := tr.Start(trace.StageDescend)
+	sp.C.Nodes = int64(len(p))
+	var ribsDur, extribsDur time.Duration
+	finish := func(end int32, ok bool) (int32, bool) {
+		sp.End()
+		if sp.C.RibHops > 0 {
+			tr.Add(trace.StageRibs, ribsDur, trace.Counters{RibHops: sp.C.RibHops})
+		}
+		if sp.C.ExtribHops > 0 {
+			tr.Add(trace.StageExtribs, extribsDur, trace.Counters{ExtribHops: sp.C.ExtribHops})
+		}
+		return end, ok
+	}
+	v := int32(0)
+	n := s.textLen()
+	for i, c := range p {
+		if v < n && s.charAt(v) == c {
+			v++ // vertebra extension: the hot case, no clocks
+			continue
+		}
+		t0 := time.Now()
+		r, found := s.findRib(v, c)
+		ribsDur += time.Since(t0)
+		sp.C.RibHops++
+		if !found {
+			return finish(0, false)
+		}
+		pathlen := int32(i)
+		if pathlen <= r.PT {
+			v = r.Dest
+			continue
+		}
+		t0 = time.Now()
+		node := r.Dest
+		for {
+			x, found := s.findExtrib(node)
+			if !found {
+				extribsDur += time.Since(t0)
+				return finish(0, false)
+			}
+			sp.C.ExtribHops++
+			if x.ParentSrc == v && x.PRT == r.PT && x.PT >= pathlen {
+				v = x.Dest
+				break
+			}
+			node = x.Dest
+		}
+		extribsDur += time.Since(t0)
+	}
+	return finish(v, true)
+}
+
+// EndNodeCtx is EndNode with tracing: when ctx carries a trace the
+// descent records descend/ribs/extribs spans.
+func (idx *Index) EndNodeCtx(ctx context.Context, p []byte) (end int32, ok bool) {
+	return descendOnCtx(ctx, idx, p)
+}
+
+// EndNodeCtx is the compact-layout variant; see Index.EndNodeCtx. A
+// pattern containing a letter outside the alphabet occurs nowhere; the
+// failed encoding still records the pattern walk's node count.
+func (c *CompactIndex) EndNodeCtx(ctx context.Context, p []byte) (end int32, ok bool) {
+	codes, ok := c.encodePattern(p)
+	if !ok {
+		if tr := trace.FromContext(ctx); tr != nil {
+			tr.Add(trace.StageDescend, 0, trace.Counters{Nodes: int64(len(p))})
+		}
+		return 0, false
+	}
+	return descendOnCtx(ctx, c, codes)
+}

@@ -14,6 +14,8 @@ package match
 import (
 	"context"
 	"time"
+
+	"github.com/spine-index/spine/internal/trace"
 )
 
 // Pos is an engine-specific opaque snapshot of a match position, used to
@@ -99,6 +101,8 @@ const ctxStride = 1 << 12
 // engine supports it. It returns ctx.Err() if the context ends mid-run.
 func MaximalMatchesCtx(ctx context.Context, e Engine, data, query []byte, minLen int) (Report, error) {
 	start := time.Now()
+	tr := trace.FromContext(ctx)
+	checkedAtStart := e.Checked()
 	if minLen < 1 {
 		minLen = 1
 	}
@@ -129,6 +133,14 @@ func MaximalMatchesCtx(ctx context.Context, e Engine, data, query []byte, minLen
 	if prevLen >= minLen {
 		cands = append(cands, cand{qEnd: len(query), l: prevLen, pos: prevMark})
 	}
+	// The streaming pass is the matching-statistics descent; its Nodes is
+	// the engine's Checked delta (cursor probes, chain and extrib hops),
+	// which is exactly what Report.NodesChecked reports.
+	if tr != nil {
+		tr.Add(trace.StageStream, time.Since(start),
+			trace.Counters{Nodes: e.Checked() - checkedAtStart})
+	}
+	resolveStart := time.Now()
 
 	// Resolve occurrence sets — in one batch scan when the engine can.
 	endSets := make([][]int32, len(cands))
@@ -164,6 +176,17 @@ func MaximalMatchesCtx(ctx context.Context, e Engine, data, query []byte, minLen
 			}
 			endSets[i] = ends
 		}
+	}
+
+	// The deferred resolution is SPINE's single backbone scan (§4); its
+	// cost is wall time, not cursor probes, so the span carries the link
+	// volume (resolved end positions) rather than Nodes.
+	if tr != nil {
+		var links int64
+		for _, ends := range endSets {
+			links += int64(len(ends))
+		}
+		tr.Add(trace.StageOccurrences, time.Since(resolveStart), trace.Counters{Links: links})
 	}
 
 	rep := Report{NodesChecked: e.Checked()}

@@ -55,6 +55,49 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a latency in microseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
 
+// Merge folds other's observations into h (other is read atomically but
+// not locked: concurrent writers to other may straddle the merge, the
+// usual eventually-consistent monitoring contract). Useful for
+// combining per-worker or per-shard histograms into one series.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if n := other.count.Load(); n != 0 {
+		h.count.Add(n)
+	}
+	if s := other.sum.Load(); s != 0 {
+		h.sum.Add(s)
+	}
+	for i := range other.buckets {
+		if c := other.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	if mn := other.min.Load(); mn != 0 {
+		for {
+			cur := h.min.Load()
+			if cur != 0 && cur <= mn {
+				break
+			}
+			if h.min.CompareAndSwap(cur, mn) {
+				break
+			}
+		}
+	}
+	if mx := other.max.Load(); mx != 0 {
+		for {
+			cur := h.max.Load()
+			if cur >= mx {
+				break
+			}
+			if h.max.CompareAndSwap(cur, mx) {
+				break
+			}
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

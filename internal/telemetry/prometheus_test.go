@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Exposition-format rules (text format v0.0.4), checked line by line:
+// one TYPE per family appearing before its samples, valid metric/label
+// names, parseable values, cumulative le buckets ending in +Inf whose
+// value equals _count, and no duplicate series.
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+)
+
+// validatePromText parses a text exposition and fails the test on any
+// format violation. It returns the parsed samples by series key.
+func validatePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	typed := map[string]string{}    // family -> type
+	sampleSeen := map[string]bool{} // family with samples emitted
+	series := map[string]float64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			if typed[m[1]] != "" {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, m[1])
+			}
+			if sampleSeen[m[1]] {
+				t.Fatalf("line %d: TYPE for %s after its samples", ln+1, m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP") {
+			if helpRe.FindStringSubmatch(line) == nil {
+				t.Fatalf("line %d: malformed HELP line %q", ln+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample line %q", ln+1, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suffix); ok && typed[f] == "histogram" {
+				family = f
+			}
+		}
+		if typed[family] == "" {
+			t.Fatalf("line %d: sample %s has no TYPE declaration", ln+1, name)
+		}
+		sampleSeen[family] = true
+		if labels != "" {
+			for _, l := range splitLabels(labels) {
+				if labelRe.FindStringSubmatch(l) == nil {
+					t.Fatalf("line %d: malformed label %q", ln+1, l)
+				}
+			}
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			t.Fatalf("line %d: unparseable value %q", ln+1, value)
+		}
+		key := name + "{" + labels + "}"
+		if _, dup := series[key]; dup {
+			t.Fatalf("line %d: duplicate series %s", ln+1, key)
+		}
+		series[key] = v
+	}
+	// Histogram invariants per family+labelset.
+	for fam, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		validateHistogramSeries(t, fam, series)
+	}
+	return series
+}
+
+// splitLabels splits a rendered label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// validateHistogramSeries checks bucket monotonicity, +Inf presence and
+// count agreement for one histogram family.
+func validateHistogramSeries(t *testing.T, fam string, series map[string]float64) {
+	t.Helper()
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	groups := map[string][]bucket{} // base labels (sans le) -> buckets
+	infs := map[string]float64{}
+	for key, v := range series {
+		if !strings.HasPrefix(key, fam+"_bucket{") {
+			continue
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(key, fam+"_bucket{"), "}")
+		var le string
+		var rest []string
+		for _, l := range splitLabels(body) {
+			if name, val, _ := strings.Cut(l, "="); name == "le" {
+				le = strings.Trim(val, `"`)
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		base := strings.Join(rest, ",")
+		if le == "+Inf" {
+			infs[base] = v
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("%s: bad le %q", fam, le)
+		}
+		groups[base] = append(groups[base], bucket{f, v})
+	}
+	for base, bs := range groups {
+		inf, ok := infs[base]
+		if !ok {
+			t.Fatalf("%s{%s}: missing +Inf bucket", fam, base)
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := math.Inf(-1)
+		var prev float64
+		for _, b := range bs {
+			if b.le <= last {
+				t.Fatalf("%s{%s}: duplicate le=%g", fam, base, b.le)
+			}
+			if b.val < prev {
+				t.Fatalf("%s{%s}: bucket counts not cumulative at le=%g", fam, base, b.le)
+			}
+			last, prev = b.le, b.val
+		}
+		if len(bs) > 0 && inf < bs[len(bs)-1].val {
+			t.Fatalf("%s{%s}: +Inf %g below last bucket %g", fam, base, inf, bs[len(bs)-1].val)
+		}
+		count, ok := series[fam+"_count{"+base+"}"]
+		if !ok {
+			t.Fatalf("%s{%s}: missing _count", fam, base)
+		}
+		if count != inf {
+			t.Fatalf("%s{%s}: _count %g != +Inf bucket %g", fam, base, count, inf)
+		}
+		if _, ok := series[fam+"_sum{"+base+"}"]; !ok {
+			t.Fatalf("%s{%s}: missing _sum", fam, base)
+		}
+	}
+}
+
+func TestWritePrometheusValidFormat(t *testing.T) {
+	r := NewRegistry()
+	ep := r.Endpoint("findall")
+	ep.ObserveRequest(200, 1500*time.Microsecond)
+	ep.ObserveRequest(200, 90*time.Microsecond)
+	ep.ObserveRequest(429, 10*time.Microsecond)
+	ep.ObserveRequest(500, 5*time.Millisecond)
+	r.Endpoint("contains").ObserveRequest(200, 40*time.Microsecond)
+	r.Query.NodesChecked.Add(12345)
+	r.Query.Occurrences.Add(678)
+	r.Query.Truncated.Inc()
+	r.Query.PatternLen.Observe(0) // boundary bucket
+	r.Query.PatternLen.Observe(12)
+	st := r.Stage("descend")
+	st.Spans.Add(3)
+	st.Nanos.Add(1_500_000)
+	st.Nodes.Add(36)
+	st.RibHops.Add(4)
+	sh := r.Shard(2)
+	sh.Queries.Add(5)
+	sh.NodesChecked.Add(999)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series := validatePromText(t, buf.String())
+
+	checks := map[string]float64{
+		`spine_http_requests_total{endpoint="findall"}`:           4,
+		`spine_http_errors_total{endpoint="findall",class="4xx"}`: 1,
+		`spine_http_errors_total{endpoint="findall",class="5xx"}`: 1,
+		`spine_http_rejected_total{endpoint="findall"}`:           1,
+		`spine_query_nodes_checked_total{}`:                       12345,
+		`spine_stage_nodes_checked_total{stage="descend"}`:        36,
+		`spine_shard_queries_total{shard="2"}`:                    5,
+		`spine_query_pattern_length_count{}`:                      2,
+	}
+	for key, want := range checks {
+		got, ok := series[key]
+		if !ok || got != want {
+			t.Fatalf("series %s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+	if !strings.Contains(buf.String(), `le="+Inf"`) {
+		t.Fatal("no +Inf bucket emitted")
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("x_total", "counter", "help with \\ backslash\nand newline")
+	p.Sample("x_total", []Label{{"ep", "a\"b\\c\nd"}}, 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `ep="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped: %q", out)
+	}
+	if !strings.Contains(out, `help with \\ backslash\nand newline`) {
+		t.Fatalf("help not escaped: %q", out)
+	}
+	validatePromText(t, out)
+}
+
+func TestPromHistogramCumulative(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 2, 3, 7, 8, 1000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("h", "histogram", "")
+	p.Histogram("h", nil, h.Snapshot(), 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	series := validatePromText(t, buf.String())
+	if series[`h_bucket{le="+Inf"}`] != 8 || series["h_count{}"] != 8 {
+		t.Fatalf("count mismatch: %+v", series)
+	}
+	if series["h_sum{}"] != 1022 {
+		t.Fatalf("sum = %v, want 1022", series["h_sum{}"])
+	}
+	// le=0 holds the single zero observation; le=1 adds the two ones.
+	if series[`h_bucket{le="0"}`] != 1 || series[`h_bucket{le="1"}`] != 3 {
+		t.Fatalf("boundary buckets wrong: %+v", series)
+	}
+}
+
+func TestPromWriterStickyError(t *testing.T) {
+	p := NewPromWriter(failWriter{})
+	p.Family("x", "counter", "h")
+	p.Sample("x", nil, 1)
+	if p.Err() == nil {
+		t.Fatal("expected sticky write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write failed" }
+
+func TestSnapshotRuntimeStats(t *testing.T) {
+	r := NewRegistry()
+	s := r.Snapshot()
+	if s.Runtime.Goroutines < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", s.Runtime.Goroutines)
+	}
+	if s.Runtime.HeapAllocBytes == 0 || s.Runtime.HeapSysBytes == 0 {
+		t.Fatalf("heap stats empty: %+v", s.Runtime)
+	}
+	if s.UptimeSeconds < 0 {
+		t.Fatalf("uptime negative: %v", s.UptimeSeconds)
+	}
+}

@@ -11,6 +11,7 @@ package telemetry
 
 import (
 	"expvar"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,34 @@ type QueryStats struct {
 	PatternLen Histogram
 }
 
+// StageStats aggregates the query-path work attributed to one trace
+// stage (descend, ribs, extribs, occurrences, shard, merge) across all
+// traced queries — the population view of internal/trace's per-query
+// spans.
+type StageStats struct {
+	// Spans counts spans recorded for this stage.
+	Spans Counter
+	// Nanos is the cumulative span wall time in nanoseconds.
+	Nanos Counter
+	// Nodes is the cumulative §4.1 nodes-checked count.
+	Nodes Counter
+	// RibHops and ExtribHops count cross-edge work during descents.
+	RibHops    Counter
+	ExtribHops Counter
+}
+
+// ShardStats aggregates one shard's share of fan-out queries, making
+// hot shards visible (Sharded sums NodesChecked across shards in its
+// results; attribution lives here).
+type ShardStats struct {
+	// Queries counts fan-out legs executed against the shard.
+	Queries Counter
+	// Nanos is the cumulative shard-leg wall time in nanoseconds.
+	Nanos Counter
+	// NodesChecked is the shard's cumulative §4.1 work.
+	NodesChecked Counter
+}
+
 // Registry is the process-wide metric store for a query service.
 type Registry struct {
 	start time.Time
@@ -87,11 +116,18 @@ type Registry struct {
 
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
+	stages    map[string]*StageStats
+	shards    map[int]*ShardStats
 }
 
 // NewRegistry returns an empty registry; the uptime clock starts now.
 func NewRegistry() *Registry {
-	return &Registry{start: time.Now(), endpoints: make(map[string]*Endpoint)}
+	return &Registry{
+		start:     time.Now(),
+		endpoints: make(map[string]*Endpoint),
+		stages:    make(map[string]*StageStats),
+		shards:    make(map[int]*ShardStats),
+	}
 }
 
 // Endpoint returns the named endpoint's metrics, creating them on first
@@ -112,6 +148,40 @@ func (r *Registry) Endpoint(name string) *Endpoint {
 	return e
 }
 
+// Stage returns the named stage's metrics, creating them on first use.
+func (r *Registry) Stage(name string) *StageStats {
+	r.mu.RLock()
+	s := r.stages[name]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.stages[name]; s == nil {
+		s = &StageStats{}
+		r.stages[name] = s
+	}
+	return s
+}
+
+// Shard returns shard i's metrics, creating them on first use.
+func (r *Registry) Shard(i int) *ShardStats {
+	r.mu.RLock()
+	s := r.shards[i]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.shards[i]; s == nil {
+		s = &ShardStats{}
+		r.shards[i] = s
+	}
+	return s
+}
+
 // EndpointSnapshot is a point-in-time copy of one endpoint's metrics.
 type EndpointSnapshot struct {
 	Requests  int64             `json:"requests"`
@@ -122,12 +192,46 @@ type EndpointSnapshot struct {
 	LatencyUs HistogramSnapshot `json:"latencyUs"`
 }
 
+// RuntimeSnapshot captures the Go runtime's health alongside the query
+// metrics, so /metrics answers "is it us or the GC" without a pprof
+// round-trip. It is read at snapshot time from runtime.ReadMemStats.
+type RuntimeSnapshot struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heapAllocBytes"`
+	HeapSysBytes        uint64  `json:"heapSysBytes"`
+	HeapObjects         uint64  `json:"heapObjects"`
+	NextGCBytes         uint64  `json:"nextGcBytes"`
+	GCCycles            uint32  `json:"gcCycles"`
+	GCPauseTotalSeconds float64 `json:"gcPauseTotalSeconds"`
+	LastGCPauseSeconds  float64 `json:"lastGcPauseSeconds"`
+	GCCPUFraction       float64 `json:"gcCpuFraction"`
+}
+
+// StageSnapshot is a point-in-time copy of one stage's metrics.
+type StageSnapshot struct {
+	Spans      int64   `json:"spans"`
+	Seconds    float64 `json:"seconds"`
+	Nodes      int64   `json:"nodes"`
+	RibHops    int64   `json:"ribHops"`
+	ExtribHops int64   `json:"extribHops"`
+}
+
+// ShardSnapshot is a point-in-time copy of one shard's metrics.
+type ShardSnapshot struct {
+	Queries      int64   `json:"queries"`
+	Seconds      float64 `json:"seconds"`
+	NodesChecked int64   `json:"nodesChecked"`
+}
+
 // Snapshot is a point-in-time copy of the whole registry, shaped for
 // JSON encoding at /metrics.
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptimeSeconds"`
+	Runtime       RuntimeSnapshot             `json:"runtime"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Query         QuerySnapshot               `json:"query"`
+	Stages        map[string]StageSnapshot    `json:"stages,omitempty"`
+	Shards        map[int]ShardSnapshot       `json:"shards,omitempty"`
 }
 
 // QuerySnapshot is the snapshot of QueryStats.
@@ -138,16 +242,28 @@ type QuerySnapshot struct {
 	PatternLen   HistogramSnapshot `json:"patternLen"`
 }
 
-// Snapshot copies the registry's current state.
+// Snapshot copies the registry's current state. The uptime and runtime
+// stats are read in the same instant as the counters (uptime from the
+// monotonic clock), so one scrape is internally consistent: GC pause
+// totals, goroutine counts and query work all describe the same moment.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	eps := make(map[string]*Endpoint, len(r.endpoints))
 	for name, e := range r.endpoints {
 		eps[name] = e
 	}
+	stages := make(map[string]*StageStats, len(r.stages))
+	for name, st := range r.stages {
+		stages[name] = st
+	}
+	shards := make(map[int]*ShardStats, len(r.shards))
+	for i, sh := range r.shards {
+		shards[i] = sh
+	}
 	r.mu.RUnlock()
 	s := Snapshot{
 		UptimeSeconds: time.Since(r.start).Seconds(),
+		Runtime:       readRuntime(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(eps)),
 		Query: QuerySnapshot{
 			NodesChecked: r.Query.NodesChecked.Value(),
@@ -166,7 +282,51 @@ func (r *Registry) Snapshot() Snapshot {
 			LatencyUs: e.Latency.Snapshot(),
 		}
 	}
+	if len(stages) > 0 {
+		s.Stages = make(map[string]StageSnapshot, len(stages))
+		for name, st := range stages {
+			s.Stages[name] = StageSnapshot{
+				Spans:      st.Spans.Value(),
+				Seconds:    float64(st.Nanos.Value()) / 1e9,
+				Nodes:      st.Nodes.Value(),
+				RibHops:    st.RibHops.Value(),
+				ExtribHops: st.ExtribHops.Value(),
+			}
+		}
+	}
+	if len(shards) > 0 {
+		s.Shards = make(map[int]ShardSnapshot, len(shards))
+		for i, sh := range shards {
+			s.Shards[i] = ShardSnapshot{
+				Queries:      sh.Queries.Value(),
+				Seconds:      float64(sh.Nanos.Value()) / 1e9,
+				NodesChecked: sh.NodesChecked.Value(),
+			}
+		}
+	}
 	return s
+}
+
+// readRuntime samples the Go runtime. ReadMemStats briefly
+// stops-the-world; scrape-rate calls (seconds apart) make that cost
+// irrelevant, but it should not be called per-request.
+func readRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeSnapshot{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      ms.HeapAlloc,
+		HeapSysBytes:        ms.HeapSys,
+		HeapObjects:         ms.HeapObjects,
+		NextGCBytes:         ms.NextGC,
+		GCCycles:            ms.NumGC,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+		GCCPUFraction:       ms.GCCPUFraction,
+	}
+	if ms.NumGC > 0 {
+		rs.LastGCPauseSeconds = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	return rs
 }
 
 // PublishExpvar exposes the registry under the given expvar name

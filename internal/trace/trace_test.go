@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start(StageDescend)
+	sp.C.Nodes = 5
+	sp.End()
+	tr.Add(StageMerge, time.Millisecond, Counters{Nodes: 1})
+	tr.Adopt(New(), 0)
+	tr.SetEndpoint("x")
+	tr.SetPattern([]byte("p"))
+	tr.SetNodesChecked(9)
+	tr.SetTruncated(true)
+	if tr.Records() != nil || tr.TotalNodes() != 0 {
+		t.Fatal("nil trace recorded something")
+	}
+	e := tr.Entry(time.Now(), "ep", 200, time.Second)
+	if e.Endpoint != "ep" || e.Stages != nil {
+		t.Fatalf("nil trace entry = %+v", e)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context should carry no trace")
+	}
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("nil trace should not wrap the context")
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := New()
+	sp := tr.Start(StageDescend)
+	sp.C = Counters{Nodes: 7, RibHops: 2, ExtribHops: 1}
+	sp.End()
+	tr.Add(StageOccurrences, 3*time.Millisecond, Counters{Nodes: 100, Links: 100})
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Stage != StageDescend || recs[0].Nodes != 7 || recs[0].Shard != -1 {
+		t.Fatalf("descend record wrong: %+v", recs[0])
+	}
+	if recs[1].Duration != 3*time.Millisecond || recs[1].Links != 100 {
+		t.Fatalf("occurrences record wrong: %+v", recs[1])
+	}
+	if tr.TotalNodes() != 107 {
+		t.Fatalf("TotalNodes = %d, want 107", tr.TotalNodes())
+	}
+}
+
+func TestAdoptStampsShard(t *testing.T) {
+	parent := New()
+	var wg sync.WaitGroup
+	kids := make([]*Trace, 4)
+	for i := range kids {
+		kids[i] = New()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kids[i].Add(StageDescend, time.Microsecond, Counters{Nodes: int64(i)})
+			kids[i].Add(StageShard, time.Microsecond, Counters{})
+		}(i)
+	}
+	wg.Wait()
+	for i, k := range kids {
+		parent.Adopt(k, i)
+	}
+	recs := parent.Records()
+	if len(recs) != 8 {
+		t.Fatalf("records = %d, want 8", len(recs))
+	}
+	seen := map[int]bool{}
+	for _, r := range recs {
+		if r.Shard < 0 || r.Shard > 3 {
+			t.Fatalf("unstamped record: %+v", r)
+		}
+		seen[r.Shard] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("shards seen = %v, want 4 distinct", seen)
+	}
+}
+
+func TestSummarizeGroupsByStageAndShard(t *testing.T) {
+	recs := []Record{
+		{Stage: StageDescend, Shard: 0, Duration: time.Millisecond, Counters: Counters{Nodes: 3}},
+		{Stage: StageDescend, Shard: 0, Duration: time.Millisecond, Counters: Counters{Nodes: 4}},
+		{Stage: StageDescend, Shard: 1, Duration: time.Millisecond, Counters: Counters{Nodes: 5}},
+		{Stage: StageMerge, Shard: -1, Duration: 2 * time.Millisecond},
+	}
+	sums := Summarize(recs)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d, want 3", len(sums))
+	}
+	if sums[0].Spans != 2 || sums[0].Nodes != 7 || sums[0].DurationUs != 2000 {
+		t.Fatalf("shard-0 descend summary wrong: %+v", sums[0])
+	}
+	if sums[2].Stage != StageMerge || sums[2].Shard != -1 {
+		t.Fatalf("merge summary wrong: %+v", sums[2])
+	}
+}
+
+func TestEntryNodesFallbackToSpanSum(t *testing.T) {
+	tr := New()
+	tr.Add(StageDescend, time.Microsecond, Counters{Nodes: 10})
+	tr.Add(StageOccurrences, time.Microsecond, Counters{Nodes: 32})
+	e := tr.Entry(time.Now(), "findall", 200, 5*time.Millisecond)
+	if e.NodesChecked != 42 {
+		t.Fatalf("fallback NodesChecked = %d, want 42", e.NodesChecked)
+	}
+	tr.SetNodesChecked(40)
+	tr.SetTruncated(true)
+	tr.SetPattern([]byte("acgt"))
+	e = tr.Entry(time.Now(), "findall", 200, 5*time.Millisecond)
+	if e.NodesChecked != 40 || !e.Truncated || e.Pattern.Len != 4 {
+		t.Fatalf("explicit entry wrong: %+v", e)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start(StageOccurrences)
+				sp.C.Nodes = 1
+				sp.End()
+				_ = tr.Records()
+				_ = tr.TotalNodes()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := tr.TotalNodes(); n != 1600 {
+		t.Fatalf("TotalNodes = %d, want 1600", n)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if NewSampler(0).Sample() {
+		t.Fatal("rate 0 sampled")
+	}
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	always := NewSampler(1)
+	for i := 0; i < 10; i++ {
+		if !always.Sample() {
+			t.Fatal("rate 1 must always sample")
+		}
+	}
+	s := NewSampler(4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1-in-4 sampler hit %d/400, want 100", hits)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	fp := FingerprintOf([]byte("acgtacgt"))
+	if fp.Len != 8 || fp.Prefix != "acgtacgt" || len(fp.Hash) != 16 {
+		t.Fatalf("fingerprint wrong: %+v", fp)
+	}
+	if FingerprintOf([]byte("acgtacgt")).Hash != fp.Hash {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if FingerprintOf([]byte("acgtacga")).Hash == fp.Hash {
+		t.Fatal("distinct patterns should hash apart")
+	}
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = byte(i) // includes unprintables
+	}
+	fp = FingerprintOf(long)
+	if fp.Len != 100 || len(fp.Prefix) != fingerprintPrefixLen {
+		t.Fatalf("long fingerprint wrong: %+v", fp)
+	}
+	for _, c := range fp.Prefix[:32] {
+		if c > unicodeMaxASCIIForTest {
+			t.Fatalf("unsanitized prefix: %q", fp.Prefix)
+		}
+	}
+}
+
+const unicodeMaxASCIIForTest = 127
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3, 10*time.Millisecond)
+	if l.Threshold() != 10*time.Millisecond {
+		t.Fatal("threshold lost")
+	}
+	for i := 0; i < 5; i++ {
+		l.Add(Entry{Status: i})
+	}
+	entries, total := l.Snapshot()
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("retained = %d, want 3", len(entries))
+	}
+	// Newest first: statuses 4, 3, 2.
+	for i, want := range []int{4, 3, 2} {
+		if entries[i].Status != want {
+			t.Fatalf("entry %d status = %d, want %d", i, entries[i].Status, want)
+		}
+	}
+}
+
+func TestSlowLogPartialFill(t *testing.T) {
+	l := NewSlowLog(8, 0)
+	l.Add(Entry{Status: 1})
+	l.Add(Entry{Status: 2})
+	entries, total := l.Snapshot()
+	if total != 2 || len(entries) != 2 {
+		t.Fatalf("snapshot = %d entries / total %d, want 2/2", len(entries), total)
+	}
+	if entries[0].Status != 2 || entries[1].Status != 1 {
+		t.Fatalf("order wrong: %+v", entries)
+	}
+}

@@ -48,12 +48,14 @@ var (
 	_ Querier = (*Sharded)(nil)
 )
 
-// ContainsContext implements Querier; see Index.Contains.
+// ContainsContext implements Querier; see Index.Contains. When ctx
+// carries an internal/trace trace, the descent records per-stage spans.
 func (x *Index) ContainsContext(ctx context.Context, p []byte) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
-	return x.c.Contains(p), nil
+	_, ok := x.c.EndNodeCtx(ctx, p)
+	return ok, nil
 }
 
 // FindContext implements Querier; see Index.Find.
@@ -61,7 +63,11 @@ func (x *Index) FindContext(ctx context.Context, p []byte) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return -1, err
 	}
-	return x.c.Find(p), nil
+	end, ok := x.c.EndNodeCtx(ctx, p)
+	if !ok {
+		return -1, nil
+	}
+	return int(end) - len(p), nil
 }
 
 // FindAllContext implements Querier; see Index.FindAll.
@@ -90,12 +96,14 @@ func (x *Index) CountContext(ctx context.Context, p []byte) (int, error) {
 	return x.c.CountCtx(ctx, p)
 }
 
-// ContainsContext implements Querier; see Compact.Contains.
+// ContainsContext implements Querier; see Compact.Contains. Traced like
+// Index.ContainsContext.
 func (x *Compact) ContainsContext(ctx context.Context, p []byte) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
-	return x.c.Contains(p), nil
+	_, ok := x.c.EndNodeCtx(ctx, p)
+	return ok, nil
 }
 
 // FindContext implements Querier; see Compact.Find.
@@ -103,7 +111,11 @@ func (x *Compact) FindContext(ctx context.Context, p []byte) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return -1, err
 	}
-	return x.c.Find(p), nil
+	end, ok := x.c.EndNodeCtx(ctx, p)
+	if !ok {
+		return -1, nil
+	}
+	return int(end) - len(p), nil
 }
 
 // FindAllContext implements Querier; see Compact.FindAll.

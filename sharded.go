@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/spine-index/spine/internal/trace"
 )
 
 // Sharded is a SPINE index split into fixed-size shards that build and
@@ -180,6 +182,15 @@ func (s *Sharded) FindAllLimitContext(ctx context.Context, p []byte, limit int) 
 	if limit > 0 {
 		shardLimit = limit + s.maxPat - 1
 	}
+	// When tracing, each shard goroutine records into its own child trace
+	// (no cross-goroutine lock traffic during the fan-out); the children
+	// are adopted after the barrier with their shard number stamped, so
+	// the slow-query log can tell a hot shard from a slow merge.
+	tr := trace.FromContext(ctx)
+	var kids []*trace.Trace
+	if tr != nil {
+		kids = make([]*trace.Trace, len(s.shards))
+	}
 	perShard := make([]QueryResult, len(s.shards))
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
@@ -187,7 +198,15 @@ func (s *Sharded) FindAllLimitContext(ctx context.Context, p []byte, limit int) 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			raw, err := s.shards[i].FindAllLimitContext(ctx, p, shardLimit)
+			sctx := ctx
+			var sp trace.Span
+			if tr != nil {
+				kids[i] = trace.New()
+				sctx = trace.NewContext(ctx, kids[i])
+				sp = kids[i].Start(trace.StageShard)
+			}
+			raw, err := s.shards[i].FindAllLimitContext(sctx, p, shardLimit)
+			sp.End()
 			if err != nil {
 				errs[i] = err
 				return
@@ -202,11 +221,15 @@ func (s *Sharded) FindAllLimitContext(ctx context.Context, p []byte, limit int) 
 		}(i)
 	}
 	wg.Wait()
+	for i, kid := range kids {
+		tr.Adopt(kid, i)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return QueryResult{}, err
 		}
 	}
+	msp := tr.Start(trace.StageMerge)
 	var out []int
 	for _, sh := range perShard {
 		out = append(out, sh.Positions...)
@@ -219,6 +242,7 @@ func (s *Sharded) FindAllLimitContext(ctx context.Context, p []byte, limit int) 
 		res.Truncated = true
 	}
 	res.Positions = out
+	msp.End()
 	return res, nil
 }
 

@@ -1,8 +1,11 @@
 package spine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+
+	"github.com/spine-index/spine/internal/trace"
 )
 
 func randomDNA(rng *rand.Rand, n int) []byte {
@@ -131,5 +134,59 @@ func TestShardedCount(t *testing.T) {
 	}
 	if want := Build([]byte("aaccacaacaaaccacaaca")).Count([]byte("ca")); n != want {
 		t.Fatalf("Count = %d, want %d", n, want)
+	}
+}
+
+func TestShardedTraceAttributesShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	text := randomDNA(rng, 4000)
+	sh, err := BuildSharded(text, 1000, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := text[100:108]
+	tr := trace.New()
+	ctx := trace.NewContext(context.Background(), tr)
+	res, err := sh.FindAllLimitContext(ctx, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := tr.Records()
+	shardSpans := map[int]bool{}
+	var merges int
+	var nodeSum int64
+	for _, r := range recs {
+		nodeSum += r.Nodes
+		switch r.Stage {
+		case trace.StageShard:
+			shardSpans[r.Shard] = true
+		case trace.StageMerge:
+			merges++
+			if r.Shard != -1 {
+				t.Fatalf("merge span should not be shard-attributed: %+v", r)
+			}
+		case trace.StageDescend, trace.StageOccurrences, trace.StageRibs, trace.StageExtribs:
+			if r.Shard < 0 || r.Shard >= sh.Shards() {
+				t.Fatalf("shard work span unattributed: %+v", r)
+			}
+		}
+	}
+	if len(shardSpans) != sh.Shards() {
+		t.Fatalf("shard spans for %d shards, want %d", len(shardSpans), sh.Shards())
+	}
+	if merges != 1 {
+		t.Fatalf("merge spans = %d, want 1", merges)
+	}
+	if nodeSum != res.NodesChecked {
+		t.Fatalf("span node sum = %d, want NodesChecked %d", nodeSum, res.NodesChecked)
+	}
+	// The untraced query must agree on results and work.
+	plain, err := sh.FindAllLimitContext(context.Background(), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NodesChecked != res.NodesChecked || len(plain.Positions) != len(res.Positions) {
+		t.Fatalf("traced query diverges: %d/%d vs %d/%d nodes/positions",
+			res.NodesChecked, len(res.Positions), plain.NodesChecked, len(plain.Positions))
 	}
 }
