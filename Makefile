@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race lint bench serve fmt
+.PHONY: build test check vet race lint bench serve fmt fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,21 @@ lint: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# fuzz-smoke mines the batch-pipeline fuzz target briefly — enough to
+# shake out fresh regressions without stalling the gate.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzQueryBatch$$' -fuzztime 10s .
+
+# cover runs the suite shuffled (ordering bugs surface) with a coverage
+# profile and prints the per-function summary tail.
+cover:
+	$(GO) test -shuffle=on -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -20
+
 # check is the pre-merge gate: lint plus the race-enabled test suite
-# (covers the concurrent telemetry, trace and server paths).
-check: lint race
+# (covers the concurrent telemetry, trace and server paths) plus a
+# short fuzz smoke of the batch query pipeline.
+check: lint race fuzz-smoke
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,212 @@
+package spine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/spine-index/spine/internal/core"
+)
+
+// BatchOptions tunes a QueryBatch call.
+type BatchOptions struct {
+	// Limit caps every item's occurrence count (<= 0 means unlimited),
+	// like FindAllLimitContext's limit.
+	Limit int
+	// Limits, when non-nil, overrides Limit per item; its length must
+	// equal the batch's pattern count.
+	Limits []int
+	// Workers bounds the valid-path descent pool. <= 0 picks a default:
+	// GOMAXPROCS on an Index or Compact, 1 inside each shard of a
+	// Sharded index (the shard fan-out is already parallel).
+	Workers int
+}
+
+// itemLimits resolves the per-item occurrence caps for n patterns.
+func (o BatchOptions) itemLimits(n int) ([]int, error) {
+	if o.Limits == nil {
+		limits := make([]int, n)
+		for i := range limits {
+			limits[i] = o.Limit
+		}
+		return limits, nil
+	}
+	if len(o.Limits) != n {
+		return nil, fmt.Errorf("%w: Limits length %d != %d patterns", ErrBadBatch, len(o.Limits), n)
+	}
+	return o.Limits, nil
+}
+
+// batchDedupe maps each pattern to its canonical twin under (pattern
+// bytes, effective limit) identity. dupOf[i] is the index of the first
+// identical item (i itself when unique); uniq lists the canonical
+// indices in first-appearance order. Duplicates later share the
+// canonical item's result, including its Positions slice.
+func batchDedupe(patterns [][]byte, limits []int) (dupOf, uniq []int) {
+	type key struct {
+		pat   string
+		limit int
+	}
+	canon := make(map[key]int, len(patterns))
+	dupOf = make([]int, len(patterns))
+	for i, p := range patterns {
+		k := key{string(p), limits[i]}
+		if j, ok := canon[k]; ok {
+			dupOf[i] = j
+			continue
+		}
+		canon[k] = i
+		dupOf[i] = i
+		uniq = append(uniq, i)
+	}
+	return dupOf, uniq
+}
+
+// emptyPatternResult answers the empty pattern, which occurs at every
+// offset 0..n, under the single-query limit semantics.
+func emptyPatternResult(n, limit int) QueryResult {
+	count := n + 1
+	var res QueryResult
+	if limit > 0 && count > limit {
+		count = limit
+		res.Truncated = true
+	}
+	res.Positions = make([]int, count)
+	for i := range res.Positions {
+		res.Positions[i] = i
+	}
+	return res
+}
+
+// coreBatcher is the slice of the core engine QueryBatch needs: a
+// per-pattern descent and the shared limit-aware backbone scan. Both
+// core layouts satisfy it.
+type coreBatcher interface {
+	EndNodeCtx(ctx context.Context, p []byte) (int32, bool)
+	ScanManyLimitCtx(ctx context.Context, firsts, lens []int32, limits []int) (core.BatchScan, error)
+}
+
+// QueryBatch implements Querier: N patterns, one backbone scan.
+func (x *Index) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchOptions) ([]QueryResult, error) {
+	return queryBatchOn(ctx, x.c, x.Len(), patterns, opts)
+}
+
+// QueryBatch implements Querier; see Index.QueryBatch. Patterns with
+// letters outside the alphabet simply do not occur.
+func (x *Compact) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchOptions) ([]QueryResult, error) {
+	return queryBatchOn(ctx, x.c, x.Len(), patterns, opts)
+}
+
+// queryBatchOn is the single-index batch engine: dedupe, pooled
+// descents, then ONE ScanManyLimitCtx backbone pass resolving every
+// found pattern's occurrence set (§4's deferred set-basis scan). Each
+// item's NodesChecked is its descent cost plus an amortized share of
+// the shared scan, so the per-item counts sum to the batch's true total
+// work — what serving telemetry aggregates.
+func queryBatchOn(ctx context.Context, c coreBatcher, n int, patterns [][]byte, opts BatchOptions) ([]QueryResult, error) {
+	limits, err := opts.itemLimits(len(patterns))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]QueryResult, len(patterns))
+	dupOf, uniq := batchDedupe(patterns, limits)
+	// Empty patterns occur everywhere and take no part in the scan.
+	work := uniq[:0:0]
+	for _, i := range uniq {
+		if len(patterns[i]) == 0 {
+			results[i] = emptyPatternResult(n, limits[i])
+			continue
+		}
+		work = append(work, i)
+	}
+	// Valid-path descents through a bounded worker pool. Descents are
+	// short (O(len p)) and independent; the pool keeps huge batches from
+	// spawning a goroutine per pattern.
+	firsts := make([]int32, len(work))
+	found := make([]bool, len(work))
+	descend := func(k int) {
+		i := work[k]
+		firsts[k], found[k] = c.EndNodeCtx(ctx, patterns[i])
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers > 1 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range jobs {
+					descend(k)
+				}
+			}()
+		}
+		for k := range work {
+			jobs <- k
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for k := range work {
+			descend(k)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Gather the patterns that occur and resolve all their occurrence
+	// sets in one backbone pass.
+	var (
+		scanFirsts []int32
+		scanLens   []int32
+		scanLimits []int
+		parts      []int
+	)
+	for k, i := range work {
+		results[i].NodesChecked = int64(len(patterns[i]))
+		if !found[k] {
+			continue
+		}
+		parts = append(parts, i)
+		scanFirsts = append(scanFirsts, firsts[k])
+		scanLens = append(scanLens, int32(len(patterns[i])))
+		scanLimits = append(scanLimits, limits[i])
+	}
+	if len(parts) > 0 {
+		scan, err := c.ScanManyLimitCtx(ctx, scanFirsts, scanLens, scanLimits)
+		if err != nil {
+			return nil, err
+		}
+		share := scan.Scanned / int64(len(parts))
+		rem := scan.Scanned % int64(len(parts))
+		for k, i := range parts {
+			plen := len(patterns[i])
+			pos := make([]int, len(scan.Ends[k]))
+			for e, end := range scan.Ends[k] {
+				pos[e] = int(end) - plen
+			}
+			results[i].Positions = pos
+			results[i].Truncated = scan.Truncated[k]
+			results[i].NodesChecked += share
+			if int64(k) < rem {
+				results[i].NodesChecked++
+			}
+		}
+	}
+	for i := range patterns {
+		if dupOf[i] != i {
+			results[i] = results[dupOf[i]]
+		}
+	}
+	return results, nil
+}

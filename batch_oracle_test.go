@@ -1,0 +1,224 @@
+package spine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/spine-index/spine/internal/suffixtree"
+)
+
+// Differential oracle for the batch pipeline: for seeded random texts
+// over a table of alphabet sizes, QueryBatch results must be
+// byte-identical to per-pattern FindAllLimitContext on every index
+// flavor, and (at limit 0) to the classical suffix-tree baseline. The
+// pattern mix deliberately includes present substrings, mutated
+// near-misses, the empty pattern, duplicates, and patterns exceeding
+// the sharded maxPattern.
+func TestQueryBatchDifferentialOracle(t *testing.T) {
+	cases := []struct {
+		letters string
+		textLen int
+		shardSz int
+		maxPat  int
+	}{
+		{"a", 64, 16, 8},
+		{"ac", 128, 16, 8},
+		{"acgt", 200, 32, 12},
+		{"acgt", 1, 16, 8},
+		{"abcdefgh", 256, 64, 13},
+		{"abcdefghijklmnopqrstuvwxyz", 300, 48, 10},
+	}
+	const rounds = 4
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("alpha%d_len%d", len(tc.letters), tc.textLen), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + ci)))
+			letters := []byte(tc.letters)
+			for round := 0; round < rounds; round++ {
+				text := make([]byte, tc.textLen)
+				for i := range text {
+					text[i] = letters[rng.Intn(len(letters))]
+				}
+				idx := Build(text)
+				comp, err := idx.Compact(NewAlphabet(letters))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sh, err := BuildSharded(text, tc.shardSz, tc.maxPat, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := suffixtree.Build(text, 0xFF)
+				if err != nil {
+					t.Fatal(err)
+				}
+				patterns := samplePatternMix(rng, text, letters, tc.maxPat)
+				flavors := map[string]Querier{"index": idx, "compact": comp, "sharded": sh}
+				for _, limit := range []int{0, 1, 2, 5} {
+					for name, q := range flavors {
+						checkBatchAgainstSequential(t, name, q, patterns, limit)
+					}
+					if limit == 0 {
+						checkBatchAgainstSuffixTree(t, idx, st, patterns)
+					}
+				}
+			}
+		})
+	}
+}
+
+// samplePatternMix draws ~12 patterns: real substrings (various
+// lengths up to just past maxPat), mutated patterns, the empty pattern,
+// and duplicates of earlier draws.
+func samplePatternMix(rng *rand.Rand, text, letters []byte, maxPat int) [][]byte {
+	var out [][]byte
+	draw := func(maxLen int) []byte {
+		if len(text) == 0 || maxLen == 0 {
+			return nil
+		}
+		l := 1 + rng.Intn(maxLen)
+		if l > len(text) {
+			l = len(text)
+		}
+		off := rng.Intn(len(text) - l + 1)
+		return append([]byte(nil), text[off:off+l]...)
+	}
+	for i := 0; i < 4; i++ {
+		out = append(out, draw(maxPat))
+	}
+	// Overlong for the sharded flavor (still valid on index/compact).
+	out = append(out, draw(maxPat+4))
+	// Mutated: random letters, likely absent for larger alphabets.
+	for i := 0; i < 3; i++ {
+		l := 1 + rng.Intn(maxPat)
+		p := make([]byte, l)
+		for j := range p {
+			p[j] = letters[rng.Intn(len(letters))]
+		}
+		out = append(out, p)
+	}
+	// A letter outside every alphabet in the table.
+	out = append(out, []byte{'Z'})
+	// Empty pattern and duplicates of earlier draws.
+	out = append(out, []byte{})
+	out = append(out, append([]byte(nil), out[0]...))
+	out = append(out, append([]byte(nil), out[rng.Intn(len(out))]...))
+	return out
+}
+
+func checkBatchAgainstSequential(t *testing.T, name string, q Querier, patterns [][]byte, limit int) {
+	t.Helper()
+	ctx := context.Background()
+	results, err := q.QueryBatch(ctx, patterns, BatchOptions{Limit: limit})
+	if err != nil {
+		t.Fatalf("%s limit %d: QueryBatch: %v", name, limit, err)
+	}
+	for i, p := range patterns {
+		want, wantErr := q.FindAllLimitContext(ctx, p, limit)
+		got := results[i]
+		if (got.Err == nil) != (wantErr == nil) {
+			t.Fatalf("%s limit %d pattern %q: batch Err %v vs sequential %v", name, limit, p, got.Err, wantErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(got.Err, ErrPatternTooLong) {
+				t.Fatalf("%s limit %d pattern %q: Err = %v, want ErrPatternTooLong", name, limit, p, got.Err)
+			}
+			continue
+		}
+		if got.Truncated != want.Truncated {
+			t.Fatalf("%s limit %d pattern %q: Truncated %v, want %v", name, limit, p, got.Truncated, want.Truncated)
+		}
+		if len(got.Positions) != len(want.Positions) {
+			t.Fatalf("%s limit %d pattern %q: %v, want %v", name, limit, p, got.Positions, want.Positions)
+		}
+		for j := range want.Positions {
+			if got.Positions[j] != want.Positions[j] {
+				t.Fatalf("%s limit %d pattern %q: %v, want %v", name, limit, p, got.Positions, want.Positions)
+			}
+		}
+	}
+}
+
+// checkBatchAgainstSuffixTree pins the unlimited batch answers to an
+// independent implementation: the internal/suffixtree baseline.
+func checkBatchAgainstSuffixTree(t *testing.T, idx *Index, st *suffixtree.Tree, patterns [][]byte) {
+	t.Helper()
+	results, err := idx.QueryBatch(context.Background(), patterns, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range patterns {
+		if len(p) == 0 {
+			continue // the baseline's empty-pattern semantics differ
+		}
+		want := st.FindAll(p)
+		got := results[i].Positions
+		if len(got) != len(want) {
+			t.Fatalf("suffixtree oracle pattern %q: %v, want %v", p, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("suffixtree oracle pattern %q: %v, want %v", p, got, want)
+			}
+		}
+	}
+}
+
+// TestQueryBatchShardBoundary stresses the overlap-region interplay:
+// every occurrence of a pattern straddling a shard boundary must appear
+// exactly once after the merge, under small limits, with Truncated
+// agreeing with the single-query path.
+func TestQueryBatchShardBoundary(t *testing.T) {
+	// shardSize 8, maxPattern 4: overlap regions are [8k, 8k+3). Build a
+	// text where "abca" straddles every boundary and also repeats inside
+	// shards.
+	text := []byte("xxabcaxxabcaxxabcaxxabcaxxabcaxx")
+	const shardSize, maxPat = 8, 4
+	sh, err := BuildSharded(text, shardSize, maxPat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Build(text)
+	patterns := [][]byte{[]byte("abca"), []byte("caxx"), []byte("xxab"), []byte("xx"), []byte("a")}
+	ctx := context.Background()
+	for _, limit := range []int{0, 1, 2, 3, 4, 7} {
+		results, err := sh.QueryBatch(ctx, patterns, BatchOptions{Limit: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range patterns {
+			full := ref.FindAll(p)
+			got := results[i]
+			// No duplicates, no drops: the result is exactly the global
+			// prefix of the reference occurrence list.
+			wantLen := len(full)
+			if limit > 0 && wantLen > limit {
+				wantLen = limit
+			}
+			if len(got.Positions) != wantLen {
+				t.Fatalf("limit %d pattern %q: %v, want prefix of %v (len %d)", limit, p, got.Positions, full, wantLen)
+			}
+			for j := 0; j < wantLen; j++ {
+				if got.Positions[j] != full[j] {
+					t.Fatalf("limit %d pattern %q: %v, want prefix of %v", limit, p, got.Positions, full)
+				}
+			}
+			for j := 1; j < len(got.Positions); j++ {
+				if got.Positions[j] <= got.Positions[j-1] {
+					t.Fatalf("limit %d pattern %q: positions not strictly increasing: %v", limit, p, got.Positions)
+				}
+			}
+			// Truncated parity with the sequential sharded path.
+			want, err := sh.FindAllLimitContext(ctx, p, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Truncated != want.Truncated {
+				t.Fatalf("limit %d pattern %q: Truncated %v, sequential %v", limit, p, got.Truncated, want.Truncated)
+			}
+		}
+	}
+}

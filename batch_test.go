@@ -1,0 +1,250 @@
+package spine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/spine-index/spine/internal/trace"
+)
+
+// TestQueryBatchSingleScan is the acceptance check for the batch
+// engine: N distinct patterns against one Index perform exactly ONE
+// occurrence-resolution backbone scan. Asserted two ways — the trace
+// records exactly one batchscan span, and the summed per-item
+// NodesChecked equals descents + one scan, strictly less than the N
+// sequential scans FindAllLimitContext pays.
+func TestQueryBatchSingleScan(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacaggtacc", 64))
+	idx := Build(text)
+	patterns := [][]byte{
+		[]byte("a"), []byte("ac"), []byte("ca"), []byte("acaa"),
+		[]byte("gg"), []byte("gta"), []byte("ccac"), []byte("aacc"),
+	}
+	tr := trace.New()
+	ctx := trace.NewContext(context.Background(), tr)
+	results, err := idx.QueryBatch(ctx, patterns, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var scans int
+	var scanNodes int64
+	for _, rec := range tr.Records() {
+		if rec.Stage == trace.StageBatchScan {
+			scans++
+			scanNodes = rec.Nodes
+		}
+	}
+	if scans != 1 {
+		t.Fatalf("backbone scans = %d, want exactly 1 for a batch of %d patterns", scans, len(patterns))
+	}
+
+	var batchTotal, descents int64
+	for i, r := range results {
+		batchTotal += r.NodesChecked
+		descents += int64(len(patterns[i]))
+	}
+	if batchTotal != descents+scanNodes {
+		t.Fatalf("sum of per-item NodesChecked = %d, want descents %d + one scan %d",
+			batchTotal, descents, scanNodes)
+	}
+
+	var seqTotal int64
+	for _, p := range patterns {
+		res, err := idx.FindAllLimitContext(context.Background(), p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqTotal += res.NodesChecked
+	}
+	if batchTotal >= seqTotal {
+		t.Fatalf("batch NodesChecked %d not below sequential %d", batchTotal, seqTotal)
+	}
+}
+
+// TestQueryBatchMatchesSequential: the batch's per-item results are
+// byte-identical to per-pattern FindAllLimitContext on every flavor.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacaggtaccaacc", 8))
+	patterns := [][]byte{
+		[]byte("ac"), []byte("acaa"), []byte("zz"), []byte(""), []byte("ac"), // dup + empty + absent
+		[]byte("gg"), []byte("t"),
+	}
+	ctx := context.Background()
+	for name, q := range queriers(t, text) {
+		for _, limit := range []int{0, 1, 4, 500} {
+			results, err := q.QueryBatch(ctx, patterns, BatchOptions{Limit: limit})
+			if err != nil {
+				t.Fatalf("%s limit %d: %v", name, limit, err)
+			}
+			if len(results) != len(patterns) {
+				t.Fatalf("%s: %d results for %d patterns", name, len(results), len(patterns))
+			}
+			for i, p := range patterns {
+				want, wantErr := q.FindAllLimitContext(ctx, p, limit)
+				got := results[i]
+				if (got.Err == nil) != (wantErr == nil) {
+					t.Fatalf("%s limit %d pattern %q: Err = %v, sequential err = %v", name, limit, p, got.Err, wantErr)
+				}
+				if wantErr != nil {
+					if !errors.Is(got.Err, ErrPatternTooLong) || !errors.Is(wantErr, ErrPatternTooLong) {
+						t.Fatalf("%s limit %d pattern %q: Err = %v, sequential err = %v", name, limit, p, got.Err, wantErr)
+					}
+					continue
+				}
+				if got.Truncated != want.Truncated {
+					t.Fatalf("%s limit %d pattern %q: Truncated = %v, want %v", name, limit, p, got.Truncated, want.Truncated)
+				}
+				if len(got.Positions) != len(want.Positions) {
+					t.Fatalf("%s limit %d pattern %q: %v, want %v", name, limit, p, got.Positions, want.Positions)
+				}
+				for j := range want.Positions {
+					if got.Positions[j] != want.Positions[j] {
+						t.Fatalf("%s limit %d pattern %q: %v, want %v", name, limit, p, got.Positions, want.Positions)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryBatchDedupe: identical (pattern, limit) items share one
+// descent and one result.
+func TestQueryBatchDedupe(t *testing.T) {
+	text := []byte(strings.Repeat("acgt", 32))
+	idx := Build(text)
+	patterns := [][]byte{[]byte("acg"), []byte("acg"), []byte("acg"), []byte("t")}
+	tr := trace.New()
+	ctx := trace.NewContext(context.Background(), tr)
+	results, err := idx.QueryBatch(ctx, patterns, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var descends int
+	for _, rec := range tr.Records() {
+		if rec.Stage == trace.StageDescend {
+			descends++
+		}
+	}
+	if descends != 2 {
+		t.Fatalf("descents = %d, want 2 (3x %q deduped + %q)", descends, "acg", "t")
+	}
+	for i := 1; i < 3; i++ {
+		if &results[0].Positions[0] != &results[i].Positions[0] {
+			t.Fatalf("duplicate %d does not share the canonical result", i)
+		}
+	}
+}
+
+// TestQueryBatchPerItemLimits: Limits overrides Limit item by item, and
+// a mismatched length is rejected with ErrBadBatch.
+func TestQueryBatchPerItemLimits(t *testing.T) {
+	text := []byte(strings.Repeat("ac", 50))
+	idx := Build(text)
+	ctx := context.Background()
+	patterns := [][]byte{[]byte("ac"), []byte("ac"), []byte("a")}
+	results, err := idx.QueryBatch(ctx, patterns, BatchOptions{Limits: []int{2, 5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].Positions) != 2 || !results[0].Truncated {
+		t.Fatalf("item 0: %d positions truncated=%v, want 2/true", len(results[0].Positions), results[0].Truncated)
+	}
+	if len(results[1].Positions) != 5 || !results[1].Truncated {
+		t.Fatalf("item 1: %d positions truncated=%v, want 5/true", len(results[1].Positions), results[1].Truncated)
+	}
+	if len(results[2].Positions) != 50 || results[2].Truncated {
+		t.Fatalf("item 2: %d positions truncated=%v, want 50/false", len(results[2].Positions), results[2].Truncated)
+	}
+	// Same pattern under different limits must NOT be deduped together.
+	if results[0].Truncated == results[1].Truncated && len(results[0].Positions) == len(results[1].Positions) {
+		t.Fatal("items with different limits collapsed into one")
+	}
+	if _, err := idx.QueryBatch(ctx, patterns, BatchOptions{Limits: []int{1}}); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("mismatched Limits err = %v, want ErrBadBatch", err)
+	}
+}
+
+// TestQueryBatchCancellation: a dead context fails the whole batch.
+func TestQueryBatchCancellation(t *testing.T) {
+	text := []byte(strings.Repeat("acgt", 64))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, q := range queriers(t, text) {
+		if _, err := q.QueryBatch(ctx, [][]byte{[]byte("ac")}, BatchOptions{}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestQueryBatchShardedPerItemErrors: on a Sharded index an overlong
+// pattern fails alone — its QueryResult carries ErrPatternTooLong while
+// the other items answer normally.
+func TestQueryBatchShardedPerItemErrors(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacagg", 8))
+	sh, err := BuildSharded(text, 16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := []byte("aaccacaaca") // longer than maxPattern 4
+	results, err := sh.QueryBatch(context.Background(), [][]byte{[]byte("acca"), long, []byte("gg")}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[1].Err, ErrPatternTooLong) {
+		t.Fatalf("overlong item Err = %v, want ErrPatternTooLong", results[1].Err)
+	}
+	if results[1].Positions != nil {
+		t.Fatalf("overlong item has positions: %v", results[1].Positions)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Fatalf("item %d: unexpected Err %v", i, results[i].Err)
+		}
+		want := Build(text).FindAll([]byte(map[int]string{0: "acca", 2: "gg"}[i]))
+		if len(results[i].Positions) != len(want) {
+			t.Fatalf("item %d: %v, want %v", i, results[i].Positions, want)
+		}
+	}
+}
+
+// TestQueryBatchWorkersEquivalent: the descent pool size never changes
+// results.
+func TestQueryBatchWorkersEquivalent(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacaggtacc", 16))
+	idx := Build(text)
+	ctx := context.Background()
+	patterns := [][]byte{[]byte("a"), []byte("ac"), []byte("ca"), []byte("gg"), []byte("tacc"), []byte("zz")}
+	ref, err := idx.QueryBatch(ctx, patterns, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		got, err := idx.QueryBatch(ctx, patterns, BatchOptions{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if len(got[i].Positions) != len(ref[i].Positions) || got[i].Truncated != ref[i].Truncated {
+				t.Fatalf("workers %d item %d: %v, want %v", w, i, got[i], ref[i])
+			}
+			for j := range ref[i].Positions {
+				if got[i].Positions[j] != ref[i].Positions[j] {
+					t.Fatalf("workers %d item %d: %v, want %v", w, i, got[i].Positions, ref[i].Positions)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryBatchEmptyBatch: zero patterns is a valid no-op.
+func TestQueryBatchEmptyBatch(t *testing.T) {
+	for name, q := range queriers(t, []byte("aaccacaaca")) {
+		results, err := q.QueryBatch(context.Background(), nil, BatchOptions{})
+		if err != nil || len(results) != 0 {
+			t.Fatalf("%s: results %v err %v, want empty/nil", name, results, err)
+		}
+	}
+}

@@ -18,12 +18,20 @@
 // Prometheus text exposition format (spinebench_* families), ready to
 // diff against the server's /metrics?format=prom.
 //
+// With -batch N the load mode instead compares one POST /batch of N
+// patterns against N sequential GET /findall calls (same patterns, same
+// limits, counts cross-checked) and optionally writes the JSON report:
+//
+//	spinebench -load http://localhost:8080 -batch 16 -batch-rounds 30 \
+//	    -batch-out BENCH_batch.json
+//
 // At -divide 1 the corpus matches the paper's sequence lengths (eco 3.5M,
 // cel 15.5M, hc21 28.5M, hc19 57.5M characters); expect multi-hour runs
 // for the disk experiments with -sync.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,9 +59,21 @@ func main() {
 		loadPlen = flag.Int("load-plen", 12, "load mode: sampled pattern length")
 		loadTO   = flag.Duration("load-timeout", 30*time.Second, "load mode: per-request client timeout")
 		loadProm = flag.String("load-prom", "", `load mode: also write Prometheus text metrics to this file ("-" = stdout)`)
+
+		batchN      = flag.Int("batch", 0, "load mode: compare one /batch of N patterns vs N sequential /findall calls (0 = off)")
+		batchRounds = flag.Int("batch-rounds", 20, "batch mode: measured rounds per mode")
+		batchLimit  = flag.Int("batch-limit", 100, "batch mode: per-item result limit (0 = server default)")
+		batchOut    = flag.String("batch-out", "", "batch mode: write the JSON comparison report to this file")
 	)
 	flag.Parse()
 	if *loadURL != "" {
+		if *batchN > 0 {
+			if err := runBatchCompare(*loadURL, *batchN, *batchRounds, *batchLimit, *loadSeq, *loadPlen, *divide, *loadTO, *batchOut); err != nil {
+				fmt.Fprintln(os.Stderr, "spinebench:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runLoad(*loadURL, *loadN, *loadC, *loadMix, *loadSeq, *loadPlen, *divide, *loadTO, *loadProm); err != nil {
 			fmt.Fprintln(os.Stderr, "spinebench:", err)
 			os.Exit(1)
@@ -106,6 +126,44 @@ func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide i
 			out = f
 		}
 		if err := bench.WriteLoadPrometheus(out, results); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBatchCompare measures one /batch of n patterns against n
+// sequential /findall calls and prints the comparison table; with
+// outPath the JSON report (BENCH_batch.json format) is written too.
+func runBatchCompare(url string, n, rounds, limit int, seqName string, plen, divide int, timeout time.Duration, outPath string) error {
+	c := bench.NewCorpus(divide)
+	text, err := c.Get(seqName)
+	if err != nil {
+		return err
+	}
+	patterns := bench.SamplePatterns(text, 256, plen)
+	if len(patterns) == 0 {
+		return fmt.Errorf("cannot sample %d-char patterns from %s at divisor %d (%d chars)",
+			plen, seqName, divide, len(text))
+	}
+	table, report, err := bench.RunBatchCompare(bench.BatchCompareConfig{
+		BaseURL:   strings.TrimRight(url, "/"),
+		Patterns:  patterns,
+		BatchSize: n,
+		Rounds:    rounds,
+		Limit:     limit,
+		Timeout:   timeout,
+	})
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spine-index/spine"
+)
+
+// batchResponse mirrors the /batch JSON envelope for decoding in tests.
+type batchResponse struct {
+	Patterns int         `json:"patterns"`
+	Unique   int         `json:"unique"`
+	Limit    int         `json:"limit"`
+	Results  []batchItem `json:"results"`
+}
+
+// batchServer serves a sharded index (maxPattern 8) so per-item
+// overlong-pattern failures are reachable through the engine.
+func batchServer(t *testing.T, cfg serverConfig) (*httptest.Server, spine.Querier) {
+	t.Helper()
+	text := []byte(strings.Repeat("aaccacaacaggtacc", 16))
+	sh, err := spine.BuildSharded(text, 64, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newQueryServer(sh, cfg).mux())
+	t.Cleanup(ts.Close)
+	return ts, sh
+}
+
+func postBatch(t *testing.T, url, body string) (*http.Response, batchResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding /batch response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+// TestBatchEndpoint: the object form answers each item with the same
+// positions as a /findall for that pattern, keeps request order, and
+// reports per-item statuses — including an engine-level overlong
+// pattern failing alone.
+func TestBatchEndpoint(t *testing.T) {
+	ts, sh := batchServer(t, defaultConfig())
+	long := strings.Repeat("a", 9) // over the sharded maxPattern 8
+	body := `{"patterns":["ac","ac","gg","zz","` + long + `",""],"limit":50}`
+	resp, out := postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Patterns != 6 || out.Unique != 5 || out.Limit != 50 {
+		t.Fatalf("envelope = %+v, want patterns 6 unique 5 limit 50", out)
+	}
+	if len(out.Results) != 6 {
+		t.Fatalf("%d results, want 6", len(out.Results))
+	}
+	for i, p := range []string{"ac", "ac", "gg", "zz", "", ""} {
+		if i == 4 {
+			// The overlong item fails alone.
+			it := out.Results[4]
+			if it.Status != "error" || !strings.Contains(it.Error, "pattern too long") {
+				t.Fatalf("overlong item = %+v, want status error mentioning pattern too long", it)
+			}
+			continue
+		}
+		if i == 5 {
+			p = "" // empty pattern occurs everywhere
+		}
+		it := out.Results[i]
+		if it.Status != "ok" {
+			t.Fatalf("item %d = %+v, want ok", i, it)
+		}
+		want, err := sh.FindAllLimitContext(context.Background(), []byte(p), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Count != len(want.Positions) || it.Truncated != want.Truncated {
+			t.Fatalf("item %d (%q): count %d truncated %v, want %d/%v",
+				i, p, it.Count, it.Truncated, len(want.Positions), want.Truncated)
+		}
+		for j, pos := range want.Positions {
+			if it.Positions[j] != pos {
+				t.Fatalf("item %d (%q): positions %v, want %v", i, p, it.Positions, want.Positions)
+			}
+		}
+	}
+
+	// Telemetry: one batch, six patterns, one in-batch duplicate, one
+	// rejected item; and the Prometheus exposition carries the families.
+	var m struct {
+		Batch struct {
+			Batches       int64 `json:"batches"`
+			Patterns      int64 `json:"patterns"`
+			Deduped       int64 `json:"deduped"`
+			RejectedItems int64 `json:"rejectedItems"`
+		} `json:"batch"`
+	}
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Batch.Batches != 1 || m.Batch.Patterns != 6 || m.Batch.Deduped != 1 || m.Batch.RejectedItems != 1 {
+		t.Fatalf("batch telemetry = %+v, want 1/6/1/1", m.Batch)
+	}
+	promResp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, promResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"spine_batch_requests_total 1",
+		"spine_batch_patterns_total 6",
+		"spine_batch_deduped_patterns_total 1",
+		"spine_batch_rejected_items_total 1",
+		"spine_batch_size_count 1",
+	} {
+		if !strings.Contains(sb.String(), family) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", family, sb.String())
+		}
+	}
+}
+
+// TestBatchBareArrayForm: a bare JSON array is accepted with the
+// default (findall-cap) limit.
+func TestBatchBareArrayForm(t *testing.T) {
+	ts, _ := batchServer(t, defaultConfig())
+	resp, out := postBatch(t, ts.URL, `["ac","gg"]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Limit != defaultConfig().findAllCap {
+		t.Fatalf("limit = %d, want findall cap %d", out.Limit, defaultConfig().findAllCap)
+	}
+	if len(out.Results) != 2 || out.Results[0].Status != "ok" || out.Results[1].Status != "ok" {
+		t.Fatalf("results = %+v", out.Results)
+	}
+}
+
+// TestBatchValidation: malformed bodies, empty batches, oversized
+// batches and bad limits are 400s; a pattern over the server byte cap
+// fails per-item without reaching the engine.
+func TestBatchValidation(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.maxBatchPatterns = 3
+	cfg.maxPatternLen = 4
+	ts, _ := batchServer(t, cfg)
+	for _, body := range []string{``, `{}`, `{"patterns":[]}`, `[]`, `not json`, `{"patterns":["a"],"limit":-1}`, `["a","b","c","d"]`} {
+		resp, _ := postBatch(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Over the server's byte cap (but under the shard maxPattern): the
+	// request succeeds, the item alone errors.
+	resp, out := postBatch(t, ts.URL, `["accac","ac"]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Results[0].Status != "error" || !strings.Contains(out.Results[0].Error, "pattern too long") {
+		t.Fatalf("capped item = %+v, want per-item pattern-too-long", out.Results[0])
+	}
+	if out.Results[1].Status != "ok" {
+		t.Fatalf("neighbor item = %+v, want ok", out.Results[1])
+	}
+}
+
+// TestBatchLimitCapped: a client limit above the /findall cap is capped.
+func TestBatchLimitCapped(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.findAllCap = 7
+	ts, _ := batchServer(t, cfg)
+	resp, out := postBatch(t, ts.URL, `{"patterns":["a"],"limit":1000000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Limit != 7 {
+		t.Fatalf("limit = %d, want capped to 7", out.Limit)
+	}
+	if it := out.Results[0]; len(it.Positions) != 7 || !it.Truncated {
+		t.Fatalf("item = %+v, want 7 positions truncated", it)
+	}
+}
+
+// TestBatchTimeout: the per-request deadline aborts a stuck batch with
+// 504, same as single queries.
+func TestBatchTimeout(t *testing.T) {
+	fq := newBlockingQuerier()
+	cfg := defaultConfig()
+	cfg.queryTimeout = 50 * time.Millisecond
+	ts := httptest.NewServer(newQueryServer(fq, cfg).mux())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(`["a","b"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+}

@@ -21,6 +21,7 @@
 //	GET  /count?q=acgt                   occurrence count
 //	GET  /approx?q=acgt&k=1&model=hamming  approximate occurrences (index mode only)
 //	POST /match?minlen=20                maximal matches vs the body sequence
+//	POST /batch                          multi-pattern batch (JSON array or {"patterns":[...],"limit":N})
 //	GET  /debug/slowlog                  recent slow queries with per-stage breakdowns
 //	GET  /debug/vars, /debug/pprof/*     expvar + pprof
 //
@@ -64,7 +65,8 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 64, "max concurrent query requests before shedding 429s; 0 = unlimited")
 		findAllCap   = flag.Int("findall-cap", 10000, "hard cap on /findall result size")
 		maxPatLen    = flag.Int("max-pattern-len", 1<<20, "max q parameter length in bytes")
-		maxBody      = flag.Int64("max-body", 256<<20, "max /match body size in bytes")
+		maxBody      = flag.Int64("max-body", 256<<20, "max /match and /batch body size in bytes")
+		batchCap     = flag.Int("batch-cap", 256, "max patterns per /batch request")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain deadline")
 
 		slowlogThreshold = flag.Duration("slowlog-threshold", 250*time.Millisecond, "retain queries at least this slow in /debug/slowlog; 0 disables")
@@ -79,12 +81,13 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := serverConfig{
-		queryTimeout:  *queryTimeout,
-		maxInFlight:   *maxInFlight,
-		maxPatternLen: *maxPatLen,
-		maxBodyBytes:  *maxBody,
-		findAllCap:    *findAllCap,
-		logger:        log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds),
+		queryTimeout:     *queryTimeout,
+		maxInFlight:      *maxInFlight,
+		maxPatternLen:    *maxPatLen,
+		maxBodyBytes:     *maxBody,
+		maxBatchPatterns: *batchCap,
+		findAllCap:       *findAllCap,
+		logger:           log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds),
 
 		slowlogThreshold: *slowlogThreshold,
 		slowlogSize:      *slowlogSize,

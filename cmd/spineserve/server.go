@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -29,8 +30,11 @@ type serverConfig struct {
 	maxInFlight int
 	// maxPatternLen caps the q parameter length (bytes).
 	maxPatternLen int
-	// maxBodyBytes caps the /match request body.
+	// maxBodyBytes caps the /match and /batch request bodies.
 	maxBodyBytes int64
+	// maxBatchPatterns caps the number of patterns one /batch request
+	// may carry.
+	maxBatchPatterns int
 	// findAllCap is the largest (and default) /findall result limit.
 	findAllCap int
 	// slowlogThreshold is the request duration at or above which a traced
@@ -50,6 +54,7 @@ func defaultConfig() serverConfig {
 		maxInFlight:      64,
 		maxPatternLen:    1 << 20,
 		maxBodyBytes:     256 << 20,
+		maxBatchPatterns: 256,
 		findAllCap:       10000,
 		slowlogThreshold: 250 * time.Millisecond,
 		slowlogSize:      128,
@@ -115,6 +120,7 @@ func (s *server) mux() http.Handler {
 	m.Handle("GET /count", s.instrument("count", true, s.handleCount))
 	m.Handle("GET /approx", s.instrument("approx", true, s.handleApprox))
 	m.Handle("POST /match", s.instrument("match", true, s.handleMatch))
+	m.Handle("POST /batch", s.instrument("batch", true, s.handleBatch))
 	m.Handle("GET /debug/slowlog", s.instrument("slowlog", false, s.handleSlowlog))
 	m.Handle("GET /debug/vars", expvar.Handler())
 	m.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -139,7 +145,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 // abort without pretending the work finished.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, spine.ErrPatternTooLong):
+	case errors.Is(err, spine.ErrPatternTooLong), errors.Is(err, spine.ErrBadBatch):
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -400,5 +406,132 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		"pairs":        info.Pairs,
 		"nodesChecked": info.NodesChecked,
 		"elapsedNs":    info.Elapsed.Nanoseconds(),
+	})
+}
+
+// batchItem is one per-pattern entry in a /batch response. Items keep
+// their request order; status distinguishes answered items ("ok") from
+// individually rejected ones ("error", with the reason in error).
+type batchItem struct {
+	Status       string `json:"status"`
+	Count        int    `json:"count"`
+	Positions    []int  `json:"positions"`
+	Truncated    bool   `json:"truncated"`
+	NodesChecked int64  `json:"nodesChecked"`
+	Error        string `json:"error,omitempty"`
+}
+
+// handleBatch answers a multi-pattern query with one engine batch: all
+// descents pooled, all occurrence lists resolved by a single backbone
+// scan per index (per shard in sharded mode). The body is either a bare
+// JSON array of patterns or {"patterns": [...], "limit": N}. The limit
+// applies per item and is capped at the /findall cap. Oversized
+// patterns fail alone with a per-item error; the batch answers.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, "batch body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	var req struct {
+		Patterns []string `json:"patterns"`
+		Limit    int      `json:"limit"`
+	}
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(trimmed, &req.Patterns)
+	} else {
+		err = json.Unmarshal(trimmed, &req)
+	}
+	if err != nil {
+		http.Error(w, "bad batch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Patterns) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Patterns) > s.cfg.maxBatchPatterns {
+		http.Error(w, fmt.Sprintf("batch of %d patterns exceeds the server's %d-pattern cap",
+			len(req.Patterns), s.cfg.maxBatchPatterns), http.StatusBadRequest)
+		return
+	}
+	if req.Limit < 0 {
+		http.Error(w, "bad limit", http.StatusBadRequest)
+		return
+	}
+	limit := s.cfg.findAllCap
+	if req.Limit > 0 && req.Limit < limit {
+		limit = req.Limit
+	}
+
+	// Server-side validation happens before the engine sees the batch:
+	// oversized patterns become per-item errors and are excluded from the
+	// engine call, so one hostile item cannot sink its neighbors.
+	items := make([]batchItem, len(req.Patterns))
+	pats := make([][]byte, 0, len(req.Patterns))
+	fromEngine := make([]int, 0, len(req.Patterns)) // engine position -> request position
+	unique := make(map[string]struct{}, len(req.Patterns))
+	for i, ps := range req.Patterns {
+		unique[ps] = struct{}{}
+		if len(ps) > s.cfg.maxPatternLen {
+			items[i] = batchItem{Status: "error", Error: fmt.Sprintf("%v: %d bytes exceeds the server's %d-byte cap",
+				spine.ErrPatternTooLong, len(ps), s.cfg.maxPatternLen)}
+			s.reg.Batch.RejectedItems.Inc()
+			continue
+		}
+		s.reg.Query.PatternLen.Observe(int64(len(ps)))
+		pats = append(pats, []byte(ps))
+		fromEngine = append(fromEngine, i)
+	}
+	s.reg.Batch.Batches.Inc()
+	s.reg.Batch.Patterns.Add(int64(len(req.Patterns)))
+	s.reg.Batch.Size.Observe(int64(len(req.Patterns)))
+	s.reg.Batch.Deduped.Add(int64(len(req.Patterns) - len(unique)))
+	trace.FromContext(r.Context()).SetPattern(bytes.Join(pats, []byte{0x1f}))
+
+	results, err := s.q.QueryBatch(r.Context(), pats, spine.BatchOptions{Limit: limit})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var nodes, occurrences int64
+	for k, res := range results {
+		i := fromEngine[k]
+		nodes += res.NodesChecked
+		if res.Err != nil {
+			items[i] = batchItem{Status: "error", Error: res.Err.Error()}
+			s.reg.Batch.RejectedItems.Inc()
+			continue
+		}
+		if res.Truncated {
+			s.reg.Query.Truncated.Inc()
+		}
+		occurrences += int64(len(res.Positions))
+		pos := res.Positions
+		if pos == nil {
+			pos = []int{}
+		}
+		items[i] = batchItem{
+			Status:       "ok",
+			Count:        len(res.Positions),
+			Positions:    pos,
+			Truncated:    res.Truncated,
+			NodesChecked: res.NodesChecked,
+		}
+	}
+	s.reg.Query.NodesChecked.Add(nodes)
+	s.reg.Query.Occurrences.Add(occurrences)
+	trace.FromContext(r.Context()).SetNodesChecked(nodes)
+	writeJSON(w, map[string]any{
+		"patterns": len(req.Patterns),
+		"unique":   len(unique),
+		"limit":    limit,
+		"results":  items,
 	})
 }

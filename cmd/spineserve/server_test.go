@@ -61,6 +61,18 @@ func (f *blockingQuerier) CountContext(ctx context.Context, p []byte) (int, erro
 	return 1, ctx.Err()
 }
 
+func (f *blockingQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts spine.BatchOptions) ([]spine.QueryResult, error) {
+	out := make([]spine.QueryResult, len(patterns))
+	for i, p := range patterns {
+		res, err := f.FindAllLimitContext(ctx, p, opts.Limit)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 func (f *blockingQuerier) Len() int { return 1 }
 
 // TestSaturationSheds429 is the acceptance check: when the concurrency

@@ -23,4 +23,9 @@ var (
 	// ErrSeparatorInText reports that a string passed to BuildGeneralized
 	// contains the separator byte and so cannot be joined unambiguously.
 	ErrSeparatorInText = errors.New("spine: text contains the separator byte")
+
+	// ErrBadBatch reports a malformed QueryBatch request (for example a
+	// Limits slice whose length does not match the pattern count). A
+	// client error: 4xx.
+	ErrBadBatch = errors.New("spine: bad batch request")
 )

@@ -1,0 +1,108 @@
+package spine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// FuzzQueryBatch drives the batch pipeline from fuzz inputs: the first
+// argument becomes the indexed text, the second splits on 0xFF into a
+// multi-pattern batch (empty segments give empty patterns, repeated
+// segments give duplicates, long segments exceed the sharded
+// maxPattern). Every item must match the per-pattern sequential oracle
+// on all three index flavors.
+//
+// `go test` runs the seed corpus; `go test -fuzz=FuzzQueryBatch` mines
+// (make check runs a 10s smoke).
+func FuzzQueryBatch(f *testing.F) {
+	f.Add([]byte("aaccacaaca"), []byte("ac\xffca\xff\xffac\xffacaacaacaa"), uint8(0))
+	f.Add([]byte("abababab"), []byte("ba\xffab\xffba"), uint8(3))
+	f.Add([]byte(""), []byte("a\xff"), uint8(1))
+	f.Add([]byte("acgtacgtacgt"), []byte("acgt\xffzz\xffacgt\xffg"), uint8(2))
+	f.Fuzz(func(t *testing.T, rawText, rawPats []byte, rawLimit uint8) {
+		if len(rawText) > 2000 || len(rawPats) > 512 {
+			return
+		}
+		text := fuzzDNA(rawText)
+		var patterns [][]byte
+		for _, seg := range bytes.Split(rawPats, []byte{0xFF}) {
+			if len(patterns) >= 16 {
+				break
+			}
+			if len(seg) > 64 {
+				seg = seg[:64]
+			}
+			patterns = append(patterns, fuzzPattern(seg))
+		}
+		limit := int(rawLimit % 8) // 0 = unlimited, else small caps
+		idx := Build(text)
+		comp, err := idx.Compact(DNA)
+		if err != nil {
+			t.Fatalf("Compact(%q): %v", text, err)
+		}
+		const shardSize, maxPat = 16, 8
+		sh, err := BuildSharded(text, shardSize, maxPat, 2)
+		if err != nil {
+			t.Fatalf("BuildSharded(%q): %v", text, err)
+		}
+		ctx := context.Background()
+		for name, q := range map[string]Querier{"index": idx, "compact": comp, "sharded": sh} {
+			results, err := q.QueryBatch(ctx, patterns, BatchOptions{Limit: limit})
+			if err != nil {
+				t.Fatalf("%s: QueryBatch: %v", name, err)
+			}
+			if len(results) != len(patterns) {
+				t.Fatalf("%s: %d results for %d patterns", name, len(results), len(patterns))
+			}
+			for i, p := range patterns {
+				want, wantErr := q.FindAllLimitContext(ctx, p, limit)
+				got := results[i]
+				if (got.Err == nil) != (wantErr == nil) {
+					t.Fatalf("%s pattern %q: batch Err %v vs sequential %v", name, p, got.Err, wantErr)
+				}
+				if wantErr != nil {
+					if !errors.Is(got.Err, ErrPatternTooLong) {
+						t.Fatalf("%s pattern %q: Err = %v, want ErrPatternTooLong", name, p, got.Err)
+					}
+					continue
+				}
+				if got.Truncated != want.Truncated || len(got.Positions) != len(want.Positions) {
+					t.Fatalf("%s pattern %q limit %d: got %v/%v, want %v/%v",
+						name, p, limit, got.Positions, got.Truncated, want.Positions, want.Truncated)
+				}
+				for j := range want.Positions {
+					if got.Positions[j] != want.Positions[j] {
+						t.Fatalf("%s pattern %q: %v, want %v", name, p, got.Positions, want.Positions)
+					}
+				}
+			}
+		}
+	})
+}
+
+// fuzzDNA maps arbitrary bytes onto the DNA alphabet so the index
+// structures under test actually occur.
+func fuzzDNA(raw []byte) []byte {
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = "acgt"[b%4]
+	}
+	return out
+}
+
+// fuzzPattern maps a fuzz segment to mostly-DNA letters with an
+// occasional out-of-alphabet byte, exercising the compact layout's
+// failed-encode path.
+func fuzzPattern(seg []byte) []byte {
+	out := make([]byte, len(seg))
+	for i, b := range seg {
+		if b%7 == 6 {
+			out[i] = 'z'
+			continue
+		}
+		out[i] = "acgt"[b%4]
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/spine-index/spine/internal/telemetry"
+)
+
+// Batch-vs-sequential comparison: the same N patterns answered by one
+// POST /batch (one descent pool + one backbone scan per index) versus N
+// sequential GET /findall round trips. Both sides see identical
+// patterns and limits, and the per-pattern occurrence counts are
+// cross-checked every round, so the timing difference isolates the
+// batching itself — §4's deferral of occurrence resolution amortized
+// across a whole query set plus the saved HTTP round trips.
+
+// BatchCompareConfig drives RunBatchCompare against a running
+// spineserve instance.
+type BatchCompareConfig struct {
+	BaseURL   string        // e.g. "http://localhost:8080"
+	Patterns  [][]byte      // pattern pool, rotated between rounds
+	BatchSize int           // patterns per round (the batch's N)
+	Rounds    int           // measured rounds per mode
+	Limit     int           // per-item result limit; 0 = server default
+	Timeout   time.Duration // per-request client timeout; 0 = 30s
+}
+
+// BatchModeStats aggregates one mode's round durations. A "round" is
+// one full answer for the N patterns: a single /batch request, or N
+// back-to-back /findall requests.
+type BatchModeStats struct {
+	Rounds  int   `json:"rounds"`
+	Errors  int64 `json:"errors"`
+	TotalUs int64 `json:"totalUs"`
+	MeanUs  int64 `json:"meanUs"`
+	P50Us   int64 `json:"p50Us"`
+	P90Us   int64 `json:"p90Us"`
+	MaxUs   int64 `json:"maxUs"`
+}
+
+// BatchReport is the machine-readable comparison (committed as
+// BENCH_batch.json).
+type BatchReport struct {
+	BaseURL    string         `json:"baseURL"`
+	BatchSize  int            `json:"batchSize"`
+	Rounds     int            `json:"rounds"`
+	Limit      int            `json:"limit"`
+	Batch      BatchModeStats `json:"batch"`
+	Sequential BatchModeStats `json:"sequential"`
+	// Speedup is sequential mean round time over batch mean round time.
+	Speedup float64 `json:"speedup"`
+}
+
+// RunBatchCompare measures rounds of batch-vs-sequential answering and
+// returns the human table plus the JSON report. Modes alternate within
+// each round (batch first, then sequential over the same patterns) so
+// cache warm-up and background noise spread evenly across both.
+func RunBatchCompare(cfg BatchCompareConfig) (Table, BatchReport, error) {
+	if cfg.BaseURL == "" {
+		return Table{}, BatchReport{}, fmt.Errorf("batch: BaseURL is required")
+	}
+	if len(cfg.Patterns) == 0 {
+		return Table{}, BatchReport{}, fmt.Errorf("batch: at least one pattern is required")
+	}
+	if cfg.BatchSize <= 0 {
+		return Table{}, BatchReport{}, fmt.Errorf("batch: BatchSize must be positive")
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 10
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+
+	var batchLat, seqLat telemetry.Histogram
+	var batchTotal, seqTotal time.Duration
+	var batchErrs, seqErrs int64
+	for r := 0; r < rounds; r++ {
+		// Rotate the pool so different rounds hit different patterns but
+		// both modes within a round see the same slice.
+		patterns := make([][]byte, cfg.BatchSize)
+		for i := range patterns {
+			patterns[i] = cfg.Patterns[(r*cfg.BatchSize+i)%len(cfg.Patterns)]
+		}
+
+		t0 := time.Now()
+		batchCounts, err := issueBatch(client, cfg.BaseURL, patterns, cfg.Limit)
+		d := time.Since(t0)
+		batchLat.ObserveDuration(d)
+		batchTotal += d
+		if err != nil {
+			batchErrs++
+			continue
+		}
+
+		t0 = time.Now()
+		seqCounts, err := issueSequential(client, cfg.BaseURL, patterns, cfg.Limit)
+		d = time.Since(t0)
+		seqLat.ObserveDuration(d)
+		seqTotal += d
+		if err != nil {
+			seqErrs++
+			continue
+		}
+
+		for i := range patterns {
+			if batchCounts[i] != seqCounts[i] {
+				return Table{}, BatchReport{}, fmt.Errorf(
+					"batch: round %d pattern %q: /batch count %d != /findall count %d",
+					r, patterns[i], batchCounts[i], seqCounts[i])
+			}
+		}
+	}
+
+	report := BatchReport{
+		BaseURL:    cfg.BaseURL,
+		BatchSize:  cfg.BatchSize,
+		Rounds:     rounds,
+		Limit:      cfg.Limit,
+		Batch:      modeStats(rounds, batchErrs, batchTotal, batchLat.Snapshot()),
+		Sequential: modeStats(rounds, seqErrs, seqTotal, seqLat.Snapshot()),
+	}
+	if report.Batch.MeanUs > 0 {
+		report.Speedup = float64(report.Sequential.MeanUs) / float64(report.Batch.MeanUs)
+	}
+
+	t := Table{
+		ID: "batch",
+		Title: fmt.Sprintf("batch vs sequential: %d patterns/round, %d rounds vs %s",
+			cfg.BatchSize, rounds, cfg.BaseURL),
+		Header: []string{"mode", "rounds", "errors", "mean(µs)", "p50(µs)", "p90(µs)", "max(µs)"},
+	}
+	for _, row := range []struct {
+		name string
+		s    BatchModeStats
+	}{{"batch", report.Batch}, {"sequential", report.Sequential}} {
+		t.Rows = append(t.Rows, []string{
+			row.name,
+			fmt.Sprintf("%d", row.s.Rounds),
+			fmt.Sprintf("%d", row.s.Errors),
+			fmt.Sprintf("%d", row.s.MeanUs),
+			fmt.Sprintf("%d", row.s.P50Us),
+			fmt.Sprintf("%d", row.s.P90Us),
+			fmt.Sprintf("%d", row.s.MaxUs),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"speedup %.2fx (sequential mean / batch mean); per-pattern counts cross-checked every round", report.Speedup))
+	return t, report, nil
+}
+
+func modeStats(rounds int, errs int64, total time.Duration, h telemetry.HistogramSnapshot) BatchModeStats {
+	s := BatchModeStats{
+		Rounds:  rounds,
+		Errors:  errs,
+		TotalUs: total.Microseconds(),
+		P50Us:   h.P50,
+		P90Us:   h.P90,
+		MaxUs:   h.Max,
+	}
+	if rounds > 0 {
+		s.MeanUs = s.TotalUs / int64(rounds)
+	}
+	return s
+}
+
+// issueBatch answers all patterns with one POST /batch and returns the
+// per-pattern occurrence counts in request order.
+func issueBatch(client *http.Client, baseURL string, patterns [][]byte, limit int) ([]int, error) {
+	req := struct {
+		Patterns []string `json:"patterns"`
+		Limit    int      `json:"limit,omitempty"`
+	}{Patterns: make([]string, len(patterns)), Limit: limit}
+	for i, p := range patterns {
+		req.Patterns[i] = string(p)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(baseURL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("/batch status %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []struct {
+			Status string `json:"status"`
+			Count  int    `json:"count"`
+			Error  string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(patterns) {
+		return nil, fmt.Errorf("/batch returned %d results for %d patterns", len(out.Results), len(patterns))
+	}
+	counts := make([]int, len(out.Results))
+	for i, r := range out.Results {
+		if r.Status != "ok" {
+			return nil, fmt.Errorf("/batch item %d: %s", i, r.Error)
+		}
+		counts[i] = r.Count
+	}
+	return counts, nil
+}
+
+// issueSequential answers the patterns with one GET /findall each and
+// returns the per-pattern occurrence counts.
+func issueSequential(client *http.Client, baseURL string, patterns [][]byte, limit int) ([]int, error) {
+	counts := make([]int, len(patterns))
+	for i, p := range patterns {
+		u := baseURL + "/findall?q=" + url.QueryEscape(string(p))
+		if limit > 0 {
+			u += fmt.Sprintf("&limit=%d", limit)
+		}
+		resp, err := client.Get(u)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("/findall status %d", resp.StatusCode)
+		}
+		var out struct {
+			Count int `json:"count"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = out.Count
+	}
+	return counts, nil
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeBatchServer answers /batch and /findall with consistent counts
+// (len(pattern) occurrences) and tracks how often each was hit.
+func fakeBatchServer(t *testing.T, batchHits, findallHits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/batch":
+			batchHits.Add(1)
+			var req struct {
+				Patterns []string `json:"patterns"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				t.Errorf("bad /batch body: %v", err)
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			var items []string
+			for _, p := range req.Patterns {
+				items = append(items, fmt.Sprintf(`{"status":"ok","count":%d,"positions":[],"truncated":false,"nodesChecked":1}`, len(p)))
+			}
+			fmt.Fprintf(w, `{"patterns":%d,"unique":%d,"limit":100,"results":[%s]}`,
+				len(req.Patterns), len(req.Patterns), strings.Join(items, ","))
+		case "/findall":
+			findallHits.Add(1)
+			fmt.Fprintf(w, `{"count":%d,"positions":[],"truncated":false}`, len(r.URL.Query().Get("q")))
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunBatchCompare(t *testing.T) {
+	var batchHits, findallHits atomic.Int64
+	ts := fakeBatchServer(t, &batchHits, &findallHits)
+	table, report, err := RunBatchCompare(BatchCompareConfig{
+		BaseURL:   ts.URL,
+		Patterns:  [][]byte{[]byte("ac"), []byte("acg"), []byte("a")},
+		BatchSize: 8,
+		Rounds:    5,
+		Limit:     100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchHits.Load() != 5 {
+		t.Fatalf("/batch hits = %d, want 5 (one per round)", batchHits.Load())
+	}
+	if findallHits.Load() != 5*8 {
+		t.Fatalf("/findall hits = %d, want 40 (batch size per round)", findallHits.Load())
+	}
+	if report.Batch.Rounds != 5 || report.Sequential.Rounds != 5 ||
+		report.Batch.Errors != 0 || report.Sequential.Errors != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.Batch.MeanUs <= 0 || report.Sequential.MeanUs <= 0 || report.Speedup <= 0 {
+		t.Fatalf("degenerate stats: %+v", report)
+	}
+	out := table.String()
+	if !strings.Contains(out, "batch") || !strings.Contains(out, "sequential") || !strings.Contains(out, "speedup") {
+		t.Fatalf("rendered table:\n%s", out)
+	}
+	// The report round-trips as JSON (the BENCH_batch.json contract).
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BatchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.BatchSize != 8 || back.Rounds != 5 {
+		t.Fatalf("round-trip lost fields: %+v", back)
+	}
+}
+
+// TestRunBatchCompareCountMismatch: disagreeing counts between the two
+// modes fail the run — the bench doubles as a differential check.
+func TestRunBatchCompareCountMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/batch":
+			fmt.Fprint(w, `{"results":[{"status":"ok","count":3,"positions":[],"truncated":false}]}`)
+		case "/findall":
+			fmt.Fprint(w, `{"count":4,"positions":[],"truncated":false}`)
+		}
+	}))
+	defer ts.Close()
+	_, _, err := RunBatchCompare(BatchCompareConfig{
+		BaseURL:   ts.URL,
+		Patterns:  [][]byte{[]byte("ac")},
+		BatchSize: 1,
+		Rounds:    1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "!=") {
+		t.Fatalf("err = %v, want count mismatch", err)
+	}
+}
+
+func TestRunBatchCompareValidation(t *testing.T) {
+	bad := []BatchCompareConfig{
+		{Patterns: [][]byte{[]byte("a")}, BatchSize: 1},  // no URL
+		{BaseURL: "http://x", BatchSize: 1},              // no patterns
+		{BaseURL: "http://x", Patterns: [][]byte{{'a'}}}, // no batch size
+	}
+	for i, cfg := range bad {
+		if _, _, err := RunBatchCompare(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

@@ -1,5 +1,12 @@
 package core
 
+import (
+	"context"
+	"time"
+
+	"github.com/spine-index/spine/internal/trace"
+)
+
 // ScanMany resolves the occurrence end sets of many matches in one
 // sequential pass over the backbone — the §4 optimization: "we defer this
 // step until the first occurrences of all matches are found, and then, in
@@ -48,4 +55,116 @@ func scanManyOn[S store](s S, firsts, lens []int32) [][]int32 {
 		}
 	}
 	return out
+}
+
+// BatchScan is the outcome of a limit-aware batched occurrence scan.
+type BatchScan struct {
+	// Ends[i] lists every occurrence end node of match i in increasing
+	// order, the first occurrence included.
+	Ends [][]int32
+	// Truncated[i] reports that match i stopped at its limit; more
+	// occurrences may exist.
+	Truncated []bool
+	// Scanned is the number of backbone nodes examined by the single
+	// shared scan — counted once for the whole batch, which is the point
+	// of §4's deferral: N patterns cost one O(n) pass, not N.
+	Scanned int64
+}
+
+// ScanManyLimitCtx is ScanMany with per-match result caps and
+// cancellation — the serving-stack form of the §4 optimization. firsts
+// and lens are as in ScanMany; limits[i] caps match i's total occurrence
+// count (the first occurrence included; <= 0 means unlimited). Each
+// match's truncation mirrors the single-query FindAllCtx semantics
+// exactly, so batched and per-pattern queries are byte-identical. The
+// scan ends early once every match has reached its cap. When ctx
+// carries a trace, the pass records one StageBatchScan span.
+func (idx *Index) ScanManyLimitCtx(ctx context.Context, firsts, lens []int32, limits []int) (BatchScan, error) {
+	return scanManyLimitOnCtx(ctx, idx, firsts, lens, limits)
+}
+
+// ScanManyLimitCtx is the compact-layout variant; see Index.ScanManyLimitCtx.
+func (c *CompactIndex) ScanManyLimitCtx(ctx context.Context, firsts, lens []int32, limits []int) (BatchScan, error) {
+	return scanManyLimitOnCtx(ctx, c, firsts, lens, limits)
+}
+
+func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32, limits []int) (BatchScan, error) {
+	res := BatchScan{
+		Ends:      make([][]int32, len(firsts)),
+		Truncated: make([]bool, len(firsts)),
+	}
+	if err := ctx.Err(); err != nil {
+		return BatchScan{}, err
+	}
+	if len(firsts) == 0 {
+		return res, nil
+	}
+	tr := trace.FromContext(ctx)
+	var scanStart time.Time
+	if tr != nil {
+		scanStart = time.Now()
+	}
+	endScan := func(scanned int64) {
+		res.Scanned = scanned
+		if tr != nil {
+			tr.Add(trace.StageBatchScan, time.Since(scanStart),
+				trace.Counters{Nodes: scanned, Links: scanned})
+		}
+	}
+	// owners[node] lists the matches whose target buffer contains node;
+	// done matches stay listed but are skipped, so a capped match stops
+	// accumulating without disturbing the others.
+	owners := make(map[int32][]int32)
+	done := make([]bool, len(firsts))
+	active := 0
+	minFirst := int32(-1)
+	for i := range firsts {
+		res.Ends[i] = []int32{firsts[i]}
+		if limits[i] == 1 {
+			// The single-query path truncates unconditionally at limit 1
+			// without scanning; mirror it so batch results stay identical.
+			done[i], res.Truncated[i] = true, true
+			continue
+		}
+		owners[firsts[i]] = append(owners[firsts[i]], int32(i))
+		if minFirst < 0 || firsts[i] < minFirst {
+			minFirst = firsts[i]
+		}
+		active++
+	}
+	if active == 0 {
+		endScan(0)
+		return res, nil
+	}
+	n := s.textLen()
+	for j := minFirst + 1; j <= n; j++ {
+		if (j-minFirst)%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				endScan(int64(j - minFirst))
+				return BatchScan{Scanned: res.Scanned}, err
+			}
+		}
+		link, lel := s.linkOf(j)
+		ms, ok := owners[link]
+		if !ok {
+			continue
+		}
+		for _, m := range ms {
+			if done[m] || lel < lens[m] || j <= firsts[m] {
+				continue
+			}
+			res.Ends[m] = append(res.Ends[m], j)
+			owners[j] = append(owners[j], m)
+			if limits[m] > 0 && len(res.Ends[m]) >= limits[m] {
+				done[m], res.Truncated[m] = true, j < n
+				active--
+			}
+		}
+		if active == 0 {
+			endScan(int64(j - minFirst))
+			return res, nil
+		}
+	}
+	endScan(int64(n - minFirst))
+	return res, nil
 }

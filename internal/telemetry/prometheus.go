@@ -179,6 +179,17 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p.Family("spine_query_pattern_length", "histogram", "Distribution of query pattern lengths in characters.")
 	p.Histogram("spine_query_pattern_length", nil, s.Query.PatternLen, 1)
 
+	p.Family("spine_batch_requests_total", "counter", "Batch query requests that reached the engine.")
+	p.Sample("spine_batch_requests_total", nil, float64(s.Batch.Batches))
+	p.Family("spine_batch_patterns_total", "counter", "Patterns submitted across all batch requests.")
+	p.Sample("spine_batch_patterns_total", nil, float64(s.Batch.Patterns))
+	p.Family("spine_batch_deduped_patterns_total", "counter", "Batch items answered by an identical in-batch twin.")
+	p.Sample("spine_batch_deduped_patterns_total", nil, float64(s.Batch.Deduped))
+	p.Family("spine_batch_rejected_items_total", "counter", "Batch items rejected individually (e.g. overlong patterns).")
+	p.Sample("spine_batch_rejected_items_total", nil, float64(s.Batch.RejectedItems))
+	p.Family("spine_batch_size", "histogram", "Distribution of patterns per batch request.")
+	p.Histogram("spine_batch_size", nil, s.Batch.Size, 1)
+
 	if len(s.Stages) > 0 {
 		stages := sortedKeys(s.Stages)
 		p.Family("spine_stage_spans_total", "counter", "Trace spans recorded per query stage.")

@@ -81,6 +81,25 @@ type QueryStats struct {
 	PatternLen Histogram
 }
 
+// BatchStats aggregates the batched query pipeline: how many batches
+// arrive, how many patterns they carry, and how much of that work the
+// in-batch dedupe and per-item validation absorbed before the single
+// backbone scan ran.
+type BatchStats struct {
+	// Batches counts batch requests that reached the engine.
+	Batches Counter
+	// Patterns counts items across all batches.
+	Patterns Counter
+	// Deduped counts items answered by an identical in-batch twin
+	// (no extra descent, no extra scan work).
+	Deduped Counter
+	// RejectedItems counts items that failed individually (overlong
+	// patterns) while the rest of their batch succeeded.
+	RejectedItems Counter
+	// Size is the distribution of patterns per batch.
+	Size Histogram
+}
+
 // StageStats aggregates the query-path work attributed to one trace
 // stage (descend, ribs, extribs, occurrences, shard, merge) across all
 // traced queries — the population view of internal/trace's per-query
@@ -113,6 +132,7 @@ type ShardStats struct {
 type Registry struct {
 	start time.Time
 	Query QueryStats
+	Batch BatchStats
 
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
@@ -230,6 +250,7 @@ type Snapshot struct {
 	Runtime       RuntimeSnapshot             `json:"runtime"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Query         QuerySnapshot               `json:"query"`
+	Batch         BatchSnapshot               `json:"batch"`
 	Stages        map[string]StageSnapshot    `json:"stages,omitempty"`
 	Shards        map[int]ShardSnapshot       `json:"shards,omitempty"`
 }
@@ -240,6 +261,15 @@ type QuerySnapshot struct {
 	Occurrences  int64             `json:"occurrences"`
 	Truncated    int64             `json:"truncated"`
 	PatternLen   HistogramSnapshot `json:"patternLen"`
+}
+
+// BatchSnapshot is the snapshot of BatchStats.
+type BatchSnapshot struct {
+	Batches       int64             `json:"batches"`
+	Patterns      int64             `json:"patterns"`
+	Deduped       int64             `json:"deduped"`
+	RejectedItems int64             `json:"rejectedItems"`
+	Size          HistogramSnapshot `json:"size"`
 }
 
 // Snapshot copies the registry's current state. The uptime and runtime
@@ -270,6 +300,13 @@ func (r *Registry) Snapshot() Snapshot {
 			Occurrences:  r.Query.Occurrences.Value(),
 			Truncated:    r.Query.Truncated.Value(),
 			PatternLen:   r.Query.PatternLen.Snapshot(),
+		},
+		Batch: BatchSnapshot{
+			Batches:       r.Batch.Batches.Value(),
+			Patterns:      r.Batch.Patterns.Value(),
+			Deduped:       r.Batch.Deduped.Value(),
+			RejectedItems: r.Batch.RejectedItems.Value(),
+			Size:          r.Batch.Size.Snapshot(),
 		},
 	}
 	for name, e := range eps {

@@ -45,6 +45,11 @@ const (
 	// StageStream is the matching-statistics streaming pass of the §4
 	// complex matching operation; Nodes is the engine's Checked count.
 	StageStream = "stream"
+	// StageBatchScan is the shared backbone scan of a batch query (§4's
+	// set-basis deferral taken literally: one sequential pass resolves
+	// every pattern's occurrences). Nodes is the number of backbone nodes
+	// scanned once for the whole batch, not per pattern.
+	StageBatchScan = "batchscan"
 	// StageShard brackets one shard's query during Sharded fan-out; the
 	// record's Shard field holds the shard number.
 	StageShard = "shard"

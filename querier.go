@@ -1,6 +1,10 @@
 package spine
 
-import "context"
+import (
+	"context"
+
+	"github.com/spine-index/spine/internal/core"
+)
 
 // Querier is the read-side query surface shared by every index flavor:
 // the reference Index, the frozen Compact layout, and the parallel
@@ -25,11 +29,22 @@ type Querier interface {
 	FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error)
 	// CountContext returns the number of occurrences of p.
 	CountContext(ctx context.Context, p []byte) (int, error)
+	// QueryBatch answers many patterns at once: identical patterns are
+	// deduplicated, valid-path descents run through a bounded worker
+	// pool, and all occurrence sets are resolved by a single backbone
+	// scan per index (per shard on a Sharded index) — the paper's §4
+	// set-basis deferral applied across queries. Results align with
+	// patterns by position; per-item failures (e.g. an overlong pattern
+	// on a sharded index) are reported in QueryResult.Err, while the
+	// returned error is reserved for batch-wide failures such as
+	// cancellation.
+	QueryBatch(ctx context.Context, patterns [][]byte, opts BatchOptions) ([]QueryResult, error)
 	// Len returns the number of indexed characters.
 	Len() int
 }
 
-// QueryResult is the outcome of a limited occurrence query.
+// QueryResult is the outcome of a limited occurrence query, or of one
+// item of a batch query.
 type QueryResult struct {
 	// Positions lists occurrence start offsets in increasing order.
 	Positions []int
@@ -37,8 +52,15 @@ type QueryResult struct {
 	// occurrences may exist.
 	Truncated bool
 	// NodesChecked counts index nodes examined by the query — the
-	// paper's §4.1 work metric, aggregated by serving telemetry.
+	// paper's §4.1 work metric, aggregated by serving telemetry. For a
+	// batch item it is the pattern's descent cost plus its amortized
+	// share of the batch's single backbone scan, so summing over a batch
+	// reproduces the batch's true total work.
 	NodesChecked int64
+	// Err reports a per-item failure of a batch query (it wraps a
+	// sentinel such as ErrPatternTooLong); always nil outside batches
+	// and for successful items.
+	Err error `json:"-"`
 }
 
 // Compile-time checks: every index flavor is a Querier.
@@ -79,7 +101,12 @@ func (x *Index) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
 // FindAllLimitContext implements Querier.
 func (x *Index) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
 	res, err := x.c.FindAllCtx(ctx, p, limit)
-	return QueryResult(res), err
+	return queryResultOf(res), err
+}
+
+// queryResultOf lifts a core scan result into the public shape.
+func queryResultOf(res core.ScanResult) QueryResult {
+	return QueryResult{Positions: res.Positions, Truncated: res.Truncated, NodesChecked: res.NodesChecked}
 }
 
 // FindAllLimit returns at most max occurrence start offsets of p in
@@ -127,7 +154,7 @@ func (x *Compact) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
 // FindAllLimitContext implements Querier.
 func (x *Compact) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
 	res, err := x.c.FindAllCtx(ctx, p, limit)
-	return QueryResult(res), err
+	return queryResultOf(res), err
 }
 
 // FindAllLimit returns at most max occurrences; see Index.FindAllLimit.

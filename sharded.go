@@ -246,6 +246,124 @@ func (s *Sharded) FindAllLimitContext(ctx context.Context, p []byte, limit int) 
 	return res, nil
 }
 
+// QueryBatch implements Querier: the whole (deduplicated) batch fans
+// out to every shard, each shard resolves its occurrences with a single
+// backbone scan (see Index.QueryBatch), and the per-shard answers merge
+// into globally ordered positions with the single-query overlap
+// filtering and truncation semantics. Patterns longer than maxPattern
+// fail individually via QueryResult.Err rather than failing the batch.
+func (s *Sharded) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchOptions) ([]QueryResult, error) {
+	limits, err := opts.itemLimits(len(patterns))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]QueryResult, len(patterns))
+	dupOf, uniq := batchDedupe(patterns, limits)
+	// Classify the unique items: empty patterns are answered inline,
+	// overlong ones fail per-item, the rest fan out.
+	work := uniq[:0:0]
+	for _, i := range uniq {
+		p := patterns[i]
+		if len(p) == 0 {
+			results[i] = emptyPatternResult(s.textLen, limits[i])
+			continue
+		}
+		if err := s.checkPattern(p); err != nil {
+			results[i].Err = err
+			continue
+		}
+		work = append(work, i)
+	}
+	if len(work) > 0 {
+		// Every shard answers the same sub-batch; per-item shard limits
+		// over-fetch by maxPat-1 so discarding overlap-region starts still
+		// leaves an exact global prefix (see FindAllLimitContext).
+		subPats := make([][]byte, len(work))
+		subLimits := make([]int, len(work))
+		for k, i := range work {
+			subPats[k] = patterns[i]
+			if limits[i] > 0 {
+				subLimits[k] = limits[i] + s.maxPat - 1
+			}
+		}
+		shardWorkers := opts.Workers
+		if shardWorkers <= 0 {
+			shardWorkers = 1 // the fan-out below is the parallelism
+		}
+		shardOpts := BatchOptions{Limits: subLimits, Workers: shardWorkers}
+		tr := trace.FromContext(ctx)
+		var kids []*trace.Trace
+		if tr != nil {
+			kids = make([]*trace.Trace, len(s.shards))
+		}
+		perShard := make([][]QueryResult, len(s.shards))
+		errs := make([]error, len(s.shards))
+		var wg sync.WaitGroup
+		for si := range s.shards {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				sctx := ctx
+				var sp trace.Span
+				if tr != nil {
+					kids[si] = trace.New()
+					sctx = trace.NewContext(ctx, kids[si])
+					sp = kids[si].Start(trace.StageShard)
+				}
+				rs, err := s.shards[si].QueryBatch(sctx, subPats, shardOpts)
+				sp.End()
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				perShard[si] = rs
+			}(si)
+		}
+		wg.Wait()
+		for si, kid := range kids {
+			tr.Adopt(kid, si)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		msp := tr.Start(trace.StageMerge)
+		last := len(s.shards) - 1
+		for k, i := range work {
+			var item QueryResult
+			var out []int
+			for si := range s.shards {
+				r := perShard[si][k]
+				item.NodesChecked += r.NodesChecked
+				item.Truncated = item.Truncated || r.Truncated
+				for _, pos := range r.Positions {
+					if pos < s.shardSize || si == last {
+						out = append(out, s.starts[si]+pos)
+					}
+				}
+			}
+			sort.Ints(out)
+			if limits[i] > 0 && len(out) > limits[i] {
+				out = out[:limits[i]]
+				item.Truncated = true
+			}
+			item.Positions = out
+			results[i] = item
+		}
+		msp.End()
+	}
+	for i := range patterns {
+		if dupOf[i] != i {
+			results[i] = results[dupOf[i]]
+		}
+	}
+	return results, nil
+}
+
 // Count returns the number of occurrences of p.
 func (s *Sharded) Count(p []byte) (int, error) {
 	occ, err := s.FindAll(p)
