@@ -20,10 +20,12 @@ lint: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# fuzz-smoke mines the batch-pipeline fuzz target briefly — enough to
-# shake out fresh regressions without stalling the gate.
+# fuzz-smoke mines the batch-pipeline and scan-equivalence fuzz targets
+# briefly — enough to shake out fresh regressions without stalling the
+# gate.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzQueryBatch$$' -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz '^FuzzScanEquivalence$$' -fuzztime 10s ./internal/core
 
 # cover runs the suite shuffled (ordering bugs surface) with a coverage
 # profile and prints the per-function summary tail.

@@ -25,6 +25,12 @@
 //	spinebench -load http://localhost:8080 -batch 16 -batch-rounds 30 \
 //	    -batch-out BENCH_batch.json
 //
+// With -scan it instead benchmarks the in-process occurrence scan:
+// the scalar §4 node-by-node pass versus the block-max skip index, on
+// both layouts, positions cross-checked every round:
+//
+//	spinebench -scan -scan-seq eco -divide 3 -scan-out BENCH_scan.json
+//
 // At -divide 1 the corpus matches the paper's sequence lengths (eco 3.5M,
 // cel 15.5M, hc21 28.5M, hc19 57.5M characters); expect multi-hour runs
 // for the disk experiments with -sync.
@@ -64,8 +70,20 @@ func main() {
 		batchRounds = flag.Int("batch-rounds", 20, "batch mode: measured rounds per mode")
 		batchLimit  = flag.Int("batch-limit", 100, "batch mode: per-item result limit (0 = server default)")
 		batchOut    = flag.String("batch-out", "", "batch mode: write the JSON comparison report to this file")
+
+		scanMode   = flag.Bool("scan", false, "compare the scalar vs block-skip occurrence scan in-process")
+		scanSeq    = flag.String("scan-seq", "eco", "scan mode: suite sequence to index")
+		scanRounds = flag.Int("scan-rounds", 5, "scan mode: measured rounds per mode")
+		scanOut    = flag.String("scan-out", "", "scan mode: write the JSON comparison report to this file")
 	)
 	flag.Parse()
+	if *scanMode {
+		if err := runScanBench(*scanSeq, *divide, *scanRounds, *scanOut); err != nil {
+			fmt.Fprintln(os.Stderr, "spinebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *loadURL != "" {
 		if *batchN > 0 {
 			if err := runBatchCompare(*loadURL, *batchN, *batchRounds, *batchLimit, *loadSeq, *loadPlen, *divide, *loadTO, *batchOut); err != nil {
@@ -153,6 +171,32 @@ func runBatchCompare(url string, n, rounds, limit int, seqName string, plen, div
 		Rounds:    rounds,
 		Limit:     limit,
 		Timeout:   timeout,
+	})
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runScanBench compares the scalar and block-skip occurrence scans on
+// an in-process index over the given suite sequence and prints the
+// comparison table; with outPath the JSON report (BENCH_scan.json
+// format) is written too.
+func runScanBench(seqName string, divide, rounds int, outPath string) error {
+	c := bench.NewCorpus(divide)
+	table, report, err := bench.RunScanBench(c, bench.ScanBenchConfig{
+		Sequence: seqName,
+		Rounds:   rounds,
 	})
 	if err != nil {
 		return err

@@ -112,6 +112,8 @@ func (s *server) observeTrace(tr *trace.Trace, name string, status int, start ti
 		st.Nodes.Add(rec.Nodes)
 		st.RibHops.Add(rec.RibHops)
 		st.ExtribHops.Add(rec.ExtribHops)
+		st.BlocksSkipped.Add(rec.BlocksSkipped)
+		st.BlocksScanned.Add(rec.BlocksScanned)
 		if rec.Shard >= 0 {
 			sh := s.reg.Shard(rec.Shard)
 			sh.NodesChecked.Add(rec.Nodes)

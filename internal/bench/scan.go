@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/telemetry"
+	"github.com/spine-index/spine/internal/trace"
+)
+
+// Scalar-vs-block-skip comparison: the same FindAll queries answered by
+// the plain node-by-node §4 occurrence scan versus the block-max
+// accelerated scan, on both index layouts. Both modes see identical
+// patterns, the returned positions are cross-checked element-wise every
+// round, and a traced pass verifies the work accounting (the
+// accelerated scan's visited nodes plus its skipped blocks must cover
+// at least the scalar scan's node count, while visiting no more), so
+// the timing difference isolates the skip index itself.
+
+// ScanBenchConfig drives RunScanBench over an in-process corpus build.
+type ScanBenchConfig struct {
+	Sequence    string // corpus sequence name, e.g. "eco"
+	PatternLens []int  // pattern-length ladder; nil = {4, 8, 16, 32, 64}
+	Patterns    int    // patterns per length; <= 0 = 64
+	Rounds      int    // measured rounds per mode; <= 0 = 5
+}
+
+// ScanModeStats aggregates one mode's round durations plus its traced
+// work counters over one full pattern set.
+type ScanModeStats struct {
+	Rounds        int   `json:"rounds"`
+	TotalUs       int64 `json:"totalUs"`
+	MeanUs        int64 `json:"meanUs"`
+	P50Us         int64 `json:"p50Us"`
+	MaxUs         int64 `json:"maxUs"`
+	NodesVisited  int64 `json:"nodesVisited"`
+	BlocksSkipped int64 `json:"blocksSkipped"`
+	BlocksScanned int64 `json:"blocksScanned"`
+}
+
+// ScanRow is one layout x pattern-length comparison.
+type ScanRow struct {
+	Layout     string `json:"layout"` // "reference" or "compact"
+	PatternLen int    `json:"patternLen"`
+	Patterns   int    `json:"patterns"`
+	// Occurrences is the total hits across the pattern set (identical in
+	// both modes by construction; cross-checked every round).
+	Occurrences int64 `json:"occurrences"`
+	// Selective marks lengths above the text's median LEL — the regime
+	// where most backbone nodes fail the lel >= |p| test and whole
+	// blocks become skippable.
+	Selective bool          `json:"selective"`
+	Scalar    ScanModeStats `json:"scalar"`
+	BlockSkip ScanModeStats `json:"blockSkip"`
+	// Speedup is scalar mean round time over block-skip mean round time.
+	Speedup float64 `json:"speedup"`
+}
+
+// ScanReport is the machine-readable comparison (committed as
+// BENCH_scan.json).
+type ScanReport struct {
+	Sequence  string    `json:"sequence"`
+	Chars     int       `json:"chars"`
+	MedianLEL int       `json:"medianLEL"`
+	BlockSize int       `json:"blockSize"`
+	Rounds    int       `json:"rounds"`
+	Rows      []ScanRow `json:"rows"`
+}
+
+// RunScanBench builds the sequence on both layouts and measures FindAll
+// rounds with the block-skip scan disabled versus enabled, returning
+// the human table plus the JSON report. Modes alternate within each
+// round so cache warm-up and background noise spread evenly.
+func RunScanBench(c *Corpus, cfg ScanBenchConfig) (Table, ScanReport, error) {
+	text, err := c.Get(cfg.Sequence)
+	if err != nil {
+		return Table{}, ScanReport{}, err
+	}
+	plens := cfg.PatternLens
+	if len(plens) == 0 {
+		plens = []int{4, 8, 16, 32, 64}
+	}
+	nPats := cfg.Patterns
+	if nPats <= 0 {
+		nPats = 64
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 5
+	}
+
+	idx := core.Build(text)
+	comp, err := core.Freeze(idx, alphabetFor(cfg.Sequence))
+	if err != nil {
+		return Table{}, ScanReport{}, err
+	}
+	report := ScanReport{
+		Sequence:  cfg.Sequence,
+		Chars:     len(text),
+		MedianLEL: medianLEL(idx),
+		BlockSize: core.BlockSize,
+		Rounds:    rounds,
+	}
+
+	prev := core.SetBlockSkip(true)
+	defer core.SetBlockSkip(prev)
+
+	type layout struct {
+		name    string
+		findAll func(ctx context.Context, p []byte, limit int) (core.ScanResult, error)
+	}
+	for _, lay := range []layout{
+		{"reference", idx.FindAllCtx},
+		{"compact", comp.FindAllCtx},
+	} {
+		for _, plen := range plens {
+			patterns := SamplePatterns(text, nPats, plen)
+			if len(patterns) == 0 {
+				continue
+			}
+			row := ScanRow{
+				Layout:     lay.name,
+				PatternLen: plen,
+				Patterns:   len(patterns),
+				Selective:  plen > report.MedianLEL,
+			}
+
+			var scalarLat, skipLat telemetry.Histogram
+			var scalarTotal, skipTotal time.Duration
+			scalarPos := make([][]int, len(patterns))
+			for r := 0; r < rounds; r++ {
+				core.SetBlockSkip(false)
+				t0 := time.Now()
+				for i, p := range patterns {
+					res, err := lay.findAll(context.Background(), p, 0)
+					if err != nil {
+						return Table{}, ScanReport{}, err
+					}
+					scalarPos[i] = res.Positions
+				}
+				d := time.Since(t0)
+				scalarLat.ObserveDuration(d)
+				scalarTotal += d
+
+				core.SetBlockSkip(true)
+				var occs int64
+				t0 = time.Now()
+				for i, p := range patterns {
+					res, err := lay.findAll(context.Background(), p, 0)
+					if err != nil {
+						return Table{}, ScanReport{}, err
+					}
+					occs += int64(len(res.Positions))
+					if !equalPositions(res.Positions, scalarPos[i]) {
+						return Table{}, ScanReport{}, fmt.Errorf(
+							"scan: %s |P|=%d round %d pattern %d: block-skip positions differ from scalar",
+							lay.name, plen, r, i)
+					}
+				}
+				d = time.Since(t0)
+				skipLat.ObserveDuration(d)
+				skipTotal += d
+				row.Occurrences = occs
+			}
+
+			row.Scalar = scanModeStats(rounds, scalarTotal, scalarLat.Snapshot())
+			row.BlockSkip = scanModeStats(rounds, skipTotal, skipLat.Snapshot())
+			if err := traceScanWork(lay.findAll, patterns, &row); err != nil {
+				return Table{}, ScanReport{}, err
+			}
+			if row.BlockSkip.MeanUs > 0 {
+				row.Speedup = float64(row.Scalar.MeanUs) / float64(row.BlockSkip.MeanUs)
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+
+	t := Table{
+		ID: "scan",
+		Title: fmt.Sprintf("scalar vs block-skip FindAll on %s (%s chars, median LEL %d, %d patterns/row, %d rounds)",
+			cfg.Sequence, fmtCount(int64(len(text))), report.MedianLEL, nPats, rounds),
+		Header: []string{"layout", "|P|", "scalar(µs)", "skip(µs)", "speedup",
+			"nodes scalar", "nodes skip", "blk skipped", "blk scanned"},
+	}
+	for _, row := range report.Rows {
+		mark := ""
+		if row.Selective {
+			mark = "*"
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Layout,
+			fmt.Sprintf("%d%s", row.PatternLen, mark),
+			fmt.Sprintf("%d", row.Scalar.MeanUs),
+			fmt.Sprintf("%d", row.BlockSkip.MeanUs),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%d", row.Scalar.NodesVisited),
+			fmt.Sprintf("%d", row.BlockSkip.NodesVisited),
+			fmt.Sprintf("%d", row.BlockSkip.BlocksSkipped),
+			fmt.Sprintf("%d", row.BlockSkip.BlocksScanned),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("* = |P| above the median LEL (%d): the selective regime the skip index targets", report.MedianLEL),
+		"positions cross-checked scalar vs block-skip every round; node/block accounting verified per pattern set")
+	return t, report, nil
+}
+
+// traceScanWork runs one traced (untimed) pass per mode over the
+// pattern set, fills in the work counters, and verifies the accounting:
+// the accelerated scan must visit no more occurrence-stage nodes than
+// the scalar scan, and its visited nodes plus skipped-block coverage
+// must reach at least the scalar count.
+func traceScanWork(findAll func(ctx context.Context, p []byte, limit int) (core.ScanResult, error), patterns [][]byte, row *ScanRow) error {
+	for _, mode := range []struct {
+		skip bool
+		st   *ScanModeStats
+	}{{false, &row.Scalar}, {true, &row.BlockSkip}} {
+		core.SetBlockSkip(mode.skip)
+		for _, p := range patterns {
+			tr := trace.New()
+			ctx := trace.NewContext(context.Background(), tr)
+			if _, err := findAll(ctx, p, 0); err != nil {
+				return err
+			}
+			for _, rec := range tr.Records() {
+				if rec.Stage != trace.StageOccurrences {
+					continue
+				}
+				mode.st.NodesVisited += rec.Nodes
+				mode.st.BlocksSkipped += rec.BlocksSkipped
+				mode.st.BlocksScanned += rec.BlocksScanned
+			}
+		}
+	}
+	s, b := &row.Scalar, &row.BlockSkip
+	if b.NodesVisited > s.NodesVisited {
+		return fmt.Errorf("scan: %s |P|=%d: block-skip visited %d nodes > scalar %d",
+			row.Layout, row.PatternLen, b.NodesVisited, s.NodesVisited)
+	}
+	if covered := b.NodesVisited + int64(core.BlockSize)*b.BlocksSkipped; covered < s.NodesVisited {
+		return fmt.Errorf("scan: %s |P|=%d: block-skip covered %d nodes < scalar %d",
+			row.Layout, row.PatternLen, covered, s.NodesVisited)
+	}
+	return nil
+}
+
+func scanModeStats(rounds int, total time.Duration, h telemetry.HistogramSnapshot) ScanModeStats {
+	s := ScanModeStats{
+		Rounds:  rounds,
+		TotalUs: total.Microseconds(),
+		P50Us:   h.P50,
+		MaxUs:   h.Max,
+	}
+	if rounds > 0 {
+		s.MeanUs = s.TotalUs / int64(rounds)
+	}
+	return s
+}
+
+// medianLEL is the median longest-early-terminating-suffix length over
+// the backbone — the pattern length at which roughly half the nodes
+// already fail the lel >= |p| occurrence test.
+func medianLEL(idx *core.Index) int {
+	n := idx.Len()
+	if n == 0 {
+		return 0
+	}
+	lels := make([]int, n)
+	for i := 1; i <= n; i++ {
+		_, lel := idx.Link(i)
+		lels[i-1] = int(lel)
+	}
+	sort.Ints(lels)
+	return lels[n/2]
+}
+
+func equalPositions(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

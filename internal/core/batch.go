@@ -104,11 +104,13 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 	if tr != nil {
 		scanStart = time.Now()
 	}
-	endScan := func(scanned int64) {
-		res.Scanned = scanned
+	endScan := func(st scanStats) {
+		res.Scanned = st.visited
 		if tr != nil {
-			tr.Add(trace.StageBatchScan, time.Since(scanStart),
-				trace.Counters{Nodes: scanned, Links: scanned})
+			tr.Add(trace.StageBatchScan, time.Since(scanStart), trace.Counters{
+				Nodes: st.visited, Links: st.visited,
+				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
+			})
 		}
 	}
 	// owners[node] lists the matches whose target buffer contains node;
@@ -118,6 +120,7 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 	done := make([]bool, len(firsts))
 	active := 0
 	minFirst := int32(-1)
+	maxMember := int32(0) // largest target-set node across active matches
 	for i := range firsts {
 		res.Ends[i] = []int32{firsts[i]}
 		if limits[i] == 1 {
@@ -130,41 +133,120 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 		if minFirst < 0 || firsts[i] < minFirst {
 			minFirst = firsts[i]
 		}
+		if firsts[i] > maxMember {
+			maxMember = firsts[i]
+		}
 		active++
 	}
 	if active == 0 {
-		endScan(0)
+		endScan(scanStats{})
 		return res, nil
 	}
 	n := s.textLen()
-	for j := minFirst + 1; j <= n; j++ {
-		if (j-minFirst)%cancelStride == 0 {
+	if blockSkipOff.Load() {
+		// Scalar oracle: visit every node after the earliest first.
+		for j := minFirst + 1; j <= n; j++ {
+			if (j-minFirst)%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					endScan(scanStats{visited: int64(j - minFirst)})
+					return BatchScan{Scanned: res.Scanned}, err
+				}
+			}
+			link, lel := s.linkOf(j)
+			ms, ok := owners[link]
+			if !ok {
+				continue
+			}
+			for _, m := range ms {
+				if done[m] || lel < lens[m] || j <= firsts[m] {
+					continue
+				}
+				res.Ends[m] = append(res.Ends[m], j)
+				owners[j] = append(owners[j], m)
+				if limits[m] > 0 && len(res.Ends[m]) >= limits[m] {
+					done[m], res.Truncated[m] = true, j < n
+					active--
+				}
+			}
+			if active == 0 {
+				endScan(scanStats{visited: int64(j - minFirst)})
+				return res, nil
+			}
+		}
+		endScan(scanStats{visited: int64(n - minFirst)})
+		return res, nil
+	}
+	// Block-skip scan: the admission test generalizes the single-pattern
+	// conditions to the batch. A block is skippable when no active match
+	// can admit a node in it: maxLEL below every active length, maxLink
+	// before every member (members are >= minFirst), or minLink beyond
+	// the newest member (an in-block member would need a link to an
+	// earlier member, which the same condition rules out inductively).
+	minActiveLen := lens[0]
+	recalcMinLen := func() {
+		minActiveLen = int32(1) << 30
+		for i := range lens {
+			if !done[i] && lens[i] < minActiveLen {
+				minActiveLen = lens[i]
+			}
+		}
+	}
+	recalcMinLen()
+	blocks := s.skipBlocks()
+	var st scanStats
+	nextCheck := int64(cancelStride)
+	j := minFirst + 1
+	for j <= n {
+		b := blockFor(j)
+		last := blockLastNode(b)
+		if last > n {
+			last = n
+		}
+		bm := &blocks[b]
+		if bm.maxLEL < minActiveLen || bm.maxLink < minFirst || bm.minLink > maxMember {
+			st.blocksSkipped++
+			j = last + 1
+			continue
+		}
+		st.blocksScanned++
+		st.visited += int64(last - j + 1)
+		for ; j <= last; j++ {
+			link, lel := s.linkOf(j)
+			ms, ok := owners[link]
+			if !ok {
+				continue
+			}
+			for _, m := range ms {
+				if done[m] || lel < lens[m] || j <= firsts[m] {
+					continue
+				}
+				res.Ends[m] = append(res.Ends[m], j)
+				owners[j] = append(owners[j], m)
+				if j > maxMember {
+					maxMember = j
+				}
+				if limits[m] > 0 && len(res.Ends[m]) >= limits[m] {
+					done[m], res.Truncated[m] = true, j < n
+					active--
+					if lens[m] <= minActiveLen {
+						recalcMinLen()
+					}
+				}
+			}
+			if active == 0 {
+				st.visited -= int64(last - j)
+				endScan(st)
+				return res, nil
+			}
+		}
+		if st.visited+blockSize*st.blocksSkipped >= nextCheck {
+			nextCheck += cancelStride
 			if err := ctx.Err(); err != nil {
-				endScan(int64(j - minFirst))
+				endScan(st)
 				return BatchScan{Scanned: res.Scanned}, err
 			}
 		}
-		link, lel := s.linkOf(j)
-		ms, ok := owners[link]
-		if !ok {
-			continue
-		}
-		for _, m := range ms {
-			if done[m] || lel < lens[m] || j <= firsts[m] {
-				continue
-			}
-			res.Ends[m] = append(res.Ends[m], j)
-			owners[j] = append(owners[j], m)
-			if limits[m] > 0 && len(res.Ends[m]) >= limits[m] {
-				done[m], res.Truncated[m] = true, j < n
-				active--
-			}
-		}
-		if active == 0 {
-			endScan(int64(j - minFirst))
-			return res, nil
-		}
 	}
-	endScan(int64(n - minFirst))
+	endScan(st)
 	return res, nil
 }

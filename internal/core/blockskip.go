@@ -1,0 +1,308 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Block-skip occurrence scanning.
+//
+// The §4 all-occurrence scan visits every backbone node after the first
+// match and, per node, tests lel(j) >= |p| and probes link(j) against
+// the target buffer. Two observations make most of that work avoidable:
+//
+//   - Node labels are wildly non-uniform: LEL concentrates near
+//     log_sigma(n) (Table 3), so for a pattern longer than that, runs of
+//     64 consecutive nodes almost never contain a single node with
+//     lel >= |p|. Folding each run into a blockMeta{maxLEL, minLink,
+//     maxLink} summary lets the scanner reject the whole run with one
+//     cache-resident comparison — the block-max trick of word/block-level
+//     sparse-suffix-tree matching (Kolpakov-Kucherov-Starikovskaya) and
+//     packed compact tries (Takagi et al.) transplanted to the backbone.
+//   - The target buffer only ever grows at the high end (each admitted
+//     node exceeds all current members), so "is link(j) a member" does
+//     not need the paper's sorted-buffer binary probe: an epoch-stamped
+//     direct-index table answers it with one array read and is reused
+//     across queries without clearing.
+//
+// The pre-existing scalar scan (containsSorted over a fresh buffer) is
+// retained verbatim as the in-tree differential oracle; SetBlockSkip
+// routes every public scan through it so tests and benchmarks can
+// compare the two paths on identical inputs.
+
+const (
+	// blockShift sets the skip-index granularity: 1<<blockShift backbone
+	// nodes per block. 64 keeps a block's labels within a cache line pair
+	// while its 12-byte summary costs 0.19 bytes per indexed character.
+	blockShift = 6
+	blockSize  = 1 << blockShift
+	// BlockSize exports the skip-index granularity for benchmarks and
+	// work-accounting cross-checks (a skipped block covers at most
+	// BlockSize nodes).
+	BlockSize = blockSize
+)
+
+// blockMeta summarizes one run of blockSize consecutive backbone nodes:
+// block b covers nodes b*blockSize+1 .. (b+1)*blockSize.
+type blockMeta struct {
+	maxLEL  int32 // max lel(j) over the block's nodes
+	minLink int32 // min link(j)
+	maxLink int32 // max link(j)
+}
+
+// blockFor returns the block index of backbone node j (j >= 1).
+func blockFor(j int32) int { return int(j-1) >> blockShift }
+
+// blockLastNode returns the last node of block b (may exceed n).
+func blockLastNode(b int) int32 { return int32(b+1) << blockShift }
+
+// blocksFor returns the number of blocks covering n backbone nodes.
+func blocksFor(n int) int { return (n + blockSize - 1) / blockSize }
+
+// foldBlock extends a block summary slice with node j's labels. Nodes
+// must be folded in backbone order, which both the online Index append
+// and the one-shot rebuilds guarantee.
+func foldBlock(blocks []blockMeta, j, link, lel int32) []blockMeta {
+	if (j-1)&(blockSize-1) == 0 {
+		return append(blocks, blockMeta{maxLEL: lel, minLink: link, maxLink: link})
+	}
+	m := &blocks[len(blocks)-1]
+	if lel > m.maxLEL {
+		m.maxLEL = lel
+	}
+	if link < m.minLink {
+		m.minLink = link
+	}
+	if link > m.maxLink {
+		m.maxLink = link
+	}
+	return blocks
+}
+
+// buildBlocksOn folds the whole backbone of s into a fresh skip index —
+// the one-shot form used by Freeze, CompactBuilder.Finish and
+// deserialization of pre-block formats.
+func buildBlocksOn[S store](s S) []blockMeta {
+	n := s.textLen()
+	blocks := make([]blockMeta, 0, blocksFor(int(n)))
+	for j := int32(1); j <= n; j++ {
+		link, lel := s.linkOf(j)
+		blocks = foldBlock(blocks, j, link, lel)
+	}
+	return blocks
+}
+
+// blockSkipOff disables the accelerated scan, routing queries through
+// the scalar oracle. Zero value = acceleration on.
+var blockSkipOff atomic.Bool
+
+// SetBlockSkip selects between the block-skip scan (true, the default)
+// and the scalar oracle scan (false), returning the previous setting.
+// It is safe to flip concurrently with queries; each query reads the
+// knob once at entry.
+func SetBlockSkip(on bool) (previous bool) {
+	return !blockSkipOff.Swap(!on)
+}
+
+// BlockSkipEnabled reports whether the accelerated scan is selected.
+func BlockSkipEnabled() bool { return !blockSkipOff.Load() }
+
+// scanScratch is the pooled per-query scan state: the epoch-stamped
+// membership table standing in for the paper's sorted target buffer,
+// and a reusable end-node buffer for result staging. Reuse across
+// queries never clears the stamp table — bumping the epoch invalidates
+// every stale entry in O(1).
+type scanScratch struct {
+	stamp []uint32
+	epoch uint32
+	ends  []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// getScratch returns scratch able to stamp nodes 0..n, with a fresh
+// epoch and an empty ends buffer. Steady state performs no allocation.
+func getScratch(n int32) *scanScratch {
+	sc := scratchPool.Get().(*scanScratch)
+	if cap(sc.stamp) < int(n)+1 {
+		sc.stamp = make([]uint32, int(n)+1)
+		sc.epoch = 0
+	}
+	sc.stamp = sc.stamp[:cap(sc.stamp)]
+	sc.epoch++
+	if sc.epoch == 0 {
+		// Epoch wrapped: stale stamps from 2^32 queries ago would alias
+		// the new epoch; clear once and restart.
+		clear(sc.stamp)
+		sc.epoch = 1
+	}
+	sc.ends = sc.ends[:0]
+	return sc
+}
+
+func putScratch(sc *scanScratch) { scratchPool.Put(sc) }
+
+// member reports whether node x was stamped during this query.
+func (sc *scanScratch) member(x int32) bool { return sc.stamp[x] == sc.epoch }
+
+// add stamps node x as a member of the current target set.
+func (sc *scanScratch) add(x int32) { sc.stamp[x] = sc.epoch }
+
+// scanStats is the work accounting of one accelerated scan.
+type scanStats struct {
+	// visited counts backbone nodes actually examined (the accelerated
+	// path's NodesChecked contribution; skipped nodes are free).
+	visited int64
+	// blocksSkipped / blocksScanned count skip-index decisions.
+	blocksSkipped int64
+	blocksScanned int64
+}
+
+// admit reports whether block m can contain an occurrence end for a
+// pattern of length patlen whose target members currently span
+// [first, maxMember]. The three rejections are each conservative:
+//
+//   - maxLEL < patlen: no node in the block passes the lel test.
+//   - maxLink < first: every link in the block lands before the first
+//     occurrence end, and members are always >= first.
+//   - minLink > maxMember: every link in the block lands beyond the
+//     newest member. No node in the block can link to a pre-block
+//     member, so (inductively, scanning in node order) none can become
+//     a member within the block either.
+func (m *blockMeta) admit(patlen, first, maxMember int32) bool {
+	return m.maxLEL >= patlen && m.maxLink >= first && m.minLink <= maxMember
+}
+
+// occScanOn is the block-skip occurrence scan shared by the single-
+// pattern query paths: starting from the first-occurrence end node it
+// appends every further occurrence end to sc.ends in increasing order.
+// maxExtra caps len(sc.ends) when >= 0 (the caller's limit minus the
+// first occurrence); truncated reports an early stop with backbone
+// remaining. A nil ctx disables cancellation checks; a cancelled ctx
+// aborts with the stats accumulated so far.
+func occScanOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen int32, maxExtra int) (st scanStats, truncated bool, err error) {
+	n := s.textLen()
+	blocks := s.skipBlocks()
+	sc.add(first)
+	maxMember := first
+	nextCheck := int64(cancelStride)
+	j := first + 1
+	for j <= n {
+		b := blockFor(j)
+		last := blockLastNode(b)
+		if last > n {
+			last = n
+		}
+		if !blocks[b].admit(patlen, first, maxMember) {
+			st.blocksSkipped++
+			j = last + 1
+			continue
+		}
+		st.blocksScanned++
+		st.visited += int64(last - j + 1)
+		for ; j <= last; j++ {
+			link, lel := s.linkOf(j)
+			if lel >= patlen && sc.member(link) {
+				sc.add(j)
+				maxMember = j
+				sc.ends = append(sc.ends, j)
+				if maxExtra >= 0 && len(sc.ends) >= maxExtra {
+					st.visited -= int64(last - j) // nodes not reached
+					return st, j < n, nil
+				}
+			}
+		}
+		if ctx != nil && st.visited+blockSize*st.blocksSkipped >= nextCheck {
+			nextCheck += cancelStride
+			if err := ctx.Err(); err != nil {
+				return st, false, err
+			}
+		}
+	}
+	return st, false, nil
+}
+
+// occCountOn is occScanOn without result staging: it counts occurrence
+// ends strictly below endBound (endBound <= 0 means no bound; the first
+// occurrence is NOT counted — callers own that). Membership is stamped
+// for every occurrence regardless of the bound, since later occurrences
+// may link to ends past it.
+func occCountOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen, endBound int32) (count int, st scanStats, err error) {
+	n := s.textLen()
+	blocks := s.skipBlocks()
+	sc.add(first)
+	maxMember := first
+	nextCheck := int64(cancelStride)
+	j := first + 1
+	for j <= n {
+		b := blockFor(j)
+		last := blockLastNode(b)
+		if last > n {
+			last = n
+		}
+		if !blocks[b].admit(patlen, first, maxMember) {
+			st.blocksSkipped++
+			j = last + 1
+			continue
+		}
+		st.blocksScanned++
+		st.visited += int64(last - j + 1)
+		for ; j <= last; j++ {
+			link, lel := s.linkOf(j)
+			if lel >= patlen && sc.member(link) {
+				sc.add(j)
+				maxMember = j
+				if endBound <= 0 || j < endBound {
+					count++
+				}
+			}
+		}
+		if ctx != nil && st.visited+blockSize*st.blocksSkipped >= nextCheck {
+			nextCheck += cancelStride
+			if err := ctx.Err(); err != nil {
+				return count, st, err
+			}
+		}
+	}
+	return count, st, nil
+}
+
+// occStreamOn is the streaming form: fn receives each occurrence start
+// offset beyond the first (in increasing order) and returns false to
+// stop the scan. fn is passed through untouched so steady-state calls
+// allocate nothing.
+func occStreamOn[S store](s S, sc *scanScratch, first, patlen int32, plen int, fn func(start int) bool) scanStats {
+	var st scanStats
+	n := s.textLen()
+	blocks := s.skipBlocks()
+	sc.add(first)
+	maxMember := first
+	j := first + 1
+	for j <= n {
+		b := blockFor(j)
+		last := blockLastNode(b)
+		if last > n {
+			last = n
+		}
+		if !blocks[b].admit(patlen, first, maxMember) {
+			st.blocksSkipped++
+			j = last + 1
+			continue
+		}
+		st.blocksScanned++
+		st.visited += int64(last - j + 1)
+		for ; j <= last; j++ {
+			link, lel := s.linkOf(j)
+			if lel >= patlen && sc.member(link) {
+				sc.add(j)
+				maxMember = j
+				if !fn(int(j) - plen) {
+					st.visited -= int64(last - j)
+					return st
+				}
+			}
+		}
+	}
+	return st
+}

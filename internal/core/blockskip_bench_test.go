@@ -1,0 +1,31 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkOccurrenceScan compares the scalar §4 scan against the
+// block-skip scan on a 1MB random-DNA text with a selective pattern
+// (the regime BENCH_scan.json reports on; see also spinebench -scan).
+func BenchmarkOccurrenceScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	text := randDNA(rng, 1<<20)
+	idx := Build(text)
+	pat := text[1000:1032]
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"scalar", false}, {"blockskip", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := SetBlockSkip(mode.on)
+			defer SetBlockSkip(prev)
+			var dst []int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = idx.FindAllAppend(pat, dst[:0])
+			}
+		})
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/trace"
+)
+
+func equalBlocks(a, b []blockMeta) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = "acgt"[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestBlockHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		node int32
+		want int
+	}{{1, 0}, {2, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2}} {
+		if got := blockFor(tc.node); got != tc.want {
+			t.Errorf("blockFor(%d) = %d, want %d", tc.node, got, tc.want)
+		}
+	}
+	if got := blockLastNode(0); got != 64 {
+		t.Errorf("blockLastNode(0) = %d, want 64", got)
+	}
+	if got := blockLastNode(2); got != 192 {
+		t.Errorf("blockLastNode(2) = %d, want 192", got)
+	}
+	for _, tc := range []struct{ n, want int }{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}} {
+		if got := blocksFor(tc.n); got != tc.want {
+			t.Errorf("blocksFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// The online fold in setLink must produce, after every append, exactly
+// the skip index a one-shot rebuild over the current backbone produces.
+func TestOnlineBlocksMatchRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	text := randDNA(rng, 1000)
+	idx := New()
+	for i, c := range text {
+		idx.Append(c)
+		if i%97 == 0 || i == len(text)-1 || i == blockSize-1 || i == blockSize {
+			want := buildBlocksOn(idx)
+			if !equalBlocks(idx.blocks, want) {
+				t.Fatalf("after %d appends: online blocks diverge from rebuild", i+1)
+			}
+		}
+	}
+	if len(idx.blocks) != blocksFor(idx.Len()) {
+		t.Fatalf("got %d blocks for n=%d, want %d", len(idx.blocks), idx.Len(), blocksFor(idx.Len()))
+	}
+}
+
+// Freeze and CompactBuilder must carry the same skip index as a rebuild
+// over the frozen layout.
+func TestCompactBlocksMatchRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	text := randDNA(rng, 700)
+	comp := mustFreeze(t, text, seq.DNA)
+	if want := buildBlocksOn(comp); !equalBlocks(comp.blocks, want) {
+		t.Fatal("Freeze blocks diverge from rebuild")
+	}
+	cb, err := NewCompactBuilder(seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range text {
+		if err := cb.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	built := cb.Finish()
+	if want := buildBlocksOn(built); !equalBlocks(built.blocks, want) {
+		t.Fatal("CompactBuilder blocks diverge from rebuild")
+	}
+	if !equalBlocks(comp.blocks, built.blocks) {
+		t.Fatal("Freeze and CompactBuilder skip indexes disagree")
+	}
+}
+
+// Block admission must be conservative: a rejected block can never
+// contain an occurrence end. Checked directly against the scalar scan's
+// end set for every (pattern, block) pair of a repeat-rich text.
+func TestBlockAdmitConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := randDNA(rng, 200)
+	text := append(append(append([]byte{}, base...), base[:150]...), base...)
+	idx := Build(text)
+	for _, plen := range []int{2, 5, 17, 63, 64, 65, 150} {
+		p := text[20 : 20+plen]
+		first, ok := endNodeOn(idx, p)
+		if !ok {
+			t.Fatalf("|P|=%d: sampled pattern not found", plen)
+		}
+		ends := scanOccurrencesScalarOn(idx, first, int32(plen))
+		isEnd := map[int32]bool{}
+		for _, e := range ends {
+			isEnd[e] = true
+		}
+		// Replay the admission decisions with the exact member horizon the
+		// accelerated scan would hold entering each block.
+		maxMember := first
+		for _, e := range ends[1:] {
+			if e > maxMember {
+				maxMember = e
+			}
+		}
+		for b := range idx.blocks {
+			lo, hi := int32(b)<<blockShift+1, blockLastNode(b)
+			if hi <= first {
+				continue
+			}
+			if idx.blocks[b].admit(int32(plen), first, maxMember) {
+				continue
+			}
+			for j := lo; j <= hi && j <= int32(idx.Len()); j++ {
+				if j > first && isEnd[j] {
+					t.Fatalf("|P|=%d: block %d rejected but contains occurrence end %d", plen, b, j)
+				}
+			}
+		}
+	}
+}
+
+// CountPrefixCtx must agree with filtering the full position list.
+func TestCountPrefixCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := randDNA(rng, 300)
+	text := append(append([]byte{}, base...), base...)
+	idx := Build(text)
+	ctx := context.Background()
+	for _, plen := range []int{1, 3, 8, 40} {
+		p := text[5 : 5+plen]
+		all := idx.FindAll(p)
+		for _, maxStart := range []int{-1, 0, 1, 100, 299, 300, 301, len(text)} {
+			got, err := idx.CountPrefixCtx(ctx, p, maxStart)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := len(all)
+			if maxStart >= 0 {
+				want = 0
+				for _, pos := range all {
+					if pos < maxStart {
+						want++
+					}
+				}
+			}
+			if got != want {
+				t.Fatalf("CountPrefixCtx(|P|=%d, maxStart=%d) = %d, want %d", plen, maxStart, got, want)
+			}
+		}
+	}
+	if got, err := idx.CountPrefixCtx(ctx, nil, 10); err != nil || got != 10 {
+		t.Fatalf("empty pattern bounded count = %d, %v; want 10", got, err)
+	}
+}
+
+// Acceptance: on a large (>1MB) text and a selective pattern (|P| far
+// above the median LEL) the accelerated scan must actually skip blocks,
+// report them in the trace, and keep the NodesChecked partition exact.
+func TestBlocksSkippedOnSelectivePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	text := randDNA(rng, 1<<20|12345)
+	idx := Build(text)
+	p := text[512000 : 512000+48] // random 48-mer: almost surely unique
+	tr := trace.New()
+	ctx := trace.NewContext(context.Background(), tr)
+	res, err := idx.FindAllCtx(ctx, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := SetBlockSkip(false)
+	scalar := idx.FindAll(p)
+	SetBlockSkip(prev)
+	if !equalInts(res.Positions, scalar) {
+		t.Fatalf("accelerated positions %v != scalar %v", res.Positions, scalar)
+	}
+
+	var skipped, scanned, nodes int64
+	for _, rec := range tr.Records() {
+		nodes += rec.Nodes
+		skipped += rec.BlocksSkipped
+		scanned += rec.BlocksScanned
+	}
+	if skipped == 0 {
+		t.Fatal("selective pattern on 1MB text skipped no blocks")
+	}
+	if skipped < scanned {
+		t.Fatalf("selective pattern skipped %d blocks but scanned %d", skipped, scanned)
+	}
+	if nodes != res.NodesChecked {
+		t.Fatalf("trace Nodes sum %d != NodesChecked %d (partition broken)", nodes, res.NodesChecked)
+	}
+	if int64(idx.Len()) < 4*res.NodesChecked {
+		t.Fatalf("accelerated scan visited %d of %d nodes — skip index ineffective", res.NodesChecked, idx.Len())
+	}
+}
+
+// Serialization: v2 streams carry the skip index verbatim, and loading
+// must reject a stream whose block count disagrees with n.
+func TestSerializeRoundTripBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := randDNA(rng, 400)
+	text := append(append([]byte{}, base...), base...)
+	comp := mustFreeze(t, text, seq.DNA)
+	var buf bytes.Buffer
+	if err := comp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCompact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalBlocks(back.blocks, comp.blocks) {
+		t.Fatal("round-tripped skip index differs")
+	}
+	p := text[10:42]
+	if got, want := back.FindAll(p), comp.FindAll(p); !equalInts(got, want) {
+		t.Fatalf("round-tripped FindAll = %v, want %v", got, want)
+	}
+}

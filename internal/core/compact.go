@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/spine-index/spine/internal/seq"
 )
@@ -38,6 +39,11 @@ type CompactIndex struct {
 	lelOverflow map[int32]int32    // node -> LEL when >= labelSentinel
 	ptOverflow  map[uint64]int32   // (src<<8|cl) -> rib PT
 	extOverflow map[int32][2]int32 // ext-source node -> {PT, PRT}
+
+	// blocks is the block-max skip index, built at freeze/load time. It
+	// joins the layout's space accounting: 12 bytes per 64 nodes, under
+	// 0.2 bytes per indexed character.
+	blocks []blockMeta
 }
 
 const (
@@ -157,6 +163,7 @@ func Freeze(idx *Index, alpha *seq.Alphabet) (*CompactIndex, error) {
 		}
 		c.ref[i] = refTag | uint32(shape)<<refShapeShift | row
 	}
+	c.blocks = buildBlocksOn(c)
 	return c, nil
 }
 
@@ -329,8 +336,9 @@ func (c *CompactIndex) ComputeStats() Stats {
 
 // store implementation (native representation: alphabet codes).
 
-func (c *CompactIndex) textLen() int32      { return c.n }
-func (c *CompactIndex) charAt(v int32) byte { return c.chars.At(int(v)) }
+func (c *CompactIndex) textLen() int32          { return c.n }
+func (c *CompactIndex) charAt(v int32) byte     { return c.chars.At(int(v)) }
+func (c *CompactIndex) skipBlocks() []blockMeta { return c.blocks }
 
 func (c *CompactIndex) linkOf(i int32) (int32, int32) {
 	lel := int32(c.lel[i])
@@ -435,23 +443,51 @@ func (c *CompactIndex) encodePattern(p []byte) ([]byte, bool) {
 	return out, true
 }
 
+// patBuf is a pooled pattern-code buffer; the compact hot paths encode
+// into it so translation costs no allocation at steady state.
+type patBuf struct{ b []byte }
+
+var patBufPool = sync.Pool{New: func() any { return new(patBuf) }}
+
+// encodePatternPooled is encodePattern into a pooled buffer. When ok,
+// the caller must release pb with patBufPool.Put once codes is dead; on
+// failure the buffer is already released.
+func (c *CompactIndex) encodePatternPooled(p []byte) (pb *patBuf, codes []byte, ok bool) {
+	pb = patBufPool.Get().(*patBuf)
+	if cap(pb.b) < len(p) {
+		pb.b = make([]byte, len(p))
+	}
+	codes = pb.b[:len(p)]
+	for i, b := range p {
+		code := c.alpha.Code(b)
+		if code < 0 {
+			patBufPool.Put(pb)
+			return nil, nil, false
+		}
+		codes[i] = byte(code)
+	}
+	return pb, codes, true
+}
+
 // Contains reports whether p (raw letters) is a substring of the text.
 func (c *CompactIndex) Contains(p []byte) bool {
-	codes, ok := c.encodePattern(p)
+	pb, codes, ok := c.encodePatternPooled(p)
 	if !ok {
 		return false
 	}
 	_, ok = endNodeOn(c, codes)
+	patBufPool.Put(pb)
 	return ok
 }
 
 // Find returns the start offset of the first occurrence of p, or -1.
 func (c *CompactIndex) Find(p []byte) int {
-	codes, ok := c.encodePattern(p)
+	pb, codes, ok := c.encodePatternPooled(p)
 	if !ok {
 		return -1
 	}
 	end, ok := endNodeOn(c, codes)
+	patBufPool.Put(pb)
 	if !ok {
 		return -1
 	}
@@ -461,15 +497,43 @@ func (c *CompactIndex) Find(p []byte) int {
 // FindAll returns every occurrence start offset of p, increasing; nil if
 // absent.
 func (c *CompactIndex) FindAll(p []byte) []int {
-	codes, ok := c.encodePattern(p)
-	if !ok {
-		return nil
-	}
-	return findAllOn(c, codes)
+	return c.FindAllAppend(p, nil)
 }
 
-// Count returns the number of occurrences of p.
-func (c *CompactIndex) Count(p []byte) int { return len(c.FindAll(p)) }
+// FindAllAppend is FindAll appending into dst; see Index.FindAllAppend.
+func (c *CompactIndex) FindAllAppend(p []byte, dst []int) []int {
+	pb, codes, ok := c.encodePatternPooled(p)
+	if !ok {
+		return dst
+	}
+	dst = findAllAppendOn(c, codes, dst)
+	patBufPool.Put(pb)
+	return dst
+}
+
+// Count returns the number of occurrences of p via the streaming scan;
+// no occurrence slice is materialized.
+func (c *CompactIndex) Count(p []byte) int {
+	pb, codes, ok := c.encodePatternPooled(p)
+	if !ok {
+		return 0
+	}
+	n := countOn(c, codes)
+	patBufPool.Put(pb)
+	return n
+}
+
+// ForEachOccurrence streams every occurrence start offset of p in
+// increasing order to fn, stopping early if fn returns false; see
+// Index.ForEachOccurrence.
+func (c *CompactIndex) ForEachOccurrence(p []byte, fn func(start int) bool) {
+	pb, codes, ok := c.encodePatternPooled(p)
+	if !ok {
+		return
+	}
+	forEachOccurrenceOn(c, codes, fn)
+	patBufPool.Put(pb)
+}
 
 // CompactCursor is the matching-statistics cursor over the compact layout;
 // see Cursor for semantics. Advance takes raw letters.
@@ -512,6 +576,7 @@ func (c *CompactIndex) SizeBytes() int64 {
 		int64(len(sp.ribRD))*4 + int64(len(sp.ribPT))*2 + int64(len(sp.ribCL)) +
 		int64(len(sp.extRD))*4 + int64(len(sp.extPT))*2 + int64(len(sp.extPRT))*2 + int64(len(sp.extSrc))*4
 	b += int64(len(c.lelOverflow)+len(c.ptOverflow))*12 + int64(len(c.extOverflow))*16
+	b += int64(len(c.blocks)) * 12 // block-max skip index (3 x int32 per block)
 	return b
 }
 

@@ -345,6 +345,7 @@ func (b *CompactBuilder) Finish() *CompactIndex {
 		}
 		c.spill = fresh
 	}
+	c.blocks = buildBlocksOn(c)
 	b.c = nil
 	return c
 }

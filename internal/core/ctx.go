@@ -86,55 +86,178 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 	}
 	// endScan attributes the backbone occurrence scan: scanned nodes is
 	// exactly what each exit path below adds to NodesChecked, so the
-	// trace's per-stage Nodes counters sum to the reported total.
+	// trace's per-stage Nodes counters sum to the reported total. On the
+	// accelerated path scanned means nodes actually visited — skipped
+	// blocks do no work and contribute none.
 	var scanStart time.Time
 	if tr != nil {
 		scanStart = time.Now()
 	}
-	endScan := func(scanned int64) {
+	endScan := func(st scanStats) {
 		if tr != nil {
-			tr.Add(trace.StageOccurrences, time.Since(scanStart),
-				trace.Counters{Nodes: scanned, Links: scanned})
+			tr.Add(trace.StageOccurrences, time.Since(scanStart), trace.Counters{
+				Nodes: st.visited, Links: st.visited,
+				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
+			})
 		}
 	}
-	buf := []int32{first}
 	m := int32(len(p))
 	n := s.textLen()
-	for j := first + 1; j <= n; j++ {
-		if (j-first)%cancelStride == 0 {
-			if err := ctx.Err(); err != nil {
-				res.NodesChecked += int64(j - first)
-				endScan(int64(j - first))
-				return ScanResult{NodesChecked: res.NodesChecked}, err
+	if blockSkipOff.Load() {
+		buf := []int32{first}
+		for j := first + 1; j <= n; j++ {
+			if (j-first)%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					res.NodesChecked += int64(j - first)
+					endScan(scanStats{visited: int64(j - first)})
+					return ScanResult{NodesChecked: res.NodesChecked}, err
+				}
+			}
+			link, lel := s.linkOf(j)
+			if lel >= m && containsSorted(buf, link) {
+				buf = append(buf, j)
+				res.Positions = append(res.Positions, int(j)-len(p))
+				if limit > 0 && len(res.Positions) >= limit {
+					res.Truncated = j < n
+					res.NodesChecked += int64(j - first)
+					endScan(scanStats{visited: int64(j - first)})
+					return res, nil
+				}
 			}
 		}
-		link, lel := s.linkOf(j)
-		if lel >= m && containsSorted(buf, link) {
-			buf = append(buf, j)
-			res.Positions = append(res.Positions, int(j)-len(p))
-			if limit > 0 && len(res.Positions) >= limit {
-				res.Truncated = j < n
-				res.NodesChecked += int64(j - first)
-				endScan(int64(j - first))
-				return res, nil
-			}
-		}
+		res.NodesChecked += int64(n - first)
+		endScan(scanStats{visited: int64(n - first)})
+		return res, nil
 	}
-	res.NodesChecked += int64(n - first)
-	endScan(int64(n - first))
+	sc := getScratch(n)
+	maxExtra := -1
+	if limit > 0 {
+		maxExtra = limit - 1
+	}
+	st, truncated, err := occScanOn(ctx, s, sc, first, m, maxExtra)
+	res.NodesChecked += st.visited
+	endScan(st)
+	if err != nil {
+		putScratch(sc)
+		return ScanResult{NodesChecked: res.NodesChecked}, err
+	}
+	if len(sc.ends) > 0 {
+		out := make([]int, 1, len(sc.ends)+1)
+		out[0] = res.Positions[0]
+		for _, e := range sc.ends {
+			out = append(out, int(e)-len(p))
+		}
+		res.Positions = out
+	}
+	res.Truncated = truncated
+	putScratch(sc)
 	return res, nil
 }
 
-// CountCtx is Count with cancellation.
+// CountCtx is Count with cancellation. Like Count, it streams: the
+// occurrence set is never materialized.
 func (idx *Index) CountCtx(ctx context.Context, p []byte) (int, error) {
-	res, err := findAllOnCtx(ctx, idx, p, 0)
-	return len(res.Positions), err
+	return countOnCtx(ctx, idx, p, -1)
 }
 
 // CountCtx is the compact-layout variant; see Index.CountCtx.
 func (c *CompactIndex) CountCtx(ctx context.Context, p []byte) (int, error) {
-	res, err := c.FindAllCtx(ctx, p, 0)
-	return len(res.Positions), err
+	codes, ok := c.encodePattern(p)
+	if !ok {
+		if tr := trace.FromContext(ctx); tr != nil {
+			tr.Add(trace.StageDescend, 0, trace.Counters{Nodes: int64(len(p))})
+		}
+		return 0, ctx.Err()
+	}
+	return countOnCtx(ctx, c, codes, -1)
+}
+
+// CountPrefixCtx counts the occurrences of p whose start offset is
+// strictly below maxStart (maxStart < 0 means unbounded — plain
+// CountCtx). Sharded counting uses the bound to ignore overlap-region
+// starts without materializing or shipping positions.
+func (idx *Index) CountPrefixCtx(ctx context.Context, p []byte, maxStart int) (int, error) {
+	return countOnCtx(ctx, idx, p, maxStart)
+}
+
+// countOnCtx streams the occurrence count of p, keeping only the
+// membership table: occurrences starting at or past maxStart still
+// stamp membership (later occurrences may link to them) but are not
+// counted. maxStart < 0 means count everything.
+func countOnCtx[S store](ctx context.Context, s S, p []byte, maxStart int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	n := s.textLen()
+	if len(p) == 0 {
+		total := int(n) + 1
+		if maxStart >= 0 && total > maxStart {
+			total = maxStart
+		}
+		return total, nil
+	}
+	tr := trace.FromContext(ctx)
+	var first int32
+	var ok bool
+	if tr != nil {
+		first, ok = descendTracedOn(s, p, tr)
+	} else {
+		first, ok = endNodeOn(s, p)
+	}
+	if !ok {
+		return 0, nil
+	}
+	// endBound translates the start-offset bound into end-node space:
+	// start = end - len(p) < maxStart  <=>  end < maxStart + len(p).
+	endBound := int32(0)
+	if maxStart >= 0 {
+		endBound = int32(maxStart + len(p))
+	}
+	count := 0
+	if endBound <= 0 || first < endBound {
+		count++
+	}
+	var scanStart time.Time
+	if tr != nil {
+		scanStart = time.Now()
+	}
+	endScan := func(st scanStats) {
+		if tr != nil {
+			tr.Add(trace.StageOccurrences, time.Since(scanStart), trace.Counters{
+				Nodes: st.visited, Links: st.visited,
+				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
+			})
+		}
+	}
+	m := int32(len(p))
+	if blockSkipOff.Load() {
+		buf := []int32{first}
+		for j := first + 1; j <= n; j++ {
+			if (j-first)%cancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					endScan(scanStats{visited: int64(j - first)})
+					return 0, err
+				}
+			}
+			link, lel := s.linkOf(j)
+			if lel >= m && containsSorted(buf, link) {
+				buf = append(buf, j)
+				if endBound <= 0 || j < endBound {
+					count++
+				}
+			}
+		}
+		endScan(scanStats{visited: int64(n - first)})
+		return count, nil
+	}
+	sc := getScratch(n)
+	extra, st, err := occCountOn(ctx, s, sc, first, m, endBound)
+	endScan(st)
+	putScratch(sc)
+	if err != nil {
+		return 0, err
+	}
+	return count + extra, nil
 }
 
 // ScanManyCtx is ScanMany with cancellation checkpoints; see

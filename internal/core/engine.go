@@ -19,6 +19,11 @@ type store interface {
 	findExtrib(t int32) (Extrib, bool)
 	// linkOf returns (link, LEL) of node i in 1..n.
 	linkOf(i int32) (int32, int32)
+	// skipBlocks returns the block-max skip index over the backbone:
+	// entry b summarizes nodes b*blockSize+1 .. (b+1)*blockSize. Both
+	// layouts keep it current with the backbone (the Index folds it
+	// online per append; the compact layout builds it at freeze time).
+	skipBlocks() []blockMeta
 }
 
 // stepOn advances a valid path of length pathlen at node v by character c.
@@ -59,8 +64,12 @@ func endNodeOn[S store](s S, p []byte) (end int32, ok bool) {
 	return v, true
 }
 
-// scanOccurrencesOn performs the §4 target-node-buffer scan.
-func scanOccurrencesOn[S store](s S, first, patlen int32) []int32 {
+// scanOccurrencesScalarOn performs the §4 target-node-buffer scan
+// exactly as the paper describes it: every backbone node after the
+// first occurrence is visited and candidate links are probed against
+// the sorted buffer "in binary fashion". This is the in-tree oracle the
+// block-skip scan is differentially tested against (see SetBlockSkip).
+func scanOccurrencesScalarOn[S store](s S, first, patlen int32) []int32 {
 	buf := []int32{first}
 	n := s.textLen()
 	for j := first + 1; j <= n; j++ {
@@ -72,25 +81,125 @@ func scanOccurrencesOn[S store](s S, first, patlen int32) []int32 {
 	return buf
 }
 
+// scanOccurrencesOn resolves every occurrence end of a match via the
+// block-skip scan (or the scalar oracle when disabled).
+func scanOccurrencesOn[S store](s S, first, patlen int32) []int32 {
+	if blockSkipOff.Load() {
+		return scanOccurrencesScalarOn(s, first, patlen)
+	}
+	sc := getScratch(s.textLen())
+	occScanOn(nil, s, sc, first, patlen, -1)
+	out := make([]int32, 0, len(sc.ends)+1)
+	out = append(out, first)
+	out = append(out, sc.ends...)
+	putScratch(sc)
+	return out
+}
+
 // findAllOn returns all occurrence start offsets of p.
 func findAllOn[S store](s S, p []byte) []int {
+	return findAllAppendOn(s, p, nil)
+}
+
+// findAllAppendOn appends all occurrence start offsets of p to dst and
+// returns the extended slice. With a pre-sized dst the steady state
+// performs no allocation; with dst == nil exactly one exact-size result
+// slice is allocated when p occurs.
+func findAllAppendOn[S store](s S, p []byte, dst []int) []int {
 	if len(p) == 0 {
-		out := make([]int, s.textLen()+1)
-		for i := range out {
-			out[i] = i
+		n := int(s.textLen())
+		if dst == nil {
+			dst = make([]int, 0, n+1)
 		}
-		return out
+		for i := 0; i <= n; i++ {
+			dst = append(dst, i)
+		}
+		return dst
 	}
 	first, ok := endNodeOn(s, p)
 	if !ok {
-		return nil
+		return dst
 	}
-	ends := scanOccurrencesOn(s, first, int32(len(p)))
-	out := make([]int, len(ends))
-	for i, e := range ends {
-		out[i] = int(e) - len(p)
+	if blockSkipOff.Load() {
+		ends := scanOccurrencesScalarOn(s, first, int32(len(p)))
+		if dst == nil {
+			dst = make([]int, 0, len(ends))
+		}
+		for _, e := range ends {
+			dst = append(dst, int(e)-len(p))
+		}
+		return dst
 	}
-	return out
+	sc := getScratch(s.textLen())
+	occScanOn(nil, s, sc, first, int32(len(p)), -1)
+	if dst == nil {
+		dst = make([]int, 0, len(sc.ends)+1)
+	}
+	dst = append(dst, int(first)-len(p))
+	for _, e := range sc.ends {
+		dst = append(dst, int(e)-len(p))
+	}
+	putScratch(sc)
+	return dst
+}
+
+// countOn counts the occurrences of p without materializing them.
+func countOn[S store](s S, p []byte) int {
+	if len(p) == 0 {
+		return int(s.textLen()) + 1
+	}
+	first, ok := endNodeOn(s, p)
+	if !ok {
+		return 0
+	}
+	if blockSkipOff.Load() {
+		return len(scanOccurrencesScalarOn(s, first, int32(len(p))))
+	}
+	sc := getScratch(s.textLen())
+	extra, _, _ := occCountOn(nil, s, sc, first, int32(len(p)), 0)
+	putScratch(sc)
+	return extra + 1
+}
+
+// forEachOccurrenceOn streams every occurrence start offset of p to fn
+// in increasing order, stopping early when fn returns false. fn is
+// passed through to the scan kernel untouched, so the steady state
+// allocates nothing.
+func forEachOccurrenceOn[S store](s S, p []byte, fn func(start int) bool) {
+	if len(p) == 0 {
+		n := int(s.textLen())
+		for i := 0; i <= n; i++ {
+			if !fn(i) {
+				return
+			}
+		}
+		return
+	}
+	first, ok := endNodeOn(s, p)
+	if !ok {
+		return
+	}
+	if !fn(int(first) - len(p)) {
+		return
+	}
+	patlen := int32(len(p))
+	if blockSkipOff.Load() {
+		buf := []int32{first}
+		n := s.textLen()
+		for j := first + 1; j <= n; j++ {
+			link, lel := s.linkOf(j)
+			if lel >= patlen && containsSorted(buf, link) {
+				buf = append(buf, j)
+				if !fn(int(j) - len(p)) {
+					return
+				}
+			}
+		}
+		return
+	}
+	sc := getScratch(s.textLen())
+	occStreamOn(s, sc, first, patlen, len(p), fn)
+	putScratch(sc)
 }
 
 // cursorState is the generic matching-statistics cursor; Cursor and

@@ -6,6 +6,7 @@ func (idx *Index) textLen() int32                      { return int32(len(idx.te
 func (idx *Index) charAt(v int32) byte                 { return idx.text[v] }
 func (idx *Index) findRib(t int32, c byte) (Rib, bool) { return idx.ribAt(t, c) }
 func (idx *Index) linkOf(i int32) (int32, int32)       { return idx.link[i], idx.lel[i] }
+func (idx *Index) skipBlocks() []blockMeta             { return idx.blocks }
 
 func (idx *Index) findExtrib(t int32) (Extrib, bool) {
 	if e := idx.edgesAt(t); e != nil && e.hasExt {
@@ -57,6 +58,12 @@ func (idx *Index) Find(p []byte) int {
 // occurrence end iff lel(j) >= len(p) and link(j) is already in the buffer.
 func (idx *Index) FindAll(p []byte) []int { return findAllOn(idx, p) }
 
+// FindAllAppend is FindAll appending into dst: with a reused dst whose
+// capacity covers the result, the steady-state query allocates nothing.
+func (idx *Index) FindAllAppend(p []byte, dst []int) []int {
+	return findAllAppendOn(idx, p, dst)
+}
+
 // scanOccurrences performs the target-node-buffer scan: given the
 // first-occurrence end node and the pattern length, it returns every
 // occurrence end node in increasing order.
@@ -79,38 +86,15 @@ func containsSorted(buf []int32, x int32) bool {
 	return lo < len(buf) && buf[lo] == x
 }
 
-// Count returns the number of occurrences of p.
-func (idx *Index) Count(p []byte) int { return len(idx.FindAll(p)) }
+// Count returns the number of occurrences of p. The count comes from
+// the streaming scan directly — no occurrence slice is materialized —
+// and allocates nothing at steady state.
+func (idx *Index) Count(p []byte) int { return countOn(idx, p) }
 
 // ForEachOccurrence streams every occurrence start offset of p in
 // increasing order to fn, stopping early if fn returns false. It performs
-// the same backbone scan as FindAll but only retains the target node
-// buffer, so enormous occurrence sets don't materialize a result slice.
+// the same backbone scan as FindAll but only retains the membership
+// table, so enormous occurrence sets don't materialize a result slice.
 func (idx *Index) ForEachOccurrence(p []byte, fn func(start int) bool) {
-	if len(p) == 0 {
-		for i := 0; i <= idx.Len(); i++ {
-			if !fn(i) {
-				return
-			}
-		}
-		return
-	}
-	first, ok := idx.EndNode(p)
-	if !ok {
-		return
-	}
-	if !fn(int(first) - len(p)) {
-		return
-	}
-	buf := []int32{first}
-	m := int32(len(p))
-	n := int32(idx.Len())
-	for j := first + 1; j <= n; j++ {
-		if idx.lel[j] >= m && containsSorted(buf, idx.link[j]) {
-			buf = append(buf, j)
-			if !fn(int(j) - len(p)) {
-				return
-			}
-		}
-	}
+	forEachOccurrenceOn(idx, p, fn)
 }

@@ -17,13 +17,16 @@ import (
 //	n u32 | packed: bits u8 + words u32 + u64 data |
 //	lel []u16 | ref []u32 |
 //	7 x shape table | spill table | 3 overflow maps |
+//	v2+: block-max skip index (3 x u32 per block) |
 //	crc32 (IEEE) of everything before it
 //
 // Every length field is validated against sane bounds on load, and the
-// checksum is verified before any data is trusted.
+// checksum is verified before any data is trusted. Version 1 files (no
+// block section) still load: the skip index is rebuilt from the link
+// table in one O(n) pass.
 const (
 	serializeMagic   = "SPNE"
-	serializeVersion = uint16(1)
+	serializeVersion = uint16(2)
 )
 
 type countingWriter struct {
@@ -137,6 +140,12 @@ func (c *CompactIndex) Save(w io.Writer) error {
 		cw.u32(uint32(k))
 		cw.u32(uint32(v[0]))
 		cw.u32(uint32(v[1]))
+	}
+	cw.u32(uint32(len(c.blocks)))
+	for _, bm := range c.blocks {
+		cw.u32(uint32(bm.maxLEL))
+		cw.u32(uint32(bm.minLink))
+		cw.u32(uint32(bm.maxLink))
 	}
 	if cw.err != nil {
 		return fmt.Errorf("core: serializing index: %w", cw.err)
@@ -296,8 +305,9 @@ func ReadCompact(r io.Reader) (*CompactIndex, error) {
 	if string(magic) != serializeMagic {
 		return fail(fmt.Errorf("bad magic %q", magic))
 	}
-	if v := cr.u16(); cr.err == nil && v != serializeVersion {
-		return fail(fmt.Errorf("unsupported version %d", v))
+	version := cr.u16()
+	if cr.err == nil && (version < 1 || version > serializeVersion) {
+		return fail(fmt.Errorf("unsupported version %d", version))
 	}
 	letters := cr.byteSlice("alphabet")
 	if cr.err != nil {
@@ -381,6 +391,20 @@ func ReadCompact(r io.Reader) (*CompactIndex, error) {
 		k, v0, v1 := cr.u32(), cr.u32(), cr.u32()
 		c.extOverflow[int32(k)] = [2]int32{int32(v0), int32(v1)}
 	}
+	if version >= 2 {
+		nBlocks := cr.lenCapped(maxReasonable, "skip blocks")
+		if cr.err == nil {
+			c.blocks = make([]blockMeta, 0, nBlocks)
+			for i := 0; i < nBlocks && cr.err == nil; i++ {
+				maxLEL, minLink, maxLink := cr.u32(), cr.u32(), cr.u32()
+				c.blocks = append(c.blocks, blockMeta{
+					maxLEL:  int32(maxLEL),
+					minLink: int32(minLink),
+					maxLink: int32(maxLink),
+				})
+			}
+		}
+	}
 	if cr.err != nil {
 		return fail(cr.err)
 	}
@@ -392,6 +416,11 @@ func ReadCompact(r io.Reader) (*CompactIndex, error) {
 	}
 	if got := binary.LittleEndian.Uint32(trailer[:]); got != wantSum {
 		return fail(fmt.Errorf("checksum mismatch: file %08x, computed %08x", got, wantSum))
+	}
+	if version < 2 {
+		// Pre-block formats carry no skip index; rebuild it from the link
+		// table so loaded indexes accelerate identically to frozen ones.
+		c.blocks = buildBlocksOn(c)
 	}
 	if err := c.validate(); err != nil {
 		return fail(err)
@@ -413,6 +442,9 @@ func otherCaseByte(b byte) byte {
 func (c *CompactIndex) validate() error {
 	if len(c.lel) != int(c.n)+1 || len(c.ref) != int(c.n)+1 {
 		return fmt.Errorf("LT sizes (%d, %d) inconsistent with n=%d", len(c.lel), len(c.ref), c.n)
+	}
+	if len(c.blocks) != blocksFor(int(c.n)) {
+		return fmt.Errorf("skip index has %d blocks for n=%d (want %d)", len(c.blocks), c.n, blocksFor(int(c.n)))
 	}
 	for shape := 1; shape < numShapes; shape++ {
 		tb := &c.tables[shape]

@@ -100,6 +100,7 @@ type Index struct {
 	lel    []int32     // lel[i] for node i; lel[0] unused
 	edgeID []int32     // per node: index into edges, or noEdges
 	edges  []nodeEdges // records for nodes with downstream cross edges
+	blocks []blockMeta // block-max skip index, folded online in setLink
 
 	// construction statistics, maintained online
 	maxLEL, maxPT, maxPRT int32
@@ -147,6 +148,11 @@ func (idx *Index) grow(n int) {
 		e := make([]nodeEdges, len(idx.edges), need/3)
 		copy(e, idx.edges)
 		idx.edges = e
+	}
+	if cap(idx.blocks) < blocksFor(need) {
+		b := make([]blockMeta, len(idx.blocks), blocksFor(need))
+		copy(b, idx.blocks)
+		idx.blocks = b
 	}
 }
 
@@ -283,6 +289,7 @@ func (idx *Index) Append(c byte) {
 	if k == 0 {
 		// First character: the only suffix is end-terminating; the link
 		// records the null suffix at the root.
+		idx.setLink(newNode, 0, 0)
 		return
 	}
 
@@ -356,10 +363,15 @@ func (idx *Index) handleExtribs(t int32, r Rib, L, newNode int32) {
 	idx.setLink(newNode, lastDest, lastPT+1)
 }
 
+// setLink records the new node's backward link. It runs exactly once
+// per append, always for the newest node, so it doubles as the online
+// fold point of the block-max skip index: the skip metadata is complete
+// after every Append, never stale, and costs O(1) per character.
 func (idx *Index) setLink(node, dest, lel int32) {
 	idx.link[node] = dest
 	idx.lel[node] = lel
 	if lel > idx.maxLEL {
 		idx.maxLEL = lel
 	}
+	idx.blocks = foldBlock(idx.blocks, node, dest, lel)
 }

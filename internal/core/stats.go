@@ -119,5 +119,6 @@ func (idx *Index) MemoryBytes() int64 {
 	for i := range idx.edges {
 		b += int64(len(idx.edges[i].more)) * 12
 	}
+	b += int64(len(idx.blocks)) * 12 // block-max skip index
 	return b
 }

@@ -212,6 +212,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		for _, st := range stages {
 			p.Sample("spine_stage_extrib_hops_total", []Label{{"stage", st}}, float64(s.Stages[st].ExtribHops))
 		}
+		p.Family("spine_scan_blocks_skipped_total", "counter", "Backbone blocks rejected by the block-max skip index, per query stage.")
+		for _, st := range stages {
+			p.Sample("spine_scan_blocks_skipped_total", []Label{{"stage", st}}, float64(s.Stages[st].BlocksSkipped))
+		}
+		p.Family("spine_scan_blocks_scanned_total", "counter", "Backbone blocks scanned node by node during occurrence scans, per query stage.")
+		for _, st := range stages {
+			p.Sample("spine_scan_blocks_scanned_total", []Label{{"stage", st}}, float64(s.Stages[st].BlocksScanned))
+		}
 	}
 
 	if len(s.Shards) > 0 {

@@ -114,6 +114,10 @@ type StageStats struct {
 	// RibHops and ExtribHops count cross-edge work during descents.
 	RibHops    Counter
 	ExtribHops Counter
+	// BlocksSkipped and BlocksScanned count skip-index decisions during
+	// block-accelerated occurrence scans (occurrences/batchscan stages).
+	BlocksSkipped Counter
+	BlocksScanned Counter
 }
 
 // ShardStats aggregates one shard's share of fan-out queries, making
@@ -229,11 +233,13 @@ type RuntimeSnapshot struct {
 
 // StageSnapshot is a point-in-time copy of one stage's metrics.
 type StageSnapshot struct {
-	Spans      int64   `json:"spans"`
-	Seconds    float64 `json:"seconds"`
-	Nodes      int64   `json:"nodes"`
-	RibHops    int64   `json:"ribHops"`
-	ExtribHops int64   `json:"extribHops"`
+	Spans         int64   `json:"spans"`
+	Seconds       float64 `json:"seconds"`
+	Nodes         int64   `json:"nodes"`
+	RibHops       int64   `json:"ribHops"`
+	ExtribHops    int64   `json:"extribHops"`
+	BlocksSkipped int64   `json:"blocksSkipped"`
+	BlocksScanned int64   `json:"blocksScanned"`
 }
 
 // ShardSnapshot is a point-in-time copy of one shard's metrics.
@@ -323,11 +329,13 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Stages = make(map[string]StageSnapshot, len(stages))
 		for name, st := range stages {
 			s.Stages[name] = StageSnapshot{
-				Spans:      st.Spans.Value(),
-				Seconds:    float64(st.Nanos.Value()) / 1e9,
-				Nodes:      st.Nodes.Value(),
-				RibHops:    st.RibHops.Value(),
-				ExtribHops: st.ExtribHops.Value(),
+				Spans:         st.Spans.Value(),
+				Seconds:       float64(st.Nanos.Value()) / 1e9,
+				Nodes:         st.Nodes.Value(),
+				RibHops:       st.RibHops.Value(),
+				ExtribHops:    st.ExtribHops.Value(),
+				BlocksSkipped: st.BlocksSkipped.Value(),
+				BlocksScanned: st.BlocksScanned.Value(),
 			}
 		}
 	}

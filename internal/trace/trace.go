@@ -70,6 +70,13 @@ type Counters struct {
 	RibHops int64 `json:"ribHops"`
 	// ExtribHops counts extrib-chain edges walked during descent.
 	ExtribHops int64 `json:"extribHops"`
+	// BlocksSkipped and BlocksScanned count skip-index decisions during
+	// block-accelerated occurrence scans: whole backbone blocks rejected
+	// by their block-max summary versus blocks scanned node by node.
+	// Skipped blocks contribute no Nodes, which is the point — the
+	// Nodes partition invariant above covers only work actually done.
+	BlocksSkipped int64 `json:"blocksSkipped"`
+	BlocksScanned int64 `json:"blocksScanned"`
 }
 
 func (c *Counters) add(o Counters) {
@@ -77,6 +84,8 @@ func (c *Counters) add(o Counters) {
 	c.Links += o.Links
 	c.RibHops += o.RibHops
 	c.ExtribHops += o.ExtribHops
+	c.BlocksSkipped += o.BlocksSkipped
+	c.BlocksScanned += o.BlocksScanned
 }
 
 // Record is one finished span.

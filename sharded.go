@@ -366,14 +366,60 @@ func (s *Sharded) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchO
 
 // Count returns the number of occurrences of p.
 func (s *Sharded) Count(p []byte) (int, error) {
-	occ, err := s.FindAll(p)
-	return len(occ), err
+	return s.CountContext(context.Background(), p)
 }
 
-// CountContext implements Querier; see Count.
+// CountContext implements Querier. Each shard counts the occurrences
+// that start in its own slice — overlap-region starts belong to the next
+// shard, so the per-shard counts sum to the exact global count with no
+// dedup merge. The scans stream: nothing per-occurrence is materialized.
 func (s *Sharded) CountContext(ctx context.Context, p []byte) (int, error) {
-	occ, err := s.FindAllContext(ctx, p)
-	return len(occ), err
+	if err := s.checkPattern(p); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return s.textLen + 1, nil
+	}
+	tr := trace.FromContext(ctx)
+	var kids []*trace.Trace
+	if tr != nil {
+		kids = make([]*trace.Trace, len(s.shards))
+	}
+	counts := make([]int, len(s.shards))
+	errs := make([]error, len(s.shards))
+	last := len(s.shards) - 1
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx := ctx
+			var sp trace.Span
+			if tr != nil {
+				kids[i] = trace.New()
+				sctx = trace.NewContext(ctx, kids[i])
+				sp = kids[i].Start(trace.StageShard)
+			}
+			maxStart := s.shardSize
+			if i == last {
+				maxStart = -1 // no overlap region after the final shard
+			}
+			counts[i], errs[i] = s.shards[i].countPrefixContext(sctx, p, maxStart)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	for i, kid := range kids {
+		tr.Adopt(kid, i)
+	}
+	total := 0
+	for i := range counts {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += counts[i]
+	}
+	return total, nil
 }
 
 // Stats aggregates the structural measurements of every shard: counts

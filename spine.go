@@ -1,6 +1,7 @@
 package spine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -55,8 +56,22 @@ func (x *Index) Find(p []byte) int { return x.c.Find(p) }
 // overlapping occurrences) in increasing order; nil if p does not occur.
 func (x *Index) FindAll(p []byte) []int { return x.c.FindAll(p) }
 
-// Count returns the number of occurrences of p.
+// FindAllAppend appends every occurrence start offset of p to dst in
+// increasing order and returns the extended slice. Passing a reused
+// buffer makes steady-state occurrence listing allocation-free.
+func (x *Index) FindAllAppend(p []byte, dst []int) []int { return x.c.FindAllAppend(p, dst) }
+
+// Count returns the number of occurrences of p. The scan streams; no
+// per-occurrence memory is allocated.
 func (x *Index) Count(p []byte) int { return x.c.Count(p) }
+
+// countPrefixContext counts occurrences of p whose start offset is below
+// maxStart (maxStart < 0 means unbounded). Sharded.CountContext uses it
+// to count each shard's own slice, excluding overlap-region starts that
+// belong to the next shard.
+func (x *Index) countPrefixContext(ctx context.Context, p []byte, maxStart int) (int, error) {
+	return x.c.CountPrefixCtx(ctx, p, maxStart)
+}
 
 // Stats reports the index's structural measurements.
 func (x *Index) Stats() Stats {
@@ -142,7 +157,18 @@ func (x *Compact) Find(p []byte) int { return x.c.Find(p) }
 // FindAll returns every occurrence start offset of p in increasing order.
 func (x *Compact) FindAll(p []byte) []int { return x.c.FindAll(p) }
 
-// Count returns the number of occurrences of p.
+// FindAllAppend appends every occurrence start offset of p to dst in
+// increasing order and returns the extended slice; see Index.FindAllAppend.
+func (x *Compact) FindAllAppend(p []byte, dst []int) []int { return x.c.FindAllAppend(p, dst) }
+
+// ForEachOccurrence streams every occurrence start offset of p in
+// increasing order, stopping early when fn returns false.
+func (x *Compact) ForEachOccurrence(p []byte, fn func(start int) bool) {
+	x.c.ForEachOccurrence(p, fn)
+}
+
+// Count returns the number of occurrences of p. The scan streams; no
+// per-occurrence memory is allocated.
 func (x *Compact) Count(p []byte) int { return x.c.Count(p) }
 
 // SizeBytes returns the layout's total footprint.
