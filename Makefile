@@ -14,17 +14,20 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# lint fails on vet findings or unformatted files (gofmt prints the
-# offenders; the shell guard turns any output into a non-zero exit).
+# lint fails on vet findings, unformatted files (gofmt prints the
+# offenders; the shell guard turns any output into a non-zero exit), or
+# a new exported query method bypassing the unified Query API.
 lint: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@sh scripts/lint_query_surface.sh
 
-# fuzz-smoke mines the batch-pipeline and scan-equivalence fuzz targets
-# briefly — enough to shake out fresh regressions without stalling the
-# gate.
+# fuzz-smoke mines the batch-pipeline, cache-equivalence and
+# scan-equivalence fuzz targets briefly — enough to shake out fresh
+# regressions without stalling the gate.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzQueryBatch$$' -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz '^FuzzCacheEquivalence$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzScanEquivalence$$' -fuzztime 10s ./internal/core
 
 # cover runs the suite shuffled (ordering bugs surface) with a coverage

@@ -203,6 +203,9 @@ func queryBatchOn(ctx context.Context, c coreBatcher, n int, patterns [][]byte, 
 			}
 		}
 	}
+	for _, i := range uniq {
+		results[i].normalize()
+	}
 	for i := range patterns {
 		if dupOf[i] != i {
 			results[i] = results[dupOf[i]]

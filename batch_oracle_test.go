@@ -56,7 +56,7 @@ func TestQueryBatchDifferentialOracle(t *testing.T) {
 					t.Fatal(err)
 				}
 				patterns := samplePatternMix(rng, text, letters, tc.maxPat)
-				flavors := map[string]Querier{"index": idx, "compact": comp, "sharded": sh}
+				flavors := map[string]legacyQuerier{"index": idx, "compact": comp, "sharded": sh}
 				for _, limit := range []int{0, 1, 2, 5} {
 					for name, q := range flavors {
 						checkBatchAgainstSequential(t, name, q, patterns, limit)
@@ -109,7 +109,7 @@ func samplePatternMix(rng *rand.Rand, text, letters []byte, maxPat int) [][]byte
 	return out
 }
 
-func checkBatchAgainstSequential(t *testing.T, name string, q Querier, patterns [][]byte, limit int) {
+func checkBatchAgainstSequential(t *testing.T, name string, q legacyQuerier, patterns [][]byte, limit int) {
 	t.Helper()
 	ctx := context.Background()
 	results, err := q.QueryBatch(ctx, patterns, BatchOptions{Limit: limit})

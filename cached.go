@@ -1,0 +1,365 @@
+package spine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/spine-index/spine/internal/qgram"
+	"github.com/spine-index/spine/internal/rescache"
+	"github.com/spine-index/spine/internal/trace"
+)
+
+// CacheConfig tunes the Cached decorator.
+type CacheConfig struct {
+	// MaxBytes is the result cache's byte budget; <= 0 picks
+	// rescache.DefaultMaxBytes (64 MiB). The budget covers an estimate of
+	// each entry's footprint (pattern bytes + 8 bytes per position +
+	// fixed overhead), not exact heap usage.
+	MaxBytes int64
+	// Shards is the cache's lock-shard count, rounded up to a power of
+	// two; <= 0 picks rescache.DefaultShards.
+	Shards int
+	// DisableNegFilter turns the q-gram negative filter off; by default
+	// Cached builds one over the wrapped index's text, so that absent
+	// patterns answer in O(|P|) with zero backbone work.
+	DisableNegFilter bool
+	// NegFilterQ is the filter's gram length; <= 0 picks one from the
+	// text: the shortest q whose random-text q-gram diversity exceeds the
+	// text's gram population (so most absent patterns contain an unseen
+	// gram), clamped to [4, 16]. Patterns shorter than Q bypass the
+	// filter.
+	NegFilterQ int
+	// NegFilterBits is the filter's bits-per-gram budget; <= 0 picks
+	// qgram.DefaultNegFilterBits.
+	NegFilterBits int
+}
+
+// CacheStats is a point-in-time view of a CachedQuerier's counters.
+type CacheStats struct {
+	// Hits and Misses count result-cache lookups (negative-filter
+	// rejections consult no cache and count in neither).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// NegRejects counts queries the negative filter answered (pattern
+	// definitely absent, no index work); NegFalsePos counts patterns the
+	// filter passed that the index then proved absent — the filter's
+	// false positives, each costing one ordinary scan.
+	NegRejects  int64 `json:"negRejects"`
+	NegFalsePos int64 `json:"negFalsePos"`
+	// Entries, Bytes and Evictions describe cache occupancy; Epoch is the
+	// invalidation epoch (see Invalidate).
+	Entries   int64  `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Evictions int64  `json:"evictions"`
+	Epoch     uint64 `json:"epoch"`
+	// NegFilterQ is the filter's gram length (0 when the filter is off);
+	// NegFilterBytes its bit-array footprint.
+	NegFilterQ     int   `json:"negFilterQ"`
+	NegFilterBytes int64 `json:"negFilterBytes"`
+}
+
+// texter is the optional capability Cached uses to reach the indexed
+// text for the negative filter; all three index flavors provide it.
+type texter interface{ Text() []byte }
+
+// maxPatterner is the optional capability bounding cacheable pattern
+// length (Sharded indexes reject longer patterns with ErrPatternTooLong
+// and the cache must not mask that).
+type maxPatterner interface{ MaxPattern() int }
+
+// unwrapper is the decorator-chain walk: capability discovery descends
+// through wrappers to the concrete index.
+type unwrapper interface{ Unwrap() Querier }
+
+// capability resolves an optional interface on q, descending through
+// Unwrap chains.
+func capability[T any](q Querier) (T, bool) {
+	for {
+		if t, ok := q.(T); ok {
+			return t, true
+		}
+		u, ok := q.(unwrapper)
+		if !ok {
+			var zero T
+			return zero, false
+		}
+		q = u.Unwrap()
+	}
+}
+
+// CachedQuerier decorates a Querier with a sharded LRU result cache and
+// a q-gram negative filter, serving repeated (Zipf-skewed) workloads
+// from memory and absent patterns in O(|P|). It intercepts exactly the
+// Query/QueryBatch choke points, so every legacy shim on the underlying
+// index is covered when callers route reads through the decorator.
+//
+// Results served from the cache share their Positions slice across
+// callers: treat a QueryResult with Source == SourceCache as read-only.
+//
+// CachedQuerier is safe for concurrent use.
+type CachedQuerier struct {
+	inner  Querier
+	cache  *rescache.Cache
+	neg    *qgram.NegFilter
+	maxPat int // longest cacheable pattern; 0 = unbounded
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	negRejects  atomic.Int64
+	negFalsePos atomic.Int64
+}
+
+// Cached wraps q with a result cache and (unless disabled) a negative
+// filter built over q's text. Building the filter needs the text: q (or
+// something in its Unwrap chain) must provide Text() []byte, which
+// Index, Compact and Sharded all do; wrap an opaque Querier with
+// DisableNegFilter set.
+func Cached(q Querier, cfg CacheConfig) (*CachedQuerier, error) {
+	c := &CachedQuerier{
+		inner: q,
+		cache: rescache.New(rescache.Config{MaxBytes: cfg.MaxBytes, Shards: cfg.Shards}),
+	}
+	if mp, ok := capability[maxPatterner](q); ok {
+		c.maxPat = mp.MaxPattern()
+	}
+	if !cfg.DisableNegFilter {
+		tx, ok := capability[texter](q)
+		if !ok {
+			return nil, fmt.Errorf("spine: Cached negative filter needs Text() on the wrapped querier; set DisableNegFilter to wrap it without one")
+		}
+		text := tx.Text()
+		gramLen := cfg.NegFilterQ
+		if gramLen <= 0 {
+			gramLen = autoNegFilterQ(text)
+		}
+		neg, err := qgram.BuildNegFilter(text, gramLen, cfg.NegFilterBits)
+		if err != nil {
+			return nil, err
+		}
+		c.neg = neg
+	}
+	return c, nil
+}
+
+// autoNegFilterQ picks a gram length for a text: the shortest q with
+// sigma^q >= 64n (sigma = distinct bytes observed), so a random absent
+// pattern's grams are unlikely to all occur in the text, clamped to
+// [4, 16]. Short-alphabet texts (DNA) land around 12 for megabase
+// inputs; byte-diverse texts stay near the lower clamp.
+func autoNegFilterQ(text []byte) int {
+	var seen [256]bool
+	sigma := 0
+	for _, b := range text {
+		if !seen[b] {
+			seen[b] = true
+			sigma++
+		}
+	}
+	if sigma < 2 {
+		return 4
+	}
+	target := uint64(len(text))*64 + 1
+	q := 1
+	pow := uint64(sigma)
+	for pow < target && q < 16 {
+		// Watch for overflow: sigma^q already covers any text length.
+		if pow > target/uint64(sigma) {
+			q++
+			break
+		}
+		pow *= uint64(sigma)
+		q++
+	}
+	if q < 4 {
+		q = 4
+	}
+	return q
+}
+
+// cacheable reports whether this call goes through the cache/filter
+// path at all; non-cacheable calls pass straight to the inner querier,
+// preserving its semantics (empty-pattern expansion, ErrPatternTooLong,
+// ErrBadQueryKind).
+func (c *CachedQuerier) cacheable(p []byte, kind QueryKind) bool {
+	if len(p) == 0 || kind > KindCount {
+		return false
+	}
+	if c.maxPat > 0 && len(p) > c.maxPat {
+		return false
+	}
+	return true
+}
+
+// cacheKey builds the rescache identity for a call. KindContains and
+// KindFind produce identical results, so they share entries under
+// KindFind.
+func cacheKey(p []byte, kind QueryKind, limit int) rescache.Key {
+	if kind == KindContains {
+		kind = KindFind
+	}
+	return rescache.Key{Pattern: string(p), Kind: uint8(kind), Limit: limit}
+}
+
+// cacheCost estimates an entry's footprint for the byte budget.
+func cacheCost(k rescache.Key, res QueryResult) int64 {
+	return int64(len(k.Pattern)) + int64(len(res.Positions))*8 + 96
+}
+
+// Query implements Querier. Order of consultation: negative filter
+// (definitive absence in O(|P|)), then the result cache, then the
+// wrapped index; scan answers are inserted on the way out. The
+// result's Source field records which layer answered.
+func (c *CachedQuerier) Query(ctx context.Context, p []byte, opts QueryOptions) (QueryResult, error) {
+	if opts.NoCache || !c.cacheable(p, opts.Kind) {
+		return c.inner.Query(ctx, p, opts)
+	}
+	if err := ctx.Err(); err != nil {
+		return QueryResult{Position: -1}, err
+	}
+	tr := trace.FromContext(ctx)
+	if c.neg != nil && len(p) >= c.neg.Q() {
+		sp := tr.Start(trace.StageNegFilter)
+		may := c.neg.MayContain(p)
+		sp.End()
+		if !may {
+			c.negRejects.Add(1)
+			return QueryResult{Position: -1, Source: SourceNegFilter}, nil
+		}
+	}
+	key := cacheKey(p, opts.Kind, opts.effectiveLimit())
+	sp := tr.Start(trace.StageCache)
+	v, ok := c.cache.Get(key)
+	sp.End()
+	if ok {
+		c.hits.Add(1)
+		res := v.(QueryResult)
+		res.Source = SourceCache
+		res.NodesChecked = 0
+		return res, nil
+	}
+	c.misses.Add(1)
+	res, err := c.inner.Query(ctx, p, opts)
+	if err != nil {
+		return res, err
+	}
+	if c.neg != nil && !res.Found && len(p) >= c.neg.Q() {
+		c.negFalsePos.Add(1)
+	}
+	c.cache.Put(key, res, cacheCost(key, res))
+	res.Source = SourceScan
+	return res, nil
+}
+
+// QueryBatch implements Querier, cache-aware: negative-filter
+// rejections and cache hits are answered inline, and only the misses
+// are forwarded to the wrapped index's batch engine — its single
+// backbone scan then covers exactly the patterns that need index work.
+// Per-item limits follow BatchOptions semantics; scan answers are
+// inserted into the cache on the way out.
+func (c *CachedQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchOptions) ([]QueryResult, error) {
+	limits, err := opts.itemLimits(len(patterns))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]QueryResult, len(patterns))
+	var (
+		missPats   [][]byte
+		missLimits []int
+		missIdx    []int
+	)
+	for i, p := range patterns {
+		if !c.cacheable(p, KindFindAll) {
+			// Empty or overlong: forward so the engine's own semantics
+			// (empty-pattern expansion, per-item ErrPatternTooLong) apply.
+			missPats = append(missPats, p)
+			missLimits = append(missLimits, limits[i])
+			missIdx = append(missIdx, i)
+			continue
+		}
+		if c.neg != nil && len(p) >= c.neg.Q() && !c.neg.MayContain(p) {
+			c.negRejects.Add(1)
+			results[i] = QueryResult{Position: -1, Source: SourceNegFilter}
+			continue
+		}
+		limit := limits[i]
+		if limit < 0 {
+			limit = 0
+		}
+		key := cacheKey(p, KindFindAll, limit)
+		if v, ok := c.cache.Get(key); ok {
+			c.hits.Add(1)
+			res := v.(QueryResult)
+			res.Source = SourceCache
+			res.NodesChecked = 0
+			results[i] = res
+			continue
+		}
+		c.misses.Add(1)
+		missPats = append(missPats, p)
+		missLimits = append(missLimits, limits[i])
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) > 0 {
+		sub, err := c.inner.QueryBatch(ctx, missPats, BatchOptions{Limits: missLimits, Workers: opts.Workers})
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range missIdx {
+			res := sub[k]
+			results[i] = res
+			if res.Err != nil || !c.cacheable(patterns[i], KindFindAll) {
+				continue
+			}
+			if c.neg != nil && !res.Found && len(patterns[i]) >= c.neg.Q() {
+				c.negFalsePos.Add(1)
+			}
+			limit := missLimits[k]
+			if limit < 0 {
+				limit = 0
+			}
+			key := cacheKey(patterns[i], KindFindAll, limit)
+			c.cache.Put(key, res, cacheCost(key, res))
+		}
+	}
+	return results, nil
+}
+
+// Len implements Querier by delegation.
+func (c *CachedQuerier) Len() int { return c.inner.Len() }
+
+// Unwrap returns the wrapped querier, exposing its capabilities
+// (Stats, MaximalMatchesContext, approximate search) to servers that
+// discover them by type assertion through the Unwrap chain.
+func (c *CachedQuerier) Unwrap() Querier { return c.inner }
+
+// Invalidate makes every cached result stale in O(1) by bumping the
+// cache epoch; stale entries are collected lazily on lookup. Call it
+// whenever the underlying text changes (the live-ingest path). The
+// negative filter is not rebuilt: grams only accumulate under append,
+// so a stale filter errs only toward "maybe present", which is safe.
+func (c *CachedQuerier) Invalidate() { c.cache.BumpEpoch() }
+
+// CacheStats returns the decorator's counters; serving telemetry polls
+// this for the /stats and /metrics cache families.
+func (c *CachedQuerier) CacheStats() CacheStats {
+	cs := c.cache.Stats()
+	s := CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		NegRejects:  c.negRejects.Load(),
+		NegFalsePos: c.negFalsePos.Load(),
+		Entries:     cs.Entries,
+		Bytes:       cs.Bytes,
+		Evictions:   cs.Evictions,
+		Epoch:       cs.Epoch,
+	}
+	if c.neg != nil {
+		s.NegFilterQ = c.neg.Q()
+		s.NegFilterBytes = c.neg.SizeBytes()
+	}
+	return s
+}

@@ -1,0 +1,320 @@
+package spine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// cachedPair builds an index flavor and a Cached wrapper over it.
+func cachedPair(t *testing.T, text []byte, cfg CacheConfig) (Querier, *CachedQuerier) {
+	t.Helper()
+	sh, err := BuildSharded(text, 64, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Cached(sh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh, c
+}
+
+// sameAnswer compares the semantic fields of two results — the cached
+// layer must be byte-identical on everything a client can see.
+// NodesChecked and Source legitimately differ (a hit does no work).
+func sameAnswer(t *testing.T, what string, got, want QueryResult) {
+	t.Helper()
+	if got.Found != want.Found || got.Position != want.Position ||
+		got.Count != want.Count || got.Truncated != want.Truncated ||
+		len(got.Positions) != len(want.Positions) {
+		t.Fatalf("%s: got %+v, want %+v", what, got, want)
+	}
+	for i := range want.Positions {
+		if got.Positions[i] != want.Positions[i] {
+			t.Fatalf("%s: positions %v, want %v", what, got.Positions, want.Positions)
+		}
+	}
+}
+
+// TestCachedDifferential is the acceptance check: for a mixed workload
+// of present, absent and repeated patterns across every kind, the
+// cached querier answers byte-identically to the raw index — on the
+// miss, on the hit, and through the negative filter.
+func TestCachedDifferential(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacaggtacca", 32))
+	raw, c := cachedPair(t, text, CacheConfig{})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	var patterns [][]byte
+	for i := 0; i < 12; i++ { // present substrings
+		l := 1 + rng.Intn(15)
+		off := rng.Intn(len(text) - l)
+		patterns = append(patterns, text[off:off+l])
+	}
+	for i := 0; i < 12; i++ { // random, mostly absent
+		p := make([]byte, 1+rng.Intn(15))
+		for j := range p {
+			p[j] = "acgtz"[rng.Intn(5)]
+		}
+		patterns = append(patterns, p)
+	}
+	patterns = append(patterns, patterns[0], patterns[12]) // repeats → hits
+	for round := 0; round < 3; round++ {                   // round 2+ hits the cache
+		for _, p := range patterns {
+			for _, kind := range []QueryKind{KindContains, KindFind, KindFindAll, KindCount} {
+				for _, limit := range []int{0, 2} {
+					opts := QueryOptions{Kind: kind, Limit: limit}
+					want, werr := raw.Query(ctx, p, opts)
+					got, gerr := c.Query(ctx, p, opts)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("kind %v %q: err %v vs %v", kind, p, gerr, werr)
+					}
+					if werr != nil {
+						continue
+					}
+					sameAnswer(t, kind.String(), got, want)
+				}
+			}
+		}
+	}
+	st := c.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("degenerate cache stats after mixed rounds: %+v", st)
+	}
+}
+
+// TestCachedSourceAttribution: the Source field reports which layer
+// answered — scan on the first read, cache on the second, negative
+// filter for an absent pattern long enough to carry a gram.
+func TestCachedSourceAttribution(t *testing.T) {
+	text := bytes.Repeat([]byte("aaccacaacaggtacca"), 64)
+	_, c := cachedPair(t, text, CacheConfig{NegFilterQ: 6})
+	ctx := context.Background()
+	p := []byte("accacaacag")
+
+	res, err := c.Query(ctx, p, QueryOptions{Kind: KindFindAll})
+	if err != nil || res.Source != SourceScan || !res.Found {
+		t.Fatalf("first read: %+v, %v; want SourceScan found", res, err)
+	}
+	res, err = c.Query(ctx, p, QueryOptions{Kind: KindFindAll})
+	if err != nil || res.Source != SourceCache || !res.Found {
+		t.Fatalf("second read: %+v, %v; want SourceCache found", res, err)
+	}
+	if res.NodesChecked != 0 {
+		t.Fatalf("cached answer NodesChecked = %d, want 0", res.NodesChecked)
+	}
+	// The z-run contains q-grams absent from the DNA text: definitive reject.
+	res, err = c.Query(ctx, []byte("zzzzzzzz"), QueryOptions{Kind: KindContains})
+	if err != nil || res.Source != SourceNegFilter || res.Found || res.Position != -1 {
+		t.Fatalf("absent read: %+v, %v; want SourceNegFilter absent", res, err)
+	}
+	st := c.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.NegRejects != 1 {
+		t.Fatalf("stats = %+v, want hits/misses/negRejects 1/1/1", st)
+	}
+	if st.NegFilterQ != 6 || st.NegFilterBytes == 0 {
+		t.Fatalf("filter stats = %+v", st)
+	}
+}
+
+// TestCachedNoCacheBypass: NoCache skips both layers and never
+// populates the cache.
+func TestCachedNoCacheBypass(t *testing.T) {
+	text := bytes.Repeat([]byte("aaccacaacaggtacca"), 8)
+	_, c := cachedPair(t, text, CacheConfig{})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		res, err := c.Query(ctx, []byte("acca"), QueryOptions{Kind: KindFindAll, NoCache: true})
+		if err != nil || res.Source != SourceScan {
+			t.Fatalf("NoCache read %d: %+v, %v", i, res, err)
+		}
+	}
+	if st := c.CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("NoCache touched the cache: %+v", st)
+	}
+}
+
+// TestCachedInvalidate: bumping the epoch makes every entry stale; the
+// next read scans again and re-primes.
+func TestCachedInvalidate(t *testing.T) {
+	text := bytes.Repeat([]byte("aaccacaacaggtacca"), 8)
+	_, c := cachedPair(t, text, CacheConfig{})
+	ctx := context.Background()
+	p := []byte("acca")
+	opts := QueryOptions{Kind: KindFindAll}
+	if res, _ := c.Query(ctx, p, opts); res.Source != SourceScan {
+		t.Fatal("expected initial scan")
+	}
+	if res, _ := c.Query(ctx, p, opts); res.Source != SourceCache {
+		t.Fatal("expected hit before invalidation")
+	}
+	c.Invalidate()
+	res, err := c.Query(ctx, p, opts)
+	if err != nil || res.Source != SourceScan {
+		t.Fatalf("post-invalidate read: %+v, %v; want fresh scan", res, err)
+	}
+	if res, _ := c.Query(ctx, p, opts); res.Source != SourceCache {
+		t.Fatal("expected re-primed hit after invalidation")
+	}
+	if st := c.CacheStats(); st.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", st.Epoch)
+	}
+}
+
+// TestCachedErrorPropagation: per-call errors pass through uncached —
+// overlong patterns keep their sentinel, cancelled contexts abort.
+func TestCachedErrorPropagation(t *testing.T) {
+	text := bytes.Repeat([]byte("aaccacaacagg"), 8)
+	_, c := cachedPair(t, text, CacheConfig{}) // sharded maxPattern 16
+	ctx := context.Background()
+	long := bytes.Repeat([]byte("a"), 17)
+	for _, kind := range []QueryKind{KindContains, KindFindAll, KindCount} {
+		if _, err := c.Query(ctx, long, QueryOptions{Kind: kind}); !errors.Is(err, ErrPatternTooLong) {
+			t.Fatalf("kind %v: err = %v, want ErrPatternTooLong", kind, err)
+		}
+	}
+	if _, err := c.Query(ctx, []byte("a"), QueryOptions{Kind: QueryKind(42)}); !errors.Is(err, ErrBadQueryKind) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.Query(cctx, []byte("ac"), QueryOptions{Kind: KindFindAll}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled: %v", err)
+	}
+	if st := c.CacheStats(); st.Entries != 0 {
+		t.Fatalf("errors were cached: %+v", st)
+	}
+}
+
+// TestCachedBatchEquivalence: a cache-aware batch answers identically
+// to the raw engine's batch — including per-item overlong errors and
+// empty patterns — whether entries are cold, warm, or negative.
+func TestCachedBatchEquivalence(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacaggtacca", 16))
+	raw, c := cachedPair(t, text, CacheConfig{})
+	ctx := context.Background()
+	patterns := [][]byte{
+		[]byte("ac"), []byte("acca"), []byte("zzzz"), {}, bytes.Repeat([]byte("a"), 17),
+		[]byte("ac"), // in-batch duplicate
+	}
+	for round := 0; round < 3; round++ {
+		want, werr := raw.QueryBatch(ctx, patterns, BatchOptions{Limit: 5})
+		got, gerr := c.QueryBatch(ctx, patterns, BatchOptions{Limit: 5})
+		if werr != nil || gerr != nil {
+			t.Fatalf("round %d: errs %v / %v", round, gerr, werr)
+		}
+		for i := range patterns {
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("round %d item %d: Err %v vs %v", round, i, got[i].Err, want[i].Err)
+			}
+			if want[i].Err != nil {
+				if !errors.Is(got[i].Err, ErrPatternTooLong) {
+					t.Fatalf("round %d item %d: Err = %v", round, i, got[i].Err)
+				}
+				continue
+			}
+			sameAnswer(t, "batch", got[i], want[i])
+		}
+	}
+	if st := c.CacheStats(); st.Hits == 0 {
+		t.Fatalf("warm batch rounds produced no hits: %+v", st)
+	}
+}
+
+// TestCachedConcurrent hammers one CachedQuerier from many goroutines
+// (run under -race) and differentially checks every answer against an
+// uncached twin.
+func TestCachedConcurrent(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacaggtacca", 64))
+	raw, c := cachedPair(t, text, CacheConfig{MaxBytes: 1 << 16, Shards: 4})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				var p []byte
+				if rng.Intn(2) == 0 {
+					l := 1 + rng.Intn(12)
+					off := rng.Intn(len(text) - l)
+					p = text[off : off+l]
+				} else {
+					p = make([]byte, 8+rng.Intn(8))
+					for j := range p {
+						p[j] = "acgt"[rng.Intn(4)]
+					}
+				}
+				kind := QueryKind(rng.Intn(4))
+				opts := QueryOptions{Kind: kind, Limit: rng.Intn(4)}
+				got, gerr := c.Query(ctx, p, opts)
+				want, werr := raw.Query(ctx, p, opts)
+				if gerr != nil || werr != nil {
+					errc <- gerr
+					return
+				}
+				if got.Found != want.Found || got.Position != want.Position ||
+					got.Count != want.Count || got.Truncated != want.Truncated {
+					errc <- errors.New("cached answer diverged under concurrency")
+					return
+				}
+				if rng.Intn(50) == 0 {
+					c.Invalidate()
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCachedCapabilities: the decorator exposes the wrapped index via
+// Unwrap and delegates Len; the negative filter build fails loudly on
+// a querier with no Text.
+func TestCachedCapabilities(t *testing.T) {
+	text := bytes.Repeat([]byte("aaccacaacagg"), 8)
+	sh, c := cachedPair(t, text, CacheConfig{})
+	if c.Unwrap() != sh {
+		t.Fatal("Unwrap did not return the wrapped querier")
+	}
+	if c.Len() != sh.Len() {
+		t.Fatalf("Len = %d, want %d", c.Len(), sh.Len())
+	}
+	// An opaque querier (no Text) cannot host the filter...
+	if _, err := Cached(opaqueQuerier{c}, CacheConfig{}); err == nil {
+		t.Fatal("expected error building a filter without Text")
+	}
+	// ...unless the filter is disabled.
+	if _, err := Cached(opaqueQuerier{c}, CacheConfig{DisableNegFilter: true}); err != nil {
+		t.Fatalf("DisableNegFilter wrap: %v", err)
+	}
+	// And a texter behind an Unwrap chain is discovered through it.
+	if nested, err := Cached(c, CacheConfig{}); err != nil || nested == nil {
+		t.Fatalf("nested wrap: %v", err)
+	}
+}
+
+// opaqueQuerier hides every optional capability.
+type opaqueQuerier struct{ inner Querier }
+
+func (o opaqueQuerier) Query(ctx context.Context, p []byte, opts QueryOptions) (QueryResult, error) {
+	return o.inner.Query(ctx, p, opts)
+}
+
+func (o opaqueQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchOptions) ([]QueryResult, error) {
+	return o.inner.QueryBatch(ctx, patterns, opts)
+}
+
+func (o opaqueQuerier) Len() int { return o.inner.Len() }

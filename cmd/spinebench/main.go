@@ -31,6 +31,14 @@
 //
 //	spinebench -scan -scan-seq eco -divide 3 -scan-out BENCH_scan.json
 //
+// With -cache it benchmarks the serving cache layer in-process: a
+// Zipf(s=1.1) hot-pattern stream against the raw sharded index versus
+// the Cached decorator, plus absent-pattern p50 latency with and
+// without the q-gram negative filter, every cached answer
+// cross-checked against the raw index:
+//
+//	spinebench -cache -cache-seq eco -divide 10 -cache-out BENCH_cache.json
+//
 // At -divide 1 the corpus matches the paper's sequence lengths (eco 3.5M,
 // cel 15.5M, hc21 28.5M, hc19 57.5M characters); expect multi-hour runs
 // for the disk experiments with -sync.
@@ -46,6 +54,7 @@ import (
 	"time"
 
 	"github.com/spine-index/spine/internal/bench"
+	"github.com/spine-index/spine/internal/bench/cachebench"
 	"github.com/spine-index/spine/internal/pager"
 	"github.com/spine-index/spine/internal/seqgen"
 )
@@ -75,8 +84,21 @@ func main() {
 		scanSeq    = flag.String("scan-seq", "eco", "scan mode: suite sequence to index")
 		scanRounds = flag.Int("scan-rounds", 5, "scan mode: measured rounds per mode")
 		scanOut    = flag.String("scan-out", "", "scan mode: write the JSON comparison report to this file")
+
+		cacheMode = flag.Bool("cache", false, "benchmark the serving cache + negative filter in-process")
+		cacheSeq  = flag.String("cache-seq", "eco", "cache mode: suite sequence to index")
+		cacheN    = flag.Int("cache-n", 20000, "cache mode: Zipf requests per mode")
+		cacheZipf = flag.Float64("cache-zipf", 1.1, "cache mode: Zipf exponent of the hot-pattern stream")
+		cacheOut  = flag.String("cache-out", "", "cache mode: write the JSON comparison report to this file")
 	)
 	flag.Parse()
+	if *cacheMode {
+		if err := runCacheBench(*cacheSeq, *divide, *cacheN, *cacheZipf, *cacheOut); err != nil {
+			fmt.Fprintln(os.Stderr, "spinebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scanMode {
 		if err := runScanBench(*scanSeq, *divide, *scanRounds, *scanOut); err != nil {
 			fmt.Fprintln(os.Stderr, "spinebench:", err)
@@ -197,6 +219,33 @@ func runScanBench(seqName string, divide, rounds int, outPath string) error {
 	table, report, err := bench.RunScanBench(c, bench.ScanBenchConfig{
 		Sequence: seqName,
 		Rounds:   rounds,
+	})
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCacheBench compares the raw sharded index against the serving
+// cache (and the negative filter on absent patterns) over the given
+// suite sequence and prints the comparison table; with outPath the
+// JSON report (BENCH_cache.json format) is written too.
+func runCacheBench(seqName string, divide, requests int, zipfS float64, outPath string) error {
+	c := bench.NewCorpus(divide)
+	table, report, err := cachebench.RunCacheBench(c, cachebench.CacheBenchConfig{
+		Sequence: seqName,
+		Requests: requests,
+		ZipfS:    zipfS,
 	})
 	if err != nil {
 		return err

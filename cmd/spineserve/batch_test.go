@@ -23,7 +23,7 @@ type batchResponse struct {
 
 // batchServer serves a sharded index (maxPattern 8) so per-item
 // overlong-pattern failures are reachable through the engine.
-func batchServer(t *testing.T, cfg serverConfig) (*httptest.Server, spine.Querier) {
+func batchServer(t *testing.T, cfg serverConfig) (*httptest.Server, *spine.Sharded) {
 	t.Helper()
 	text := []byte(strings.Repeat("aaccacaacaggtacc", 16))
 	sh, err := spine.BuildSharded(text, 64, 8, 2)
@@ -73,8 +73,9 @@ func TestBatchEndpoint(t *testing.T) {
 		if i == 4 {
 			// The overlong item fails alone.
 			it := out.Results[4]
-			if it.Status != "error" || !strings.Contains(it.Error, "pattern too long") {
-				t.Fatalf("overlong item = %+v, want status error mentioning pattern too long", it)
+			if it.Status != "error" || it.Error == nil ||
+				it.Error.Code != codePatternTooLong || !strings.Contains(it.Error.Message, "pattern too long") {
+				t.Fatalf("overlong item = %+v, want status error with pattern_too_long error object", it)
 			}
 			continue
 		}
@@ -172,8 +173,9 @@ func TestBatchValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
-	if out.Results[0].Status != "error" || !strings.Contains(out.Results[0].Error, "pattern too long") {
-		t.Fatalf("capped item = %+v, want per-item pattern-too-long", out.Results[0])
+	if it := out.Results[0]; it.Status != "error" || it.Error == nil ||
+		it.Error.Code != codePatternTooLong || !strings.Contains(it.Error.Message, "pattern too long") {
+		t.Fatalf("capped item = %+v, want per-item pattern_too_long error object", out.Results[0])
 	}
 	if out.Results[1].Status != "ok" {
 		t.Fatalf("neighbor item = %+v, want ok", out.Results[1])

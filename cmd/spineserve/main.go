@@ -1,29 +1,40 @@
 // Command spineserve is a production query service over a SPINE index —
 // the "integration with database engines" angle of §1 grown into a real
 // serving layer: any index flavor behind the unified spine.Querier API,
+// fronted by a sharded result cache and a q-gram negative filter, with
 // per-request deadlines that abort backbone scans mid-flight, load
 // shedding, panic recovery, structured request logs, /metrics telemetry
-// (latency histograms, nodes-checked aggregates), and graceful drain on
-// SIGINT/SIGTERM.
+// (latency histograms, nodes-checked aggregates, cache hit rates), and
+// graceful drain on SIGINT/SIGTERM.
 //
 //	spineserve -fasta genome.fa -addr :8080
 //	spineserve -synthetic eco -divide 100 -mode sharded -addr :8080
+//	spineserve -synthetic eco -cache-bytes 134217728 -neg-filter=true
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON; query endpoints live under /v1/, and the
+// unversioned paths remain as deprecated aliases answering with a
+// Deprecation header and a successor-version Link). Errors share one
+// shape: {"error": {"code": "...", "message": "..."}}.
 //
-//	GET  /healthz                        liveness + indexed length
-//	GET  /metrics                        telemetry snapshot (latency histograms, query stats)
-//	GET  /metrics?format=prom            Prometheus text exposition of the same registry
-//	GET  /stats                          index structure statistics
-//	GET  /contains?q=acgt                substring test
-//	GET  /find?q=acgt                    first occurrence
-//	GET  /findall?q=acgt&limit=100       occurrences (server-capped; "truncated" flags cut-off)
-//	GET  /count?q=acgt                   occurrence count
-//	GET  /approx?q=acgt&k=1&model=hamming  approximate occurrences (index mode only)
-//	POST /match?minlen=20                maximal matches vs the body sequence
-//	POST /batch                          multi-pattern batch (JSON array or {"patterns":[...],"limit":N})
-//	GET  /debug/slowlog                  recent slow queries with per-stage breakdowns
-//	GET  /debug/vars, /debug/pprof/*     expvar + pprof
+//	GET  /healthz                          liveness + indexed length
+//	GET  /metrics                          telemetry snapshot (latency histograms, query + cache stats)
+//	GET  /metrics?format=prom              Prometheus text exposition of the same registry
+//	GET  /stats                            index structure statistics
+//	GET  /v1/contains?q=acgt               substring test
+//	GET  /v1/find?q=acgt                   first occurrence
+//	GET  /v1/findall?q=acgt&limit=100      occurrences (server-capped; "truncated" flags cut-off)
+//	GET  /v1/count?q=acgt                  occurrence count
+//	GET  /v1/approx?q=acgt&k=1&model=hamming  approximate occurrences (index mode only)
+//	POST /v1/match?minlen=20               maximal matches vs the body sequence
+//	POST /v1/batch                         multi-pattern batch (JSON array or {"patterns":[...],"limit":N})
+//	GET  /debug/slowlog                    recent slow queries with per-stage breakdowns
+//	GET  /debug/vars, /debug/pprof/*       expvar + pprof
+//
+// The cache layer (-cache-bytes, 0 disables) serves repeated queries
+// without touching the index and invalidates by epoch; the negative
+// filter (-neg-filter) proves most absent patterns absent in O(|P|).
+// Hit/miss/reject rates surface as spine_cache_* and spine_negfilter_*
+// Prometheus families.
 //
 // Overload returns 429 with Retry-After; queries past -query-timeout
 // return 504 after aborting the index scan. Query requests carry a
@@ -61,6 +72,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "shard build workers, 0 = one per shard (sharded mode)")
 		addr       = flag.String("addr", ":8080", "listen address")
 
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result cache byte budget; 0 disables the cache layer")
+		negFilter  = flag.Bool("neg-filter", true, "build a q-gram negative filter for O(|P|) absent-pattern answers (cache layer only)")
+
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-request index work deadline")
 		maxInFlight  = flag.Int("max-inflight", 64, "max concurrent query requests before shedding 429s; 0 = unlimited")
 		findAllCap   = flag.Int("findall-cap", 10000, "hard cap on /findall result size")
@@ -76,6 +90,11 @@ func main() {
 	flag.Parse()
 
 	q, err := buildQuerier(*fasta, *synthetic, *divide, *mode, *shardSize, *maxPattern, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spineserve:", err)
+		os.Exit(1)
+	}
+	q, err = wrapCache(q, *cacheBytes, *negFilter)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spineserve:", err)
 		os.Exit(1)
@@ -145,6 +164,19 @@ func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, drai
 		return fmt.Errorf("drain incomplete after %v: %w", drainTimeout, err)
 	}
 	return nil
+}
+
+// wrapCache fronts the index with the serving cache layer: the sharded
+// result cache plus (optionally) the q-gram negative filter. cacheBytes
+// <= 0 serves the raw index.
+func wrapCache(q spine.Querier, cacheBytes int64, negFilter bool) (spine.Querier, error) {
+	if cacheBytes <= 0 {
+		return q, nil
+	}
+	return spine.Cached(q, spine.CacheConfig{
+		MaxBytes:         cacheBytes,
+		DisableNegFilter: !negFilter,
+	})
 }
 
 // buildQuerier loads the text and builds the requested index flavor

@@ -53,7 +53,7 @@ func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.
 			if rec := recover(); rec != nil {
 				s.cfg.logger.Printf("panic endpoint=%s err=%v\n%s", name, rec, debug.Stack())
 				if sr.status == 0 {
-					http.Error(sr, "internal server error", http.StatusInternalServerError)
+					writeAPIError(sr, http.StatusInternalServerError, codeInternal, "internal server error")
 				}
 			}
 			if sr.status == 0 {
@@ -73,7 +73,7 @@ func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.
 			default:
 				// Saturated: shed load instead of queueing unboundedly.
 				sr.Header().Set("Retry-After", "1")
-				http.Error(sr, "server saturated, retry later", http.StatusTooManyRequests)
+				writeAPIError(sr, http.StatusTooManyRequests, codeSaturated, "server saturated, retry later")
 				return
 			}
 		}

@@ -65,8 +65,9 @@ func defaultConfig() serverConfig {
 
 // server wraps any spine.Querier with instrumented, hardened HTTP
 // handlers. Optional capabilities (stats, maximal matching, approximate
-// search) are discovered by interface assertion, so the same server
-// fronts reference, compact and sharded indexes.
+// search, cache counters) are discovered by interface assertion —
+// descending through decorator Unwrap chains — so the same server
+// fronts reference, compact and sharded indexes, cached or not.
 type server struct {
 	q       spine.Querier
 	reg     *telemetry.Registry
@@ -74,6 +75,10 @@ type server struct {
 	sem     chan struct{} // concurrency limiter; nil when disabled
 	sampler *trace.Sampler
 	slowlog *trace.SlowLog // nil when the threshold disables it
+	// hasCache gates the per-endpoint hit/miss attribution: without a
+	// Cached querier in the chain every result is a scan and counting
+	// "misses" would be noise.
+	hasCache bool
 }
 
 // Optional capabilities beyond the Querier surface.
@@ -87,7 +92,27 @@ type (
 	approxer interface {
 		FindAllWithin(p []byte, k int, model spine.Distance) []int
 	}
+	cacheStatser interface {
+		CacheStats() spine.CacheStats
+	}
 )
+
+// capability resolves an optional interface on q, descending through
+// decorator Unwrap chains (the result cache wraps the index; the
+// index's capabilities must stay visible through it).
+func capability[T any](q spine.Querier) (T, bool) {
+	for {
+		if t, ok := q.(T); ok {
+			return t, true
+		}
+		u, ok := q.(interface{ Unwrap() spine.Querier })
+		if !ok {
+			var zero T
+			return zero, false
+		}
+		q = u.Unwrap()
+	}
+}
 
 func newQueryServer(q spine.Querier, cfg serverConfig) *server {
 	if cfg.logger == nil {
@@ -101,26 +126,55 @@ func newQueryServer(q spine.Querier, cfg serverConfig) *server {
 	if cfg.slowlogThreshold > 0 {
 		s.slowlog = trace.NewSlowLog(cfg.slowlogSize, cfg.slowlogThreshold)
 	}
+	if cs, ok := capability[cacheStatser](q); ok {
+		s.hasCache = true
+		s.reg.SetCacheSource(func() telemetry.CacheSnapshot {
+			st := cs.CacheStats()
+			return telemetry.CacheSnapshot{
+				Hits:           st.Hits,
+				Misses:         st.Misses,
+				NegRejects:     st.NegRejects,
+				NegFalsePos:    st.NegFalsePos,
+				Entries:        st.Entries,
+				Bytes:          st.Bytes,
+				Evictions:      st.Evictions,
+				Epoch:          st.Epoch,
+				NegFilterQ:     st.NegFilterQ,
+				NegFilterBytes: st.NegFilterBytes,
+			}
+		})
+	}
 	s.reg.PublishExpvar("spine")
 	return s
 }
 
 // mux wires every endpoint through the middleware stack. Query
-// endpoints pass the concurrency limiter; operational endpoints
-// (health, metrics, debug) bypass it so they stay reachable under
-// saturation.
+// endpoints live under /v1/ and pass the concurrency limiter; each
+// also keeps its original unversioned path as a deprecated alias
+// (same handler, same metrics, plus Deprecation/Link headers).
+// Operational endpoints (health, metrics, debug) stay unversioned and
+// bypass the limiter so they remain reachable under saturation.
 func (s *server) mux() http.Handler {
 	m := http.NewServeMux()
 	m.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
 	m.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
 	m.Handle("GET /stats", s.instrument("stats", false, s.handleStats))
-	m.Handle("GET /contains", s.instrument("contains", true, s.handleContains))
-	m.Handle("GET /find", s.instrument("find", true, s.handleFind))
-	m.Handle("GET /findall", s.instrument("findall", true, s.handleFindAll))
-	m.Handle("GET /count", s.instrument("count", true, s.handleCount))
-	m.Handle("GET /approx", s.instrument("approx", true, s.handleApprox))
-	m.Handle("POST /match", s.instrument("match", true, s.handleMatch))
-	m.Handle("POST /batch", s.instrument("batch", true, s.handleBatch))
+	for _, ep := range []struct {
+		method, name string
+		h            http.HandlerFunc
+	}{
+		{"GET", "contains", s.handleContains},
+		{"GET", "find", s.handleFind},
+		{"GET", "findall", s.handleFindAll},
+		{"GET", "count", s.handleCount},
+		{"GET", "approx", s.handleApprox},
+		{"POST", "match", s.handleMatch},
+		{"POST", "batch", s.handleBatch},
+	} {
+		h := s.instrument(ep.name, true, ep.h)
+		m.Handle(ep.method+" /v1/"+ep.name, h)
+		m.Handle(ep.method+" /"+ep.name, deprecatedAlias(ep.name, h))
+	}
 	m.Handle("GET /debug/slowlog", s.instrument("slowlog", false, s.handleSlowlog))
 	m.Handle("GET /debug/vars", expvar.Handler())
 	m.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -131,6 +185,16 @@ func (s *server) mux() http.Handler {
 	return m
 }
 
+// deprecatedAlias serves an unversioned query path with deprecation
+// headers (RFC 8594-style) pointing clients at the /v1/ successor.
+func deprecatedAlias(name string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/`+name+`>; rel="successor-version"`)
+		h.ServeHTTP(w, r)
+	})
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -139,13 +203,42 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// apiError is the unified error object every endpoint returns:
+// {"error": {"code": "...", "message": "..."}}. code is a stable
+// machine-readable slug; message is human-readable detail.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Stable error codes of the HTTP surface.
+const (
+	codeBadRequest     = "bad_request"
+	codePatternTooLong = "pattern_too_long"
+	codeTooLarge       = "too_large"
+	codeTimeout        = "timeout"
+	codeCanceled       = "canceled"
+	codeUnsupported    = "unsupported"
+	codeSaturated      = "too_many_requests"
+	codeInternal       = "internal"
+)
+
+// writeAPIError emits the unified error envelope with the given status.
+func writeAPIError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
 // statusFor maps a query error to its HTTP status: client errors
-// (oversized patterns) are 4xx, expired deadlines 504, everything else
-// 500. A cancelled context means the client went away — 503 records the
-// abort without pretending the work finished.
+// (oversized patterns, malformed batches) are 4xx, expired deadlines
+// 504, everything else 500. A cancelled context means the client went
+// away — 503 records the abort without pretending the work finished.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, spine.ErrPatternTooLong), errors.Is(err, spine.ErrBadBatch):
+	case errors.Is(err, spine.ErrPatternTooLong),
+		errors.Is(err, spine.ErrBadBatch),
+		errors.Is(err, spine.ErrBadQueryKind):
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -156,15 +249,31 @@ func statusFor(err error) int {
 	}
 }
 
+// codeFor maps a query error to its stable error code.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, spine.ErrPatternTooLong):
+		return codePatternTooLong
+	case errors.Is(err, spine.ErrBadBatch), errors.Is(err, spine.ErrBadQueryKind):
+		return codeBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeTimeout
+	case errors.Is(err, context.Canceled):
+		return codeCanceled
+	default:
+		return codeInternal
+	}
+}
+
 func (s *server) writeError(w http.ResponseWriter, err error) {
-	http.Error(w, err.Error(), statusFor(err))
+	writeAPIError(w, statusFor(err), codeFor(err), err.Error())
 }
 
 // pattern extracts and validates the q parameter.
 func (s *server) pattern(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "missing q parameter")
 		return nil, false
 	}
 	if len(q) > s.cfg.maxPatternLen {
@@ -185,6 +294,22 @@ func (s *server) observePattern(r *http.Request, p []byte) {
 	trace.FromContext(r.Context()).SetPattern(p)
 	runtimepprof.SetGoroutineLabels(runtimepprof.WithLabels(r.Context(),
 		runtimepprof.Labels("plen_bucket", plenBucket(len(p)))))
+}
+
+// observeSource attributes a result's provenance to the endpoint: a
+// cache hit or negative-filter rejection counts as a cache hit (the
+// request did no index work), a scan as a miss. No-op on servers
+// running without a cache.
+func (s *server) observeSource(name string, src spine.ResultSource) {
+	if !s.hasCache {
+		return
+	}
+	ep := s.reg.Endpoint(name)
+	if src == spine.SourceScan {
+		ep.CacheMisses.Inc()
+	} else {
+		ep.CacheHits.Inc()
+	}
 }
 
 // plenBucket buckets a pattern length for pprof labels.
@@ -233,7 +358,7 @@ func (s *server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st, ok := s.q.(statser)
+	st, ok := capability[statser](s.q)
 	if !ok {
 		writeJSON(w, map[string]any{"length": s.q.Len()})
 		return
@@ -255,12 +380,14 @@ func (s *server) handleContains(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observePattern(r, p)
-	found, err := s.q.ContainsContext(r.Context(), p)
+	res, err := s.q.Query(r.Context(), p, spine.QueryOptions{Kind: spine.KindContains})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"contains": found})
+	s.observeSource("contains", res.Source)
+	s.reg.Query.NodesChecked.Add(res.NodesChecked)
+	writeJSON(w, map[string]any{"contains": res.Found})
 }
 
 func (s *server) handleFind(w http.ResponseWriter, r *http.Request) {
@@ -269,12 +396,14 @@ func (s *server) handleFind(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observePattern(r, p)
-	pos, err := s.q.FindContext(r.Context(), p)
+	res, err := s.q.Query(r.Context(), p, spine.QueryOptions{Kind: spine.KindFind})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"position": pos})
+	s.observeSource("find", res.Source)
+	s.reg.Query.NodesChecked.Add(res.NodesChecked)
+	writeJSON(w, map[string]any{"position": res.Position})
 }
 
 func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
@@ -286,7 +415,7 @@ func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			http.Error(w, "bad limit", http.StatusBadRequest)
+			writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad limit")
 			return
 		}
 		if n < limit {
@@ -294,7 +423,7 @@ func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.observePattern(r, p)
-	res, err := s.q.FindAllLimitContext(r.Context(), p, limit)
+	res, err := s.q.Query(r.Context(), p, spine.QueryOptions{Kind: spine.KindFindAll, Limit: limit})
 	s.reg.Query.NodesChecked.Add(res.NodesChecked)
 	tr := trace.FromContext(r.Context())
 	tr.SetNodesChecked(res.NodesChecked)
@@ -303,6 +432,7 @@ func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	s.observeSource("findall", res.Source)
 	s.reg.Query.Occurrences.Add(int64(len(res.Positions)))
 	if res.Truncated {
 		s.reg.Query.Truncated.Inc()
@@ -320,19 +450,22 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observePattern(r, p)
-	n, err := s.q.CountContext(r.Context(), p)
+	res, err := s.q.Query(r.Context(), p, spine.QueryOptions{Kind: spine.KindCount})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.reg.Query.Occurrences.Add(int64(n))
-	writeJSON(w, map[string]any{"count": n})
+	s.observeSource("count", res.Source)
+	s.reg.Query.NodesChecked.Add(res.NodesChecked)
+	s.reg.Query.Occurrences.Add(int64(res.Count))
+	writeJSON(w, map[string]any{"count": res.Count})
 }
 
 func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
-	ap, capOK := s.q.(approxer)
+	ap, capOK := capability[approxer](s.q)
 	if !capOK {
-		http.Error(w, "approximate search is not supported by this index type", http.StatusNotImplemented)
+		writeAPIError(w, http.StatusNotImplemented, codeUnsupported,
+			"approximate search is not supported by this index type")
 		return
 	}
 	p, ok := s.pattern(w, r)
@@ -343,7 +476,7 @@ func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 || n > 3 {
-			http.Error(w, "bad k (0..3)", http.StatusBadRequest)
+			writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad k (0..3)")
 			return
 		}
 		k = n
@@ -354,7 +487,7 @@ func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
 	case "edit":
 		model = spine.Edit
 	default:
-		http.Error(w, "bad model (hamming|edit)", http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad model (hamming|edit)")
 		return
 	}
 	s.observePattern(r, p)
@@ -364,16 +497,17 @@ func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	mt, capOK := s.q.(matcher)
+	mt, capOK := capability[matcher](s.q)
 	if !capOK {
-		http.Error(w, "maximal matching is not supported by this index type", http.StatusNotImplemented)
+		writeAPIError(w, http.StatusNotImplemented, codeUnsupported,
+			"maximal matching is not supported by this index type")
 		return
 	}
 	minLen := 20
 	if v := r.URL.Query().Get("minlen"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			http.Error(w, "bad minlen", http.StatusBadRequest)
+			writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad minlen")
 			return
 		}
 		minLen = n
@@ -382,14 +516,14 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			http.Error(w, "query sequence too large", http.StatusRequestEntityTooLarge)
+			writeAPIError(w, http.StatusRequestEntityTooLarge, codeTooLarge, "query sequence too large")
 			return
 		}
-		http.Error(w, "reading body", http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "reading body")
 		return
 	}
 	if len(body) == 0 {
-		http.Error(w, "empty query sequence", http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "empty query sequence")
 		return
 	}
 	s.observePattern(r, body)
@@ -411,14 +545,15 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 
 // batchItem is one per-pattern entry in a /batch response. Items keep
 // their request order; status distinguishes answered items ("ok") from
-// individually rejected ones ("error", with the reason in error).
+// individually rejected ones ("error", with the unified error object
+// in error).
 type batchItem struct {
-	Status       string `json:"status"`
-	Count        int    `json:"count"`
-	Positions    []int  `json:"positions"`
-	Truncated    bool   `json:"truncated"`
-	NodesChecked int64  `json:"nodesChecked"`
-	Error        string `json:"error,omitempty"`
+	Status       string    `json:"status"`
+	Count        int       `json:"count"`
+	Positions    []int     `json:"positions"`
+	Truncated    bool      `json:"truncated"`
+	NodesChecked int64     `json:"nodesChecked"`
+	Error        *apiError `json:"error,omitempty"`
 }
 
 // handleBatch answers a multi-pattern query with one engine batch: all
@@ -432,10 +567,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			http.Error(w, "batch body too large", http.StatusRequestEntityTooLarge)
+			writeAPIError(w, http.StatusRequestEntityTooLarge, codeTooLarge, "batch body too large")
 			return
 		}
-		http.Error(w, "reading body", http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "reading body")
 		return
 	}
 	var req struct {
@@ -449,20 +584,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		err = json.Unmarshal(trimmed, &req)
 	}
 	if err != nil {
-		http.Error(w, "bad batch body: "+err.Error(), http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad batch body: "+err.Error())
 		return
 	}
 	if len(req.Patterns) == 0 {
-		http.Error(w, "empty batch", http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "empty batch")
 		return
 	}
 	if len(req.Patterns) > s.cfg.maxBatchPatterns {
-		http.Error(w, fmt.Sprintf("batch of %d patterns exceeds the server's %d-pattern cap",
-			len(req.Patterns), s.cfg.maxBatchPatterns), http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("batch of %d patterns exceeds the server's %d-pattern cap",
+				len(req.Patterns), s.cfg.maxBatchPatterns))
 		return
 	}
 	if req.Limit < 0 {
-		http.Error(w, "bad limit", http.StatusBadRequest)
+		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad limit")
 		return
 	}
 	limit := s.cfg.findAllCap
@@ -480,8 +616,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, ps := range req.Patterns {
 		unique[ps] = struct{}{}
 		if len(ps) > s.cfg.maxPatternLen {
-			items[i] = batchItem{Status: "error", Error: fmt.Sprintf("%v: %d bytes exceeds the server's %d-byte cap",
-				spine.ErrPatternTooLong, len(ps), s.cfg.maxPatternLen)}
+			items[i] = batchItem{Status: "error", Error: &apiError{
+				Code: codePatternTooLong,
+				Message: fmt.Sprintf("%v: %d bytes exceeds the server's %d-byte cap",
+					spine.ErrPatternTooLong, len(ps), s.cfg.maxPatternLen),
+			}}
 			s.reg.Batch.RejectedItems.Inc()
 			continue
 		}
@@ -505,10 +644,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		i := fromEngine[k]
 		nodes += res.NodesChecked
 		if res.Err != nil {
-			items[i] = batchItem{Status: "error", Error: res.Err.Error()}
+			items[i] = batchItem{Status: "error", Error: &apiError{
+				Code:    codeFor(res.Err),
+				Message: res.Err.Error(),
+			}}
 			s.reg.Batch.RejectedItems.Inc()
 			continue
 		}
+		s.observeSource("batch", res.Source)
 		if res.Truncated {
 			s.reg.Query.Truncated.Inc()
 		}

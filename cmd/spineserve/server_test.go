@@ -28,20 +28,15 @@ func newBlockingQuerier() *blockingQuerier {
 	return &blockingQuerier{started: make(chan struct{}, 16), release: make(chan struct{})}
 }
 
-func (f *blockingQuerier) ContainsContext(ctx context.Context, p []byte) (bool, error) {
-	return true, ctx.Err()
-}
-
-func (f *blockingQuerier) FindContext(ctx context.Context, p []byte) (int, error) {
-	return 0, ctx.Err()
-}
-
-func (f *blockingQuerier) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
-	res, err := f.FindAllLimitContext(ctx, p, 0)
-	return res.Positions, err
-}
-
-func (f *blockingQuerier) FindAllLimitContext(ctx context.Context, p []byte, limit int) (spine.QueryResult, error) {
+// Query blocks on the FindAll path (the one the saturation tests
+// drive) and answers the cheap kinds immediately.
+func (f *blockingQuerier) Query(ctx context.Context, p []byte, opts spine.QueryOptions) (spine.QueryResult, error) {
+	switch opts.Kind {
+	case spine.KindContains, spine.KindFind:
+		return spine.QueryResult{Found: true, Position: 0}, ctx.Err()
+	case spine.KindCount:
+		return spine.QueryResult{Found: true, Position: -1, Count: 1}, ctx.Err()
+	}
 	if f.panicky {
 		panic("querier exploded")
 	}
@@ -54,17 +49,13 @@ func (f *blockingQuerier) FindAllLimitContext(ctx context.Context, p []byte, lim
 	case <-ctx.Done():
 		return spine.QueryResult{}, ctx.Err()
 	}
-	return spine.QueryResult{Positions: []int{0}, NodesChecked: 1}, nil
-}
-
-func (f *blockingQuerier) CountContext(ctx context.Context, p []byte) (int, error) {
-	return 1, ctx.Err()
+	return spine.QueryResult{Found: true, Position: 0, Count: 1, Positions: []int{0}, NodesChecked: 1}, nil
 }
 
 func (f *blockingQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts spine.BatchOptions) ([]spine.QueryResult, error) {
 	out := make([]spine.QueryResult, len(patterns))
 	for i, p := range patterns {
-		res, err := f.FindAllLimitContext(ctx, p, opts.Limit)
+		res, err := f.Query(ctx, p, spine.QueryOptions{Kind: spine.KindFindAll, Limit: opts.Limit})
 		if err != nil {
 			return nil, err
 		}

@@ -28,4 +28,8 @@ var (
 	// Limits slice whose length does not match the pattern count). A
 	// client error: 4xx.
 	ErrBadBatch = errors.New("spine: bad batch request")
+
+	// ErrBadQueryKind reports a QueryOptions.Kind outside the defined
+	// QueryKind values. A client error: 4xx.
+	ErrBadQueryKind = errors.New("spine: unknown query kind")
 )

@@ -48,7 +48,7 @@ func FuzzQueryBatch(f *testing.F) {
 			t.Fatalf("BuildSharded(%q): %v", text, err)
 		}
 		ctx := context.Background()
-		for name, q := range map[string]Querier{"index": idx, "compact": comp, "sharded": sh} {
+		for name, q := range map[string]legacyQuerier{"index": idx, "compact": comp, "sharded": sh} {
 			results, err := q.QueryBatch(ctx, patterns, BatchOptions{Limit: limit})
 			if err != nil {
 				t.Fatalf("%s: QueryBatch: %v", name, err)
@@ -76,6 +76,95 @@ func FuzzQueryBatch(f *testing.F) {
 					if got.Positions[j] != want.Positions[j] {
 						t.Fatalf("%s pattern %q: %v, want %v", name, p, got.Positions, want.Positions)
 					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzCacheEquivalence drives the serving cache from fuzz inputs: the
+// same query stream runs against a raw sharded index, a Cached wrapper
+// with the negative filter, and a Cached wrapper without it. All three
+// must agree on every semantic field — the negative filter may never
+// produce a false negative, and a warm cache entry must answer exactly
+// like the scan that primed it.
+//
+// `go test` runs the seed corpus; make check runs a 10s smoke.
+func FuzzCacheEquivalence(f *testing.F) {
+	f.Add([]byte("aaccacaacaggtacca"), []byte("ac\xffzzzz\xffac\xffcaacagg"), uint8(0))
+	f.Add([]byte("acgtacgtacgtacgt"), []byte("acgt\xffttttt\xffacgt"), uint8(2))
+	f.Add([]byte("aaaaaaaa"), []byte("\xffa\xffaaaaaaaaaaaaaaaaa"), uint8(1))
+	f.Fuzz(func(t *testing.T, rawText, rawPats []byte, rawLimit uint8) {
+		if len(rawText) == 0 || len(rawText) > 2000 || len(rawPats) > 512 {
+			return
+		}
+		text := fuzzDNA(rawText)
+		var patterns [][]byte
+		for _, seg := range bytes.Split(rawPats, []byte{0xFF}) {
+			if len(patterns) >= 12 {
+				break
+			}
+			if len(seg) > 32 {
+				seg = seg[:32]
+			}
+			patterns = append(patterns, fuzzPattern(seg))
+		}
+		limit := int(rawLimit % 8)
+		sh, err := BuildSharded(text, 16, 8, 2)
+		if err != nil {
+			t.Fatalf("BuildSharded(%q): %v", text, err)
+		}
+		cached, err := Cached(sh, CacheConfig{MaxBytes: 1 << 16, NegFilterQ: 4})
+		if err != nil {
+			t.Fatalf("Cached: %v", err)
+		}
+		plain, err := Cached(sh, CacheConfig{MaxBytes: 1 << 16, DisableNegFilter: true})
+		if err != nil {
+			t.Fatalf("Cached (no filter): %v", err)
+		}
+		ctx := context.Background()
+		// Two rounds so the second answers from warm cache entries.
+		for round := 0; round < 2; round++ {
+			for _, p := range patterns {
+				for kind := KindContains; kind <= KindCount; kind++ {
+					opts := QueryOptions{Kind: kind, Limit: limit}
+					want, werr := sh.Query(ctx, p, opts)
+					for name, q := range map[string]Querier{"negfilter": cached, "cacheonly": plain} {
+						got, gerr := q.Query(ctx, p, opts)
+						if (gerr == nil) != (werr == nil) {
+							t.Fatalf("%s %v %q: err %v vs raw %v", name, kind, p, gerr, werr)
+						}
+						if werr != nil {
+							if !errors.Is(gerr, ErrPatternTooLong) {
+								t.Fatalf("%s %v %q: err = %v", name, kind, p, gerr)
+							}
+							continue
+						}
+						if got.Found != want.Found || got.Position != want.Position ||
+							got.Count != want.Count || got.Truncated != want.Truncated ||
+							len(got.Positions) != len(want.Positions) {
+							t.Fatalf("%s %v %q round %d: got %+v, want %+v", name, kind, p, round, got, want)
+						}
+						for j := range want.Positions {
+							if got.Positions[j] != want.Positions[j] {
+								t.Fatalf("%s %v %q: positions %v, want %v", name, kind, p, got.Positions, want.Positions)
+							}
+						}
+					}
+				}
+			}
+		}
+		// Definitive check of the q-gram lemma: a negfilter reject means
+		// the pattern truly is absent from the text.
+		st := cached.CacheStats()
+		if st.NegRejects > 0 {
+			for _, p := range patterns {
+				res, err := cached.Query(ctx, p, QueryOptions{Kind: KindContains})
+				if err != nil {
+					continue
+				}
+				if res.Source == SourceNegFilter && bytes.Contains(text, p) {
+					t.Fatalf("false negative: filter rejected %q present in %q", p, text)
 				}
 			}
 		}

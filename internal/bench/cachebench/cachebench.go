@@ -1,0 +1,358 @@
+// Package cachebench benchmarks the serving cache layer. It lives in
+// its own package (not internal/bench) because it exercises the public
+// spine.Cached decorator, and the root package's own benchmarks import
+// internal/bench — importing spine from there would be a cycle.
+package cachebench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/spine-index/spine"
+	"github.com/spine-index/spine/internal/bench"
+)
+
+// Serving-cache comparison: the same Zipf-skewed FindAll workload
+// answered by the raw sharded index versus the Cached decorator, plus
+// an absent-pattern ladder measuring what the q-gram negative filter
+// buys over a full multi-shard descent. Every cached answer is
+// differentially cross-checked against the raw index after timing, so
+// the speedups never come from wrong answers.
+
+// CacheBenchConfig drives RunCacheBench over an in-process corpus build.
+type CacheBenchConfig struct {
+	Sequence    string  // corpus sequence name, e.g. "eco"
+	Shards      int     // shard count for the sharded build; <= 0 = 64
+	PatternLen  int     // hot-pattern length; <= 0 = 12
+	HotPatterns int     // Zipf support size; <= 0 = 256
+	AbsentLen   int     // absent-pattern length; <= 0 = PatternLen + 8
+	AbsentN     int     // absent patterns to measure; <= 0 = 128
+	Requests    int     // Zipf requests per mode; <= 0 = 20000
+	ZipfS       float64 // Zipf exponent; <= 1 = 1.1
+	Seed        int64   // workload seed; 0 = 1
+	CacheBytes  int64   // cache byte budget; <= 0 = 32 MiB
+}
+
+// CacheModeStats aggregates one mode's timing over the Zipf workload.
+type CacheModeStats struct {
+	Requests int     `json:"requests"`
+	TotalUs  int64   `json:"totalUs"`
+	QPS      float64 `json:"qps"`
+	P50Ns    int64   `json:"p50Ns"`
+	P99Ns    int64   `json:"p99Ns"`
+}
+
+// CacheReport is the machine-readable comparison (committed as
+// BENCH_cache.json).
+type CacheReport struct {
+	Sequence    string  `json:"sequence"`
+	Chars       int     `json:"chars"`
+	Shards      int     `json:"shards"`
+	ZipfS       float64 `json:"zipfS"`
+	HotPatterns int     `json:"hotPatterns"`
+	PatternLen  int     `json:"patternLen"`
+	CacheBytes  int64   `json:"cacheBytes"`
+	NegFilterQ  int     `json:"negFilterQ"`
+
+	// Zipf-skewed present-pattern throughput, uncached vs cached.
+	Uncached       CacheModeStats `json:"uncached"`
+	Cached         CacheModeStats `json:"cached"`
+	ThroughputGain float64        `json:"throughputGain"`
+
+	// Absent-pattern latency, full descent vs negative-filter rejection.
+	AbsentLen        int     `json:"absentLen"`
+	AbsentPatterns   int     `json:"absentPatterns"`
+	AbsentScanP50Ns  int64   `json:"absentScanP50Ns"`
+	AbsentNegP50Ns   int64   `json:"absentNegP50Ns"`
+	AbsentNegRejects int64   `json:"absentNegRejects"`
+	AbsentGain       float64 `json:"absentGain"`
+
+	// Final decorator counters over the whole run.
+	CacheStats spine.CacheStats `json:"cacheStats"`
+}
+
+// RunCacheBench builds the sequence as a sharded index, replays a
+// deterministic Zipf(s) stream of hot FindAll patterns against the raw
+// and cache-fronted queriers, then measures absent-pattern point
+// latency with and without the negative filter. Returns the human
+// table plus the JSON report.
+func RunCacheBench(c *bench.Corpus, cfg CacheBenchConfig) (bench.Table, CacheReport, error) {
+	text, err := c.Get(cfg.Sequence)
+	if err != nil {
+		return bench.Table{}, CacheReport{}, err
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 64
+	}
+	plen := cfg.PatternLen
+	if plen <= 0 {
+		plen = 12
+	}
+	hot := cfg.HotPatterns
+	if hot <= 0 {
+		hot = 256
+	}
+	absentLen := cfg.AbsentLen
+	if absentLen <= 0 {
+		absentLen = plen + 8
+	}
+	absentN := cfg.AbsentN
+	if absentN <= 0 {
+		absentN = 128
+	}
+	requests := cfg.Requests
+	if requests <= 0 {
+		requests = 20000
+	}
+	zipfS := cfg.ZipfS
+	if zipfS <= 1 {
+		zipfS = 1.1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = 32 << 20
+	}
+
+	shardSize := (len(text) + shards - 1) / shards
+	if shardSize < 1 {
+		shardSize = 1
+	}
+	raw, err := spine.BuildSharded(text, shardSize, 4*absentLen, 0)
+	if err != nil {
+		return bench.Table{}, CacheReport{}, err
+	}
+	cached, err := spine.Cached(raw, spine.CacheConfig{MaxBytes: cacheBytes})
+	if err != nil {
+		return bench.Table{}, CacheReport{}, err
+	}
+
+	patterns := bench.SamplePatterns(text, hot, plen)
+	if len(patterns) == 0 {
+		return bench.Table{}, CacheReport{}, fmt.Errorf("cache: cannot sample %d-char patterns from %s (%d chars)",
+			plen, cfg.Sequence, len(text))
+	}
+	// The request stream is drawn once and replayed identically against
+	// both modes: rank-0 of the Zipf is the hottest pattern.
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(patterns)-1))
+	stream := make([]int, requests)
+	for i := range stream {
+		stream[i] = int(zipf.Uint64())
+	}
+	absent := absentPatterns(text, absentN, absentLen, rng)
+
+	report := CacheReport{
+		Sequence:    cfg.Sequence,
+		Chars:       len(text),
+		Shards:      raw.Shards(),
+		ZipfS:       zipfS,
+		HotPatterns: len(patterns),
+		PatternLen:  plen,
+		CacheBytes:  cacheBytes,
+		NegFilterQ:  cached.CacheStats().NegFilterQ,
+		AbsentLen:   absentLen,
+	}
+
+	ctx := context.Background()
+	opts := spine.QueryOptions{Kind: spine.KindFindAll}
+	report.Uncached, err = runZipfStream(ctx, raw, patterns, stream, opts)
+	if err != nil {
+		return bench.Table{}, CacheReport{}, err
+	}
+	report.Cached, err = runZipfStream(ctx, cached, patterns, stream, opts)
+	if err != nil {
+		return bench.Table{}, CacheReport{}, err
+	}
+	if report.Cached.TotalUs > 0 {
+		report.ThroughputGain = report.Cached.QPS / report.Uncached.QPS
+	}
+
+	// Differential pass (untimed): every hot pattern's cached answer must
+	// match the raw index on all semantic fields.
+	for _, p := range patterns {
+		want, werr := raw.Query(ctx, p, opts)
+		got, gerr := cached.Query(ctx, p, opts)
+		if werr != nil || gerr != nil {
+			return bench.Table{}, CacheReport{}, fmt.Errorf("cache: differential query: %v / %v", gerr, werr)
+		}
+		if got.Found != want.Found || got.Count != want.Count || got.Position != want.Position ||
+			!equalPositions(got.Positions, want.Positions) {
+			return bench.Table{}, CacheReport{}, fmt.Errorf("cache: cached answer for %q diverged from the raw index", p)
+		}
+	}
+
+	// Absent-pattern point latency: the raw path pays a descent per
+	// shard; the filtered path answers from q-gram hashes alone. NoCache
+	// on the filtered side keeps the result cache out of the measurement.
+	report.AbsentPatterns = len(absent)
+	if len(absent) > 0 {
+		negBefore := cached.CacheStats().NegRejects
+		scanP50, err := absentP50(ctx, raw, absent, spine.QueryOptions{Kind: spine.KindContains})
+		if err != nil {
+			return bench.Table{}, CacheReport{}, err
+		}
+		negP50, err := absentP50(ctx, cached, absent, spine.QueryOptions{Kind: spine.KindContains})
+		if err != nil {
+			return bench.Table{}, CacheReport{}, err
+		}
+		report.AbsentScanP50Ns = scanP50
+		report.AbsentNegP50Ns = negP50
+		report.AbsentNegRejects = cached.CacheStats().NegRejects - negBefore
+		if negP50 > 0 {
+			report.AbsentGain = float64(scanP50) / float64(negP50)
+		}
+	}
+	report.CacheStats = cached.CacheStats()
+
+	t := bench.Table{
+		ID: "cache",
+		Title: fmt.Sprintf("serving cache on %s (%s chars, %d shards): Zipf(s=%.1f) over %d hot %d-mers, %d requests/mode",
+			cfg.Sequence, fmtCount(int64(len(text))), report.Shards, zipfS, len(patterns), plen, requests),
+		Header: []string{"mode", "requests", "total(µs)", "qps", "p50(ns)", "p99(ns)"},
+	}
+	for _, row := range []struct {
+		name string
+		st   CacheModeStats
+	}{{"uncached", report.Uncached}, {"cached", report.Cached}} {
+		t.Rows = append(t.Rows, []string{
+			row.name,
+			fmt.Sprintf("%d", row.st.Requests),
+			fmt.Sprintf("%d", row.st.TotalUs),
+			fmt.Sprintf("%.0f", row.st.QPS),
+			fmt.Sprintf("%d", row.st.P50Ns),
+			fmt.Sprintf("%d", row.st.P99Ns),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("throughput gain %.1fx; every hot pattern differentially cross-checked cached vs raw", report.ThroughputGain),
+		fmt.Sprintf("absent %d-mers (%d verified-absent): descent p50 %dns vs negfilter p50 %dns = %.1fx (q=%d, %d/%d probes rejected scan-free)",
+			absentLen, len(absent), report.AbsentScanP50Ns, report.AbsentNegP50Ns, report.AbsentGain,
+			report.NegFilterQ, report.AbsentNegRejects, absentPasses*len(absent)),
+		fmt.Sprintf("final counters: %d hits / %d misses / %d neg rejects / %d filter false positives",
+			report.CacheStats.Hits, report.CacheStats.Misses, report.CacheStats.NegRejects, report.CacheStats.NegFalsePos))
+	return t, report, nil
+}
+
+// runZipfStream replays the drawn pattern-rank stream against q and
+// times every request individually (nanosecond quantiles) as well as
+// end to end (throughput).
+func runZipfStream(ctx context.Context, q spine.Querier, patterns [][]byte, stream []int, opts spine.QueryOptions) (CacheModeStats, error) {
+	lat := make([]int64, len(stream))
+	start := time.Now()
+	for i, rank := range stream {
+		t0 := time.Now()
+		if _, err := q.Query(ctx, patterns[rank], opts); err != nil {
+			return CacheModeStats{}, err
+		}
+		lat[i] = time.Since(t0).Nanoseconds()
+	}
+	total := time.Since(start)
+	st := CacheModeStats{
+		Requests: len(stream),
+		TotalUs:  total.Microseconds(),
+	}
+	if total > 0 {
+		st.QPS = float64(len(stream)) / total.Seconds()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if n := len(lat); n > 0 {
+		st.P50Ns = lat[n/2]
+		st.P99Ns = lat[n*99/100]
+	}
+	return st, nil
+}
+
+// absentPasses repeats the absent ladder so the median is stable even
+// on sub-microsecond paths.
+const absentPasses = 5
+
+// absentP50 measures per-query latency over the absent set and returns
+// the median in nanoseconds.
+func absentP50(ctx context.Context, q spine.Querier, absent [][]byte, opts spine.QueryOptions) (int64, error) {
+	lat := make([]int64, 0, len(absent)*absentPasses)
+	for pass := 0; pass < absentPasses; pass++ {
+		for _, p := range absent {
+			t0 := time.Now()
+			res, err := q.Query(ctx, p, opts)
+			if err != nil {
+				return 0, err
+			}
+			if res.Found {
+				return 0, fmt.Errorf("cache: %q reported present but was sampled absent", p)
+			}
+			lat = append(lat, time.Since(t0).Nanoseconds())
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)/2], nil
+}
+
+// absentPatterns draws random same-alphabet strings and keeps those
+// verifiably absent from the text (bytes.Contains is the oracle), so
+// the negative-filter measurement never rides on a false absence.
+func absentPatterns(text []byte, n, plen int, rng *rand.Rand) [][]byte {
+	alpha := distinctBytes(text)
+	if len(alpha) == 0 || plen <= 0 {
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for tries := 0; len(out) < n && tries < 50*n; tries++ {
+		p := make([]byte, plen)
+		for i := range p {
+			p[i] = alpha[rng.Intn(len(alpha))]
+		}
+		if !bytes.Contains(text, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// distinctBytes returns the text's alphabet in byte order.
+func distinctBytes(text []byte) []byte {
+	var seen [256]bool
+	for _, b := range text {
+		seen[b] = true
+	}
+	var out []byte
+	for b := 0; b < 256; b++ {
+		if seen[b] {
+			out = append(out, byte(b))
+		}
+	}
+	return out
+}
+
+// fmtCount renders 350000 as "350.0k" (local twin of the bench
+// package's unexported helper).
+func fmtCount(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func equalPositions(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

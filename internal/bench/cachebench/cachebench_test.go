@@ -1,0 +1,44 @@
+package cachebench
+
+import (
+	"testing"
+
+	"github.com/spine-index/spine/internal/bench"
+)
+
+// TestRunCacheBenchShape runs a tiny cache bench end to end: the
+// differential cross-check inside RunCacheBench is the real assertion;
+// here we pin the report shape and that the workload actually exercised
+// both layers.
+func TestRunCacheBenchShape(t *testing.T) {
+	c := bench.NewCorpus(400) // eco/400 ≈ 8.7k chars: fast but non-trivial
+	table, report, err := RunCacheBench(c, CacheBenchConfig{
+		Sequence:    "eco",
+		Shards:      8,
+		HotPatterns: 32,
+		AbsentN:     16,
+		Requests:    500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("table rows = %d, want uncached+cached", len(table.Rows))
+	}
+	if report.Uncached.Requests != 500 || report.Cached.Requests != 500 {
+		t.Fatalf("request counts = %d/%d", report.Uncached.Requests, report.Cached.Requests)
+	}
+	if report.ThroughputGain <= 0 {
+		t.Fatalf("throughput gain = %v", report.ThroughputGain)
+	}
+	if report.CacheStats.Hits == 0 || report.CacheStats.Misses == 0 {
+		t.Fatalf("degenerate cache counters: %+v", report.CacheStats)
+	}
+	if report.AbsentPatterns == 0 || report.AbsentNegRejects == 0 {
+		t.Fatalf("absent ladder degenerate: %d patterns, %d rejects",
+			report.AbsentPatterns, report.AbsentNegRejects)
+	}
+	if report.NegFilterQ == 0 {
+		t.Fatal("negative filter was not built")
+	}
+}

@@ -1,0 +1,126 @@
+package qgram
+
+// The negative filter is the admission half of the serving layer's
+// caching stack: a bloom filter over the text's q-grams that answers
+// "definitely absent" in O(|P|) with zero backbone work. It rests on
+// the exact-match q-gram lemma with k=0 errors: every occurrence of P
+// contains all len(P)-q+1 of P's q-grams, so if even one of P's q-grams
+// never occurs in the text, P cannot occur. The bloom can err only
+// toward "maybe present" (a false positive costs one ordinary descent);
+// a "definitely absent" verdict is exact.
+//
+// Unlike the block-filter Index above, the negative filter hashes raw
+// bytes — it needs no alphabet and works over arbitrary texts — and
+// stores no postings, just m = n*bitsPerGram bits.
+
+import "fmt"
+
+// NegFilter is a bloom filter over a text's q-grams.
+type NegFilter struct {
+	q    int
+	bits []uint64
+	m    uint64 // bit count
+	k    int    // hash probes per gram
+}
+
+// DefaultNegFilterBits is the default bits-per-gram budget. At 10
+// bits/gram with k = 7 probes the per-gram false-positive rate is under
+// 1%, and a pattern only passes when every one of its grams passes.
+const DefaultNegFilterBits = 10
+
+// BuildNegFilter indexes every q-gram of text into a bloom filter of
+// about bitsPerGram*len(text) bits. q must be at least 1; bitsPerGram
+// <= 0 picks DefaultNegFilterBits.
+func BuildNegFilter(text []byte, q, bitsPerGram int) (*NegFilter, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("qgram: negative filter q=%d out of range", q)
+	}
+	if bitsPerGram <= 0 {
+		bitsPerGram = DefaultNegFilterBits
+	}
+	grams := len(text) - q + 1
+	if grams < 1 {
+		grams = 1
+	}
+	m := uint64(grams) * uint64(bitsPerGram)
+	if m < 64 {
+		m = 64
+	}
+	// k = bitsPerGram * ln 2 minimizes the false-positive rate for the
+	// budget; clamp to a sane probe count.
+	k := int(float64(bitsPerGram)*0.6931 + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	f := &NegFilter{q: q, bits: make([]uint64, (m+63)/64), m: m, k: k}
+	for i := 0; i+q <= len(text); i++ {
+		f.add(text[i : i+q])
+	}
+	return f, nil
+}
+
+// Q returns the filter's gram length. Patterns shorter than Q carry no
+// complete gram and always pass the filter.
+func (f *NegFilter) Q() int { return f.q }
+
+// SizeBytes returns the bit array's footprint.
+func (f *NegFilter) SizeBytes() int64 { return int64(len(f.bits)) * 8 }
+
+// hash2 returns two independent 64-bit hashes of gram (FNV-1a with two
+// bases); the k probe positions derive from them by double hashing
+// (Kirsch–Mitzenmacher).
+func hash2(gram []byte) (uint64, uint64) {
+	const prime64 = 1099511628211
+	h1 := uint64(14695981039346656037)
+	h2 := uint64(1469598103934665603)
+	for _, b := range gram {
+		h1 = (h1 ^ uint64(b)) * prime64
+		h2 = (h2 ^ uint64(b)) * prime64
+	}
+	// Finalize h2 so the two streams decorrelate.
+	h2 ^= h2 >> 33
+	h2 *= 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	if h2 == 0 {
+		h2 = prime64
+	}
+	return h1, h2
+}
+
+func (f *NegFilter) add(gram []byte) {
+	h1, h2 := hash2(gram)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+func (f *NegFilter) has(gram []byte) bool {
+	h1, h2 := hash2(gram)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MayContain reports whether p could occur in the indexed text. A false
+// return is definitive: some q-gram of p never occurs, so p cannot.
+// Patterns shorter than q (including empty ones) always pass — they
+// carry no complete gram to test.
+func (f *NegFilter) MayContain(p []byte) bool {
+	if len(p) < f.q {
+		return true
+	}
+	for i := 0; i+f.q <= len(p); i++ {
+		if !f.has(p[i : i+f.q]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package qgram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestNegFilterNoFalseNegatives: every substring of the text must pass
+// the filter — a bloom can only err toward "maybe present".
+func TestNegFilterNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	text := make([]byte, 4096)
+	for i := range text {
+		text[i] = "acgt"[rng.Intn(4)]
+	}
+	for _, q := range []int{3, 8, 12} {
+		f, err := BuildNegFilter(text, q, DefaultNegFilterBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 500; trial++ {
+			plen := 1 + rng.Intn(32)
+			off := rng.Intn(len(text) - plen)
+			if !f.MayContain(text[off : off+plen]) {
+				t.Fatalf("q=%d: substring %q rejected (false negative)", q, text[off:off+plen])
+			}
+		}
+	}
+}
+
+// TestNegFilterRejectsAbsent: patterns over an alphabet disjoint from
+// the text must be rejected (their grams were never inserted), and the
+// false-positive rate on random same-alphabet absent patterns must stay
+// far below 1 at the default budget.
+func TestNegFilterRejectsAbsent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	text := make([]byte, 1<<15)
+	for i := range text {
+		text[i] = "acgt"[rng.Intn(4)]
+	}
+	const q = 12
+	f, err := BuildNegFilter(text, q, DefaultNegFilterBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MayContain([]byte("zzzzzzzzzzzzzzzz")) {
+		t.Fatal("foreign-alphabet pattern passed the filter")
+	}
+	rejected, trials := 0, 200
+	p := make([]byte, 24)
+	for trial := 0; trial < trials; trial++ {
+		for i := range p {
+			p[i] = "acgt"[rng.Intn(4)]
+		}
+		if bytes.Contains(text, p) {
+			continue // rare; skip genuinely present patterns
+		}
+		if !f.MayContain(p) {
+			rejected++
+		}
+	}
+	// A 24-char pattern tests 13 grams; even at a 1% per-gram FP rate
+	// essentially every absent pattern is rejected. Require 90%.
+	if rejected < trials*9/10 {
+		t.Fatalf("only %d/%d absent patterns rejected", rejected, trials)
+	}
+}
+
+// TestNegFilterShortPatterns: patterns shorter than q always pass, as
+// does the empty pattern.
+func TestNegFilterShortPatterns(t *testing.T) {
+	f, err := BuildNegFilter([]byte("acgtacgt"), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]byte{nil, []byte("z"), []byte("zzz")} {
+		if !f.MayContain(p) {
+			t.Fatalf("short pattern %q rejected", p)
+		}
+	}
+	if f.Q() != 4 {
+		t.Fatalf("Q = %d", f.Q())
+	}
+}
+
+// TestNegFilterTinyText: a text shorter than q builds an empty (always
+// rejecting complete grams, always passing short patterns) filter
+// without error.
+func TestNegFilterTinyText(t *testing.T) {
+	f, err := BuildNegFilter([]byte("ac"), 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.MayContain([]byte("ac")) {
+		t.Fatal("sub-q pattern rejected on tiny text")
+	}
+	if f.MayContain([]byte("acgtacgtacgt")) {
+		t.Fatal("full gram passed against a text with no grams")
+	}
+	if _, err := BuildNegFilter([]byte("acgt"), 0, 8); err == nil {
+		t.Fatal("q=0 accepted")
+	}
+}

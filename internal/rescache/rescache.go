@@ -1,0 +1,233 @@
+// Package rescache is a sharded, byte-budgeted LRU for query results.
+// It is the storage half of the serving layer's result cache: keys are
+// (pattern, query kind, limit) triples, values are opaque (the public
+// package stores its QueryResult there), and eviction is driven by an
+// approximate byte cost the caller supplies with each insert.
+//
+// Invalidation is epoch-based rather than by enumeration: the cache
+// carries a global epoch counter, every entry is stamped with the epoch
+// at insert time, and BumpEpoch makes every existing entry stale in
+// O(1). Stale entries are collected lazily — a Get that lands on one
+// removes it and reports a miss. This is the invalidation discipline
+// the live-ingest roadmap item needs: an Append to the underlying index
+// must not race a scan of the cache, it just bumps the epoch.
+//
+// Sharding bounds lock contention: the key hashes (FNV-1a) to one of a
+// power-of-two number of shards, each with its own mutex, map and LRU
+// list, and its own slice of the byte budget.
+package rescache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cached query result.
+type Key struct {
+	// Pattern is the query pattern bytes (as a string so Key is
+	// comparable and usable as a map key).
+	Pattern string
+	// Kind discriminates query kinds sharing a pattern (contains vs
+	// count vs findall answers differ).
+	Kind uint8
+	// Limit is the occurrence cap the result was computed under; kinds
+	// without a limit normalize it to 0 so they share entries.
+	Limit int
+}
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxBytes is the total byte budget across all shards; <= 0 picks
+	// DefaultMaxBytes.
+	MaxBytes int64
+	// Shards is the shard count, rounded up to a power of two; <= 0
+	// picks DefaultShards.
+	Shards int
+}
+
+// DefaultMaxBytes is the byte budget when Config.MaxBytes <= 0 (64 MiB).
+const DefaultMaxBytes = 64 << 20
+
+// DefaultShards is the shard count when Config.Shards <= 0.
+const DefaultShards = 16
+
+// Stats is a point-in-time view of the cache's occupancy counters.
+type Stats struct {
+	Entries   int64 // live entries across all shards
+	Bytes     int64 // bytes charged against the budget
+	Evictions int64 // entries evicted by the byte budget (not staleness)
+	Epoch     uint64
+}
+
+type entry struct {
+	key   Key
+	value any
+	cost  int64
+	epoch uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[Key]*list.Element
+	lru   *list.List // front = most recent
+	bytes int64
+}
+
+// Cache is a sharded epoch-invalidated LRU. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	shards    []*shard
+	mask      uint64
+	perShard  int64 // byte budget per shard
+	epoch     atomic.Uint64
+	entries   atomic.Int64
+	bytes     atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns an empty cache with the given budget and shard count.
+func New(cfg Config) *Cache {
+	maxBytes := cfg.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &Cache{
+		shards:   make([]*shard, pow),
+		mask:     uint64(pow - 1),
+		perShard: maxBytes / int64(pow),
+	}
+	if c.perShard < 1 {
+		c.perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{items: make(map[Key]*list.Element), lru: list.New()}
+	}
+	return c
+}
+
+// hash is FNV-1a over the key's pattern bytes mixed with kind and limit.
+func hash(k Key) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.Pattern); i++ {
+		h ^= uint64(k.Pattern[i])
+		h *= prime64
+	}
+	h ^= uint64(k.Kind)
+	h *= prime64
+	h ^= uint64(k.Limit)
+	h *= prime64
+	return h
+}
+
+func (c *Cache) shardFor(k Key) *shard { return c.shards[hash(k)&c.mask] }
+
+// Get returns the cached value for k, if present and current. An entry
+// stamped with an older epoch is removed on the spot and reported as a
+// miss — BumpEpoch invalidation is collected lazily, here.
+func (c *Cache) Get(k Key) (any, bool) {
+	epoch := c.epoch.Load()
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.epoch != epoch {
+		s.remove(el)
+		c.entries.Add(-1)
+		c.bytes.Add(-e.cost)
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	v := e.value
+	s.mu.Unlock()
+	return v, true
+}
+
+// Put inserts (or refreshes) k with the given value and byte cost,
+// evicting least-recently-used entries from the key's shard until the
+// shard fits its budget slice. Values costlier than a whole shard's
+// budget are not admitted.
+func (c *Cache) Put(k Key, value any, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > c.perShard {
+		return // would evict the entire shard for one entry
+	}
+	epoch := c.epoch.Load()
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*entry)
+		s.bytes -= e.cost
+		c.bytes.Add(-e.cost)
+		e.value, e.cost, e.epoch = value, cost, epoch
+		s.bytes += cost
+		c.bytes.Add(cost)
+		s.lru.MoveToFront(el)
+	} else {
+		el := s.lru.PushFront(&entry{key: k, value: value, cost: cost, epoch: epoch})
+		s.items[k] = el
+		s.bytes += cost
+		c.bytes.Add(cost)
+		c.entries.Add(1)
+	}
+	for s.bytes > c.perShard {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.remove(back)
+		c.entries.Add(-1)
+		c.bytes.Add(-e.cost)
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// remove unlinks el from the shard; the caller holds the shard lock and
+// settles the cache-wide counters.
+func (s *shard) remove(el *list.Element) {
+	e := el.Value.(*entry)
+	delete(s.items, e.key)
+	s.lru.Remove(el)
+	s.bytes -= e.cost
+}
+
+// BumpEpoch invalidates every current entry in O(1): subsequent Gets
+// see the epoch mismatch and treat the entries as absent (removing them
+// lazily). Use it whenever the indexed text changes.
+func (c *Cache) BumpEpoch() { c.epoch.Add(1) }
+
+// Epoch returns the current epoch.
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// Stats returns the cache's occupancy counters. Entries and Bytes may
+// include stale entries not yet lazily collected.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		Evictions: c.evictions.Load(),
+		Epoch:     c.epoch.Load(),
+	}
+}

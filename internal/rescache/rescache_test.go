@@ -1,0 +1,139 @@
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 4})
+	k := Key{Pattern: "acgt", Kind: 2, Limit: 10}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, "value", 100)
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "value" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	// Kind and limit discriminate.
+	if _, ok := c.Get(Key{Pattern: "acgt", Kind: 3, Limit: 10}); ok {
+		t.Fatal("kind not part of identity")
+	}
+	if _, ok := c.Get(Key{Pattern: "acgt", Kind: 2, Limit: 11}); ok {
+		t.Fatal("limit not part of identity")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Refresh replaces cost and value.
+	c.Put(k, "value2", 50)
+	if v, _ := c.Get(k); v.(string) != "value2" {
+		t.Fatalf("refreshed value = %v", v)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 50 {
+		t.Fatalf("stats after refresh = %+v", st)
+	}
+}
+
+// TestByteBudgetEviction: a shard over its budget slice evicts from the
+// LRU tail, and the evicted key misses afterwards.
+func TestByteBudgetEviction(t *testing.T) {
+	// One shard, 100-byte budget.
+	c := New(Config{MaxBytes: 100, Shards: 1})
+	for i := 0; i < 10; i++ {
+		c.Put(Key{Pattern: fmt.Sprintf("p%d", i)}, i, 30)
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	// The most recent insert survived; the oldest did not.
+	if _, ok := c.Get(Key{Pattern: "p9"}); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.Get(Key{Pattern: "p0"}); ok {
+		t.Fatal("oldest entry survived a full wrap of the budget")
+	}
+	// Oversized values are not admitted at all.
+	c.Put(Key{Pattern: "huge"}, 0, 1000)
+	if _, ok := c.Get(Key{Pattern: "huge"}); ok {
+		t.Fatal("entry over the shard budget admitted")
+	}
+}
+
+// TestLRUOrdering: touching an entry via Get protects it from the next
+// eviction round.
+func TestLRUOrdering(t *testing.T) {
+	c := New(Config{MaxBytes: 90, Shards: 1})
+	c.Put(Key{Pattern: "a"}, 1, 30)
+	c.Put(Key{Pattern: "b"}, 2, 30)
+	c.Put(Key{Pattern: "c"}, 3, 30)
+	c.Get(Key{Pattern: "a"}) // refresh a; b is now the LRU tail
+	c.Put(Key{Pattern: "d"}, 4, 30)
+	if _, ok := c.Get(Key{Pattern: "a"}); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get(Key{Pattern: "b"}); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+// TestEpochInvalidation: BumpEpoch makes every prior entry miss, and the
+// stale entries are collected lazily by the Gets that find them.
+func TestEpochInvalidation(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 2})
+	for i := 0; i < 8; i++ {
+		c.Put(Key{Pattern: fmt.Sprintf("p%d", i)}, i, 10)
+	}
+	c.BumpEpoch()
+	for i := 0; i < 8; i++ {
+		if _, ok := c.Get(Key{Pattern: fmt.Sprintf("p%d", i)}); ok {
+			t.Fatalf("entry p%d survived the epoch bump", i)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stale entries not collected: %+v", st)
+	}
+	// New inserts under the new epoch hit normally.
+	c.Put(Key{Pattern: "fresh"}, 1, 10)
+	if _, ok := c.Get(Key{Pattern: "fresh"}); !ok {
+		t.Fatal("post-bump insert missing")
+	}
+}
+
+// TestConcurrentAccess hammers all operations from many goroutines; run
+// with -race.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{MaxBytes: 10 << 10, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{Pattern: fmt.Sprintf("p%d", i%32), Kind: uint8(w % 3)}
+				switch i % 4 {
+				case 0:
+					c.Put(k, i, int64(16+i%64))
+				case 3:
+					if w == 0 && i%100 == 0 {
+						c.BumpEpoch()
+					}
+					c.Stats()
+				default:
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("negative occupancy after concurrent churn: %+v", st)
+	}
+}

@@ -179,6 +179,36 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p.Family("spine_query_pattern_length", "histogram", "Distribution of query pattern lengths in characters.")
 	p.Histogram("spine_query_pattern_length", nil, s.Query.PatternLen, 1)
 
+	// Cache families are emitted unconditionally — zeros when no cache is
+	// configured — so dashboards and alerts never see a missing series.
+	p.Family("spine_cache_hits_total", "counter", "Result-cache hits (query answered with zero index work).")
+	p.Sample("spine_cache_hits_total", nil, float64(s.Cache.Hits))
+	p.Family("spine_cache_misses_total", "counter", "Result-cache misses (query fell through to the index).")
+	p.Sample("spine_cache_misses_total", nil, float64(s.Cache.Misses))
+	p.Family("spine_cache_entries", "gauge", "Live result-cache entries (may include stale entries pending lazy collection).")
+	p.Sample("spine_cache_entries", nil, float64(s.Cache.Entries))
+	p.Family("spine_cache_bytes", "gauge", "Estimated bytes charged against the result-cache budget.")
+	p.Sample("spine_cache_bytes", nil, float64(s.Cache.Bytes))
+	p.Family("spine_cache_evictions_total", "counter", "Result-cache entries evicted by the byte budget.")
+	p.Sample("spine_cache_evictions_total", nil, float64(s.Cache.Evictions))
+	p.Family("spine_cache_epoch", "gauge", "Result-cache invalidation epoch (bumps when the indexed text changes).")
+	p.Sample("spine_cache_epoch", nil, float64(s.Cache.Epoch))
+	p.Family("spine_negfilter_rejects_total", "counter", "Queries answered absent by the q-gram negative filter, with zero backbone work.")
+	p.Sample("spine_negfilter_rejects_total", nil, float64(s.Cache.NegRejects))
+	p.Family("spine_negfilter_falsepos_total", "counter", "Negative-filter passes the index then proved absent (each cost one ordinary scan).")
+	p.Sample("spine_negfilter_falsepos_total", nil, float64(s.Cache.NegFalsePos))
+
+	if hasCacheTraffic(s) {
+		p.Family("spine_http_cache_hits_total", "counter", "Requests answered from the result cache or negative filter, by endpoint.")
+		for _, name := range endpoints {
+			p.Sample("spine_http_cache_hits_total", []Label{{"endpoint", name}}, float64(s.Endpoints[name].CacheHits))
+		}
+		p.Family("spine_http_cache_misses_total", "counter", "Requests that fell through to the index, by endpoint.")
+		for _, name := range endpoints {
+			p.Sample("spine_http_cache_misses_total", []Label{{"endpoint", name}}, float64(s.Endpoints[name].CacheMisses))
+		}
+	}
+
 	p.Family("spine_batch_requests_total", "counter", "Batch query requests that reached the engine.")
 	p.Sample("spine_batch_requests_total", nil, float64(s.Batch.Batches))
 	p.Family("spine_batch_patterns_total", "counter", "Patterns submitted across all batch requests.")
@@ -249,6 +279,12 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 // text exposition format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	return WritePrometheus(w, r.Snapshot())
+}
+
+// hasCacheTraffic gates the per-endpoint cache families on a cache
+// actually being wired (enabled, or counters somehow non-zero).
+func hasCacheTraffic(s Snapshot) bool {
+	return s.Cache.Enabled || s.Cache.Hits != 0 || s.Cache.Misses != 0
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -49,6 +49,12 @@ type Endpoint struct {
 	Rejected  Counter   // shed with 429 by the concurrency limiter
 	InFlight  Gauge     // currently executing requests
 	Latency   Histogram // request latency, microseconds
+	// CacheHits and CacheMisses attribute result-cache outcomes to the
+	// endpoint (a hit covers both cache hits and negative-filter
+	// rejections: the request did no index work). Zero on servers
+	// running without a cache.
+	CacheHits   Counter
+	CacheMisses Counter
 }
 
 // ObserveRequest records one completed request.
@@ -132,16 +138,57 @@ type ShardStats struct {
 	NodesChecked Counter
 }
 
+// CacheSnapshot is a point-in-time copy of the serving layer's result
+// cache and negative filter, polled at snapshot time from the cache
+// owner (see SetCacheSource). Enabled distinguishes "no cache
+// configured" from "cache configured, all counters still zero".
+type CacheSnapshot struct {
+	Enabled bool  `json:"enabled"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	// NegRejects counts queries answered by the q-gram negative filter
+	// (pattern definitely absent, zero index work); NegFalsePos counts
+	// filter passes the index then proved absent.
+	NegRejects  int64 `json:"negRejects"`
+	NegFalsePos int64 `json:"negFalsePos"`
+	Entries     int64 `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	Evictions   int64 `json:"evictions"`
+	// Epoch is the cache's invalidation epoch; it increments when the
+	// indexed text changes.
+	Epoch uint64 `json:"epoch"`
+	// NegFilterQ is the filter's gram length (0 = filter off);
+	// NegFilterBytes its bit-array footprint.
+	NegFilterQ     int   `json:"negFilterQ"`
+	NegFilterBytes int64 `json:"negFilterBytes"`
+}
+
 // Registry is the process-wide metric store for a query service.
 type Registry struct {
 	start time.Time
 	Query QueryStats
 	Batch BatchStats
 
+	// cacheSource, when set, is polled at snapshot time for the result
+	// cache's counters; the cache owns its own atomics, the registry
+	// only reads them.
+	cacheSource atomic.Pointer[func() CacheSnapshot]
+
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
 	stages    map[string]*StageStats
 	shards    map[int]*ShardStats
+}
+
+// SetCacheSource registers the function Snapshot polls for cache
+// counters. Pass the closure once at server construction; a nil source
+// reports a disabled cache.
+func (r *Registry) SetCacheSource(src func() CacheSnapshot) {
+	if src == nil {
+		r.cacheSource.Store(nil)
+		return
+	}
+	r.cacheSource.Store(&src)
 }
 
 // NewRegistry returns an empty registry; the uptime clock starts now.
@@ -208,12 +255,14 @@ func (r *Registry) Shard(i int) *ShardStats {
 
 // EndpointSnapshot is a point-in-time copy of one endpoint's metrics.
 type EndpointSnapshot struct {
-	Requests  int64             `json:"requests"`
-	Errors4xx int64             `json:"errors4xx"`
-	Errors5xx int64             `json:"errors5xx"`
-	Rejected  int64             `json:"rejected"`
-	InFlight  int64             `json:"inFlight"`
-	LatencyUs HistogramSnapshot `json:"latencyUs"`
+	Requests    int64             `json:"requests"`
+	Errors4xx   int64             `json:"errors4xx"`
+	Errors5xx   int64             `json:"errors5xx"`
+	Rejected    int64             `json:"rejected"`
+	InFlight    int64             `json:"inFlight"`
+	CacheHits   int64             `json:"cacheHits"`
+	CacheMisses int64             `json:"cacheMisses"`
+	LatencyUs   HistogramSnapshot `json:"latencyUs"`
 }
 
 // RuntimeSnapshot captures the Go runtime's health alongside the query
@@ -257,6 +306,7 @@ type Snapshot struct {
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Query         QuerySnapshot               `json:"query"`
 	Batch         BatchSnapshot               `json:"batch"`
+	Cache         CacheSnapshot               `json:"cache"`
 	Stages        map[string]StageSnapshot    `json:"stages,omitempty"`
 	Shards        map[int]ShardSnapshot       `json:"shards,omitempty"`
 }
@@ -315,14 +365,20 @@ func (r *Registry) Snapshot() Snapshot {
 			Size:          r.Batch.Size.Snapshot(),
 		},
 	}
+	if src := r.cacheSource.Load(); src != nil {
+		s.Cache = (*src)()
+		s.Cache.Enabled = true
+	}
 	for name, e := range eps {
 		s.Endpoints[name] = EndpointSnapshot{
-			Requests:  e.Requests.Value(),
-			Errors4xx: e.Errors4xx.Value(),
-			Errors5xx: e.Errors5xx.Value(),
-			Rejected:  e.Rejected.Value(),
-			InFlight:  e.InFlight.Value(),
-			LatencyUs: e.Latency.Snapshot(),
+			Requests:    e.Requests.Value(),
+			Errors4xx:   e.Errors4xx.Value(),
+			Errors5xx:   e.Errors5xx.Value(),
+			Rejected:    e.Rejected.Value(),
+			InFlight:    e.InFlight.Value(),
+			CacheHits:   e.CacheHits.Value(),
+			CacheMisses: e.CacheMisses.Value(),
+			LatencyUs:   e.Latency.Snapshot(),
 		}
 	}
 	if len(stages) > 0 {

@@ -56,6 +56,12 @@ const (
 	// StageMerge is the Sharded merge: sorting, deduplicating and
 	// truncating the per-shard hit lists.
 	StageMerge = "merge"
+	// StageCache is the result-cache lookup (and insert on miss) of a
+	// Cached querier; it carries no Nodes — cache work is not index work.
+	StageCache = "cache"
+	// StageNegFilter is the q-gram negative-filter probe of a Cached
+	// querier: O(|P|) bloom lookups, zero index nodes.
+	StageNegFilter = "negfilter"
 )
 
 // Counters is the SPINE work done within one span.

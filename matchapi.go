@@ -70,7 +70,8 @@ func (x *Compact) MaximalMatchesContext(ctx context.Context, query []byte, minLe
 // indexed text explicitly; data must equal the original indexed string.
 //
 // Deprecated: the index now unpacks its own text — use
-// Compact.MaximalMatches.
+// Compact.MaximalMatches; for plain occurrence reads prefer the unified
+// Query entry point.
 func (x *Compact) MaximalMatchesWithData(data, query []byte, minLen int) ([]Match, MatchInfo, error) {
 	rep, err := match.MaximalMatches(match.NewCompactSpineEngine(x.c), data, query, minLen)
 	if err != nil {

@@ -7,28 +7,27 @@ import (
 )
 
 // Querier is the read-side query surface shared by every index flavor:
-// the reference Index, the frozen Compact layout, and the parallel
-// Sharded index all satisfy it, so servers and benchmark harnesses can
-// run against any of them interchangeably.
+// the reference Index, the frozen Compact layout, the parallel Sharded
+// index and the Cached decorator all satisfy it, so servers and
+// benchmark harnesses can run against any of them interchangeably.
+//
+// The surface is deliberately one entrypoint wide: Query answers any
+// single-pattern read, selected by QueryOptions.Kind, and QueryBatch is
+// its many-pattern twin. The per-method variants of the old API
+// (ContainsContext, FindContext, FindAllContext, FindAllLimitContext,
+// CountContext) remain on the concrete types as thin shims over Query,
+// but are no longer part of the interface — a decorator that wraps
+// Query (the result cache, the negative filter) intercepts every read.
 //
 // The context governs cancellation: occurrence enumeration is an O(n)
 // backbone scan regardless of how many occurrences exist, and
 // implementations abort it promptly (returning ctx.Err()) once the
-// context ends. Contains/Find descend the pattern only and check the
-// context at entry.
+// context ends. KindContains/KindFind descend the pattern only and
+// check the context at entry.
 type Querier interface {
-	// ContainsContext reports whether p is a substring of the indexed text.
-	ContainsContext(ctx context.Context, p []byte) (bool, error)
-	// FindContext returns the start offset of p's first occurrence, or -1.
-	FindContext(ctx context.Context, p []byte) (int, error)
-	// FindAllContext returns every occurrence start offset in increasing
-	// order; nil if p does not occur.
-	FindAllContext(ctx context.Context, p []byte) ([]int, error)
-	// FindAllLimitContext returns at most limit occurrences (limit <= 0
-	// means unlimited), stopping the scan early once the cap is reached.
-	FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error)
-	// CountContext returns the number of occurrences of p.
-	CountContext(ctx context.Context, p []byte) (int, error)
+	// Query answers one pattern: the kind in opts selects membership,
+	// first occurrence, occurrence enumeration (limit-bounded) or count.
+	Query(ctx context.Context, p []byte, opts QueryOptions) (QueryResult, error)
 	// QueryBatch answers many patterns at once: identical patterns are
 	// deduplicated, valid-path descents run through a bounded worker
 	// pool, and all occurrence sets are resolved by a single backbone
@@ -43,10 +42,24 @@ type Querier interface {
 	Len() int
 }
 
-// QueryResult is the outcome of a limited occurrence query, or of one
-// item of a batch query.
+// QueryResult is the outcome of one Query call or one item of a batch
+// query. Which fields are meaningful depends on the QueryKind:
+// KindContains and KindFind set Found and Position; KindFindAll sets
+// Positions, Count, Truncated, Found and Position; KindCount sets Count
+// and Found. NodesChecked and Source are always set.
 type QueryResult struct {
-	// Positions lists occurrence start offsets in increasing order.
+	// Found reports that the pattern occurs (never true for a result
+	// computed with zero occurrences).
+	Found bool
+	// Position is the first occurrence's start offset, or -1. KindCount
+	// results leave it -1 (the streaming count keeps no positions).
+	Position int
+	// Count is the number of occurrences: exact for KindCount, the
+	// (possibly limit-truncated) enumerated count for KindFindAll, and 0
+	// for the kinds that do not count.
+	Count int
+	// Positions lists occurrence start offsets in increasing order
+	// (KindFindAll only).
 	Positions []int
 	// Truncated reports that the scan stopped at the limit; more
 	// occurrences may exist.
@@ -55,115 +68,131 @@ type QueryResult struct {
 	// paper's §4.1 work metric, aggregated by serving telemetry. For a
 	// batch item it is the pattern's descent cost plus its amortized
 	// share of the batch's single backbone scan, so summing over a batch
-	// reproduces the batch's true total work.
+	// reproduces the batch's true total work. A cached or
+	// negative-filtered answer reports the work actually done now: zero.
 	NodesChecked int64
+	// Source tells how a Cached querier produced this result (scan,
+	// cache hit, or negative-filter rejection); always SourceScan from
+	// an uncached querier. Excluded from JSON: it is serving-side
+	// attribution, not part of the answer.
+	Source ResultSource `json:"-"`
 	// Err reports a per-item failure of a batch query (it wraps a
 	// sentinel such as ErrPatternTooLong); always nil outside batches
 	// and for successful items.
 	Err error `json:"-"`
 }
 
-// Compile-time checks: every index flavor is a Querier.
+// normalize fills the derived fields (Count, Found, Position) of an
+// enumeration result from its Positions.
+func (r *QueryResult) normalize() {
+	r.Count = len(r.Positions)
+	r.Found = len(r.Positions) > 0
+	if r.Found {
+		r.Position = r.Positions[0]
+	} else {
+		r.Position = -1
+	}
+}
+
+// Compile-time checks: every index flavor (and the cache decorator) is
+// a Querier.
 var (
 	_ Querier = (*Index)(nil)
 	_ Querier = (*Compact)(nil)
 	_ Querier = (*Sharded)(nil)
+	_ Querier = (*CachedQuerier)(nil)
 )
-
-// ContainsContext implements Querier; see Index.Contains. When ctx
-// carries an internal/trace trace, the descent records per-stage spans.
-func (x *Index) ContainsContext(ctx context.Context, p []byte) (bool, error) {
-	if err := ctx.Err(); err != nil {
-		return false, err
-	}
-	_, ok := x.c.EndNodeCtx(ctx, p)
-	return ok, nil
-}
-
-// FindContext implements Querier; see Index.Find.
-func (x *Index) FindContext(ctx context.Context, p []byte) (int, error) {
-	if err := ctx.Err(); err != nil {
-		return -1, err
-	}
-	end, ok := x.c.EndNodeCtx(ctx, p)
-	if !ok {
-		return -1, nil
-	}
-	return int(end) - len(p), nil
-}
-
-// FindAllContext implements Querier; see Index.FindAll.
-func (x *Index) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
-	res, err := x.c.FindAllCtx(ctx, p, 0)
-	return res.Positions, err
-}
-
-// FindAllLimitContext implements Querier.
-func (x *Index) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
-	res, err := x.c.FindAllCtx(ctx, p, limit)
-	return queryResultOf(res), err
-}
 
 // queryResultOf lifts a core scan result into the public shape.
 func queryResultOf(res core.ScanResult) QueryResult {
 	return QueryResult{Positions: res.Positions, Truncated: res.Truncated, NodesChecked: res.NodesChecked}
 }
 
-// FindAllLimit returns at most max occurrence start offsets of p in
-// increasing order, stopping the backbone scan as soon as the cap is
-// reached — FindAll that cannot materialize millions of offsets for a
-// low-complexity pattern. max <= 0 means unlimited.
-func (x *Index) FindAllLimit(p []byte, max int) []int {
-	res, _ := x.c.FindAllCtx(context.Background(), p, max)
-	return res.Positions
+// ContainsContext reports whether p is a substring of the indexed text;
+// equivalent to Query with KindContains. When ctx carries an
+// internal/trace trace, the descent records per-stage spans.
+func (x *Index) ContainsContext(ctx context.Context, p []byte) (bool, error) {
+	res, err := x.Query(ctx, p, QueryOptions{Kind: KindContains})
+	return res.Found, err
 }
 
-// CountContext implements Querier; see Index.Count.
-func (x *Index) CountContext(ctx context.Context, p []byte) (int, error) {
-	return x.c.CountCtx(ctx, p)
+// FindContext returns the start offset of p's first occurrence, or -1;
+// equivalent to Query with KindFind.
+func (x *Index) FindContext(ctx context.Context, p []byte) (int, error) {
+	res, err := x.Query(ctx, p, QueryOptions{Kind: KindFind})
+	return res.Position, err
 }
 
-// ContainsContext implements Querier; see Compact.Contains. Traced like
-// Index.ContainsContext.
-func (x *Compact) ContainsContext(ctx context.Context, p []byte) (bool, error) {
-	if err := ctx.Err(); err != nil {
-		return false, err
-	}
-	_, ok := x.c.EndNodeCtx(ctx, p)
-	return ok, nil
-}
-
-// FindContext implements Querier; see Compact.Find.
-func (x *Compact) FindContext(ctx context.Context, p []byte) (int, error) {
-	if err := ctx.Err(); err != nil {
-		return -1, err
-	}
-	end, ok := x.c.EndNodeCtx(ctx, p)
-	if !ok {
-		return -1, nil
-	}
-	return int(end) - len(p), nil
-}
-
-// FindAllContext implements Querier; see Compact.FindAll.
-func (x *Compact) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
-	res, err := x.c.FindAllCtx(ctx, p, 0)
+// FindAllContext returns every occurrence start offset in increasing
+// order; equivalent to Query with KindFindAll and no limit.
+func (x *Index) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
+	res, err := x.Query(ctx, p, QueryOptions{Kind: KindFindAll})
 	return res.Positions, err
 }
 
-// FindAllLimitContext implements Querier.
-func (x *Compact) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
-	res, err := x.c.FindAllCtx(ctx, p, limit)
-	return queryResultOf(res), err
+// FindAllLimitContext returns at most limit occurrences (limit <= 0
+// means unlimited); equivalent to Query with KindFindAll.
+func (x *Index) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
+	return x.Query(ctx, p, QueryOptions{Kind: KindFindAll, Limit: limit})
 }
 
-// FindAllLimit returns at most max occurrences; see Index.FindAllLimit.
-func (x *Compact) FindAllLimit(p []byte, max int) []int {
-	res, _ := x.c.FindAllCtx(context.Background(), p, max)
+// FindAllLimit returns at most max occurrence start offsets of p in
+// increasing order, stopping the backbone scan as soon as the cap is
+// reached. max <= 0 means unlimited.
+//
+// Deprecated: use Query with KindFindAll and a Limit, which also
+// reports truncation and scan work.
+func (x *Index) FindAllLimit(p []byte, max int) []int {
+	res, _ := x.Query(context.Background(), p, QueryOptions{Kind: KindFindAll, Limit: max})
 	return res.Positions
 }
 
-// CountContext implements Querier; see Compact.Count.
+// CountContext returns the number of occurrences of p; equivalent to
+// Query with KindCount.
+func (x *Index) CountContext(ctx context.Context, p []byte) (int, error) {
+	res, err := x.Query(ctx, p, QueryOptions{Kind: KindCount})
+	return res.Count, err
+}
+
+// ContainsContext reports whether p is a substring of the indexed text;
+// see Index.ContainsContext.
+func (x *Compact) ContainsContext(ctx context.Context, p []byte) (bool, error) {
+	res, err := x.Query(ctx, p, QueryOptions{Kind: KindContains})
+	return res.Found, err
+}
+
+// FindContext returns the start offset of p's first occurrence, or -1;
+// see Index.FindContext.
+func (x *Compact) FindContext(ctx context.Context, p []byte) (int, error) {
+	res, err := x.Query(ctx, p, QueryOptions{Kind: KindFind})
+	return res.Position, err
+}
+
+// FindAllContext returns every occurrence start offset in increasing
+// order; see Index.FindAllContext.
+func (x *Compact) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
+	res, err := x.Query(ctx, p, QueryOptions{Kind: KindFindAll})
+	return res.Positions, err
+}
+
+// FindAllLimitContext returns at most limit occurrences; see
+// Index.FindAllLimitContext.
+func (x *Compact) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
+	return x.Query(ctx, p, QueryOptions{Kind: KindFindAll, Limit: limit})
+}
+
+// FindAllLimit returns at most max occurrences.
+//
+// Deprecated: use Query with KindFindAll and a Limit; see
+// Index.FindAllLimit.
+func (x *Compact) FindAllLimit(p []byte, max int) []int {
+	res, _ := x.Query(context.Background(), p, QueryOptions{Kind: KindFindAll, Limit: max})
+	return res.Positions
+}
+
+// CountContext returns the number of occurrences of p; see
+// Index.CountContext.
 func (x *Compact) CountContext(ctx context.Context, p []byte) (int, error) {
-	return x.c.CountCtx(ctx, p)
+	res, err := x.Query(ctx, p, QueryOptions{Kind: KindCount})
+	return res.Count, err
 }

@@ -1,0 +1,150 @@
+package spine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestQueryLegacyEquivalence is the API-redesign contract: for every
+// index flavor and every QueryKind, Query agrees with the legacy
+// per-method entry point it replaced.
+func TestQueryLegacyEquivalence(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacaggtacca", 8))
+	ctx := context.Background()
+	patterns := []string{"a", "ac", "acaa", "gtac", "caacagg", "tttt", "zz"}
+	for name, q := range queriers(t, text) {
+		for _, ps := range patterns {
+			p := []byte(ps)
+			t.Run(name+"/"+ps, func(t *testing.T) {
+				// Errors must agree too: an overlong pattern on the sharded
+				// flavor fails identically through Query and the legacy shim.
+				sameErr := func(what string, err, lerr error) bool {
+					t.Helper()
+					if (err == nil) != (lerr == nil) {
+						t.Fatalf("%s: Query err %v vs legacy err %v", what, err, lerr)
+					}
+					if err == nil {
+						return false
+					}
+					if !errors.Is(err, ErrPatternTooLong) || !errors.Is(lerr, ErrPatternTooLong) {
+						t.Fatalf("%s: unexpected errors %v / %v", what, err, lerr)
+					}
+					return true
+				}
+				// KindContains vs ContainsContext.
+				res, err := q.Query(ctx, p, QueryOptions{Kind: KindContains})
+				found, lerr := q.ContainsContext(ctx, p)
+				if !sameErr("contains", err, lerr) && res.Found != found {
+					t.Fatalf("contains: Query=%v legacy=%v", res.Found, found)
+				}
+				// KindFind vs FindContext.
+				res, err = q.Query(ctx, p, QueryOptions{Kind: KindFind})
+				pos, lerr := q.FindContext(ctx, p)
+				if !sameErr("find", err, lerr) {
+					if res.Position != pos {
+						t.Fatalf("find: Query=%d legacy=%d", res.Position, pos)
+					}
+					if res.Found != (pos >= 0) {
+						t.Fatalf("find: Found=%v but Position=%d", res.Found, pos)
+					}
+				}
+				// KindFindAll (unlimited and limited) vs FindAllLimitContext.
+				for _, limit := range []int{0, 1, 3} {
+					res, err = q.Query(ctx, p, QueryOptions{Kind: KindFindAll, Limit: limit})
+					want, lerr := q.FindAllLimitContext(ctx, p, limit)
+					if sameErr("findall", err, lerr) {
+						continue
+					}
+					if len(res.Positions) != len(want.Positions) || res.Truncated != want.Truncated {
+						t.Fatalf("findall limit %d: %v/%v vs %v/%v",
+							limit, res.Positions, res.Truncated, want.Positions, want.Truncated)
+					}
+					for i := range want.Positions {
+						if res.Positions[i] != want.Positions[i] {
+							t.Fatalf("findall limit %d: %v vs %v", limit, res.Positions, want.Positions)
+						}
+					}
+					// Derived fields are normalized.
+					if res.Count != len(res.Positions) || res.Found != (len(res.Positions) > 0) {
+						t.Fatalf("findall limit %d: unnormalized %+v", limit, res)
+					}
+					wantPos := -1
+					if len(res.Positions) > 0 {
+						wantPos = res.Positions[0]
+					}
+					if res.Position != wantPos {
+						t.Fatalf("findall limit %d: Position=%d want %d", limit, res.Position, wantPos)
+					}
+				}
+				// KindCount vs CountContext.
+				res, err = q.Query(ctx, p, QueryOptions{Kind: KindCount})
+				n, lerr := q.CountContext(ctx, p)
+				if !sameErr("count", err, lerr) {
+					if res.Count != n {
+						t.Fatalf("count: Query=%d legacy=%d", res.Count, n)
+					}
+					if res.Found != (n > 0) || res.Position != -1 {
+						t.Fatalf("count: %+v for n=%d", res, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQueryBadKind: an out-of-range kind fails with the sentinel on
+// every flavor.
+func TestQueryBadKind(t *testing.T) {
+	for name, q := range queriers(t, []byte("aaccacaacagg")) {
+		_, err := q.Query(context.Background(), []byte("a"), QueryOptions{Kind: QueryKind(99)})
+		if !errors.Is(err, ErrBadQueryKind) {
+			t.Fatalf("%s: err = %v, want ErrBadQueryKind", name, err)
+		}
+	}
+}
+
+// TestQueryShardedPatternTooLong: the sharded flavor rejects overlong
+// patterns on every kind, before any fan-out.
+func TestQueryShardedPatternTooLong(t *testing.T) {
+	sh, err := BuildSharded([]byte("acgtacgt"), 4, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []QueryKind{KindContains, KindFind, KindFindAll, KindCount} {
+		res, err := sh.Query(context.Background(), []byte("acgta"), QueryOptions{Kind: kind})
+		if !errors.Is(err, ErrPatternTooLong) {
+			t.Fatalf("kind %v: err = %v, want ErrPatternTooLong", kind, err)
+		}
+		if res.Found || res.Position != -1 {
+			t.Fatalf("kind %v: non-empty result %+v on error", kind, res)
+		}
+	}
+}
+
+// TestQueryCancellation: every kind honors an already-cancelled
+// context on every flavor.
+func TestQueryCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, q := range queriers(t, []byte("aaccacaacagg")) {
+		for _, kind := range []QueryKind{KindContains, KindFind, KindFindAll, KindCount} {
+			if _, err := q.Query(ctx, []byte("a"), QueryOptions{Kind: kind}); !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s kind %v: err = %v, want Canceled", name, kind, err)
+			}
+		}
+	}
+}
+
+// TestQueryKindString pins the telemetry/cache-key labels.
+func TestQueryKindString(t *testing.T) {
+	for kind, want := range map[QueryKind]string{
+		KindContains: "contains", KindFind: "find", KindFindAll: "findall",
+		KindCount: "count", QueryKind(7): "kind(7)",
+	} {
+		if got := kind.String(); got != want {
+			t.Fatalf("QueryKind(%d).String() = %q, want %q", kind, got, want)
+		}
+	}
+}

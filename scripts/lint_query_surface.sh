@@ -1,0 +1,71 @@
+#!/bin/sh
+# lint_query_surface.sh — guard the unified Query entry point.
+#
+# The read API is Query/QueryBatch (see DESIGN.md §API); the per-verb
+# methods below are frozen legacy shims kept for compatibility. This
+# check fails when a NEW exported Contains*/Find*/Count* method appears
+# on a root-package index type, so additions route through QueryKind
+# (or consciously extend the allowlist here, in the same commit that
+# argues why).
+#
+# Usage: scripts/lint_query_surface.sh [repo-root]
+set -eu
+cd "${1:-.}"
+
+allow='
+Index.Contains
+Index.ContainsContext
+Index.Count
+Index.CountContext
+Index.CountWithin
+Index.Find
+Index.FindAll
+Index.FindAllAppend
+Index.FindAllContext
+Index.FindAllLimit
+Index.FindAllLimitContext
+Index.FindAllWithin
+Index.FindContext
+Compact.Contains
+Compact.ContainsContext
+Compact.Count
+Compact.CountContext
+Compact.Find
+Compact.FindAll
+Compact.FindAllAppend
+Compact.FindAllContext
+Compact.FindAllLimit
+Compact.FindAllLimitContext
+Compact.FindContext
+Sharded.Contains
+Sharded.ContainsContext
+Sharded.Count
+Sharded.CountContext
+Sharded.Find
+Sharded.FindAll
+Sharded.FindAllContext
+Sharded.FindAllLimit
+Sharded.FindAllLimitContext
+Sharded.FindContext
+'
+
+found=$(grep -hoE --exclude='*_test.go' \
+	'^func \([A-Za-z_]+ \*?(Index|Compact|Sharded|CachedQuerier)\) (Contains|Find|Count)[A-Za-z0-9]*' \
+	./*.go 2>/dev/null \
+	| sed -E 's/^func \([A-Za-z_]+ \*?([A-Za-z]+)\) /\1./' \
+	| sort -u)
+
+status=0
+for m in $found; do
+	case "$allow" in
+	*"
+$m
+"*) ;;
+	*)
+		echo "lint: new exported query method $m bypasses the unified Query API" >&2
+		echo "      route it through QueryKind/QueryOptions, or allowlist it in scripts/lint_query_surface.sh with a rationale" >&2
+		status=1
+		;;
+	esac
+done
+exit $status

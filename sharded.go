@@ -91,26 +91,31 @@ func (s *Sharded) checkPattern(p []byte) error {
 	return nil
 }
 
+// Text reconstructs the indexed string from the shards' own slices
+// (overlap regions belong to the next shard and are skipped). The
+// Cached decorator uses it to build the q-gram negative filter.
+func (s *Sharded) Text() []byte {
+	out := make([]byte, 0, s.textLen)
+	for i, sh := range s.shards {
+		t := sh.Text()
+		if i < len(s.shards)-1 && len(t) > s.shardSize {
+			t = t[:s.shardSize]
+		}
+		out = append(out, t...)
+	}
+	return out
+}
+
 // Contains reports whether p occurs anywhere in the sharded text.
 func (s *Sharded) Contains(p []byte) (bool, error) {
 	return s.ContainsContext(context.Background(), p)
 }
 
-// ContainsContext implements Querier; see Contains.
+// ContainsContext reports whether p occurs; equivalent to Query with
+// KindContains.
 func (s *Sharded) ContainsContext(ctx context.Context, p []byte) (bool, error) {
-	if err := s.checkPattern(p); err != nil {
-		return false, err
-	}
-	for _, sh := range s.shards {
-		ok, err := sh.ContainsContext(ctx, p)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			return true, nil
-		}
-	}
-	return false, nil
+	res, err := s.Query(ctx, p, QueryOptions{Kind: KindContains})
+	return res.Found, err
 }
 
 // Find returns the first (global) occurrence offset of p, or -1.
@@ -118,21 +123,32 @@ func (s *Sharded) Find(p []byte) (int, error) {
 	return s.FindContext(context.Background(), p)
 }
 
-// FindContext implements Querier; see Find.
+// FindContext returns the first occurrence offset; equivalent to Query
+// with KindFind.
 func (s *Sharded) FindContext(ctx context.Context, p []byte) (int, error) {
-	if err := s.checkPattern(p); err != nil {
-		return -1, err
-	}
+	res, err := s.Query(ctx, p, QueryOptions{Kind: KindFind})
+	return res.Position, err
+}
+
+// findFirst scans shards in order for the pattern's first (hence
+// globally smallest) occurrence: an earlier shard's own slice precedes
+// every later shard's, so the first hit wins and later shards are never
+// descended.
+func (s *Sharded) findFirst(ctx context.Context, p []byte) (QueryResult, error) {
+	res := QueryResult{Position: -1}
 	for i, sh := range s.shards {
-		pos, err := sh.FindContext(ctx, p)
+		sub, err := sh.Query(ctx, p, QueryOptions{Kind: KindFind})
+		res.NodesChecked += sub.NodesChecked
 		if err != nil {
-			return -1, err
+			return QueryResult{Position: -1}, err
 		}
-		if pos >= 0 {
-			return s.starts[i] + pos, nil
+		if sub.Found {
+			res.Found = true
+			res.Position = s.starts[i] + sub.Position
+			return res, nil
 		}
 	}
-	return -1, nil
+	return res, nil
 }
 
 // FindAll returns every global occurrence offset of p in increasing
@@ -148,20 +164,27 @@ func (s *Sharded) FindAllContext(ctx context.Context, p []byte) ([]int, error) {
 	return res.Positions, err
 }
 
-// FindAllLimit returns at most max occurrences; see Index.FindAllLimit.
+// FindAllLimit returns at most max occurrences.
+//
+// Deprecated: use Query with KindFindAll and a Limit, which also
+// reports truncation and scan work.
 func (s *Sharded) FindAllLimit(p []byte, max int) ([]int, error) {
 	res, err := s.FindAllLimitContext(context.Background(), p, max)
 	return res.Positions, err
 }
 
-// FindAllLimitContext implements Querier. Shards are scanned in
-// parallel; each fetches enough hits that the merged global prefix is
-// exact even though overlap-region starts are discarded.
+// FindAllLimitContext returns at most limit occurrences; equivalent to
+// Query with KindFindAll.
 func (s *Sharded) FindAllLimitContext(ctx context.Context, p []byte, limit int) (QueryResult, error) {
+	return s.Query(ctx, p, QueryOptions{Kind: KindFindAll, Limit: limit})
+}
+
+// findAllLimit is the KindFindAll engine. Shards are scanned in
+// parallel; each fetches enough hits that the merged global prefix is
+// exact even though overlap-region starts are discarded. The caller
+// (Query) has already validated the pattern length.
+func (s *Sharded) findAllLimit(ctx context.Context, p []byte, limit int) (QueryResult, error) {
 	var res QueryResult
-	if err := s.checkPattern(p); err != nil {
-		return res, err
-	}
 	if len(p) == 0 {
 		n := s.textLen + 1
 		if limit > 0 && n > limit {
@@ -356,6 +379,13 @@ func (s *Sharded) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchO
 		}
 		msp.End()
 	}
+	for _, i := range uniq {
+		if results[i].Err == nil {
+			results[i].normalize()
+		} else {
+			results[i].Position = -1
+		}
+	}
 	for i := range patterns {
 		if dupOf[i] != i {
 			results[i] = results[dupOf[i]]
@@ -369,14 +399,19 @@ func (s *Sharded) Count(p []byte) (int, error) {
 	return s.CountContext(context.Background(), p)
 }
 
-// CountContext implements Querier. Each shard counts the occurrences
+// CountContext returns the number of occurrences of p; equivalent to
+// Query with KindCount.
+func (s *Sharded) CountContext(ctx context.Context, p []byte) (int, error) {
+	res, err := s.Query(ctx, p, QueryOptions{Kind: KindCount})
+	return res.Count, err
+}
+
+// count is the KindCount engine. Each shard counts the occurrences
 // that start in its own slice — overlap-region starts belong to the next
 // shard, so the per-shard counts sum to the exact global count with no
 // dedup merge. The scans stream: nothing per-occurrence is materialized.
-func (s *Sharded) CountContext(ctx context.Context, p []byte) (int, error) {
-	if err := s.checkPattern(p); err != nil {
-		return 0, err
-	}
+// The caller (Query) has already validated the pattern length.
+func (s *Sharded) count(ctx context.Context, p []byte) (int, error) {
 	if len(p) == 0 {
 		return s.textLen + 1, nil
 	}
