@@ -94,15 +94,19 @@ func capability[T any](q Querier) (T, bool) {
 // Query/QueryBatch choke points, so every legacy shim on the underlying
 // index is covered when callers route reads through the decorator.
 //
-// Results served from the cache share their Positions slice across
-// callers: treat a QueryResult with Source == SourceCache as read-only.
+// Cache entries never alias caller-visible slices: Positions is cloned
+// on insert and again on every hit, so callers may mutate the results
+// they receive without corrupting future cached answers.
 //
 // CachedQuerier is safe for concurrent use.
 type CachedQuerier struct {
-	inner  Querier
-	cache  *rescache.Cache
-	neg    *qgram.NegFilter
-	maxPat int // longest cacheable pattern; 0 = unbounded
+	inner   Querier
+	cache   *rescache.Cache
+	neg     atomic.Pointer[qgram.NegFilter]
+	negSrc  texter // text source for filter (re)builds; nil = filter disabled
+	negQ    int    // configured gram length; <= 0 re-picks per rebuild
+	negBits int
+	maxPat  int // longest cacheable pattern; 0 = unbounded
 
 	hits        atomic.Int64
 	misses      atomic.Int64
@@ -128,18 +132,36 @@ func Cached(q Querier, cfg CacheConfig) (*CachedQuerier, error) {
 		if !ok {
 			return nil, fmt.Errorf("spine: Cached negative filter needs Text() on the wrapped querier; set DisableNegFilter to wrap it without one")
 		}
-		text := tx.Text()
-		gramLen := cfg.NegFilterQ
-		if gramLen <= 0 {
-			gramLen = autoNegFilterQ(text)
-		}
-		neg, err := qgram.BuildNegFilter(text, gramLen, cfg.NegFilterBits)
-		if err != nil {
+		c.negSrc = tx
+		c.negQ = cfg.NegFilterQ
+		c.negBits = cfg.NegFilterBits
+		if err := c.RebuildNegFilter(); err != nil {
 			return nil, err
 		}
-		c.neg = neg
 	}
 	return c, nil
+}
+
+// RebuildNegFilter rebuilds the q-gram negative filter over the wrapped
+// index's current text and swaps it in atomically, restoring the
+// O(|P|) absent-pattern path after an Invalidate dropped it. It is a
+// no-op on a decorator built with DisableNegFilter. The build scans
+// the whole text: run it once per ingest batch, not per append.
+func (c *CachedQuerier) RebuildNegFilter() error {
+	if c.negSrc == nil {
+		return nil
+	}
+	text := c.negSrc.Text()
+	gramLen := c.negQ
+	if gramLen <= 0 {
+		gramLen = autoNegFilterQ(text)
+	}
+	neg, err := qgram.BuildNegFilter(text, gramLen, c.negBits)
+	if err != nil {
+		return err
+	}
+	c.neg.Store(neg)
+	return nil
 }
 
 // autoNegFilterQ picks a gram length for a text: the shortest q with
@@ -206,6 +228,17 @@ func cacheCost(k rescache.Key, res QueryResult) int64 {
 	return int64(len(k.Pattern)) + int64(len(res.Positions))*8 + 96
 }
 
+// detach clones res.Positions so the cache entry and the caller never
+// share one slice: inserts detach from the scanning caller's result,
+// hits detach from the stored entry. Without this, a caller mutating
+// its Positions would silently corrupt every future cached answer.
+func detach(res QueryResult) QueryResult {
+	if len(res.Positions) > 0 {
+		res.Positions = append([]int(nil), res.Positions...)
+	}
+	return res
+}
+
 // Query implements Querier. Order of consultation: negative filter
 // (definitive absence in O(|P|)), then the result cache, then the
 // wrapped index; scan answers are inserted on the way out. The
@@ -218,9 +251,10 @@ func (c *CachedQuerier) Query(ctx context.Context, p []byte, opts QueryOptions) 
 		return QueryResult{Position: -1}, err
 	}
 	tr := trace.FromContext(ctx)
-	if c.neg != nil && len(p) >= c.neg.Q() {
+	neg := c.neg.Load()
+	if neg != nil && len(p) >= neg.Q() {
 		sp := tr.Start(trace.StageNegFilter)
-		may := c.neg.MayContain(p)
+		may := neg.MayContain(p)
 		sp.End()
 		if !may {
 			c.negRejects.Add(1)
@@ -233,7 +267,7 @@ func (c *CachedQuerier) Query(ctx context.Context, p []byte, opts QueryOptions) 
 	sp.End()
 	if ok {
 		c.hits.Add(1)
-		res := v.(QueryResult)
+		res := detach(v.(QueryResult))
 		res.Source = SourceCache
 		res.NodesChecked = 0
 		return res, nil
@@ -243,10 +277,10 @@ func (c *CachedQuerier) Query(ctx context.Context, p []byte, opts QueryOptions) 
 	if err != nil {
 		return res, err
 	}
-	if c.neg != nil && !res.Found && len(p) >= c.neg.Q() {
+	if neg != nil && !res.Found && len(p) >= neg.Q() {
 		c.negFalsePos.Add(1)
 	}
-	c.cache.Put(key, res, cacheCost(key, res))
+	c.cache.Put(key, detach(res), cacheCost(key, res))
 	res.Source = SourceScan
 	return res, nil
 }
@@ -266,6 +300,7 @@ func (c *CachedQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts 
 		return nil, err
 	}
 	results := make([]QueryResult, len(patterns))
+	neg := c.neg.Load()
 	var (
 		missPats   [][]byte
 		missLimits []int
@@ -280,7 +315,7 @@ func (c *CachedQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts 
 			missIdx = append(missIdx, i)
 			continue
 		}
-		if c.neg != nil && len(p) >= c.neg.Q() && !c.neg.MayContain(p) {
+		if neg != nil && len(p) >= neg.Q() && !neg.MayContain(p) {
 			c.negRejects.Add(1)
 			results[i] = QueryResult{Position: -1, Source: SourceNegFilter}
 			continue
@@ -292,7 +327,7 @@ func (c *CachedQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts 
 		key := cacheKey(p, KindFindAll, limit)
 		if v, ok := c.cache.Get(key); ok {
 			c.hits.Add(1)
-			res := v.(QueryResult)
+			res := detach(v.(QueryResult))
 			res.Source = SourceCache
 			res.NodesChecked = 0
 			results[i] = res
@@ -314,7 +349,7 @@ func (c *CachedQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts 
 			if res.Err != nil || !c.cacheable(patterns[i], KindFindAll) {
 				continue
 			}
-			if c.neg != nil && !res.Found && len(patterns[i]) >= c.neg.Q() {
+			if neg != nil && !res.Found && len(patterns[i]) >= neg.Q() {
 				c.negFalsePos.Add(1)
 			}
 			limit := missLimits[k]
@@ -322,7 +357,7 @@ func (c *CachedQuerier) QueryBatch(ctx context.Context, patterns [][]byte, opts 
 				limit = 0
 			}
 			key := cacheKey(patterns[i], KindFindAll, limit)
-			c.cache.Put(key, res, cacheCost(key, res))
+			c.cache.Put(key, detach(res), cacheCost(key, res))
 		}
 	}
 	return results, nil
@@ -339,9 +374,16 @@ func (c *CachedQuerier) Unwrap() Querier { return c.inner }
 // Invalidate makes every cached result stale in O(1) by bumping the
 // cache epoch; stale entries are collected lazily on lookup. Call it
 // whenever the underlying text changes (the live-ingest path). The
-// negative filter is not rebuilt: grams only accumulate under append,
-// so a stale filter errs only toward "maybe present", which is safe.
-func (c *CachedQuerier) Invalidate() { c.cache.BumpEpoch() }
+// negative filter is dropped at the same time: it was built over the
+// old text, and a pattern occurring only in newly appended bytes
+// carries grams the filter has never seen — keeping it would turn
+// those into definitive (false) "absent" answers. Queries fall back
+// to plain scans until RebuildNegFilter restores the fast-negative
+// path.
+func (c *CachedQuerier) Invalidate() {
+	c.cache.BumpEpoch()
+	c.neg.Store(nil)
+}
 
 // CacheStats returns the decorator's counters; serving telemetry polls
 // this for the /stats and /metrics cache families.
@@ -357,9 +399,9 @@ func (c *CachedQuerier) CacheStats() CacheStats {
 		Evictions:   cs.Evictions,
 		Epoch:       cs.Epoch,
 	}
-	if c.neg != nil {
-		s.NegFilterQ = c.neg.Q()
-		s.NegFilterBytes = c.neg.SizeBytes()
+	if neg := c.neg.Load(); neg != nil {
+		s.NegFilterQ = neg.Q()
+		s.NegFilterBytes = neg.SizeBytes()
 	}
 	return s
 }

@@ -166,6 +166,82 @@ func TestCachedInvalidate(t *testing.T) {
 	}
 }
 
+// TestCachedInvalidateAfterAppend is the live-ingest regression: a
+// pattern present only in text appended after the filter was built
+// must not be rejected as absent. Invalidate drops the stale filter
+// (its grams predate the append), and RebuildNegFilter restores the
+// fast-negative path over the grown text.
+func TestCachedInvalidateAfterAppend(t *testing.T) {
+	idx := New()
+	idx.AppendString(bytes.Repeat([]byte("aaccacaaca"), 32))
+	c, err := Cached(idx, CacheConfig{NegFilterQ: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p := []byte("ggttggtt") // absent now; present after the append below
+	opts := QueryOptions{Kind: KindFindAll}
+	if res, _ := c.Query(ctx, p, opts); res.Source != SourceNegFilter || res.Found {
+		t.Fatalf("pre-append read: %+v; want filter reject", res)
+	}
+	idx.AppendString([]byte("ccggttggttcc"))
+	c.Invalidate()
+	res, err := c.Query(ctx, p, opts)
+	if err != nil || !res.Found {
+		t.Fatalf("post-append read: %+v, %v; want found (stale filter must not answer)", res, err)
+	}
+	if st := c.CacheStats(); st.NegFilterQ != 0 {
+		t.Fatalf("filter survived Invalidate: %+v", st)
+	}
+	if err := c.RebuildNegFilter(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.CacheStats(); st.NegFilterQ != 6 || st.NegFilterBytes == 0 {
+		t.Fatalf("rebuild did not restore the filter: %+v", st)
+	}
+	if res, _ := c.Query(ctx, p, QueryOptions{Kind: KindCount}); !res.Found || res.Count != 1 {
+		t.Fatalf("rebuilt-filter read of appended pattern: %+v", res)
+	}
+	if res, _ := c.Query(ctx, []byte("zzzzzzzz"), opts); res.Source != SourceNegFilter {
+		t.Fatalf("rebuilt filter does not reject absent patterns: %+v", res)
+	}
+}
+
+// TestCachedPositionsNotAliased: cache entries must not share their
+// Positions backing array with any caller — mutating a miss result or
+// a hit result must leave future hits intact.
+func TestCachedPositionsNotAliased(t *testing.T) {
+	text := []byte(strings.Repeat("aaccacaacaggtacca", 16))
+	raw, c := cachedPair(t, text, CacheConfig{})
+	ctx := context.Background()
+	p := []byte("acca")
+	opts := QueryOptions{Kind: KindFindAll}
+	want, err := raw.Query(ctx, p, opts)
+	if err != nil || len(want.Positions) == 0 {
+		t.Fatalf("raw read: %+v, %v", want, err)
+	}
+	miss, err := c.Query(ctx, p, opts)
+	if err != nil || miss.Source != SourceScan {
+		t.Fatalf("seed read: %+v, %v", miss, err)
+	}
+	for i := range miss.Positions { // corrupt the scanning caller's copy
+		miss.Positions[i] = -999
+	}
+	hit, err := c.Query(ctx, p, opts)
+	if err != nil || hit.Source != SourceCache {
+		t.Fatalf("hit read: %+v, %v", hit, err)
+	}
+	sameAnswer(t, "hit after miss mutation", hit, want)
+	for i := range hit.Positions { // corrupt a hit's copy
+		hit.Positions[i] = -1
+	}
+	again, err := c.Query(ctx, p, opts)
+	if err != nil || again.Source != SourceCache {
+		t.Fatalf("re-hit read: %+v, %v", again, err)
+	}
+	sameAnswer(t, "hit after hit mutation", again, want)
+}
+
 // TestCachedErrorPropagation: per-call errors pass through uncached —
 // overlong patterns keep their sentinel, cancelled contexts abort.
 func TestCachedErrorPropagation(t *testing.T) {

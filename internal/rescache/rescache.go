@@ -139,7 +139,6 @@ func (c *Cache) shardFor(k Key) *shard { return c.shards[hash(k)&c.mask] }
 // stamped with an older epoch is removed on the spot and reported as a
 // miss — BumpEpoch invalidation is collected lazily, here.
 func (c *Cache) Get(k Key) (any, bool) {
-	epoch := c.epoch.Load()
 	s := c.shardFor(k)
 	s.mu.Lock()
 	el, ok := s.items[k]
@@ -148,7 +147,10 @@ func (c *Cache) Get(k Key) (any, bool) {
 		return nil, false
 	}
 	e := el.Value.(*entry)
-	if e.epoch != epoch {
+	// Load the epoch under the shard lock so the staleness check sees
+	// any BumpEpoch that completed before the lookup; loading it
+	// earlier could return an entry invalidated an instant before.
+	if e.epoch != c.epoch.Load() {
 		s.remove(el)
 		c.entries.Add(-1)
 		c.bytes.Add(-e.cost)
@@ -172,9 +174,12 @@ func (c *Cache) Put(k Key, value any, cost int64) {
 	if cost > c.perShard {
 		return // would evict the entire shard for one entry
 	}
-	epoch := c.epoch.Load()
 	s := c.shardFor(k)
 	s.mu.Lock()
+	// Stamp with the epoch as of lock acquisition, mirroring Get: an
+	// earlier load could only stamp an older (already-stale) epoch,
+	// but keeping both reads under the lock makes the ordering plain.
+	epoch := c.epoch.Load()
 	if el, ok := s.items[k]; ok {
 		e := el.Value.(*entry)
 		s.bytes -= e.cost
