@@ -16,7 +16,10 @@
 //
 // With -load-prom the per-endpoint results are also written in
 // Prometheus text exposition format (spinebench_* families), ready to
-// diff against the server's /metrics?format=prom.
+// diff against the server's /metrics?format=prom. Every generated
+// request carries a deterministic W3C traceparent and X-Request-Id, and
+// (unless -load-check-obs=false) the server's wide-event counters are
+// cross-checked after the run: one event per request, zero dropped.
 //
 // With -batch N the load mode instead compares one POST /batch of N
 // patterns against N sequential GET /findall calls (same patterns, same
@@ -39,6 +42,13 @@
 //
 //	spinebench -cache -cache-seq eco -divide 10 -cache-out BENCH_cache.json
 //
+// With -obs it benchmarks the wide-event observability layer
+// in-process: the same traced findall queries with the exporter off
+// versus on (JSONL sink), reporting the query-path overhead and
+// validating that every exported line decodes and nothing was dropped:
+//
+//	spinebench -obs -obs-seq eco -divide 10 -obs-out BENCH_obs.json
+//
 // At -divide 1 the corpus matches the paper's sequence lengths (eco 3.5M,
 // cel 15.5M, hc21 28.5M, hc19 57.5M characters); expect multi-hour runs
 // for the disk experiments with -sync.
@@ -55,6 +65,7 @@ import (
 
 	"github.com/spine-index/spine/internal/bench"
 	"github.com/spine-index/spine/internal/bench/cachebench"
+	"github.com/spine-index/spine/internal/bench/obsbench"
 	"github.com/spine-index/spine/internal/pager"
 	"github.com/spine-index/spine/internal/seqgen"
 )
@@ -74,6 +85,7 @@ func main() {
 		loadPlen = flag.Int("load-plen", 12, "load mode: sampled pattern length")
 		loadTO   = flag.Duration("load-timeout", 30*time.Second, "load mode: per-request client timeout")
 		loadProm = flag.String("load-prom", "", `load mode: also write Prometheus text metrics to this file ("-" = stdout)`)
+		loadObs  = flag.Bool("load-check-obs", true, "load mode: cross-check the server's wide-event count against requests issued (skipped when the server has no obs layer; needs an otherwise idle server)")
 
 		batchN      = flag.Int("batch", 0, "load mode: compare one /batch of N patterns vs N sequential /findall calls (0 = off)")
 		batchRounds = flag.Int("batch-rounds", 20, "batch mode: measured rounds per mode")
@@ -90,8 +102,21 @@ func main() {
 		cacheN    = flag.Int("cache-n", 20000, "cache mode: Zipf requests per mode")
 		cacheZipf = flag.Float64("cache-zipf", 1.1, "cache mode: Zipf exponent of the hot-pattern stream")
 		cacheOut  = flag.String("cache-out", "", "cache mode: write the JSON comparison report to this file")
+
+		obsMode = flag.Bool("obs", false, "benchmark the wide-event exporter's query-path overhead in-process")
+		obsSeq  = flag.String("obs-seq", "eco", "obs mode: suite sequence to index")
+		obsN    = flag.Int("obs-n", 2000, "obs mode: queries per arm")
+		obsPlen = flag.Int("obs-plen", 4, "obs mode: sampled pattern length (short = occurrence-heavy queries)")
+		obsOut  = flag.String("obs-out", "", "obs mode: write the JSON comparison report (BENCH_obs.json) to this file")
 	)
 	flag.Parse()
+	if *obsMode {
+		if err := runObsBench(*obsSeq, *divide, *obsN, *obsPlen, *obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "spinebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cacheMode {
 		if err := runCacheBench(*cacheSeq, *divide, *cacheN, *cacheZipf, *cacheOut); err != nil {
 			fmt.Fprintln(os.Stderr, "spinebench:", err)
@@ -114,7 +139,7 @@ func main() {
 			}
 			return
 		}
-		if err := runLoad(*loadURL, *loadN, *loadC, *loadMix, *loadSeq, *loadPlen, *divide, *loadTO, *loadProm); err != nil {
+		if err := runLoad(*loadURL, *loadN, *loadC, *loadMix, *loadSeq, *loadPlen, *divide, *loadTO, *loadProm, *loadObs); err != nil {
 			fmt.Fprintln(os.Stderr, "spinebench:", err)
 			os.Exit(1)
 		}
@@ -127,8 +152,11 @@ func main() {
 }
 
 // runLoad replays a query mix against a running spineserve and prints
-// the per-endpoint latency table.
-func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide int, timeout time.Duration, promPath string) error {
+// the per-endpoint latency table. With checkObs the server's wide-event
+// counters are snapshotted around the run and the event delta must match
+// the requests issued exactly, with zero drops — the end-to-end proof
+// that every query produced its event and none were lost.
+func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide int, timeout time.Duration, promPath string, checkObs bool) error {
 	mix, err := parseMix(mixSpec)
 	if err != nil {
 		return err
@@ -143,8 +171,17 @@ func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide i
 		return fmt.Errorf("cannot sample %d-char patterns from %s at divisor %d (%d chars)",
 			plen, seqName, divide, len(text))
 	}
+	base := strings.TrimRight(url, "/")
+	var before bench.ObsStats
+	if checkObs {
+		st, err := bench.FetchObsStats(base, timeout)
+		if err != nil {
+			return fmt.Errorf("obs pre-check: %w", err)
+		}
+		before = st
+	}
 	table, results, err := bench.RunLoad(bench.LoadConfig{
-		BaseURL:     strings.TrimRight(url, "/"),
+		BaseURL:     base,
 		Patterns:    patterns,
 		Mix:         mix,
 		Requests:    n,
@@ -155,6 +192,35 @@ func runLoad(url string, n, workers int, mixSpec, seqName string, plen, divide i
 		return err
 	}
 	table.Fprint(os.Stdout)
+	if checkObs {
+		if !before.Enabled {
+			fmt.Println("obs check: server has no wide-event layer; skipped")
+		} else {
+			// Events are emitted after the response is written, so the
+			// last few may land just after the client saw its reply; give
+			// the counters a moment to settle before judging.
+			var after bench.ObsStats
+			for i := 0; i < 20; i++ {
+				after, err = bench.FetchObsStats(base, timeout)
+				if err != nil {
+					return fmt.Errorf("obs post-check: %w", err)
+				}
+				if after.EmittedQuery-before.EmittedQuery >= int64(n) {
+					break
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			events := after.EmittedQuery - before.EmittedQuery
+			dropped := after.Dropped - before.Dropped
+			fmt.Printf("obs check: %d wide events for %d requests, %d dropped\n", events, n, dropped)
+			if events != int64(n) {
+				return fmt.Errorf("obs check: server emitted %d query events for %d requests", events, n)
+			}
+			if dropped != 0 {
+				return fmt.Errorf("obs check: exporter dropped %d events under load", dropped)
+			}
+		}
+	}
 	if promPath != "" {
 		out := os.Stdout
 		if promPath != "-" {
@@ -206,6 +272,39 @@ func runBatchCompare(url string, n, rounds, limit int, seqName string, plen, div
 		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runObsBench measures the wide-event exporter's query-path overhead on
+// an in-process index (export off vs JSONL export on, same traced
+// queries) and validates the JSONL output; with outPath the JSON report
+// (BENCH_obs.json format) is written too.
+func runObsBench(seqName string, divide, requests, plen int, outPath string) error {
+	c := bench.NewCorpus(divide)
+	table, report, err := obsbench.RunObsBench(c, obsbench.ObsBenchConfig{
+		Sequence:   seqName,
+		Requests:   requests,
+		PatternLen: plen,
+	})
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !report.JSONLValid {
+		return fmt.Errorf("obs bench: JSONL export failed validation")
+	}
+	if report.Dropped != 0 {
+		return fmt.Errorf("obs bench: exporter dropped %d events", report.Dropped)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -46,7 +47,7 @@ func TestRunLoadMode(t *testing.T) {
 	}))
 	defer ts.Close()
 	promFile := filepath.Join(t.TempDir(), "load.prom")
-	if err := runLoad(ts.URL+"/", 12, 2, "contains:1", "eco", 8, 4000, time.Second, promFile); err != nil {
+	if err := runLoad(ts.URL+"/", 12, 2, "contains:1", "eco", 8, 4000, time.Second, promFile, false); err != nil {
 		t.Fatalf("runLoad: %v", err)
 	}
 	if hits.Load() != 12 {
@@ -59,8 +60,48 @@ func TestRunLoadMode(t *testing.T) {
 	if !strings.Contains(string(prom), `spinebench_requests_total{endpoint="contains"} 12`) {
 		t.Fatalf("prom output missing request counter:\n%s", prom)
 	}
-	if err := runLoad(ts.URL, 12, 2, "contains:1", "eco", 1<<30, 4000, time.Second, ""); err == nil {
+	if err := runLoad(ts.URL, 12, 2, "contains:1", "eco", 1<<30, 4000, time.Second, "", false); err == nil {
 		t.Fatal("oversized pattern length accepted")
+	}
+}
+
+// TestRunLoadObsCheck exercises the wide-event cross-check against a
+// mock server whose /metrics counters either agree or disagree with the
+// requests issued.
+func TestRunLoadObsCheck(t *testing.T) {
+	newMock := func(perRequestEvents int64) *httptest.Server {
+		var queries atomic.Int64
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/metrics" {
+				fmt.Fprintf(w, `{"obs":{"enabled":true,"emittedQuery":%d,"dropped":0}}`,
+					queries.Load()*perRequestEvents)
+				return
+			}
+			queries.Add(1)
+			w.Write([]byte(`{}`))
+		}))
+	}
+
+	good := newMock(1)
+	defer good.Close()
+	if err := runLoad(good.URL, 10, 2, "contains:1", "eco", 8, 4000, time.Second, "", true); err != nil {
+		t.Fatalf("matching event counts rejected: %v", err)
+	}
+
+	bad := newMock(2) // server claims two events per query
+	defer bad.Close()
+	err := runLoad(bad.URL, 10, 2, "contains:1", "eco", 8, 4000, time.Second, "", true)
+	if err == nil || !strings.Contains(err.Error(), "query events") {
+		t.Fatalf("mismatched event counts accepted: %v", err)
+	}
+
+	// A server without the obs layer skips the check instead of failing.
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer plain.Close()
+	if err := runLoad(plain.URL, 10, 2, "contains:1", "eco", 8, 4000, time.Second, "", true); err != nil {
+		t.Fatalf("obs-less server failed the check: %v", err)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	spineserve -fasta genome.fa -addr :8080
 //	spineserve -synthetic eco -divide 100 -mode sharded -addr :8080
 //	spineserve -synthetic eco -cache-bytes 134217728 -neg-filter=true
+//	spineserve -synthetic eco -obs-export events.jsonl -log-format=json
 //
 // Endpoints (all JSON; query endpoints live under /v1/, and the
 // unversioned paths remain as deprecated aliases answering with a
@@ -17,8 +18,8 @@
 // shape: {"error": {"code": "...", "message": "..."}}.
 //
 //	GET  /healthz                          liveness + indexed length
-//	GET  /metrics                          telemetry snapshot (latency histograms, query + cache stats)
-//	GET  /metrics?format=prom              Prometheus text exposition of the same registry
+//	GET  /metrics                          telemetry snapshot (latency histograms, query + cache + obs stats)
+//	GET  /metrics?format=prom              Prometheus text exposition of the same registry (+ spine_obs_*/spine_slo_*)
 //	GET  /stats                            index structure statistics
 //	GET  /v1/contains?q=acgt               substring test
 //	GET  /v1/find?q=acgt                   first occurrence
@@ -28,6 +29,7 @@
 //	POST /v1/match?minlen=20               maximal matches vs the body sequence
 //	POST /v1/batch                         multi-pattern batch (JSON array or {"patterns":[...],"limit":N})
 //	GET  /debug/slowlog                    recent slow queries with per-stage breakdowns
+//	GET  /debug/dash                       RED rollups (1s/10s/1m rings), SLO burn rates, exporter health
 //	GET  /debug/vars, /debug/pprof/*       expvar + pprof
 //
 // The cache layer (-cache-bytes, 0 disables) serves repeated queries
@@ -42,13 +44,25 @@
 // the per-stage/per-shard Prometheus series; requests at or above
 // -slowlog-threshold land in the /debug/slowlog ring with per-stage
 // durations and §4.1 node counters.
+//
+// Every request carries correlation identity: the server adopts a sane
+// client X-Request-Id (minting one otherwise) and echoes it on every
+// response; query endpoints additionally ingest a W3C traceparent
+// header, continue the caller's trace with a fresh server span, and
+// echo the new traceparent. Each query emits one wide event — batch
+// requests one per item, sharded fan-outs one per shard leg, all
+// children of the request span — through a bounded, never-blocking
+// async exporter (-obs-export JSONL file, -obs-http batch collector;
+// overflow increments a dropped counter instead of stalling the query
+// path). The same events feed a multi-resolution RED rollup and the
+// -slo-* burn-rate engine behind /debug/dash and spine_slo_*.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -57,6 +71,7 @@ import (
 	"time"
 
 	"github.com/spine-index/spine"
+	"github.com/spine-index/spine/internal/obs"
 	"github.com/spine-index/spine/internal/seq"
 	"github.com/spine-index/spine/internal/seqgen"
 )
@@ -86,8 +101,23 @@ func main() {
 		slowlogThreshold = flag.Duration("slowlog-threshold", 250*time.Millisecond, "retain queries at least this slow in /debug/slowlog; 0 disables")
 		slowlogSize      = flag.Int("slowlog-size", 128, "slow-query ring capacity")
 		traceSample      = flag.Int("trace-sample", 1, "trace 1 in N query requests (1 = all, 0 = none)")
+
+		logFormat = flag.String("log-format", "text", "request log format: text|json")
+		obsExport = flag.String("obs-export", "", "append wide events as JSON lines to this file")
+		obsHTTP   = flag.String("obs-http", "", "POST wide-event batches to this collector URL")
+		obsBuffer = flag.Int("obs-buffer", 4096, "wide-event export queue capacity; overflow drops (never blocks)")
+
+		sloAvailability = flag.Float64("slo-availability", 0.999, "availability objective (fraction of non-5xx query responses); 0 disables")
+		sloLatencyObj   = flag.Float64("slo-latency-objective", 0.99, "latency objective (fraction of queries under -slo-latency); 0 disables")
+		sloLatency      = flag.Duration("slo-latency", 100*time.Millisecond, "latency SLO threshold (also the RED rollup's slow cut)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spineserve:", err)
+		os.Exit(1)
+	}
 
 	q, err := buildQuerier(*fasta, *synthetic, *divide, *mode, *shardSize, *maxPattern, *workers)
 	if err != nil {
@@ -99,6 +129,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spineserve:", err)
 		os.Exit(1)
 	}
+
+	// The pipeline always runs — with zero sinks it still feeds the RED
+	// rollup behind /debug/dash and the SLO burn rates, and the wide
+	// events carry correlation ids even when nothing exports them.
+	var sinks []obs.Sink
+	if *obsExport != "" {
+		js, err := obs.OpenJSONLSink(*obsExport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spineserve:", err)
+			os.Exit(1)
+		}
+		sinks = append(sinks, js)
+	}
+	if *obsHTTP != "" {
+		sinks = append(sinks, obs.NewHTTPSink(*obsHTTP, nil, -1, 0))
+	}
+	red := obs.NewRED(*sloLatency)
+	pipe := obs.NewPipeline(obs.Config{Buffer: *obsBuffer, RED: red}, sinks...)
+	slo := obs.NewSLO(obs.SLOConfig{
+		Availability:     *sloAvailability,
+		LatencyObjective: *sloLatencyObj,
+		LatencyThreshold: *sloLatency,
+	}, red)
+
 	cfg := serverConfig{
 		queryTimeout:     *queryTimeout,
 		maxInFlight:      *maxInFlight,
@@ -106,7 +160,9 @@ func main() {
 		maxBodyBytes:     *maxBody,
 		maxBatchPatterns: *batchCap,
 		findAllCap:       *findAllCap,
-		logger:           log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds),
+		logger:           logger,
+		pipeline:         pipe,
+		slo:              slo,
 
 		slowlogThreshold: *slowlogThreshold,
 		slowlogSize:      *slowlogSize,
@@ -120,14 +176,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spineserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("spineserve: mode=%s indexed %d characters, listening on %s", *mode, q.Len(), ln.Addr())
+	logger.Info("spineserve: listening",
+		slog.String("mode", *mode),
+		slog.Int("indexedChars", q.Len()),
+		slog.String("addr", ln.Addr().String()))
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := serveUntilDone(ctx, srv, ln, *drainTimeout); err != nil {
-		log.Fatal("spineserve: ", err)
+	serveErr := serveUntilDone(ctx, srv, ln, *drainTimeout)
+
+	// Drain the exporter after the HTTP server: every in-flight request
+	// has emitted its event by now, and the bounded wait keeps shutdown
+	// prompt even with a wedged collector.
+	closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := pipe.Close(closeCtx); err != nil {
+		logger.Error("spineserve: event exporter close", slog.Any("err", err))
 	}
-	log.Print("spineserve: drained, bye")
+	if serveErr != nil {
+		logger.Error("spineserve: serve", slog.Any("err", serveErr))
+		os.Exit(1)
+	}
+	logger.Info("spineserve: drained, bye")
+}
+
+// newLogger builds the process logger in the requested format; request
+// logs, panics and lifecycle messages all flow through it.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text|json)", format)
+	}
 }
 
 // newHTTPServer hardens the listener: header/read/write/idle timeouts so

@@ -2,11 +2,13 @@ package main
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"runtime/pprof"
 	"time"
 
+	"github.com/spine-index/spine/internal/obs"
 	"github.com/spine-index/spine/internal/trace"
 )
 
@@ -34,24 +36,54 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // instrument wraps a handler with the full middleware stack, outermost
-// first: panic recovery, metrics + structured logging, the concurrency
-// limiter (query endpoints only), the per-request query deadline, and —
-// for sampled query requests — a per-query trace whose spans feed the
-// per-stage/per-shard registry series and the slow-query log. The
-// handler goroutine carries a pprof endpoint label so CPU profiles
-// split by route.
+// first: panic recovery, request correlation (X-Request-Id and W3C
+// traceparent ingest/echo), metrics + structured logging, the
+// concurrency limiter (query endpoints only), the per-request query
+// deadline, and — for sampled query requests — a per-query trace whose
+// spans feed the per-stage/per-shard registry series and the slow-query
+// log. Query endpoints additionally emit one wide event per request
+// (deferred, after the handler finishes annotating it). The handler
+// goroutine carries a pprof endpoint label so CPU profiles split by
+// route.
 func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.Handler {
 	ep := s.reg.Endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sr := &statusRecorder{ResponseWriter: w}
+
+		// Correlation: adopt the client's X-Request-Id when it is sane,
+		// mint one otherwise, and echo it on every response (including
+		// 429s and panics) so the client can always quote it.
+		reqID, ok := obs.SanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if !ok {
+			reqID = obs.NewRequestID()
+		}
+		sr.Header().Set("X-Request-Id", reqID)
+
+		// Query endpoints open a wide-event scope; the incoming
+		// traceparent (if well-formed) is continued, and the response
+		// echoes this server's own span so the caller can parent on it.
+		var qc *obs.QueryCtx
+		if limited {
+			incoming, _ := obs.ParseTraceParent(r.Header.Get("traceparent"))
+			qc = obs.Begin(s.pipe, name, reqID, incoming)
+			if qc != nil {
+				sr.Header().Set("traceparent", qc.TraceParent().Header())
+			}
+		}
+
 		var tr *trace.Trace
 		ep.InFlight.Inc()
 		defer func() {
 			ep.InFlight.Dec()
 			// Panic recovery: convert to 500, log the stack, keep serving.
 			if rec := recover(); rec != nil {
-				s.cfg.logger.Printf("panic endpoint=%s err=%v\n%s", name, rec, debug.Stack())
+				s.cfg.logger.Error("panic",
+					slog.String("endpoint", name),
+					slog.String("requestId", reqID),
+					slog.Any("err", rec),
+					slog.String("stack", string(debug.Stack())))
+				qc.SetError(codeInternal)
 				if sr.status == 0 {
 					writeAPIError(sr, http.StatusInternalServerError, codeInternal, "internal server error")
 				}
@@ -62,8 +94,15 @@ func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.
 			elapsed := time.Since(start)
 			ep.ObserveRequest(sr.status, elapsed)
 			s.observeTrace(tr, name, sr.status, start, elapsed)
-			s.cfg.logger.Printf("method=%s path=%s endpoint=%s status=%d durUs=%d bytes=%d",
-				r.Method, r.URL.Path, name, sr.status, elapsed.Microseconds(), sr.bytes)
+			qc.EmitQuery(sr.status, start, elapsed, trace.Summarize(tr.Records()))
+			s.cfg.logger.Info("request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("endpoint", name),
+				slog.String("requestId", reqID),
+				slog.Int("status", sr.status),
+				slog.Int64("durUs", elapsed.Microseconds()),
+				slog.Int64("bytes", sr.bytes))
 		}()
 
 		if limited && s.sem != nil {
@@ -72,6 +111,7 @@ func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.
 				defer func() { <-s.sem }()
 			default:
 				// Saturated: shed load instead of queueing unboundedly.
+				qc.SetError(codeSaturated)
 				sr.Header().Set("Retry-After", "1")
 				writeAPIError(sr, http.StatusTooManyRequests, codeSaturated, "server saturated, retry later")
 				return
@@ -84,9 +124,13 @@ func (s *server) instrument(name string, limited bool, h http.HandlerFunc) http.
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.queryTimeout)
 			defer cancel()
 		}
+		if qc != nil {
+			ctx = obs.NewContext(ctx, qc)
+		}
 		if limited && s.sampler.Sample() {
 			tr = trace.New()
 			tr.SetEndpoint(name)
+			tr.SetRequestID(reqID)
 			ctx = trace.NewContext(ctx, tr)
 		}
 		r = r.WithContext(ctx)

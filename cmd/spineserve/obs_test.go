@@ -1,0 +1,549 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spine-index/spine"
+	"github.com/spine-index/spine/internal/obs"
+	"github.com/spine-index/spine/internal/telemetry"
+	"github.com/spine-index/spine/internal/trace"
+)
+
+// obsApp builds a fully instrumented server: every query traced, wide
+// events collected in memory, RED rollup + SLO engine live.
+func obsApp(t *testing.T, q spine.Querier) (*server, *httptest.Server, *obs.CollectorSink) {
+	t.Helper()
+	sink := obs.NewCollectorSink()
+	red := obs.NewRED(100 * time.Millisecond)
+	pipe := obs.NewPipeline(obs.Config{RED: red}, sink)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		pipe.Close(ctx)
+	})
+	cfg := defaultConfig()
+	cfg.traceSample = 1
+	cfg.pipeline = pipe
+	cfg.slo = obs.NewSLO(obs.SLOConfig{
+		Availability:     0.999,
+		LatencyObjective: 0.99,
+		LatencyThreshold: 100 * time.Millisecond,
+	}, red)
+	app := newQueryServer(q, cfg)
+	ts := httptest.NewServer(app.mux())
+	t.Cleanup(ts.Close)
+	return app, ts, sink
+}
+
+func flushEvents(t *testing.T, app *server, sink *obs.CollectorSink) []obs.Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := app.pipe.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return sink.Events()
+}
+
+func eventsOfType(evs []obs.Event, typ string) []obs.Event {
+	var out []obs.Event
+	for _, e := range evs {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func stageNodeSum(e obs.Event) int64 {
+	var n int64
+	for _, st := range e.Stages {
+		n += st.Nodes
+	}
+	return n
+}
+
+// TestWideEventNodePartition is the acceptance differential: across
+// every index flavor (reference, compact, sharded, cached) the single
+// query event's stage node counters sum exactly to its NodesChecked,
+// which in turn matches the registry's work total — one consistent
+// answer to "how much work did this query do" across all three
+// telemetry surfaces.
+func TestWideEventNodePartition(t *testing.T) {
+	data := bytes.Repeat([]byte("acgtacgtttgcaacg"), 256)
+	compact, err := spine.Build(data).Compact(spine.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := spine.BuildSharded(data, 1024, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := spine.Cached(spine.Build(data), spine.CacheConfig{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flavors := []struct {
+		name string
+		q    spine.Querier
+	}{
+		{"index", spine.Build(data)},
+		{"compact", compact},
+		{"sharded", sharded},
+		{"cached", cached},
+	}
+	var wantCount = -1
+	for _, f := range flavors {
+		t.Run(f.name, func(t *testing.T) {
+			app, ts, sink := obsApp(t, f.q)
+			resp, err := http.Get(ts.URL + "/v1/findall?q=acgtacg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var body struct {
+				Count int `json:"count"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+
+			evs := flushEvents(t, app, sink)
+			queries := eventsOfType(evs, obs.EventQuery)
+			if len(queries) != 1 {
+				t.Fatalf("got %d query events, want exactly 1 (events: %+v)", len(queries), evs)
+			}
+			e := queries[0]
+			if e.Endpoint != "findall" || e.Kind != "findall" || e.Status != http.StatusOK {
+				t.Fatalf("event identity wrong: %+v", e)
+			}
+			if e.Pattern.Prefix != "acgtacg" || e.Pattern.Len != 7 {
+				t.Fatalf("event fingerprint wrong: %+v", e.Pattern)
+			}
+			if e.NodesChecked == 0 {
+				t.Fatal("query did no work; partition check is vacuous")
+			}
+			if got := stageNodeSum(e); got != e.NodesChecked {
+				t.Fatalf("stage nodes sum to %d, want NodesChecked %d (stages: %+v)",
+					got, e.NodesChecked, e.Stages)
+			}
+			if reg := app.reg.Query.NodesChecked.Value(); e.NodesChecked != reg {
+				t.Fatalf("event NodesChecked = %d, registry reports %d", e.NodesChecked, reg)
+			}
+			if wantCount == -1 {
+				wantCount = e.ResultCount
+			} else if e.ResultCount != wantCount {
+				t.Fatalf("%s found %d occurrences, other flavors found %d", f.name, e.ResultCount, wantCount)
+			}
+			if body.Count != e.ResultCount {
+				t.Fatalf("event ResultCount = %d, response count = %d", e.ResultCount, body.Count)
+			}
+
+			// Sharded fan-outs additionally partition the same total
+			// across their shard-leg events.
+			if f.name == "sharded" {
+				legs := eventsOfType(evs, obs.EventShardLeg)
+				if len(legs) == 0 {
+					t.Fatal("sharded query emitted no shard-leg events")
+				}
+				var legNodes int64
+				for _, leg := range legs {
+					legNodes += leg.NodesChecked
+					if sum := stageNodeSum(leg); len(leg.Stages) > 0 && sum != leg.NodesChecked {
+						t.Fatalf("leg %d stage nodes sum to %d, want %d", leg.Shard, sum, leg.NodesChecked)
+					}
+				}
+				if legNodes != e.NodesChecked {
+					t.Fatalf("shard legs sum to %d nodes, query reports %d", legNodes, e.NodesChecked)
+				}
+			}
+		})
+	}
+}
+
+// TestWideEventCacheHit verifies the cache outcome lands in the event:
+// the second identical query answers from the cache with zero node work
+// and says so.
+func TestWideEventCacheHit(t *testing.T) {
+	cached, err := spine.Cached(spine.Build([]byte("abracadabra")), spine.CacheConfig{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, ts, sink := obsApp(t, cached)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/findall?q=abra")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	queries := eventsOfType(flushEvents(t, app, sink), obs.EventQuery)
+	if len(queries) != 2 {
+		t.Fatalf("got %d query events, want 2", len(queries))
+	}
+	if queries[0].Source != "scan" {
+		t.Fatalf("first query Source = %q, want scan", queries[0].Source)
+	}
+	if queries[1].Source != "cache" || queries[1].NodesChecked != 0 {
+		t.Fatalf("second query Source = %q NodesChecked = %d, want cache hit with 0 nodes",
+			queries[1].Source, queries[1].NodesChecked)
+	}
+}
+
+// TestBatchItemEvents verifies a /batch request trades its request-level
+// query event for one event per item — all children of the request span
+// (taken from the echoed traceparent) — including rejected items, with
+// their node counters summing to the registry's batch total.
+func TestBatchItemEvents(t *testing.T) {
+	app, ts, sink := obsApp(t, spine.Build([]byte("abracadabra")))
+
+	long := strings.Repeat("x", app.cfg.maxPatternLen+1)
+	body, _ := json.Marshal(map[string]any{"patterns": []string{"abra", long, "cad", "zzz"}})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	tp, ok := obs.ParseTraceParent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("batch response traceparent %q did not parse", resp.Header.Get("traceparent"))
+	}
+
+	evs := flushEvents(t, app, sink)
+	if qs := eventsOfType(evs, obs.EventQuery); len(qs) != 0 {
+		t.Fatalf("batch request also emitted %d query events; items must replace it", len(qs))
+	}
+	items := eventsOfType(evs, obs.EventBatchItem)
+	if len(items) != 4 {
+		t.Fatalf("got %d batch-item events, want one per request item (4)", len(items))
+	}
+	var nodes int64
+	seen := map[int]bool{}
+	for _, it := range items {
+		seen[it.BatchIndex] = true
+		nodes += it.NodesChecked
+		if it.TraceID != tp.TraceID.String() || it.ParentSpanID != tp.SpanID.String() {
+			t.Fatalf("item %d not a child of the request span: %+v (want trace %s parent %s)",
+				it.BatchIndex, it, tp.TraceID, tp.SpanID)
+		}
+		if it.Endpoint != "batch" {
+			t.Fatalf("item endpoint = %q", it.Endpoint)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Fatalf("no event for batch index %d", i)
+		}
+	}
+	byIndex := make([]obs.Event, 4)
+	for _, it := range items {
+		byIndex[it.BatchIndex] = it
+	}
+	if byIndex[1].Error != codePatternTooLong || byIndex[1].DurationUs != 0 {
+		t.Fatalf("oversized item event = %+v, want error %q with 0 engine time", byIndex[1], codePatternTooLong)
+	}
+	if byIndex[0].Error != "" || byIndex[0].ResultCount != 2 || byIndex[0].Pattern.Prefix != "abra" {
+		t.Fatalf("item 0 event wrong: %+v", byIndex[0])
+	}
+	if byIndex[3].ResultCount != 0 || byIndex[3].Error != "" {
+		t.Fatalf("absent-pattern item event wrong: %+v", byIndex[3])
+	}
+	if reg := app.reg.Query.NodesChecked.Value(); nodes != reg {
+		t.Fatalf("batch-item events sum to %d nodes, registry reports %d", nodes, reg)
+	}
+}
+
+// TestCorrelationRoundTrip is the acceptance check for header
+// propagation: the client's X-Request-Id and traceparent survive the
+// round trip, the response carries the server's own span on the same
+// trace, and every shard-leg event parents on that span.
+func TestCorrelationRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("acgtacgtttgcaacg"), 256)
+	sh, err := spine.BuildSharded(data, 1024, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, ts, sink := obsApp(t, sh)
+
+	const (
+		reqID    = "client-req-42"
+		traceID  = "0af7651916cd43dd8448eb211c80319c"
+		clientSp = "b7ad6b7169203331"
+	)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/findall?q=acgtacg", nil)
+	req.Header.Set("X-Request-Id", reqID)
+	req.Header.Set("traceparent", "00-"+traceID+"-"+clientSp+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != reqID {
+		t.Fatalf("X-Request-Id echo = %q, want %q", got, reqID)
+	}
+	echo, ok := obs.ParseTraceParent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q did not parse", resp.Header.Get("traceparent"))
+	}
+	if echo.TraceID.String() != traceID {
+		t.Fatalf("response switched trace: %s, want %s", echo.TraceID, traceID)
+	}
+	if echo.SpanID.String() == clientSp {
+		t.Fatal("server reused the client's span id instead of minting its own")
+	}
+
+	evs := flushEvents(t, app, sink)
+	queries := eventsOfType(evs, obs.EventQuery)
+	if len(queries) != 1 {
+		t.Fatalf("got %d query events, want 1", len(queries))
+	}
+	q := queries[0]
+	if q.RequestID != reqID || q.TraceID != traceID {
+		t.Fatalf("query event lost correlation: %+v", q)
+	}
+	if q.ParentSpanID != clientSp {
+		t.Fatalf("query event parent = %q, want the client span %q", q.ParentSpanID, clientSp)
+	}
+	if q.SpanID != echo.SpanID.String() {
+		t.Fatalf("query event span %q differs from the echoed traceparent span %q", q.SpanID, echo.SpanID)
+	}
+
+	legs := eventsOfType(evs, obs.EventShardLeg)
+	if len(legs) == 0 {
+		t.Fatal("no shard-leg events")
+	}
+	spans := map[string]bool{q.SpanID: true}
+	for _, leg := range legs {
+		if leg.RequestID != reqID || leg.TraceID != traceID {
+			t.Fatalf("leg lost correlation: %+v", leg)
+		}
+		if leg.ParentSpanID != q.SpanID {
+			t.Fatalf("leg %d parent = %q, want the query span %q", leg.Shard, leg.ParentSpanID, q.SpanID)
+		}
+		if leg.Shard < 0 {
+			t.Fatalf("leg missing shard number: %+v", leg)
+		}
+		if spans[leg.SpanID] {
+			t.Fatalf("span id %q reused across events", leg.SpanID)
+		}
+		spans[leg.SpanID] = true
+	}
+}
+
+// TestStageTagExhaustiveness pins the three telemetry surfaces to the
+// full stage vocabulary: every stage in trace.AllStages shows up in the
+// Prometheus per-stage series, and a wide event carrying all stages
+// serializes every tag. (trace's own unit test proves AllStages matches
+// the Stage* constants by parsing the source.)
+func TestStageTagExhaustiveness(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	for _, st := range trace.AllStages {
+		reg.Stage(st).Spans.Inc()
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range trace.AllStages {
+		want := fmt.Sprintf("spine_stage_spans_total{stage=%q} ", st)
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Prometheus exposition missing stage %q", st)
+		}
+	}
+
+	ev := obs.Event{Type: obs.EventQuery}
+	for _, st := range trace.AllStages {
+		ev.Stages = append(ev.Stages, trace.StageSummary{Stage: st, Shard: -1})
+	}
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range trace.AllStages {
+		if !strings.Contains(string(blob), fmt.Sprintf("%q", st)) {
+			t.Errorf("wide-event schema dropped stage %q", st)
+		}
+	}
+}
+
+// TestMetricsSurfacesObs verifies the ops surfaces carry the new
+// telemetry: /metrics JSON embeds the exporter stats, the prom format
+// gains spine_obs_* / spine_slo_* / spine_build_info, and /debug/dash
+// answers with pipeline + RED + SLO state.
+func TestMetricsSurfacesObs(t *testing.T) {
+	app, ts, sink := obsApp(t, spine.Build([]byte("abracadabra")))
+	resp, err := http.Get(ts.URL + "/v1/findall?q=abra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	flushEvents(t, app, sink)
+
+	var snap struct {
+		Obs           obs.PipelineStats `json:"obs"`
+		Build         map[string]any    `json:"build"`
+		StartTimeUnix float64           `json:"startTimeUnix"`
+	}
+	if r := getJSON(t, ts.URL+"/metrics", &snap); r.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", r.StatusCode)
+	}
+	if !snap.Obs.Enabled || snap.Obs.EmittedQuery < 1 {
+		t.Fatalf("JSON snapshot obs stats = %+v", snap.Obs)
+	}
+	if snap.Obs.Dropped != 0 {
+		t.Fatalf("dropped %d events in a quiet test", snap.Obs.Dropped)
+	}
+	if gv, _ := snap.Build["goVersion"].(string); gv == "" || snap.StartTimeUnix <= 0 {
+		t.Fatalf("snapshot missing build info / start time: %+v", snap)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	body := buf.String()
+	for _, want := range []string{
+		"spine_build_info{",
+		"spine_process_start_time_seconds ",
+		`spine_obs_events_emitted_total{type="query"} `,
+		"spine_obs_events_dropped_total 0",
+		`spine_slo_objective{slo="availability"} 0.999`,
+		`spine_slo_burn_rate{slo="latency",window="5m"} `,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom exposition missing %q\n%s", want, body)
+		}
+	}
+
+	var dash obs.Dash
+	if r := getJSON(t, ts.URL+"/debug/dash", &dash); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/dash status = %d", r.StatusCode)
+	}
+	if !dash.Pipeline.Enabled || len(dash.Series) == 0 || len(dash.SLO) == 0 {
+		t.Fatalf("dash incomplete: %+v", dash)
+	}
+}
+
+// TestRequestLogCarriesRequestID verifies the slog request line includes
+// the correlation id (satellite: structured logging migration).
+func TestRequestLogCarriesRequestID(t *testing.T) {
+	var logBuf bytes.Buffer
+	sink := obs.NewCollectorSink()
+	pipe := obs.NewPipeline(obs.Config{}, sink)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		pipe.Close(ctx)
+	})
+	cfg := defaultConfig()
+	cfg.pipeline = pipe
+	cfg.logger = slog.New(slog.NewJSONHandler(&logBuf, nil))
+	app := newQueryServer(spine.Build([]byte("abracadabra")), cfg)
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/contains?q=abra", nil)
+	req.Header.Set("X-Request-Id", "log-check-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var line struct {
+		Msg       string `json:"msg"`
+		RequestID string `json:"requestId"`
+		Endpoint  string `json:"endpoint"`
+		Status    int    `json:"status"`
+	}
+	found := false
+	for _, raw := range bytes.Split(logBuf.Bytes(), []byte("\n")) {
+		if len(raw) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatalf("request log line is not JSON: %q", raw)
+		}
+		if line.Msg == "request" && line.Endpoint == "contains" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no request log line for the query; log:\n%s", logBuf.String())
+	}
+	if line.RequestID != "log-check-7" || line.Status != http.StatusOK {
+		t.Fatalf("request line lost correlation: %+v", line)
+	}
+}
+
+// TestSlowlogCarriesCorrelation verifies slowlog entries gained the
+// request id and serving-source fields (satellite: slowlog enrichment).
+func TestSlowlogCarriesCorrelation(t *testing.T) {
+	cached, err := spine.Cached(spine.Build([]byte("abracadabra")), spine.CacheConfig{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewCollectorSink()
+	pipe := obs.NewPipeline(obs.Config{}, sink)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		pipe.Close(ctx)
+	})
+	cfg := defaultConfig()
+	cfg.slowlogThreshold = time.Nanosecond
+	cfg.traceSample = 1
+	cfg.pipeline = pipe
+	app := newQueryServer(cached, cfg)
+	ts := httptest.NewServer(app.mux())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/findall?q=abra", nil)
+		req.Header.Set("X-Request-Id", fmt.Sprintf("slow-%d", i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	entries, _ := app.slowlog.Snapshot()
+	if len(entries) != 2 {
+		t.Fatalf("got %d slowlog entries, want 2", len(entries))
+	}
+	// Snapshot returns newest first or oldest first; identify by id.
+	byID := map[string]trace.Entry{}
+	for _, e := range entries {
+		byID[e.RequestID] = e
+	}
+	first, ok := byID["slow-0"]
+	if !ok {
+		t.Fatalf("slowlog lost the request id: %+v", entries)
+	}
+	second := byID["slow-1"]
+	if first.Source != "scan" {
+		t.Fatalf("first query slowlog source = %q, want scan", first.Source)
+	}
+	if second.Source != "cache" {
+		t.Fatalf("second query slowlog source = %q, want cache", second.Source)
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	runtimepprof "runtime/pprof"
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/spine-index/spine"
+	"github.com/spine-index/spine/internal/obs"
 	"github.com/spine-index/spine/internal/telemetry"
 	"github.com/spine-index/spine/internal/trace"
 )
@@ -45,7 +46,14 @@ type serverConfig struct {
 	// traceSample traces 1 in N query requests (1 = every query, 0 =
 	// never). Untraced queries pay one context lookup and nothing else.
 	traceSample int
-	logger      *log.Logger
+	logger      *slog.Logger
+	// pipeline, when set, receives one wide event per query (plus
+	// batch-item and shard-leg events) and powers /debug/dash; nil turns
+	// the wide-event layer off entirely.
+	pipeline *obs.Pipeline
+	// slo, when set, computes burn rates over the pipeline's RED rollup
+	// for /debug/dash and the spine_slo_* Prometheus families.
+	slo *obs.SLO
 }
 
 func defaultConfig() serverConfig {
@@ -59,7 +67,7 @@ func defaultConfig() serverConfig {
 		slowlogThreshold: 250 * time.Millisecond,
 		slowlogSize:      128,
 		traceSample:      1,
-		logger:           log.New(io.Discard, "", 0),
+		logger:           slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 }
 
@@ -75,6 +83,8 @@ type server struct {
 	sem     chan struct{} // concurrency limiter; nil when disabled
 	sampler *trace.Sampler
 	slowlog *trace.SlowLog // nil when the threshold disables it
+	pipe    *obs.Pipeline  // nil-safe: every obs call no-ops when unset
+	slo     *obs.SLO
 	// hasCache gates the per-endpoint hit/miss attribution: without a
 	// Cached querier in the chain every result is a scan and counting
 	// "misses" would be noise.
@@ -116,9 +126,9 @@ func capability[T any](q spine.Querier) (T, bool) {
 
 func newQueryServer(q spine.Querier, cfg serverConfig) *server {
 	if cfg.logger == nil {
-		cfg.logger = log.New(io.Discard, "", 0)
+		cfg.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := &server{q: q, reg: telemetry.NewRegistry(), cfg: cfg}
+	s := &server{q: q, reg: telemetry.NewRegistry(), cfg: cfg, pipe: cfg.pipeline, slo: cfg.slo}
 	if cfg.maxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.maxInFlight)
 	}
@@ -176,6 +186,7 @@ func (s *server) mux() http.Handler {
 		m.Handle(ep.method+" /"+ep.name, deprecatedAlias(ep.name, h))
 	}
 	m.Handle("GET /debug/slowlog", s.instrument("slowlog", false, s.handleSlowlog))
+	m.Handle("GET /debug/dash", s.instrument("dash", false, s.handleDash))
 	m.Handle("GET /debug/vars", expvar.Handler())
 	m.HandleFunc("GET /debug/pprof/", pprof.Index)
 	m.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -265,19 +276,27 @@ func codeFor(err error) string {
 	}
 }
 
-func (s *server) writeError(w http.ResponseWriter, err error) {
-	writeAPIError(w, statusFor(err), codeFor(err), err.Error())
+// fail writes the unified error envelope and stamps the stable code on
+// the request's wide event, so exported events carry the same slug the
+// client saw.
+func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	obs.FromContext(r.Context()).SetError(code)
+	writeAPIError(w, status, code, msg)
+}
+
+func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	s.fail(w, r, statusFor(err), codeFor(err), err.Error())
 }
 
 // pattern extracts and validates the q parameter.
 func (s *server) pattern(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "missing q parameter")
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest, "missing q parameter")
 		return nil, false
 	}
 	if len(q) > s.cfg.maxPatternLen {
-		s.writeError(w, fmt.Errorf("%w: %d bytes exceeds the server's %d-byte cap",
+		s.writeError(w, r, fmt.Errorf("%w: %d bytes exceeds the server's %d-byte cap",
 			spine.ErrPatternTooLong, len(q), s.cfg.maxPatternLen))
 		return nil, false
 	}
@@ -292,6 +311,7 @@ func (s *server) pattern(w http.ResponseWriter, r *http.Request) ([]byte, bool) 
 func (s *server) observePattern(r *http.Request, p []byte) {
 	s.reg.Query.PatternLen.Observe(int64(len(p)))
 	trace.FromContext(r.Context()).SetPattern(p)
+	obs.FromContext(r.Context()).SetPattern(trace.FingerprintOf(p))
 	runtimepprof.SetGoroutineLabels(runtimepprof.WithLabels(r.Context(),
 		runtimepprof.Labels("plen_bucket", plenBucket(len(p)))))
 }
@@ -310,6 +330,21 @@ func (s *server) observeSource(name string, src spine.ResultSource) {
 	} else {
 		ep.CacheHits.Inc()
 	}
+}
+
+// observeResult stamps a successful query's outcome everywhere it is
+// reported: the endpoint's cache hit/miss counters, the trace (so slow
+// log entries name their source), and the request's wide event.
+func (s *server) observeResult(r *http.Request, name string, res spine.QueryResult, resultCount int) {
+	s.observeSource(name, res.Source)
+	src := res.Source.String()
+	trace.FromContext(r.Context()).SetSource(src)
+	obs.FromContext(r.Context()).SetOutcome(obs.Outcome{
+		Source:       src,
+		NodesChecked: res.NodesChecked,
+		ResultCount:  resultCount,
+		Truncated:    res.Truncated,
+	})
 }
 
 // plenBucket buckets a pattern length for pprof labels.
@@ -336,11 +371,23 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", telemetry.PromContentType)
 		if err := s.reg.WritePrometheus(w); err != nil {
-			s.cfg.logger.Printf("metrics: prometheus write: %v", err)
+			s.cfg.logger.Error("metrics: prometheus write", slog.Any("err", err))
+			return
 		}
+		obs.WritePrometheus(w, s.pipe.Stats(), s.slo)
 		return
 	}
-	writeJSON(w, s.reg.Snapshot())
+	writeJSON(w, struct {
+		telemetry.Snapshot
+		Obs obs.PipelineStats `json:"obs"`
+	}{s.reg.Snapshot(), s.pipe.Stats()})
+}
+
+// handleDash serves the observability dashboard JSON: pipeline health,
+// the multi-resolution RED rollups per endpoint×kind, and the SLO
+// burn-rate evaluation.
+func (s *server) handleDash(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, obs.BuildDash(s.pipe, s.slo))
 }
 
 func (s *server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
@@ -380,12 +427,17 @@ func (s *server) handleContains(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observePattern(r, p)
+	obs.FromContext(r.Context()).SetQuery(spine.KindContains.String(), 0)
 	res, err := s.q.Query(r.Context(), p, spine.QueryOptions{Kind: spine.KindContains})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	s.observeSource("contains", res.Source)
+	found := 0
+	if res.Found {
+		found = 1
+	}
+	s.observeResult(r, "contains", res, found)
 	s.reg.Query.NodesChecked.Add(res.NodesChecked)
 	writeJSON(w, map[string]any{"contains": res.Found})
 }
@@ -396,12 +448,17 @@ func (s *server) handleFind(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observePattern(r, p)
+	obs.FromContext(r.Context()).SetQuery(spine.KindFind.String(), 0)
 	res, err := s.q.Query(r.Context(), p, spine.QueryOptions{Kind: spine.KindFind})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	s.observeSource("find", res.Source)
+	found := 0
+	if res.Found {
+		found = 1
+	}
+	s.observeResult(r, "find", res, found)
 	s.reg.Query.NodesChecked.Add(res.NodesChecked)
 	writeJSON(w, map[string]any{"position": res.Position})
 }
@@ -415,7 +472,7 @@ func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad limit")
+			s.fail(w, r, http.StatusBadRequest, codeBadRequest, "bad limit")
 			return
 		}
 		if n < limit {
@@ -423,16 +480,17 @@ func (s *server) handleFindAll(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.observePattern(r, p)
+	obs.FromContext(r.Context()).SetQuery(spine.KindFindAll.String(), limit)
 	res, err := s.q.Query(r.Context(), p, spine.QueryOptions{Kind: spine.KindFindAll, Limit: limit})
 	s.reg.Query.NodesChecked.Add(res.NodesChecked)
 	tr := trace.FromContext(r.Context())
 	tr.SetNodesChecked(res.NodesChecked)
 	tr.SetTruncated(res.Truncated)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	s.observeSource("findall", res.Source)
+	s.observeResult(r, "findall", res, len(res.Positions))
 	s.reg.Query.Occurrences.Add(int64(len(res.Positions)))
 	if res.Truncated {
 		s.reg.Query.Truncated.Inc()
@@ -450,12 +508,13 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observePattern(r, p)
+	obs.FromContext(r.Context()).SetQuery(spine.KindCount.String(), 0)
 	res, err := s.q.Query(r.Context(), p, spine.QueryOptions{Kind: spine.KindCount})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	s.observeSource("count", res.Source)
+	s.observeResult(r, "count", res, res.Count)
 	s.reg.Query.NodesChecked.Add(res.NodesChecked)
 	s.reg.Query.Occurrences.Add(int64(res.Count))
 	writeJSON(w, map[string]any{"count": res.Count})
@@ -464,7 +523,7 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
 	ap, capOK := capability[approxer](s.q)
 	if !capOK {
-		writeAPIError(w, http.StatusNotImplemented, codeUnsupported,
+		s.fail(w, r, http.StatusNotImplemented, codeUnsupported,
 			"approximate search is not supported by this index type")
 		return
 	}
@@ -476,7 +535,7 @@ func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 || n > 3 {
-			writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad k (0..3)")
+			s.fail(w, r, http.StatusBadRequest, codeBadRequest, "bad k (0..3)")
 			return
 		}
 		k = n
@@ -487,19 +546,21 @@ func (s *server) handleApprox(w http.ResponseWriter, r *http.Request) {
 	case "edit":
 		model = spine.Edit
 	default:
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad model (hamming|edit)")
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest, "bad model (hamming|edit)")
 		return
 	}
 	s.observePattern(r, p)
+	obs.FromContext(r.Context()).SetQuery("approx", k)
 	positions := ap.FindAllWithin(p, k, model)
 	s.reg.Query.Occurrences.Add(int64(len(positions)))
+	obs.FromContext(r.Context()).SetOutcome(obs.Outcome{Source: "scan", ResultCount: len(positions)})
 	writeJSON(w, map[string]any{"positions": positions})
 }
 
 func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	mt, capOK := capability[matcher](s.q)
 	if !capOK {
-		writeAPIError(w, http.StatusNotImplemented, codeUnsupported,
+		s.fail(w, r, http.StatusNotImplemented, codeUnsupported,
 			"maximal matching is not supported by this index type")
 		return
 	}
@@ -507,7 +568,7 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("minlen"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad minlen")
+			s.fail(w, r, http.StatusBadRequest, codeBadRequest, "bad minlen")
 			return
 		}
 		minLen = n
@@ -516,25 +577,29 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeAPIError(w, http.StatusRequestEntityTooLarge, codeTooLarge, "query sequence too large")
+			s.fail(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, "query sequence too large")
 			return
 		}
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "reading body")
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest, "reading body")
 		return
 	}
 	if len(body) == 0 {
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "empty query sequence")
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest, "empty query sequence")
 		return
 	}
 	s.observePattern(r, body)
+	obs.FromContext(r.Context()).SetQuery("match", minLen)
 	matches, info, err := mt.MaximalMatchesContext(r.Context(), body, minLen)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.reg.Query.NodesChecked.Add(info.NodesChecked)
 	trace.FromContext(r.Context()).SetNodesChecked(info.NodesChecked)
 	s.reg.Query.Occurrences.Add(int64(info.Pairs))
+	obs.FromContext(r.Context()).SetOutcome(obs.Outcome{
+		Source: "scan", NodesChecked: info.NodesChecked, ResultCount: info.Pairs,
+	})
 	writeJSON(w, map[string]any{
 		"matches":      matches,
 		"pairs":        info.Pairs,
@@ -567,10 +632,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeAPIError(w, http.StatusRequestEntityTooLarge, codeTooLarge, "batch body too large")
+			s.fail(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, "batch body too large")
 			return
 		}
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "reading body")
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest, "reading body")
 		return
 	}
 	var req struct {
@@ -584,27 +649,29 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		err = json.Unmarshal(trimmed, &req)
 	}
 	if err != nil {
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad batch body: "+err.Error())
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest, "bad batch body: "+err.Error())
 		return
 	}
 	if len(req.Patterns) == 0 {
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "empty batch")
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest, "empty batch")
 		return
 	}
 	if len(req.Patterns) > s.cfg.maxBatchPatterns {
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest,
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest,
 			fmt.Sprintf("batch of %d patterns exceeds the server's %d-pattern cap",
 				len(req.Patterns), s.cfg.maxBatchPatterns))
 		return
 	}
 	if req.Limit < 0 {
-		writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad limit")
+		s.fail(w, r, http.StatusBadRequest, codeBadRequest, "bad limit")
 		return
 	}
 	limit := s.cfg.findAllCap
 	if req.Limit > 0 && req.Limit < limit {
 		limit = req.Limit
 	}
+	qc := obs.FromContext(r.Context())
+	qc.SetQuery("batch", limit)
 
 	// Server-side validation happens before the engine sees the batch:
 	// oversized patterns become per-item errors and are excluded from the
@@ -634,15 +701,19 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reg.Batch.Deduped.Add(int64(len(req.Patterns) - len(unique)))
 	trace.FromContext(r.Context()).SetPattern(bytes.Join(pats, []byte{0x1f}))
 
+	engineStart := time.Now()
 	results, err := s.q.QueryBatch(r.Context(), pats, spine.BatchOptions{Limit: limit})
+	engineElapsed := time.Since(engineStart)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
+	sources := make([]string, len(req.Patterns))
 	var nodes, occurrences int64
 	for k, res := range results {
 		i := fromEngine[k]
 		nodes += res.NodesChecked
+		sources[i] = res.Source.String()
 		if res.Err != nil {
 			items[i] = batchItem{Status: "error", Error: &apiError{
 				Code:    codeFor(res.Err),
@@ -671,6 +742,36 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reg.Query.NodesChecked.Add(nodes)
 	s.reg.Query.Occurrences.Add(occurrences)
 	trace.FromContext(r.Context()).SetNodesChecked(nodes)
+	trace.FromContext(r.Context()).SetSource("scan")
+
+	// The batch is covered by per-item events (one per request item, all
+	// children of this request's span), so the request-level query event
+	// is suppressed. Engine time is amortized evenly across the items the
+	// engine actually ran; rejected items never reached it and report 0.
+	if qc != nil {
+		qc.SuppressQueryEvent()
+		var perItemUs int64
+		if len(results) > 0 {
+			perItemUs = engineElapsed.Microseconds() / int64(len(results))
+		}
+		for i, ps := range req.Patterns {
+			it := items[i]
+			var errCode string
+			durUs := perItemUs
+			if it.Error != nil {
+				errCode = it.Error.Code
+				if errCode == codePatternTooLong {
+					durUs = 0 // rejected before the engine ran
+				}
+			}
+			qc.EmitBatchItem(i, trace.FingerprintOf([]byte(ps)), limit, obs.Outcome{
+				Source:       sources[i],
+				NodesChecked: it.NodesChecked,
+				ResultCount:  it.Count,
+				Truncated:    it.Truncated,
+			}, errCode, durUs)
+		}
+	}
 	writeJSON(w, map[string]any{
 		"patterns": len(req.Patterns),
 		"unique":   len(unique),

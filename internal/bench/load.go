@@ -1,14 +1,17 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/spine-index/spine/internal/obs"
 	"github.com/spine-index/spine/internal/telemetry"
 )
 
@@ -106,7 +109,7 @@ func RunLoad(cfg LoadConfig) (Table, []LoadResult, error) {
 				st := stats[ep]
 				st.requests.Inc()
 				t0 := time.Now()
-				status, err := issue(client, cfg, ep, p)
+				status, err := issue(client, cfg, ep, p, i)
 				st.latency.ObserveDuration(time.Since(t0))
 				switch {
 				case err != nil:
@@ -191,6 +194,34 @@ func WriteLoadPrometheus(w io.Writer, results []LoadResult) error {
 	return p.Err()
 }
 
+// ObsStats is the server-side exporter counter snapshot, re-exported so
+// load-generator callers don't import the obs package themselves.
+type ObsStats = obs.PipelineStats
+
+// FetchObsStats reads the server's wide-event exporter counters from the
+// /metrics JSON snapshot. A server without the obs layer (older build,
+// non-spineserve endpoint) reports Enabled=false rather than an error,
+// so callers can skip the cross-check gracefully.
+func FetchObsStats(baseURL string, timeout time.Duration) (ObsStats, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return ObsStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return ObsStats{}, fmt.Errorf("load: /metrics returned %s", resp.Status)
+	}
+	var body struct {
+		Obs ObsStats `json:"obs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return ObsStats{}, fmt.Errorf("load: decoding /metrics: %w", err)
+	}
+	return body.Obs, nil
+}
+
 // expandMix turns weighted entries into a deterministic round-robin
 // schedule: {contains:2, count:1} -> [contains contains count].
 func expandMix(mix []MixEntry) ([]string, error) {
@@ -215,13 +246,22 @@ func expandMix(mix []MixEntry) ([]string, error) {
 }
 
 // issue performs one GET and returns the status code; the body is
-// drained so connections are reused.
-func issue(client *http.Client, cfg LoadConfig, endpoint string, pattern []byte) (int, error) {
+// drained so connections are reused. Every request carries a
+// deterministic W3C traceparent plus an X-Request-Id derived from its
+// schedule index, so the server's wide events, request logs and slowlog
+// entries all correlate back to the exact generated request.
+func issue(client *http.Client, cfg LoadConfig, endpoint string, pattern []byte, seq int) (int, error) {
 	u := cfg.BaseURL + "/" + endpoint + "?q=" + url.QueryEscape(string(pattern))
 	if endpoint == "findall" && cfg.FindAllLimit > 0 {
 		u += fmt.Sprintf("&limit=%d", cfg.FindAllLimit)
 	}
-	resp, err := client.Get(u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("X-Request-Id", fmt.Sprintf("spinebench-%d", seq))
+	req.Header.Set("traceparent", fmt.Sprintf("00-%032x-%016x-01", seq+1, seq+1))
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"context"
+	"time"
+
+	"github.com/spine-index/spine/internal/trace"
+)
+
+// QueryCtx is one HTTP request's correlation identity plus the
+// annotations its handler accumulates for the wide event. It travels by
+// context through Querier → Cached → Sharded → batch, so every layer —
+// including each shard leg's goroutine — can mint child spans off the
+// same trace. A nil *QueryCtx is valid and every method no-ops, keeping
+// un-instrumented paths (library use, tests) free.
+//
+// Identity fields are immutable after Begin. Annotation setters are
+// called only from the handler goroutine before the deferred
+// EmitQuery; shard legs read only identity and the pattern fingerprint,
+// which the handler stamps before the fan-out starts, so the goroutine
+// creation edge orders those reads.
+type QueryCtx struct {
+	pipe       *Pipeline
+	endpoint   string
+	requestID  string
+	tp         TraceParent // this request's identity: trace id + server span
+	parentSpan SpanID      // client's span from the ingested traceparent
+
+	// Handler annotations.
+	pattern  trace.Fingerprint
+	kind     string
+	limit    int
+	outcome  Outcome
+	errCode  string
+	suppress bool
+}
+
+// Begin opens a request's correlation scope. incoming is the parsed
+// traceparent (zero value when the client sent none or sent garbage):
+// its trace id is adopted and its span id becomes the parent; otherwise
+// a fresh trace starts. requestID is the sanitized X-Request-Id (or a
+// freshly minted one). A nil pipeline returns nil — correlation off.
+func Begin(pipe *Pipeline, endpoint, requestID string, incoming TraceParent) *QueryCtx {
+	if pipe == nil {
+		return nil
+	}
+	qc := &QueryCtx{pipe: pipe, endpoint: endpoint, requestID: requestID}
+	if incoming.IsZero() {
+		qc.tp = TraceParent{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	} else {
+		qc.tp = TraceParent{TraceID: incoming.TraceID, SpanID: NewSpanID(), Flags: incoming.Flags | FlagSampled}
+		qc.parentSpan = incoming.SpanID
+	}
+	return qc
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying qc; a nil qc returns ctx
+// unchanged.
+func NewContext(ctx context.Context, qc *QueryCtx) context.Context {
+	if qc == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, qc)
+}
+
+// FromContext returns the request's QueryCtx, or nil when correlation
+// is off for this query.
+func FromContext(ctx context.Context) *QueryCtx {
+	qc, _ := ctx.Value(ctxKey{}).(*QueryCtx)
+	return qc
+}
+
+// RequestID returns the request's correlation id ("" on nil).
+func (qc *QueryCtx) RequestID() string {
+	if qc == nil {
+		return ""
+	}
+	return qc.requestID
+}
+
+// TraceParent returns the request's own trace identity — what the
+// server echoes back to the client and what child spans parent on.
+func (qc *QueryCtx) TraceParent() TraceParent {
+	if qc == nil {
+		return TraceParent{}
+	}
+	return qc.tp
+}
+
+// SetPattern stamps the query's pattern fingerprint. Call before the
+// querier runs so shard legs can copy it.
+func (qc *QueryCtx) SetPattern(fp trace.Fingerprint) {
+	if qc == nil {
+		return
+	}
+	qc.pattern = fp
+}
+
+// SetQuery annotates the query kind and (findall) limit.
+func (qc *QueryCtx) SetQuery(kind string, limit int) {
+	if qc == nil {
+		return
+	}
+	qc.kind, qc.limit = kind, limit
+}
+
+// SetOutcome annotates the result summary once the querier answers.
+func (qc *QueryCtx) SetOutcome(o Outcome) {
+	if qc == nil {
+		return
+	}
+	qc.outcome = o
+}
+
+// SetError annotates the stable error slug the response carried.
+func (qc *QueryCtx) SetError(code string) {
+	if qc == nil {
+		return
+	}
+	qc.errCode = code
+}
+
+// SuppressQueryEvent marks the request as already covered by per-item
+// events (the batch handler emits one event per item instead of one per
+// request).
+func (qc *QueryCtx) SuppressQueryEvent() {
+	if qc == nil {
+		return
+	}
+	qc.suppress = true
+}
+
+// EmitQuery builds and emits the request's wide event from the
+// accumulated annotations. The middleware calls it once per completed
+// query request; suppressed (batch) requests no-op.
+func (qc *QueryCtx) EmitQuery(status int, start time.Time, elapsed time.Duration, stages []trace.StageSummary) {
+	if qc == nil || qc.suppress {
+		return
+	}
+	qc.pipe.Emit(Event{
+		Time:         start,
+		Type:         EventQuery,
+		RequestID:    qc.requestID,
+		TraceID:      qc.tp.TraceID.String(),
+		SpanID:       qc.tp.SpanID.String(),
+		ParentSpanID: spanOrEmpty(qc.parentSpan),
+		Endpoint:     qc.endpoint,
+		Kind:         qc.kind,
+		Limit:        qc.limit,
+		Shard:        -1,
+		BatchIndex:   -1,
+		Pattern:      qc.pattern,
+		Source:       qc.outcome.Source,
+		Status:       status,
+		Error:        qc.errCode,
+		DurationUs:   elapsed.Microseconds(),
+		NodesChecked: qc.outcome.NodesChecked,
+		ResultCount:  qc.outcome.ResultCount,
+		Truncated:    qc.outcome.Truncated,
+		Stages:       stages,
+	})
+}
+
+// EmitBatchItem emits one batch item's event as a child span of the
+// batch request. durUs is the item's amortized share of the engine
+// time; errCode is the item's stable error slug ("" on success).
+func (qc *QueryCtx) EmitBatchItem(index int, pattern trace.Fingerprint, limit int, out Outcome, errCode string, durUs int64) {
+	if qc == nil {
+		return
+	}
+	qc.pipe.Emit(Event{
+		Time:         time.Now(),
+		Type:         EventBatchItem,
+		RequestID:    qc.requestID,
+		TraceID:      qc.tp.TraceID.String(),
+		SpanID:       NewSpanID().String(),
+		ParentSpanID: qc.tp.SpanID.String(),
+		Endpoint:     qc.endpoint,
+		Kind:         "findall",
+		Limit:        limit,
+		Shard:        -1,
+		BatchIndex:   index,
+		Pattern:      pattern,
+		Source:       out.Source,
+		Error:        errCode,
+		DurationUs:   durUs,
+		NodesChecked: out.NodesChecked,
+		ResultCount:  out.ResultCount,
+		Truncated:    out.Truncated,
+	})
+}
+
+// Leg is one shard's in-progress share of a fan-out. Its span id is the
+// identity a future cross-process tier would propagate to the remote
+// shard ("00-<trace>-<leg span>-<flags>").
+type Leg struct {
+	qc    *QueryCtx
+	shard int
+	span  SpanID
+	start time.Time
+}
+
+// StartLeg opens a shard leg's span; nil-safe (returns nil when
+// correlation is off, and a nil *Leg's End no-ops).
+func (qc *QueryCtx) StartLeg(shard int) *Leg {
+	if qc == nil {
+		return nil
+	}
+	return &Leg{qc: qc, shard: shard, span: NewSpanID(), start: time.Now()}
+}
+
+// TraceParent returns the leg's outgoing trace identity for
+// cross-process propagation.
+func (l *Leg) TraceParent() TraceParent {
+	if l == nil {
+		return TraceParent{}
+	}
+	return TraceParent{TraceID: l.qc.tp.TraceID, SpanID: l.span, Flags: l.qc.tp.Flags}
+}
+
+// End emits the shard-leg event: the leg's wall time, its share of the
+// work, and — when the query is traced — its stage breakdown.
+func (l *Leg) End(nodes int64, resultCount int, err error, stages []trace.StageSummary) {
+	if l == nil {
+		return
+	}
+	qc := l.qc
+	qc.pipe.Emit(Event{
+		Time:         l.start,
+		Type:         EventShardLeg,
+		RequestID:    qc.requestID,
+		TraceID:      qc.tp.TraceID.String(),
+		SpanID:       l.span.String(),
+		ParentSpanID: qc.tp.SpanID.String(),
+		Endpoint:     qc.endpoint,
+		Kind:         qc.kind,
+		Shard:        l.shard,
+		BatchIndex:   -1,
+		Pattern:      qc.pattern,
+		Error:        errSlug(err),
+		DurationUs:   time.Since(l.start).Microseconds(),
+		NodesChecked: nodes,
+		ResultCount:  resultCount,
+		Stages:       stages,
+	})
+}
+
+func spanOrEmpty(s SpanID) string {
+	if s.IsZero() {
+		return ""
+	}
+	return s.String()
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/spine-index/spine/internal/trace"
+)
+
+// Event types: one event per query, whatever shape the query takes.
+const (
+	// EventQuery is a single-pattern HTTP query (contains, find,
+	// findall, count, approx, match).
+	EventQuery = "query"
+	// EventBatchItem is one item of a /batch request; BatchIndex is its
+	// position, ParentSpanID the batch request's span.
+	EventBatchItem = "batch_item"
+	// EventShardLeg is one shard's share of a fan-out; Shard is the
+	// shard number, ParentSpanID the enclosing query's span.
+	EventShardLeg = "shard_leg"
+)
+
+// Event is the wide event: everything worth knowing about one query in
+// one record, joinable against logs and the slow-query ring by request
+// id and against distributed traces by the W3C ids. Node-counter fields
+// inside Stages partition NodesChecked exactly (the internal/trace
+// invariant), so the event stream sums to the same work totals the
+// Prometheus families report.
+type Event struct {
+	Time time.Time `json:"time"`
+	Type string    `json:"type"`
+	// RequestID correlates every event, log line and slowlog entry of
+	// one HTTP request.
+	RequestID string `json:"requestId"`
+	// TraceID/SpanID/ParentSpanID are W3C trace-context ids: TraceID is
+	// shared across the whole distributed request, SpanID names this
+	// event's span, ParentSpanID its parent (the client's span for a
+	// query event, the query's span for batch items and shard legs).
+	TraceID      string `json:"traceId"`
+	SpanID       string `json:"spanId"`
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+	Endpoint     string `json:"endpoint"`
+	// Kind is the QueryOptions kind (contains|find|findall|count) or the
+	// endpoint-specific operation (approx, match).
+	Kind  string `json:"kind,omitempty"`
+	Limit int    `json:"limit,omitempty"`
+	// Shard is the shard number for shard-leg events, -1 otherwise.
+	Shard int `json:"shard"`
+	// BatchIndex is the item's position for batch-item events, -1
+	// otherwise.
+	BatchIndex int               `json:"batchIndex"`
+	Pattern    trace.Fingerprint `json:"pattern"`
+	// Source is the serving layer that answered: scan, cache or
+	// negfilter (empty when unknown, e.g. a request that failed before
+	// reaching the querier).
+	Source string `json:"source,omitempty"`
+	// Status is the HTTP status (query events only).
+	Status int `json:"status,omitempty"`
+	// Error is the stable error slug (the HTTP surface's code values);
+	// empty on success.
+	Error      string `json:"error,omitempty"`
+	DurationUs int64  `json:"durationUs"`
+	// NodesChecked is the query's §4.1 work total; the Nodes counters of
+	// Stages sum to it when a stage breakdown is present.
+	NodesChecked int64 `json:"nodesChecked"`
+	ResultCount  int   `json:"resultCount"`
+	Truncated    bool  `json:"truncated"`
+	// Stages is the per-stage duration/counter breakdown summarized from
+	// the query's trace; nil when the query was not traced.
+	Stages []trace.StageSummary `json:"stages,omitempty"`
+}
+
+// Outcome is the handler-visible result summary stamped onto a QueryCtx
+// once the querier answers.
+type Outcome struct {
+	Source       string
+	NodesChecked int64
+	ResultCount  int
+	Truncated    bool
+}
+
+// errSlug classifies an engine error into the HTTP surface's stable
+// code vocabulary for event records.
+func errSlug(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "internal"
+	}
+}

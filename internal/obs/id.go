@@ -1,0 +1,194 @@
+// Package obs is the wide-event observability pipeline of the serving
+// layer. Where internal/telemetry aggregates populations and
+// internal/trace explains one query's stages in-process, obs answers
+// "what happened to THIS query" across processes: every query — a
+// single request, one item of a batch, one shard leg of a fan-out —
+// emits exactly one structured Event carrying the request id, W3C
+// trace-context ids, the pattern fingerprint, the cache/negative-filter
+// outcome, per-stage durations and node counters lifted from the
+// query's trace, and the result shape. Events flow through a bounded,
+// non-blocking Pipeline to pluggable sinks (JSONL file, HTTP batch
+// export); backpressure surfaces as a dropped-events counter, never as
+// latency on the query path. On top of the event stream a
+// multi-resolution RED rollup (rate/errors/duration at 1s/10s/1m)
+// powers the /debug/dash endpoint and the SLO burn-rate engine.
+package obs
+
+import (
+	"math/rand/v2"
+	"strings"
+)
+
+// TraceID is the 16-byte W3C trace-context trace id shared by every
+// span of one distributed request.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C trace-context span (parent) id.
+type SpanID [8]byte
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(dst []byte, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0x0f])
+	}
+	return dst
+}
+
+// IsZero reports the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return string(appendHex(make([]byte, 0, 32), t[:])) }
+
+// IsZero reports the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return string(appendHex(make([]byte, 0, 16), s[:])) }
+
+// NewTraceID returns a fresh non-zero trace id. Ids come from
+// math/rand/v2's process-wide ChaCha8 generator (securely seeded,
+// goroutine-safe, no syscall per id), which is collision-resistant
+// enough for correlation without paying crypto/rand on the query path.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[:8], rand.Uint64())
+		putUint64(t[8:], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		putUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// FlagSampled is the trace-flags bit requesting downstream recording.
+const FlagSampled byte = 0x01
+
+// TraceParent is a parsed W3C traceparent header: the propagation
+// contract every spineserve hop honors, and the one a future
+// cross-process shard fan-out inherits (each outgoing leg sends
+// "00-<TraceID>-<leg SpanID>-<flags>" so the remote shard's events
+// parent correctly).
+type TraceParent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// IsZero reports an unset traceparent.
+func (tp TraceParent) IsZero() bool { return tp.TraceID.IsZero() }
+
+// Header renders the version-00 header value.
+func (tp TraceParent) Header() string {
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = appendHex(b, tp.TraceID[:])
+	b = append(b, '-')
+	b = appendHex(b, tp.SpanID[:])
+	b = append(b, '-')
+	b = appendHex(b, []byte{tp.Flags})
+	return string(b)
+}
+
+// ParseTraceParent parses a traceparent header value per the W3C
+// trace-context spec: version "00" (higher versions are accepted by
+// reading their first four fields, per the spec's forward-compatibility
+// rule), 32-hex trace id, 16-hex span id, 2-hex flags, all lowercase,
+// ids non-zero. Malformed headers report ok=false and the caller starts
+// a fresh trace rather than failing the request.
+func ParseTraceParent(h string) (tp TraceParent, ok bool) {
+	h = strings.TrimSpace(h)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceParent{}, false
+	}
+	version, ok := hexField(h[0:2])
+	if !ok || len(version) != 1 || version[0] == 0xff {
+		return TraceParent{}, false
+	}
+	if version[0] == 0 && len(h) != 55 {
+		return TraceParent{}, false
+	}
+	if version[0] > 0 && len(h) > 55 && h[55] != '-' {
+		return TraceParent{}, false
+	}
+	tid, ok1 := hexField(h[3:35])
+	sid, ok2 := hexField(h[36:52])
+	flags, ok3 := hexField(h[53:55])
+	if !ok1 || !ok2 || !ok3 {
+		return TraceParent{}, false
+	}
+	copy(tp.TraceID[:], tid)
+	copy(tp.SpanID[:], sid)
+	tp.Flags = flags[0]
+	if tp.TraceID.IsZero() || tp.SpanID.IsZero() {
+		return TraceParent{}, false
+	}
+	return tp, true
+}
+
+// hexField decodes an even-length lowercase-hex string (uppercase is
+// rejected, per the traceparent ABNF).
+func hexField(s string) ([]byte, bool) {
+	if len(s)%2 != 0 {
+		return nil, false
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(s); i++ {
+		var v byte
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			v = c - '0'
+		case c >= 'a' && c <= 'f':
+			v = c - 'a' + 10
+		default:
+			return nil, false
+		}
+		if i%2 == 0 {
+			out[i/2] = v << 4
+		} else {
+			out[i/2] |= v
+		}
+	}
+	return out, true
+}
+
+// NewRequestID returns a fresh 16-hex-digit request id.
+func NewRequestID() string {
+	var b [8]byte
+	putUint64(b[:], rand.Uint64())
+	return string(appendHex(make([]byte, 0, 16), b[:]))
+}
+
+// maxRequestIDLen bounds ingested request ids so a hostile header
+// cannot bloat every event and log line.
+const maxRequestIDLen = 128
+
+// SanitizeRequestID validates a client-supplied X-Request-Id: printable
+// ASCII without spaces or quotes, at most 128 bytes. Anything else
+// reports ok=false and the server mints its own id.
+func SanitizeRequestID(s string) (string, bool) {
+	if s == "" || len(s) > maxRequestIDLen {
+		return "", false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return "", false
+		}
+	}
+	return s, true
+}

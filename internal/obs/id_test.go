@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDGeneration(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tid, sid := NewTraceID(), NewSpanID()
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatal("generated a zero id")
+		}
+		if len(tid.String()) != 32 || len(sid.String()) != 16 {
+			t.Fatalf("bad id lengths: %q %q", tid, sid)
+		}
+		if seen[tid.String()] {
+			t.Fatalf("trace id collision in 100 draws: %s", tid)
+		}
+		seen[tid.String()] = true
+	}
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tp := TraceParent{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	h := tp.Header()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("bad header %q", h)
+	}
+	got, ok := ParseTraceParent(h)
+	if !ok || got != tp {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, tp)
+	}
+}
+
+func TestParseTraceParent(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"valid with whitespace", "  " + valid + " ", true},
+		{"future version extra field", "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", true},
+		{"empty", "", false},
+		{"short", valid[:54], false},
+		{"version ff", "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", false},
+		{"version 00 trailing field", valid + "-extra", false},
+		{"future version no dash before extra", "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x", false},
+		{"uppercase hex", "00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01", false},
+		{"zero trace id", "00-00000000000000000000000000000000-b7ad6b7169203331-01", false},
+		{"zero span id", "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", false},
+		{"wrong delimiter", "00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", false},
+		{"non-hex", "00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tp, ok := ParseTraceParent(c.in)
+			if ok != c.ok {
+				t.Fatalf("ParseTraceParent(%q) ok=%v, want %v", c.in, ok, c.ok)
+			}
+			if ok && tp.IsZero() {
+				t.Fatalf("ParseTraceParent(%q) accepted but returned zero value", c.in)
+			}
+		})
+	}
+}
+
+func TestParseTraceParentFields(t *testing.T) {
+	tp, ok := ParseTraceParent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if got := tp.TraceID.String(); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("trace id %q", got)
+	}
+	if got := tp.SpanID.String(); got != "b7ad6b7169203331" {
+		t.Fatalf("span id %q", got)
+	}
+	if tp.Flags != FlagSampled {
+		t.Fatalf("flags %#x", tp.Flags)
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	if got, ok := SanitizeRequestID("req-abc_123/XY.Z"); !ok || got != "req-abc_123/XY.Z" {
+		t.Fatalf("rejected benign id: %q %v", got, ok)
+	}
+	for _, bad := range []string{
+		"", "has space", "has\"quote", `has\backslash`, "has\nnewline", "ütf8",
+		strings.Repeat("x", maxRequestIDLen+1),
+	} {
+		if _, ok := SanitizeRequestID(bad); ok {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if got := NewRequestID(); len(got) != 16 {
+		t.Fatalf("NewRequestID() = %q, want 16 hex chars", got)
+	}
+}

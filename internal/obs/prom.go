@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"time"
+
+	"github.com/spine-index/spine/internal/telemetry"
+)
+
+// WritePrometheus renders the pipeline's and SLO engine's Prometheus
+// families, appended after the telemetry registry's exposition on
+// /metrics scrapes. Families are emitted whenever the pipeline is
+// enabled — zeros included — so dashboards never see a missing series;
+// a disabled pipeline emits nothing.
+func WritePrometheus(w io.Writer, st PipelineStats, slo *SLO) error {
+	if !st.Enabled {
+		return nil
+	}
+	p := telemetry.NewPromWriter(w)
+
+	p.Family("spine_obs_events_emitted_total", "counter", "Wide events emitted by type (query, batch_item, shard_leg).")
+	p.Sample("spine_obs_events_emitted_total", []telemetry.Label{{Name: "type", Value: EventQuery}}, float64(st.EmittedQuery))
+	p.Sample("spine_obs_events_emitted_total", []telemetry.Label{{Name: "type", Value: EventBatchItem}}, float64(st.EmittedBatchItems))
+	p.Sample("spine_obs_events_emitted_total", []telemetry.Label{{Name: "type", Value: EventShardLeg}}, float64(st.EmittedShardLegs))
+	p.Family("spine_obs_events_dropped_total", "counter", "Wide events dropped because the export queue was full (backpressure signal; the query path never blocks).")
+	p.Sample("spine_obs_events_dropped_total", nil, float64(st.Dropped))
+	p.Family("spine_obs_events_exported_total", "counter", "Wide events handed to the sinks.")
+	p.Sample("spine_obs_events_exported_total", nil, float64(st.Exported))
+	p.Family("spine_obs_export_errors_total", "counter", "Sink export failures after retries.")
+	p.Sample("spine_obs_export_errors_total", nil, float64(st.ExportErrors))
+	p.Family("spine_obs_export_retries_total", "counter", "Sink transport retries.")
+	p.Sample("spine_obs_export_retries_total", nil, float64(st.ExportRetries))
+	p.Family("spine_obs_queue_depth", "gauge", "Wide events currently waiting in the export queue.")
+	p.Sample("spine_obs_queue_depth", nil, float64(st.QueueDepth))
+
+	if statuses := slo.Snapshot(); len(statuses) > 0 {
+		p.Family("spine_slo_objective", "gauge", "Configured SLO objective as a good-events fraction.")
+		for _, st := range statuses {
+			p.Sample("spine_slo_objective", []telemetry.Label{{Name: "slo", Value: st.Name}}, st.Objective)
+		}
+		for _, st := range statuses {
+			if st.Name == "latency" {
+				p.Family("spine_slo_latency_threshold_seconds", "gauge", "Latency SLO threshold.")
+				p.Sample("spine_slo_latency_threshold_seconds", nil, st.ThresholdMs/1e3)
+			}
+		}
+		p.Family("spine_slo_burn_rate", "gauge", "Error-budget burn rate per trailing window (1 = budget exhausted exactly at period end).")
+		for _, st := range statuses {
+			for _, bw := range st.Windows {
+				p.Sample("spine_slo_burn_rate", sloLabels(st.Name, "window", bw.Window), bw.Burn)
+			}
+		}
+		p.Family("spine_slo_window_requests", "gauge", "Requests observed per burn-rate window.")
+		for _, st := range statuses {
+			for _, bw := range st.Windows {
+				p.Sample("spine_slo_window_requests", sloLabels(st.Name, "window", bw.Window), float64(bw.Total))
+			}
+		}
+		p.Family("spine_slo_window_bad", "gauge", "Budget-burning events per burn-rate window.")
+		for _, st := range statuses {
+			for _, bw := range st.Windows {
+				p.Sample("spine_slo_window_bad", sloLabels(st.Name, "window", bw.Window), float64(bw.Bad))
+			}
+		}
+		p.Family("spine_slo_alert", "gauge", "Multi-window burn alert verdicts (1 = firing).")
+		for _, st := range statuses {
+			p.Sample("spine_slo_alert", sloLabels(st.Name, "severity", "page"), boolGauge(st.Page))
+			p.Sample("spine_slo_alert", sloLabels(st.Name, "severity", "ticket"), boolGauge(st.Ticket))
+		}
+	}
+
+	return p.Err()
+}
+
+func sloLabels(slo, name, value string) []telemetry.Label {
+	return []telemetry.Label{{Name: "slo", Value: slo}, {Name: name, Value: value}}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Dash is the /debug/dash payload: the pipeline's health, the RED
+// windows per series, and the SLO verdicts — a one-request operational
+// dashboard.
+type Dash struct {
+	Time     time.Time        `json:"time"`
+	Pipeline PipelineStats    `json:"pipeline"`
+	Series   []SeriesSnapshot `json:"series,omitempty"`
+	SLO      []SLOStatus      `json:"slo,omitempty"`
+}
+
+// BuildDash assembles the dashboard snapshot; nil-safe on every input.
+func BuildDash(p *Pipeline, slo *SLO) Dash {
+	return Dash{
+		Time:     time.Now(),
+		Pipeline: p.Stats(),
+		Series:   p.RED().Snapshot(),
+		SLO:      slo.Snapshot(),
+	}
+}

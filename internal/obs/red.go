@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The RED rollup keeps rate/errors/duration per endpoint×kind in three
+// ring-buffered resolutions. Each ring trades range for grain:
+//
+//	1s  × 300 buckets → last 5 minutes   (fast burn windows)
+//	10s × 360 buckets → last hour        (1h burn window)
+//	1m  × 360 buckets → last 6 hours     (slow burn window)
+//
+// Observations are O(resolutions) atomic-cheap bucket updates under one
+// mutex; reads aggregate whichever ring covers the asked window at the
+// finest grain. Slowness (for the latency SLO) is stamped at observe
+// time against the configured threshold so a later threshold change
+// doesn't rewrite history.
+
+// redResolutions defines the rings, finest first.
+var redResolutions = []struct {
+	width   time.Duration
+	buckets int
+}{
+	{time.Second, 300},
+	{10 * time.Second, 360},
+	{time.Minute, 360},
+}
+
+// redBucket accumulates one time slot of one series.
+type redBucket struct {
+	start    int64 // unix seconds, aligned to the ring width; 0 = empty
+	count    int64
+	errors   int64
+	slow     int64
+	durUs    int64
+	durMaxUs int64
+}
+
+type redRing struct {
+	width   time.Duration
+	buckets []redBucket
+}
+
+func (r *redRing) observe(now time.Time, durUs int64, isErr, isSlow bool) {
+	w := int64(r.width / time.Second)
+	start := now.Unix() / w * w
+	b := &r.buckets[int(start/w)%len(r.buckets)]
+	if b.start != start {
+		*b = redBucket{start: start}
+	}
+	b.count++
+	if isErr {
+		b.errors++
+	}
+	if isSlow {
+		b.slow++
+	}
+	b.durUs += durUs
+	if durUs > b.durMaxUs {
+		b.durMaxUs = durUs
+	}
+}
+
+// window sums the buckets covering [now-d, now).
+func (r *redRing) window(now time.Time, d time.Duration) WindowStats {
+	w := int64(r.width / time.Second)
+	lo := now.Add(-d).Unix() / w * w
+	hi := now.Unix()
+	var ws WindowStats
+	for i := range r.buckets {
+		b := &r.buckets[i]
+		if b.start == 0 || b.start < lo || b.start > hi {
+			continue
+		}
+		ws.Count += b.count
+		ws.Errors += b.errors
+		ws.Slow += b.slow
+		ws.DurationUs += b.durUs
+		if b.durMaxUs > ws.DurationMaxUs {
+			ws.DurationMaxUs = b.durMaxUs
+		}
+	}
+	return ws
+}
+
+// redSeries is one endpoint×kind's rings across all resolutions.
+type redSeries struct {
+	rings []*redRing
+}
+
+func newRedSeries() *redSeries {
+	s := &redSeries{}
+	for _, res := range redResolutions {
+		s.rings = append(s.rings, &redRing{width: res.width, buckets: make([]redBucket, res.buckets)})
+	}
+	return s
+}
+
+// WindowStats is the RED aggregate over one time window of one series.
+type WindowStats struct {
+	Count         int64 `json:"count"`
+	Errors        int64 `json:"errors"`
+	Slow          int64 `json:"slow"`
+	DurationUs    int64 `json:"durationUs"`
+	DurationMaxUs int64 `json:"durationMaxUs"`
+}
+
+// MeanUs returns the window's mean duration in microseconds.
+func (w WindowStats) MeanUs() int64 {
+	if w.Count == 0 {
+		return 0
+	}
+	return w.DurationUs / w.Count
+}
+
+// RED is the multi-resolution rollup: one series per endpoint×kind plus
+// a synthetic total series every event also feeds.
+type RED struct {
+	mu          sync.Mutex
+	series      map[redKey]*redSeries
+	total       *redSeries
+	slowUs      int64 // latency-SLO threshold; slowness stamped at observe time
+	now         func() time.Time
+	maxSeries   int
+	seriesDrops int64
+}
+
+type redKey struct{ endpoint, kind string }
+
+// NewRED builds a rollup; slowThreshold is the latency-SLO cut
+// (observations above it count as slow; <= 0 disables slow counting).
+func NewRED(slowThreshold time.Duration) *RED {
+	return &RED{
+		series:    make(map[redKey]*redSeries),
+		total:     newRedSeries(),
+		slowUs:    slowThreshold.Microseconds(),
+		now:       time.Now,
+		maxSeries: 256,
+	}
+}
+
+// Observe folds one query or batch-item event into the rollup. An event
+// is an error when its HTTP status is 5xx or, statusless (batch items),
+// when it carries a server-side error slug; client-side slugs
+// (bad_request etc.) don't burn the availability SLO.
+func (r *RED) Observe(e Event) {
+	if r == nil {
+		return
+	}
+	isErr := e.Status >= 500 || (e.Status == 0 && serverSideSlug(e.Error))
+	isSlow := r.slowUs > 0 && e.DurationUs > r.slowUs
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := redKey{endpoint: e.Endpoint, kind: e.Kind}
+	s := r.series[k]
+	if s == nil {
+		if len(r.series) >= r.maxSeries {
+			// Endpoint and kind come from fixed vocabularies, so this
+			// only trips on a bug; drop into the total series rather
+			// than growing without bound.
+			r.seriesDrops++
+			s = r.total
+		} else {
+			s = newRedSeries()
+			r.series[k] = s
+		}
+	}
+	for _, ring := range s.rings {
+		ring.observe(now, e.DurationUs, isErr, isSlow)
+	}
+	if s != r.total {
+		for _, ring := range r.total.rings {
+			ring.observe(now, e.DurationUs, isErr, isSlow)
+		}
+	}
+}
+
+// serverSideSlug reports whether an error slug counts against the
+// availability SLO (server fault) rather than being the client's.
+func serverSideSlug(slug string) bool {
+	switch slug {
+	case "", "bad_request", "pattern_too_long", "payload_too_large", "unsupported", "canceled":
+		return false
+	default:
+		// timeout, too_many_requests, internal, and anything new.
+		return true
+	}
+}
+
+// Window aggregates one series (or the total with endpoint=="") over
+// the trailing duration d, read from the finest ring that covers d.
+func (r *RED) Window(endpoint, kind string, d time.Duration) WindowStats {
+	if r == nil {
+		return WindowStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.total
+	if endpoint != "" {
+		s = r.series[redKey{endpoint: endpoint, kind: kind}]
+		if s == nil {
+			return WindowStats{}
+		}
+	}
+	return r.windowLocked(s, d)
+}
+
+func (r *RED) windowLocked(s *redSeries, d time.Duration) WindowStats {
+	now := r.now()
+	for _, ring := range s.rings {
+		if time.Duration(len(ring.buckets))*ring.width >= d {
+			return ring.window(now, d)
+		}
+	}
+	return s.rings[len(s.rings)-1].window(now, d)
+}
+
+// SeriesSnapshot is one endpoint×kind's windows for /debug/dash.
+type SeriesSnapshot struct {
+	Endpoint string                 `json:"endpoint"`
+	Kind     string                 `json:"kind,omitempty"`
+	Windows  map[string]WindowStats `json:"windows"`
+}
+
+// dashWindows are the trailing windows /debug/dash reports per series.
+var dashWindows = []struct {
+	label string
+	d     time.Duration
+}{
+	{"10s", 10 * time.Second},
+	{"1m", time.Minute},
+	{"5m", 5 * time.Minute},
+	{"1h", time.Hour},
+}
+
+// Snapshot returns every series' dash windows, total first, the rest
+// sorted by endpoint then kind.
+func (r *RED) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SeriesSnapshot, 0, len(r.series)+1)
+	out = append(out, r.snapshotLocked("_total", "", r.total))
+	keys := make([]redKey, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	for _, k := range keys {
+		out = append(out, r.snapshotLocked(k.endpoint, k.kind, r.series[k]))
+	}
+	return out
+}
+
+func (r *RED) snapshotLocked(endpoint, kind string, s *redSeries) SeriesSnapshot {
+	ss := SeriesSnapshot{Endpoint: endpoint, Kind: kind, Windows: make(map[string]WindowStats, len(dashWindows))}
+	for _, w := range dashWindows {
+		ss.Windows[w.label] = r.windowLocked(s, w.d)
+	}
+	return ss
+}

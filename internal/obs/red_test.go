@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock pins the RED rollup's clock for deterministic windows.
+func fakeClock(r *RED, at *time.Time) {
+	r.now = func() time.Time { return *at }
+}
+
+func TestREDWindowMath(t *testing.T) {
+	red := NewRED(10 * time.Millisecond)
+	now := time.Unix(1_000_000, 0)
+	fakeClock(red, &now)
+
+	for i := 0; i < 10; i++ {
+		red.Observe(Event{Type: EventQuery, Endpoint: "contains", Kind: "contains", DurationUs: 100, Status: 200})
+	}
+	red.Observe(Event{Type: EventQuery, Endpoint: "contains", Kind: "contains", DurationUs: 100, Status: 500})
+	// 20ms > the 10ms slow threshold.
+	red.Observe(Event{Type: EventQuery, Endpoint: "find", Kind: "find", DurationUs: 20_000, Status: 200})
+
+	total := red.Window("", "", time.Minute)
+	if total.Count != 12 || total.Errors != 1 || total.Slow != 1 {
+		t.Fatalf("total window: %+v", total)
+	}
+	per := red.Window("contains", "contains", time.Minute)
+	if per.Count != 11 || per.Errors != 1 || per.Slow != 0 {
+		t.Fatalf("contains window: %+v", per)
+	}
+	if per.MeanUs() != 100 {
+		t.Fatalf("mean %d, want 100", per.MeanUs())
+	}
+	if w := red.Window("find", "find", time.Minute); w.DurationMaxUs != 20_000 {
+		t.Fatalf("max duration %d", w.DurationMaxUs)
+	}
+	if w := red.Window("nosuch", "x", time.Minute); w.Count != 0 {
+		t.Fatalf("unknown series non-empty: %+v", w)
+	}
+}
+
+func TestREDWindowExpiry(t *testing.T) {
+	red := NewRED(0)
+	now := time.Unix(2_000_000, 0)
+	fakeClock(red, &now)
+	red.Observe(Event{Type: EventQuery, Endpoint: "contains", Kind: "contains", DurationUs: 1, Status: 200})
+
+	// Within the 1s ring's 5m range.
+	now = now.Add(2 * time.Minute)
+	if w := red.Window("", "", 5*time.Minute); w.Count != 1 {
+		t.Fatalf("5m window after 2m: %+v", w)
+	}
+	// Outside 5m but inside the 1m ring's 6h range.
+	now = now.Add(30 * time.Minute)
+	if w := red.Window("", "", 5*time.Minute); w.Count != 0 {
+		t.Fatalf("5m window after 32m: %+v", w)
+	}
+	if w := red.Window("", "", 6*time.Hour); w.Count != 1 {
+		t.Fatalf("6h window after 32m: %+v", w)
+	}
+	// Ring wrap: past 6h everything is gone.
+	now = now.Add(7 * time.Hour)
+	if w := red.Window("", "", 6*time.Hour); w.Count != 0 {
+		t.Fatalf("6h window after 7h: %+v", w)
+	}
+}
+
+func TestREDBucketReuseOnWrap(t *testing.T) {
+	red := NewRED(0)
+	now := time.Unix(3_000_000, 0)
+	fakeClock(red, &now)
+	red.Observe(Event{Type: EventQuery, Endpoint: "c", Kind: "c", DurationUs: 1, Status: 200})
+	// Land in the same 1s bucket slot one full ring later (300s); the
+	// stale bucket must be reset, not accumulated.
+	now = now.Add(300 * time.Second)
+	red.Observe(Event{Type: EventQuery, Endpoint: "c", Kind: "c", DurationUs: 1, Status: 200})
+	if w := red.Window("", "", 10*time.Second); w.Count != 1 {
+		t.Fatalf("wrapped bucket window: %+v", w)
+	}
+}
+
+func TestREDErrorClassification(t *testing.T) {
+	cases := []struct {
+		ev    Event
+		isErr bool
+	}{
+		{Event{Status: 200}, false},
+		{Event{Status: 404}, false},
+		{Event{Status: 500}, true},
+		{Event{Status: 503}, true},
+		// Statusless batch items classify by slug.
+		{Event{Error: ""}, false},
+		{Event{Error: "bad_request"}, false},
+		{Event{Error: "pattern_too_long"}, false},
+		{Event{Error: "canceled"}, false},
+		{Event{Error: "timeout"}, true},
+		{Event{Error: "internal"}, true},
+	}
+	for _, c := range cases {
+		red := NewRED(0)
+		now := time.Unix(4_000_000, 0)
+		fakeClock(red, &now)
+		c.ev.Type = EventQuery
+		c.ev.Endpoint = "e"
+		red.Observe(c.ev)
+		w := red.Window("", "", time.Minute)
+		if gotErr := w.Errors == 1; gotErr != c.isErr {
+			t.Errorf("event %+v: error=%v, want %v", c.ev, gotErr, c.isErr)
+		}
+	}
+}
+
+func TestREDSnapshotShape(t *testing.T) {
+	red := NewRED(0)
+	now := time.Unix(5_000_000, 0)
+	fakeClock(red, &now)
+	red.Observe(Event{Type: EventQuery, Endpoint: "find", Kind: "find", DurationUs: 1, Status: 200})
+	red.Observe(Event{Type: EventQuery, Endpoint: "contains", Kind: "contains", DurationUs: 1, Status: 200})
+	snap := red.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3 (total + 2)", len(snap))
+	}
+	if snap[0].Endpoint != "_total" {
+		t.Fatalf("first series %q, want _total", snap[0].Endpoint)
+	}
+	if snap[1].Endpoint != "contains" || snap[2].Endpoint != "find" {
+		t.Fatalf("series order: %q, %q", snap[1].Endpoint, snap[2].Endpoint)
+	}
+	ws, ok := snap[0].Windows["1m"]
+	if !ok || ws.Count != 2 {
+		t.Fatalf("total 1m window: %+v ok=%v", ws, ok)
+	}
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JSONLSink writes one JSON object per line — the grep/jq-friendly
+// export format the CI obs-smoke job validates. Safe for the pipeline's
+// single export goroutine plus concurrent Stats readers.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLSink wraps an arbitrary writer (closed on pipeline Close when
+// it implements io.Closer).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// OpenJSONLSink creates (or truncates) path and returns a sink over it.
+func OpenJSONLSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONLSink(f), nil
+}
+
+// Export appends each event as one JSON line and flushes the batch.
+func (s *JSONLSink) Export(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	enc := json.NewEncoder(s.w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying writer.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	return ferr
+}
+
+// HTTPSink POSTs event batches as a JSON array to a collector endpoint
+// (OTLP-style shape: one request per batch). Failed posts retry with
+// exponential backoff; retries happen on the pipeline's export
+// goroutine, where blocking is safe — the pipeline's bounded queue is
+// what shields the query path.
+type HTTPSink struct {
+	url     string
+	client  *http.Client
+	retries int
+	backoff time.Duration
+	retried atomic.Int64
+}
+
+// NewHTTPSink builds a sink for url. retries is the number of re-sends
+// after the first attempt (default 2 when < 0); backoff is the initial
+// retry delay, doubling per attempt (default 100ms when <= 0).
+func NewHTTPSink(url string, client *http.Client, retries int, backoff time.Duration) *HTTPSink {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if retries < 0 {
+		retries = 2
+	}
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	return &HTTPSink{url: url, client: client, retries: retries, backoff: backoff}
+}
+
+// Export posts the batch, retrying transport errors and 5xx responses.
+func (s *HTTPSink) Export(events []Event) error {
+	body, err := json.Marshal(events)
+	if err != nil {
+		return err
+	}
+	delay := s.backoff
+	var lastErr error
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		if attempt > 0 {
+			s.retried.Add(1)
+			time.Sleep(delay)
+			delay *= 2
+		}
+		resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode < 500 {
+			if resp.StatusCode >= 400 {
+				// Client error: the payload won't get better; don't retry.
+				return fmt.Errorf("obs: collector rejected batch: %s", resp.Status)
+			}
+			return nil
+		}
+		lastErr = fmt.Errorf("obs: collector returned %s", resp.Status)
+	}
+	return lastErr
+}
+
+// Retries reports total re-send attempts (the retryStatser capability).
+func (s *HTTPSink) Retries() int64 { return s.retried.Load() }
+
+// Close is a no-op; the sink holds no resources beyond the client.
+func (s *HTTPSink) Close() error { return nil }
+
+// CollectorSink buffers exported events in memory for tests.
+type CollectorSink struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+}
+
+// NewCollectorSink returns an empty in-memory sink.
+func NewCollectorSink() *CollectorSink { return &CollectorSink{} }
+
+// Export appends the batch.
+func (s *CollectorSink) Export(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, events...)
+	return nil
+}
+
+// Close marks the sink closed.
+func (s *CollectorSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Events returns a copy of everything exported so far.
+func (s *CollectorSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Closed reports whether the pipeline closed the sink.
+func (s *CollectorSink) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// BlockingSink blocks every Export until released — the test double for
+// proving the query path never waits on a slow collector.
+type BlockingSink struct {
+	release chan struct{}
+	once    sync.Once
+	batches atomic.Int64
+}
+
+// NewBlockingSink returns a sink whose Export blocks until Release.
+func NewBlockingSink() *BlockingSink {
+	return &BlockingSink{release: make(chan struct{})}
+}
+
+// Export blocks until Release, then succeeds.
+func (s *BlockingSink) Export(events []Event) error {
+	<-s.release
+	s.batches.Add(1)
+	return nil
+}
+
+// Release unblocks all current and future Exports.
+func (s *BlockingSink) Release() { s.once.Do(func() { close(s.release) }) }
+
+// Batches reports how many batches completed after release.
+func (s *BlockingSink) Batches() int64 { return s.batches.Load() }
+
+// Close releases any blocked export.
+func (s *BlockingSink) Close() error {
+	s.Release()
+	return nil
+}

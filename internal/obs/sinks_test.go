@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJSONLSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	sink, err := OpenJSONLSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{
+		{Type: EventQuery, RequestID: "r1", Endpoint: "contains", Shard: -1, BatchIndex: -1},
+		{Type: EventShardLeg, RequestID: "r1", Endpoint: "contains", Shard: 2, BatchIndex: -1},
+	}
+	if err := sink.Export(evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var got Event
+		if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines+1, err)
+		}
+		if got.RequestID != "r1" {
+			t.Fatalf("line %d request id %q", lines+1, got.RequestID)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}
+
+func TestHTTPSinkPostsBatch(t *testing.T) {
+	var got atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var evs []Event
+		if err := json.NewDecoder(r.Body).Decode(&evs); err != nil {
+			t.Errorf("bad body: %v", err)
+		}
+		got.Add(int64(len(evs)))
+	}))
+	defer srv.Close()
+	sink := NewHTTPSink(srv.URL, srv.Client(), 0, time.Millisecond)
+	if err := sink.Export([]Event{{Type: EventQuery}, {Type: EventQuery}}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 2 {
+		t.Fatalf("collector received %d events, want 2", got.Load())
+	}
+	if sink.Retries() != 0 {
+		t.Fatalf("retries %d, want 0", sink.Retries())
+	}
+}
+
+func TestHTTPSinkRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+	sink := NewHTTPSink(srv.URL, srv.Client(), 2, time.Millisecond)
+	if err := sink.Export([]Event{{Type: EventQuery}}); err != nil {
+		t.Fatalf("export should succeed on third attempt: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d calls, want 3", calls.Load())
+	}
+	if sink.Retries() != 2 {
+		t.Fatalf("retries %d, want 2", sink.Retries())
+	}
+}
+
+func TestHTTPSinkGivesUpAfterRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	sink := NewHTTPSink(srv.URL, srv.Client(), 1, time.Millisecond)
+	if err := sink.Export([]Event{{Type: EventQuery}}); err == nil {
+		t.Fatal("export should fail after exhausting retries")
+	}
+}
+
+func TestHTTPSinkNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	sink := NewHTTPSink(srv.URL, srv.Client(), 3, time.Millisecond)
+	if err := sink.Export([]Event{{Type: EventQuery}}); err == nil {
+		t.Fatal("4xx should be an error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d calls for a 4xx, want 1 (no retry)", calls.Load())
+	}
+}

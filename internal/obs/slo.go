@@ -1,0 +1,130 @@
+package obs
+
+import "time"
+
+// SLO math, multi-window burn-rate style (Google SRE workbook ch. 5).
+//
+// For an objective o (say 0.999 availability), the error budget is
+// 1-o. The burn rate over a window is
+//
+//	burn = (bad/total) / (1-o)
+//
+// — burn 1 means the budget is being consumed exactly at the rate that
+// exhausts it at the end of the SLO period; burn 14.4 on a 0.999 SLO
+// means the month's budget is gone in ~2 days. Alerts pair a long
+// window (is it sustained?) with a short one (is it still happening?):
+//
+//	page:   burn > 14.4 on 5m AND 1h
+//	ticket: burn > 6    on 30m AND 6h
+//
+// Availability's bad events are server-fault errors; latency's bad
+// events are observations over the threshold (stamped at observe time
+// by the RED rollup).
+
+// SLOConfig declares the objectives.
+type SLOConfig struct {
+	// Availability objective as a fraction of good requests, e.g. 0.999.
+	// <= 0 disables the availability SLO.
+	Availability float64
+	// LatencyObjective is the fraction of requests that must finish
+	// under LatencyThreshold, e.g. 0.99. <= 0 disables the latency SLO.
+	LatencyObjective float64
+	// LatencyThreshold is the latency SLO's cut; it is also the RED
+	// rollup's slow-stamp threshold.
+	LatencyThreshold time.Duration
+}
+
+// burnWindows are the windows every burn rate is computed over. The 6h
+// window is the longest the 1m ring covers.
+var burnWindows = []struct {
+	label string
+	d     time.Duration
+}{
+	{"5m", 5 * time.Minute},
+	{"30m", 30 * time.Minute},
+	{"1h", time.Hour},
+	{"6h", 6 * time.Hour},
+}
+
+// Alert thresholds, multi-window multi-burn-rate standard values.
+const (
+	burnPage   = 14.4
+	burnTicket = 6.0
+)
+
+// SLO evaluates burn rates for one RED rollup.
+type SLO struct {
+	cfg SLOConfig
+	red *RED
+}
+
+// NewSLO binds objectives to a rollup; returns nil (inert) when no
+// objective is enabled or red is nil.
+func NewSLO(cfg SLOConfig, red *RED) *SLO {
+	if red == nil || (cfg.Availability <= 0 && cfg.LatencyObjective <= 0) {
+		return nil
+	}
+	return &SLO{cfg: cfg, red: red}
+}
+
+// BurnWindow is one window's burn-rate evaluation.
+type BurnWindow struct {
+	Window string  `json:"window"`
+	Total  int64   `json:"total"`
+	Bad    int64   `json:"bad"`
+	Burn   float64 `json:"burn"`
+}
+
+// SLOStatus is one objective's full evaluation.
+type SLOStatus struct {
+	Name      string  `json:"name"` // "availability" | "latency"
+	Objective float64 `json:"objective"`
+	// ThresholdMs is set for the latency SLO only.
+	ThresholdMs float64      `json:"thresholdMs,omitempty"`
+	Windows     []BurnWindow `json:"windows"`
+	// Page/Ticket are the multi-window alert verdicts.
+	Page   bool `json:"page"`
+	Ticket bool `json:"ticket"`
+}
+
+// Snapshot evaluates every enabled objective over the total series.
+func (s *SLO) Snapshot() []SLOStatus {
+	if s == nil {
+		return nil
+	}
+	var out []SLOStatus
+	if s.cfg.Availability > 0 {
+		out = append(out, s.evaluate("availability", s.cfg.Availability, func(w WindowStats) int64 { return w.Errors }))
+	}
+	if s.cfg.LatencyObjective > 0 {
+		st := s.evaluate("latency", s.cfg.LatencyObjective, func(w WindowStats) int64 { return w.Slow })
+		st.ThresholdMs = float64(s.cfg.LatencyThreshold) / float64(time.Millisecond)
+		out = append(out, st)
+	}
+	return out
+}
+
+func (s *SLO) evaluate(name string, objective float64, bad func(WindowStats) int64) SLOStatus {
+	st := SLOStatus{Name: name, Objective: objective}
+	burn := make(map[string]float64, len(burnWindows))
+	for _, bw := range burnWindows {
+		w := s.red.Window("", "", bw.d)
+		b := BurnWindow{Window: bw.label, Total: w.Count, Bad: bad(w)}
+		if w.Count > 0 {
+			b.Burn = (float64(b.Bad) / float64(w.Count)) / (1 - objective)
+		}
+		burn[bw.label] = b.Burn
+		st.Windows = append(st.Windows, b)
+	}
+	st.Page = burn["5m"] > burnPage && burn["1h"] > burnPage
+	st.Ticket = burn["30m"] > burnTicket && burn["6h"] > burnTicket
+	return st
+}
+
+// Config returns the objectives the engine runs with.
+func (s *SLO) Config() SLOConfig {
+	if s == nil {
+		return SLOConfig{}
+	}
+	return s.cfg
+}

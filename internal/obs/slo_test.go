@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOBurnRate(t *testing.T) {
+	red := NewRED(50 * time.Millisecond)
+	now := time.Unix(6_000_000, 0)
+	fakeClock(red, &now)
+	slo := NewSLO(SLOConfig{Availability: 0.999, LatencyObjective: 0.99, LatencyThreshold: 50 * time.Millisecond}, red)
+
+	// 1000 requests, 10 server errors, 50 slow.
+	for i := 0; i < 1000; i++ {
+		ev := Event{Type: EventQuery, Endpoint: "contains", Kind: "contains", DurationUs: 1000, Status: 200}
+		if i < 10 {
+			ev.Status = 500
+		}
+		if i >= 10 && i < 60 {
+			ev.DurationUs = 100_000
+		}
+		red.Observe(ev)
+	}
+
+	statuses := slo.Snapshot()
+	if len(statuses) != 2 {
+		t.Fatalf("got %d statuses", len(statuses))
+	}
+	avail, lat := statuses[0], statuses[1]
+	if avail.Name != "availability" || lat.Name != "latency" {
+		t.Fatalf("status order: %s, %s", avail.Name, lat.Name)
+	}
+	// availability: bad ratio 0.01 over budget 0.001 → burn 10.
+	w5 := avail.Windows[0]
+	if w5.Window != "5m" || w5.Total != 1000 || w5.Bad != 10 {
+		t.Fatalf("availability 5m window: %+v", w5)
+	}
+	if math.Abs(w5.Burn-10) > 1e-9 {
+		t.Fatalf("availability burn %v, want 10", w5.Burn)
+	}
+	// latency: bad ratio 0.05 over budget 0.01 → burn 5.
+	if got := lat.Windows[0].Burn; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("latency burn %v, want 5", got)
+	}
+	if lat.ThresholdMs != 50 {
+		t.Fatalf("latency threshold %v ms", lat.ThresholdMs)
+	}
+	// Burn 10 < 14.4: no page. Burn 10 > 6 on both 30m and 6h: ticket.
+	if avail.Page {
+		t.Fatal("availability paged at burn 10")
+	}
+	if !avail.Ticket {
+		t.Fatal("availability should ticket at burn 10")
+	}
+	if lat.Page || lat.Ticket {
+		t.Fatalf("latency alerts at burn 5: page=%v ticket=%v", lat.Page, lat.Ticket)
+	}
+}
+
+func TestSLOPageAlert(t *testing.T) {
+	red := NewRED(0)
+	now := time.Unix(7_000_000, 0)
+	fakeClock(red, &now)
+	slo := NewSLO(SLOConfig{Availability: 0.999}, red)
+	// 2% errors → burn 20 > 14.4 on every window.
+	for i := 0; i < 1000; i++ {
+		ev := Event{Type: EventQuery, Endpoint: "e", Status: 200}
+		if i < 20 {
+			ev.Status = 500
+		}
+		red.Observe(ev)
+	}
+	st := slo.Snapshot()[0]
+	if !st.Page || !st.Ticket {
+		t.Fatalf("burn 20: page=%v ticket=%v, want both", st.Page, st.Ticket)
+	}
+}
+
+func TestSLOQuietWindows(t *testing.T) {
+	red := NewRED(0)
+	slo := NewSLO(SLOConfig{Availability: 0.999}, red)
+	for _, w := range slo.Snapshot()[0].Windows {
+		if w.Burn != 0 || w.Total != 0 {
+			t.Fatalf("empty rollup burned: %+v", w)
+		}
+	}
+}
+
+func TestSLODisabled(t *testing.T) {
+	if NewSLO(SLOConfig{}, NewRED(0)) != nil {
+		t.Fatal("no objectives should disable the engine")
+	}
+	if NewSLO(SLOConfig{Availability: 0.999}, nil) != nil {
+		t.Fatal("nil RED should disable the engine")
+	}
+	var s *SLO
+	if s.Snapshot() != nil {
+		t.Fatal("nil SLO snapshot non-nil")
+	}
+	if s.Config() != (SLOConfig{}) {
+		t.Fatal("nil SLO config non-zero")
+	}
+}
+
+func TestWritePrometheusObs(t *testing.T) {
+	red := NewRED(50 * time.Millisecond)
+	now := time.Unix(8_000_000, 0)
+	fakeClock(red, &now)
+	slo := NewSLO(SLOConfig{Availability: 0.999, LatencyObjective: 0.99, LatencyThreshold: 50 * time.Millisecond}, red)
+	red.Observe(Event{Type: EventQuery, Endpoint: "contains", Kind: "contains", DurationUs: 100, Status: 200})
+
+	var b strings.Builder
+	st := PipelineStats{Enabled: true, EmittedQuery: 1, Dropped: 2, Exported: 3}
+	if err := WritePrometheus(&b, st, slo); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`spine_obs_events_emitted_total{type="query"} 1`,
+		"spine_obs_events_dropped_total 2",
+		"spine_obs_events_exported_total 3",
+		"spine_obs_queue_depth 0",
+		`spine_slo_objective{slo="availability"} 0.999`,
+		`spine_slo_objective{slo="latency"} 0.99`,
+		"spine_slo_latency_threshold_seconds 0.05",
+		`spine_slo_burn_rate{slo="availability",window="5m"} 0`,
+		`spine_slo_window_requests{slo="availability",window="5m"} 1`,
+		`spine_slo_alert{slo="availability",severity="page"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Family headers must be unique.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if seen[line] {
+				t.Errorf("duplicate family header %q", line)
+			}
+			seen[line] = true
+		}
+	}
+	// Disabled pipeline emits nothing.
+	var empty strings.Builder
+	if err := WritePrometheus(&empty, PipelineStats{}, nil); err != nil || empty.Len() != 0 {
+		t.Fatalf("disabled exposition: %q err=%v", empty.String(), err)
+	}
+}

@@ -126,6 +126,15 @@ func formatValue(v float64) string {
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	p := NewPromWriter(w)
 
+	p.Family("spine_build_info", "gauge", "Build identity of the running binary; always 1, the labels carry the information.")
+	p.Sample("spine_build_info", []Label{
+		{"version", s.Build.Version},
+		{"go_version", s.Build.GoVersion},
+		{"commit", s.Build.Commit},
+	}, 1)
+	p.Family("spine_process_start_time_seconds", "gauge", "Process start time as seconds since the unix epoch.")
+	p.Sample("spine_process_start_time_seconds", nil, s.StartTimeUnix)
+
 	p.Family("spine_uptime_seconds", "gauge", "Seconds since the registry was created.")
 	p.Sample("spine_uptime_seconds", nil, s.UptimeSeconds)
 

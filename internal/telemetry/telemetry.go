@@ -12,6 +12,7 @@ package telemetry
 import (
 	"expvar"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -163,9 +164,39 @@ type CacheSnapshot struct {
 	NegFilterBytes int64 `json:"negFilterBytes"`
 }
 
+// BuildInfo identifies the running binary, read once from the module
+// metadata the Go linker embeds (runtime/debug.ReadBuildInfo). It
+// becomes the spine_build_info Prometheus gauge, so a fleet dashboard
+// can tell which version each replica runs without shelling in.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Commit    string `json:"commit"`
+}
+
+// readBuildInfo extracts the binary's identity; fields the build didn't
+// stamp come back as "unknown" so the gauge's label set stays stable.
+func readBuildInfo() BuildInfo {
+	b := BuildInfo{Version: "unknown", GoVersion: runtime.Version(), Commit: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		b.Version = v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			b.Commit = s.Value
+		}
+	}
+	return b
+}
+
 // Registry is the process-wide metric store for a query service.
 type Registry struct {
 	start time.Time
+	build BuildInfo
 	Query QueryStats
 	Batch BatchStats
 
@@ -195,6 +226,7 @@ func (r *Registry) SetCacheSource(src func() CacheSnapshot) {
 func NewRegistry() *Registry {
 	return &Registry{
 		start:     time.Now(),
+		build:     readBuildInfo(),
 		endpoints: make(map[string]*Endpoint),
 		stages:    make(map[string]*StageStats),
 		shards:    make(map[int]*ShardStats),
@@ -301,7 +333,11 @@ type ShardSnapshot struct {
 // Snapshot is a point-in-time copy of the whole registry, shaped for
 // JSON encoding at /metrics.
 type Snapshot struct {
-	UptimeSeconds float64                     `json:"uptimeSeconds"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// StartTimeUnix is the process start (registry creation) as unix
+	// seconds — the spine_process_start_time_seconds gauge.
+	StartTimeUnix float64                     `json:"startTimeUnix"`
+	Build         BuildInfo                   `json:"build"`
 	Runtime       RuntimeSnapshot             `json:"runtime"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Query         QuerySnapshot               `json:"query"`
@@ -349,6 +385,8 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RUnlock()
 	s := Snapshot{
 		UptimeSeconds: time.Since(r.start).Seconds(),
+		StartTimeUnix: float64(r.start.UnixNano()) / 1e9,
+		Build:         r.build,
 		Runtime:       readRuntime(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(eps)),
 		Query: QuerySnapshot{

@@ -72,6 +72,12 @@ type Entry struct {
 	Time     time.Time `json:"time"`
 	Endpoint string    `json:"endpoint"`
 	Status   int       `json:"status"`
+	// RequestID is the request's correlation id — the join key against
+	// exported wide events and per-request log lines.
+	RequestID string `json:"requestId,omitempty"`
+	// Source is the serving layer that answered: scan, cache or
+	// negfilter.
+	Source string `json:"source,omitempty"`
 	// DurationUs is the whole request's wall time in microseconds.
 	DurationUs int64       `json:"durationUs"`
 	Pattern    Fingerprint `json:"pattern"`
@@ -94,6 +100,8 @@ func (t *Trace) Entry(now time.Time, endpoint string, status int, elapsed time.D
 	if t.endpoint != "" {
 		e.Endpoint = t.endpoint
 	}
+	e.RequestID = t.requestID
+	e.Source = t.source
 	e.Pattern = t.pattern
 	e.Truncated = t.truncated
 	nodes, nodesSet := t.nodesChecked, t.nodesSet

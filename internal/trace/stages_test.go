@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllStagesIsExhaustive parses this package's source and checks that
+// AllStages lists exactly the Stage* string constants — adding a stage
+// without registering it here (and so in the Prometheus and wide-event
+// vocabularies, which iterate AllStages) fails the build's tests instead
+// of silently dropping the tag from dashboards.
+func TestAllStagesIsExhaustive(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "trace.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]string{} // const name -> stage tag
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Stage") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquoting %s: %v", name.Name, err)
+				}
+				declared[name.Name] = v
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("found no Stage* constants; parser broke")
+	}
+	listed := map[string]bool{}
+	for _, s := range AllStages {
+		if listed[s] {
+			t.Errorf("AllStages lists %q twice", s)
+		}
+		listed[s] = true
+	}
+	for name, tag := range declared {
+		if !listed[tag] {
+			t.Errorf("constant %s = %q missing from AllStages", name, tag)
+		}
+	}
+	if len(AllStages) != len(declared) {
+		t.Errorf("AllStages has %d entries, source declares %d Stage* constants", len(AllStages), len(declared))
+	}
+}

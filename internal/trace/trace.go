@@ -64,6 +64,24 @@ const (
 	StageNegFilter = "negfilter"
 )
 
+// AllStages is the canonical list of stage tags. New Stage* constants
+// must be added here too — the telemetry exposition, the wide-event
+// schema and the stage-exhaustiveness test all iterate this list, and
+// the test cross-checks it against the package's constant declarations
+// so a stage cannot be added silently.
+var AllStages = []string{
+	StageDescend,
+	StageRibs,
+	StageExtribs,
+	StageOccurrences,
+	StageStream,
+	StageBatchScan,
+	StageShard,
+	StageMerge,
+	StageCache,
+	StageNegFilter,
+}
+
 // Counters is the SPINE work done within one span.
 type Counters struct {
 	// Nodes counts index nodes examined — the §4.1 work metric. Summed
@@ -116,6 +134,8 @@ type Trace struct {
 	// Query identity and outcome, set by the serving layer for slow-query
 	// forensics.
 	endpoint     string
+	requestID    string
+	source       string
 	pattern      Fingerprint
 	nodesChecked int64
 	nodesSet     bool
@@ -224,6 +244,28 @@ func (t *Trace) SetEndpoint(name string) {
 	}
 	t.mu.Lock()
 	t.endpoint = name
+	t.mu.Unlock()
+}
+
+// SetRequestID labels the trace with the request's correlation id so
+// slow-log entries join against exported wide events and log lines.
+func (t *Trace) SetRequestID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.requestID = id
+	t.mu.Unlock()
+}
+
+// SetSource records which serving layer answered the query (scan, cache
+// or negfilter).
+func (t *Trace) SetSource(src string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.source = src
 	t.mu.Unlock()
 }
 

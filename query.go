@@ -66,6 +66,19 @@ const (
 	SourceNegFilter
 )
 
+// String returns the source's stable label, used verbatim in wide
+// events, slow-log entries and per-endpoint cache metrics.
+func (s ResultSource) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourceNegFilter:
+		return "negfilter"
+	default:
+		return "scan"
+	}
+}
+
 // effectiveLimit normalizes the limit for cache identity: only
 // KindFindAll results depend on it.
 func (o QueryOptions) effectiveLimit() int {

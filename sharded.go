@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/spine-index/spine/internal/obs"
 	"github.com/spine-index/spine/internal/trace"
 )
 
@@ -210,6 +211,7 @@ func (s *Sharded) findAllLimit(ctx context.Context, p []byte, limit int) (QueryR
 	// are adopted after the barrier with their shard number stamped, so
 	// the slow-query log can tell a hot shard from a slow merge.
 	tr := trace.FromContext(ctx)
+	qc := obs.FromContext(ctx)
 	var kids []*trace.Trace
 	if tr != nil {
 		kids = make([]*trace.Trace, len(s.shards))
@@ -228,8 +230,10 @@ func (s *Sharded) findAllLimit(ctx context.Context, p []byte, limit int) (QueryR
 				sctx = trace.NewContext(ctx, kids[i])
 				sp = kids[i].Start(trace.StageShard)
 			}
+			leg := qc.StartLeg(i)
 			raw, err := s.shards[i].FindAllLimitContext(sctx, p, shardLimit)
 			sp.End()
+			leg.End(raw.NodesChecked, len(raw.Positions), err, legStages(kids, i))
 			if err != nil {
 				errs[i] = err
 				return
@@ -318,6 +322,7 @@ func (s *Sharded) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchO
 		}
 		shardOpts := BatchOptions{Limits: subLimits, Workers: shardWorkers}
 		tr := trace.FromContext(ctx)
+		qc := obs.FromContext(ctx)
 		var kids []*trace.Trace
 		if tr != nil {
 			kids = make([]*trace.Trace, len(s.shards))
@@ -336,8 +341,16 @@ func (s *Sharded) QueryBatch(ctx context.Context, patterns [][]byte, opts BatchO
 					sctx = trace.NewContext(ctx, kids[si])
 					sp = kids[si].Start(trace.StageShard)
 				}
+				leg := qc.StartLeg(si)
 				rs, err := s.shards[si].QueryBatch(sctx, subPats, shardOpts)
 				sp.End()
+				var nodes int64
+				var hits int
+				for _, r := range rs {
+					nodes += r.NodesChecked
+					hits += len(r.Positions)
+				}
+				leg.End(nodes, hits, err, legStages(kids, si))
 				if err != nil {
 					errs[si] = err
 					return
@@ -416,6 +429,7 @@ func (s *Sharded) count(ctx context.Context, p []byte) (int, error) {
 		return s.textLen + 1, nil
 	}
 	tr := trace.FromContext(ctx)
+	qc := obs.FromContext(ctx)
 	var kids []*trace.Trace
 	if tr != nil {
 		kids = make([]*trace.Trace, len(s.shards))
@@ -439,8 +453,14 @@ func (s *Sharded) count(ctx context.Context, p []byte) (int, error) {
 			if i == last {
 				maxStart = -1 // no overlap region after the final shard
 			}
+			leg := qc.StartLeg(i)
 			counts[i], errs[i] = s.shards[i].countPrefixContext(sctx, p, maxStart)
 			sp.End()
+			var nodes int64
+			if tr != nil {
+				nodes = kids[i].TotalNodes()
+			}
+			leg.End(nodes, counts[i], errs[i], legStages(kids, i))
 		}(i)
 	}
 	wg.Wait()
@@ -455,6 +475,17 @@ func (s *Sharded) count(ctx context.Context, p []byte) (int, error) {
 		total += counts[i]
 	}
 	return total, nil
+}
+
+// legStages summarizes one shard goroutine's child trace for its
+// shard-leg wide event. It runs before the post-barrier Adopt (Records
+// copies under the child's lock), so the leg event carries the stage
+// breakdown even though the records move to the parent afterwards.
+func legStages(kids []*trace.Trace, i int) []trace.StageSummary {
+	if kids == nil || kids[i] == nil {
+		return nil
+	}
+	return trace.Summarize(kids[i].Records())
 }
 
 // Stats aggregates the structural measurements of every shard: counts
