@@ -22,13 +22,14 @@ lint: vet
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	@sh scripts/lint_query_surface.sh
 
-# fuzz-smoke mines the batch-pipeline, cache-equivalence and
-# scan-equivalence fuzz targets briefly — enough to shake out fresh
-# regressions without stalling the gate.
+# fuzz-smoke mines the batch-pipeline, cache-equivalence,
+# scan-equivalence and SWAR-kernel fuzz targets briefly — enough to
+# shake out fresh regressions without stalling the gate.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzQueryBatch$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzCacheEquivalence$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzScanEquivalence$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzSWAREquivalence$$' -fuzztime 10s ./internal/core
 
 # cover runs the suite shuffled (ordering bugs surface) with a coverage
 # profile and prints the per-function summary tail.

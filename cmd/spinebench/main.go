@@ -29,10 +29,12 @@
 //	    -batch-out BENCH_batch.json
 //
 // With -scan it instead benchmarks the in-process occurrence scan:
-// the scalar §4 node-by-node pass versus the block-max skip index, on
-// both layouts, positions cross-checked every round:
+// the scalar §4 node-by-node pass versus the block-max skip index
+// versus the word-parallel SWAR kernel, on both layouts, positions
+// cross-checked against the scalar oracle every round. -kernel selects
+// the accelerated arms (all, swar or scalar):
 //
-//	spinebench -scan -scan-seq eco -divide 3 -scan-out BENCH_scan.json
+//	spinebench -scan -scan-seq eco -divide 3 -kernel all -scan-out BENCH_scan.json
 //
 // With -cache it benchmarks the serving cache layer in-process: a
 // Zipf(s=1.1) hot-pattern stream against the raw sharded index versus
@@ -92,9 +94,10 @@ func main() {
 		batchLimit  = flag.Int("batch-limit", 100, "batch mode: per-item result limit (0 = server default)")
 		batchOut    = flag.String("batch-out", "", "batch mode: write the JSON comparison report to this file")
 
-		scanMode   = flag.Bool("scan", false, "compare the scalar vs block-skip occurrence scan in-process")
+		scanMode   = flag.Bool("scan", false, "compare the scalar, block-skip and SWAR occurrence scans in-process")
 		scanSeq    = flag.String("scan-seq", "eco", "scan mode: suite sequence to index")
 		scanRounds = flag.Int("scan-rounds", 5, "scan mode: measured rounds per mode")
+		scanKernel = flag.String("kernel", "all", "scan mode: accelerated arms to measure against the scalar oracle: all, swar or scalar")
 		scanOut    = flag.String("scan-out", "", "scan mode: write the JSON comparison report to this file")
 
 		cacheMode = flag.Bool("cache", false, "benchmark the serving cache + negative filter in-process")
@@ -125,7 +128,7 @@ func main() {
 		return
 	}
 	if *scanMode {
-		if err := runScanBench(*scanSeq, *divide, *scanRounds, *scanOut); err != nil {
+		if err := runScanBench(*scanSeq, *divide, *scanRounds, *scanKernel, *scanOut); err != nil {
 			fmt.Fprintln(os.Stderr, "spinebench:", err)
 			os.Exit(1)
 		}
@@ -309,15 +312,16 @@ func runObsBench(seqName string, divide, requests, plen int, outPath string) err
 	return nil
 }
 
-// runScanBench compares the scalar and block-skip occurrence scans on
-// an in-process index over the given suite sequence and prints the
-// comparison table; with outPath the JSON report (BENCH_scan.json
+// runScanBench compares the scalar, block-skip and SWAR occurrence
+// scans on an in-process index over the given suite sequence and prints
+// the comparison table; with outPath the JSON report (BENCH_scan.json
 // format) is written too.
-func runScanBench(seqName string, divide, rounds int, outPath string) error {
+func runScanBench(seqName string, divide, rounds int, kernel, outPath string) error {
 	c := bench.NewCorpus(divide)
 	table, report, err := bench.RunScanBench(c, bench.ScanBenchConfig{
 		Sequence: seqName,
 		Rounds:   rounds,
+		Kernel:   kernel,
 	})
 	if err != nil {
 		return err

@@ -158,6 +158,7 @@ func (s *server) observeTrace(tr *trace.Trace, name string, status int, start ti
 		st.ExtribHops.Add(rec.ExtribHops)
 		st.BlocksSkipped.Add(rec.BlocksSkipped)
 		st.BlocksScanned.Add(rec.BlocksScanned)
+		st.WordsCompared.Add(rec.WordsCompared)
 		if rec.Shard >= 0 {
 			sh := s.reg.Shard(rec.Shard)
 			sh.NodesChecked.Add(rec.Nodes)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/spine-index/spine"
+	"github.com/spine-index/spine/internal/core"
 	"github.com/spine-index/spine/internal/obs"
 	"github.com/spine-index/spine/internal/telemetry"
 	"github.com/spine-index/spine/internal/trace"
@@ -154,6 +155,10 @@ func newQueryServer(q spine.Querier, cfg serverConfig) *server {
 			}
 		})
 	}
+	s.reg.SetScanKernelInfo(telemetry.ScanKernelInfo{
+		Kernel: core.ActiveScanKernel().String(),
+		ISA:    core.ScanKernelISA(),
+	})
 	s.reg.PublishExpvar("spine")
 	return s
 }

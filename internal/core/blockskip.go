@@ -152,11 +152,17 @@ func (sc *scanScratch) add(x int32) { sc.stamp[x] = sc.epoch }
 // scanStats is the work accounting of one accelerated scan.
 type scanStats struct {
 	// visited counts backbone nodes actually examined (the accelerated
-	// path's NodesChecked contribution; skipped nodes are free).
+	// path's NodesChecked contribution; skipped nodes are free). The
+	// SWAR kernel covers the same nodes in fewer machine ops, so this
+	// metric is kernel-invariant by design — the differential suite
+	// asserts exact equality across kernels.
 	visited int64
 	// blocksSkipped / blocksScanned count skip-index decisions.
 	blocksSkipped int64
 	blocksScanned int64
+	// words counts 64-bit SWAR comparisons (lane tests and packed-word
+	// admission probes); zero under the scalar kernel.
+	words int64
 }
 
 // admit reports whether block m can contain an occurrence end for a
@@ -184,12 +190,27 @@ func (m *blockMeta) admit(patlen, first, maxMember int32) bool {
 func occScanOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen int32, maxExtra int) (st scanStats, truncated bool, err error) {
 	n := s.textLen()
 	blocks := s.skipBlocks()
+	swar, pack, t16, lastBlock := scanKernelState(s, n, patlen)
 	sc.add(first)
 	maxMember := first
 	nextCheck := int64(cancelStride)
 	j := first + 1
 	for j <= n {
 		b := blockFor(j)
+		if swar {
+			// Word-parallel admission prefilter: jump over runs of blocks
+			// whose saturated maxLEL lane already fails, 4 blocks per op.
+			nb, w := nextBlockLEL(pack, b, lastBlock, t16)
+			st.words += w
+			if nb > b {
+				st.blocksSkipped += int64(nb - b)
+				if nb > lastBlock {
+					break
+				}
+				b = nb
+				j = int32(b)<<blockShift + 1
+			}
+		}
 		last := blockLastNode(b)
 		if last > n {
 			last = n
@@ -201,7 +222,17 @@ func occScanOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen
 		}
 		st.blocksScanned++
 		st.visited += int64(last - j + 1)
-		for ; j <= last; j++ {
+		for j <= last {
+			if swar {
+				// Lane-parallel lel >= |p| prefilter within the block; the
+				// exact test below re-checks through linkOf.
+				nj, w := s.nextLEL(j, last, patlen)
+				st.words += w
+				j = nj
+				if j > last {
+					break
+				}
+			}
 			link, lel := s.linkOf(j)
 			if lel >= patlen && sc.member(link) {
 				sc.add(j)
@@ -212,6 +243,7 @@ func occScanOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen
 					return st, j < n, nil
 				}
 			}
+			j++
 		}
 		if ctx != nil && st.visited+blockSize*st.blocksSkipped >= nextCheck {
 			nextCheck += cancelStride
@@ -223,6 +255,17 @@ func occScanOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen
 	return st, false, nil
 }
 
+// scanKernelState reads the kernel knob once per scan and materializes
+// the SWAR prefilter inputs: the packed block-maxLEL lanes, the
+// saturated threshold, and the last block index. A query is therefore
+// all-SWAR or all-scalar even when SetScanKernel flips concurrently.
+func scanKernelState[S store](s S, n, patlen int32) (swar bool, pack []uint64, t16 uint16, lastBlock int) {
+	if scalarKernel.Load() || n == 0 {
+		return false, nil, 0, 0
+	}
+	return true, s.blockLELs(), satLEL16(patlen), blockFor(n)
+}
+
 // occCountOn is occScanOn without result staging: it counts occurrence
 // ends strictly below endBound (endBound <= 0 means no bound; the first
 // occurrence is NOT counted — callers own that). Membership is stamped
@@ -231,12 +274,25 @@ func occScanOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen
 func occCountOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen, endBound int32) (count int, st scanStats, err error) {
 	n := s.textLen()
 	blocks := s.skipBlocks()
+	swar, pack, t16, lastBlock := scanKernelState(s, n, patlen)
 	sc.add(first)
 	maxMember := first
 	nextCheck := int64(cancelStride)
 	j := first + 1
 	for j <= n {
 		b := blockFor(j)
+		if swar {
+			nb, w := nextBlockLEL(pack, b, lastBlock, t16)
+			st.words += w
+			if nb > b {
+				st.blocksSkipped += int64(nb - b)
+				if nb > lastBlock {
+					break
+				}
+				b = nb
+				j = int32(b)<<blockShift + 1
+			}
+		}
 		last := blockLastNode(b)
 		if last > n {
 			last = n
@@ -248,7 +304,15 @@ func occCountOn[S store](ctx context.Context, s S, sc *scanScratch, first, patle
 		}
 		st.blocksScanned++
 		st.visited += int64(last - j + 1)
-		for ; j <= last; j++ {
+		for j <= last {
+			if swar {
+				nj, w := s.nextLEL(j, last, patlen)
+				st.words += w
+				j = nj
+				if j > last {
+					break
+				}
+			}
 			link, lel := s.linkOf(j)
 			if lel >= patlen && sc.member(link) {
 				sc.add(j)
@@ -257,6 +321,7 @@ func occCountOn[S store](ctx context.Context, s S, sc *scanScratch, first, patle
 					count++
 				}
 			}
+			j++
 		}
 		if ctx != nil && st.visited+blockSize*st.blocksSkipped >= nextCheck {
 			nextCheck += cancelStride
@@ -276,11 +341,24 @@ func occStreamOn[S store](s S, sc *scanScratch, first, patlen int32, plen int, f
 	var st scanStats
 	n := s.textLen()
 	blocks := s.skipBlocks()
+	swar, pack, t16, lastBlock := scanKernelState(s, n, patlen)
 	sc.add(first)
 	maxMember := first
 	j := first + 1
 	for j <= n {
 		b := blockFor(j)
+		if swar {
+			nb, w := nextBlockLEL(pack, b, lastBlock, t16)
+			st.words += w
+			if nb > b {
+				st.blocksSkipped += int64(nb - b)
+				if nb > lastBlock {
+					break
+				}
+				b = nb
+				j = int32(b)<<blockShift + 1
+			}
+		}
 		last := blockLastNode(b)
 		if last > n {
 			last = n
@@ -292,7 +370,15 @@ func occStreamOn[S store](s S, sc *scanScratch, first, patlen int32, plen int, f
 		}
 		st.blocksScanned++
 		st.visited += int64(last - j + 1)
-		for ; j <= last; j++ {
+		for j <= last {
+			if swar {
+				nj, w := s.nextLEL(j, last, patlen)
+				st.words += w
+				j = nj
+				if j > last {
+					break
+				}
+			}
 			link, lel := s.linkOf(j)
 			if lel >= patlen && sc.member(link) {
 				sc.add(j)
@@ -302,6 +388,7 @@ func occStreamOn[S store](s S, sc *scanScratch, first, patlen int32, plen int, f
 					return st
 				}
 			}
+			j++
 		}
 	}
 	return st

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	mbits "math/bits"
 	"sync"
 
 	"github.com/spine-index/spine/internal/seq"
@@ -44,6 +45,10 @@ type CompactIndex struct {
 	// joins the layout's space accounting: 12 bytes per 64 nodes, under
 	// 0.2 bytes per indexed character.
 	blocks []blockMeta
+	// blockLEL packs the blocks' maxLEL fields as saturated uint16 lanes
+	// (4 blocks per word) for the SWAR admission prefilter; rebuilt
+	// wherever blocks is rebuilt.
+	blockLEL []uint64
 }
 
 const (
@@ -164,6 +169,7 @@ func Freeze(idx *Index, alpha *seq.Alphabet) (*CompactIndex, error) {
 		c.ref[i] = refTag | uint32(shape)<<refShapeShift | row
 	}
 	c.blocks = buildBlocksOn(c)
+	c.blockLEL = packBlockLELs(c.blocks)
 	return c, nil
 }
 
@@ -339,6 +345,38 @@ func (c *CompactIndex) ComputeStats() Stats {
 func (c *CompactIndex) textLen() int32          { return c.n }
 func (c *CompactIndex) charAt(v int32) byte     { return c.chars.At(int(v)) }
 func (c *CompactIndex) skipBlocks() []blockMeta { return c.blocks }
+
+// SWAR kernel surface: vertebra labels live bit-packed in chars (the
+// alphabet width per lane) and LELs are saturated uint16 (4 lanes per
+// word). Odd widths — the 5-bit protein packing — fail swarCapable and
+// route descents through the scalar oracle.
+
+func (c *CompactIndex) blockLELs() []uint64     { return c.blockLEL }
+func (c *CompactIndex) vertBits() uint          { return c.alpha.Bits() }
+func (c *CompactIndex) vertWord(v int32) uint64 { return c.chars.WordAt(int(v)) }
+
+// nextLEL advances to the first node in [j, last] whose saturated LEL
+// field passes lel >= sat(patlen), four uint16 lanes per compare. The
+// sentinel saturation makes the test conservative (an overflowed LEL
+// always passes); the caller re-checks the exact LEL through linkOf.
+func (c *CompactIndex) nextLEL(j, last, patlen int32) (int32, int64) {
+	t := satLEL16(patlen)
+	var words int64
+	for j+3 <= last {
+		w := loadQuad16(c.lel, int(j))
+		words++
+		if m := laneGE16(w, t); m != 0 {
+			return j + int32(mbits.TrailingZeros64(m)>>4), words
+		}
+		j += 4
+	}
+	for ; j <= last; j++ {
+		if c.lel[j] >= t {
+			return j, words
+		}
+	}
+	return last + 1, words
+}
 
 func (c *CompactIndex) linkOf(i int32) (int32, int32) {
 	lel := int32(c.lel[i])
@@ -576,7 +614,8 @@ func (c *CompactIndex) SizeBytes() int64 {
 		int64(len(sp.ribRD))*4 + int64(len(sp.ribPT))*2 + int64(len(sp.ribCL)) +
 		int64(len(sp.extRD))*4 + int64(len(sp.extPT))*2 + int64(len(sp.extPRT))*2 + int64(len(sp.extSrc))*4
 	b += int64(len(c.lelOverflow)+len(c.ptOverflow))*12 + int64(len(c.extOverflow))*16
-	b += int64(len(c.blocks)) * 12 // block-max skip index (3 x int32 per block)
+	b += int64(len(c.blocks)) * 12  // block-max skip index (3 x int32 per block)
+	b += int64(len(c.blockLEL)) * 8 // packed SWAR admission lanes (2 bytes per block)
 	return b
 }
 

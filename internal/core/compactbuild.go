@@ -346,6 +346,7 @@ func (b *CompactBuilder) Finish() *CompactIndex {
 		c.spill = fresh
 	}
 	c.blocks = buildBlocksOn(c)
+	c.blockLEL = packBlockLELs(c.blocks)
 	b.c = nil
 	return c
 }

@@ -98,6 +98,7 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 			tr.Add(trace.StageOccurrences, time.Since(scanStart), trace.Counters{
 				Nodes: st.visited, Links: st.visited,
 				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
+				WordsCompared: st.words,
 			})
 		}
 	}
@@ -226,6 +227,7 @@ func countOnCtx[S store](ctx context.Context, s S, p []byte, maxStart int) (int,
 			tr.Add(trace.StageOccurrences, time.Since(scanStart), trace.Counters{
 				Nodes: st.visited, Links: st.visited,
 				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
+				WordsCompared: st.words,
 			})
 		}
 	}

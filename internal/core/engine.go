@@ -24,6 +24,25 @@ type store interface {
 	// layouts keep it current with the backbone (the Index folds it
 	// online per append; the compact layout builds it at freeze time).
 	skipBlocks() []blockMeta
+	// blockLELs returns the packed saturated-uint16 maxLEL lanes of the
+	// skip blocks (lane b&3 of word b>>2 = block b), kept current with
+	// skipBlocks; the SWAR admission prefilter reads it.
+	blockLELs() []uint64
+	// vertBits is the packed width of the vertebra character labels in
+	// the store's native representation: 8 for raw bytes, the alphabet
+	// width for the compact layout.
+	vertBits() uint
+	// vertWord returns a 64-bit window of packed vertebra labels
+	// starting at node v in seq's canonical lane order (char v+k at bits
+	// [k*vertBits(), (k+1)*vertBits())), zero-filled past the text end.
+	vertWord(v int32) uint64
+	// nextLEL returns the smallest node in [j, last] passing a
+	// conservative word-parallel lel >= patlen test (last+1 if none)
+	// plus the word compares spent. Conservative means false positives
+	// are possible (the compact layout saturates LELs at the uint16
+	// sentinel) but false negatives are not; callers re-check the exact
+	// LEL via linkOf.
+	nextLEL(j, last, patlen int32) (int32, int64)
 }
 
 // stepOn advances a valid path of length pathlen at node v by character c.
@@ -32,6 +51,14 @@ func stepOn[S store](s S, v, pathlen int32, c byte) (next int32, ok bool) {
 	if v < s.textLen() && s.charAt(v) == c {
 		return v + 1, true
 	}
+	return edgeStepOn(s, v, pathlen, c)
+}
+
+// edgeStepOn is the cross-edge arm of stepOn: the vertebra for c is
+// absent (or v is the text end), so the step succeeds only through a
+// rib — and, when the rib's threshold is too small, its extrib chain.
+// The SWAR descent shares this arm; only run matching differs.
+func edgeStepOn[S store](s S, v, pathlen int32, c byte) (next int32, ok bool) {
 	r, ok := s.findRib(v, c)
 	if !ok {
 		return 0, false
@@ -52,8 +79,22 @@ func stepOn[S store](s S, v, pathlen int32, c byte) (next int32, ok bool) {
 	}
 }
 
-// endNodeOn locates the unique valid path spelling p.
+// endNodeOn locates the unique valid path spelling p, through the
+// active kernel: word-parallel vertebra runs when the SWAR kernel is
+// selected and the store's packed width tiles a word, the scalar
+// character loop otherwise.
 func endNodeOn[S store](s S, p []byte) (end int32, ok bool) {
+	if !scalarKernel.Load() {
+		if end, ok, handled := endNodeSWAROn(s, p, nil); handled {
+			return end, ok
+		}
+	}
+	return endNodeScalarOn(s, p)
+}
+
+// endNodeScalarOn is the character-at-a-time descent — the paper's §3
+// walk, retained verbatim as the SWAR kernel's differential oracle.
+func endNodeScalarOn[S store](s S, p []byte) (end int32, ok bool) {
 	v := int32(0)
 	for i, c := range p {
 		v, ok = stepOn(s, v, int32(i), c)
@@ -62,6 +103,60 @@ func endNodeOn[S store](s S, p []byte) (end int32, ok bool) {
 		}
 	}
 	return v, true
+}
+
+// endNodeSWAROn is the word-parallel descent: runs of vertebra
+// extensions — the hot case of genomic descents — are matched a packed
+// word at a time (32 DNA chars or 8 raw bytes per XOR), falling into
+// edgeStepOn only at the run-breaking character. The pattern is packed
+// once into pooled scratch. handled is false when the store's packed
+// width cannot tile a word (e.g. 5-bit protein codes); the caller then
+// takes the scalar path. When words is non-nil it accumulates the
+// word comparisons performed (the traced descent's WordsCompared).
+func endNodeSWAROn[S store](s S, p []byte, words *int64) (end int32, ok, handled bool) {
+	bits := s.vertBits()
+	if !swarCapable(bits) {
+		return 0, false, false
+	}
+	sp := getSwarPat(p, bits)
+	cpw := int32(64 / bits)
+	v, i := int32(0), int32(0)
+	n, m := s.textLen(), int32(len(p))
+	for i < m {
+		if v < n {
+			run := cpw
+			if rem := m - i; rem < run {
+				run = rem
+			}
+			if rem := n - v; rem < run {
+				run = rem
+			}
+			k := matchLanes(s.vertWord(v), sp.wordAt(i), bits)
+			if words != nil {
+				*words++
+			}
+			if k > run {
+				k = run
+			}
+			v += k
+			i += k
+			if k == run {
+				// Full window matched: pattern done, text end reached, or
+				// another whole word to go.
+				continue
+			}
+		}
+		// Mismatch (or text exhausted): only a cross edge can extend.
+		next, stepped := edgeStepOn(s, v, i, p[i])
+		if !stepped {
+			putSwarPat(sp)
+			return 0, false, true
+		}
+		v = next
+		i++
+	}
+	putSwarPat(sp)
+	return v, true, true
 }
 
 // scanOccurrencesScalarOn performs the §4 target-node-buffer scan

@@ -1,0 +1,34 @@
+//go:build amd64 && !purego
+
+package core
+
+import "unsafe"
+
+// amd64 word loads for the SWAR kernels: x86-64 guarantees efficient
+// unaligned 64-bit loads and is little-endian, so a lane group is one
+// MOVQ straight out of the backing array. The portable twin of this
+// file is kernel_generic.go (`!amd64 || purego`); both must produce
+// identical words — the canonical lane order is little-endian, lane k
+// of a group at index i is element i+k. Build with -tags purego to
+// force the generic path on amd64 (the CI matrix tests both).
+
+const kernelISA = "amd64"
+
+// loadU64 returns 8 bytes of b starting at i as a little-endian word.
+// The caller guarantees i+8 <= len(b).
+func loadU64(b []byte, i int) uint64 {
+	return *(*uint64)(unsafe.Pointer(&b[i]))
+}
+
+// loadQuad16 returns 4 consecutive uint16 values starting at s[i] as
+// one word, element i+k in lane k. The caller guarantees i+4 <= len(s).
+func loadQuad16(s []uint16, i int) uint64 {
+	return *(*uint64)(unsafe.Pointer(&s[i]))
+}
+
+// loadPair32 returns 2 consecutive int32 values starting at s[i] as one
+// word, element i+k in lane k. The values must be non-negative (LELs
+// always are). The caller guarantees i+2 <= len(s).
+func loadPair32(s []int32, i int) uint64 {
+	return *(*uint64)(unsafe.Pointer(&s[i]))
+}

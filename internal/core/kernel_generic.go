@@ -1,0 +1,31 @@
+//go:build !amd64 || purego
+
+package core
+
+import "encoding/binary"
+
+// Portable word loads for the SWAR kernels: explicit little-endian
+// assembly, valid on any architecture and alignment regime. This is
+// the `purego` / non-amd64 twin of kernel_amd64.go; both must produce
+// identical words (lane k of a group at index i is element i+k).
+
+const kernelISA = "generic"
+
+// loadU64 returns 8 bytes of b starting at i as a little-endian word.
+// The caller guarantees i+8 <= len(b).
+func loadU64(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[i:])
+}
+
+// loadQuad16 returns 4 consecutive uint16 values starting at s[i] as
+// one word, element i+k in lane k. The caller guarantees i+4 <= len(s).
+func loadQuad16(s []uint16, i int) uint64 {
+	return uint64(s[i]) | uint64(s[i+1])<<16 | uint64(s[i+2])<<32 | uint64(s[i+3])<<48
+}
+
+// loadPair32 returns 2 consecutive int32 values starting at s[i] as one
+// word, element i+k in lane k. The values must be non-negative (LELs
+// always are). The caller guarantees i+2 <= len(s).
+func loadPair32(s []int32, i int) uint64 {
+	return uint64(uint32(s[i])) | uint64(uint32(s[i+1]))<<32
+}

@@ -1,5 +1,7 @@
 package core
 
+import mbits "math/bits"
+
 // Index implements store over the reference layout.
 
 func (idx *Index) textLen() int32                      { return int32(len(idx.text)) }
@@ -13,6 +15,45 @@ func (idx *Index) findExtrib(t int32) (Extrib, bool) {
 		return e.ext, true
 	}
 	return Extrib{}, false
+}
+
+// SWAR kernel surface: the reference layout's vertebra labels are the
+// raw text bytes (8-bit lanes) and its LELs are int32 (2 lanes per word).
+
+func (idx *Index) blockLELs() []uint64 { return idx.blockLEL }
+func (idx *Index) vertBits() uint      { return 8 }
+
+// vertWord returns text[v:v+8] as a little-endian word, zero-filled
+// past the text end.
+func (idx *Index) vertWord(v int32) uint64 {
+	if int(v)+8 <= len(idx.text) {
+		return loadU64(idx.text, int(v))
+	}
+	var w uint64
+	for k := int(v); k < len(idx.text); k++ {
+		w |= uint64(idx.text[k]) << (8 * uint(k-int(v)))
+	}
+	return w
+}
+
+// nextLEL advances to the first node in [j, last] with lel >= patlen,
+// two int32 lanes per compare. The int32 LELs are exact (no sentinel
+// saturation), so the test itself is exact here; the caller re-checks
+// through linkOf regardless.
+func (idx *Index) nextLEL(j, last, patlen int32) (int32, int64) {
+	var words int64
+	for j+1 <= last {
+		w := loadPair32(idx.lel, int(j))
+		words++
+		if m := laneGE32(w, uint32(patlen)); m != 0 {
+			return j + int32(mbits.TrailingZeros64(m)>>5), words
+		}
+		j += 2
+	}
+	if j <= last && idx.lel[j] >= patlen {
+		return j, words
+	}
+	return last + 1, words
 }
 
 // step advances a valid path of length pathlen ending at node v by one

@@ -422,6 +422,8 @@ func ReadCompact(r io.Reader) (*CompactIndex, error) {
 		// table so loaded indexes accelerate identically to frozen ones.
 		c.blocks = buildBlocksOn(c)
 	}
+	// The packed SWAR admission lanes are derived state, never serialized.
+	c.blockLEL = packBlockLELs(c.blocks)
 	if err := c.validate(); err != nil {
 		return fail(err)
 	}
@@ -445,6 +447,9 @@ func (c *CompactIndex) validate() error {
 	}
 	if len(c.blocks) != blocksFor(int(c.n)) {
 		return fmt.Errorf("skip index has %d blocks for n=%d (want %d)", len(c.blocks), c.n, blocksFor(int(c.n)))
+	}
+	if len(c.blockLEL) != (len(c.blocks)+3)/4 {
+		return fmt.Errorf("packed admission lanes cover %d words for %d blocks (want %d)", len(c.blockLEL), len(c.blocks), (len(c.blocks)+3)/4)
 	}
 	for shape := 1; shape < numShapes; shape++ {
 		tb := &c.tables[shape]

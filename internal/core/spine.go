@@ -102,6 +102,11 @@ type Index struct {
 	edges  []nodeEdges // records for nodes with downstream cross edges
 	blocks []blockMeta // block-max skip index, folded online in setLink
 
+	// blockLEL packs the blocks' maxLEL fields as saturated uint16 lanes
+	// (4 blocks per word) for the SWAR admission prefilter; folded online
+	// alongside blocks.
+	blockLEL []uint64
+
 	// construction statistics, maintained online
 	maxLEL, maxPT, maxPRT int32
 	ribCount, extribCount int
@@ -153,6 +158,11 @@ func (idx *Index) grow(n int) {
 		b := make([]blockMeta, len(idx.blocks), blocksFor(need))
 		copy(b, idx.blocks)
 		idx.blocks = b
+	}
+	if lanes := (blocksFor(need) + 3) / 4; cap(idx.blockLEL) < lanes {
+		l := make([]uint64, len(idx.blockLEL), lanes)
+		copy(l, idx.blockLEL)
+		idx.blockLEL = l
 	}
 }
 
@@ -374,4 +384,5 @@ func (idx *Index) setLink(node, dest, lel int32) {
 		idx.maxLEL = lel
 	}
 	idx.blocks = foldBlock(idx.blocks, node, dest, lel)
+	idx.blockLEL = foldBlockLEL(idx.blockLEL, node, lel)
 }

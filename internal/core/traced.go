@@ -30,6 +30,11 @@ func descendOnCtx[S store](ctx context.Context, s S, p []byte) (end int32, ok bo
 // clock reads happen only on the rib/extrib paths, which genomic
 // descents take rarely (most steps are vertebra extensions).
 func descendTracedOn[S store](s S, p []byte, tr *trace.Trace) (end int32, ok bool) {
+	if !scalarKernel.Load() {
+		if end, ok, handled := descendTracedSWAROn(s, p, tr); handled {
+			return end, ok
+		}
+	}
 	sp := tr.Start(trace.StageDescend)
 	sp.C.Nodes = int64(len(p))
 	var ribsDur, extribsDur time.Duration
@@ -78,6 +83,91 @@ func descendTracedOn[S store](s S, p []byte, tr *trace.Trace) (end int32, ok boo
 			node = x.Dest
 		}
 		extribsDur += time.Since(t0)
+	}
+	return finish(v, true)
+}
+
+// descendTracedSWAROn is the counting twin of endNodeSWAROn: vertebra
+// runs are matched a packed word at a time (each compare recorded in
+// WordsCompared), while the run-breaking cross-edge steps carry the
+// same rib/extrib accounting as the scalar traced descent. Edge steps
+// fire at exactly the characters where the scalar walk leaves the
+// backbone, so Nodes/RibHops/ExtribHops are kernel-invariant; only
+// WordsCompared is kernel-dependent. handled is false when the packed
+// width cannot tile a word (the caller then takes the scalar path).
+func descendTracedSWAROn[S store](s S, p []byte, tr *trace.Trace) (end int32, ok, handled bool) {
+	bits := s.vertBits()
+	if !swarCapable(bits) {
+		return 0, false, false
+	}
+	sp := tr.Start(trace.StageDescend)
+	sp.C.Nodes = int64(len(p))
+	var ribsDur, extribsDur time.Duration
+	finish := func(end int32, ok bool) (int32, bool, bool) {
+		sp.End()
+		if sp.C.RibHops > 0 {
+			tr.Add(trace.StageRibs, ribsDur, trace.Counters{RibHops: sp.C.RibHops})
+		}
+		if sp.C.ExtribHops > 0 {
+			tr.Add(trace.StageExtribs, extribsDur, trace.Counters{ExtribHops: sp.C.ExtribHops})
+		}
+		return end, ok, true
+	}
+	pat := getSwarPat(p, bits)
+	defer putSwarPat(pat)
+	cpw := int32(64 / bits)
+	v, i := int32(0), int32(0)
+	n, m := s.textLen(), int32(len(p))
+	for i < m {
+		if v < n {
+			run := cpw
+			if rem := m - i; rem < run {
+				run = rem
+			}
+			if rem := n - v; rem < run {
+				run = rem
+			}
+			k := matchLanes(s.vertWord(v), pat.wordAt(i), bits)
+			sp.C.WordsCompared++
+			if k > run {
+				k = run
+			}
+			v += k
+			i += k
+			if k == run {
+				continue
+			}
+		}
+		c := p[i]
+		t0 := time.Now()
+		r, found := s.findRib(v, c)
+		ribsDur += time.Since(t0)
+		sp.C.RibHops++
+		if !found {
+			return finish(0, false)
+		}
+		if i <= r.PT {
+			v = r.Dest
+			i++
+			continue
+		}
+		t0 = time.Now()
+		node := r.Dest
+		for {
+			x, found := s.findExtrib(node)
+			if !found {
+				extribsDur += time.Since(t0)
+				return finish(0, false)
+			}
+			sp.C.ExtribHops++
+			if x.ParentSrc == v && x.PRT == r.PT && x.PT >= i {
+				v = x.Dest
+				break
+			}
+			node = x.Dest
+		}
+		extribsDur += time.Since(t0)
+		i++
 	}
 	return finish(v, true)
 }

@@ -1,0 +1,58 @@
+package seq
+
+// Word-level access to packed symbol storage. The SWAR scan kernels in
+// internal/core compare 64 bits of packed characters per machine op —
+// 32 DNA symbols or 8 raw bytes at a time — so they need to pull an
+// arbitrarily bit-aligned 64-bit window out of a packed sequence, and
+// to pack a query pattern into the same representation once per query.
+// Both sides of every comparison run through the functions here, which
+// define the canonical lane order: symbol k of a window occupies bits
+// [k*bits, (k+1)*bits), i.e. little-endian within the word.
+
+// WordFrom returns the 64 bits of data starting at bit offset bitOff.
+// Bits past the end of data read as zero, so a window overlapping the
+// packed tail compares equal to a pattern window padded the same way.
+func WordFrom(data []uint64, bitOff uint) uint64 {
+	w := int(bitOff >> 6)
+	if w >= len(data) {
+		return 0
+	}
+	off := bitOff & 63
+	v := data[w] >> off
+	if off != 0 && w+1 < len(data) {
+		v |= data[w+1] << (64 - off)
+	}
+	return v
+}
+
+// WordAt returns a 64-bit window of packed symbols starting at symbol i:
+// symbol i+k occupies bits [k*Bits(), (k+1)*Bits()) of the result.
+// Symbols past Len() read as zero.
+func (p *Packed) WordAt(i int) uint64 {
+	return WordFrom(p.data, uint(i)*p.bits)
+}
+
+// PackWords packs symbol codes at the given width into 64-bit words in
+// the canonical lane order, appending to dst (pass dst[:0] to reuse a
+// buffer; the steady state then allocates nothing). Codes wider than
+// bits are masked, not rejected — callers own validation.
+func PackWords(codes []byte, bits uint, dst []uint64) []uint64 {
+	need := int((uint(len(codes))*bits + 63) / 64)
+	for len(dst) < need {
+		dst = append(dst, 0)
+	}
+	dst = dst[:need]
+	for i := range dst {
+		dst[i] = 0
+	}
+	mask := byte(1<<bits - 1)
+	for i, c := range codes {
+		bit := uint(i) * bits
+		w, off := bit>>6, bit&63
+		dst[w] |= uint64(c&mask) << off
+		if off+bits > 64 {
+			dst[w+1] |= uint64(c&mask) >> (64 - off)
+		}
+	}
+	return dst
+}

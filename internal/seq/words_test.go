@@ -1,0 +1,106 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWordAtAgainstAt checks WordAt against the scalar At() oracle for
+// every supported width, at every symbol offset, including windows that
+// straddle word boundaries and windows overlapping the packed tail.
+func TestWordAtAgainstAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for bits := uint(1); bits <= 8; bits++ {
+		for _, n := range []int{0, 1, 7, 31, 32, 33, 63, 64, 65, 200} {
+			codes := make([]byte, n)
+			limit := byte(1<<bits - 1)
+			for i := range codes {
+				codes[i] = byte(rng.Intn(int(limit) + 1))
+			}
+			p, err := NewPacked(codes, bits)
+			if err != nil {
+				t.Fatalf("bits=%d n=%d: %v", bits, n, err)
+			}
+			for i := 0; i <= n; i++ {
+				got := p.WordAt(i)
+				// Verify symbol by symbol: lane k must equal At(i+k).
+				for k := 0; (uint(k)+1)*bits <= 64; k++ {
+					lane := byte(got>>(uint(k)*bits)) & limit
+					want := byte(0)
+					if i+k < n {
+						want = p.At(i + k)
+					}
+					if lane != want {
+						t.Fatalf("bits=%d n=%d WordAt(%d) lane %d = %d, want %d",
+							bits, n, i, k, lane, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWordFromTailZeroFill pins the zero-fill contract: bits past the
+// end of the data slice read as zero at every offset.
+func TestWordFromTailZeroFill(t *testing.T) {
+	data := []uint64{^uint64(0)}
+	for off := uint(0); off < 130; off++ {
+		got := WordFrom(data, off)
+		var want uint64
+		if off < 64 {
+			want = ^uint64(0) >> off
+		}
+		if got != want {
+			t.Fatalf("WordFrom(all-ones, %d) = %#x, want %#x", off, got, want)
+		}
+	}
+}
+
+// TestPackWordsRoundTrip packs codes and re-extracts them through
+// WordFrom, for every width, including widths that straddle word
+// boundaries (3, 5, 6, 7 bits).
+func TestPackWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for bits := uint(1); bits <= 8; bits++ {
+		limit := byte(1<<bits - 1)
+		for _, n := range []int{0, 1, 13, 64, 100} {
+			codes := make([]byte, n)
+			for i := range codes {
+				codes[i] = byte(rng.Intn(int(limit) + 1))
+			}
+			words := PackWords(codes, bits, nil)
+			for i, c := range codes {
+				got := byte(WordFrom(words, uint(i)*bits)) & limit
+				if got != c {
+					t.Fatalf("bits=%d n=%d: code %d round-tripped to %d, want %d", bits, n, i, got, c)
+				}
+			}
+			// Packed and PackWords must agree word for word: both sides of
+			// a SWAR comparison use the same lane order.
+			p, err := NewPacked(codes, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i <= n; i++ {
+				if got, want := WordFrom(words, uint(i)*bits), p.WordAt(i); got != want {
+					t.Fatalf("bits=%d n=%d offset %d: PackWords window %#x != Packed window %#x",
+						bits, n, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPackWordsReuse verifies the buffer-reuse contract: a second pack
+// into the returned slice must not allocate and must fully overwrite
+// stale content.
+func TestPackWordsReuse(t *testing.T) {
+	a := PackWords([]byte{3, 3, 3, 3, 3, 3, 3, 3}, 8, nil)
+	b := PackWords([]byte{1}, 8, a[:0])
+	if b[0] != 1 {
+		t.Fatalf("reused buffer kept stale bits: %#x", b[0])
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("PackWords reallocated despite sufficient capacity")
+	}
+}

@@ -132,6 +132,13 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		{"go_version", s.Build.GoVersion},
 		{"commit", s.Build.Commit},
 	}, 1)
+	if s.ScanKernel.Kernel != "" {
+		p.Family("spine_scan_kernel", "gauge", "Active scan kernel and compiled word-load ISA; always 1, the labels carry the information.")
+		p.Sample("spine_scan_kernel", []Label{
+			{"kernel", s.ScanKernel.Kernel},
+			{"isa", s.ScanKernel.ISA},
+		}, 1)
+	}
 	p.Family("spine_process_start_time_seconds", "gauge", "Process start time as seconds since the unix epoch.")
 	p.Sample("spine_process_start_time_seconds", nil, s.StartTimeUnix)
 
@@ -258,6 +265,10 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		p.Family("spine_scan_blocks_scanned_total", "counter", "Backbone blocks scanned node by node during occurrence scans, per query stage.")
 		for _, st := range stages {
 			p.Sample("spine_scan_blocks_scanned_total", []Label{{"stage", st}}, float64(s.Stages[st].BlocksScanned))
+		}
+		p.Family("spine_scan_words_compared_total", "counter", "64-bit SWAR kernel comparisons (packed descent words, lane LEL tests, block-admission probes), per query stage.")
+		for _, st := range stages {
+			p.Sample("spine_scan_words_compared_total", []Label{{"stage", st}}, float64(s.Stages[st].WordsCompared))
 		}
 	}
 

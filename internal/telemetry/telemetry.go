@@ -125,6 +125,10 @@ type StageStats struct {
 	// block-accelerated occurrence scans (occurrences/batchscan stages).
 	BlocksSkipped Counter
 	BlocksScanned Counter
+	// WordsCompared counts 64-bit SWAR kernel comparisons (packed descent
+	// words, lane-parallel LEL tests, block-admission probes); zero when
+	// queries run the scalar kernel.
+	WordsCompared Counter
 }
 
 // ShardStats aggregates one shard's share of fan-out queries, making
@@ -193,6 +197,17 @@ func readBuildInfo() BuildInfo {
 	return b
 }
 
+// ScanKernelInfo identifies the scan kernel configuration a server
+// runs: the selected kernel ("swar" or "scalar") and the compiled-in
+// word-load ISA ("amd64" or "generic"). It becomes the
+// spine_scan_kernel info gauge, following the spine_build_info model.
+// The serving layer reports it (SetScanKernelInfo) so telemetry does
+// not import the engine.
+type ScanKernelInfo struct {
+	Kernel string `json:"kernel,omitempty"`
+	ISA    string `json:"isa,omitempty"`
+}
+
 // Registry is the process-wide metric store for a query service.
 type Registry struct {
 	start time.Time
@@ -204,6 +219,9 @@ type Registry struct {
 	// cache's counters; the cache owns its own atomics, the registry
 	// only reads them.
 	cacheSource atomic.Pointer[func() CacheSnapshot]
+
+	// scanInfo, when set, labels snapshots with the active scan kernel.
+	scanInfo atomic.Pointer[ScanKernelInfo]
 
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
@@ -220,6 +238,13 @@ func (r *Registry) SetCacheSource(src func() CacheSnapshot) {
 		return
 	}
 	r.cacheSource.Store(&src)
+}
+
+// SetScanKernelInfo records the scan kernel configuration reported in
+// snapshots and the spine_scan_kernel gauge. Call it at server
+// construction and again if the kernel is flipped at runtime.
+func (r *Registry) SetScanKernelInfo(info ScanKernelInfo) {
+	r.scanInfo.Store(&info)
 }
 
 // NewRegistry returns an empty registry; the uptime clock starts now.
@@ -321,6 +346,7 @@ type StageSnapshot struct {
 	ExtribHops    int64   `json:"extribHops"`
 	BlocksSkipped int64   `json:"blocksSkipped"`
 	BlocksScanned int64   `json:"blocksScanned"`
+	WordsCompared int64   `json:"wordsCompared"`
 }
 
 // ShardSnapshot is a point-in-time copy of one shard's metrics.
@@ -338,6 +364,7 @@ type Snapshot struct {
 	// seconds — the spine_process_start_time_seconds gauge.
 	StartTimeUnix float64                     `json:"startTimeUnix"`
 	Build         BuildInfo                   `json:"build"`
+	ScanKernel    ScanKernelInfo              `json:"scanKernel"`
 	Runtime       RuntimeSnapshot             `json:"runtime"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Query         QuerySnapshot               `json:"query"`
@@ -407,6 +434,9 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Cache = (*src)()
 		s.Cache.Enabled = true
 	}
+	if info := r.scanInfo.Load(); info != nil {
+		s.ScanKernel = *info
+	}
 	for name, e := range eps {
 		s.Endpoints[name] = EndpointSnapshot{
 			Requests:    e.Requests.Value(),
@@ -430,6 +460,7 @@ func (r *Registry) Snapshot() Snapshot {
 				ExtribHops:    st.ExtribHops.Value(),
 				BlocksSkipped: st.BlocksSkipped.Value(),
 				BlocksScanned: st.BlocksScanned.Value(),
+				WordsCompared: st.WordsCompared.Value(),
 			}
 		}
 	}

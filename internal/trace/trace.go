@@ -101,6 +101,12 @@ type Counters struct {
 	// Nodes partition invariant above covers only work actually done.
 	BlocksSkipped int64 `json:"blocksSkipped"`
 	BlocksScanned int64 `json:"blocksScanned"`
+	// WordsCompared counts 64-bit SWAR comparisons issued by the
+	// word-parallel scan kernel (packed descent words, lane-parallel LEL
+	// tests, packed block-admission probes). Zero under the scalar
+	// kernel. Unlike Nodes it is kernel-dependent by design: it measures
+	// machine ops spent, not index work covered.
+	WordsCompared int64 `json:"wordsCompared"`
 }
 
 func (c *Counters) add(o Counters) {
@@ -110,6 +116,7 @@ func (c *Counters) add(o Counters) {
 	c.ExtribHops += o.ExtribHops
 	c.BlocksSkipped += o.BlocksSkipped
 	c.BlocksScanned += o.BlocksScanned
+	c.WordsCompared += o.WordsCompared
 }
 
 // Record is one finished span.
