@@ -44,6 +44,15 @@
 //
 //	spinebench -cache -cache-seq eco -divide 10 -cache-out BENCH_cache.json
 //
+// With -disk it benchmarks serving straight from the on-disk compact
+// image: cold-open latency of the heap deserializer versus the
+// zero-copy mmap open and the portable io.ReaderAt fallback, a
+// differential query pass against the heap reference, and a
+// full-backbone occurrence sweep under a small readahead range-cache
+// budget (the larger-than-RAM streaming regime):
+//
+//	spinebench -disk -disk-seq cel -divide 1 -disk-out BENCH_disk.json
+//
 // With -obs it benchmarks the wide-event observability layer
 // in-process: the same traced findall queries with the exporter off
 // versus on (JSONL sink), reporting the query-path overhead and
@@ -67,6 +76,7 @@ import (
 
 	"github.com/spine-index/spine/internal/bench"
 	"github.com/spine-index/spine/internal/bench/cachebench"
+	"github.com/spine-index/spine/internal/bench/diskbench"
 	"github.com/spine-index/spine/internal/bench/obsbench"
 	"github.com/spine-index/spine/internal/pager"
 	"github.com/spine-index/spine/internal/seqgen"
@@ -106,6 +116,12 @@ func main() {
 		cacheZipf = flag.Float64("cache-zipf", 1.1, "cache mode: Zipf exponent of the hot-pattern stream")
 		cacheOut  = flag.String("cache-out", "", "cache mode: write the JSON comparison report to this file")
 
+		diskMode   = flag.Bool("disk", false, "benchmark cold-open modes and the streamed occurrence sweep over the on-disk compact image")
+		diskSeq    = flag.String("disk-seq", "eco", "disk mode: suite sequence to index")
+		diskRounds = flag.Int("disk-rounds", 3, "disk mode: cold opens per mode")
+		diskRC     = flag.Int64("disk-rangecache", 1<<20, "disk mode: readahead range-cache byte budget for the sweep")
+		diskOut    = flag.String("disk-out", "", "disk mode: write the JSON comparison report (BENCH_disk.json) to this file")
+
 		obsMode = flag.Bool("obs", false, "benchmark the wide-event exporter's query-path overhead in-process")
 		obsSeq  = flag.String("obs-seq", "eco", "obs mode: suite sequence to index")
 		obsN    = flag.Int("obs-n", 2000, "obs mode: queries per arm")
@@ -115,6 +131,13 @@ func main() {
 	flag.Parse()
 	if *obsMode {
 		if err := runObsBench(*obsSeq, *divide, *obsN, *obsPlen, *obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "spinebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diskMode {
+		if err := runDiskBench(*diskSeq, *divide, *diskRounds, *diskRC, *diskOut); err != nil {
 			fmt.Fprintln(os.Stderr, "spinebench:", err)
 			os.Exit(1)
 		}
@@ -322,6 +345,33 @@ func runScanBench(seqName string, divide, rounds int, kernel, outPath string) er
 		Sequence: seqName,
 		Rounds:   rounds,
 		Kernel:   kernel,
+	})
+	if err != nil {
+		return err
+	}
+	table.Fprint(os.Stdout)
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDiskBench measures cold opens of the saved compact image in every
+// available mode plus the budgeted streaming sweep and prints the
+// comparison table; with outPath the JSON report (BENCH_disk.json
+// format) is written too.
+func runDiskBench(seqName string, divide, rounds int, rangeCacheBytes int64, outPath string) error {
+	c := bench.NewCorpus(divide)
+	table, report, err := diskbench.RunDiskBench(c, diskbench.Config{
+		Sequence:        seqName,
+		Rounds:          rounds,
+		RangeCacheBytes: rangeCacheBytes,
 	})
 	if err != nil {
 		return err

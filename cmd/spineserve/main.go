@@ -8,6 +8,7 @@
 // graceful drain on SIGINT/SIGTERM.
 //
 //	spineserve -fasta genome.fa -addr :8080
+//	spineserve -index-file genome.spine -mmap -warmup -addr :8080
 //	spineserve -synthetic eco -divide 100 -mode sharded -addr :8080
 //	spineserve -synthetic eco -cache-bytes 134217728 -neg-filter=true
 //	spineserve -synthetic eco -obs-export events.jsonl -log-format=json
@@ -80,6 +81,9 @@ func main() {
 	var (
 		fasta      = flag.String("fasta", "", "FASTA file to index (first record)")
 		synthetic  = flag.String("synthetic", "", "synthetic suite sequence name")
+		indexFile  = flag.String("index-file", "", "serve a saved compact index file (spine.Save output) instead of building one")
+		useMmap    = flag.Bool("mmap", true, "memory-map -index-file zero-copy where the platform supports it")
+		warmFile   = flag.Bool("warmup", true, "touch the hot top of the Link Table after a mapped open")
 		divide     = flag.Int("divide", 1, "scale divisor for synthetic sequences")
 		mode       = flag.String("mode", "index", "index layout: index|compact|sharded")
 		shardSize  = flag.Int("shard-size", 1<<22, "shard slice length (sharded mode)")
@@ -119,10 +123,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	q, err := buildQuerier(*fasta, *synthetic, *divide, *mode, *shardSize, *maxPattern, *workers)
+	q, err := buildQuerier(*fasta, *synthetic, *indexFile, *useMmap, *warmFile, *divide, *mode, *shardSize, *maxPattern, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spineserve:", err)
 		os.Exit(1)
+	}
+	servingMode := *mode
+	if *indexFile != "" {
+		// -index-file bypasses -mode; report how the image was opened.
+		servingMode = "mapped"
+		if mc, ok := q.(*spine.MappedCompact); ok {
+			servingMode = "mapped/" + mc.Mode()
+		}
 	}
 	q, err = wrapCache(q, *cacheBytes, *negFilter)
 	if err != nil {
@@ -177,7 +189,7 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("spineserve: listening",
-		slog.String("mode", *mode),
+		slog.String("mode", servingMode),
 		slog.Int("indexedChars", q.Len()),
 		slog.String("addr", ln.Addr().String()))
 
@@ -263,8 +275,16 @@ func wrapCache(q spine.Querier, cacheBytes int64, negFilter bool) (spine.Querier
 }
 
 // buildQuerier loads the text and builds the requested index flavor
-// behind the unified Querier API.
-func buildQuerier(fasta, synthetic string, divide int, mode string, shardSize, maxPattern, workers int) (spine.Querier, error) {
+// behind the unified Querier API. With -index-file the index is served
+// straight from the saved image (zero-copy mmap where supported) and
+// the build flags are ignored.
+func buildQuerier(fasta, synthetic, indexFile string, useMmap, warm bool, divide int, mode string, shardSize, maxPattern, workers int) (spine.Querier, error) {
+	if indexFile != "" {
+		return spine.OpenMapped(indexFile, spine.MappedOptions{
+			NoMmap: !useMmap,
+			Warmup: warm,
+		})
+	}
 	var data []byte
 	switch {
 	case fasta != "":
@@ -285,7 +305,7 @@ func buildQuerier(fasta, synthetic string, divide int, mode string, shardSize, m
 		}
 		data = s
 	default:
-		return nil, fmt.Errorf("one of -fasta or -synthetic is required")
+		return nil, fmt.Errorf("one of -fasta, -synthetic or -index-file is required")
 	}
 	switch mode {
 	case "index", "":

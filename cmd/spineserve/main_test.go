@@ -18,7 +18,7 @@ func testApp(t *testing.T) *server {
 	if err := os.WriteFile(path, []byte(">g\naaccacaacaggtacca\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	q, err := buildQuerier(path, "", 1, "index", 0, 0, 0)
+	q, err := buildQuerier(path, "", "", false, false, 1, "index", 0, 0, 0)
 	if err != nil {
 		t.Fatalf("buildQuerier: %v", err)
 	}
@@ -202,16 +202,16 @@ func TestPatternLengthCap(t *testing.T) {
 }
 
 func TestBuildQuerierValidation(t *testing.T) {
-	if _, err := buildQuerier("", "", 1, "index", 0, 0, 0); err == nil {
+	if _, err := buildQuerier("", "", "", false, false, 1, "index", 0, 0, 0); err == nil {
 		t.Fatal("missing input accepted")
 	}
-	if _, err := buildQuerier("/nonexistent.fa", "", 1, "index", 0, 0, 0); err == nil {
+	if _, err := buildQuerier("/nonexistent.fa", "", "", false, false, 1, "index", 0, 0, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if _, err := buildQuerier("", "eco", 2000, "index", 0, 0, 0); err != nil {
+	if _, err := buildQuerier("", "eco", "", false, false, 2000, "index", 0, 0, 0); err != nil {
 		t.Fatalf("synthetic input failed: %v", err)
 	}
-	if _, err := buildQuerier("", "eco", 2000, "martian", 0, 0, 0); err == nil {
+	if _, err := buildQuerier("", "eco", "", false, false, 2000, "martian", 0, 0, 0); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }
@@ -220,7 +220,7 @@ func TestBuildQuerierValidation(t *testing.T) {
 // fronts reference, compact and sharded indexes through one API.
 func TestServeAllQuerierModes(t *testing.T) {
 	for _, mode := range []string{"index", "compact", "sharded"} {
-		q, err := buildQuerier("", "eco", 2000, mode, 512, 64, 2)
+		q, err := buildQuerier("", "eco", "", false, false, 2000, mode, 512, 64, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}

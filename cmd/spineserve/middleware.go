@@ -159,6 +159,8 @@ func (s *server) observeTrace(tr *trace.Trace, name string, status int, start ti
 		st.BlocksSkipped.Add(rec.BlocksSkipped)
 		st.BlocksScanned.Add(rec.BlocksScanned)
 		st.WordsCompared.Add(rec.WordsCompared)
+		st.ReadaheadIssued.Add(rec.ReadaheadIssued)
+		st.ReadaheadHits.Add(rec.ReadaheadHits)
 		if rec.Shard >= 0 {
 			sh := s.reg.Shard(rec.Shard)
 			sh.NodesChecked.Add(rec.Nodes)

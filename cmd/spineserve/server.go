@@ -106,6 +106,9 @@ type (
 	cacheStatser interface {
 		CacheStats() spine.CacheStats
 	}
+	diskStatser interface {
+		DiskStats() spine.DiskStats
+	}
 )
 
 // capability resolves an optional interface on q, descending through
@@ -152,6 +155,23 @@ func newQueryServer(q spine.Querier, cfg serverConfig) *server {
 				Epoch:          st.Epoch,
 				NegFilterQ:     st.NegFilterQ,
 				NegFilterBytes: st.NegFilterBytes,
+			}
+		})
+	}
+	if ds, ok := capability[diskStatser](q); ok {
+		s.reg.SetDiskSource(func() telemetry.DiskSnapshot {
+			st := ds.DiskStats()
+			return telemetry.DiskSnapshot{
+				Mode:              st.Mode,
+				FileBytes:         st.FileBytes,
+				MappedBytes:       st.MappedBytes,
+				ResidentBytes:     st.ResidentBytes,
+				WarmedBytes:       st.WarmedBytes,
+				ReadaheadIssued:   st.ReadaheadIssued,
+				ReadaheadHits:     st.ReadaheadHits,
+				ReadaheadBytes:    st.ReadaheadBytes,
+				RangeCacheEvicted: st.RangeCacheEvicted,
+				OpenSeconds:       float64(st.OpenNanos) / 1e9,
 			}
 		})
 	}

@@ -1,0 +1,132 @@
+package spine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// buildDiskFixture builds matching disk and in-memory indexes over the
+// same text.
+func buildDiskFixture(t *testing.T, text []byte) (*DiskIndex, *Index) {
+	t.Helper()
+	d, err := CreateDisk(t.TempDir(), DiskOptions{PageSize: 512, BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	if err := d.AppendString(text); err != nil {
+		t.Fatal(err)
+	}
+	return d, Build(text)
+}
+
+func TestOpenDiskPageSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	d, err := CreateDisk(dir, DiskOptions{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendString([]byte("acgtacgt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A conflicting page size must fail loudly with the sentinel, not be
+	// silently ignored (the page files were written at 512).
+	if _, err := OpenDisk(dir, DiskOptions{PageSize: 4096}); !errors.Is(err, ErrPageSizeMismatch) {
+		t.Fatalf("mismatched page size: err = %v, want ErrPageSizeMismatch", err)
+	}
+	// Zero (use stored) and the matching value both open.
+	for _, ps := range []int{0, 512} {
+		re, err := OpenDisk(dir, DiskOptions{PageSize: ps})
+		if err != nil {
+			t.Fatalf("PageSize %d: %v", ps, err)
+		}
+		if ok, err := re.Contains([]byte("gtac")); err != nil || !ok {
+			t.Fatalf("PageSize %d: Contains = %v, %v", ps, ok, err)
+		}
+		re.Close()
+	}
+}
+
+func TestDiskQuerierMatchesIndex(t *testing.T) {
+	text := []byte("aaccacaacaggtaccaaccacaacaggtaccagattacagattaca")
+	d, ref := buildDiskFixture(t, text)
+	ctx := context.Background()
+	pats := [][]byte{
+		[]byte("a"), []byte("acca"), []byte("gattaca"), []byte("zzz"),
+		[]byte("aaccacaaca"), {},
+	}
+	for _, p := range pats {
+		for _, kind := range []QueryKind{KindContains, KindFind, KindFindAll, KindCount} {
+			got, err := d.Query(ctx, p, QueryOptions{Kind: kind, Limit: 3})
+			if err != nil {
+				t.Fatalf("disk %s(%q): %v", kind, p, err)
+			}
+			want, err := ref.Query(ctx, p, QueryOptions{Kind: kind, Limit: 3})
+			if err != nil {
+				t.Fatalf("ref %s(%q): %v", kind, p, err)
+			}
+			if got.Found != want.Found || got.Position != want.Position ||
+				got.Count != want.Count || got.Truncated != want.Truncated ||
+				len(got.Positions) != len(want.Positions) {
+				t.Fatalf("%s(%q): disk %+v != index %+v", kind, p, got, want)
+			}
+			for i := range got.Positions {
+				if got.Positions[i] != want.Positions[i] {
+					t.Fatalf("%s(%q): position %d differs", kind, p, i)
+				}
+			}
+		}
+	}
+	if _, err := d.Query(ctx, []byte("a"), QueryOptions{Kind: QueryKind(99)}); !errors.Is(err, ErrBadQueryKind) {
+		t.Fatalf("bad kind: err = %v", err)
+	}
+}
+
+func TestDiskQueryBatchMatchesIndex(t *testing.T) {
+	text := []byte("aaccacaacaggtaccaaccacaacaggtaccagattacagattaca")
+	d, ref := buildDiskFixture(t, text)
+	ctx := context.Background()
+	pats := [][]byte{[]byte("acca"), []byte("gattaca"), []byte("acca"), {}, []byte("zzz"), []byte("a")}
+	got, err := d.QueryBatch(ctx, pats, BatchOptions{Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.QueryBatch(ctx, pats, BatchOptions{Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Found != want[i].Found || got[i].Count != want[i].Count ||
+			got[i].Truncated != want[i].Truncated || got[i].Position != want[i].Position {
+			t.Fatalf("item %d (%q): disk %+v != index %+v", i, pats[i], got[i], want[i])
+		}
+	}
+	// Malformed batch: Limits length disagreeing with the pattern count.
+	if _, err := d.QueryBatch(ctx, pats, BatchOptions{Limits: []int{1}}); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("bad limits: err = %v", err)
+	}
+}
+
+func TestDiskQueryCancellation(t *testing.T) {
+	text := make([]byte, 40000)
+	for i := range text {
+		text[i] = "acgt"[i%4]
+	}
+	d, _ := buildDiskFixture(t, text)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Every kind must notice the dead context instead of walking the
+	// whole buffer pool.
+	for _, kind := range []QueryKind{KindContains, KindFind, KindFindAll, KindCount} {
+		if _, err := d.Query(ctx, []byte("acgt"), QueryOptions{Kind: kind}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", kind, err)
+		}
+	}
+	if _, err := d.QueryBatch(ctx, [][]byte{[]byte("acgt")}, BatchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch: err = %v, want context.Canceled", err)
+	}
+}

@@ -32,4 +32,10 @@ var (
 	// ErrBadQueryKind reports a QueryOptions.Kind outside the defined
 	// QueryKind values. A client error: 4xx.
 	ErrBadQueryKind = errors.New("spine: unknown query kind")
+
+	// ErrPageSizeMismatch reports an OpenDisk whose DiskOptions.PageSize
+	// disagrees with the page size recorded when the index was built.
+	// The stored size is authoritative; reopen with PageSize zero (use
+	// the stored size) or the matching value.
+	ErrPageSizeMismatch = errors.New("spine: disk index page size mismatch")
 )

@@ -1,0 +1,346 @@
+// Package diskbench benchmarks serving a Compact index from its disk
+// image. It lives in its own package (not internal/bench) because it
+// exercises the public spine.OpenMapped entry point, and the root
+// package's own benchmarks import internal/bench — importing spine
+// from there would be a cycle.
+package diskbench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/spine-index/spine"
+	"github.com/spine-index/spine/internal/bench"
+	"github.com/spine-index/spine/internal/mmap"
+)
+
+// Cold-open and streaming-scan comparison: the same on-disk v3 image
+// opened three ways — full heap deserialization (LoadCompact), the
+// zero-copy mmap path, and the portable io.ReaderAt fallback — then a
+// full-backbone occurrence sweep under a deliberately small readahead
+// range-cache budget, so the run behaves like an index larger than the
+// memory we allow it. Every timed open is followed by a differential
+// query pass against the heap reference, so the speedups never come
+// from wrong answers.
+
+// Config drives RunDiskBench over an in-process corpus build.
+type Config struct {
+	Sequence   string // corpus sequence name, e.g. "eco"
+	Rounds     int    // cold opens per mode; <= 0 = 3
+	Patterns   int    // cross-check patterns; <= 0 = 32
+	PatternLen int    // cross-check pattern length; <= 0 = 12
+	// RangeCacheBytes is the readahead range-cache budget for the sweep
+	// (kept intentionally small so the sweep cycles the cache the way a
+	// larger-than-RAM index would); <= 0 = 1 MiB.
+	RangeCacheBytes int64
+	Seed            int64 // pattern seed; 0 = 1
+	// Dir is the working directory for the index image (a temp dir
+	// when empty; removed afterwards).
+	Dir string
+}
+
+// OpenStats aggregates one mode's cold-open rounds.
+type OpenStats struct {
+	Rounds  int   `json:"rounds"`
+	MeanUs  int64 `json:"meanUs"`
+	P50Us   int64 `json:"p50Us"`
+	MaxUs   int64 `json:"maxUs"`
+	TotalUs int64 `json:"totalUs"`
+}
+
+// Report is the machine-readable comparison (committed as
+// BENCH_disk.json).
+type Report struct {
+	Sequence  string `json:"sequence"`
+	Chars     int    `json:"chars"`
+	FileBytes int64  `json:"fileBytes"`
+	BuildUs   int64  `json:"buildUs"`
+
+	// Cold-open latency per mode. Mmap is omitted when the build or
+	// platform has no mmap support (e.g. -tags nommap).
+	HeapOpen     OpenStats  `json:"heapOpen"`
+	MmapOpen     *OpenStats `json:"mmapOpen,omitempty"`
+	ReaderAtOpen OpenStats  `json:"readerAtOpen"`
+	// SpeedupMmap is heap mean open time over mmap mean open time.
+	SpeedupMmap     float64 `json:"speedupMmap,omitempty"`
+	SpeedupReaderAt float64 `json:"speedupReaderAt"`
+
+	// CrossChecked counts patterns whose FindAll positions were compared
+	// element-wise between the mapped and heap indexes (all must agree
+	// or RunDiskBench fails).
+	CrossChecked int `json:"crossChecked"`
+
+	// Full-backbone occurrence sweep under the small range cache.
+	SweepMode        string          `json:"sweepMode"`
+	SweepOccurrences int64           `json:"sweepOccurrences"`
+	SweepUs          int64           `json:"sweepUs"`
+	SweepRangeCache  int64           `json:"sweepRangeCacheBytes"`
+	SweepDisk        spine.DiskStats `json:"sweepDisk"`
+}
+
+// RunDiskBench builds the sequence, saves its compact image, measures
+// cold opens in every available mode, cross-checks mapped answers
+// against the heap reference, and drives the budgeted sweep. Returns
+// the human table plus the JSON report.
+func RunDiskBench(c *bench.Corpus, cfg Config) (bench.Table, Report, error) {
+	text, err := c.Get(cfg.Sequence)
+	if err != nil {
+		return bench.Table{}, Report{}, err
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	nPats := cfg.Patterns
+	if nPats <= 0 {
+		nPats = 32
+	}
+	plen := cfg.PatternLen
+	if plen <= 0 {
+		plen = 12
+	}
+	budget := cfg.RangeCacheBytes
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "spinebench-disk")
+		if err != nil {
+			return bench.Table{}, Report{}, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	rep := Report{Sequence: cfg.Sequence, Chars: len(text), SweepRangeCache: budget}
+
+	// Build once, in memory; this heap instance is the differential
+	// reference for every mapped answer below.
+	buildStart := time.Now()
+	ref, err := spine.Build(text).Compact(alphabetFor(text))
+	if err != nil {
+		return bench.Table{}, Report{}, fmt.Errorf("diskbench: build: %w", err)
+	}
+	rep.BuildUs = time.Since(buildStart).Microseconds()
+
+	path := filepath.Join(dir, cfg.Sequence+".spine")
+	f, err := os.Create(path)
+	if err != nil {
+		return bench.Table{}, Report{}, err
+	}
+	if err := ref.Save(f); err != nil {
+		f.Close()
+		return bench.Table{}, Report{}, fmt.Errorf("diskbench: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return bench.Table{}, Report{}, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return bench.Table{}, Report{}, err
+	}
+	rep.FileBytes = st.Size()
+
+	// Cold-open rounds. The OS page cache stays warm across rounds for
+	// every mode alike, so the difference isolates what each open path
+	// does with the bytes: full parse+copy (heap), aligned copy
+	// (readerat), or mapping only (mmap).
+	rep.HeapOpen, err = timeOpens(rounds, func() (func() error, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		x, err := spine.LoadCompact(f)
+		if err != nil {
+			return nil, err
+		}
+		_ = x
+		return func() error { return nil }, nil
+	})
+	if err != nil {
+		return bench.Table{}, rep, fmt.Errorf("diskbench: heap open: %w", err)
+	}
+	rep.ReaderAtOpen, err = timeOpens(rounds, func() (func() error, error) {
+		mc, err := spine.OpenMapped(path, spine.MappedOptions{NoMmap: true})
+		if err != nil {
+			return nil, err
+		}
+		return mc.Close, nil
+	})
+	if err != nil {
+		return bench.Table{}, rep, fmt.Errorf("diskbench: readerat open: %w", err)
+	}
+	if rep.ReaderAtOpen.MeanUs > 0 {
+		rep.SpeedupReaderAt = float64(rep.HeapOpen.MeanUs) / float64(rep.ReaderAtOpen.MeanUs)
+	}
+	if mmap.Supported() {
+		ms, err := timeOpens(rounds, func() (func() error, error) {
+			mc, err := spine.OpenMapped(path, spine.MappedOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if mc.Mode() != "mmap" {
+				mc.Close()
+				return nil, fmt.Errorf("expected mmap mode, got %q", mc.Mode())
+			}
+			return mc.Close, nil
+		})
+		if err != nil {
+			return bench.Table{}, rep, fmt.Errorf("diskbench: mmap open: %w", err)
+		}
+		rep.MmapOpen = &ms
+		if ms.MeanUs > 0 {
+			rep.SpeedupMmap = float64(rep.HeapOpen.MeanUs) / float64(ms.MeanUs)
+		}
+	}
+
+	// Differential pass: mapped answers must match the heap reference
+	// element-wise before any timing is trusted.
+	mc, err := spine.OpenMapped(path, spine.MappedOptions{RangeCacheBytes: budget})
+	if err != nil {
+		return bench.Table{}, rep, err
+	}
+	defer mc.Close()
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+	for i := 0; i < nPats; i++ {
+		p := samplePattern(rng, text, plen)
+		got, err := mc.Query(ctx, p, spine.QueryOptions{Kind: spine.KindFindAll})
+		if err != nil {
+			return bench.Table{}, rep, fmt.Errorf("diskbench: mapped FindAll(%q): %w", p, err)
+		}
+		want := ref.FindAll(p)
+		if len(got.Positions) != len(want) {
+			return bench.Table{}, rep, fmt.Errorf("diskbench: FindAll(%q): mapped %d positions, heap %d", p, len(got.Positions), len(want))
+		}
+		for j := range want {
+			if got.Positions[j] != want[j] {
+				return bench.Table{}, rep, fmt.Errorf("diskbench: FindAll(%q): position %d differs", p, j)
+			}
+		}
+		rep.CrossChecked++
+	}
+
+	// Full-backbone sweep: counting every occurrence of a single letter
+	// touches the occurrence tables end to end, so with the small range
+	// cache the readahead layer must stream (issue, hit, evict) rather
+	// than assume residency.
+	sweepPat := text[:1]
+	sweepStart := time.Now()
+	res, err := mc.Query(ctx, sweepPat, spine.QueryOptions{Kind: spine.KindCount})
+	if err != nil {
+		return bench.Table{}, rep, fmt.Errorf("diskbench: sweep: %w", err)
+	}
+	rep.SweepUs = time.Since(sweepStart).Microseconds()
+	rep.SweepOccurrences = int64(res.Count)
+	rep.SweepMode = mc.Mode()
+	rep.SweepDisk = mc.DiskStats()
+	if n := int64(bytes.Count(text, sweepPat)); rep.SweepOccurrences != n {
+		return bench.Table{}, rep, fmt.Errorf("diskbench: sweep count %d, text has %d", rep.SweepOccurrences, n)
+	}
+
+	return buildTable(rep), rep, nil
+}
+
+// timeOpens runs one cold open per round, closing between rounds.
+func timeOpens(rounds int, open func() (func() error, error)) (OpenStats, error) {
+	s := OpenStats{Rounds: rounds}
+	durs := make([]int64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		closeFn, err := open()
+		d := time.Since(start).Microseconds()
+		if err != nil {
+			return s, err
+		}
+		if err := closeFn(); err != nil {
+			return s, err
+		}
+		durs = append(durs, d)
+		s.TotalUs += d
+		if d > s.MaxUs {
+			s.MaxUs = d
+		}
+	}
+	s.MeanUs = s.TotalUs / int64(rounds)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	s.P50Us = durs[len(durs)/2]
+	return s, nil
+}
+
+// samplePattern cuts a random present substring out of the text.
+func samplePattern(rng *rand.Rand, text []byte, plen int) []byte {
+	if plen >= len(text) {
+		plen = len(text) / 2
+	}
+	off := rng.Intn(len(text) - plen)
+	return text[off : off+plen]
+}
+
+// alphabetFor picks the compaction alphabet by probing the text's
+// letters: DNA when everything fits, protein otherwise.
+func alphabetFor(text []byte) *spine.Alphabet {
+	for _, c := range text {
+		switch c {
+		case 'a', 'c', 'g', 't':
+		default:
+			return spine.Protein
+		}
+	}
+	return spine.DNA
+}
+
+// buildTable renders the report as the human comparison table.
+func buildTable(rep Report) bench.Table {
+	t := bench.Table{
+		ID:     "disk",
+		Title:  fmt.Sprintf("cold open + streamed sweep, %s (%d chars, %.1f MiB image)", rep.Sequence, rep.Chars, float64(rep.FileBytes)/(1<<20)),
+		Header: []string{"open mode", "rounds", "mean", "p50", "max", "speedup"},
+	}
+	row := func(name string, s OpenStats, speedup float64) {
+		sp := "1.0x"
+		if speedup > 0 {
+			sp = fmt.Sprintf("%.1fx", speedup)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(s.Rounds),
+			fmtUs(s.MeanUs), fmtUs(s.P50Us), fmtUs(s.MaxUs), sp,
+		})
+	}
+	row("heap (LoadCompact)", rep.HeapOpen, 0)
+	row("readerat (fallback)", rep.ReaderAtOpen, rep.SpeedupReaderAt)
+	if rep.MmapOpen != nil {
+		row("mmap (zero-copy)", *rep.MmapOpen, rep.SpeedupMmap)
+	}
+	d := rep.SweepDisk
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cross-checked %d FindAll pattern sets against the heap reference", rep.CrossChecked),
+		fmt.Sprintf("sweep (%s): %d occurrences in %s, range cache %d B", rep.SweepMode, rep.SweepOccurrences, fmtUs(rep.SweepUs), rep.SweepRangeCache),
+		fmt.Sprintf("readahead: issued %d, hits %d, bytes %d, evicted %d", d.ReadaheadIssued, d.ReadaheadHits, d.ReadaheadBytes, d.RangeCacheEvicted),
+	)
+	return t
+}
+
+func fmtUs(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}

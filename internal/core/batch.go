@@ -111,6 +111,13 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 				Nodes: st.visited, Links: st.visited,
 				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
 			})
+			if st.raIssued+st.raHits > 0 {
+				// Disk activity is attributed to its own stage with zero
+				// node counts, keeping the NodesChecked partition exact.
+				tr.Add(trace.StageDisk, 0, trace.Counters{
+					ReadaheadIssued: st.raIssued, ReadaheadHits: st.raHits,
+				})
+			}
 		}
 	}
 	// owners[node] lists the matches whose target buffer contains node;
@@ -195,6 +202,12 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 	blocks := s.skipBlocks()
 	var st scanStats
 	nextCheck := int64(cancelStride)
+	ra := s.readahead()
+	if ra != nil {
+		iss, hits := ra.Advance(minFirst + 1)
+		st.raIssued += iss
+		st.raHits += hits
+	}
 	j := minFirst + 1
 	for j <= n {
 		b := blockFor(j)
@@ -241,6 +254,11 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 		}
 		if st.visited+blockSize*st.blocksSkipped >= nextCheck {
 			nextCheck += cancelStride
+			if ra != nil {
+				iss, hits := ra.Advance(j)
+				st.raIssued += iss
+				st.raHits += hits
+			}
 			if err := ctx.Err(); err != nil {
 				endScan(st)
 				return BatchScan{Scanned: res.Scanned}, err

@@ -163,6 +163,11 @@ type scanStats struct {
 	// words counts 64-bit SWAR comparisons (lane tests and packed-word
 	// admission probes); zero under the scalar kernel.
 	words int64
+	// raIssued / raHits count readahead windows issued and range-cache
+	// hits when a disk-backed store registered a scan readahead sink;
+	// both stay zero for memory-resident stores.
+	raIssued int64
+	raHits   int64
 }
 
 // admit reports whether block m can contain an occurrence end for a
@@ -194,6 +199,12 @@ func occScanOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen
 	sc.add(first)
 	maxMember := first
 	nextCheck := int64(cancelStride)
+	ra := s.readahead()
+	if ra != nil {
+		iss, hits := ra.Advance(first + 1)
+		st.raIssued += iss
+		st.raHits += hits
+	}
 	j := first + 1
 	for j <= n {
 		b := blockFor(j)
@@ -245,10 +256,17 @@ func occScanOn[S store](ctx context.Context, s S, sc *scanScratch, first, patlen
 			}
 			j++
 		}
-		if ctx != nil && st.visited+blockSize*st.blocksSkipped >= nextCheck {
+		if (ctx != nil || ra != nil) && st.visited+blockSize*st.blocksSkipped >= nextCheck {
 			nextCheck += cancelStride
-			if err := ctx.Err(); err != nil {
-				return st, false, err
+			if ra != nil {
+				iss, hits := ra.Advance(j)
+				st.raIssued += iss
+				st.raHits += hits
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return st, false, err
+				}
 			}
 		}
 	}
@@ -278,6 +296,12 @@ func occCountOn[S store](ctx context.Context, s S, sc *scanScratch, first, patle
 	sc.add(first)
 	maxMember := first
 	nextCheck := int64(cancelStride)
+	ra := s.readahead()
+	if ra != nil {
+		iss, hits := ra.Advance(first + 1)
+		st.raIssued += iss
+		st.raHits += hits
+	}
 	j := first + 1
 	for j <= n {
 		b := blockFor(j)
@@ -323,10 +347,17 @@ func occCountOn[S store](ctx context.Context, s S, sc *scanScratch, first, patle
 			}
 			j++
 		}
-		if ctx != nil && st.visited+blockSize*st.blocksSkipped >= nextCheck {
+		if (ctx != nil || ra != nil) && st.visited+blockSize*st.blocksSkipped >= nextCheck {
 			nextCheck += cancelStride
-			if err := ctx.Err(); err != nil {
-				return count, st, err
+			if ra != nil {
+				iss, hits := ra.Advance(j)
+				st.raIssued += iss
+				st.raHits += hits
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return count, st, err
+				}
 			}
 		}
 	}
@@ -344,6 +375,13 @@ func occStreamOn[S store](s S, sc *scanScratch, first, patlen int32, plen int, f
 	swar, pack, t16, lastBlock := scanKernelState(s, n, patlen)
 	sc.add(first)
 	maxMember := first
+	nextCheck := int64(cancelStride)
+	ra := s.readahead()
+	if ra != nil {
+		iss, hits := ra.Advance(first + 1)
+		st.raIssued += iss
+		st.raHits += hits
+	}
 	j := first + 1
 	for j <= n {
 		b := blockFor(j)
@@ -389,6 +427,12 @@ func occStreamOn[S store](s S, sc *scanScratch, first, patlen int32, plen int, f
 				}
 			}
 			j++
+		}
+		if ra != nil && st.visited+blockSize*st.blocksSkipped >= nextCheck {
+			nextCheck += cancelStride
+			iss, hits := ra.Advance(j)
+			st.raIssued += iss
+			st.raHits += hits
 		}
 	}
 	return st

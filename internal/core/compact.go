@@ -49,6 +49,10 @@ type CompactIndex struct {
 	// (4 blocks per word) for the SWAR admission prefilter; rebuilt
 	// wherever blocks is rebuilt.
 	blockLEL []uint64
+
+	// ra is the optional scan readahead sink (see SetScanReadahead);
+	// nil for memory-resident indexes.
+	ra raPointer
 }
 
 const (

@@ -100,6 +100,13 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
 				WordsCompared: st.words,
 			})
+			if st.raIssued+st.raHits > 0 {
+				// Disk activity gets its own stage with zero Nodes so the
+				// NodesChecked partition across stages stays exact.
+				tr.Add(trace.StageDisk, 0, trace.Counters{
+					ReadaheadIssued: st.raIssued, ReadaheadHits: st.raHits,
+				})
+			}
 		}
 	}
 	m := int32(len(p))
@@ -229,6 +236,13 @@ func countOnCtx[S store](ctx context.Context, s S, p []byte, maxStart int) (int,
 				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
 				WordsCompared: st.words,
 			})
+			if st.raIssued+st.raHits > 0 {
+				// Disk activity gets its own stage with zero Nodes so the
+				// NodesChecked partition across stages stays exact.
+				tr.Add(trace.StageDisk, 0, trace.Counters{
+					ReadaheadIssued: st.raIssued, ReadaheadHits: st.raHits,
+				})
+			}
 		}
 	}
 	m := int32(len(p))

@@ -43,6 +43,10 @@ type store interface {
 	// sentinel) but false negatives are not; callers re-check the exact
 	// LEL via linkOf.
 	nextLEL(j, last, patlen int32) (int32, int64)
+	// readahead returns the scan readahead sink for disk-backed
+	// layouts, or nil when the store is memory-resident. The scan
+	// loops consult it once per entry; a nil sink costs nothing.
+	readahead() ScanReadahead
 }
 
 // stepOn advances a valid path of length pathlen at node v by character c.

@@ -1,0 +1,46 @@
+package core
+
+import "sync/atomic"
+
+// ScanReadahead receives forward-progress hints from the occurrence
+// scan. A disk-backed layout registers one so larger-than-RAM backbone
+// sweeps stream ahead of the scan cursor instead of faulting randomly;
+// memory-resident layouts leave it nil and the scan loops skip the
+// checkpoint entirely.
+//
+// Advance hints that the scan is about to walk backbone rows forward
+// from node j. Implementations prefetch whatever byte ranges back those
+// rows and report the prefetch windows issued and the windows already
+// covered by an earlier hint (range-cache hits). Advance is called at
+// most once per cancelStride of scan work, so it may do real work
+// (syscalls) without showing up in the per-node hot loop.
+type ScanReadahead interface {
+	Advance(j int32) (issued, hits int64)
+}
+
+// SetScanReadahead registers (or, with nil, removes) the readahead
+// sink consulted by this index's occurrence scans. Each scan loads the
+// sink once at entry, so swapping it mid-query affects only later
+// queries.
+func (c *CompactIndex) SetScanReadahead(ra ScanReadahead) {
+	if ra == nil {
+		c.ra.Store(nil)
+		return
+	}
+	c.ra.Store(&ra)
+}
+
+func (c *CompactIndex) readahead() ScanReadahead {
+	if p := c.ra.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// readahead on the reference layout: always memory-resident, no sink.
+func (idx *Index) readahead() ScanReadahead { return nil }
+
+// raPointer is the field type backing SetScanReadahead; an atomic
+// pointer-to-interface so serving stacks can attach the sink after the
+// index is already taking queries.
+type raPointer = atomic.Pointer[ScanReadahead]

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash"
@@ -11,13 +12,19 @@ import (
 	"github.com/spine-index/spine/internal/seq"
 )
 
-// Serialized compact-index format (little-endian):
+// Serialized compact-index formats (little-endian):
+//
+// Version 3 (current, written by Save) is the section-directory layout
+// documented in serialize_v3.go: a fixed header plus a directory of
+// 8-byte-aligned raw-array sections, openable zero-copy.
+//
+// Versions 1–2 are the legacy byte stream this file still reads:
 //
 //	magic "SPNE" | version u16 | alphabet: len u8 + letters |
-//	n u32 | packed: bits u8 + words u32 + u64 data |
+//	n u32 | packed: bits u8 + codes u32 + code bytes |
 //	lel []u16 | ref []u32 |
 //	7 x shape table | spill table | 3 overflow maps |
-//	v2+: block-max skip index (3 x u32 per block) |
+//	v2: block-max skip index (3 x u32 per block) |
 //	crc32 (IEEE) of everything before it
 //
 // Every length field is validated against sane bounds on load, and the
@@ -26,138 +33,11 @@ import (
 // table in one O(n) pass.
 const (
 	serializeMagic   = "SPNE"
-	serializeVersion = uint16(2)
+	serializeVersion = uint16(3)
+
+	// serializeVersionLegacy is the newest pre-directory stream version.
+	serializeVersionLegacy = uint16(2)
 )
-
-type countingWriter struct {
-	w   *bufio.Writer
-	sum hash.Hash32
-	err error
-}
-
-func (cw *countingWriter) bytes(b []byte) {
-	if cw.err != nil {
-		return
-	}
-	if _, err := cw.w.Write(b); err != nil {
-		cw.err = err
-		return
-	}
-	cw.sum.Write(b)
-}
-
-func (cw *countingWriter) u8(v uint8) { cw.bytes([]byte{v}) }
-func (cw *countingWriter) u16(v uint16) {
-	var b [2]byte
-	binary.LittleEndian.PutUint16(b[:], v)
-	cw.bytes(b[:])
-}
-func (cw *countingWriter) u32(v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	cw.bytes(b[:])
-}
-func (cw *countingWriter) u64(v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	cw.bytes(b[:])
-}
-
-func (cw *countingWriter) u16s(vs []uint16) {
-	cw.u32(uint32(len(vs)))
-	for _, v := range vs {
-		cw.u16(v)
-	}
-}
-
-func (cw *countingWriter) u32s(vs []uint32) {
-	cw.u32(uint32(len(vs)))
-	for _, v := range vs {
-		cw.u32(v)
-	}
-}
-
-func (cw *countingWriter) byteSlice(vs []byte) {
-	cw.u32(uint32(len(vs)))
-	cw.bytes(vs)
-}
-
-// Save serializes the compact index to w; sizes are available via
-// SizeBytes.
-func (c *CompactIndex) Save(w io.Writer) error {
-	cw := &countingWriter{w: bufio.NewWriter(w), sum: crc32.NewIEEE()}
-	cw.bytes([]byte(serializeMagic))
-	cw.u16(serializeVersion)
-
-	letters := make([]byte, c.alpha.Size())
-	for i := range letters {
-		letters[i] = c.alpha.Letter(i)
-	}
-	cw.byteSlice(letters)
-
-	cw.u32(uint32(c.n))
-	cw.u8(uint8(c.chars.Bits()))
-	packed := c.chars.Unpack() // re-packed on load; simple and alphabet-safe
-	cw.byteSlice(packed)
-
-	cw.u16s(c.lel)
-	cw.u32s(c.ref)
-
-	for shape := 1; shape < numShapes; shape++ {
-		tb := &c.tables[shape]
-		cw.u32s(tb.ld)
-		cw.u32s(tb.ribRD)
-		cw.u16s(tb.ribPT)
-		cw.byteSlice(tb.ribCL)
-		cw.u32s(tb.extRD)
-		cw.u16s(tb.extPT)
-		cw.u16s(tb.extPRT)
-		cw.u32s(tb.extSrc)
-	}
-	sp := &c.spill
-	cw.u32s(sp.ld)
-	cw.u32s(sp.start)
-	cw.u32s(sp.ribRD)
-	cw.u16s(sp.ribPT)
-	cw.byteSlice(sp.ribCL)
-	cw.u32s(sp.extRD)
-	cw.u16s(sp.extPT)
-	cw.u16s(sp.extPRT)
-	cw.u32s(sp.extSrc)
-
-	cw.u32(uint32(len(c.lelOverflow)))
-	for k, v := range c.lelOverflow {
-		cw.u32(uint32(k))
-		cw.u32(uint32(v))
-	}
-	cw.u32(uint32(len(c.ptOverflow)))
-	for k, v := range c.ptOverflow {
-		cw.u64(k)
-		cw.u32(uint32(v))
-	}
-	cw.u32(uint32(len(c.extOverflow)))
-	for k, v := range c.extOverflow {
-		cw.u32(uint32(k))
-		cw.u32(uint32(v[0]))
-		cw.u32(uint32(v[1]))
-	}
-	cw.u32(uint32(len(c.blocks)))
-	for _, bm := range c.blocks {
-		cw.u32(uint32(bm.maxLEL))
-		cw.u32(uint32(bm.minLink))
-		cw.u32(uint32(bm.maxLink))
-	}
-	if cw.err != nil {
-		return fmt.Errorf("core: serializing index: %w", cw.err)
-	}
-	// Checksum trailer (not itself summed).
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], cw.sum.Sum32())
-	if _, err := cw.w.Write(b[:]); err != nil {
-		return fmt.Errorf("core: serializing index: %w", err)
-	}
-	return cw.w.Flush()
-}
 
 type countingReader struct {
 	r   *bufio.Reader
@@ -291,9 +171,26 @@ func (cr *countingReader) byteSlice(what string) []byte {
 	return out
 }
 
-// ReadCompact deserializes a compact index written by WriteTo, verifying
-// magic, version, structural bounds, and the checksum.
+// ReadCompact deserializes a compact index written by Save, verifying
+// magic, version, structural bounds, and every checksum. Version 3
+// files go through the section-directory open with full verification
+// (including the padding-is-zero rule, so any flipped bit is caught);
+// version 1–2 streams use the legacy decoder.
 func ReadCompact(r io.Reader) (*CompactIndex, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading index: %w", err)
+	}
+	if len(data) >= 6 && string(data[:4]) == serializeMagic &&
+		binary.LittleEndian.Uint16(data[4:6]) == serializeVersion {
+		c, _, err := openCompactBytes(aligned8(data), true)
+		return c, err
+	}
+	return readCompactLegacy(bytes.NewReader(data))
+}
+
+// readCompactLegacy decodes the version 1–2 byte-stream format.
+func readCompactLegacy(r io.Reader) (*CompactIndex, error) {
 	cr := &countingReader{r: bufio.NewReader(r), sum: crc32.NewIEEE()}
 	fail := func(err error) (*CompactIndex, error) {
 		return nil, fmt.Errorf("core: reading index: %w", err)
@@ -306,7 +203,7 @@ func ReadCompact(r io.Reader) (*CompactIndex, error) {
 		return fail(fmt.Errorf("bad magic %q", magic))
 	}
 	version := cr.u16()
-	if cr.err == nil && (version < 1 || version > serializeVersion) {
+	if cr.err == nil && (version < 1 || version > serializeVersionLegacy) {
 		return fail(fmt.Errorf("unsupported version %d", version))
 	}
 	letters := cr.byteSlice("alphabet")
@@ -427,6 +324,9 @@ func ReadCompact(r io.Reader) (*CompactIndex, error) {
 	if err := c.validate(); err != nil {
 		return fail(err)
 	}
+	if err := c.validateRefs(); err != nil {
+		return fail(err)
+	}
 	return c, nil
 }
 
@@ -472,6 +372,16 @@ func (c *CompactIndex) validate() error {
 	if len(sp.start) > 0 && int(sp.start[len(sp.start)-1]) != len(sp.ribRD) {
 		return fmt.Errorf("spill CSR tail inconsistent")
 	}
+	return nil
+}
+
+// validateRefs walks every node's link reference and bounds-checks its
+// table row — O(n) work that touches the whole ref section, so the
+// zero-copy lazy open (which promises a page-cache-cold open in
+// milliseconds) defers it to the Verify option while the deserializing
+// and fallback loaders always run it.
+func (c *CompactIndex) validateRefs() error {
+	sp := &c.spill
 	for i := int32(0); i <= c.n; i++ {
 		ref := c.ref[i]
 		if ref&refTag == 0 {

@@ -2,6 +2,7 @@ package diskindex
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -9,6 +10,12 @@ import (
 
 	"github.com/spine-index/spine/internal/pager"
 )
+
+// ErrPageSizeMismatch reports an OpenSpine whose Options.PageSize
+// disagrees with the page size stored in the index metadata. The stored
+// size is authoritative — the page files were written with it — so a
+// conflicting request is a caller error, not something to paper over.
+var ErrPageSizeMismatch = errors.New("diskindex: page size mismatch")
 
 // Meta file for a disk SPINE index: the counters that cannot be recovered
 // from the page files alone. Written on Flush/Close, verified on Open.
@@ -57,12 +64,16 @@ func readMeta(dir string) (pageSize int, n, ovfN int32, err error) {
 }
 
 // OpenSpine opens a disk SPINE index previously built in dir and flushed
-// or closed. The page size is taken from the meta file; other options
-// (buffering, sync) come from opts.
+// or closed. The page size is taken from the meta file; a non-zero
+// opts.PageSize must agree with it (ErrPageSizeMismatch otherwise).
+// Other options (buffering, sync) come from opts.
 func OpenSpine(dir string, opts Options) (*Spine, error) {
 	pageSize, n, ovfN, err := readMeta(dir)
 	if err != nil {
 		return nil, err
+	}
+	if opts.PageSize != 0 && opts.PageSize != pageSize {
+		return nil, fmt.Errorf("%w: requested %d, index built with %d", ErrPageSizeMismatch, opts.PageSize, pageSize)
 	}
 	popts := pager.Options{PageSize: pageSize, Sync: opts.Sync}
 	nf, err := pager.Open(filepath.Join(dir, "nodes.spine"), popts)

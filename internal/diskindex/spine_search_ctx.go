@@ -1,0 +1,176 @@
+package diskindex
+
+import "context"
+
+// ctxStride is how many backbone nodes (or pattern characters) the
+// ctx-aware search paths process between cancellation checks. Disk
+// probes are orders of magnitude slower than the in-memory engine's, so
+// the stride is smaller than core's: a cancelled context stops a
+// cold-buffer scan within a few thousand page-pool probes.
+const ctxStride = 1 << 12
+
+// ScanResult is the outcome of a ctx-aware occurrence enumeration:
+// every end node of the pattern in increasing order, whether the scan
+// stopped at its limit, and how many backbone nodes it examined.
+type ScanResult struct {
+	Ends      []int32
+	Truncated bool
+	Scanned   int64
+}
+
+// BatchScan mirrors core.BatchScan for the disk index: the occurrence
+// end sets of many matches resolved by one backbone pass.
+type BatchScan struct {
+	Ends      [][]int32
+	Truncated []bool
+	Scanned   int64
+}
+
+// EndNodeCtx is EndNode with cancellation: the descent checks ctx every
+// ctxStride characters and aborts with ctx.Err() once it ends.
+func (s *Spine) EndNodeCtx(ctx context.Context, p []byte) (end int32, found bool, err error) {
+	v := int32(0)
+	for i, c := range p {
+		if i%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, false, err
+			}
+		}
+		v, found, err = s.step(v, int32(i), c)
+		if err != nil || !found {
+			return 0, false, err
+		}
+	}
+	return v, true, nil
+}
+
+// FindAllLimitCtx enumerates occurrence end nodes with cancellation and
+// an optional cap (limit <= 0 means unlimited, the first occurrence
+// counts toward it). Truncation mirrors the in-memory FindAllCtx
+// semantics exactly: limit 1 truncates without scanning, and a scan
+// that reaches its cap reports Truncated only when backbone remains.
+func (s *Spine) FindAllLimitCtx(ctx context.Context, p []byte, limit int) (ScanResult, error) {
+	var res ScanResult
+	first, ok, err := s.EndNodeCtx(ctx, p)
+	if err != nil || !ok {
+		return res, err
+	}
+	if limit == 1 {
+		res.Ends = []int32{first}
+		res.Truncated = true
+		return res, nil
+	}
+	buf := []int32{first}
+	m := int32(len(p))
+	for j := first + 1; j <= s.n; j++ {
+		res.Scanned++
+		if res.Scanned%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return ScanResult{Scanned: res.Scanned}, err
+			}
+		}
+		link, lel, _, err := s.readNode(j)
+		if err != nil {
+			return ScanResult{Scanned: res.Scanned}, err
+		}
+		if lel >= m && containsSorted(buf, link) {
+			buf = append(buf, j)
+			if limit > 0 && len(buf) >= limit {
+				res.Ends = buf
+				res.Truncated = j < s.n
+				return res, nil
+			}
+		}
+	}
+	res.Ends = buf
+	return res, nil
+}
+
+// CountCtx counts occurrences with cancellation. The count needs the
+// same target-buffer membership walk as enumeration, so it costs one
+// backbone pass; only the materialized positions are saved.
+func (s *Spine) CountCtx(ctx context.Context, p []byte) (count int, scanned int64, err error) {
+	if len(p) == 0 {
+		return int(s.n) + 1, 0, ctx.Err()
+	}
+	res, err := s.FindAllLimitCtx(ctx, p, 0)
+	if err != nil {
+		return 0, res.Scanned, err
+	}
+	return len(res.Ends), res.Scanned, nil
+}
+
+// ScanManyLimitCtx resolves many matches' occurrence sets in one
+// cancellable backbone pass with per-match caps — the disk analogue of
+// core.ScanManyLimitCtx, sharing its semantics so batched disk queries
+// agree item-for-item with the in-memory engines. firsts[i] is match
+// i's first-occurrence end node, lens[i] its length, limits[i] its
+// total occurrence cap (<= 0 unlimited). The scan ends early once every
+// match has reached its cap.
+func (s *Spine) ScanManyLimitCtx(ctx context.Context, firsts, lens []int32, limits []int) (BatchScan, error) {
+	res := BatchScan{
+		Ends:      make([][]int32, len(firsts)),
+		Truncated: make([]bool, len(firsts)),
+	}
+	if err := ctx.Err(); err != nil {
+		return BatchScan{}, err
+	}
+	if len(firsts) == 0 {
+		return res, nil
+	}
+	// owners[node] lists the matches whose target buffer contains node;
+	// done matches stay listed but are skipped, so a capped match stops
+	// accumulating without disturbing the others.
+	owners := make(map[int32][]int32)
+	done := make([]bool, len(firsts))
+	active := 0
+	minFirst := int32(-1)
+	for i := range firsts {
+		res.Ends[i] = []int32{firsts[i]}
+		if limits[i] == 1 {
+			// Mirror the single-query path: limit 1 truncates without
+			// scanning, so batch results stay identical to Query's.
+			done[i], res.Truncated[i] = true, true
+			continue
+		}
+		owners[firsts[i]] = append(owners[firsts[i]], int32(i))
+		if minFirst < 0 || firsts[i] < minFirst {
+			minFirst = firsts[i]
+		}
+		active++
+	}
+	if active == 0 {
+		return res, nil
+	}
+	for j := minFirst + 1; j <= s.n; j++ {
+		res.Scanned++
+		if res.Scanned%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return BatchScan{Scanned: res.Scanned}, err
+			}
+		}
+		link, lel, _, err := s.readNode(j)
+		if err != nil {
+			return BatchScan{Scanned: res.Scanned}, err
+		}
+		ms, ok := owners[link]
+		if !ok {
+			continue
+		}
+		for _, m := range ms {
+			if done[m] || lel < lens[m] || j <= firsts[m] {
+				continue
+			}
+			res.Ends[m] = append(res.Ends[m], j)
+			owners[j] = append(owners[j], m)
+			if limits[m] > 0 && len(res.Ends[m]) >= limits[m] {
+				done[m], res.Truncated[m] = true, j < s.n
+				active--
+			}
+		}
+		if active == 0 {
+			return res, nil
+		}
+	}
+	return res, nil
+}

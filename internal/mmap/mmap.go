@@ -1,0 +1,33 @@
+// Package mmap provides the thin read-only memory-mapping layer under
+// the zero-copy compact-index open. On Linux (without the nommap build
+// tag) it wraps mmap/madvise/mincore; everywhere else Map returns
+// ErrUnsupported and callers fall back to the io.ReaderAt open path.
+//
+// The split keeps the portability decision in one place: nothing above
+// this package touches syscall, and building with -tags nommap proves
+// the fallback path compiles and serves on any platform.
+package mmap
+
+import "errors"
+
+// ErrUnsupported reports that memory mapping is unavailable in this
+// build (non-Linux target or the nommap build tag).
+var ErrUnsupported = errors.New("mmap: not supported on this platform or build")
+
+// Advice names an access-pattern hint for a mapped range, mirroring
+// posix madvise.
+type Advice int
+
+const (
+	// Normal resets the kernel's default readahead behavior.
+	Normal Advice = iota
+	// Random disables readahead: the range is hit at unpredictable
+	// offsets (descent tables).
+	Random
+	// Sequential aggressively reads ahead: the range is streamed in
+	// order (the backbone scan region).
+	Sequential
+	// WillNeed asks the kernel to start bringing the range in now
+	// (warmup, scan readahead windows).
+	WillNeed
+)

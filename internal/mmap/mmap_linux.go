@@ -1,0 +1,143 @@
+//go:build linux && !nommap
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Supported reports whether Map can succeed in this build.
+func Supported() bool { return true }
+
+// Mapping is one read-only, privately mapped file.
+type Mapping struct {
+	data []byte
+	page int64
+}
+
+// Map maps the whole file at path read-only. The file descriptor is
+// closed before returning; the mapping keeps the pages alive.
+func Map(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	size := st.Size()
+	if size <= 0 {
+		return nil, fmt.Errorf("mmap: %s: empty file", path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: %s: file size %d overflows address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: mapping %s: %w", path, err)
+	}
+	return &Mapping{data: data, page: int64(os.Getpagesize())}, nil
+}
+
+// Data returns the mapped bytes. The slice is read-only: writing
+// through it faults.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Len returns the mapped length in bytes.
+func (m *Mapping) Len() int64 { return int64(len(m.data)) }
+
+// span clamps [off, off+length) to the mapping and widens it to page
+// boundaries, as madvise requires a page-aligned start.
+func (m *Mapping) span(off, length int64) []byte {
+	if m.data == nil || length <= 0 || off >= int64(len(m.data)) {
+		return nil
+	}
+	if off < 0 {
+		length += off
+		off = 0
+	}
+	start := off &^ (m.page - 1)
+	end := off + length
+	if end > int64(len(m.data)) {
+		end = int64(len(m.data))
+	}
+	if end <= start {
+		return nil
+	}
+	return m.data[start:end]
+}
+
+// Advise applies an access-pattern hint to the page-aligned widening of
+// [off, off+length). Hints are best-effort; errors are returned for
+// observability but safe to ignore.
+func (m *Mapping) Advise(off, length int64, a Advice) error {
+	b := m.span(off, length)
+	if b == nil {
+		return nil
+	}
+	var adv int
+	switch a {
+	case Random:
+		adv = syscall.MADV_RANDOM
+	case Sequential:
+		adv = syscall.MADV_SEQUENTIAL
+	case WillNeed:
+		adv = syscall.MADV_WILLNEED
+	default:
+		adv = syscall.MADV_NORMAL
+	}
+	if err := syscall.Madvise(b, adv); err != nil {
+		return fmt.Errorf("mmap: madvise: %w", err)
+	}
+	return nil
+}
+
+// Prefetch asks the kernel to start paging in [off, off+length) now
+// (madvise WILLNEED): the asynchronous readahead primitive under the
+// backbone-scan streaming path.
+func (m *Mapping) Prefetch(off, length int64) error {
+	return m.Advise(off, length, WillNeed)
+}
+
+// Resident returns how many mapped bytes are currently resident in the
+// page cache (mincore), rounded to whole pages.
+func (m *Mapping) Resident() (int64, error) {
+	if len(m.data) == 0 {
+		return 0, nil
+	}
+	pages := (int64(len(m.data)) + m.page - 1) / m.page
+	vec := make([]byte, pages)
+	// The stdlib syscall package has no Mincore wrapper; invoke the raw
+	// syscall. The vec slice outlives the call, so no liveness concerns.
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&m.data[0])), uintptr(len(m.data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, fmt.Errorf("mmap: mincore: %w", errno)
+	}
+	var resident int64
+	for _, v := range vec {
+		if v&1 != 0 {
+			resident++
+		}
+	}
+	return resident * m.page, nil
+}
+
+// Close unmaps the file. The mapping's bytes must not be touched after
+// Close returns.
+func (m *Mapping) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if err := syscall.Munmap(data); err != nil {
+		return fmt.Errorf("mmap: munmap: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+//go:build !linux || nommap
+
+package mmap
+
+// Supported reports whether Map can succeed in this build.
+func Supported() bool { return false }
+
+// Mapping is one read-only mapped file; never constructed in this
+// build, the methods exist so callers compile unchanged.
+type Mapping struct{}
+
+// Map always fails in this build; callers fall back to io.ReaderAt.
+func Map(path string) (*Mapping, error) { return nil, ErrUnsupported }
+
+// Data returns the mapped bytes.
+func (m *Mapping) Data() []byte { return nil }
+
+// Len returns the mapped length in bytes.
+func (m *Mapping) Len() int64 { return 0 }
+
+// Advise applies an access-pattern hint.
+func (m *Mapping) Advise(off, length int64, a Advice) error { return ErrUnsupported }
+
+// Prefetch asks the kernel to start paging in a range.
+func (m *Mapping) Prefetch(off, length int64) error { return ErrUnsupported }
+
+// Resident returns how many mapped bytes are resident.
+func (m *Mapping) Resident() (int64, error) { return 0, ErrUnsupported }
+
+// Close unmaps the file.
+func (m *Mapping) Close() error { return nil }

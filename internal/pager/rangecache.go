@@ -1,0 +1,125 @@
+package pager
+
+import "sync"
+
+// RangeCache remembers which byte ranges of a backing file were
+// recently prefetched, under a byte budget. The scan readahead path
+// probes it before issuing a prefetch syscall: a covered window is a
+// hit (no syscall), an uncovered one is recorded and issued. Budgeted
+// FIFO eviction makes the cache honest for larger-than-RAM sweeps —
+// once the budget cycles, old ranges are forgotten and re-prefetched
+// on the next pass instead of being assumed resident forever.
+//
+// Ranges are kept in insertion order and adjacent or overlapping
+// inserts merge into the newest range, so a sequential scan occupies
+// one growing entry instead of thousands.
+type RangeCache struct {
+	mu      sync.Mutex
+	max     int64
+	held    int64
+	ranges  []cachedRange // FIFO: ranges[0] is oldest
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cachedRange struct{ off, end int64 }
+
+// RangeCacheStats is a point-in-time counter snapshot.
+type RangeCacheStats struct {
+	// Hits and Misses count Probe outcomes; a miss is also an insert.
+	Hits   int64
+	Misses int64
+	// Evicted counts ranges dropped to stay under budget.
+	Evicted int64
+	// HeldBytes and Ranges describe current occupancy.
+	HeldBytes int64
+	Ranges    int
+}
+
+// NewRangeCache returns a cache holding at most maxBytes of range
+// extent; maxBytes <= 0 selects a 64 MiB default.
+func NewRangeCache(maxBytes int64) *RangeCache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &RangeCache{max: maxBytes}
+}
+
+// Probe reports whether [off, off+length) is already covered by one
+// cached range. If not, the range is recorded (merging with the newest
+// range when they touch) and old ranges are evicted to budget. The
+// caller issues the actual prefetch exactly when Probe returns false.
+func (rc *RangeCache) Probe(off, length int64) bool {
+	if length <= 0 {
+		return true
+	}
+	end := off + length
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for i := len(rc.ranges) - 1; i >= 0; i-- {
+		if r := rc.ranges[i]; off >= r.off && end <= r.end {
+			rc.hits++
+			return true
+		}
+	}
+	rc.misses++
+	if n := len(rc.ranges); n > 0 {
+		if last := &rc.ranges[n-1]; off <= last.end && end >= last.off {
+			// Touches the newest range: extend it in place.
+			if off < last.off {
+				rc.held += last.off - off
+				last.off = off
+			}
+			if end > last.end {
+				rc.held += end - last.end
+				last.end = end
+			}
+			rc.evictToBudget()
+			return false
+		}
+	}
+	rc.ranges = append(rc.ranges, cachedRange{off: off, end: end})
+	rc.held += length
+	rc.evictToBudget()
+	return false
+}
+
+func (rc *RangeCache) evictToBudget() {
+	i := 0
+	for rc.held > rc.max && i < len(rc.ranges)-1 {
+		rc.held -= rc.ranges[i].end - rc.ranges[i].off
+		rc.evicted++
+		i++
+	}
+	if i > 0 {
+		rc.ranges = append(rc.ranges[:0], rc.ranges[i:]...)
+	}
+	// The single newest range may exceed the budget on its own (one
+	// long sequential sweep); clip its tail memory by re-basing so held
+	// accounting stays truthful without forgetting the active window.
+	if rc.held > rc.max && len(rc.ranges) == 1 {
+		r := &rc.ranges[0]
+		r.off = r.end - rc.max
+		rc.held = rc.max
+		rc.evicted++
+	}
+}
+
+// Stats returns a counter snapshot.
+func (rc *RangeCache) Stats() RangeCacheStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return RangeCacheStats{
+		Hits: rc.hits, Misses: rc.misses, Evicted: rc.evicted,
+		HeldBytes: rc.held, Ranges: len(rc.ranges),
+	}
+}
+
+// Reset drops every cached range but keeps the counters.
+func (rc *RangeCache) Reset() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.ranges = rc.ranges[:0]
+	rc.held = 0
+}

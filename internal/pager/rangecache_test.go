@@ -1,0 +1,112 @@
+package pager
+
+import "testing"
+
+func TestRangeCacheProbeMissThenHit(t *testing.T) {
+	rc := NewRangeCache(1 << 20)
+	if rc.Probe(0, 4096) {
+		t.Fatal("first probe hit an empty cache")
+	}
+	if !rc.Probe(0, 4096) {
+		t.Fatal("repeat probe missed")
+	}
+	if !rc.Probe(1024, 1024) {
+		t.Fatal("contained sub-range missed")
+	}
+	st := rc.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.HeldBytes != 4096 || st.Ranges != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRangeCacheMergesTouchingInserts(t *testing.T) {
+	rc := NewRangeCache(1 << 20)
+	// A forward sweep in adjacent chunks must coalesce into one range.
+	for off := int64(0); off < 10*4096; off += 4096 {
+		rc.Probe(off, 4096)
+	}
+	st := rc.Stats()
+	if st.Ranges != 1 || st.HeldBytes != 10*4096 {
+		t.Fatalf("sequential sweep did not merge: %+v", st)
+	}
+	if !rc.Probe(0, 10*4096) {
+		t.Fatal("merged extent not covered")
+	}
+}
+
+func TestRangeCacheZeroLengthIsAlwaysCovered(t *testing.T) {
+	rc := NewRangeCache(1 << 20)
+	if !rc.Probe(123, 0) || !rc.Probe(123, -5) {
+		t.Fatal("degenerate probe not treated as covered")
+	}
+	if st := rc.Stats(); st.Misses != 0 || st.Ranges != 0 {
+		t.Fatalf("degenerate probes mutated the cache: %+v", st)
+	}
+}
+
+func TestRangeCacheEvictsFIFOToBudget(t *testing.T) {
+	rc := NewRangeCache(3 * 1024)
+	// Three disjoint 1 KiB ranges fill the budget exactly.
+	rc.Probe(0, 1024)
+	rc.Probe(10_000, 1024)
+	rc.Probe(20_000, 1024)
+	if st := rc.Stats(); st.Evicted != 0 || st.Ranges != 3 {
+		t.Fatalf("pre-eviction stats = %+v", st)
+	}
+	// A fourth pushes out the oldest.
+	rc.Probe(30_000, 1024)
+	st := rc.Stats()
+	if st.Evicted != 1 || st.Ranges != 3 || st.HeldBytes != 3*1024 {
+		t.Fatalf("post-eviction stats = %+v", st)
+	}
+	if rc.Probe(0, 1024) {
+		t.Fatal("evicted range still covered")
+	}
+	if !rc.Probe(30_000, 1024) {
+		t.Fatal("newest range lost")
+	}
+}
+
+func TestRangeCacheClipsSingleOverBudgetRange(t *testing.T) {
+	rc := NewRangeCache(4 * 1024)
+	// One long sequential sweep: the single merged range exceeds the
+	// budget and must be clipped at its tail, forgetting the head.
+	for off := int64(0); off < 16*1024; off += 1024 {
+		rc.Probe(off, 1024)
+	}
+	st := rc.Stats()
+	if st.Ranges != 1 || st.HeldBytes != 4*1024 {
+		t.Fatalf("clip failed: %+v", st)
+	}
+	// Check the tail before the head: a head probe is a miss and
+	// inserting it evicts the tail range (FIFO).
+	if !rc.Probe(15*1024, 1024) {
+		t.Fatal("active tail window lost")
+	}
+	if rc.Probe(0, 1024) {
+		t.Fatal("clipped head still covered")
+	}
+}
+
+func TestRangeCacheReset(t *testing.T) {
+	rc := NewRangeCache(1 << 20)
+	rc.Probe(0, 4096)
+	rc.Reset()
+	st := rc.Stats()
+	if st.Ranges != 0 || st.HeldBytes != 0 {
+		t.Fatalf("reset left occupancy: %+v", st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("reset dropped counters: %+v", st)
+	}
+	if rc.Probe(0, 4096) {
+		t.Fatal("reset cache still covers old range")
+	}
+}
+
+func TestRangeCacheDefaultBudget(t *testing.T) {
+	rc := NewRangeCache(0)
+	if rc.max != 64<<20 {
+		t.Fatalf("default budget = %d", rc.max)
+	}
+}

@@ -73,6 +73,28 @@ func (p *Packed) Unpack() []byte {
 // SizeBytes returns the in-memory footprint of the packed payload in bytes.
 func (p *Packed) SizeBytes() int { return len(p.data) * 8 }
 
+// Words exposes the underlying packed words. The slice is the live
+// backing store, not a copy; callers must treat it as read-only.
+func (p *Packed) Words() []uint64 { return p.data }
+
+// FromWords wraps an existing word slice as a packed sequence of n codes
+// at the given width, without copying. The words may alias externally
+// owned memory (e.g. a memory-mapped file); Append must not be called on
+// the result while it aliases read-only storage.
+func FromWords(words []uint64, n int, bits uint) (*Packed, error) {
+	if bits == 0 || bits > 8 {
+		return nil, fmt.Errorf("seq: packed width %d out of range [1,8]", bits)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("seq: negative packed length %d", n)
+	}
+	if need := int((uint(n)*bits + 63) / 64); need != len(words) {
+		return nil, fmt.Errorf("seq: packed word count %d != %d required for %d codes at %d bits",
+			len(words), need, n, bits)
+	}
+	return &Packed{bits: bits, n: n, data: words}, nil
+}
+
 // Append adds one symbol code at the end. It returns an error if c does
 // not fit the packed width.
 func (p *Packed) Append(c byte) error {

@@ -139,6 +139,28 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			{"isa", s.ScanKernel.ISA},
 		}, 1)
 	}
+	if s.Disk.Enabled {
+		p.Family("spine_disk_open_mode", "gauge", "How the serving index was opened (mmap, readerat, or heap); always 1, the label carries the information.")
+		p.Sample("spine_disk_open_mode", []Label{{"mode", s.Disk.Mode}}, 1)
+		p.Family("spine_disk_open_seconds", "gauge", "Cold-open wall time of the serving index file.")
+		p.Sample("spine_disk_open_seconds", nil, s.Disk.OpenSeconds)
+		p.Family("spine_disk_file_bytes", "gauge", "On-disk size of the serving index image.")
+		p.Sample("spine_disk_file_bytes", nil, float64(s.Disk.FileBytes))
+		p.Family("spine_disk_mapped_bytes", "gauge", "Bytes of the index image currently memory-mapped.")
+		p.Sample("spine_disk_mapped_bytes", nil, float64(s.Disk.MappedBytes))
+		p.Family("spine_disk_resident_bytes", "gauge", "Bytes of the index image resident in memory (mincore for mappings).")
+		p.Sample("spine_disk_resident_bytes", nil, float64(s.Disk.ResidentBytes))
+		p.Family("spine_disk_warmed_bytes", "gauge", "Bytes touched by the open-time Link Table warmup.")
+		p.Sample("spine_disk_warmed_bytes", nil, float64(s.Disk.WarmedBytes))
+		p.Family("spine_disk_readahead_issued_total", "counter", "Scan readahead windows issued to the storage layer; each is synchronous page faults avoided by streaming ahead of the scan.")
+		p.Sample("spine_disk_readahead_issued_total", nil, float64(s.Disk.ReadaheadIssued))
+		p.Family("spine_disk_readahead_hits_total", "counter", "Scan readahead windows already covered by the range cache (no prefetch needed).")
+		p.Sample("spine_disk_readahead_hits_total", nil, float64(s.Disk.ReadaheadHits))
+		p.Family("spine_disk_readahead_bytes_total", "counter", "Bytes covered by issued readahead windows.")
+		p.Sample("spine_disk_readahead_bytes_total", nil, float64(s.Disk.ReadaheadBytes))
+		p.Family("spine_disk_rangecache_evicted_total", "counter", "Readahead ranges evicted from the range cache to stay in budget.")
+		p.Sample("spine_disk_rangecache_evicted_total", nil, float64(s.Disk.RangeCacheEvicted))
+	}
 	p.Family("spine_process_start_time_seconds", "gauge", "Process start time as seconds since the unix epoch.")
 	p.Sample("spine_process_start_time_seconds", nil, s.StartTimeUnix)
 
@@ -269,6 +291,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		p.Family("spine_scan_words_compared_total", "counter", "64-bit SWAR kernel comparisons (packed descent words, lane LEL tests, block-admission probes), per query stage.")
 		for _, st := range stages {
 			p.Sample("spine_scan_words_compared_total", []Label{{"stage", st}}, float64(s.Stages[st].WordsCompared))
+		}
+		p.Family("spine_stage_readahead_issued_total", "counter", "Disk readahead windows issued under scans, per query stage.")
+		for _, st := range stages {
+			p.Sample("spine_stage_readahead_issued_total", []Label{{"stage", st}}, float64(s.Stages[st].ReadaheadIssued))
+		}
+		p.Family("spine_stage_readahead_hits_total", "counter", "Disk readahead range-cache hits under scans, per query stage.")
+		for _, st := range stages {
+			p.Sample("spine_stage_readahead_hits_total", []Label{{"stage", st}}, float64(s.Stages[st].ReadaheadHits))
 		}
 	}
 

@@ -129,6 +129,11 @@ type StageStats struct {
 	// words, lane-parallel LEL tests, block-admission probes); zero when
 	// queries run the scalar kernel.
 	WordsCompared Counter
+	// ReadaheadIssued and ReadaheadHits count disk readahead windows
+	// issued under scans versus range-cache hits; zero unless the index
+	// serves from a mapped file (the "disk" stage).
+	ReadaheadIssued Counter
+	ReadaheadHits   Counter
 }
 
 // ShardStats aggregates one shard's share of fan-out queries, making
@@ -197,6 +202,35 @@ func readBuildInfo() BuildInfo {
 	return b
 }
 
+// DiskSnapshot is the disk-serving state a mapped index reports at
+// snapshot time: how the index was opened and how the readahead /
+// range-cache path is doing. It becomes the spine_disk_* metric
+// families. The serving layer registers a source (SetDiskSource) so
+// telemetry does not import the index packages.
+type DiskSnapshot struct {
+	// Enabled marks that a disk source is registered.
+	Enabled bool `json:"enabled,omitempty"`
+	// Mode is the open mode: "mmap", "readerat", or "heap".
+	Mode string `json:"mode,omitempty"`
+	// FileBytes / MappedBytes / ResidentBytes / WarmedBytes describe the
+	// image: on-disk size, mapped extent, bytes currently resident (the
+	// page-cache footprint for mmap mode), and bytes touched by warmup.
+	FileBytes     int64 `json:"fileBytes,omitempty"`
+	MappedBytes   int64 `json:"mappedBytes,omitempty"`
+	ResidentBytes int64 `json:"residentBytes,omitempty"`
+	WarmedBytes   int64 `json:"warmedBytes,omitempty"`
+	// ReadaheadIssued / ReadaheadHits / ReadaheadBytes count scan
+	// readahead windows issued, range-cache hits, and bytes prefetched;
+	// issued windows approximate page faults avoided by streaming.
+	ReadaheadIssued int64 `json:"readaheadIssued,omitempty"`
+	ReadaheadHits   int64 `json:"readaheadHits,omitempty"`
+	ReadaheadBytes  int64 `json:"readaheadBytes,omitempty"`
+	// RangeCacheEvicted counts readahead ranges dropped to budget.
+	RangeCacheEvicted int64 `json:"rangeCacheEvicted,omitempty"`
+	// OpenSeconds is the cold-open wall time.
+	OpenSeconds float64 `json:"openSeconds,omitempty"`
+}
+
 // ScanKernelInfo identifies the scan kernel configuration a server
 // runs: the selected kernel ("swar" or "scalar") and the compiled-in
 // word-load ISA ("amd64" or "generic"). It becomes the
@@ -223,6 +257,10 @@ type Registry struct {
 	// scanInfo, when set, labels snapshots with the active scan kernel.
 	scanInfo atomic.Pointer[ScanKernelInfo]
 
+	// diskSource, when set, is polled at snapshot time for the mapped
+	// index's disk-path counters (readahead, residency).
+	diskSource atomic.Pointer[func() DiskSnapshot]
+
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
 	stages    map[string]*StageStats
@@ -238,6 +276,17 @@ func (r *Registry) SetCacheSource(src func() CacheSnapshot) {
 		return
 	}
 	r.cacheSource.Store(&src)
+}
+
+// SetDiskSource registers the function Snapshot polls for disk-serving
+// counters. Pass the closure once at server construction; a nil source
+// reports no disk path.
+func (r *Registry) SetDiskSource(src func() DiskSnapshot) {
+	if src == nil {
+		r.diskSource.Store(nil)
+		return
+	}
+	r.diskSource.Store(&src)
 }
 
 // SetScanKernelInfo records the scan kernel configuration reported in
@@ -339,14 +388,16 @@ type RuntimeSnapshot struct {
 
 // StageSnapshot is a point-in-time copy of one stage's metrics.
 type StageSnapshot struct {
-	Spans         int64   `json:"spans"`
-	Seconds       float64 `json:"seconds"`
-	Nodes         int64   `json:"nodes"`
-	RibHops       int64   `json:"ribHops"`
-	ExtribHops    int64   `json:"extribHops"`
-	BlocksSkipped int64   `json:"blocksSkipped"`
-	BlocksScanned int64   `json:"blocksScanned"`
-	WordsCompared int64   `json:"wordsCompared"`
+	Spans           int64   `json:"spans"`
+	Seconds         float64 `json:"seconds"`
+	Nodes           int64   `json:"nodes"`
+	RibHops         int64   `json:"ribHops"`
+	ExtribHops      int64   `json:"extribHops"`
+	BlocksSkipped   int64   `json:"blocksSkipped"`
+	BlocksScanned   int64   `json:"blocksScanned"`
+	WordsCompared   int64   `json:"wordsCompared"`
+	ReadaheadIssued int64   `json:"readaheadIssued,omitempty"`
+	ReadaheadHits   int64   `json:"readaheadHits,omitempty"`
 }
 
 // ShardSnapshot is a point-in-time copy of one shard's metrics.
@@ -370,6 +421,7 @@ type Snapshot struct {
 	Query         QuerySnapshot               `json:"query"`
 	Batch         BatchSnapshot               `json:"batch"`
 	Cache         CacheSnapshot               `json:"cache"`
+	Disk          DiskSnapshot                `json:"disk,omitempty"`
 	Stages        map[string]StageSnapshot    `json:"stages,omitempty"`
 	Shards        map[int]ShardSnapshot       `json:"shards,omitempty"`
 }
@@ -437,6 +489,10 @@ func (r *Registry) Snapshot() Snapshot {
 	if info := r.scanInfo.Load(); info != nil {
 		s.ScanKernel = *info
 	}
+	if src := r.diskSource.Load(); src != nil {
+		s.Disk = (*src)()
+		s.Disk.Enabled = true
+	}
 	for name, e := range eps {
 		s.Endpoints[name] = EndpointSnapshot{
 			Requests:    e.Requests.Value(),
@@ -453,14 +509,16 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Stages = make(map[string]StageSnapshot, len(stages))
 		for name, st := range stages {
 			s.Stages[name] = StageSnapshot{
-				Spans:         st.Spans.Value(),
-				Seconds:       float64(st.Nanos.Value()) / 1e9,
-				Nodes:         st.Nodes.Value(),
-				RibHops:       st.RibHops.Value(),
-				ExtribHops:    st.ExtribHops.Value(),
-				BlocksSkipped: st.BlocksSkipped.Value(),
-				BlocksScanned: st.BlocksScanned.Value(),
-				WordsCompared: st.WordsCompared.Value(),
+				Spans:           st.Spans.Value(),
+				Seconds:         float64(st.Nanos.Value()) / 1e9,
+				Nodes:           st.Nodes.Value(),
+				RibHops:         st.RibHops.Value(),
+				ExtribHops:      st.ExtribHops.Value(),
+				BlocksSkipped:   st.BlocksSkipped.Value(),
+				BlocksScanned:   st.BlocksScanned.Value(),
+				WordsCompared:   st.WordsCompared.Value(),
+				ReadaheadIssued: st.ReadaheadIssued.Value(),
+				ReadaheadHits:   st.ReadaheadHits.Value(),
 			}
 		}
 	}

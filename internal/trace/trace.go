@@ -62,6 +62,11 @@ const (
 	// StageNegFilter is the q-gram negative-filter probe of a Cached
 	// querier: O(|P|) bloom lookups, zero index nodes.
 	StageNegFilter = "negfilter"
+	// StageDisk aggregates disk-path activity of a mapped index during
+	// a query: readahead windows issued ahead of the backbone scan and
+	// range-cache hits. It carries zero Nodes — disk work augments a
+	// scan stage without disturbing the NodesChecked partition.
+	StageDisk = "disk"
 )
 
 // AllStages is the canonical list of stage tags. New Stage* constants
@@ -80,6 +85,7 @@ var AllStages = []string{
 	StageMerge,
 	StageCache,
 	StageNegFilter,
+	StageDisk,
 }
 
 // Counters is the SPINE work done within one span.
@@ -107,6 +113,12 @@ type Counters struct {
 	// kernel. Unlike Nodes it is kernel-dependent by design: it measures
 	// machine ops spent, not index work covered.
 	WordsCompared int64 `json:"wordsCompared"`
+	// ReadaheadIssued and ReadaheadHits count scan readahead windows
+	// issued to the storage layer versus windows already covered by the
+	// range cache, when the index serves from disk (StageDisk). Both
+	// are zero for memory-resident indexes.
+	ReadaheadIssued int64 `json:"readaheadIssued,omitempty"`
+	ReadaheadHits   int64 `json:"readaheadHits,omitempty"`
 }
 
 func (c *Counters) add(o Counters) {
@@ -117,6 +129,8 @@ func (c *Counters) add(o Counters) {
 	c.BlocksSkipped += o.BlocksSkipped
 	c.BlocksScanned += o.BlocksScanned
 	c.WordsCompared += o.WordsCompared
+	c.ReadaheadIssued += o.ReadaheadIssued
+	c.ReadaheadHits += o.ReadaheadHits
 }
 
 // Record is one finished span.

@@ -1,0 +1,323 @@
+package spine
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/mmap"
+	"github.com/spine-index/spine/internal/pager"
+)
+
+// MappedOptions tune OpenMapped. The zero value is the serving
+// default: memory-map when the platform supports it, structural
+// verification only (milliseconds regardless of index size), no
+// warmup, and readahead with a 64 MiB range-cache budget.
+type MappedOptions struct {
+	// NoMmap forces the portable io.ReaderAt open (one aligned read of
+	// the whole image into the heap) even where mmap is available.
+	NoMmap bool
+	// Verify makes a memory-mapped open check every section checksum
+	// and the inter-section padding, touching the whole file — the
+	// integrity of ReadCompact at the cost of the lazy cold-open. The
+	// structural header/directory checks always run. The fallback open
+	// paths read the whole file anyway and always verify fully.
+	Verify bool
+	// Warmup synchronously touches the hot top of the Link Table (the
+	// first WarmupBytes of the LEL and link rows, §5's top-heavy
+	// region) plus the block-skip metadata, so the first queries hit
+	// warm pages. Only meaningful for memory-mapped opens.
+	Warmup bool
+	// WarmupBytes caps the warmup touch per table; 0 means 16 MiB.
+	WarmupBytes int64
+	// ReadaheadNodes is how many backbone nodes ahead of the scan
+	// cursor the readahead keeps resident; 0 means 1<<18 nodes. < 0
+	// disables scan readahead.
+	ReadaheadNodes int
+	// RangeCacheBytes budgets the readahead range cache; 0 means
+	// 64 MiB. A budget smaller than the scanned region makes
+	// larger-than-RAM sweeps re-prefetch honestly instead of assuming
+	// everything stays resident.
+	RangeCacheBytes int64
+}
+
+// DiskStats is a point-in-time snapshot of a MappedCompact's disk
+// path, the source for the spine_disk_* metric families.
+type DiskStats struct {
+	// Mode is "mmap" (zero-copy mapping), "readerat" (aligned heap
+	// image via the portable fallback), or "heap" (legacy-format full
+	// deserialization).
+	Mode string
+	// FileBytes is the on-disk image size.
+	FileBytes int64
+	// MappedBytes is the mapped extent (0 unless Mode == "mmap").
+	MappedBytes int64
+	// ResidentBytes estimates how much of the image is in memory:
+	// mincore for mappings, the whole image for heap modes.
+	ResidentBytes int64
+	// WarmedBytes is how much the open-time warmup touched.
+	WarmedBytes int64
+	// ReadaheadIssued / ReadaheadHits / ReadaheadBytes count scan
+	// readahead windows issued, range-cache hits (prefetches avoided —
+	// with Mode "mmap" each issued window is pages the scan will not
+	// fault on synchronously), and bytes covered by issued windows.
+	ReadaheadIssued int64
+	ReadaheadHits   int64
+	ReadaheadBytes  int64
+	// RangeCacheEvicted counts readahead ranges dropped to budget.
+	RangeCacheEvicted int64
+	// OpenNanos is the wall time of OpenMapped.
+	OpenNanos int64
+}
+
+// MappedCompact is a Compact served from a disk image rather than a
+// deserialized heap copy. It embeds Compact, so the whole unified
+// surface — Query/QueryBatch, Cached, Sharded membership, trace and
+// telemetry — works unchanged; queries additionally stream readahead
+// under occurrence scans and account disk work to StageDisk.
+//
+// Close unmaps the image; it must not be called while queries are in
+// flight, and the index is unusable afterwards.
+type MappedCompact struct {
+	*Compact
+	m      *mmap.Mapping // nil unless mode == "mmap"
+	ra     *diskReadahead
+	mode   string
+	file   int64
+	warmed int64
+	openNs int64
+	closed atomic.Bool
+}
+
+// warmSink defeats dead-code elimination of warmup touch loops.
+var warmSink atomic.Uint64
+
+// OpenMapped opens a saved compact index straight from its file,
+// zero-copy where possible: an mmap with access-pattern hints on
+// Linux, an aligned one-read heap image elsewhere (or with NoMmap),
+// and a full legacy deserialization for pre-v3 files. Cold-open of a
+// current-format file does no per-element decoding at all, so it is
+// bounded by directory validation, not index size.
+func OpenMapped(path string, opts MappedOptions) (*MappedCompact, error) {
+	start := time.Now()
+	mc := &MappedCompact{}
+	var layout *core.CompactLayout
+
+	if !opts.NoMmap && mmap.Supported() {
+		m, err := mmap.Map(path)
+		if err != nil {
+			return nil, fmt.Errorf("spine: open mapped: %w", err)
+		}
+		if core.CanOpenZeroCopy(m.Data()) {
+			c, lay, err := core.OpenCompactBytes(m.Data(), opts.Verify)
+			if err != nil {
+				m.Close()
+				return nil, fmt.Errorf("spine: open mapped %s: %w", path, err)
+			}
+			mc.Compact = &Compact{c: c}
+			mc.m, mc.mode, mc.file = m, "mmap", m.Len()
+			layout = lay
+			// Access-pattern hints: the rib/extrib tables and packed
+			// chars are hit at unpredictable offsets during descent;
+			// the LEL/link rows are streamed by the occurrence scan;
+			// the skip metadata is small and always hot.
+			m.Advise(lay.Tables.Off, lay.Tables.Len, mmap.Random)
+			m.Advise(lay.Overflow.Off, lay.Overflow.Len, mmap.Random)
+			m.Advise(lay.Chars.Off, lay.Chars.Len, mmap.Random)
+			m.Advise(lay.LEL.Off, lay.LEL.Len, mmap.Sequential)
+			m.Advise(lay.Ref.Off, lay.Ref.Len, mmap.Sequential)
+			m.Advise(lay.Blocks.Off, lay.Blocks.Len, mmap.WillNeed)
+			if opts.Warmup {
+				mc.warmed = warmup(m, lay, opts.WarmupBytes)
+			}
+		} else {
+			// Legacy stream format: nothing to alias; fall through to
+			// the heap open below.
+			m.Close()
+		}
+	}
+	if mc.Compact == nil {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("spine: open mapped: %w", err)
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return nil, fmt.Errorf("spine: open mapped: %w", err)
+		}
+		mc.file = st.Size()
+		var hdr [6]byte
+		if _, err := f.ReadAt(hdr[:], 0); err == nil && core.CanOpenZeroCopy(hdr[:]) {
+			c, lay, err := core.OpenCompactAt(f)
+			if err != nil {
+				return nil, fmt.Errorf("spine: open mapped %s: %w", path, err)
+			}
+			mc.Compact = &Compact{c: c}
+			mc.mode = "readerat"
+			layout = lay
+		} else {
+			x, err := LoadCompact(f)
+			if err != nil {
+				return nil, fmt.Errorf("spine: open mapped %s: %w", path, err)
+			}
+			mc.Compact = x
+			mc.mode = "heap"
+		}
+	}
+
+	if layout != nil && opts.ReadaheadNodes >= 0 {
+		window := int64(opts.ReadaheadNodes)
+		if window == 0 {
+			window = 1 << 18
+		}
+		ra := &diskReadahead{
+			rc:     pager.NewRangeCache(opts.RangeCacheBytes),
+			lel:    layout.LEL,
+			ref:    layout.Ref,
+			window: window,
+		}
+		if mc.m != nil {
+			m := mc.m
+			ra.prefetch = func(off, length int64) { m.Prefetch(off, length) }
+		}
+		mc.ra = ra
+		mc.c.SetScanReadahead(ra)
+	}
+	mc.openNs = time.Since(start).Nanoseconds()
+	return mc, nil
+}
+
+// warmup touches the first warmBytes of the LEL and link rows (the
+// paper's top-heavy Link Table head) and all skip metadata, forcing
+// them resident before the first query. Returns bytes touched.
+func warmup(m *mmap.Mapping, lay *core.CompactLayout, warmBytes int64) int64 {
+	if warmBytes <= 0 {
+		warmBytes = 16 << 20
+	}
+	const page = 4096
+	var sink uint64
+	var touched int64
+	touch := func(ext core.Extent, limit int64) {
+		if ext.Len < limit {
+			limit = ext.Len
+		}
+		if limit <= 0 {
+			return
+		}
+		m.Prefetch(ext.Off, limit) // async first, then fault in order
+		d := m.Data()
+		for off := ext.Off; off < ext.Off+limit; off += page {
+			sink += uint64(d[off])
+		}
+		touched += limit
+	}
+	touch(lay.LEL, warmBytes)
+	touch(lay.Ref, warmBytes)
+	touch(lay.Blocks, lay.Blocks.Len)
+	warmSink.Add(sink)
+	return touched
+}
+
+// Mapped reports whether the index serves zero-copy from an mmap (as
+// opposed to a heap-resident image or legacy deserialization).
+func (mc *MappedCompact) Mapped() bool { return mc.mode == "mmap" }
+
+// Mode returns the open mode: "mmap", "readerat", or "heap".
+func (mc *MappedCompact) Mode() string { return mc.mode }
+
+// DiskStats snapshots the disk path counters.
+func (mc *MappedCompact) DiskStats() DiskStats {
+	ds := DiskStats{
+		Mode:        mc.mode,
+		FileBytes:   mc.file,
+		WarmedBytes: mc.warmed,
+		OpenNanos:   mc.openNs,
+	}
+	if mc.m != nil && !mc.closed.Load() {
+		ds.MappedBytes = mc.m.Len()
+		if res, err := mc.m.Resident(); err == nil {
+			ds.ResidentBytes = res
+		}
+	} else if mc.mode != "mmap" {
+		ds.ResidentBytes = mc.file
+	}
+	if mc.ra != nil {
+		ds.ReadaheadIssued = mc.ra.issued.Load()
+		ds.ReadaheadHits = mc.ra.hits.Load()
+		ds.ReadaheadBytes = mc.ra.bytes.Load()
+		ds.RangeCacheEvicted = mc.ra.rc.Stats().Evicted
+	}
+	return ds
+}
+
+// Close releases the mapping. Queries must have drained: a query
+// racing Close would read unmapped memory.
+func (mc *MappedCompact) Close() error {
+	if mc.closed.Swap(true) {
+		return nil
+	}
+	mc.c.SetScanReadahead(nil)
+	if mc.m != nil {
+		return mc.m.Close()
+	}
+	return nil
+}
+
+// diskReadahead implements core.ScanReadahead over the LEL and link
+// row extents: each Advance prefetches the next window of backbone
+// rows in 1 MiB chunks, deduplicated through the range cache so a
+// sequential scan issues one syscall per chunk, not one per stride.
+type diskReadahead struct {
+	prefetch func(off, length int64) // nil: count-only (image already resident)
+	rc       *pager.RangeCache
+	lel, ref core.Extent
+	window   int64 // nodes ahead of the cursor
+	issued   atomic.Int64
+	hits     atomic.Int64
+	bytes    atomic.Int64
+}
+
+// raChunk is the prefetch quantum. Window edges snap to it so
+// overlapping windows from consecutive strides coalesce into range-
+// cache hits.
+const raChunk = int64(1) << 20
+
+func (ra *diskReadahead) Advance(j int32) (issued, hits int64) {
+	for _, t := range [2]struct {
+		ext  core.Extent
+		elem int64
+	}{{ra.lel, 2}, {ra.ref, 4}} {
+		off := t.ext.Off + int64(j)*t.elem
+		end := off + ra.window*t.elem
+		if max := t.ext.Off + t.ext.Len; end > max {
+			end = max
+		}
+		if off >= end {
+			continue
+		}
+		first := (off - t.ext.Off) / raChunk
+		last := (end - t.ext.Off - 1) / raChunk
+		for ci := first; ci <= last; ci++ {
+			coff := t.ext.Off + ci*raChunk
+			clen := raChunk
+			if rem := t.ext.Off + t.ext.Len - coff; rem < clen {
+				clen = rem
+			}
+			if ra.rc.Probe(coff, clen) {
+				hits++
+				continue
+			}
+			issued++
+			ra.bytes.Add(clen)
+			if ra.prefetch != nil {
+				ra.prefetch(coff, clen)
+			}
+		}
+	}
+	ra.issued.Add(issued)
+	ra.hits.Add(hits)
+	return issued, hits
+}

@@ -1,0 +1,259 @@
+package spine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spine-index/spine/internal/mmap"
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+// saveMappedFixture builds a compact index over a moderately repetitive
+// synthetic sequence and saves it to a file, returning the path and the
+// heap-resident reference.
+func saveMappedFixture(t *testing.T) (string, *Compact) {
+	t.Helper()
+	data, err := seqgen.SuiteSequence("eco", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(data).Compact(DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fixture.spine")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, c
+}
+
+// queryProbe compares mc against the heap reference on a spread of
+// patterns across every query kind.
+func queryProbe(t *testing.T, mc *MappedCompact, ref *Compact) {
+	t.Helper()
+	ctx := context.Background()
+	pats := [][]byte{
+		[]byte("a"), []byte("acg"), []byte("gattaca"), []byte("tttttttt"),
+		[]byte(strings.Repeat("acgt", 4)), []byte("zzz"), {},
+	}
+	for _, p := range pats {
+		for _, kind := range []QueryKind{KindContains, KindFind, KindFindAll, KindCount} {
+			got, err1 := mc.Query(ctx, p, QueryOptions{Kind: kind, Limit: 50})
+			want, err2 := ref.Query(ctx, p, QueryOptions{Kind: kind, Limit: 50})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s(%q): errs %v / %v", kind, p, err1, err2)
+			}
+			if got.Found != want.Found || got.Position != want.Position ||
+				got.Count != want.Count || got.Truncated != want.Truncated ||
+				got.NodesChecked != want.NodesChecked ||
+				len(got.Positions) != len(want.Positions) {
+				t.Fatalf("%s(%q): mapped %+v != heap %+v", kind, p, got, want)
+			}
+			for i := range got.Positions {
+				if got.Positions[i] != want.Positions[i] {
+					t.Fatalf("%s(%q): position %d differs", kind, p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOpenMappedMmapMode(t *testing.T) {
+	if !mmap.Supported() {
+		t.Skip("mmap unsupported in this build")
+	}
+	path, ref := saveMappedFixture(t)
+	mc, err := OpenMapped(path, MappedOptions{Warmup: true})
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	defer mc.Close()
+	if mc.Mode() != "mmap" || !mc.Mapped() {
+		t.Fatalf("mode = %q, Mapped = %v", mc.Mode(), mc.Mapped())
+	}
+	queryProbe(t, mc, ref)
+	ds := mc.DiskStats()
+	if ds.Mode != "mmap" || ds.FileBytes <= 0 || ds.MappedBytes != ds.FileBytes {
+		t.Fatalf("DiskStats = %+v", ds)
+	}
+	if ds.WarmedBytes <= 0 {
+		t.Fatalf("warmup touched nothing: %+v", ds)
+	}
+	if ds.ReadaheadIssued == 0 {
+		t.Fatalf("scans issued no readahead: %+v", ds)
+	}
+	if ds.OpenNanos <= 0 {
+		t.Fatalf("open time not recorded: %+v", ds)
+	}
+}
+
+func TestOpenMappedReaderAtFallback(t *testing.T) {
+	path, ref := saveMappedFixture(t)
+	mc, err := OpenMapped(path, MappedOptions{NoMmap: true})
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	defer mc.Close()
+	wantMode := "readerat"
+	if mc.Mode() != wantMode || mc.Mapped() {
+		t.Fatalf("mode = %q, Mapped = %v", mc.Mode(), mc.Mapped())
+	}
+	queryProbe(t, mc, ref)
+	ds := mc.DiskStats()
+	if ds.Mode != wantMode || ds.ResidentBytes != ds.FileBytes {
+		t.Fatalf("DiskStats = %+v", ds)
+	}
+}
+
+func TestOpenMappedVerifyCatchesCorruption(t *testing.T) {
+	path, _ := saveMappedFixture(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-9] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(path, MappedOptions{Verify: true}); err == nil {
+		t.Fatal("verified open accepted a corrupt payload")
+	}
+	// The fallback path always verifies, mmap or not.
+	if _, err := OpenMapped(path, MappedOptions{NoMmap: true}); err == nil {
+		t.Fatal("fallback open accepted a corrupt payload")
+	}
+}
+
+func TestOpenMappedReadaheadDisabled(t *testing.T) {
+	path, ref := saveMappedFixture(t)
+	mc, err := OpenMapped(path, MappedOptions{ReadaheadNodes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	queryProbe(t, mc, ref)
+	if ds := mc.DiskStats(); ds.ReadaheadIssued != 0 || ds.ReadaheadHits != 0 {
+		t.Fatalf("disabled readahead still counted: %+v", ds)
+	}
+}
+
+func TestOpenMappedSmallRangeCacheEvicts(t *testing.T) {
+	path, ref := saveMappedFixture(t)
+	// A tiny range-cache budget forces honest re-prefetching: sweeps
+	// larger than the budget must cycle (evict) rather than assume
+	// residency.
+	mc, err := OpenMapped(path, MappedOptions{RangeCacheBytes: 4096, ReadaheadNodes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	res, err := mc.Query(context.Background(), []byte("a"), QueryOptions{Kind: KindFindAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.FindAll([]byte("a")); len(res.Positions) != len(want) {
+		t.Fatalf("got %d positions, want %d", len(res.Positions), len(want))
+	}
+	if ds := mc.DiskStats(); ds.ReadaheadIssued == 0 {
+		t.Fatalf("no readahead under a full sweep: %+v", ds)
+	}
+}
+
+func TestOpenMappedCachedDecorator(t *testing.T) {
+	path, ref := saveMappedFixture(t)
+	mc, err := OpenMapped(path, MappedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	cq, err := Cached(mc, CacheConfig{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p := []byte("gattaca")
+	first, err := cq.Query(ctx, p, QueryOptions{Kind: KindFindAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cq.Query(ctx, p, QueryOptions{Kind: KindFindAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Source != SourceCache || again.Count != first.Count {
+		t.Fatalf("cache over mapped index broken: first %+v, again %+v", first, again)
+	}
+	if want := ref.FindAll(p); first.Count != len(want) {
+		t.Fatalf("cached mapped count %d, want %d", first.Count, len(want))
+	}
+}
+
+func TestOpenMappedBatch(t *testing.T) {
+	path, ref := saveMappedFixture(t)
+	mc, err := OpenMapped(path, MappedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	pats := [][]byte{[]byte("acg"), []byte("gattaca"), []byte("acg"), {}, []byte("tt")}
+	got, err := mc.QueryBatch(context.Background(), pats, BatchOptions{Limit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.QueryBatch(context.Background(), pats, BatchOptions{Limit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Count != want[i].Count || got[i].Truncated != want[i].Truncated {
+			t.Fatalf("batch item %d: mapped %+v != heap %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOpenMappedCloseIdempotent(t *testing.T) {
+	path, _ := saveMappedFixture(t)
+	mc, err := OpenMapped(path, MappedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestOpenMappedMissingFile(t *testing.T) {
+	if _, err := OpenMapped(filepath.Join(t.TempDir(), "nope.spine"), MappedOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := OpenMapped(filepath.Join(t.TempDir(), "nope.spine"), MappedOptions{NoMmap: true}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("fallback error does not wrap ErrNotExist: %v", err)
+	}
+}
+
+func TestOpenMappedLegacyHeapMode(t *testing.T) {
+	// A pre-v3 stream has no section directory: OpenMapped must fall
+	// back to the full heap deserialization and still serve queries.
+	path := filepath.Join(t.TempDir(), "legacy.spine")
+	if err := os.WriteFile(path, []byte("not a spine image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(path, MappedOptions{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
