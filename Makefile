@@ -23,14 +23,16 @@ lint: vet
 	@sh scripts/lint_query_surface.sh
 
 # fuzz-smoke mines the batch-pipeline, cache-equivalence,
-# scan-equivalence and SWAR-kernel fuzz targets briefly — enough to
-# shake out fresh regressions without stalling the gate.
+# scan-equivalence, SWAR-kernel, mapped-layout and parallel-scan fuzz
+# targets briefly — enough to shake out fresh regressions without
+# stalling the gate.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzQueryBatch$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzCacheEquivalence$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzScanEquivalence$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzSWAREquivalence$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzMappedEquivalence$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzParallelScanEquivalence$$' -fuzztime 10s ./internal/core
 
 # cover runs the suite shuffled (ordering bugs surface) with a coverage
 # profile and prints the per-function summary tail.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"github.com/spine-index/spine/internal/core"
@@ -144,12 +146,16 @@ func queryBatchOn(ctx context.Context, c coreBatcher, n int, patterns [][]byte, 
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				for k := range jobs {
-					descend(k)
-				}
-			}()
+				// Label the pool so CPU profiles attribute batch descent
+				// time per worker, like the partitioned-scan labels.
+				pprof.Do(ctx, pprof.Labels("spine_batch", "descend", "spine_batch_worker", strconv.Itoa(w)), func(context.Context) {
+					for k := range jobs {
+						descend(k)
+					}
+				})
+			}(w)
 		}
 		for k := range work {
 			jobs <- k

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/telemetry"
+	"github.com/spine-index/spine/internal/trace"
+)
+
+// Intra-query parallel scan comparison: the same low-selectivity FindAll
+// and Count queries answered at a ladder of worker counts, the 1-worker
+// rung being the sequential oracle. Every multi-worker rung's positions
+// (and counts) are cross-checked element-wise against the oracle every
+// round, and a traced pass verifies the partitioned scan's accounting
+// contract: NodesChecked is parallelism-invariant on untruncated
+// queries (the stitch replays the sequential admission decisions), the
+// worker counter matches the rung, and cross-partition chains were
+// actually stitched. The timing difference between rungs therefore
+// isolates the partitioned scan — wall-clock speedup appears only when
+// GOMAXPROCS grants real cores, so the report records the host's
+// parallelism alongside the numbers.
+
+// PScanBenchConfig drives RunPScanBench over an in-process corpus build.
+type PScanBenchConfig struct {
+	Sequence   string // corpus sequence name; "" = "cel" (15.5M chars at divide 1)
+	PatternLen int    // sampled pattern length; <= 0 = 8 (below median LEL: the dense, scan-bound regime)
+	Patterns   int    // patterns per round; <= 0 = 4
+	Rounds     int    // measured rounds per rung; <= 0 = 5
+	Workers    []int  // worker ladder; nil = {1, 2, 4, 8}; must start at 1 (the oracle)
+}
+
+// PScanArmStats aggregates one worker rung's round durations plus its
+// traced work counters over one full pattern set.
+type PScanArmStats struct {
+	Workers int   `json:"workers"`
+	Rounds  int   `json:"rounds"`
+	TotalUs int64 `json:"totalUs"`
+	MeanUs  int64 `json:"meanUs"`
+	P50Us   int64 `json:"p50Us"`
+	MaxUs   int64 `json:"maxUs"`
+	// NodesChecked is the canonical §4.1 work metric summed over the
+	// pattern set; identical at every rung by the replay contract.
+	NodesChecked int64 `json:"nodesChecked"`
+	// WorkersUsed and ChainsStitched come from the traced pass:
+	// partitions actually spawned and cross-partition chain roots
+	// resolved by the ordered stitch.
+	WorkersUsed    int64 `json:"workersUsed"`
+	ChainsStitched int64 `json:"chainsStitched"`
+	// Speedup is the 1-worker rung's mean round time over this rung's.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// PScanRow is one layout x query-kind ladder.
+type PScanRow struct {
+	Layout string `json:"layout"` // "reference" or "compact"
+	Kind   string `json:"kind"`   // "findall" or "count"
+	// Occurrences is the total hits across the pattern set (identical
+	// at every rung by construction; cross-checked every round).
+	Occurrences int64           `json:"occurrences"`
+	Arms        []PScanArmStats `json:"arms"`
+}
+
+// PScanReport is the machine-readable comparison (committed as
+// BENCH_pscan.json).
+type PScanReport struct {
+	Sequence   string `json:"sequence"`
+	Chars      int    `json:"chars"`
+	MedianLEL  int    `json:"medianLEL"`
+	PatternLen int    `json:"patternLen"`
+	Patterns   int    `json:"patterns"`
+	Rounds     int    `json:"rounds"`
+	// MaxProcs and NumCPU record the measuring host's parallelism:
+	// worker rungs beyond MaxProcs time-slice one core and cannot beat
+	// the oracle on wall clock, so speedups are only meaningful up to
+	// this bound.
+	MaxProcs int        `json:"maxProcs"`
+	NumCPU   int        `json:"numCPU"`
+	ISA      string     `json:"isa"`
+	Rows     []PScanRow `json:"rows"`
+}
+
+// RunPScanBench builds the sequence on both layouts and measures
+// FindAll and Count rounds at each worker rung, returning the human
+// table plus the JSON report. Rungs alternate within each round so
+// cache warm-up and background noise spread evenly.
+func RunPScanBench(c *Corpus, cfg PScanBenchConfig) (Table, PScanReport, error) {
+	seqName := cfg.Sequence
+	if seqName == "" {
+		seqName = "cel"
+	}
+	text, err := c.Get(seqName)
+	if err != nil {
+		return Table{}, PScanReport{}, err
+	}
+	plen := cfg.PatternLen
+	if plen <= 0 {
+		plen = 8
+	}
+	nPats := cfg.Patterns
+	if nPats <= 0 {
+		nPats = 4
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 5
+	}
+	ladder := cfg.Workers
+	if len(ladder) == 0 {
+		ladder = []int{1, 2, 4, 8}
+	}
+	if ladder[0] != 1 {
+		return Table{}, PScanReport{}, fmt.Errorf("pscan: worker ladder must start at 1 (the sequential oracle), got %v", ladder)
+	}
+	for _, w := range ladder {
+		if w < 1 {
+			return Table{}, PScanReport{}, fmt.Errorf("pscan: bad worker count %d", w)
+		}
+	}
+
+	idx := core.Build(text)
+	comp, err := core.Freeze(idx, alphabetFor(seqName))
+	if err != nil {
+		return Table{}, PScanReport{}, err
+	}
+	report := PScanReport{
+		Sequence:   seqName,
+		Chars:      len(text),
+		MedianLEL:  medianLEL(idx),
+		PatternLen: plen,
+		Patterns:   nPats,
+		Rounds:     rounds,
+		MaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		ISA:        core.ScanKernelISA(),
+	}
+	patterns := SamplePatterns(text, nPats, plen)
+	if len(patterns) == 0 {
+		return Table{}, PScanReport{}, fmt.Errorf("pscan: cannot sample %d-char patterns from %s (%d chars)", plen, seqName, len(text))
+	}
+
+	// Measure under the production configuration (skip index + SWAR)
+	// with the span threshold floored so every rung engages even on
+	// smoke-scale corpora; restore everything on the way out.
+	prevSkip := core.SetBlockSkip(true)
+	prevKernel := core.ActiveScanKernel()
+	core.SetScanKernel(core.KernelSWAR)
+	prevPar := core.SetScanParallelism(1)
+	prevThresh := core.SetScanParallelThreshold(1)
+	defer func() {
+		core.SetBlockSkip(prevSkip)
+		core.SetScanKernel(prevKernel)
+		core.SetScanParallelism(prevPar)
+		core.SetScanParallelThreshold(prevThresh)
+	}()
+
+	type layout struct {
+		name    string
+		findAll func(ctx context.Context, p []byte, limit int) (core.ScanResult, error)
+		count   func(ctx context.Context, p []byte) (int, error)
+	}
+	layouts := []layout{
+		{"reference", idx.FindAllCtx, idx.CountCtx},
+		{"compact", comp.FindAllCtx, comp.CountCtx},
+	}
+	for _, lay := range layouts {
+		for _, kind := range []string{"findall", "count"} {
+			row := PScanRow{Layout: lay.name, Kind: kind}
+			lats := make([]telemetry.Histogram, len(ladder))
+			totals := make([]time.Duration, len(ladder))
+			oraclePos := make([][]int, len(patterns))
+			oracleCnt := make([]int, len(patterns))
+			for r := 0; r < rounds; r++ {
+				for a, w := range ladder {
+					core.SetScanParallelism(w)
+					var occs int64
+					t0 := time.Now()
+					for i, p := range patterns {
+						switch kind {
+						case "findall":
+							res, err := lay.findAll(context.Background(), p, 0)
+							if err != nil {
+								return Table{}, PScanReport{}, err
+							}
+							occs += int64(len(res.Positions))
+							if a == 0 {
+								oraclePos[i] = res.Positions
+							} else if !equalPositions(res.Positions, oraclePos[i]) {
+								return Table{}, PScanReport{}, fmt.Errorf(
+									"pscan: %s findall round %d pattern %d: %d-worker positions differ from the sequential oracle",
+									lay.name, r, i, w)
+							}
+						case "count":
+							cnt, err := lay.count(context.Background(), p)
+							if err != nil {
+								return Table{}, PScanReport{}, err
+							}
+							occs += int64(cnt)
+							if a == 0 {
+								oracleCnt[i] = cnt
+							} else if cnt != oracleCnt[i] {
+								return Table{}, PScanReport{}, fmt.Errorf(
+									"pscan: %s count round %d pattern %d: %d workers counted %d, oracle %d",
+									lay.name, r, i, w, cnt, oracleCnt[i])
+							}
+						}
+					}
+					d := time.Since(t0)
+					lats[a].ObserveDuration(d)
+					totals[a] += d
+					row.Occurrences = occs
+				}
+			}
+			for a, w := range ladder {
+				st := PScanArmStats{Workers: w}
+				ms := scanModeStats(rounds, totals[a], lats[a].Snapshot())
+				st.Rounds, st.TotalUs, st.MeanUs, st.P50Us, st.MaxUs = ms.Rounds, ms.TotalUs, ms.MeanUs, ms.P50Us, ms.MaxUs
+				row.Arms = append(row.Arms, st)
+			}
+			if err := tracePScanWork(lay, kind, patterns, ladder, &row); err != nil {
+				return Table{}, PScanReport{}, err
+			}
+			base := row.Arms[0].MeanUs
+			for a := range row.Arms {
+				if row.Arms[a].MeanUs > 0 {
+					row.Arms[a].Speedup = float64(base) / float64(row.Arms[a].MeanUs)
+				}
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+
+	t := Table{
+		ID: "pscan",
+		Title: fmt.Sprintf("partitioned scan worker ladder on %s (%s chars, |P|=%d, %d patterns/round, %d rounds, GOMAXPROCS %d, isa %s)",
+			seqName, fmtCount(int64(len(text))), plen, len(patterns), rounds, report.MaxProcs, report.ISA),
+		Header: []string{"layout", "kind", "workers", "mean(µs)", "p50(µs)", "speedup", "nodes", "parts", "chains"},
+	}
+	for _, row := range report.Rows {
+		for _, arm := range row.Arms {
+			t.Rows = append(t.Rows, []string{
+				row.Layout, row.Kind,
+				fmt.Sprintf("%d", arm.Workers),
+				fmt.Sprintf("%d", arm.MeanUs),
+				fmt.Sprintf("%d", arm.P50Us),
+				fmt.Sprintf("%.2fx", arm.Speedup),
+				fmt.Sprintf("%d", arm.NodesChecked),
+				fmt.Sprintf("%d", arm.WorkersUsed),
+				fmt.Sprintf("%d", arm.ChainsStitched),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"positions/counts cross-checked against the 1-worker sequential oracle every round",
+		"nodes (NodesChecked) is parallelism-invariant by the stitch's admission replay — verified per rung",
+		fmt.Sprintf("wall-clock speedup needs real cores: this host runs GOMAXPROCS=%d (numCPU %d)", report.MaxProcs, report.NumCPU))
+	return t, report, nil
+}
+
+// tracePScanWork runs one traced (untimed) pass per rung over the
+// pattern set, fills in the work counters, and verifies the partitioned
+// scan's accounting: every rung's NodesChecked must equal the
+// sequential oracle's exactly (these queries are untruncated, so the
+// replay contract applies in full), the traced worker counter must
+// match the rung, and multi-worker rungs must stitch at least one
+// cross-partition chain on a dense pattern set.
+func tracePScanWork(lay struct {
+	name    string
+	findAll func(ctx context.Context, p []byte, limit int) (core.ScanResult, error)
+	count   func(ctx context.Context, p []byte) (int, error)
+}, kind string, patterns [][]byte, ladder []int, row *PScanRow) error {
+	for a, w := range ladder {
+		core.SetScanParallelism(w)
+		st := &row.Arms[a]
+		for _, p := range patterns {
+			tr := trace.New()
+			ctx := trace.NewContext(context.Background(), tr)
+			var err error
+			if kind == "findall" {
+				_, err = lay.findAll(ctx, p, 0)
+			} else {
+				_, err = lay.count(ctx, p)
+			}
+			if err != nil {
+				return err
+			}
+			for _, rec := range tr.Records() {
+				st.NodesChecked += rec.Nodes
+				st.WorkersUsed += rec.WorkersUsed
+				st.ChainsStitched += rec.ChainsStitched
+			}
+		}
+	}
+	oracle := &row.Arms[0]
+	if oracle.WorkersUsed != 0 {
+		return fmt.Errorf("pscan: %s %s: sequential oracle reported %d scan workers", lay.name, kind, oracle.WorkersUsed)
+	}
+	for a := 1; a < len(ladder); a++ {
+		st := &row.Arms[a]
+		if st.NodesChecked != oracle.NodesChecked {
+			return fmt.Errorf("pscan: %s %s: %d-worker NodesChecked %d != sequential %d (replay contract broken)",
+				lay.name, kind, st.Workers, st.NodesChecked, oracle.NodesChecked)
+		}
+		if want := int64(st.Workers * len(patterns)); st.WorkersUsed != want {
+			return fmt.Errorf("pscan: %s %s: %d-worker rung reported %d partitions over %d patterns, want %d",
+				lay.name, kind, st.Workers, st.WorkersUsed, len(patterns), want)
+		}
+		if st.ChainsStitched == 0 && row.Occurrences > int64(st.Workers*len(patterns)) {
+			return fmt.Errorf("pscan: %s %s: %d-worker rung stitched no cross-partition chains over %d occurrences",
+				lay.name, kind, st.Workers, row.Occurrences)
+		}
+	}
+	return nil
+}

@@ -25,35 +25,10 @@ func (c *CompactIndex) ScanMany(firsts, lens []int32) [][]int32 {
 	return scanManyOn(c, firsts, lens)
 }
 
+// scanManyOn delegates to the shared unlimited batch pass (see
+// scanManyOnCtx); a background context never cancels it.
 func scanManyOn[S store](s S, firsts, lens []int32) [][]int32 {
-	out := make([][]int32, len(firsts))
-	if len(firsts) == 0 {
-		return out
-	}
-	// owners[node] lists the matches whose target buffer contains node.
-	owners := make(map[int32][]int32)
-	minFirst := firsts[0]
-	for i := range firsts {
-		out[i] = []int32{firsts[i]}
-		owners[firsts[i]] = append(owners[firsts[i]], int32(i))
-		if firsts[i] < minFirst {
-			minFirst = firsts[i]
-		}
-	}
-	n := s.textLen()
-	for j := minFirst + 1; j <= n; j++ {
-		link, lel := s.linkOf(j)
-		ms, ok := owners[link]
-		if !ok {
-			continue
-		}
-		for _, m := range ms {
-			if lel >= lens[m] && j > firsts[m] {
-				out[m] = append(out[m], j)
-				owners[j] = append(owners[j], m)
-			}
-		}
-	}
+	out, _ := scanManyOnCtx(context.Background(), s, firsts, lens)
 	return out
 }
 
@@ -80,15 +55,19 @@ type BatchScan struct {
 // scan ends early once every match has reached its cap. When ctx
 // carries a trace, the pass records one StageBatchScan span.
 func (idx *Index) ScanManyLimitCtx(ctx context.Context, firsts, lens []int32, limits []int) (BatchScan, error) {
-	return scanManyLimitOnCtx(ctx, idx, firsts, lens, limits)
+	return scanManyLimitTracedOnCtx(ctx, idx, firsts, lens, limits, true)
 }
 
 // ScanManyLimitCtx is the compact-layout variant; see Index.ScanManyLimitCtx.
 func (c *CompactIndex) ScanManyLimitCtx(ctx context.Context, firsts, lens []int32, limits []int) (BatchScan, error) {
-	return scanManyLimitOnCtx(ctx, c, firsts, lens, limits)
+	return scanManyLimitTracedOnCtx(ctx, c, firsts, lens, limits, true)
 }
 
-func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32, limits []int) (BatchScan, error) {
+// scanManyLimitTracedOnCtx is the shared batched scan. traced=false
+// suppresses the StageBatchScan span — the unlimited ScanManyCtx fold
+// rides through here, and its legacy callers account work themselves;
+// an extra span would double-count nodes in the per-stage partition.
+func scanManyLimitTracedOnCtx[S store](ctx context.Context, s S, firsts, lens []int32, limits []int, traced bool) (BatchScan, error) {
 	res := BatchScan{
 		Ends:      make([][]int32, len(firsts)),
 		Truncated: make([]bool, len(firsts)),
@@ -100,6 +79,9 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 		return res, nil
 	}
 	tr := trace.FromContext(ctx)
+	if !traced {
+		tr = nil
+	}
 	var scanStart time.Time
 	if tr != nil {
 		scanStart = time.Now()
@@ -110,6 +92,7 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 			tr.Add(trace.StageBatchScan, time.Since(scanStart), trace.Counters{
 				Nodes: st.visited, Links: st.visited,
 				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
+				WorkersUsed: st.workersUsed, ChainsStitched: st.chainsStitched,
 			})
 			if st.raIssued+st.raHits > 0 {
 				// Disk activity is attributed to its own stage with zero
@@ -155,7 +138,8 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 		for j := minFirst + 1; j <= n; j++ {
 			if (j-minFirst)%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
-					endScan(scanStats{visited: int64(j - minFirst)})
+					// Node j itself was never examined; see findAllOnCtx.
+					endScan(scanStats{visited: int64(j - minFirst - 1)})
 					return BatchScan{Scanned: res.Scanned}, err
 				}
 			}
@@ -199,6 +183,27 @@ func scanManyLimitOnCtx[S store](ctx context.Context, s S, firsts, lens []int32,
 		}
 	}
 	recalcMinLen()
+	// Partitioned parallel pass — unlimited batches only: per-match
+	// limits make block admission depend on the done-set evolution,
+	// entangling partitions; with no limits the admission inputs are
+	// scan constants and the chain-stitch argument applies per match.
+	anyLimit := false
+	for i := range limits {
+		if !done[i] && limits[i] > 0 {
+			anyLimit = true
+			break
+		}
+	}
+	if !anyLimit {
+		if parts := planScanParts(minFirst, n, scanWorkersFor(n-minFirst)); len(parts) > 1 {
+			st, err := parScanManyOn(ctx, s, firsts, lens, done, minFirst, maxMember, minActiveLen, parts, res.Ends)
+			endScan(st)
+			if err != nil {
+				return BatchScan{Scanned: res.Scanned}, err
+			}
+			return res, nil
+		}
+	}
 	blocks := s.skipBlocks()
 	var st scanStats
 	nextCheck := int64(cancelStride)

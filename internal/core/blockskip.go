@@ -168,6 +168,11 @@ type scanStats struct {
 	// both stay zero for memory-resident stores.
 	raIssued int64
 	raHits   int64
+	// workersUsed / chainsStitched describe the partitioned parallel
+	// scan: partitions actually spawned (0 on the sequential path) and
+	// cross-partition chain roots resolved by the ordered stitch.
+	workersUsed    int64
+	chainsStitched int64
 }
 
 // admit reports whether block m can contain an occurrence end for a

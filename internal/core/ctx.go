@@ -99,6 +99,7 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 				Nodes: st.visited, Links: st.visited,
 				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
 				WordsCompared: st.words,
+				WorkersUsed:   st.workersUsed, ChainsStitched: st.chainsStitched,
 			})
 			if st.raIssued+st.raHits > 0 {
 				// Disk activity gets its own stage with zero Nodes so the
@@ -116,8 +117,10 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 		for j := first + 1; j <= n; j++ {
 			if (j-first)%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
-					res.NodesChecked += int64(j - first)
-					endScan(scanStats{visited: int64(j - first)})
+					// The checkpoint fires before node j is examined, so only
+					// j-first-1 nodes beyond the descent were actually visited.
+					res.NodesChecked += int64(j - first - 1)
+					endScan(scanStats{visited: int64(j - first - 1)})
 					return ScanResult{NodesChecked: res.NodesChecked}, err
 				}
 			}
@@ -142,7 +145,14 @@ func findAllOnCtx[S store](ctx context.Context, s S, p []byte, limit int) (ScanR
 	if limit > 0 {
 		maxExtra = limit - 1
 	}
-	st, truncated, err := occScanOn(ctx, s, sc, first, m, maxExtra)
+	var st scanStats
+	var truncated bool
+	var err error
+	if parts := planScanParts(first, n, scanWorkersFor(n-first)); len(parts) > 1 {
+		st, truncated, err = parOccScanOn(ctx, s, sc, first, m, maxExtra, parts, "findall")
+	} else {
+		st, truncated, err = occScanOn(ctx, s, sc, first, m, maxExtra)
+	}
 	res.NodesChecked += st.visited
 	endScan(st)
 	if err != nil {
@@ -235,6 +245,7 @@ func countOnCtx[S store](ctx context.Context, s S, p []byte, maxStart int) (int,
 				Nodes: st.visited, Links: st.visited,
 				BlocksSkipped: st.blocksSkipped, BlocksScanned: st.blocksScanned,
 				WordsCompared: st.words,
+				WorkersUsed:   st.workersUsed, ChainsStitched: st.chainsStitched,
 			})
 			if st.raIssued+st.raHits > 0 {
 				// Disk activity gets its own stage with zero Nodes so the
@@ -251,7 +262,8 @@ func countOnCtx[S store](ctx context.Context, s S, p []byte, maxStart int) (int,
 		for j := first + 1; j <= n; j++ {
 			if (j-first)%cancelStride == 0 {
 				if err := ctx.Err(); err != nil {
-					endScan(scanStats{visited: int64(j - first)})
+					// Node j itself was never examined; see findAllOnCtx.
+					endScan(scanStats{visited: int64(j - first - 1)})
 					return 0, err
 				}
 			}
@@ -267,7 +279,23 @@ func countOnCtx[S store](ctx context.Context, s S, p []byte, maxStart int) (int,
 		return count, nil
 	}
 	sc := getScratch(n)
-	extra, st, err := occCountOn(ctx, s, sc, first, m, endBound)
+	var extra int
+	var st scanStats
+	var err error
+	if parts := planScanParts(first, n, scanWorkersFor(n-first)); len(parts) > 1 {
+		// The partitioned scan stages end nodes instead of streaming the
+		// count — O(occurrences) transient memory buys the parallel pass.
+		st, _, err = parOccScanOn(ctx, s, sc, first, m, -1, parts, "count")
+		if err == nil {
+			for _, e := range sc.ends {
+				if endBound <= 0 || e < endBound {
+					extra++
+				}
+			}
+		}
+	} else {
+		extra, st, err = occCountOn(ctx, s, sc, first, m, endBound)
+	}
 	endScan(st)
 	putScratch(sc)
 	if err != nil {
@@ -287,41 +315,20 @@ func (c *CompactIndex) ScanManyCtx(ctx context.Context, firsts, lens []int32) ([
 	return scanManyOnCtx(ctx, c, firsts, lens)
 }
 
+// scanManyOnCtx is the unlimited batch scan folded onto the limit-aware
+// pass with zero limits: one shared implementation (block-skip
+// acceleration and the partitioned parallel path included) instead of a
+// duplicated scalar loop with its own per-call owners map. Tracing is
+// suppressed — the legacy ScanManyCtx contract records no batch-scan
+// span, and the match-engine paths that call it account NodesChecked
+// themselves.
 func scanManyOnCtx[S store](ctx context.Context, s S, firsts, lens []int32) ([][]int32, error) {
-	out := make([][]int32, len(firsts))
 	if len(firsts) == 0 {
-		return out, ctx.Err()
+		return make([][]int32, 0), ctx.Err()
 	}
-	if err := ctx.Err(); err != nil {
+	bs, err := scanManyLimitTracedOnCtx(ctx, s, firsts, lens, make([]int, len(firsts)), false)
+	if err != nil {
 		return nil, err
 	}
-	owners := make(map[int32][]int32)
-	minFirst := firsts[0]
-	for i := range firsts {
-		out[i] = []int32{firsts[i]}
-		owners[firsts[i]] = append(owners[firsts[i]], int32(i))
-		if firsts[i] < minFirst {
-			minFirst = firsts[i]
-		}
-	}
-	n := s.textLen()
-	for j := minFirst + 1; j <= n; j++ {
-		if (j-minFirst)%cancelStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		link, lel := s.linkOf(j)
-		ms, ok := owners[link]
-		if !ok {
-			continue
-		}
-		for _, m := range ms {
-			if lel >= lens[m] && j > firsts[m] {
-				out[m] = append(out[m], j)
-				owners[j] = append(owners[j], m)
-			}
-		}
-	}
-	return out, nil
+	return bs.Ends, nil
 }

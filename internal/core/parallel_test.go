@@ -1,0 +1,321 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+)
+
+// withParallelism pins the parallelism knob and admission threshold for
+// one test, restoring both on cleanup. threshold 1 forces the
+// partitioned path onto tiny corpora regardless of GOMAXPROCS.
+func withParallelism(t *testing.T, workers, threshold int) {
+	t.Helper()
+	prevP := SetScanParallelism(workers)
+	prevT := SetScanParallelThreshold(threshold)
+	t.Cleanup(func() {
+		SetScanParallelism(prevP)
+		SetScanParallelThreshold(prevT)
+	})
+}
+
+// lcgText generates a deterministic pseudo-random DNA text: repetitive
+// enough for long chains, irregular enough to exercise every
+// classification branch.
+func lcgText(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	s := seed
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = "acgt"[(s>>33)%4]
+	}
+	return out
+}
+
+func TestScanParallelismKnob(t *testing.T) {
+	prev := SetScanParallelism(7)
+	defer SetScanParallelism(prev)
+	if got := ScanParallelism(); got != 7 {
+		t.Fatalf("ScanParallelism = %d, want 7", got)
+	}
+	if got := SetScanParallelism(-3); got != 7 {
+		t.Fatalf("SetScanParallelism(-3) previous = %d, want 7", got)
+	}
+	if got := ScanParallelism(); got != 0 {
+		t.Fatalf("negative clamps to adaptive, got %d", got)
+	}
+	SetScanParallelism(1000)
+	if got := ScanParallelism(); got != maxScanWorkers {
+		t.Fatalf("oversized clamps to %d, got %d", maxScanWorkers, got)
+	}
+
+	prevT := SetScanParallelThreshold(123)
+	if got := SetScanParallelThreshold(0); got != 123 {
+		t.Fatalf("threshold previous = %d, want 123", got)
+	}
+	if got := SetScanParallelThreshold(prevT); got != defaultScanParMinSpan {
+		t.Fatalf("threshold <= 0 restores default, got %d", got)
+	}
+	SetScanParallelThreshold(prevT)
+}
+
+func TestPlanScanParts(t *testing.T) {
+	cases := []struct {
+		first, n int32
+		workers  int
+	}{
+		{0, 10, 4}, {0, 64, 2}, {0, 65, 2}, {3, 200, 3}, {63, 64, 8},
+		{1, 1 << 14, 8}, {100, 5000, 7}, {0, 127, 32}, {50, 51, 2},
+	}
+	for _, c := range cases {
+		parts := planScanParts(c.first, c.n, c.workers)
+		if c.workers <= 1 || c.n-c.first < 2 {
+			if parts != nil {
+				t.Fatalf("planScanParts(%d,%d,%d) = %v, want nil", c.first, c.n, c.workers, parts)
+			}
+			continue
+		}
+		if parts == nil {
+			// A single covering block legitimately yields no split.
+			if blockFor(c.first+1) != blockFor(c.n) {
+				t.Fatalf("planScanParts(%d,%d,%d) = nil with multiple blocks", c.first, c.n, c.workers)
+			}
+			continue
+		}
+		if len(parts) > c.workers {
+			t.Fatalf("planScanParts(%d,%d,%d): %d parts > workers", c.first, c.n, c.workers, len(parts))
+		}
+		if parts[0].lo != c.first+1 {
+			t.Fatalf("parts[0].lo = %d, want %d", parts[0].lo, c.first+1)
+		}
+		if parts[len(parts)-1].hi != c.n {
+			t.Fatalf("last hi = %d, want %d", parts[len(parts)-1].hi, c.n)
+		}
+		for k, p := range parts {
+			if p.lo > p.hi {
+				t.Fatalf("part %d empty: %+v", k, p)
+			}
+			if k > 0 {
+				if p.lo != parts[k-1].hi+1 {
+					t.Fatalf("gap between part %d and %d: %+v %+v", k-1, k, parts[k-1], p)
+				}
+				if (p.lo-1)&(blockSize-1) != 0 {
+					t.Fatalf("part %d lo %d not block-aligned", k, p.lo)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelScanEquivalence drives the partitioned scan against the
+// sequential oracle (SetScanParallelism(1)) over both kernels, a ladder
+// of worker counts, and a ladder of limits — positions, truncation and
+// NodesChecked must be identical, truncated queries included (the
+// replay makes the counters canonical).
+func TestParallelScanEquivalence(t *testing.T) {
+	text := lcgText(200_000, 42)
+	idx := Build(text)
+	comp, err := Freeze(idx, seq.DNA)
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	ctx := context.Background()
+	pats := [][]byte{
+		[]byte("a"), []byte("ac"), []byte("acg"), []byte("gattaca"),
+		text[1000:1012], text[150_000:150_008], []byte("acgtacgtacgtacgtacgt"),
+	}
+	limits := []int{0, 1, 2, 7, 100, 100_000}
+	prevT := SetScanParallelThreshold(1)
+	defer SetScanParallelThreshold(prevT)
+
+	for _, kernel := range []ScanKernel{KernelSWAR, KernelScalar} {
+		prevK := SetScanKernel(kernel)
+		for _, pat := range pats {
+			for _, limit := range limits {
+				prevP := SetScanParallelism(1)
+				wantIdx, err := idx.FindAllCtx(ctx, pat, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantCount, err := idx.CountCtx(ctx, pat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{2, 3, 4, 8} {
+					SetScanParallelism(w)
+					for name, got := range map[string]func() (ScanResult, error){
+						"index":   func() (ScanResult, error) { return idx.FindAllCtx(ctx, pat, limit) },
+						"compact": func() (ScanResult, error) { return comp.FindAllCtx(ctx, pat, limit) },
+					} {
+						res, err := got()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !equalInts(res.Positions, wantIdx.Positions) ||
+							res.Truncated != wantIdx.Truncated ||
+							res.NodesChecked != wantIdx.NodesChecked {
+							t.Fatalf("kernel %v %s workers %d FindAllCtx(%q, %d):\n got (%d pos, trunc %v, nodes %d)\nwant (%d pos, trunc %v, nodes %d)",
+								kernel, name, w, pat, limit,
+								len(res.Positions), res.Truncated, res.NodesChecked,
+								len(wantIdx.Positions), wantIdx.Truncated, wantIdx.NodesChecked)
+						}
+					}
+					if got, err := idx.CountCtx(ctx, pat); err != nil || got != wantCount {
+						t.Fatalf("kernel %v workers %d CountCtx(%q) = %d, %v; want %d", kernel, w, pat, got, err, wantCount)
+					}
+					if got, err := comp.CountCtx(ctx, pat); err != nil || got != wantCount {
+						t.Fatalf("kernel %v workers %d compact CountCtx(%q) = %d, %v; want %d", kernel, w, pat, got, err, wantCount)
+					}
+				}
+				SetScanParallelism(prevP)
+			}
+		}
+		SetScanKernel(prevK)
+	}
+}
+
+// TestParallelCountPrefixEquivalence pins the bounded-count path: the
+// parallel count stages end nodes and filters, the sequential one
+// filters inline — totals must agree for every bound.
+func TestParallelCountPrefixEquivalence(t *testing.T) {
+	text := lcgText(60_000, 7)
+	idx := Build(text)
+	ctx := context.Background()
+	pat := text[500:506]
+	withParallelism(t, 1, 1)
+	var wants []int
+	bounds := []int{0, 1, 100, 30_000, 59_000}
+	for _, b := range bounds {
+		w, err := idx.CountPrefixCtx(ctx, pat, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, w)
+	}
+	SetScanParallelism(4)
+	for i, b := range bounds {
+		got, err := idx.CountPrefixCtx(ctx, pat, b)
+		if err != nil || got != wants[i] {
+			t.Fatalf("CountPrefixCtx(%q, %d) = %d, %v; want %d", pat, b, got, err, wants[i])
+		}
+	}
+}
+
+// TestParallelBatchEquivalence pins the unlimited batched scan (the
+// only batch shape that parallelizes) against the sequential pass:
+// identical Ends and identical Scanned via the batch replay. Limited
+// batches must keep taking the sequential path and agree as before.
+func TestParallelBatchEquivalence(t *testing.T) {
+	text := lcgText(120_000, 99)
+	idx := Build(text)
+	ctx := context.Background()
+	pats := [][]byte{text[10:14], text[50_000:50_006], []byte("ac"), text[80_000:80_003]}
+	var firsts, lens []int32
+	for _, p := range pats {
+		first, ok := endNodeOn(idx, p)
+		if !ok {
+			t.Fatalf("pattern %q not found", p)
+		}
+		firsts = append(firsts, first)
+		lens = append(lens, int32(len(p)))
+	}
+	limitSets := map[string][]int{
+		"unlimited": {0, 0, 0, 0},
+		"mixedOne":  {1, 0, 0, 0}, // limit-1 matches are predone; rest unlimited
+		"limited":   {0, 5, 0, 3}, // stays sequential
+	}
+	withParallelism(t, 1, 1)
+	for name, limits := range limitSets {
+		SetScanParallelism(1)
+		want, err := idx.ScanManyLimitCtx(ctx, firsts, lens, limits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMany, err := idx.ScanManyCtx(ctx, firsts, lens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			SetScanParallelism(w)
+			got, err := idx.ScanManyLimitCtx(ctx, firsts, lens, limits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Scanned != want.Scanned {
+				t.Fatalf("%s workers %d: Scanned %d, want %d", name, w, got.Scanned, want.Scanned)
+			}
+			for i := range want.Ends {
+				if !equalInt32s(got.Ends[i], want.Ends[i]) || got.Truncated[i] != want.Truncated[i] {
+					t.Fatalf("%s workers %d match %d: ends %v (trunc %v), want %v (trunc %v)",
+						name, w, i, got.Ends[i], got.Truncated[i], want.Ends[i], want.Truncated[i])
+				}
+			}
+			many, err := idx.ScanManyCtx(ctx, firsts, lens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantMany {
+				if !equalInt32s(many[i], wantMany[i]) {
+					t.Fatalf("%s workers %d ScanManyCtx match %d: %v, want %v", name, w, i, many[i], wantMany[i])
+				}
+			}
+			manyPlain := idx.ScanMany(firsts, lens)
+			for i := range wantMany {
+				if !equalInt32s(manyPlain[i], wantMany[i]) {
+					t.Fatalf("%s workers %d ScanMany match %d diverges", name, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelScanCancellation checks that a context cancelled mid-query
+// surfaces as an error from the partitioned path (or, when the race is
+// lost, yields exactly the sequential answer) and never corrupts later
+// queries on the shared scratch pools.
+func TestParallelScanCancellation(t *testing.T) {
+	text := lcgText(150_000, 5)
+	idx := Build(text)
+	pat := []byte("ac")
+	withParallelism(t, 1, 1)
+	want, err := idx.FindAllCtx(context.Background(), pat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetScanParallelism(4)
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		if i%2 == 0 {
+			cancel() // already dead at entry
+		} else {
+			go cancel() // races the scan
+		}
+		res, err := idx.FindAllCtx(ctx, pat, 0)
+		if err == nil {
+			if !equalInts(res.Positions, want.Positions) || res.NodesChecked != want.NodesChecked {
+				t.Fatalf("iteration %d: completed scan diverges from oracle", i)
+			}
+		} else if err != context.Canceled {
+			t.Fatalf("iteration %d: err = %v", i, err)
+		}
+		cancel()
+	}
+	// The pools must be clean: a fresh uncancelled query still agrees.
+	res, err := idx.FindAllCtx(context.Background(), pat, 0)
+	if err != nil || !equalInts(res.Positions, want.Positions) {
+		t.Fatalf("post-cancel query diverged: %v", err)
+	}
+}
+
+func equalInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/spine-index/spine/internal/seq"
+	"github.com/spine-index/spine/internal/suffixtree"
+)
+
+// FuzzParallelScanEquivalence differentially tests the partitioned
+// parallel scan: parallel == sequential == suffix tree, across layouts
+// (reference and compact), kernels, limits, worker counts, and appends
+// after the initial build. NodesChecked must match the sequential
+// oracle exactly — the replay pass makes it parallelism-invariant on
+// every completed scan, truncated or not. Seeds straddle the block
+// boundary and the partition boundaries of small worker counts.
+// `go test` runs the corpus; `go test -fuzz=FuzzParallelScanEquivalence`
+// mines.
+func FuzzParallelScanEquivalence(f *testing.F) {
+	f.Add([]byte("abababab"), []byte("ab"), uint8(0), uint8(3), uint8(2))
+	f.Add([]byte("aaccacaaca"), []byte("ca"), uint8(5), uint8(0), uint8(4))
+	f.Add(repeatStr("acgt", 16), []byte("acgtacgt"), uint8(1), uint8(2), uint8(3))
+	f.Add(repeatStr("acca", 33), []byte("cca"), uint8(63), uint8(1), uint8(2)) // boundary straddle
+	f.Add(repeatStr("a", 65), []byte("aaa"), uint8(64), uint8(4), uint8(8))    // runs cross block + partition edges
+	f.Add(repeatStr("gattaca", 40), repeatStr("gattaca", 10), uint8(2), uint8(0), uint8(5))
+	f.Fuzz(func(t *testing.T, rawText, rawPat []byte, extraRaw, limRaw, wRaw uint8) {
+		if len(rawText) > 4096 || len(rawPat) > 160 {
+			return
+		}
+		text := dnaFrom(rawText)
+		pat := dnaFrom(rawPat)
+		idx := Build(text)
+		// Extend after the build: appended nodes must partition and
+		// stitch exactly like one-shot builds.
+		for i := 0; i < int(extraRaw)%70; i++ {
+			c := "acgt"[(int(extraRaw)+i*7)%4]
+			idx.Append(c)
+			text = append(text, c)
+		}
+		st, err := suffixtree.Build(text, 0xFF)
+		if err != nil {
+			t.Fatalf("suffixtree.Build: %v", err)
+		}
+		oracle := st.FindAll(pat)
+
+		workers := 2 + int(wRaw)%4 // 2..5
+		limit := int(limRaw) % 5
+		prevT := SetScanParallelThreshold(1)
+		prevP := SetScanParallelism(1)
+		defer func() {
+			SetScanParallelism(prevP)
+			SetScanParallelThreshold(prevT)
+		}()
+		ctx := context.Background()
+
+		comp, err := Freeze(idx, seq.DNA)
+		if err != nil {
+			t.Fatalf("Freeze: %v", err)
+		}
+
+		for _, kernel := range []ScanKernel{KernelSWAR, KernelScalar} {
+			prevK := SetScanKernel(kernel)
+			SetScanParallelism(1)
+			seqAll, err := idx.FindAllCtx(ctx, pat, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqLim, err := idx.FindAllCtx(ctx, pat, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqCount, err := idx.CountCtx(ctx, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !equalInts(seqAll.Positions, oracle) {
+				t.Fatalf("kernel %v sequential FindAll(%q in %q) = %v, want %v", kernel, pat, text, seqAll.Positions, oracle)
+			}
+
+			SetScanParallelism(workers)
+			parAll, err := idx.FindAllCtx(ctx, pat, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(parAll.Positions, oracle) ||
+				parAll.Truncated != seqAll.Truncated ||
+				parAll.NodesChecked != seqAll.NodesChecked {
+				t.Fatalf("kernel %v workers %d FindAll(%q in %q):\n par (%v, trunc %v, nodes %d)\n seq (%v, trunc %v, nodes %d)",
+					kernel, workers, pat, text,
+					parAll.Positions, parAll.Truncated, parAll.NodesChecked,
+					seqAll.Positions, seqAll.Truncated, seqAll.NodesChecked)
+			}
+			parLim, err := idx.FindAllCtx(ctx, pat, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(parLim.Positions, seqLim.Positions) ||
+				parLim.Truncated != seqLim.Truncated ||
+				parLim.NodesChecked != seqLim.NodesChecked {
+				t.Fatalf("kernel %v workers %d FindAll(%q, limit %d): par (%v, %v, %d) != seq (%v, %v, %d)",
+					kernel, workers, pat, limit,
+					parLim.Positions, parLim.Truncated, parLim.NodesChecked,
+					seqLim.Positions, seqLim.Truncated, seqLim.NodesChecked)
+			}
+			if got, err := idx.CountCtx(ctx, pat); err != nil || got != seqCount {
+				t.Fatalf("kernel %v workers %d Count(%q) = %d, %v; want %d", kernel, workers, pat, got, err, seqCount)
+			}
+			maxStart := int(limRaw)
+			wantBounded := 0
+			for _, pos := range oracle {
+				if pos < maxStart {
+					wantBounded++
+				}
+			}
+			if got, err := idx.CountPrefixCtx(ctx, pat, maxStart); err != nil || got != wantBounded {
+				t.Fatalf("kernel %v workers %d CountPrefix(%q, %d) = %d, %v; want %d", kernel, workers, pat, maxStart, got, err, wantBounded)
+			}
+
+			// Compact layout through the same parallel path.
+			compAll, err := comp.FindAllCtx(ctx, pat, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(compAll.Positions, seqLim.Positions) || compAll.Truncated != seqLim.Truncated {
+				t.Fatalf("kernel %v workers %d compact FindAll(%q, limit %d) = %v, want %v",
+					kernel, workers, pat, limit, compAll.Positions, seqLim.Positions)
+			}
+			SetScanKernel(prevK)
+		}
+
+		// Batched scan parity: the unlimited batch is the parallel shape;
+		// feed the pattern plus a prefix so chains overlap across matches.
+		if first, ok := endNodeOn(idx, pat); ok {
+			firsts := []int32{first}
+			lens := []int32{int32(len(pat))}
+			if len(pat) > 1 {
+				if pf, ok := endNodeOn(idx, pat[:1]); ok {
+					firsts = append(firsts, pf)
+					lens = append(lens, 1)
+				}
+			}
+			limits := make([]int, len(firsts))
+			SetScanParallelism(1)
+			want, err := idx.ScanManyLimitCtx(ctx, firsts, lens, limits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetScanParallelism(workers)
+			got, err := idx.ScanManyLimitCtx(ctx, firsts, lens, limits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Scanned != want.Scanned {
+				t.Fatalf("workers %d batch Scanned = %d, want %d", workers, got.Scanned, want.Scanned)
+			}
+			for i := range want.Ends {
+				if !equalInt32s(got.Ends[i], want.Ends[i]) {
+					t.Fatalf("workers %d batch match %d ends = %v, want %v", workers, i, got.Ends[i], want.Ends[i])
+				}
+			}
+		}
+	})
+}

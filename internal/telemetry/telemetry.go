@@ -134,6 +134,11 @@ type StageStats struct {
 	// serves from a mapped file (the "disk" stage).
 	ReadaheadIssued Counter
 	ReadaheadHits   Counter
+	// WorkersUsed counts backbone partitions spawned by the intra-query
+	// parallel scan; ChainsStitched counts cross-partition chain roots
+	// resolved by its ordered stitch pass. Both zero on sequential scans.
+	WorkersUsed    Counter
+	ChainsStitched Counter
 }
 
 // ShardStats aggregates one shard's share of fan-out queries, making
@@ -398,6 +403,8 @@ type StageSnapshot struct {
 	WordsCompared   int64   `json:"wordsCompared"`
 	ReadaheadIssued int64   `json:"readaheadIssued,omitempty"`
 	ReadaheadHits   int64   `json:"readaheadHits,omitempty"`
+	WorkersUsed     int64   `json:"workersUsed,omitempty"`
+	ChainsStitched  int64   `json:"chainsStitched,omitempty"`
 }
 
 // ShardSnapshot is a point-in-time copy of one shard's metrics.
@@ -519,6 +526,8 @@ func (r *Registry) Snapshot() Snapshot {
 				WordsCompared:   st.WordsCompared.Value(),
 				ReadaheadIssued: st.ReadaheadIssued.Value(),
 				ReadaheadHits:   st.ReadaheadHits.Value(),
+				WorkersUsed:     st.WorkersUsed.Value(),
+				ChainsStitched:  st.ChainsStitched.Value(),
 			}
 		}
 	}

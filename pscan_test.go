@@ -1,0 +1,103 @@
+package spine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"github.com/spine-index/spine/internal/core"
+	"github.com/spine-index/spine/internal/seqgen"
+)
+
+// TestQueryScanWorkersEquivalent is the intra-query analogue of
+// TestQueryBatchWorkersEquivalent: the partitioned backbone scan must
+// produce the identical QueryResult — positions, truncation, count and
+// NodesChecked — at every parallelism across the reference, compact and
+// mapped layouts. NodesChecked equality holds even on truncated queries
+// because the parallel path replays the sequential admission decisions
+// over the stitched member set.
+func TestQueryScanWorkersEquivalent(t *testing.T) {
+	data, err := seqgen.SuiteSequence("eco", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := Build(data)
+	comp, err := idx.Compact(DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pscan.spine")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenMapped(path, MappedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	queriers := map[string]Querier{"index": idx, "compact": comp, "mapped": mapped}
+	pats := [][]byte{
+		[]byte("a"), []byte("ac"), []byte("acgt"), []byte("gattaca"),
+		data[100:108], data[len(data)/2 : len(data)/2+12], []byte("acgtacgtacgtacgt"),
+	}
+	limits := []int{0, 1, 3, 50}
+	kinds := []QueryKind{KindFindAll, KindCount}
+
+	prevT := core.SetScanParallelThreshold(1)
+	defer core.SetScanParallelThreshold(prevT)
+	ladder := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+
+	ctx := context.Background()
+	type caseKey struct {
+		q    string
+		pi   int
+		lim  int
+		kind QueryKind
+	}
+	want := map[caseKey]QueryResult{}
+	for _, w := range ladder {
+		prevP := core.SetScanParallelism(w)
+		for name, q := range queriers {
+			for pi, p := range pats {
+				for _, lim := range limits {
+					for _, kind := range kinds {
+						got, err := q.Query(ctx, p, QueryOptions{Kind: kind, Limit: lim})
+						if err != nil {
+							t.Fatalf("%s workers %d %s(%q): %v", name, w, kind, p, err)
+						}
+						k := caseKey{name, pi, lim, kind}
+						ref, seen := want[k]
+						if !seen {
+							// Workers=1 (first rung) pins the sequential oracle.
+							want[k] = got
+							continue
+						}
+						if got.Found != ref.Found || got.Position != ref.Position ||
+							got.Count != ref.Count || got.Truncated != ref.Truncated ||
+							got.NodesChecked != ref.NodesChecked ||
+							len(got.Positions) != len(ref.Positions) {
+							t.Fatalf("%s workers %d %s(%q, limit %d):\n got %+v\nwant %+v",
+								name, w, kind, p, lim, got, ref)
+						}
+						for i := range ref.Positions {
+							if got.Positions[i] != ref.Positions[i] {
+								t.Fatalf("%s workers %d %s(%q): position %d differs", name, w, kind, p, i)
+							}
+						}
+					}
+				}
+			}
+		}
+		core.SetScanParallelism(prevP)
+	}
+}
